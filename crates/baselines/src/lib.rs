@@ -1,0 +1,57 @@
+//! Baseline reviewer recommenders for the evaluation experiments.
+//!
+//! The paper demonstrates MINARET but never quantifies it against
+//! alternatives. To make experiment E4 meaningful this crate implements
+//! the natural comparison arms, all working from the *same* simulated
+//! sources MINARET sees:
+//!
+//! * [`ExactKeywordRecommender`] — MINARET's retrieval with semantic
+//!   expansion switched off: literal keyword → interest search only.
+//!   This is the "expansion off" ablation arm.
+//! * [`TpmsRecommender`] — a TPMS-style content matcher: a TF-IDF cosine
+//!   between the manuscript text and each reviewer's publication text,
+//!   over a pre-crawled reviewer pool (TPMS operates on a closed reviewer
+//!   database; [`crawl_pool`] builds the equivalent).
+//! * [`RandomRecommender`] — the sanity floor.
+//! * [`MinaretRecommender`] — adapts the full framework to the common
+//!   [`Recommender`] trait.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod exact;
+mod minaret_adapter;
+mod pool;
+mod random;
+mod tpms;
+
+pub use exact::ExactKeywordRecommender;
+pub use minaret_adapter::MinaretRecommender;
+pub use pool::crawl_pool;
+pub use random::RandomRecommender;
+pub use tpms::TpmsRecommender;
+
+use minaret_core::ManuscriptDetails;
+use minaret_synth::ScholarId;
+
+/// One ranked candidate from any recommender.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedCandidate {
+    /// Candidate display name.
+    pub name: String,
+    /// Method-specific score (higher is better; scales differ between
+    /// methods and must not be compared across them).
+    pub score: f64,
+    /// Ground-truth identities behind the candidate record
+    /// (evaluation-only; see `minaret_scholarly::SourceProfile::truth`).
+    pub truths: Vec<ScholarId>,
+}
+
+/// A reviewer recommender under evaluation.
+pub trait Recommender {
+    /// Method name for report tables.
+    fn name(&self) -> &str;
+
+    /// Returns up to `k` candidates, best first.
+    fn recommend(&self, manuscript: &ManuscriptDetails, k: usize) -> Vec<RankedCandidate>;
+}

@@ -1,0 +1,42 @@
+//! Bench E1: semantic keyword expansion on the curated ontology and on
+//! large synthetic ontologies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minaret_ontology::gen::{GeneratorConfig, OntologyGenerator};
+use minaret_ontology::{seed::curated_cs_ontology, ExpansionConfig, KeywordExpander};
+
+fn bench_e1(c: &mut Criterion) {
+    let curated = curated_cs_ontology();
+    let expander = KeywordExpander::with_defaults(&curated);
+    c.bench_function("e1_expansion/curated_rdf", |b| {
+        b.iter(|| std::hint::black_box(expander.expand("RDF").unwrap()))
+    });
+    c.bench_function("e1_expansion/curated_expand_all_4kw", |b| {
+        let kws = vec![
+            "RDF".to_string(),
+            "Big Data".to_string(),
+            "Machine Learning".to_string(),
+            "Query Optimization".to_string(),
+        ];
+        b.iter(|| std::hint::black_box(expander.expand_all(&kws)))
+    });
+
+    let mut group = c.benchmark_group("e1_expansion/synthetic");
+    for topics in [1_000usize, 10_000, 50_000] {
+        let ontology = OntologyGenerator::new(GeneratorConfig {
+            topics,
+            ..Default::default()
+        })
+        .generate();
+        let cfg = ExpansionConfig::default();
+        let exp = KeywordExpander::new(&ontology, cfg);
+        let seed = format!("synthetic topic {}", topics / 2);
+        group.bench_with_input(BenchmarkId::from_parameter(topics), &topics, |b, _| {
+            b.iter(|| std::hint::black_box(exp.expand(&seed).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e1);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Bench E4: one recommendation pass per method — MINARET, the
+//! expansion-off ablation, TPMS-style, exact-keyword, random.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minaret_baselines::{
+    crawl_pool, ExactKeywordRecommender, MinaretRecommender, RandomRecommender, Recommender,
+    TpmsRecommender,
+};
+use minaret_bench::stack;
+use minaret_core::{EditorConfig, Minaret};
+use minaret_ontology::ExpansionConfig;
+
+fn bench_e4(c: &mut Criterion) {
+    let s = stack(400);
+    let pool = crawl_pool(&s.registry, &s.ontology);
+    let methods: Vec<(&str, Box<dyn Recommender>)> = vec![
+        (
+            "minaret",
+            Box::new(MinaretRecommender::new(Minaret::new(
+                s.registry.clone(),
+                s.ontology.clone(),
+                EditorConfig::default(),
+            ))),
+        ),
+        (
+            "minaret_no_expansion",
+            Box::new(MinaretRecommender::new(Minaret::new(
+                s.registry.clone(),
+                s.ontology.clone(),
+                EditorConfig {
+                    expansion: ExpansionConfig {
+                        max_hops: 0,
+                        ..Default::default()
+                    },
+                    ..Default::default()
+                },
+            ))),
+        ),
+        ("tpms_style", Box::new(TpmsRecommender::new(&pool))),
+        (
+            "exact_keyword",
+            Box::new(ExactKeywordRecommender::new(s.registry.clone())),
+        ),
+        ("random", Box::new(RandomRecommender::new(&pool, 7))),
+    ];
+    let mut group = c.benchmark_group("e4_quality");
+    group.sample_size(20);
+    for (name, method) in &methods {
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(method.recommend(&s.manuscript, 10)))
+        });
+    }
+    group.finish();
+
+    // The pool crawl itself (TPMS's hidden setup cost).
+    let mut setup = c.benchmark_group("e4_quality/setup");
+    setup.sample_size(10);
+    setup.bench_function("crawl_pool", |b| {
+        b.iter(|| std::hint::black_box(crawl_pool(&s.registry, &s.ontology)))
+    });
+    setup.bench_function("tpms_index_build", |b| {
+        b.iter(|| std::hint::black_box(TpmsRecommender::new(&pool)))
+    });
+    setup.finish();
+}
+
+criterion_group!(benches, bench_e4);
+criterion_main!(benches);

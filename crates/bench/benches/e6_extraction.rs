@@ -1,0 +1,50 @@
+//! Bench E6: extraction fan-out under simulated scraping latency —
+//! cold vs. cached, sequential vs. concurrent.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minaret_scholarly::{
+    CachingSource, RegistryConfig, ScholarSource, SimulatedSource, SourceRegistry, SourceSpec,
+};
+use minaret_synth::{WorldConfig, WorldGenerator};
+
+const LATENCY_MICROS: u64 = 200;
+
+fn registry(concurrent: bool, cached: bool) -> (Arc<minaret_synth::World>, SourceRegistry) {
+    let world = Arc::new(WorldGenerator::new(WorldConfig::sized(300)).generate());
+    let mut reg = SourceRegistry::new(RegistryConfig {
+        concurrent,
+        ..Default::default()
+    });
+    for mut spec in SourceSpec::all_defaults() {
+        spec.latency_micros = LATENCY_MICROS;
+        let src: Arc<dyn ScholarSource> = Arc::new(SimulatedSource::new(spec, world.clone()));
+        if cached {
+            reg.register(Arc::new(CachingSource::new(src)));
+        } else {
+            reg.register(src);
+        }
+    }
+    (world, reg)
+}
+
+fn bench_e6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_extraction");
+    group.sample_size(20);
+    for (label, concurrent, cached) in [
+        ("sequential_cold", false, false),
+        ("concurrent_cold", true, false),
+        ("concurrent_cached", true, true),
+    ] {
+        let (world, reg) = registry(concurrent, cached);
+        let name = world.scholars()[0].full_name();
+        group.bench_function(label, |b| {
+            b.iter(|| std::hint::black_box(reg.search_by_name(&name)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_e6);
+criterion_main!(benches);

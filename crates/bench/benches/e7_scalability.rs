@@ -1,0 +1,34 @@
+//! Bench E7: end-to-end recommendation latency vs. world size, and batch
+//! throughput vs. worker count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minaret_bench::{manuscript_from, stack};
+
+fn bench_e7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_scalability");
+    group.sample_size(10);
+    for scholars in [250usize, 500, 1000, 2000] {
+        let s = stack(scholars);
+        group.bench_with_input(BenchmarkId::from_parameter(scholars), &scholars, |b, _| {
+            b.iter(|| std::hint::black_box(s.minaret.recommend(&s.manuscript).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Batch mode: 8 manuscripts through 1/2/4 workers.
+    let s = stack(500);
+    let manuscripts: Vec<_> = (0..8u64)
+        .map(|i| manuscript_from(&s.world, 0xBA7C + i))
+        .collect();
+    let mut batch = c.benchmark_group("e7_scalability/batch_8_manuscripts");
+    batch.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        batch.bench_with_input(BenchmarkId::from_parameter(workers), &workers, |b, &w| {
+            b.iter(|| std::hint::black_box(s.minaret.recommend_batch(&manuscripts, w)))
+        });
+    }
+    batch.finish();
+}
+
+criterion_group!(benches, bench_e7);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench F1: regenerating the DBLP records-per-year series (Figure 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minaret_synth::growth::{GrowthModel, RecordKind};
+
+fn bench_f1(c: &mut Criterion) {
+    let model = GrowthModel::default();
+    c.bench_function("f1_growth/full_series_all_kinds", |b| {
+        b.iter(|| {
+            let mut total = 0.0f64;
+            for kind in RecordKind::ALL {
+                for (_, v) in model.series(kind, 2018) {
+                    total += v;
+                }
+            }
+            std::hint::black_box(total)
+        })
+    });
+    c.bench_function("f1_growth/cumulative_through_2018", |b| {
+        b.iter(|| std::hint::black_box(model.cumulative_through(2018)))
+    });
+}
+
+criterion_group!(benches, bench_f1);
+criterion_main!(benches);

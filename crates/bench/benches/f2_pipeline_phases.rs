@@ -1,0 +1,24 @@
+//! Bench F2: the three-phase workflow end to end (Figure 2), plus the
+//! extraction phase in isolation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minaret_bench::stack;
+
+fn bench_f2(c: &mut Criterion) {
+    let s = stack(500);
+    let mut group = c.benchmark_group("f2_pipeline");
+    group.sample_size(20);
+    group.bench_function("recommend_end_to_end_500", |b| {
+        b.iter(|| std::hint::black_box(s.minaret.recommend(&s.manuscript).unwrap()))
+    });
+    group.bench_function("interest_search_fanout", |b| {
+        b.iter(|| {
+            let (profiles, _) = s.registry.search_by_interest(&s.manuscript.keywords[0]);
+            std::hint::black_box(profiles)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_f2);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Bench F4: author identity resolution at low and high name-collision
+//! rates (Figure 4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minaret_bench::stack_with;
+use minaret_core::EditorConfig;
+use minaret_disambig::{AuthorQuery, IdentityResolver, ResolutionPolicy};
+
+fn bench_f4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f4_disambiguation");
+    group.sample_size(20);
+    for (label, rate) in [("clean_names", 0.0), ("colliding_names", 0.5)] {
+        let s = stack_with(400, rate, EditorConfig::default());
+        let scholar = s
+            .world
+            .scholars()
+            .iter()
+            .find(|sc| !s.world.papers_of(sc.id).is_empty())
+            .unwrap();
+        let inst = s.world.institution(scholar.current_affiliation());
+        let query = AuthorQuery {
+            name: scholar.full_name(),
+            affiliation: Some(inst.name.clone()),
+            country: Some(inst.country.clone()),
+            context_keywords: scholar
+                .interests
+                .iter()
+                .map(|&t| s.world.ontology.label(t).to_string())
+                .collect(),
+        };
+        group.bench_function(label, |b| {
+            let resolver = IdentityResolver::new(&s.registry);
+            b.iter(|| {
+                std::hint::black_box(resolver.resolve(query.clone(), &ResolutionPolicy::AutoTop1))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_f4);
+criterion_main!(benches);

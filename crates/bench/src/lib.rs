@@ -1,0 +1,98 @@
+//! Shared fixtures for the MINARET benchmark suite.
+//!
+//! Every bench target regenerates one experiment from `DESIGN.md`'s
+//! index (see `EXPERIMENTS.md` for paper-vs-measured notes). The helpers
+//! here build the same world + sources + framework stack the evaluation
+//! harness uses, at bench-friendly sizes.
+
+use std::sync::Arc;
+
+use minaret_core::{EditorConfig, ManuscriptDetails, Minaret};
+use minaret_ontology::Ontology;
+use minaret_scholarly::{
+    RegistryConfig, ScholarSource, SimulatedSource, SourceRegistry, SourceSpec,
+};
+use minaret_synth::{SubmissionGenerator, World, WorldConfig, WorldGenerator};
+
+/// A prebuilt world + registry + framework, plus one ready manuscript.
+pub struct BenchStack {
+    /// The synthetic world.
+    pub world: Arc<World>,
+    /// The six simulated sources.
+    pub registry: Arc<SourceRegistry>,
+    /// The curated ontology.
+    pub ontology: Arc<Ontology>,
+    /// The framework under test.
+    pub minaret: Minaret,
+    /// A representative manuscript generated from the world.
+    pub manuscript: ManuscriptDetails,
+}
+
+/// Builds the standard bench stack for a world of `scholars` scholars.
+pub fn stack(scholars: usize) -> BenchStack {
+    stack_with(scholars, 0.05, EditorConfig::default())
+}
+
+/// Builds a stack with a custom collision rate and editor config.
+pub fn stack_with(scholars: usize, name_collision_rate: f64, editor: EditorConfig) -> BenchStack {
+    let world = Arc::new(
+        WorldGenerator::new(WorldConfig {
+            name_collision_rate,
+            ..WorldConfig::sized(scholars)
+        })
+        .generate(),
+    );
+    let ontology = Arc::new(minaret_ontology::seed::curated_cs_ontology());
+    let mut registry = SourceRegistry::new(RegistryConfig::default());
+    for spec in SourceSpec::all_defaults() {
+        registry.register(Arc::new(SimulatedSource::new(spec, world.clone()))
+            as Arc<dyn ScholarSource>);
+    }
+    let registry = Arc::new(registry);
+    let minaret = Minaret::new(registry.clone(), ontology.clone(), editor);
+    let manuscript = manuscript_from(&world, 0xBE);
+    BenchStack {
+        world,
+        registry,
+        ontology,
+        minaret,
+        manuscript,
+    }
+}
+
+/// Generates a manuscript from the world's own submission generator.
+pub fn manuscript_from(world: &Arc<World>, seed: u64) -> ManuscriptDetails {
+    let sub = SubmissionGenerator::new(world, seed)
+        .generate()
+        .expect("bench worlds always yield submissions");
+    ManuscriptDetails {
+        title: sub.title.clone(),
+        keywords: sub.keywords.clone(),
+        authors: sub
+            .authors
+            .iter()
+            .map(|&id| {
+                let s = world.scholar(id);
+                let inst = world.institution(s.current_affiliation());
+                minaret_core::AuthorInput {
+                    name: s.full_name(),
+                    affiliation: Some(inst.name.clone()),
+                    country: Some(inst.country.clone()),
+                }
+            })
+            .collect(),
+        target_venue: world.venue(sub.target_venue).name.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_stack_is_usable() {
+        let s = stack(150);
+        let report = s.minaret.recommend(&s.manuscript).unwrap();
+        assert!(!report.recommendations.is_empty());
+    }
+}

@@ -1,0 +1,414 @@
+//! The `minaret` command-line front end.
+//!
+//! The paper demos MINARET as a web application; this is the same
+//! workflow for a terminal. The binary (`src/main.rs`) is a thin shell
+//! over [`run`], which is also driven directly by the integration tests.
+//!
+//! ```text
+//! minaret expand RDF [--min-score 0.6]
+//! minaret verify "Lei Zhou" [--affiliation "University of Tartu"]
+//! minaret recommend manuscript.json [--top 10] [--explain]
+//! minaret demo                      # end-to-end walkthrough
+//! ```
+//!
+//! `recommend` reads the same JSON document the REST API's `/recommend`
+//! accepts (see `minaret-server`), including the `"config"` overrides.
+//! The scholarly world is synthetic and seeded; `--scholars` / `--seed`
+//! control it.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+use minaret_disambig::{AuthorQuery, IdentityResolver};
+use minaret_json::Value;
+use minaret_ontology::{ExpansionConfig, KeywordExpander};
+use minaret_server::{manuscript_from_json, AppState};
+
+/// Exit status of a CLI run.
+pub type CliResult = Result<(), String>;
+
+/// Common world options parsed from `--scholars` / `--seed`.
+#[derive(Debug, Clone, Copy)]
+struct WorldOpts {
+    scholars: usize,
+    seed: u64,
+}
+
+impl Default for WorldOpts {
+    fn default() -> Self {
+        Self {
+            scholars: 1000,
+            seed: 42,
+        }
+    }
+}
+
+const USAGE: &str = "\
+minaret — reviewer recommendation (EDBT 2019 reproduction)
+
+USAGE:
+  minaret expand <KEYWORD> [--min-score X]
+  minaret verify <NAME> [--affiliation A] [--country C] [--keywords k1,k2]
+  minaret recommend <manuscript.json> [--top N] [--explain]
+  minaret demo
+
+WORLD OPTIONS (all commands):
+  --scholars N   size of the synthetic scholarly world (default 1000)
+  --seed N       world seed (default 42)
+";
+
+/// Runs the CLI with the given arguments (without the program name),
+/// writing human-readable output to `out`.
+pub fn run(args: &[String], out: &mut dyn std::io::Write) -> CliResult {
+    let write =
+        |out: &mut dyn std::io::Write, s: &str| writeln!(out, "{s}").map_err(|e| e.to_string());
+    let Some(command) = args.first() else {
+        write(out, USAGE)?;
+        return Err("missing command".into());
+    };
+    // Split world options out of the remainder.
+    let mut world = WorldOpts::default();
+    let mut rest: Vec<String> = Vec::new();
+    let mut it = args[1..].iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scholars" => {
+                world.scholars = next_value(&mut it, "--scholars")?
+                    .parse()
+                    .map_err(|_| "--scholars must be an integer".to_string())?;
+            }
+            "--seed" => {
+                world.seed = next_value(&mut it, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    match command.as_str() {
+        "expand" => cmd_expand(&rest, out),
+        "verify" => cmd_verify(&rest, world, out),
+        "recommend" => cmd_recommend(&rest, world, out),
+        "demo" => cmd_demo(world, out),
+        "help" | "--help" | "-h" => write(out, USAGE),
+        other => Err(format!("unknown command {other:?}; try `minaret help`")),
+    }
+}
+
+fn next_value<'a>(
+    it: &mut std::iter::Peekable<std::slice::Iter<'a, String>>,
+    flag: &str,
+) -> Result<&'a String, String> {
+    it.next()
+        .ok_or_else(|| format!("flag {flag} needs a value"))
+}
+
+fn cmd_expand(args: &[String], out: &mut dyn std::io::Write) -> CliResult {
+    let mut keyword = None;
+    let mut min_score = ExpansionConfig::default().min_score;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--min-score" => {
+                min_score = next_value(&mut it, "--min-score")?
+                    .parse()
+                    .map_err(|_| "--min-score must be a number".to_string())?;
+            }
+            k if keyword.is_none() => keyword = Some(k.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let keyword = keyword.ok_or("expand needs a keyword")?;
+    let ontology = minaret_ontology::seed::curated_cs_ontology();
+    let expander = KeywordExpander::new(
+        &ontology,
+        ExpansionConfig {
+            min_score,
+            ..Default::default()
+        },
+    );
+    let expanded = expander.expand(&keyword).map_err(|e| e.to_string())?;
+    writeln!(out, "{:<28} {:>6}  hops", "expanded keyword", "score").map_err(|e| e.to_string())?;
+    for e in expanded {
+        writeln!(out, "{:<28} {:>6.3}  {}", e.label, e.score, e.hops).map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
+    let mut name = None;
+    let mut affiliation = None;
+    let mut country = None;
+    let mut keywords: Vec<String> = Vec::new();
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--affiliation" => affiliation = Some(next_value(&mut it, "--affiliation")?.clone()),
+            "--country" => country = Some(next_value(&mut it, "--country")?.clone()),
+            "--keywords" => {
+                keywords = next_value(&mut it, "--keywords")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            n if name.is_none() => name = Some(n.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let name = name.ok_or("verify needs an author name")?;
+    let state = AppState::demo(world.scholars, world.seed);
+    let resolver = IdentityResolver::new(&state.registry);
+    let candidates = resolver.candidates(&AuthorQuery {
+        name: name.clone(),
+        affiliation,
+        country,
+        context_keywords: keywords,
+    });
+    if candidates.is_empty() {
+        writeln!(out, "no profiles found for {name:?}").map_err(|e| e.to_string())?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{} candidate profile(s) for {name:?}:",
+        candidates.len()
+    )
+    .map_err(|e| e.to_string())?;
+    for (i, m) in candidates.iter().enumerate() {
+        writeln!(
+            out,
+            "{:>3}. {:<24} {:<30} score {:.2}  [{}]",
+            i + 1,
+            m.candidate.display_name,
+            m.candidate.affiliation.as_deref().unwrap_or("-"),
+            m.score,
+            m.candidate
+                .sources
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join("+"),
+        )
+        .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_recommend(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
+    let mut path = None;
+    let mut top: Option<usize> = None;
+    let mut explain = false;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--top" => {
+                top = Some(
+                    next_value(&mut it, "--top")?
+                        .parse()
+                        .map_err(|_| "--top must be an integer".to_string())?,
+                )
+            }
+            "--explain" => explain = true,
+            p if path.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let path = path.ok_or("recommend needs a manuscript JSON file")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let body: Value = minaret_json::parse(&text).map_err(|e| e.to_string())?;
+
+    let state = AppState::demo(world.scholars, world.seed);
+    let (manuscript, mut config) =
+        manuscript_from_json(&body, state.minaret.config()).map_err(|e| e.to_string())?;
+    if let Some(n) = top {
+        config.max_recommendations = n;
+    }
+    let minaret = minaret_core::Minaret::new(
+        state.registry.clone(),
+        state.ontology.clone(),
+        config.clone(),
+    );
+    let report = minaret.recommend(&manuscript).map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "manuscript: {}\nkeywords:   {}\nretrieved {} candidates, filtered {}, recommending {}:\n",
+        manuscript.title,
+        manuscript.keywords.join(", "),
+        report.candidates_retrieved,
+        report.filtered_out.len(),
+        report.recommendations.len()
+    )
+    .map_err(|e| e.to_string())?;
+    write!(out, "{}", report.render_table()).map_err(|e| e.to_string())?;
+    if explain {
+        writeln!(out).map_err(|e| e.to_string())?;
+        for r in &report.recommendations {
+            writeln!(out, "{}", r.explain(&config.weights)).map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
+    let state = AppState::demo(world.scholars, world.seed);
+    let lead = state
+        .world
+        .scholars()
+        .iter()
+        .find(|s| !state.world.papers_of(s.id).is_empty())
+        .ok_or("degenerate world: nobody published")?;
+    let inst = state.world.institution(lead.current_affiliation());
+    let manuscript = minaret_core::ManuscriptDetails {
+        title: "A demonstration manuscript".into(),
+        keywords: lead
+            .interests
+            .iter()
+            .take(3)
+            .map(|&t| state.world.ontology.label(t).to_string())
+            .collect(),
+        authors: vec![minaret_core::AuthorInput {
+            name: lead.full_name(),
+            affiliation: Some(inst.name.clone()),
+            country: Some(inst.country.clone()),
+        }],
+        target_venue: state.world.venues()[0].name.clone(),
+    };
+    writeln!(
+        out,
+        "demo manuscript by {} ({}) — keywords: {}",
+        lead.full_name(),
+        inst.name,
+        manuscript.keywords.join(", ")
+    )
+    .map_err(|e| e.to_string())?;
+    let report = state
+        .minaret
+        .recommend(&manuscript)
+        .map_err(|e| e.to_string())?;
+    write!(out, "{}", report.render_table()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_capture(args: &[&str]) -> (CliResult, String) {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut buf = Vec::new();
+        let result = run(&args, &mut buf);
+        (result, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn expand_prints_scored_table() {
+        let (res, output) = run_capture(&["expand", "RDF"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(output.contains("Semantic Web"));
+        assert!(output.contains("SPARQL"));
+    }
+
+    #[test]
+    fn expand_respects_min_score() {
+        let (res, output) = run_capture(&["expand", "RDF", "--min-score", "0.99"]);
+        assert!(res.is_ok());
+        // Only the seed keyword remains.
+        assert_eq!(output.lines().count(), 2);
+    }
+
+    #[test]
+    fn unknown_command_and_missing_args_error() {
+        assert!(run_capture(&["frobnicate"]).0.is_err());
+        assert!(run_capture(&[]).0.is_err());
+        assert!(run_capture(&["expand"]).0.is_err());
+        assert!(run_capture(&["recommend"]).0.is_err());
+        assert!(run_capture(&["expand", "RDF", "--min-score", "lots"])
+            .0
+            .is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let (res, output) = run_capture(&["help"]);
+        assert!(res.is_ok());
+        assert!(output.contains("USAGE"));
+    }
+
+    #[test]
+    fn verify_finds_profiles_in_small_world() {
+        // Use a small world for speed; find a real scholar's name first.
+        let state = AppState::demo(120, 5);
+        let name = state.world.scholars()[0].full_name();
+        let (res, output) = run_capture(&["verify", &name, "--scholars", "120", "--seed", "5"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(output.contains("candidate profile(s)"), "{output}");
+    }
+
+    #[test]
+    fn demo_runs_end_to_end() {
+        let (res, output) = run_capture(&["demo", "--scholars", "150", "--seed", "3"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(output.contains("TOTAL"));
+    }
+
+    #[test]
+    fn recommend_reads_manuscript_file() {
+        let state = AppState::demo(150, 3);
+        let lead = state
+            .world
+            .scholars()
+            .iter()
+            .find(|s| !state.world.papers_of(s.id).is_empty())
+            .unwrap();
+        let keywords: Vec<minaret_json::Value> = lead
+            .interests
+            .iter()
+            .take(2)
+            .map(|&t| minaret_json::Value::from(state.world.ontology.label(t)))
+            .collect();
+        let doc = minaret_json::Value::object()
+            .set("title", "File-driven manuscript")
+            .set("keywords", keywords)
+            .set(
+                "authors",
+                vec![minaret_json::Value::object().set("name", lead.full_name().as_str())],
+            )
+            .set("target_venue", state.world.venues()[0].name.as_str());
+        let dir = std::env::temp_dir().join("minaret-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manuscript.json");
+        std::fs::write(&path, doc.to_string()).unwrap();
+        let (res, output) = run_capture(&[
+            "recommend",
+            path.to_str().unwrap(),
+            "--top",
+            "5",
+            "--explain",
+            "--scholars",
+            "150",
+            "--seed",
+            "3",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(output.contains("File-driven manuscript"));
+        assert!(output.contains("TOTAL"));
+        assert!(
+            output.contains("total score"),
+            "explanations missing: {output}"
+        );
+        let rec_lines = output.lines().filter(|l| l.starts_with('#')).count();
+        assert!(rec_lines >= 1);
+    }
+
+    #[test]
+    fn recommend_rejects_missing_or_invalid_files() {
+        let (res, _) = run_capture(&["recommend", "/nonexistent/m.json"]);
+        assert!(res.unwrap_err().contains("cannot read"));
+        let dir = std::env::temp_dir().join("minaret-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("broken.json");
+        std::fs::write(&path, "{not json").unwrap();
+        let (res, _) = run_capture(&["recommend", path.to_str().unwrap()]);
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,10 @@
+//! `minaret` binary entry point — see the crate docs in `lib.rs`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    if let Err(message) = minaret_cli::run(&args, &mut stdout) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,268 @@
+//! Editor-facing configuration (§2.2–2.3 of the paper).
+
+use minaret_ontology::ExpansionConfig;
+
+/// At what granularity shared affiliations constitute a conflict of
+/// interest. §2.2: "the existence of any shared affiliations on the level
+/// of the university or country, as configured by the editor".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AffiliationMatchLevel {
+    /// Only a shared university/institute is a conflict.
+    University,
+    /// Any shared country is a conflict (strictest).
+    Country,
+    /// Affiliations are ignored for COI.
+    Off,
+}
+
+/// Conflict-of-interest configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoiConfig {
+    /// Whether previous co-authorship with any manuscript author is a
+    /// conflict.
+    pub coauthorship: bool,
+    /// Affiliation matching granularity.
+    pub affiliation_level: AffiliationMatchLevel,
+    /// Minimum token-overlap similarity for two institution name strings
+    /// to count as "the same university" (scraped text never matches
+    /// exactly).
+    pub institution_similarity: f64,
+}
+
+impl Default for CoiConfig {
+    fn default() -> Self {
+        Self {
+            coauthorship: true,
+            affiliation_level: AffiliationMatchLevel::University,
+            institution_similarity: 0.8,
+        }
+    }
+}
+
+/// Editor-defined expertise constraints (§2.2: "the range of number of
+/// citations / H-index, the number of previous review activities").
+/// `None` bounds are unconstrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExpertiseConstraints {
+    /// Minimum total citations.
+    pub min_citations: Option<u64>,
+    /// Maximum total citations (editors avoid overloaded stars — §1's
+    /// "inviting a high-profile reviewer who happens to be quite busy").
+    pub max_citations: Option<u64>,
+    /// Minimum h-index.
+    pub min_h_index: Option<u32>,
+    /// Maximum h-index.
+    pub max_h_index: Option<u32>,
+    /// Minimum number of previous review activities.
+    pub min_reviews: Option<u32>,
+    /// Maximum number of previous review activities.
+    pub max_reviews: Option<u32>,
+}
+
+impl ExpertiseConstraints {
+    /// True when a candidate's numbers satisfy every configured bound.
+    /// Missing candidate data fails only `min_*` bounds (a site that
+    /// shows no citation count cannot prove the minimum is met).
+    pub fn admits(&self, citations: Option<u64>, h_index: Option<u32>, reviews: u32) -> bool {
+        let ge = |v: Option<u64>, min: u64| v.map(|x| x >= min).unwrap_or(false);
+        let le = |v: Option<u64>, max: u64| v.map(|x| x <= max).unwrap_or(true);
+        if let Some(m) = self.min_citations {
+            if !ge(citations, m) {
+                return false;
+            }
+        }
+        if let Some(m) = self.max_citations {
+            if !le(citations, m) {
+                return false;
+            }
+        }
+        if let Some(m) = self.min_h_index {
+            if !ge(h_index.map(u64::from), u64::from(m)) {
+                return false;
+            }
+        }
+        if let Some(m) = self.max_h_index {
+            if !le(h_index.map(u64::from), u64::from(m)) {
+                return false;
+            }
+        }
+        if let Some(m) = self.min_reviews {
+            if reviews < m {
+                return false;
+            }
+        }
+        if let Some(m) = self.max_reviews {
+            if reviews > m {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Which metric the scientific-impact component reads (§2.3: "the number
+/// of citations/H-index of the reviewer, as configured by the user").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImpactMetric {
+    /// Total citation count, log-scaled.
+    Citations,
+    /// h-index, log-scaled.
+    HIndex,
+}
+
+/// Weights of the ranking components. They need not sum to 1; scores are
+/// normalized by the weight total.
+///
+/// The first five are §2.3's components. `responsiveness` is the
+/// "likelihood to accept and timely return his review" aspect §1 calls
+/// out; it defaults to `0` so the default ranking is exactly the paper's
+/// five-component sum, and editors opt in by raising the weight.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingWeights {
+    /// Topic coverage of the manuscript's keywords.
+    pub coverage: f64,
+    /// Scientific impact (citations or h-index).
+    pub impact: f64,
+    /// Recency of publications on the manuscript's topics.
+    pub recency: f64,
+    /// Review experience (total prior reviews).
+    pub experience: f64,
+    /// Familiarity with the target outlet (reviews for / papers in it).
+    pub familiarity: f64,
+    /// Responsiveness: review turnaround speed and recent review
+    /// activity (§1's timeliness concern). Default `0.0`.
+    pub responsiveness: f64,
+}
+
+impl Default for RankingWeights {
+    fn default() -> Self {
+        Self {
+            coverage: 0.35,
+            impact: 0.20,
+            recency: 0.20,
+            experience: 0.15,
+            familiarity: 0.10,
+            responsiveness: 0.0,
+        }
+    }
+}
+
+impl RankingWeights {
+    /// Sum of all weights.
+    pub fn total(&self) -> f64 {
+        self.coverage
+            + self.impact
+            + self.recency
+            + self.experience
+            + self.familiarity
+            + self.responsiveness
+    }
+}
+
+/// Everything the editor configures for one recommendation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditorConfig {
+    /// Semantic keyword-expansion parameters.
+    pub expansion: ExpansionConfig,
+    /// Conflict-of-interest rules.
+    pub coi: CoiConfig,
+    /// Minimum keyword-matching score for a candidate to survive
+    /// filtering (§2.2's threshold on expanded-keyword similarity).
+    pub keyword_score_threshold: f64,
+    /// Expertise range constraints.
+    pub expertise: ExpertiseConstraints,
+    /// Which impact metric the ranking reads.
+    pub impact_metric: ImpactMetric,
+    /// Ranking component weights.
+    pub weights: RankingWeights,
+    /// Recency half-life in years (a paper this old contributes half the
+    /// recency credit of a current one).
+    pub recency_half_life_years: f64,
+    /// Maximum number of recommendations returned.
+    pub max_recommendations: usize,
+    /// Conference mode (§3): when set, only candidates whose name matches
+    /// a programme-committee member are retained.
+    pub pc_members: Option<Vec<String>>,
+    /// The current year, for recency computations.
+    pub current_year: u32,
+}
+
+impl Default for EditorConfig {
+    fn default() -> Self {
+        Self {
+            expansion: ExpansionConfig::default(),
+            coi: CoiConfig::default(),
+            keyword_score_threshold: 0.5,
+            expertise: ExpertiseConstraints::default(),
+            impact_metric: ImpactMetric::Citations,
+            weights: RankingWeights::default(),
+            recency_half_life_years: 5.0,
+            max_recommendations: 20,
+            pc_members: None,
+            current_year: 2018,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_sum_to_one() {
+        assert!((RankingWeights::default().total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constraints_admit_when_unconstrained() {
+        let c = ExpertiseConstraints::default();
+        assert!(c.admits(None, None, 0));
+        assert!(c.admits(Some(10_000), Some(60), 300));
+    }
+
+    #[test]
+    fn min_bounds_require_evidence() {
+        let c = ExpertiseConstraints {
+            min_citations: Some(100),
+            ..Default::default()
+        };
+        assert!(
+            !c.admits(None, None, 0),
+            "unknown citations can't prove a minimum"
+        );
+        assert!(!c.admits(Some(50), None, 0));
+        assert!(c.admits(Some(150), None, 0));
+    }
+
+    #[test]
+    fn max_bounds_tolerate_missing_data() {
+        let c = ExpertiseConstraints {
+            max_citations: Some(100),
+            max_h_index: Some(10),
+            ..Default::default()
+        };
+        assert!(c.admits(None, None, 0));
+        assert!(!c.admits(Some(500), None, 0));
+        assert!(!c.admits(Some(50), Some(20), 0));
+    }
+
+    #[test]
+    fn review_bounds_enforced() {
+        let c = ExpertiseConstraints {
+            min_reviews: Some(5),
+            max_reviews: Some(50),
+            ..Default::default()
+        };
+        assert!(!c.admits(None, None, 2));
+        assert!(c.admits(None, None, 10));
+        assert!(!c.admits(None, None, 100));
+    }
+
+    #[test]
+    fn default_config_is_journal_mode() {
+        let c = EditorConfig::default();
+        assert!(c.pc_members.is_none());
+        assert_eq!(c.impact_metric, ImpactMetric::Citations);
+        assert!(c.keyword_score_threshold > 0.0);
+    }
+}

@@ -1,0 +1,52 @@
+//! Framework error type.
+
+use std::fmt;
+
+/// Errors surfaced by the recommendation pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MinaretError {
+    /// The manuscript details failed validation.
+    InvalidManuscript(String),
+    /// No keyword (original or expanded) resolved to any topic and no
+    /// candidates could be retrieved.
+    NoCandidates,
+    /// Every scholarly source failed during extraction.
+    AllSourcesFailed(Vec<String>),
+}
+
+impl fmt::Display for MinaretError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MinaretError::InvalidManuscript(msg) => {
+                write!(f, "invalid manuscript details: {msg}")
+            }
+            MinaretError::NoCandidates => {
+                write!(
+                    f,
+                    "no candidate reviewers could be retrieved for the keywords"
+                )
+            }
+            MinaretError::AllSourcesFailed(errs) => {
+                write!(f, "all scholarly sources failed: {}", errs.join("; "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for MinaretError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MinaretError::InvalidManuscript("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(MinaretError::NoCandidates.to_string().contains("candidate"));
+        assert!(MinaretError::AllSourcesFailed(vec!["a".into(), "b".into()])
+            .to_string()
+            .contains("a; b"));
+    }
+}

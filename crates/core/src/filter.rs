@@ -1,0 +1,203 @@
+//! The filtering phase (§2.2): COI, keyword-score threshold, expertise
+//! constraints, and the conference-mode PC filter (§3).
+
+use minaret_disambig::name::parse_name;
+use minaret_scholarly::MergedCandidate;
+
+use crate::coi::{check_coi, AuthorRecord, CoiVerdict};
+use crate::config::EditorConfig;
+
+/// Why a candidate was removed in the filtering phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterReason {
+    /// Conflict of interest with the author list.
+    ConflictOfInterest(CoiVerdict),
+    /// Best keyword-matching score fell below the editor's threshold.
+    KeywordScoreBelowThreshold {
+        /// The candidate's best matching score.
+        score: f64,
+        /// The configured threshold.
+        threshold: f64,
+    },
+    /// An expertise range constraint (citations / h-index / reviews)
+    /// was violated.
+    ExpertiseConstraint,
+    /// Conference mode: the candidate is not on the programme committee.
+    NotOnProgrammeCommittee,
+}
+
+/// The decision for one candidate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterDecision {
+    /// The candidate proceeds to ranking.
+    Kept,
+    /// The candidate is removed, with the (first) reason.
+    Removed(FilterReason),
+}
+
+impl FilterDecision {
+    /// True when the candidate survived.
+    pub fn kept(&self) -> bool {
+        matches!(self, FilterDecision::Kept)
+    }
+}
+
+/// Applies the full §2.2 filter chain to one candidate.
+///
+/// `keyword_score` is the candidate's best similarity to any expanded
+/// manuscript keyword (1.0 when they registered an original keyword
+/// verbatim). Checks run cheapest-first; the first violation is returned.
+pub fn filter_candidate(
+    candidate: &MergedCandidate,
+    keyword_score: f64,
+    authors: &[AuthorRecord],
+    config: &EditorConfig,
+) -> FilterDecision {
+    if keyword_score < config.keyword_score_threshold {
+        return FilterDecision::Removed(FilterReason::KeywordScoreBelowThreshold {
+            score: keyword_score,
+            threshold: config.keyword_score_threshold,
+        });
+    }
+    if !config.expertise.admits(
+        candidate.metrics.citations,
+        candidate.metrics.h_index,
+        candidate.reviews.len() as u32,
+    ) {
+        return FilterDecision::Removed(FilterReason::ExpertiseConstraint);
+    }
+    if let Some(pc) = &config.pc_members {
+        if !is_pc_member(candidate, pc) {
+            return FilterDecision::Removed(FilterReason::NotOnProgrammeCommittee);
+        }
+    }
+    let verdict = check_coi(candidate, authors, &config.coi);
+    if verdict.conflicted() {
+        return FilterDecision::Removed(FilterReason::ConflictOfInterest(verdict));
+    }
+    FilterDecision::Kept
+}
+
+/// Conference mode (§3): "only candidate reviewers who belong to the
+/// programme committee are retained". Matching is by name compatibility
+/// so "L. Zhou" on the PC list matches candidate "Lei Zhou".
+pub fn is_pc_member(candidate: &MergedCandidate, pc: &[String]) -> bool {
+    let Some(cand) = parse_name(&candidate.display_name) else {
+        return false;
+    };
+    pc.iter()
+        .filter_map(|n| parse_name(n))
+        .any(|member| member.compatible(&cand))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExpertiseConstraints;
+    use minaret_scholarly::{SourceMetrics, SourceReview};
+
+    fn candidate(name: &str) -> MergedCandidate {
+        MergedCandidate {
+            display_name: name.into(),
+            affiliation: None,
+            country: None,
+            affiliation_history: vec![],
+            interests: vec![],
+            publications: vec![],
+            metrics: SourceMetrics {
+                citations: Some(500),
+                h_index: Some(12),
+                i10_index: None,
+            },
+            reviews: vec![SourceReview {
+                venue_name: "J".into(),
+                year: 2017,
+                turnaround_days: 20,
+                quality: Some(3),
+            }],
+            sources: vec![],
+            keys: vec![],
+            truths: vec![],
+        }
+    }
+
+    #[test]
+    fn clean_candidate_is_kept() {
+        let d = filter_candidate(&candidate("A B"), 0.9, &[], &EditorConfig::default());
+        assert!(d.kept());
+    }
+
+    #[test]
+    fn low_keyword_score_removed_first() {
+        let d = filter_candidate(&candidate("A B"), 0.3, &[], &EditorConfig::default());
+        match d {
+            FilterDecision::Removed(FilterReason::KeywordScoreBelowThreshold {
+                score,
+                threshold,
+            }) => {
+                assert_eq!(score, 0.3);
+                assert_eq!(threshold, 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expertise_constraints_enforced() {
+        let cfg = EditorConfig {
+            expertise: ExpertiseConstraints {
+                min_citations: Some(1000),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let d = filter_candidate(&candidate("A B"), 0.9, &[], &cfg);
+        assert_eq!(
+            d,
+            FilterDecision::Removed(FilterReason::ExpertiseConstraint)
+        );
+    }
+
+    #[test]
+    fn coi_with_author_removes() {
+        let authors = vec![AuthorRecord::from_parts("A B", None, None, None)];
+        let d = filter_candidate(&candidate("A B"), 0.9, &authors, &EditorConfig::default());
+        assert!(matches!(
+            d,
+            FilterDecision::Removed(FilterReason::ConflictOfInterest(_))
+        ));
+    }
+
+    #[test]
+    fn pc_filter_in_conference_mode() {
+        let cfg = EditorConfig {
+            pc_members: Some(vec!["Lei Zhou".into(), "Ada Lovelace".into()]),
+            ..Default::default()
+        };
+        assert!(filter_candidate(&candidate("Lei Zhou"), 0.9, &[], &cfg).kept());
+        // Abbreviated candidate matches full PC entry.
+        assert!(filter_candidate(&candidate("L. Zhou"), 0.9, &[], &cfg).kept());
+        assert_eq!(
+            filter_candidate(&candidate("Grace Hopper"), 0.9, &[], &cfg),
+            FilterDecision::Removed(FilterReason::NotOnProgrammeCommittee)
+        );
+    }
+
+    #[test]
+    fn journal_mode_has_no_pc_filter() {
+        let d = filter_candidate(
+            &candidate("Grace Hopper"),
+            0.9,
+            &[],
+            &EditorConfig::default(),
+        );
+        assert!(d.kept());
+    }
+
+    #[test]
+    fn pc_matching_handles_unparseable_names() {
+        let pc = vec!["Lei Zhou".to_string()];
+        assert!(!is_pc_member(&candidate("??"), &pc));
+        assert!(!is_pc_member(&candidate("Cher"), &pc));
+    }
+}

@@ -1,0 +1,128 @@
+//! The manuscript details the editor enters (Figure 3 of the paper).
+
+/// One author of the submitted manuscript, as typed into the form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AuthorInput {
+    /// Author name, e.g. `"Lei Zhou"` or `"Zhou, Lei"`.
+    pub name: String,
+    /// Current affiliation, e.g. `"University of Tartu"`.
+    pub affiliation: Option<String>,
+    /// Country of the affiliation.
+    pub country: Option<String>,
+}
+
+impl AuthorInput {
+    /// Convenience constructor with only a name.
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            affiliation: None,
+            country: None,
+        }
+    }
+
+    /// Sets the affiliation.
+    pub fn with_affiliation(mut self, affiliation: impl Into<String>) -> Self {
+        self.affiliation = Some(affiliation.into());
+        self
+    }
+
+    /// Sets the country.
+    pub fn with_country(mut self, country: impl Into<String>) -> Self {
+        self.country = Some(country.into());
+        self
+    }
+}
+
+/// The manuscript submission the editor needs reviewers for.
+///
+/// Matches the fields of the paper's "adding paper details" form:
+/// title, author list with current affiliations, topics/keywords
+/// (usually 3–5, per §2.1), and the target journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManuscriptDetails {
+    /// Manuscript title.
+    pub title: String,
+    /// Author-supplied keywords describing the topic.
+    pub keywords: Vec<String>,
+    /// The author list.
+    pub authors: Vec<AuthorInput>,
+    /// Name of the journal (or conference) the manuscript targets.
+    pub target_venue: String,
+}
+
+impl ManuscriptDetails {
+    /// Validates the details the way the form would: a title, at least
+    /// one keyword, at least one author with a non-empty name.
+    pub fn validate(&self) -> Result<(), crate::error::MinaretError> {
+        use crate::error::MinaretError;
+        if self.title.trim().is_empty() {
+            return Err(MinaretError::InvalidManuscript("title is empty".into()));
+        }
+        if self.keywords.iter().all(|k| k.trim().is_empty()) {
+            return Err(MinaretError::InvalidManuscript(
+                "at least one non-empty keyword is required".into(),
+            ));
+        }
+        if self.authors.is_empty() || self.authors.iter().any(|a| a.name.trim().is_empty()) {
+            return Err(MinaretError::InvalidManuscript(
+                "every author needs a non-empty name".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn valid() -> ManuscriptDetails {
+        ManuscriptDetails {
+            title: "Scalable RDF stores".into(),
+            keywords: vec!["RDF".into(), "Big Data".into()],
+            authors: vec![AuthorInput::named("Lei Zhou")
+                .with_affiliation("University of Tartu")
+                .with_country("Estonia")],
+            target_venue: "Journal of Synthetic Computing 1".into(),
+        }
+    }
+
+    #[test]
+    fn valid_manuscript_passes() {
+        assert!(valid().validate().is_ok());
+    }
+
+    #[test]
+    fn empty_title_rejected() {
+        let mut m = valid();
+        m.title = "  ".into();
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn blank_keywords_rejected() {
+        let mut m = valid();
+        m.keywords = vec!["".into(), "  ".into()];
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn authorless_manuscript_rejected() {
+        let mut m = valid();
+        m.authors.clear();
+        assert!(m.validate().is_err());
+        let mut m2 = valid();
+        m2.authors.push(AuthorInput::named(""));
+        assert!(m2.validate().is_err());
+    }
+
+    #[test]
+    fn builder_helpers_set_fields() {
+        let a = AuthorInput::named("A B")
+            .with_affiliation("U")
+            .with_country("C");
+        assert_eq!(a.affiliation.as_deref(), Some("U"));
+        assert_eq!(a.country.as_deref(), Some("C"));
+    }
+}

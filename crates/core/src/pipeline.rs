@@ -1,0 +1,898 @@
+//! The three-phase recommendation pipeline (Figure 2 of the paper).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use minaret_disambig::{AuthorQuery, IdentityResolver, ResolutionPolicy, VerifiedAuthor};
+use minaret_ontology::{normalize_label, KeywordExpander, Ontology};
+use minaret_scholarly::{merge_profiles, MergedCandidate, SourceKind, SourceRegistry};
+
+use crate::coi::AuthorRecord;
+use crate::config::EditorConfig;
+use crate::error::MinaretError;
+use crate::filter::{filter_candidate, FilterDecision, FilterReason};
+use crate::manuscript::ManuscriptDetails;
+use crate::rank::{score_candidate, KeywordExpansionSet, ScoreBreakdown};
+
+/// Wall-clock cost of each workflow phase — experiment F2 prints these as
+/// the per-phase breakdown of Figure 2's workflow.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Phase 1: identity verification + track-record extraction +
+    /// expansion + candidate retrieval.
+    pub extraction: Duration,
+    /// Phase 2: COI + threshold + expertise (+ PC) filtering.
+    pub filtering: Duration,
+    /// Phase 3: scoring and sorting.
+    pub ranking: Duration,
+}
+
+impl PhaseTimings {
+    /// Total pipeline time.
+    pub fn total(&self) -> Duration {
+        self.extraction + self.filtering + self.ranking
+    }
+}
+
+/// A candidate reviewer after retrieval, before filtering.
+#[derive(Debug, Clone)]
+pub struct CandidateProfile {
+    /// The merged multi-source record.
+    pub merged: MergedCandidate,
+    /// Expanded keywords this candidate matched, with their similarity
+    /// scores (best score per label).
+    pub matched_keywords: Vec<(String, f64)>,
+    /// The candidate's best keyword-matching score — what §2.2's
+    /// threshold filter reads.
+    pub keyword_score: f64,
+}
+
+/// One ranked recommendation (a row of Figure 5).
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// 1-based rank.
+    pub rank: usize,
+    /// Candidate display name.
+    pub name: String,
+    /// Current affiliation, when known.
+    pub affiliation: Option<String>,
+    /// Sources that contributed to the record.
+    pub sources: Vec<SourceKind>,
+    /// Expanded keywords the candidate matched.
+    pub matched_keywords: Vec<(String, f64)>,
+    /// The per-component score drill-down.
+    pub breakdown: ScoreBreakdown,
+    /// The fused total score in `[0, 1]`.
+    pub total: f64,
+    /// The full merged record (for follow-up inspection).
+    pub candidate: MergedCandidate,
+}
+
+impl Recommendation {
+    /// A human-readable justification of this recommendation — the prose
+    /// version of Figure 5's score drill-down, suitable for an invitation
+    /// email draft or the demo UI's detail pane.
+    pub fn explain(&self, weights: &crate::config::RankingWeights) -> String {
+        let mut parts: Vec<String> = Vec::new();
+        let mut push = |weight: f64, score: f64, text: String| {
+            if weight > 0.0 && score > 0.0 {
+                parts.push(text);
+            }
+        };
+        if let Some((kw, sc)) = self.matched_keywords.first() {
+            push(
+                weights.coverage,
+                self.breakdown.coverage,
+                format!(
+                    "covers {:.0}% of the manuscript's topics (best match: {kw}, similarity {sc:.2})",
+                    self.breakdown.coverage * 100.0
+                ),
+            );
+        }
+        if let Some(citations) = self.candidate.metrics.citations {
+            push(
+                weights.impact,
+                self.breakdown.impact,
+                format!("has {citations} citations"),
+            );
+        } else if let Some(h) = self.candidate.metrics.h_index {
+            push(
+                weights.impact,
+                self.breakdown.impact,
+                format!("has an h-index of {h}"),
+            );
+        }
+        if let Some(year) = self.candidate.publications.iter().map(|p| p.year).max() {
+            push(
+                weights.recency,
+                self.breakdown.recency,
+                format!("published on related topics as recently as {year}"),
+            );
+        }
+        if !self.candidate.reviews.is_empty() {
+            // §1 lists "the quality of the reviews" among the aspects the
+            // editor considers; Publons-style ratings surface here.
+            let rated: Vec<u8> = self
+                .candidate
+                .reviews
+                .iter()
+                .filter_map(|r| r.quality)
+                .collect();
+            let quality_note = if rated.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    " (mean review quality {:.1}/5)",
+                    rated.iter().map(|&q| q as f64).sum::<f64>() / rated.len() as f64
+                )
+            };
+            push(
+                weights.experience,
+                self.breakdown.experience,
+                format!(
+                    "completed {} manuscript reviews{quality_note}",
+                    self.candidate.reviews.len()
+                ),
+            );
+        }
+        push(
+            weights.familiarity,
+            self.breakdown.familiarity,
+            "has prior history with the target outlet".to_string(),
+        );
+        push(
+            weights.responsiveness,
+            self.breakdown.responsiveness,
+            "returns reviews promptly".to_string(),
+        );
+        let evidence = if parts.is_empty() {
+            "matched the manuscript's expanded keywords".to_string()
+        } else {
+            parts.join("; ")
+        };
+        format!(
+            "#{} {} (total score {:.3}, via {}): {}.",
+            self.rank,
+            self.name,
+            self.total,
+            self.sources
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            evidence
+        )
+    }
+}
+
+/// Summary of one keyword's semantic expansion, for the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExpansionSummary {
+    /// The keyword as typed.
+    pub original: String,
+    /// Expanded labels with scores, best first (excludes the original).
+    pub expanded: Vec<(String, f64)>,
+}
+
+/// Everything a recommendation run produced — enough to drive the demo
+/// scenario end to end (Figures 3–5).
+#[derive(Debug)]
+pub struct RecommendationReport {
+    /// The manuscript the run was for.
+    pub manuscript: ManuscriptDetails,
+    /// Identity-verification results, one per author.
+    pub verified_authors: Vec<VerifiedAuthor>,
+    /// Keyword expansions.
+    pub expansions: Vec<ExpansionSummary>,
+    /// Keywords that resolved to no ontology topic (searched literally).
+    pub unknown_keywords: Vec<String>,
+    /// Number of merged candidates retrieved before filtering.
+    pub candidates_retrieved: usize,
+    /// Candidates removed by the filtering phase, with reasons.
+    pub filtered_out: Vec<(CandidateProfile, FilterReason)>,
+    /// The final ranked list.
+    pub recommendations: Vec<Recommendation>,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+    /// Source errors survived during extraction (failed sources are
+    /// skipped, not fatal).
+    pub source_errors: Vec<String>,
+}
+
+impl RecommendationReport {
+    /// Renders the ranked list as a plain-text table, the way the demo's
+    /// final screen (Figure 5) presents it.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<4} {:<28} {:<30} {:>6} {:>6} {:>6} {:>6} {:>6} {:>7}\n",
+            "#", "Reviewer", "Affiliation", "cover", "impact", "recent", "exper", "famil", "TOTAL"
+        ));
+        for r in &self.recommendations {
+            out.push_str(&format!(
+                "{:<4} {:<28} {:<30} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>6.3} {:>7.4}\n",
+                r.rank,
+                truncate(&r.name, 28),
+                truncate(r.affiliation.as_deref().unwrap_or("-"), 30),
+                r.breakdown.coverage,
+                r.breakdown.impact,
+                r.breakdown.recency,
+                r.breakdown.experience,
+                r.breakdown.familiarity,
+                r.total,
+            ));
+        }
+        out
+    }
+}
+
+fn truncate(s: &str, n: usize) -> String {
+    if s.chars().count() <= n {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(n.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+/// The MINARET framework: sources + ontology + editor configuration.
+pub struct Minaret {
+    registry: Arc<SourceRegistry>,
+    ontology: Arc<Ontology>,
+    config: EditorConfig,
+    resolution: ResolutionPolicy,
+}
+
+impl Minaret {
+    /// Creates a framework instance with the given sources, ontology and
+    /// editor configuration. Author ambiguity defaults to automatic
+    /// top-candidate resolution; see
+    /// [`with_resolution_policy`](Self::with_resolution_policy).
+    pub fn new(
+        registry: Arc<SourceRegistry>,
+        ontology: Arc<Ontology>,
+        config: EditorConfig,
+    ) -> Self {
+        Self {
+            registry,
+            ontology,
+            config,
+            resolution: ResolutionPolicy::AutoTop1,
+        }
+    }
+
+    /// Overrides how ambiguous author identities are resolved (the
+    /// Figure 4 decision point).
+    pub fn with_resolution_policy(mut self, policy: ResolutionPolicy) -> Self {
+        self.resolution = policy;
+        self
+    }
+
+    /// The active editor configuration.
+    pub fn config(&self) -> &EditorConfig {
+        &self.config
+    }
+
+    /// Replaces the editor configuration (weights, thresholds, COI level
+    /// are all re-configurable between runs, per the paper).
+    pub fn set_config(&mut self, config: EditorConfig) {
+        self.config = config;
+    }
+
+    /// Runs the full three-phase workflow for one manuscript.
+    pub fn recommend(
+        &self,
+        manuscript: &ManuscriptDetails,
+    ) -> Result<RecommendationReport, MinaretError> {
+        manuscript.validate()?;
+        let mut source_errors = Vec::new();
+
+        // ---- Phase 1: information extraction --------------------------
+        let t0 = Instant::now();
+        let verified_authors = self.verify_authors(manuscript);
+        let author_records: Vec<AuthorRecord> = manuscript
+            .authors
+            .iter()
+            .zip(&verified_authors)
+            .map(|(input, verified)| {
+                AuthorRecord::from_parts(
+                    &input.name,
+                    input.affiliation.as_deref(),
+                    input.country.as_deref(),
+                    verified.chosen.as_ref().map(|m| &m.candidate),
+                )
+            })
+            .collect();
+
+        let (expansion_sets, expansions, unknown_keywords) =
+            self.expand_keywords(&manuscript.keywords);
+
+        let candidates = self.retrieve_candidates(&expansion_sets, &mut source_errors);
+        let candidates_retrieved = candidates.len();
+        let extraction = t0.elapsed();
+        if candidates_retrieved == 0 {
+            return Err(MinaretError::NoCandidates);
+        }
+
+        // ---- Phase 2: filtering ---------------------------------------
+        let t1 = Instant::now();
+        let mut kept = Vec::new();
+        let mut filtered_out = Vec::new();
+        for cand in candidates {
+            match filter_candidate(
+                &cand.merged,
+                cand.keyword_score,
+                &author_records,
+                &self.config,
+            ) {
+                FilterDecision::Kept => kept.push(cand),
+                FilterDecision::Removed(reason) => filtered_out.push((cand, reason)),
+            }
+        }
+        let filtering = t1.elapsed();
+
+        // ---- Phase 3: ranking -----------------------------------------
+        let t2 = Instant::now();
+        let mut scored: Vec<(CandidateProfile, ScoreBreakdown, f64)> = kept
+            .into_iter()
+            .map(|cand| {
+                let breakdown = score_candidate(
+                    &cand.merged,
+                    &expansion_sets,
+                    &manuscript.target_venue,
+                    &self.config,
+                );
+                let total = breakdown.total(&self.config.weights);
+                (cand, breakdown, total)
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.2.partial_cmp(&a.2)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.0.merged.display_name.cmp(&b.0.merged.display_name))
+        });
+        scored.truncate(self.config.max_recommendations);
+        let recommendations = scored
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cand, breakdown, total))| Recommendation {
+                rank: i + 1,
+                name: cand.merged.display_name.clone(),
+                affiliation: cand.merged.affiliation.clone(),
+                sources: cand.merged.sources.clone(),
+                matched_keywords: cand.matched_keywords,
+                breakdown,
+                total,
+                candidate: cand.merged,
+            })
+            .collect();
+        let ranking = t2.elapsed();
+
+        Ok(RecommendationReport {
+            manuscript: manuscript.clone(),
+            verified_authors,
+            expansions,
+            unknown_keywords,
+            candidates_retrieved,
+            filtered_out,
+            recommendations,
+            timings: PhaseTimings {
+                extraction,
+                filtering,
+                ranking,
+            },
+            source_errors,
+        })
+    }
+
+    /// Runs the pipeline for several manuscripts concurrently, using up
+    /// to `parallelism` worker threads (an editor clearing a submission
+    /// queue). Results are returned in input order. The sources are
+    /// already `Sync`, so the workers share the registry directly.
+    pub fn recommend_batch(
+        &self,
+        manuscripts: &[ManuscriptDetails],
+        parallelism: usize,
+    ) -> Vec<Result<RecommendationReport, MinaretError>> {
+        let parallelism = parallelism.max(1);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let mut slots: Vec<Option<Result<RecommendationReport, MinaretError>>> =
+            (0..manuscripts.len()).map(|_| None).collect();
+        let slot_cells: Vec<std::sync::Mutex<&mut Option<_>>> =
+            slots.iter_mut().map(std::sync::Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..parallelism.min(manuscripts.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= manuscripts.len() {
+                        break;
+                    }
+                    let result = self.recommend(&manuscripts[i]);
+                    **slot_cells[i].lock().expect("slot lock never poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every slot filled by a worker"))
+            .collect()
+    }
+
+    /// Phase-1 step: verify each author's identity and pull their track
+    /// record (the chosen candidate carries publications, co-authors and
+    /// affiliation history used by the COI check).
+    fn verify_authors(&self, manuscript: &ManuscriptDetails) -> Vec<VerifiedAuthor> {
+        let resolver = IdentityResolver::new(&self.registry);
+        manuscript
+            .authors
+            .iter()
+            .map(|a| {
+                resolver.resolve(
+                    AuthorQuery {
+                        name: a.name.clone(),
+                        affiliation: a.affiliation.clone(),
+                        country: a.country.clone(),
+                        context_keywords: manuscript.keywords.clone(),
+                    },
+                    &self.resolution,
+                )
+            })
+            .collect()
+    }
+
+    /// Phase-1 step: semantic keyword expansion. Keywords unknown to the
+    /// ontology are kept literally (score 1.0) so they still drive a
+    /// search, and reported in the third return value.
+    fn expand_keywords(
+        &self,
+        keywords: &[String],
+    ) -> (Vec<KeywordExpansionSet>, Vec<ExpansionSummary>, Vec<String>) {
+        let expander = KeywordExpander::new(&self.ontology, self.config.expansion);
+        let mut sets = Vec::new();
+        let mut summaries = Vec::new();
+        let mut unknown = Vec::new();
+        for kw in keywords {
+            if kw.trim().is_empty() {
+                continue;
+            }
+            match expander.expand(kw) {
+                Ok(exps) => {
+                    let mut scores = HashMap::new();
+                    let mut expanded = Vec::new();
+                    for e in &exps {
+                        let norm = normalize_label(&e.label);
+                        scores
+                            .entry(norm)
+                            .and_modify(|s: &mut f64| *s = s.max(e.score))
+                            .or_insert(e.score);
+                        if e.hops > 0 {
+                            expanded.push((e.label.clone(), e.score));
+                        }
+                    }
+                    // The typed keyword always matches itself.
+                    scores.insert(normalize_label(kw), 1.0);
+                    sets.push(KeywordExpansionSet {
+                        original: kw.clone(),
+                        scores,
+                    });
+                    summaries.push(ExpansionSummary {
+                        original: kw.clone(),
+                        expanded,
+                    });
+                }
+                Err(_) => {
+                    let mut scores = HashMap::new();
+                    scores.insert(normalize_label(kw), 1.0);
+                    sets.push(KeywordExpansionSet {
+                        original: kw.clone(),
+                        scores,
+                    });
+                    summaries.push(ExpansionSummary {
+                        original: kw.clone(),
+                        expanded: Vec::new(),
+                    });
+                    unknown.push(kw.clone());
+                }
+            }
+        }
+        (sets, summaries, unknown)
+    }
+
+    /// Phase-1 step: retrieve candidate reviewers by querying every
+    /// interest-capable source for every expanded keyword, then merging
+    /// per-source profiles into candidates.
+    fn retrieve_candidates(
+        &self,
+        expansion_sets: &[KeywordExpansionSet],
+        source_errors: &mut Vec<String>,
+    ) -> Vec<CandidateProfile> {
+        // Collect the distinct labels to search, with their best score.
+        let mut labels: HashMap<String, f64> = HashMap::new();
+        for set in expansion_sets {
+            for (label, &score) in &set.scores {
+                labels
+                    .entry(label.clone())
+                    .and_modify(|s| *s = s.max(score))
+                    .or_insert(score);
+            }
+        }
+        let mut sorted_labels: Vec<(String, f64)> = labels.into_iter().collect();
+        sorted_labels.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let mut profiles = Vec::new();
+        // profile key -> matched labels. Keys are globally unique (each
+        // embeds its source's prefix), and keying by the key alone keeps
+        // every merged profile's matches even when a name collision
+        // conflates two same-source profiles into one candidate.
+        let mut matched: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        for (label, score) in &sorted_labels {
+            let (found, errors) = self.registry.search_by_interest(label);
+            for e in errors {
+                source_errors.push(e.to_string());
+            }
+            for p in found {
+                matched
+                    .entry(p.key.clone())
+                    .or_default()
+                    .push((label.clone(), *score));
+                profiles.push(p);
+            }
+        }
+        // Dedupe profiles found under several labels.
+        profiles.sort_by(|a, b| (a.source, &a.key).cmp(&(b.source, &b.key)));
+        profiles.dedup_by(|a, b| a.source == b.source && a.key == b.key);
+
+        let merged = merge_profiles(profiles);
+        merged
+            .into_iter()
+            .map(|m| {
+                let mut label_scores: HashMap<String, f64> = HashMap::new();
+                for key in &m.keys {
+                    if let Some(ls) = matched.get(key) {
+                        for (l, s) in ls {
+                            label_scores
+                                .entry(l.clone())
+                                .and_modify(|cur| *cur = cur.max(*s))
+                                .or_insert(*s);
+                        }
+                    }
+                }
+                let mut matched_keywords: Vec<(String, f64)> = label_scores.into_iter().collect();
+                matched_keywords.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then_with(|| a.0.cmp(&b.0))
+                });
+                let keyword_score = matched_keywords.first().map(|(_, s)| *s).unwrap_or(0.0);
+                CandidateProfile {
+                    merged: m,
+                    matched_keywords,
+                    keyword_score,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manuscript::AuthorInput;
+    use minaret_scholarly::{RegistryConfig, SimulatedSource, SourceSpec};
+    use minaret_synth::{World, WorldConfig, WorldGenerator};
+
+    fn setup() -> (Arc<World>, Minaret) {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 300,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let mut reg = SourceRegistry::new(RegistryConfig::default());
+        for spec in SourceSpec::all_defaults() {
+            reg.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+        }
+        let minaret = Minaret::new(
+            Arc::new(reg),
+            Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+            EditorConfig::default(),
+        );
+        (world, minaret)
+    }
+
+    fn manuscript_from_world(world: &World) -> ManuscriptDetails {
+        // Use a real scholar's interests as keywords so candidates exist.
+        let lead = world
+            .scholars()
+            .iter()
+            .find(|s| !world.papers_of(s.id).is_empty())
+            .unwrap();
+        let inst = world.institution(lead.current_affiliation());
+        ManuscriptDetails {
+            title: "A synthetic manuscript".into(),
+            keywords: lead
+                .interests
+                .iter()
+                .take(3)
+                .map(|&t| world.ontology.label(t).to_string())
+                .collect(),
+            authors: vec![AuthorInput::named(lead.full_name())
+                .with_affiliation(inst.name.clone())
+                .with_country(inst.country.clone())],
+            target_venue: world.venues()[0].name.clone(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_recommendation_produces_ranked_list() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).expect("pipeline succeeds");
+        assert!(!report.recommendations.is_empty());
+        assert!(report.candidates_retrieved >= report.recommendations.len());
+        // Ranked descending, ranks contiguous from 1.
+        for (i, r) in report.recommendations.iter().enumerate() {
+            assert_eq!(r.rank, i + 1);
+            assert!((0.0..=1.0).contains(&r.total));
+        }
+        for w in report.recommendations.windows(2) {
+            assert!(w[0].total >= w[1].total);
+        }
+    }
+
+    #[test]
+    fn authors_never_appear_in_recommendations() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        let author_names: Vec<String> =
+            m.authors.iter().map(|a| normalize_label(&a.name)).collect();
+        for r in &report.recommendations {
+            assert!(
+                !author_names.contains(&normalize_label(&r.name)),
+                "author {} leaked into recommendations",
+                r.name
+            );
+        }
+    }
+
+    #[test]
+    fn coi_filtering_removes_coauthors_of_the_author() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        // Ground truth: no recommended candidate ever co-authored with
+        // the (single) author. We check via the truth labels.
+        let author = world
+            .scholars()
+            .iter()
+            .find(|s| s.full_name() == m.authors[0].name)
+            .unwrap();
+        for r in &report.recommendations {
+            for truth in &r.candidate.truths {
+                assert!(
+                    !world.ever_coauthored(author.id, *truth),
+                    "recommended {} co-authored with the author",
+                    r.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_manuscript_is_rejected() {
+        let (_, minaret) = setup();
+        let m = ManuscriptDetails {
+            title: "".into(),
+            keywords: vec!["RDF".into()],
+            authors: vec![AuthorInput::named("A B")],
+            target_venue: "J".into(),
+        };
+        assert!(matches!(
+            minaret.recommend(&m),
+            Err(MinaretError::InvalidManuscript(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_keywords_reported_and_nocandidates_error() {
+        let (_, minaret) = setup();
+        let m = ManuscriptDetails {
+            title: "T".into(),
+            keywords: vec!["transcendental numerology".into()],
+            authors: vec![AuthorInput::named("A B")],
+            target_venue: "J".into(),
+        };
+        match minaret.recommend(&m) {
+            Err(MinaretError::NoCandidates) => {}
+            other => panic!("expected NoCandidates, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expansion_summaries_cover_all_keywords() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        assert_eq!(report.expansions.len(), m.keywords.len());
+        for (summary, kw) in report.expansions.iter().zip(&m.keywords) {
+            assert_eq!(&summary.original, kw);
+        }
+        assert!(report.unknown_keywords.is_empty());
+    }
+
+    #[test]
+    fn max_recommendations_is_respected() {
+        let (world, _) = setup();
+        let mut reg = SourceRegistry::new(RegistryConfig::default());
+        for spec in SourceSpec::all_defaults() {
+            reg.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+        }
+        let minaret = Minaret::new(
+            Arc::new(reg),
+            Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+            EditorConfig {
+                max_recommendations: 3,
+                ..Default::default()
+            },
+        );
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        assert!(report.recommendations.len() <= 3);
+    }
+
+    #[test]
+    fn phase_timings_are_recorded() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        assert!(report.timings.extraction > Duration::ZERO);
+        assert_eq!(
+            report.timings.total(),
+            report.timings.extraction + report.timings.filtering + report.timings.ranking
+        );
+    }
+
+    #[test]
+    fn render_table_lists_every_recommendation() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        let table = report.render_table();
+        assert!(table.contains("TOTAL"));
+        assert_eq!(
+            table.lines().count(),
+            report.recommendations.len() + 1 // header
+        );
+    }
+
+    #[test]
+    fn explanations_name_the_candidate_and_evidence() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        let top = &report.recommendations[0];
+        let text = top.explain(&minaret.config().weights);
+        assert!(text.contains(&top.name));
+        assert!(text.starts_with("#1 "));
+        assert!(text.contains("total score"));
+        // Evidence sentences only mention weighted, non-zero components.
+        if top.breakdown.coverage > 0.0 {
+            assert!(text.contains("covers"));
+        }
+    }
+
+    #[test]
+    fn batch_recommendation_matches_sequential_and_keeps_order() {
+        let (world, minaret) = setup();
+        let mut manuscripts = Vec::new();
+        for s in world
+            .scholars()
+            .iter()
+            .filter(|s| !world.papers_of(s.id).is_empty())
+            .take(4)
+        {
+            let inst = world.institution(s.current_affiliation());
+            manuscripts.push(ManuscriptDetails {
+                title: format!("Batch manuscript by {}", s.full_name()),
+                keywords: s
+                    .interests
+                    .iter()
+                    .take(2)
+                    .map(|&t| world.ontology.label(t).to_string())
+                    .collect(),
+                authors: vec![AuthorInput::named(s.full_name())
+                    .with_affiliation(inst.name.clone())],
+                target_venue: world.venues()[0].name.clone(),
+            });
+        }
+        let batch = minaret.recommend_batch(&manuscripts, 3);
+        assert_eq!(batch.len(), manuscripts.len());
+        for (m, result) in manuscripts.iter().zip(&batch) {
+            let sequential = minaret.recommend(m);
+            match (result, sequential) {
+                (Ok(b), Ok(s)) => {
+                    let names = |r: &RecommendationReport| {
+                        r.recommendations
+                            .iter()
+                            .map(|x| x.name.clone())
+                            .collect::<Vec<_>>()
+                    };
+                    assert_eq!(names(b), names(&s), "batch diverged for {}", m.title);
+                }
+                (Err(a), Err(b)) => assert_eq!(format!("{a}"), format!("{b}")),
+                (a, b) => panic!("batch {a:?} vs sequential {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn batch_with_zero_parallelism_still_works() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let results = minaret.recommend_batch(std::slice::from_ref(&m), 0);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].is_ok());
+        assert!(minaret.recommend_batch(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn conference_mode_restricts_to_pc() {
+        let (world, _) = setup();
+        let mut reg = SourceRegistry::new(RegistryConfig::default());
+        for spec in SourceSpec::all_defaults() {
+            reg.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+        }
+        // First run journal mode to learn who the top candidates are.
+        let journal = Minaret::new(
+            Arc::new(SourceRegistry::new(RegistryConfig::default())),
+            Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+            EditorConfig::default(),
+        );
+        drop(journal);
+        let m = manuscript_from_world(&world);
+        let base = Minaret::new(
+            Arc::new({
+                let mut r = SourceRegistry::new(RegistryConfig::default());
+                for spec in SourceSpec::all_defaults() {
+                    r.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+                }
+                r
+            }),
+            Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+            EditorConfig::default(),
+        );
+        let open = base.recommend(&m).unwrap();
+        assert!(open.recommendations.len() >= 2);
+        let pc: Vec<String> = open
+            .recommendations
+            .iter()
+            .take(2)
+            .map(|r| r.name.clone())
+            .collect();
+        let conf = Minaret::new(
+            Arc::new(reg),
+            Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+            EditorConfig {
+                pc_members: Some(pc.clone()),
+                ..Default::default()
+            },
+        );
+        let restricted = conf.recommend(&m).unwrap();
+        assert!(!restricted.recommendations.is_empty());
+        for r in &restricted.recommendations {
+            assert!(
+                pc.iter()
+                    .any(|p| normalize_label(p) == normalize_label(&r.name)),
+                "{} is not on the PC",
+                r.name
+            );
+        }
+        assert!(restricted
+            .filtered_out
+            .iter()
+            .any(|(_, reason)| matches!(reason, FilterReason::NotOnProgrammeCommittee)));
+    }
+}

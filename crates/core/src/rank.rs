@@ -1,0 +1,560 @@
+//! The ranking phase (§2.3 of the paper): a weighted sum of five
+//! components, each in `[0, 1]`, with the weights configured by the
+//! editor.
+
+use std::collections::HashMap;
+
+use minaret_ontology::normalize_label;
+use minaret_scholarly::MergedCandidate;
+
+use crate::config::{EditorConfig, ImpactMetric, RankingWeights};
+
+/// Scale caps for log-normalized components. A candidate at or above the
+/// cap scores 1.0. The caps are editorial conventions, not statistics of
+/// the candidate pool, so that scores are stable run-to-run.
+const CITATION_CAP: f64 = 20_000.0;
+const H_INDEX_CAP: f64 = 60.0;
+const REVIEW_CAP: f64 = 200.0;
+const FAMILIARITY_CAP: f64 = 20.0;
+
+/// The expansion of one original manuscript keyword: every reachable
+/// topic label (normalized) with its similarity score to the original.
+/// The original keyword itself is present with score 1.0.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KeywordExpansionSet {
+    /// The keyword as the author typed it.
+    pub original: String,
+    /// normalized expanded label -> similarity score in [0, 1].
+    pub scores: HashMap<String, f64>,
+}
+
+impl KeywordExpansionSet {
+    /// Best similarity of any of `labels` (normalized) to this keyword.
+    pub fn best_match(&self, labels: impl Iterator<Item = impl AsRef<str>>) -> f64 {
+        labels
+            .filter_map(|l| self.scores.get(l.as_ref()).copied())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Per-component scores for one candidate — the drill-down MINARET shows
+/// when the editor clicks a total score (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScoreBreakdown {
+    /// Topic coverage of the manuscript's keywords.
+    pub coverage: f64,
+    /// Scientific impact (citations or h-index, per config).
+    pub impact: f64,
+    /// Recency of the candidate's work on the manuscript's topics.
+    pub recency: f64,
+    /// Review experience (total prior reviews, Publons-style).
+    pub experience: f64,
+    /// Familiarity with the target outlet.
+    pub familiarity: f64,
+    /// Responsiveness: turnaround speed + recent review activity (the
+    /// §1 extension; weighted `0` by default).
+    pub responsiveness: f64,
+}
+
+impl ScoreBreakdown {
+    /// The fused total under the given weights, in `[0, 1]`.
+    pub fn total(&self, w: &RankingWeights) -> f64 {
+        let sum = w.total();
+        if sum <= 0.0 {
+            return 0.0;
+        }
+        (self.coverage * w.coverage
+            + self.impact * w.impact
+            + self.recency * w.recency
+            + self.experience * w.experience
+            + self.familiarity * w.familiarity
+            + self.responsiveness * w.responsiveness)
+            / sum
+    }
+}
+
+fn log_norm(value: f64, cap: f64) -> f64 {
+    if value <= 0.0 {
+        0.0
+    } else {
+        ((1.0 + value).ln() / (1.0 + cap).ln()).min(1.0)
+    }
+}
+
+/// Topic coverage: how much of the manuscript's keyword set the
+/// candidate's registered interests (and publication keywords) cover.
+///
+/// §2.3's example: with paper keywords {Semantic Web, Big Data}, a
+/// reviewer interested in {Semantic Web, Big Data} must outrank one
+/// interested in {Semantic Web, Ontologies, RDF} — coverage averages the
+/// best match *per manuscript keyword*, so covering more keywords wins.
+pub fn topic_coverage(candidate: &MergedCandidate, expansions: &[KeywordExpansionSet]) -> f64 {
+    if expansions.is_empty() {
+        return 0.0;
+    }
+    let mut labels: Vec<String> = candidate
+        .interests
+        .iter()
+        .map(|i| normalize_label(i))
+        .collect();
+    for p in &candidate.publications {
+        for k in &p.keywords {
+            labels.push(normalize_label(k));
+        }
+    }
+    let total: f64 = expansions.iter().map(|e| e.best_match(labels.iter())).sum();
+    total / expansions.len() as f64
+}
+
+/// Scientific impact from the candidate's best available metrics.
+pub fn scientific_impact(candidate: &MergedCandidate, metric: ImpactMetric) -> f64 {
+    match metric {
+        ImpactMetric::Citations => log_norm(
+            candidate.metrics.citations.unwrap_or(0) as f64,
+            CITATION_CAP,
+        ),
+        ImpactMetric::HIndex => {
+            (candidate.metrics.h_index.unwrap_or(0) as f64 / H_INDEX_CAP).min(1.0)
+        }
+    }
+}
+
+/// Recency: reviewers who *recently* published on the manuscript's topics
+/// rank above those whose related work is old (§2.3, citing \[5\]).
+/// For each manuscript keyword, the best `similarity × 2^(-age/half_life)`
+/// over the candidate's publications; averaged over keywords.
+pub fn recency(
+    candidate: &MergedCandidate,
+    expansions: &[KeywordExpansionSet],
+    current_year: u32,
+    half_life_years: f64,
+) -> f64 {
+    if expansions.is_empty() || half_life_years <= 0.0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for e in expansions {
+        let mut best = 0.0f64;
+        for p in &candidate.publications {
+            let sim = e.best_match(p.keywords.iter().map(|k| normalize_label(k)));
+            if sim <= 0.0 {
+                continue;
+            }
+            let age = (current_year as f64 - p.year as f64).max(0.0);
+            best = best.max(sim * 0.5f64.powf(age / half_life_years));
+        }
+        total += best;
+    }
+    total / expansions.len() as f64
+}
+
+/// Review experience: log-scaled count of prior manuscript reviews
+/// (obtained from the Publons-like profile data).
+pub fn review_experience(candidate: &MergedCandidate) -> f64 {
+    log_norm(candidate.reviews.len() as f64, REVIEW_CAP)
+}
+
+/// Familiarity with the target outlet: reviews previously conducted for
+/// it plus papers published in it (§2.3's two sub-components),
+/// log-scaled together.
+pub fn outlet_familiarity(candidate: &MergedCandidate, target_venue: &str) -> f64 {
+    let target = normalize_label(target_venue);
+    if target.is_empty() {
+        return 0.0;
+    }
+    let reviews_for = candidate
+        .reviews
+        .iter()
+        .filter(|r| normalize_label(&r.venue_name) == target)
+        .count() as f64;
+    let pubs_in = candidate
+        .publications
+        .iter()
+        .filter(|p| normalize_label(&p.venue_name) == target)
+        .count() as f64;
+    log_norm(reviews_for + pubs_in, FAMILIARITY_CAP)
+}
+
+/// Turnaround faster than this many days scores full speed credit.
+const TURNAROUND_FLOOR_DAYS: f64 = 7.0;
+/// Turnaround slower than this many days scores zero speed credit.
+const TURNAROUND_CEIL_DAYS: f64 = 90.0;
+
+/// Responsiveness: §1 warns against "inviting a high-profile reviewer who
+/// … might not reply to the invitation in a timely manner". With Publons
+/// data we can estimate it from review behaviour: how fast past reviews
+/// were returned, and how recently the candidate reviewed at all.
+/// Candidates with no review history score `0` (unknown ≠ responsive).
+pub fn responsiveness(candidate: &MergedCandidate, current_year: u32) -> f64 {
+    if candidate.reviews.is_empty() {
+        return 0.0;
+    }
+    let mean_days = candidate
+        .reviews
+        .iter()
+        .map(|r| r.turnaround_days as f64)
+        .sum::<f64>()
+        / candidate.reviews.len() as f64;
+    let speed = 1.0
+        - ((mean_days - TURNAROUND_FLOOR_DAYS) / (TURNAROUND_CEIL_DAYS - TURNAROUND_FLOOR_DAYS))
+            .clamp(0.0, 1.0);
+    let last_year = candidate
+        .reviews
+        .iter()
+        .map(|r| r.year)
+        .max()
+        .unwrap_or(current_year);
+    let years_idle = (current_year as f64 - last_year as f64).max(0.0);
+    let activity = 0.5f64.powf(years_idle / 3.0);
+    0.6 * speed + 0.4 * activity
+}
+
+/// Computes the full breakdown for one candidate.
+pub fn score_candidate(
+    candidate: &MergedCandidate,
+    expansions: &[KeywordExpansionSet],
+    target_venue: &str,
+    config: &EditorConfig,
+) -> ScoreBreakdown {
+    ScoreBreakdown {
+        coverage: topic_coverage(candidate, expansions),
+        impact: scientific_impact(candidate, config.impact_metric),
+        recency: recency(
+            candidate,
+            expansions,
+            config.current_year,
+            config.recency_half_life_years,
+        ),
+        experience: review_experience(candidate),
+        familiarity: outlet_familiarity(candidate, target_venue),
+        responsiveness: responsiveness(candidate, config.current_year),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minaret_scholarly::{SourceMetrics, SourcePublication, SourceReview};
+    use proptest::prelude::*;
+
+    fn expansion(original: &str, pairs: &[(&str, f64)]) -> KeywordExpansionSet {
+        let mut scores: HashMap<String, f64> = pairs
+            .iter()
+            .map(|(l, s)| (normalize_label(l), *s))
+            .collect();
+        scores.insert(normalize_label(original), 1.0);
+        KeywordExpansionSet {
+            original: original.to_string(),
+            scores,
+        }
+    }
+
+    fn with_interests(interests: &[&str]) -> MergedCandidate {
+        MergedCandidate {
+            display_name: "X".into(),
+            affiliation: None,
+            country: None,
+            affiliation_history: vec![],
+            interests: interests.iter().map(|s| normalize_label(s)).collect(),
+            publications: vec![],
+            metrics: SourceMetrics::default(),
+            reviews: vec![],
+            sources: vec![],
+            keys: vec![],
+            truths: vec![],
+        }
+    }
+
+    /// §2.3's worked example: keywords {Semantic Web, Big Data}; reviewer
+    /// B covering both outranks reviewer A covering only one (plus
+    /// related topics).
+    #[test]
+    fn paper_topic_coverage_example() {
+        let expansions = vec![
+            expansion("Semantic Web", &[("Ontologies", 0.8), ("RDF", 0.9)]),
+            expansion("Big Data", &[]),
+        ];
+        let a = with_interests(&["Semantic Web", "Ontologies", "RDF"]);
+        let b = with_interests(&["Semantic Web", "Big Data"]);
+        let ca = topic_coverage(&a, &expansions);
+        let cb = topic_coverage(&b, &expansions);
+        assert!(cb > ca, "B ({cb}) must outrank A ({ca})");
+        assert!((cb - 1.0).abs() < 1e-9, "B covers everything");
+        assert!((ca - 0.5).abs() < 1e-9, "A covers one of two keywords");
+    }
+
+    #[test]
+    fn coverage_uses_expansion_scores_for_partial_matches() {
+        let expansions = vec![expansion("RDF", &[("SPARQL", 0.9)])];
+        let c = with_interests(&["SPARQL"]);
+        assert!((topic_coverage(&c, &expansions) - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_counts_publication_keywords_too() {
+        let expansions = vec![expansion("RDF", &[])];
+        let mut c = with_interests(&[]);
+        c.publications.push(SourcePublication {
+            title: "t".into(),
+            year: 2017,
+            venue_name: "J".into(),
+            coauthor_names: vec![],
+            keywords: vec!["RDF".into()],
+            citations: None,
+        });
+        assert!((topic_coverage(&c, &expansions) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impact_metric_switch() {
+        let mut c = with_interests(&[]);
+        c.metrics = SourceMetrics {
+            citations: Some(1000),
+            h_index: Some(30),
+            i10_index: None,
+        };
+        let by_cites = scientific_impact(&c, ImpactMetric::Citations);
+        let by_h = scientific_impact(&c, ImpactMetric::HIndex);
+        assert!(by_cites > 0.0 && by_cites < 1.0);
+        assert!((by_h - 0.5).abs() < 1e-9);
+        // Missing metrics score zero.
+        let empty = with_interests(&[]);
+        assert_eq!(scientific_impact(&empty, ImpactMetric::Citations), 0.0);
+        assert_eq!(scientific_impact(&empty, ImpactMetric::HIndex), 0.0);
+    }
+
+    #[test]
+    fn impact_caps_at_one() {
+        let mut c = with_interests(&[]);
+        c.metrics.citations = Some(10_000_000);
+        c.metrics.h_index = Some(500);
+        assert_eq!(scientific_impact(&c, ImpactMetric::Citations), 1.0);
+        assert_eq!(scientific_impact(&c, ImpactMetric::HIndex), 1.0);
+    }
+
+    #[test]
+    fn recent_work_beats_old_work() {
+        let expansions = vec![expansion("RDF", &[])];
+        let mut fresh = with_interests(&[]);
+        fresh.publications.push(SourcePublication {
+            title: "new".into(),
+            year: 2018,
+            venue_name: "J".into(),
+            coauthor_names: vec![],
+            keywords: vec!["rdf".into()],
+            citations: None,
+        });
+        let mut stale = fresh.clone();
+        stale.publications[0].year = 2005;
+        let rf = recency(&fresh, &expansions, 2018, 5.0);
+        let rs = recency(&stale, &expansions, 2018, 5.0);
+        assert!(rf > rs);
+        assert!((rf - 1.0).abs() < 1e-9, "current-year exact match = 1");
+        // 13 years at half-life 5 => 2^-2.6
+        assert!((rs - 0.5f64.powf(13.0 / 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recency_zero_without_matching_publications() {
+        let expansions = vec![expansion("RDF", &[])];
+        let c = with_interests(&["rdf"]); // interests alone don't count
+        assert_eq!(recency(&c, &expansions, 2018, 5.0), 0.0);
+    }
+
+    #[test]
+    fn experience_grows_with_reviews() {
+        let mut a = with_interests(&[]);
+        let mut b = with_interests(&[]);
+        for i in 0..3 {
+            a.reviews.push(SourceReview {
+                venue_name: format!("V{i}"),
+                year: 2016,
+                turnaround_days: 20,
+                quality: Some(3),
+            });
+        }
+        for i in 0..30 {
+            b.reviews.push(SourceReview {
+                venue_name: format!("V{i}"),
+                year: 2016,
+                turnaround_days: 20,
+                quality: Some(3),
+            });
+        }
+        assert!(review_experience(&b) > review_experience(&a));
+        assert!(review_experience(&a) > 0.0);
+        assert_eq!(review_experience(&with_interests(&[])), 0.0);
+    }
+
+    #[test]
+    fn familiarity_counts_reviews_and_pubs_for_target_only() {
+        let mut c = with_interests(&[]);
+        c.reviews.push(SourceReview {
+            venue_name: "Journal of X".into(),
+            year: 2017,
+            turnaround_days: 15,
+            quality: Some(3),
+        });
+        c.reviews.push(SourceReview {
+            venue_name: "Other Venue".into(),
+            year: 2017,
+            turnaround_days: 15,
+            quality: Some(3),
+        });
+        c.publications.push(SourcePublication {
+            title: "t".into(),
+            year: 2015,
+            venue_name: "journal of x".into(),
+            coauthor_names: vec![],
+            keywords: vec![],
+            citations: None,
+        });
+        let f = outlet_familiarity(&c, "Journal of X");
+        assert!((f - log_norm(2.0, FAMILIARITY_CAP)).abs() < 1e-9);
+        assert_eq!(outlet_familiarity(&c, "Nowhere"), 0.0);
+        assert_eq!(outlet_familiarity(&c, ""), 0.0);
+    }
+
+    #[test]
+    fn total_respects_weights() {
+        let b = ScoreBreakdown {
+            coverage: 1.0,
+            impact: 0.0,
+            recency: 0.0,
+            experience: 0.0,
+            familiarity: 0.0,
+            responsiveness: 0.0,
+        };
+        let only_coverage = RankingWeights {
+            coverage: 1.0,
+            impact: 0.0,
+            recency: 0.0,
+            experience: 0.0,
+            familiarity: 0.0,
+            responsiveness: 0.0,
+        };
+        assert_eq!(b.total(&only_coverage), 1.0);
+        let only_impact = RankingWeights {
+            coverage: 0.0,
+            impact: 1.0,
+            recency: 0.0,
+            experience: 0.0,
+            familiarity: 0.0,
+            responsiveness: 0.0,
+        };
+        assert_eq!(b.total(&only_impact), 0.0);
+        let zero = RankingWeights {
+            coverage: 0.0,
+            impact: 0.0,
+            recency: 0.0,
+            experience: 0.0,
+            familiarity: 0.0,
+            responsiveness: 0.0,
+        };
+        assert_eq!(b.total(&zero), 0.0);
+    }
+
+    #[test]
+    fn responsiveness_rewards_fast_recent_reviewers() {
+        let mut fast = with_interests(&[]);
+        fast.reviews.push(SourceReview {
+            venue_name: "J".into(),
+            year: 2018,
+            turnaround_days: 7,
+            quality: Some(3),
+        });
+        let mut slow = with_interests(&[]);
+        slow.reviews.push(SourceReview {
+            venue_name: "J".into(),
+            year: 2018,
+            turnaround_days: 90,
+            quality: Some(3),
+        });
+        let rf = responsiveness(&fast, 2018);
+        let rs = responsiveness(&slow, 2018);
+        assert!(rf > rs, "fast {rf} vs slow {rs}");
+        assert!((rf - 1.0).abs() < 1e-9, "7-day turnaround this year = 1.0");
+        assert!(
+            (rs - 0.4).abs() < 1e-9,
+            "90-day turnaround keeps only activity credit"
+        );
+    }
+
+    #[test]
+    fn responsiveness_decays_with_idle_years() {
+        let mut recent = with_interests(&[]);
+        recent.reviews.push(SourceReview {
+            venue_name: "J".into(),
+            year: 2018,
+            turnaround_days: 7,
+            quality: Some(3),
+        });
+        let mut dormant = recent.clone();
+        dormant.reviews[0].year = 2009;
+        assert!(responsiveness(&recent, 2018) > responsiveness(&dormant, 2018));
+    }
+
+    #[test]
+    fn responsiveness_unknown_without_reviews() {
+        assert_eq!(responsiveness(&with_interests(&[]), 2018), 0.0);
+    }
+
+    #[test]
+    fn default_weights_ignore_responsiveness() {
+        // The default ranking is exactly the paper's five components.
+        let a = ScoreBreakdown {
+            coverage: 0.5,
+            impact: 0.5,
+            recency: 0.5,
+            experience: 0.5,
+            familiarity: 0.5,
+            responsiveness: 0.0,
+        };
+        let b = ScoreBreakdown {
+            responsiveness: 1.0,
+            ..a
+        };
+        let w = RankingWeights::default();
+        assert_eq!(a.total(&w), b.total(&w));
+        // Opting in makes it count.
+        let w2 = RankingWeights {
+            responsiveness: 0.5,
+            ..w
+        };
+        assert!(b.total(&w2) > a.total(&w2));
+    }
+
+    proptest! {
+        #[test]
+        fn totals_are_bounded(
+            cov in 0.0f64..=1.0, imp in 0.0f64..=1.0, rec in 0.0f64..=1.0,
+            exp in 0.0f64..=1.0, fam in 0.0f64..=1.0,
+            wc in 0.0f64..=2.0, wi in 0.0f64..=2.0, wr in 0.0f64..=2.0,
+            we in 0.0f64..=2.0, wf in 0.0f64..=2.0,
+        ) {
+            let b = ScoreBreakdown {
+                coverage: cov, impact: imp, recency: rec,
+                experience: exp, familiarity: fam, responsiveness: 0.0,
+            };
+            let w = RankingWeights {
+                coverage: wc, impact: wi, recency: wr, experience: we,
+                familiarity: wf, responsiveness: 0.0,
+            };
+            let t = b.total(&w);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&t));
+        }
+
+        #[test]
+        fn coverage_monotone_in_added_interest(score in 0.0f64..=1.0) {
+            // Adding an interest that matches an expanded keyword never
+            // lowers coverage.
+            let expansions = vec![expansion("RDF", &[("SPARQL", score)])];
+            let before = with_interests(&[]);
+            let after = with_interests(&["SPARQL"]);
+            prop_assert!(
+                topic_coverage(&after, &expansions)
+                    >= topic_coverage(&before, &expansions)
+            );
+        }
+    }
+}

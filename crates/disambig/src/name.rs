@@ -1,0 +1,146 @@
+//! Name normalization, variants, and compatibility.
+
+use minaret_ontology::normalize_label;
+
+/// A parsed personal name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedName {
+    /// Given name(s), normalized; may be a single initial.
+    pub given: String,
+    /// Family name, normalized.
+    pub family: String,
+}
+
+/// Parses `"Lei Zhou"`, `"L. Zhou"`, `"Zhou, Lei"` into parts.
+///
+/// Returns `None` for empty or single-token names without a comma.
+pub fn parse_name(raw: &str) -> Option<ParsedName> {
+    if let Some((family, given)) = raw.split_once(',') {
+        let family = normalize_label(family);
+        let given = normalize_label(given);
+        if family.is_empty() || given.is_empty() {
+            return None;
+        }
+        return Some(ParsedName { given, family });
+    }
+    let norm = normalize_label(raw);
+    let mut parts: Vec<&str> = norm.split(' ').filter(|s| !s.is_empty()).collect();
+    if parts.len() < 2 {
+        return None;
+    }
+    let family = parts.pop().expect("len >= 2").to_string();
+    Some(ParsedName {
+        given: parts.join(" "),
+        family,
+    })
+}
+
+impl ParsedName {
+    /// First character of the given name.
+    pub fn initial(&self) -> Option<char> {
+        self.given.chars().next()
+    }
+
+    /// True when the given name is only an initial (optionally dotted in
+    /// the raw form; normalization strips the dot).
+    pub fn is_abbreviated(&self) -> bool {
+        self.given.chars().count() == 1
+    }
+
+    /// The search variants a scraper would try: full form and
+    /// initial-form.
+    pub fn search_variants(&self) -> Vec<String> {
+        let mut v = vec![format!("{} {}", self.given, self.family)];
+        if let Some(i) = self.initial() {
+            let abbrev = format!("{i} {}", self.family);
+            if !v.contains(&abbrev) {
+                v.push(abbrev);
+            }
+        }
+        v
+    }
+
+    /// True when `self` and `other` can denote the same person: family
+    /// names equal and given names equal, or one is the initial of the
+    /// other.
+    pub fn compatible(&self, other: &ParsedName) -> bool {
+        if self.family != other.family {
+            return false;
+        }
+        if self.given == other.given {
+            return true;
+        }
+        match (self.initial(), other.initial()) {
+            (Some(a), Some(b)) if a == b => self.is_abbreviated() || other.is_abbreviated(),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_given_family() {
+        let n = parse_name("Lei Zhou").unwrap();
+        assert_eq!(n.given, "lei");
+        assert_eq!(n.family, "zhou");
+        assert!(!n.is_abbreviated());
+    }
+
+    #[test]
+    fn parses_comma_form() {
+        let n = parse_name("Zhou, Lei").unwrap();
+        assert_eq!(n.given, "lei");
+        assert_eq!(n.family, "zhou");
+    }
+
+    #[test]
+    fn parses_initial_form() {
+        let n = parse_name("L. Zhou").unwrap();
+        assert_eq!(n.given, "l");
+        assert!(n.is_abbreviated());
+    }
+
+    #[test]
+    fn parses_multi_given() {
+        let n = parse_name("Mohamed R. Moawad").unwrap();
+        assert_eq!(n.given, "mohamed r");
+        assert_eq!(n.family, "moawad");
+    }
+
+    #[test]
+    fn rejects_degenerate_names() {
+        assert!(parse_name("").is_none());
+        assert!(parse_name("Cher").is_none());
+        assert!(parse_name(",").is_none());
+    }
+
+    #[test]
+    fn variants_cover_full_and_initial() {
+        let n = parse_name("Lei Zhou").unwrap();
+        assert_eq!(n.search_variants(), vec!["lei zhou", "l zhou"]);
+        let a = parse_name("L Zhou").unwrap();
+        assert_eq!(a.search_variants(), vec!["l zhou"]);
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        let full = parse_name("Lei Zhou").unwrap();
+        let abbr = parse_name("L. Zhou").unwrap();
+        let other = parse_name("Ming Zhou").unwrap();
+        let other_family = parse_name("Lei Wang").unwrap();
+        assert!(full.compatible(&abbr));
+        assert!(abbr.compatible(&full));
+        assert!(full.compatible(&full));
+        assert!(!full.compatible(&other));
+        assert!(!full.compatible(&other_family));
+        // Two distinct full names sharing an initial are NOT compatible.
+        let lin = parse_name("Li Zhou").unwrap();
+        assert!(!full.compatible(&lin));
+        // But two abbreviated forms with the same initial are.
+        let abbr2 = parse_name("L Zhou").unwrap();
+        assert!(abbr.compatible(&abbr2));
+    }
+}

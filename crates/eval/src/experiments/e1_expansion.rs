@@ -1,0 +1,108 @@
+//! E1 — the paper's keyword-expansion example: "RDF" must expand to
+//! "Semantic Web", "Linked Open Data" and "SPARQL", each with a score in
+//! [0, 1]; plus an expansion-breadth sweep over the score floor.
+
+use minaret_ontology::{seed::curated_cs_ontology, ExpansionConfig, KeywordExpander};
+
+use crate::table::{f3, TextTable};
+
+/// Result of experiment E1.
+#[derive(Debug)]
+pub struct E1Result {
+    /// The expansion of "RDF": `(label, score, hops)`, best first.
+    pub rdf_expansion: Vec<(String, f64, u32)>,
+    /// `(min_score, mean expanded labels per keyword)` sweep.
+    pub breadth_sweep: Vec<(f64, f64)>,
+    /// True when all three labels from the paper's example are present.
+    pub paper_example_reproduced: bool,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the expansion example and the breadth sweep.
+pub fn run_e1() -> E1Result {
+    let ontology = curated_cs_ontology();
+    let expander = KeywordExpander::with_defaults(&ontology);
+    let expansion = expander
+        .expand("RDF")
+        .expect("RDF is in the curated ontology");
+    let rdf_expansion: Vec<(String, f64, u32)> = expansion
+        .iter()
+        .map(|e| (e.label.clone(), e.score, e.hops))
+        .collect();
+    let mut table = TextTable::new(&["expanded keyword", "score", "hops"]);
+    for (label, score, hops) in &rdf_expansion {
+        table.row(&[label.clone(), f3(*score), hops.to_string()]);
+    }
+    let labels: Vec<&str> = rdf_expansion.iter().map(|(l, _, _)| l.as_str()).collect();
+    let paper_example_reproduced = ["Semantic Web", "Linked Open Data", "SPARQL"]
+        .iter()
+        .all(|l| labels.contains(l));
+
+    // Breadth sweep: how many related topics a typical keyword expands to
+    // as the editor's score floor varies.
+    let sample = [
+        "RDF",
+        "Big Data",
+        "Machine Learning",
+        "Query Optimization",
+        "Cryptography",
+    ];
+    let mut breadth_sweep = Vec::new();
+    let mut sweep_table = TextTable::new(&["min score", "mean expanded labels"]);
+    for &floor in &[0.9, 0.8, 0.7, 0.6, 0.5] {
+        let cfg = ExpansionConfig {
+            min_score: floor,
+            max_results: 100,
+            ..Default::default()
+        };
+        let e = KeywordExpander::new(&ontology, cfg);
+        let mean = sample
+            .iter()
+            .map(|kw| e.expand(kw).map(|v| v.len() - 1).unwrap_or(0) as f64)
+            .sum::<f64>()
+            / sample.len() as f64;
+        sweep_table.row(&[f3(floor), format!("{mean:.1}")]);
+        breadth_sweep.push((floor, mean));
+    }
+    let report = format!(
+        "E1  semantic expansion of \"RDF\" (paper §2.1 example{})\n{}\n\
+         expansion breadth vs. score floor (mean over {} sample keywords)\n{}",
+        if paper_example_reproduced {
+            ": reproduced"
+        } else {
+            ": NOT reproduced"
+        },
+        table.render(),
+        sample.len(),
+        sweep_table.render()
+    );
+    E1Result {
+        rdf_expansion,
+        breadth_sweep,
+        paper_example_reproduced,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_reproduces_the_paper_example() {
+        let r = run_e1();
+        assert!(r.paper_example_reproduced, "report:\n{}", r.report);
+        for (_, score, _) in &r.rdf_expansion {
+            assert!((0.0..=1.0).contains(score));
+        }
+    }
+
+    #[test]
+    fn e1_breadth_grows_as_floor_drops() {
+        let r = run_e1();
+        let first = r.breadth_sweep.first().unwrap().1;
+        let last = r.breadth_sweep.last().unwrap().1;
+        assert!(last >= first, "lower floor must not shrink expansion");
+    }
+}

@@ -1,0 +1,208 @@
+//! E4 — recommendation quality: MINARET vs. the baselines, plus the
+//! semantic-expansion ablation.
+
+use minaret_baselines::{
+    crawl_pool, ExactKeywordRecommender, MinaretRecommender, RandomRecommender, Recommender,
+    TpmsRecommender,
+};
+use minaret_core::{EditorConfig, Minaret};
+
+use crate::experiments::{candidate_relevance, relevance_pool};
+use crate::harness::{EvalContext, ScenarioConfig};
+use crate::metrics::{mean, ndcg_at_k, precision_at_k, recall_at_k, reciprocal_rank};
+use crate::table::{f3, TextTable};
+
+/// Relevance grade above which a candidate counts as "relevant" for the
+/// binary metrics.
+const RELEVANT: f64 = 0.5;
+
+/// Parameters of the quality experiment.
+#[derive(Debug, Clone, Copy)]
+pub struct E4Config {
+    /// World size.
+    pub scholars: usize,
+    /// Number of manuscripts evaluated.
+    pub manuscripts: usize,
+    /// Cutoff for the @k metrics.
+    pub k: usize,
+}
+
+impl Default for E4Config {
+    fn default() -> Self {
+        Self {
+            scholars: 400,
+            manuscripts: 12,
+            k: 10,
+        }
+    }
+}
+
+/// Quality numbers for one method.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodQuality {
+    /// Method name.
+    pub method: String,
+    /// Mean precision@5.
+    pub p_at_5: f64,
+    /// Mean precision@k.
+    pub p_at_k: f64,
+    /// Mean recall@k.
+    pub recall_at_k: f64,
+    /// Mean nDCG@k.
+    pub ndcg_at_k: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+}
+
+/// Result of experiment E4.
+#[derive(Debug)]
+pub struct E4Result {
+    /// One row per method: minaret, minaret-no-expansion, tpms-style,
+    /// exact-keyword, random.
+    pub methods: Vec<MethodQuality>,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the head-to-head comparison.
+pub fn run_e4(config: E4Config) -> E4Result {
+    let ctx = EvalContext::build(ScenarioConfig::sized(config.scholars));
+    let subs = ctx.submissions(config.manuscripts, 0xE4);
+    let pool = crawl_pool(&ctx.registry, &ctx.ontology);
+
+    // MINARET with expansion disabled: max_hops = 0 keeps only the
+    // original keywords — the ablation arm.
+    let no_expansion = Minaret::new(
+        ctx.registry.clone(),
+        ctx.ontology.clone(),
+        EditorConfig {
+            expansion: minaret_ontology::ExpansionConfig {
+                max_hops: 0,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    );
+    let minaret_full = Minaret::new(
+        ctx.registry.clone(),
+        ctx.ontology.clone(),
+        EditorConfig::default(),
+    );
+    let methods: Vec<(String, Box<dyn Recommender>)> = vec![
+        (
+            "minaret".into(),
+            Box::new(MinaretRecommender::new(minaret_full)),
+        ),
+        (
+            "minaret (no expansion)".into(),
+            Box::new(MinaretRecommender::new(no_expansion)),
+        ),
+        ("tpms-style".into(), Box::new(TpmsRecommender::new(&pool))),
+        (
+            "exact-keyword".into(),
+            Box::new(ExactKeywordRecommender::new(ctx.registry.clone())),
+        ),
+        (
+            "random".into(),
+            Box::new(RandomRecommender::new(&pool, 0xE4)),
+        ),
+    ];
+
+    let k = config.k;
+    let mut rows = Vec::new();
+    for (name, method) in &methods {
+        let mut p5 = Vec::new();
+        let mut pk = Vec::new();
+        let mut rk = Vec::new();
+        let mut nk = Vec::new();
+        let mut rr = Vec::new();
+        for sub in &subs {
+            let m = ctx.manuscript_for(sub);
+            let ranked = method.recommend(&m, k);
+            let rels: Vec<f64> = ranked
+                .iter()
+                .map(|c| candidate_relevance(&ctx.world, sub, &c.truths))
+                .collect();
+            let pool_rels = relevance_pool(&ctx, sub);
+            let total_relevant = pool_rels.iter().filter(|&&r| r > RELEVANT).count();
+            p5.push(precision_at_k(&rels, 5, RELEVANT));
+            pk.push(precision_at_k(&rels, k, RELEVANT));
+            rk.push(recall_at_k(&rels, k, total_relevant, RELEVANT));
+            nk.push(ndcg_at_k(&rels, &pool_rels, k));
+            rr.push(reciprocal_rank(&rels, RELEVANT));
+        }
+        rows.push(MethodQuality {
+            method: name.clone(),
+            p_at_5: mean(&p5),
+            p_at_k: mean(&pk),
+            recall_at_k: mean(&rk),
+            ndcg_at_k: mean(&nk),
+            mrr: mean(&rr),
+        });
+    }
+
+    let mut table = TextTable::new(&[
+        "method",
+        "P@5",
+        &format!("P@{k}"),
+        &format!("R@{k}"),
+        &format!("nDCG@{k}"),
+        "MRR",
+    ]);
+    for r in &rows {
+        table.row(&[
+            r.method.clone(),
+            f3(r.p_at_5),
+            f3(r.p_at_k),
+            f3(r.recall_at_k),
+            f3(r.ndcg_at_k),
+            f3(r.mrr),
+        ]);
+    }
+    let report = format!(
+        "E4  recommendation quality ({} scholars, {} manuscripts, relevance > {RELEVANT})\n{}",
+        config.scholars,
+        config.manuscripts,
+        table.render()
+    );
+    E4Result {
+        methods: rows,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4_minaret_beats_random_and_expansion_helps() {
+        let r = run_e4(E4Config {
+            scholars: 250,
+            manuscripts: 6,
+            k: 10,
+        });
+        let get = |name: &str| {
+            r.methods
+                .iter()
+                .find(|m| m.method == name)
+                .unwrap_or_else(|| panic!("missing method {name}"))
+                .clone()
+        };
+        let minaret = get("minaret");
+        let random = get("random");
+        assert!(
+            minaret.ndcg_at_k > random.ndcg_at_k,
+            "minaret {:?} vs random {:?}",
+            minaret,
+            random
+        );
+        assert!(minaret.p_at_5 > random.p_at_5);
+        // All metrics bounded.
+        for m in &r.methods {
+            for v in [m.p_at_5, m.p_at_k, m.recall_at_k, m.ndcg_at_k, m.mrr] {
+                assert!((0.0..=1.0 + 1e-9).contains(&v), "{m:?}");
+            }
+        }
+    }
+}

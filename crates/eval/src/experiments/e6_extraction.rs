@@ -1,0 +1,119 @@
+//! E6 — what on-the-fly extraction costs, and what the per-run cache
+//! buys back, under web-scraping-scale latency and transient failures.
+
+use std::time::Duration;
+
+use minaret_synth::WorldConfig;
+
+use crate::harness::{EvalContext, ScenarioConfig};
+use crate::table::TextTable;
+
+/// Result of experiment E6.
+#[derive(Debug)]
+pub struct E6Result {
+    /// Wall-clock of the cold run (empty caches).
+    pub cold: Duration,
+    /// Wall-clock of the warm run (same manuscript again).
+    pub warm: Duration,
+    /// Cache hit ratio after the warm run.
+    pub hit_ratio: f64,
+    /// Registry call counters after both runs.
+    pub calls: u64,
+    /// Retries absorbed (injected transient failures).
+    pub retries: u64,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the cold/warm extraction comparison.
+///
+/// `latency_micros` is the simulated per-call source latency; real
+/// scraping sits at 10⁵–10⁶ µs, unit tests pass 0–500.
+pub fn run_e6(scholars: usize, latency_micros: u64, failure_rate: f64) -> E6Result {
+    let ctx = EvalContext::build(ScenarioConfig {
+        world: WorldConfig::sized(scholars),
+        source_latency_micros: latency_micros,
+        source_failure_rate: failure_rate,
+        cached: true,
+        ..Default::default()
+    });
+    let sub = ctx.submissions(1, 0xE6).pop().expect("submission");
+    let m = ctx.manuscript_for(&sub);
+
+    let t0 = std::time::Instant::now();
+    let first = ctx.minaret.recommend(&m);
+    let cold = t0.elapsed();
+    let t1 = std::time::Instant::now();
+    let second = ctx.minaret.recommend(&m);
+    let warm = t1.elapsed();
+    assert!(
+        first.is_ok() && second.is_ok(),
+        "pipeline failed under injection"
+    );
+
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for c in &ctx.caches {
+        let s = c.stats();
+        hits += s.hits;
+        misses += s.misses;
+    }
+    let hit_ratio = if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    };
+    let stats = ctx.registry.stats();
+
+    let mut table = TextTable::new(&["run", "wall clock"]);
+    table.row(&[
+        "cold (empty cache)".into(),
+        format!("{:.1} ms", cold.as_secs_f64() * 1e3),
+    ]);
+    table.row(&[
+        "warm (cached)".into(),
+        format!("{:.1} ms", warm.as_secs_f64() * 1e3),
+    ]);
+    let report = format!(
+        "E6  on-the-fly extraction cost ({scholars} scholars, {latency_micros} µs/call, \
+         {failure_rate} failure rate)\n{}\
+         cache hit ratio {:.2}; registry calls {}, retries {}, gave up {}\n\
+         speedup warm/cold: {:.1}x\n",
+        table.render(),
+        hit_ratio,
+        stats.calls,
+        stats.retries,
+        stats.gave_up,
+        if warm.as_secs_f64() > 0.0 {
+            cold.as_secs_f64() / warm.as_secs_f64()
+        } else {
+            f64::INFINITY
+        }
+    );
+    E6Result {
+        cold,
+        warm,
+        hit_ratio,
+        calls: stats.calls,
+        retries: stats.retries,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e6_cache_makes_warm_runs_cheaper() {
+        let r = run_e6(150, 200, 0.05);
+        assert!(r.warm <= r.cold, "warm {:?} vs cold {:?}", r.warm, r.cold);
+        assert!(r.hit_ratio > 0.3, "hit ratio {}", r.hit_ratio);
+        assert!(r.calls > 0);
+    }
+
+    #[test]
+    fn e6_survives_failure_injection() {
+        let r = run_e6(100, 0, 0.3);
+        assert!(r.retries > 0, "expected retries under 30% failure rate");
+    }
+}

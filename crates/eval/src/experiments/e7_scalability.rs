@@ -1,0 +1,132 @@
+//! E7 — end-to-end latency vs. world size and keyword count.
+
+use std::time::Duration;
+
+use crate::harness::{EvalContext, ScenarioConfig};
+use crate::table::TextTable;
+
+/// One point of the scalability sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// World size (scholars).
+    pub scholars: usize,
+    /// Mean end-to-end pipeline latency.
+    pub mean_latency: Duration,
+    /// Mean candidates retrieved before filtering.
+    pub mean_candidates: f64,
+    /// Mean recommendations returned.
+    pub mean_recommendations: f64,
+}
+
+/// Result of experiment E7.
+#[derive(Debug)]
+pub struct E7Result {
+    /// The world-size sweep.
+    pub points: Vec<ScalePoint>,
+    /// `(keyword count, mean latency)` sweep at the largest world size.
+    pub keyword_sweep: Vec<(usize, Duration)>,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the scalability sweeps.
+pub fn run_e7(sizes: &[usize], runs_per_size: usize) -> E7Result {
+    let mut points = Vec::new();
+    let mut table = TextTable::new(&["scholars", "mean latency", "candidates", "recommended"]);
+    let mut last_ctx: Option<EvalContext> = None;
+    for &scholars in sizes {
+        let ctx = EvalContext::build(ScenarioConfig::sized(scholars));
+        let subs = ctx.submissions(runs_per_size, 0xE7);
+        let mut total = Duration::ZERO;
+        let mut candidates = 0usize;
+        let mut recs = 0usize;
+        let mut completed = 0usize;
+        for sub in &subs {
+            let m = ctx.manuscript_for(sub);
+            let t = std::time::Instant::now();
+            if let Ok(report) = ctx.minaret.recommend(&m) {
+                total += t.elapsed();
+                candidates += report.candidates_retrieved;
+                recs += report.recommendations.len();
+                completed += 1;
+            }
+        }
+        let n = completed.max(1);
+        let point = ScalePoint {
+            scholars,
+            mean_latency: total / n as u32,
+            mean_candidates: candidates as f64 / n as f64,
+            mean_recommendations: recs as f64 / n as f64,
+        };
+        table.row(&[
+            scholars.to_string(),
+            format!("{:.1} ms", point.mean_latency.as_secs_f64() * 1e3),
+            format!("{:.1}", point.mean_candidates),
+            format!("{:.1}", point.mean_recommendations),
+        ]);
+        points.push(point);
+        last_ctx = Some(ctx);
+    }
+
+    // Keyword-count sweep on the largest world.
+    let mut keyword_sweep = Vec::new();
+    let mut kw_table = TextTable::new(&["keywords", "mean latency"]);
+    if let Some(ctx) = &last_ctx {
+        let sub = ctx.submissions(1, 0xE7).pop().expect("submission");
+        let base = ctx.manuscript_for(&sub);
+        // Grow the keyword list by drawing more of the lead author's
+        // world-level interests plus curated extras.
+        let extras = [
+            "Machine Learning",
+            "Databases",
+            "Cloud Computing",
+            "Cryptography",
+            "Information Retrieval",
+            "Computer Vision",
+            "Compilers",
+        ];
+        for n_kw in [1usize, 2, 4, 6, 8] {
+            let mut m = base.clone();
+            m.keywords = base.keywords.clone();
+            let mut i = 0;
+            while m.keywords.len() < n_kw && i < extras.len() {
+                if !m.keywords.iter().any(|k| k == extras[i]) {
+                    m.keywords.push(extras[i].to_string());
+                }
+                i += 1;
+            }
+            m.keywords.truncate(n_kw);
+            let t = std::time::Instant::now();
+            let _ = ctx.minaret.recommend(&m);
+            let d = t.elapsed();
+            kw_table.row(&[n_kw.to_string(), format!("{:.1} ms", d.as_secs_f64() * 1e3)]);
+            keyword_sweep.push((n_kw, d));
+        }
+    }
+
+    let report = format!(
+        "E7  scalability: end-to-end latency vs. world size ({runs_per_size} manuscripts per size)\n{}\n\
+         latency vs. keyword count (largest world)\n{}",
+        table.render(),
+        kw_table.render()
+    );
+    E7Result {
+        points,
+        keyword_sweep,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e7_sweeps_complete() {
+        let r = run_e7(&[100, 300], 2);
+        assert_eq!(r.points.len(), 2);
+        assert!(r.points[1].mean_candidates >= r.points[0].mean_candidates);
+        assert_eq!(r.keyword_sweep.len(), 5);
+        assert!(r.report.contains("scalability"));
+    }
+}

@@ -1,0 +1,96 @@
+//! F1 — Figure 1: DBLP new records per year by publication type.
+
+use minaret_synth::growth::{GrowthModel, RecordKind};
+
+use crate::table::TextTable;
+
+/// Result of experiment F1.
+#[derive(Debug)]
+pub struct F1Result {
+    /// `(year, per-kind records)` series, kinds in [`RecordKind::ALL`]
+    /// order.
+    pub series: Vec<(u32, Vec<f64>)>,
+    /// Cumulative records through the reference year (paper: "over
+    /// 3.8M publications").
+    pub cumulative_total: f64,
+    /// Journal articles added in the reference year (paper: "about 120K
+    /// articles" in 2018).
+    pub journal_articles_reference_year: f64,
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Regenerates the Figure 1 series from the calibrated growth model.
+pub fn run_f1() -> F1Result {
+    let model = GrowthModel::default();
+    let end = model.reference_year;
+    let mut series = Vec::new();
+    let mut table = TextTable::new(&[
+        "year",
+        "journal",
+        "conference",
+        "informal",
+        "books",
+        "editorship",
+        "in-collection",
+        "reference",
+        "total",
+    ]);
+    for year in (model.start_year..=end).step_by(2) {
+        let per_kind: Vec<f64> = RecordKind::ALL
+            .iter()
+            .map(|&k| model.records_of_kind(year, k))
+            .collect();
+        let total: f64 = per_kind.iter().sum();
+        let mut row: Vec<String> = vec![year.to_string()];
+        row.extend(per_kind.iter().map(|v| format!("{:.0}", v / 1000.0)));
+        row.push(format!("{:.0}", total / 1000.0));
+        table.row(&row);
+        series.push((year, per_kind));
+    }
+    let cumulative_total = model.cumulative_through(end);
+    let journal = model.records_of_kind(end, RecordKind::JournalArticle);
+    let report = format!(
+        "F1  DBLP-style new records per year (thousands), doubling every {} years\n{}\n\
+         cumulative records through {}: {:.2}M (paper: >3.8M)\n\
+         journal articles in {}: {:.0}K (paper: ~120K)\n",
+        model.doubling_years,
+        table.render(),
+        end,
+        cumulative_total / 1e6,
+        end,
+        journal / 1e3,
+    );
+    F1Result {
+        series,
+        cumulative_total,
+        journal_articles_reference_year: journal,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f1_matches_paper_scale() {
+        let r = run_f1();
+        assert!((r.journal_articles_reference_year - 120_000.0).abs() < 1.0);
+        assert!(r.cumulative_total > 3_000_000.0);
+        assert!(r.report.contains("120K"));
+        assert!(!r.series.is_empty());
+        // Each series row has one entry per record kind.
+        for (_, kinds) in &r.series {
+            assert_eq!(kinds.len(), minaret_synth::growth::RecordKind::ALL.len());
+        }
+    }
+
+    #[test]
+    fn f1_series_grows_over_time() {
+        let r = run_f1();
+        let first: f64 = r.series.first().unwrap().1.iter().sum();
+        let last: f64 = r.series.last().unwrap().1.iter().sum();
+        assert!(last > first * 4.0, "28 years at 9-year doubling ≈ 8×");
+    }
+}

@@ -1,0 +1,103 @@
+//! F2 — Figure 2: the three-phase workflow, measured.
+
+use std::time::Duration;
+
+use crate::harness::{EvalContext, ScenarioConfig};
+use crate::table::TextTable;
+
+/// Result of experiment F2.
+#[derive(Debug)]
+pub struct F2Result {
+    /// Mean wall-clock per phase across the sampled manuscripts.
+    pub mean_extraction: Duration,
+    /// Mean filtering time.
+    pub mean_filtering: Duration,
+    /// Mean ranking time.
+    pub mean_ranking: Duration,
+    /// Mean candidates retrieved / filtered out / recommended.
+    pub mean_counts: (f64, f64, f64),
+    /// Rendered report.
+    pub report: String,
+}
+
+/// Runs the full pipeline over `runs` submissions in a `scholars`-sized
+/// world and reports the per-phase breakdown.
+pub fn run_f2(scholars: usize, runs: usize) -> F2Result {
+    let ctx = EvalContext::build(ScenarioConfig::sized(scholars));
+    let subs = ctx.submissions(runs, 0xF2);
+    let mut ext = Duration::ZERO;
+    let mut fil = Duration::ZERO;
+    let mut rank = Duration::ZERO;
+    let mut retrieved = 0usize;
+    let mut removed = 0usize;
+    let mut recommended = 0usize;
+    let mut completed = 0usize;
+    for sub in &subs {
+        let m = ctx.manuscript_for(sub);
+        let Ok(report) = ctx.minaret.recommend(&m) else {
+            continue;
+        };
+        ext += report.timings.extraction;
+        fil += report.timings.filtering;
+        rank += report.timings.ranking;
+        retrieved += report.candidates_retrieved;
+        removed += report.filtered_out.len();
+        recommended += report.recommendations.len();
+        completed += 1;
+    }
+    let n = completed.max(1) as u32;
+    let mean_extraction = ext / n;
+    let mean_filtering = fil / n;
+    let mean_ranking = rank / n;
+    let nf = completed.max(1) as f64;
+    let mean_counts = (
+        retrieved as f64 / nf,
+        removed as f64 / nf,
+        recommended as f64 / nf,
+    );
+    let mut table = TextTable::new(&["phase", "mean time", "share"]);
+    let total = (mean_extraction + mean_filtering + mean_ranking).as_secs_f64();
+    for (name, d) in [
+        ("1. information extraction", mean_extraction),
+        ("2. filtering (COI + constraints)", mean_filtering),
+        ("3. ranking", mean_ranking),
+    ] {
+        table.row(&[
+            name.to_string(),
+            format!("{:.3} ms", d.as_secs_f64() * 1e3),
+            if total > 0.0 {
+                format!("{:.1}%", 100.0 * d.as_secs_f64() / total)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    let report = format!(
+        "F2  workflow phase breakdown ({completed} manuscripts, {scholars} scholars)\n{}\n\
+         mean candidates retrieved {:.1}, filtered out {:.1}, recommended {:.1}\n",
+        table.render(),
+        mean_counts.0,
+        mean_counts.1,
+        mean_counts.2
+    );
+    F2Result {
+        mean_extraction,
+        mean_filtering,
+        mean_ranking,
+        mean_counts,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f2_measures_all_phases() {
+        let r = run_f2(150, 3);
+        assert!(r.mean_extraction > Duration::ZERO);
+        assert!(r.mean_counts.0 > 0.0);
+        assert!(r.report.contains("information extraction"));
+    }
+}

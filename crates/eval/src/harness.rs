@@ -1,0 +1,157 @@
+//! Shared experiment setup: world + sources + framework in one call.
+
+use std::sync::Arc;
+
+use minaret_core::{EditorConfig, Minaret};
+use minaret_ontology::{seed::curated_cs_ontology, Ontology};
+use minaret_scholarly::{
+    CachingSource, RegistryConfig, ScholarSource, SimulatedSource, SourceRegistry, SourceSpec,
+};
+use minaret_synth::{SubmissionGenerator, SubmissionSpec, World, WorldConfig, WorldGenerator};
+
+/// Scenario parameters for one experiment context.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// World-generation parameters.
+    pub world: WorldConfig,
+    /// Editor configuration for the framework.
+    pub editor: EditorConfig,
+    /// Per-source latency in microseconds (0 = instant, for pure
+    /// algorithmic experiments; E6 raises it to scraping scale).
+    pub source_latency_micros: u64,
+    /// Per-call transient failure probability injected into each source.
+    pub source_failure_rate: f64,
+    /// Whether to wrap sources in the read-through cache.
+    pub cached: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        Self {
+            world: WorldConfig::default(),
+            editor: EditorConfig::default(),
+            source_latency_micros: 0,
+            source_failure_rate: 0.0,
+            cached: false,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A scenario over a world with `scholars` scholars.
+    pub fn sized(scholars: usize) -> Self {
+        Self {
+            world: WorldConfig::sized(scholars),
+            ..Default::default()
+        }
+    }
+}
+
+/// A fully wired experiment context.
+pub struct EvalContext {
+    /// The ground-truth world.
+    pub world: Arc<World>,
+    /// The source registry the framework queries.
+    pub registry: Arc<SourceRegistry>,
+    /// Cache handles (present when the scenario enabled caching), in
+    /// source registration order.
+    pub caches: Vec<Arc<CachingSource>>,
+    /// The ontology used for expansion.
+    pub ontology: Arc<Ontology>,
+    /// The framework under test.
+    pub minaret: Minaret,
+    /// The scenario this context was built from.
+    pub scenario: ScenarioConfig,
+}
+
+impl EvalContext {
+    /// Builds the context: generates the world, instantiates the six
+    /// sources (optionally latency/failure-injected and cached), and
+    /// wires the framework.
+    pub fn build(scenario: ScenarioConfig) -> Self {
+        let world = Arc::new(WorldGenerator::new(scenario.world.clone()).generate());
+        let ontology = Arc::new(curated_cs_ontology());
+        let mut registry = SourceRegistry::new(RegistryConfig::default());
+        let mut caches = Vec::new();
+        for mut spec in SourceSpec::all_defaults() {
+            spec.latency_micros = scenario.source_latency_micros;
+            spec.failure_rate = scenario.source_failure_rate;
+            let sim: Arc<dyn ScholarSource> = Arc::new(SimulatedSource::new(spec, world.clone()));
+            if scenario.cached {
+                let cached = Arc::new(CachingSource::new(sim));
+                caches.push(cached.clone());
+                registry.register(cached);
+            } else {
+                registry.register(sim);
+            }
+        }
+        let registry = Arc::new(registry);
+        let minaret = Minaret::new(registry.clone(), ontology.clone(), scenario.editor.clone());
+        Self {
+            world,
+            registry,
+            caches,
+            ontology,
+            minaret,
+            scenario,
+        }
+    }
+
+    /// Generates `n` ground-truthed submissions from the world.
+    pub fn submissions(&self, n: usize, seed: u64) -> Vec<SubmissionSpec> {
+        SubmissionGenerator::new(&self.world, seed).generate_many(n)
+    }
+
+    /// Converts a synthetic submission into the editor's form input.
+    pub fn manuscript_for(&self, sub: &SubmissionSpec) -> minaret_core::ManuscriptDetails {
+        minaret_core::ManuscriptDetails {
+            title: sub.title.clone(),
+            keywords: sub.keywords.clone(),
+            authors: sub
+                .authors
+                .iter()
+                .map(|&id| {
+                    let s = self.world.scholar(id);
+                    let inst = self.world.institution(s.current_affiliation());
+                    minaret_core::AuthorInput {
+                        name: s.full_name(),
+                        affiliation: Some(inst.name.clone()),
+                        country: Some(inst.country.clone()),
+                    }
+                })
+                .collect(),
+            target_venue: self.world.venue(sub.target_venue).name.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_and_recommends() {
+        let ctx = EvalContext::build(ScenarioConfig::sized(200));
+        assert_eq!(ctx.registry.len(), 6);
+        assert!(ctx.caches.is_empty());
+        let subs = ctx.submissions(3, 1);
+        assert_eq!(subs.len(), 3);
+        let m = ctx.manuscript_for(&subs[0]);
+        assert!(m.validate().is_ok());
+        let report = ctx.minaret.recommend(&m).unwrap();
+        assert!(!report.recommendations.is_empty());
+    }
+
+    #[test]
+    fn cached_scenario_exposes_cache_handles() {
+        let mut scenario = ScenarioConfig::sized(100);
+        scenario.cached = true;
+        let ctx = EvalContext::build(scenario);
+        assert_eq!(ctx.caches.len(), 6);
+        let subs = ctx.submissions(1, 2);
+        let m = ctx.manuscript_for(&subs[0]);
+        ctx.minaret.recommend(&m).unwrap();
+        let total_misses: u64 = ctx.caches.iter().map(|c| c.stats().misses).sum();
+        assert!(total_misses > 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Evaluation harness for the MINARET reproduction.
+//!
+//! The demo paper shows no quantitative evaluation; this crate supplies
+//! the experiments a credible release needs and regenerates the paper's
+//! own figures. Each experiment in `DESIGN.md`'s index has a runner here
+//! (module [`experiments`]) that returns both structured results and a
+//! printable report; the `experiments` example binary and the Criterion
+//! benches are thin wrappers over these runners.
+//!
+//! * [`metrics`] — precision/recall@k, nDCG, MRR, Kendall's tau.
+//! * [`harness`] — builds a world + sources + framework for a scenario.
+//! * [`experiments`] — one runner per experiment id (F1–F5, E1–E8).
+//! * [`table`] — plain-text table rendering for reports.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod harness;
+pub mod metrics;
+pub mod table;

@@ -1,0 +1,24 @@
+//! A minimal HTTP/1.1 server substrate, built on `std::net`.
+//!
+//! The MINARET prototype ships a web application and RESTful APIs. This
+//! crate provides just enough HTTP for `minaret-server` to expose the
+//! same workflow: request parsing with size limits, a pattern router
+//! (`/authors/:id`), JSON helpers (via `minaret-json`), and a threaded
+//! accept loop with graceful shutdown.
+//!
+//! Deliberately out of scope: TLS, keep-alive, chunked encoding — the
+//! demo API needs none of them, and every connection is served
+//! `Connection: close`.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod request;
+mod response;
+mod router;
+mod server;
+
+pub use request::{HttpError, Method, Request};
+pub use response::Response;
+pub use router::{Params, Router};
+pub use server::Server;

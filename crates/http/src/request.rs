@@ -1,0 +1,301 @@
+//! HTTP request parsing.
+
+use std::fmt;
+use std::io::{BufRead, BufReader, Read};
+use std::net::TcpStream;
+
+/// Maximum accepted header block, in bytes.
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Maximum accepted body, in bytes.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Supported request methods.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// POST
+    Post,
+    /// PUT
+    Put,
+    /// DELETE
+    Delete,
+}
+
+impl Method {
+    fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "PUT" => Some(Method::Put),
+            "DELETE" => Some(Method::Delete),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        })
+    }
+}
+
+/// Request-parsing failures, each mapping to an HTTP status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line / headers → 400.
+    BadRequest(String),
+    /// Unknown method → 501.
+    UnsupportedMethod(String),
+    /// Headers or body exceeded the size limits → 413.
+    TooLarge,
+    /// Underlying socket error.
+    Io(String),
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
+            HttpError::UnsupportedMethod(m) => write!(f, "unsupported method: {m}"),
+            HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Decoded path, without the query string.
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First query parameter named `key`.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Header value (name matched case-insensitively at parse time).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses the body as JSON.
+    pub fn json_body(&self) -> Result<minaret_json::Value, HttpError> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|_| HttpError::BadRequest("body is not UTF-8".into()))?;
+        minaret_json::parse(text).map_err(|e| HttpError::BadRequest(e.to_string()))
+    }
+
+    /// Reads and parses one request from a stream.
+    pub fn read_from(stream: &mut TcpStream) -> Result<Request, HttpError> {
+        let mut reader = BufReader::new(stream);
+        let mut header_bytes = 0usize;
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        header_bytes += line.len();
+        let request_line = line.trim_end();
+        let mut parts = request_line.split(' ');
+        let method_str = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?;
+        let target = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+        let version = parts
+            .next()
+            .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(HttpError::BadRequest(format!(
+                "unsupported version {version:?}"
+            )));
+        }
+        let method = Method::parse(method_str)
+            .ok_or_else(|| HttpError::UnsupportedMethod(method_str.to_string()))?;
+        let (path, query) = split_target(target)?;
+
+        let mut headers = Vec::new();
+        loop {
+            let mut hl = String::new();
+            reader
+                .read_line(&mut hl)
+                .map_err(|e| HttpError::Io(e.to_string()))?;
+            header_bytes += hl.len();
+            if header_bytes > MAX_HEADER_BYTES {
+                return Err(HttpError::TooLarge);
+            }
+            let trimmed = hl.trim_end();
+            if trimmed.is_empty() {
+                break;
+            }
+            let (name, value) = trimmed
+                .split_once(':')
+                .ok_or_else(|| HttpError::BadRequest(format!("malformed header {trimmed:?}")))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+        }
+
+        let content_length = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .map(|(_, v)| {
+                v.parse::<usize>()
+                    .map_err(|_| HttpError::BadRequest("invalid content-length".into()))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        let mut body = vec![0u8; content_length];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| HttpError::Io(e.to_string()))?;
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
+    let (raw_path, raw_query) = match target.split_once('?') {
+        Some((p, q)) => (p, Some(q)),
+        None => (target, None),
+    };
+    let path = percent_decode(raw_path)?;
+    let mut query = Vec::new();
+    if let Some(q) = raw_query {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            query.push((percent_decode(k)?, percent_decode(v)?));
+        }
+    }
+    Ok((path, query))
+}
+
+/// Percent-decoding, with `+` treated as space in the query convention.
+fn percent_decode(s: &str) -> Result<String, HttpError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = s
+                    .get(i + 1..i + 3)
+                    .ok_or_else(|| HttpError::BadRequest("truncated percent escape".into()))?;
+                let byte = u8::from_str_radix(hex, 16)
+                    .map_err(|_| HttpError::BadRequest("invalid percent escape".into()))?;
+                out.push(byte);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8(out).map_err(|_| HttpError::BadRequest("non-UTF-8 after decoding".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_target_parses_path_and_query() {
+        let (path, query) = split_target("/a/b?x=1&y=hello+world&flag").unwrap();
+        assert_eq!(path, "/a/b");
+        assert_eq!(
+            query,
+            vec![
+                ("x".into(), "1".into()),
+                ("y".into(), "hello world".into()),
+                ("flag".into(), "".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn percent_decoding_works() {
+        assert_eq!(percent_decode("%2Fa%20b").unwrap(), "/a b");
+        assert_eq!(percent_decode("caf%C3%A9").unwrap(), "café");
+        assert!(percent_decode("%zz").is_err());
+        assert!(percent_decode("%2").is_err());
+        assert!(percent_decode("%ff").is_err()); // invalid UTF-8 alone
+    }
+
+    #[test]
+    fn method_parsing() {
+        assert_eq!(Method::parse("GET"), Some(Method::Get));
+        assert_eq!(Method::parse("POST"), Some(Method::Post));
+        assert_eq!(Method::parse("PATCH"), None);
+        assert_eq!(Method::Get.to_string(), "GET");
+    }
+
+    #[test]
+    fn request_accessors() {
+        let r = Request {
+            method: Method::Get,
+            path: "/x".into(),
+            query: vec![("a".into(), "1".into()), ("a".into(), "2".into())],
+            headers: vec![("content-type".into(), "application/json".into())],
+            body: b"{\"k\": 3}".to_vec(),
+        };
+        assert_eq!(r.query_param("a"), Some("1"));
+        assert_eq!(r.query_param("b"), None);
+        assert_eq!(r.header("Content-Type"), Some("application/json"));
+        let v = r.json_body().unwrap();
+        assert_eq!(v.get("k").and_then(minaret_json::Value::as_u64), Some(3));
+    }
+
+    #[test]
+    fn invalid_json_body_is_bad_request() {
+        let r = Request {
+            method: Method::Post,
+            path: "/".into(),
+            query: vec![],
+            headers: vec![],
+            body: b"{nope".to_vec(),
+        };
+        assert!(matches!(r.json_body(), Err(HttpError::BadRequest(_))));
+        let r2 = Request {
+            body: vec![0xff, 0xfe],
+            ..r
+        };
+        assert!(matches!(r2.json_body(), Err(HttpError::BadRequest(_))));
+    }
+}

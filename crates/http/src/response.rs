@@ -1,0 +1,129 @@
+//! HTTP response construction and writing.
+
+use std::io::Write;
+use std::net::TcpStream;
+
+use minaret_json::Value;
+
+/// An HTTP response about to be written.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Headers (Content-Length and Connection are added at write time).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, value: &Value) -> Response {
+        Response {
+            status,
+            headers: vec![(
+                "Content-Type".into(),
+                "application/json; charset=utf-8".into(),
+            )],
+            body: value.to_string().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            headers: vec![("Content-Type".into(), "text/plain; charset=utf-8".into())],
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard JSON error envelope `{"error": message}`.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(status, &Value::object().set("error", message))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Reason phrase for the status codes this server emits.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            201 => "Created",
+            204 => "No Content",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            501 => "Not Implemented",
+            _ => "Unknown",
+        }
+    }
+
+    /// Serializes the response head + body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
+        for (k, v) in &self.headers {
+            out.push_str(k);
+            out.push_str(": ");
+            out.push_str(v);
+            out.push_str("\r\n");
+        }
+        out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        out.push_str("Connection: close\r\n\r\n");
+        let mut bytes = out.into_bytes();
+        bytes.extend_from_slice(&self.body);
+        bytes
+    }
+
+    /// Writes the response to a stream; errors are swallowed (the client
+    /// hung up — nothing useful to do).
+    pub fn write_to(&self, stream: &mut TcpStream) {
+        let _ = stream.write_all(&self.to_bytes());
+        let _ = stream.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_response_has_content_type_and_length() {
+        let r = Response::json(200, &Value::object().set("ok", true));
+        let bytes = r.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: application/json"));
+        assert!(text.contains("Content-Length: 11"));
+        assert!(text.ends_with("{\"ok\":true}"));
+    }
+
+    #[test]
+    fn error_envelope_is_json() {
+        let r = Response::error(404, "no such route");
+        assert_eq!(r.status, 404);
+        assert_eq!(r.reason(), "Not Found");
+        assert!(String::from_utf8(r.body).unwrap().contains("no such route"));
+    }
+
+    #[test]
+    fn custom_headers_are_emitted() {
+        let r = Response::text(200, "hi").with_header("X-Custom", "1");
+        let text = String::from_utf8(r.to_bytes()).unwrap();
+        assert!(text.contains("X-Custom: 1\r\n"));
+        assert!(text.contains("Connection: close"));
+    }
+
+    #[test]
+    fn unknown_status_reason() {
+        let r = Response::text(299, "");
+        assert_eq!(r.reason(), "Unknown");
+    }
+}

@@ -1,0 +1,195 @@
+//! Pattern-based request routing.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::request::{Method, Request};
+use crate::response::Response;
+
+/// Path parameters captured by `:name` segments.
+pub type Params = HashMap<String, String>;
+
+type Handler = Arc<dyn Fn(&Request, &Params) -> Response + Send + Sync>;
+
+struct Route {
+    method: Method,
+    segments: Vec<Segment>,
+    handler: Handler,
+}
+
+enum Segment {
+    Literal(String),
+    Param(String),
+}
+
+/// Routes requests to handlers by method + path pattern.
+///
+/// Patterns are `/`-separated; `:name` segments capture the value into
+/// [`Params`]. First registered match wins. Unmatched paths get a JSON
+/// 404; matched paths with the wrong method get a 405.
+pub struct Router {
+    routes: Vec<Route>,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Router({} routes)", self.routes.len())
+    }
+}
+
+impl Default for Router {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Router {
+    /// Creates an empty router.
+    pub fn new() -> Self {
+        Self { routes: Vec::new() }
+    }
+
+    /// Registers a route.
+    pub fn route(
+        &mut self,
+        method: Method,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        let segments = pattern
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                if let Some(name) = s.strip_prefix(':') {
+                    Segment::Param(name.to_string())
+                } else {
+                    Segment::Literal(s.to_string())
+                }
+            })
+            .collect();
+        self.routes.push(Route {
+            method,
+            segments,
+            handler: Arc::new(handler),
+        });
+        self
+    }
+
+    /// GET sugar.
+    pub fn get(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Get, pattern, handler)
+    }
+
+    /// POST sugar.
+    pub fn post(
+        &mut self,
+        pattern: &str,
+        handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.route(Method::Post, pattern, handler)
+    }
+
+    /// Dispatches a request.
+    pub fn dispatch(&self, request: &Request) -> Response {
+        let path_segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+        let mut path_matched = false;
+        for route in &self.routes {
+            match match_segments(&route.segments, &path_segments) {
+                Some(params) => {
+                    if route.method == request.method {
+                        return (route.handler)(request, &params);
+                    }
+                    path_matched = true;
+                }
+                None => continue,
+            }
+        }
+        if path_matched {
+            Response::error(405, "method not allowed for this path")
+        } else {
+            Response::error(404, "no such route")
+        }
+    }
+}
+
+fn match_segments(pattern: &[Segment], path: &[&str]) -> Option<Params> {
+    if pattern.len() != path.len() {
+        return None;
+    }
+    let mut params = Params::new();
+    for (seg, actual) in pattern.iter().zip(path) {
+        match seg {
+            Segment::Literal(lit) if lit == actual => {}
+            Segment::Literal(_) => return None,
+            Segment::Param(name) => {
+                params.insert(name.clone(), actual.to_string());
+            }
+        }
+    }
+    Some(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(method: Method, path: &str) -> Request {
+        Request {
+            method,
+            path: path.to_string(),
+            query: vec![],
+            headers: vec![],
+            body: vec![],
+        }
+    }
+
+    fn router() -> Router {
+        let mut r = Router::new();
+        r.get("/health", |_, _| Response::text(200, "ok"));
+        r.get("/authors/:id", |_, params| {
+            Response::text(200, format!("author {}", params["id"]))
+        });
+        r.post("/recommend", |_, _| Response::text(201, "queued"));
+        r
+    }
+
+    #[test]
+    fn literal_routes_match() {
+        let r = router();
+        let resp = r.dispatch(&request(Method::Get, "/health"));
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"ok");
+    }
+
+    #[test]
+    fn params_are_captured() {
+        let r = router();
+        let resp = r.dispatch(&request(Method::Get, "/authors/42"));
+        assert_eq!(resp.body, b"author 42");
+        // Trailing slash tolerated (empty segments dropped).
+        let resp2 = r.dispatch(&request(Method::Get, "/authors/42/"));
+        assert_eq!(resp2.body, b"author 42");
+    }
+
+    #[test]
+    fn unknown_path_is_404_wrong_method_is_405() {
+        let r = router();
+        assert_eq!(r.dispatch(&request(Method::Get, "/nope")).status, 404);
+        assert_eq!(r.dispatch(&request(Method::Get, "/recommend")).status, 405);
+        assert_eq!(r.dispatch(&request(Method::Post, "/health")).status, 405);
+    }
+
+    #[test]
+    fn segment_count_must_match() {
+        let r = router();
+        assert_eq!(r.dispatch(&request(Method::Get, "/authors")).status, 404);
+        assert_eq!(
+            r.dispatch(&request(Method::Get, "/authors/1/2")).status,
+            404
+        );
+    }
+}

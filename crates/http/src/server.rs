@@ -1,0 +1,211 @@
+//! The threaded accept loop.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel;
+
+use crate::request::{HttpError, Request};
+use crate::response::Response;
+use crate::router::Router;
+
+/// A running HTTP server.
+///
+/// One acceptor thread feeds a fixed pool of worker threads over a
+/// channel; shutdown is cooperative (flag + wake-up connection) and
+/// joins every thread.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Server({})", self.addr)
+    }
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `router` on `workers` threads.
+    pub fn bind(addr: &str, router: Router, workers: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let router = Arc::new(router);
+        let (tx, rx) = channel::unbounded::<TcpStream>();
+
+        let mut worker_handles = Vec::with_capacity(workers.max(1));
+        for _ in 0..workers.max(1) {
+            let rx = rx.clone();
+            let router = router.clone();
+            worker_handles.push(std::thread::spawn(move || {
+                while let Ok(mut stream) = rx.recv() {
+                    handle_connection(&mut stream, &router);
+                }
+            }));
+        }
+
+        let stop_flag = stop.clone();
+        let acceptor = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        if tx.send(s).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+            // Dropping tx closes the channel; workers drain and exit.
+        });
+
+        Ok(Server {
+            addr: local,
+            stop,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains workers, and joins all threads.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the acceptor's blocking accept with a dummy connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, router: &Router) {
+    let response = match Request::read_from(stream) {
+        Ok(request) => router.dispatch(&request),
+        Err(HttpError::TooLarge) => Response::error(413, "request too large"),
+        Err(HttpError::UnsupportedMethod(m)) => {
+            Response::error(501, &format!("method {m} not implemented"))
+        }
+        Err(HttpError::BadRequest(m)) => Response::error(400, &m),
+        Err(HttpError::Io(_)) => return, // client went away mid-request
+    };
+    response.write_to(stream);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    fn test_router() -> Router {
+        let mut r = Router::new();
+        r.get("/ping", |_, _| Response::text(200, "pong"));
+        r.post("/echo", |req, _| match req.json_body() {
+            Ok(v) => Response::json(200, &v),
+            Err(e) => Response::error(400, &e.to_string()),
+        });
+        r
+    }
+
+    fn raw_request(addr: SocketAddr, payload: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(payload.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_get_and_post() {
+        let server = Server::bind("127.0.0.1:0", test_router(), 2).unwrap();
+        let addr = server.local_addr();
+        let resp = raw_request(addr, "GET /ping HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK"));
+        assert!(resp.ends_with("pong"));
+
+        let body = r#"{"hello":"world"}"#;
+        let req = format!(
+            "POST /echo HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let resp = raw_request(addr, &req);
+        assert!(resp.contains(r#"{"hello":"world"}"#));
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_get_400_family() {
+        let server = Server::bind("127.0.0.1:0", test_router(), 1).unwrap();
+        let addr = server.local_addr();
+        let resp = raw_request(addr, "PATCH /ping HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 501"), "{resp}");
+        let resp = raw_request(addr, "GET /ping BANANA/9\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        let resp = raw_request(addr, "GET /nope HTTP/1.1\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 404"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_are_served() {
+        let server = Server::bind("127.0.0.1:0", test_router(), 4).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(move || raw_request(addr, "GET /ping HTTP/1.1\r\n\r\n")))
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert!(resp.ends_with("pong"));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_bodies_get_413() {
+        let server = Server::bind("127.0.0.1:0", test_router(), 1).unwrap();
+        let addr = server.local_addr();
+        // Declare a 2 MiB body (over the 1 MiB cap) without sending it.
+        let resp = raw_request(
+            addr,
+            "POST /echo HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n",
+        );
+        assert!(resp.starts_with("HTTP/1.1 413"), "{resp}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_cleanly() {
+        let server = Server::bind("127.0.0.1:0", test_router(), 2).unwrap();
+        let addr = server.local_addr();
+        server.shutdown();
+        // Subsequent connections are refused or reset — either way no
+        // response arrives.
+        let outcome = TcpStream::connect(addr).and_then(|mut s| {
+            s.write_all(b"GET /ping HTTP/1.1\r\n\r\n")?;
+            let mut out = String::new();
+            s.read_to_string(&mut out)?;
+            Ok(out)
+        });
+        match outcome {
+            Err(_) => {}
+            Ok(out) => assert!(out.is_empty(), "server answered after shutdown: {out}"),
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Index construction and the immutable index.
+
+use std::collections::HashMap;
+
+use crate::token::tokenize_text;
+
+/// Accumulates documents, then freezes into an [`InvertedIndex`].
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    docs: Vec<HashMap<String, u32>>,
+}
+
+impl IndexBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a document from raw text; returns its dense document id
+    /// (assigned contiguously from 0).
+    pub fn add_document(&mut self, text: &str) -> usize {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for t in tokenize_text(text) {
+            *counts.entry(t).or_insert(0) += 1;
+        }
+        self.docs.push(counts);
+        self.docs.len() - 1
+    }
+
+    /// Adds a document from several text fields, each with a repetition
+    /// weight (a term in a 3× field counts as appearing three times —
+    /// the classic cheap field boost).
+    pub fn add_weighted_document(&mut self, fields: &[(&str, u32)]) -> usize {
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        for (text, weight) in fields {
+            for t in tokenize_text(text) {
+                *counts.entry(t).or_insert(0) += *weight.max(&1);
+            }
+        }
+        self.docs.push(counts);
+        self.docs.len() - 1
+    }
+
+    /// Freezes into an immutable searchable index.
+    pub fn build(self) -> InvertedIndex {
+        let n_docs = self.docs.len();
+        let mut postings: HashMap<String, Vec<(u32, f32)>> = HashMap::new();
+        for (doc, counts) in self.docs.iter().enumerate() {
+            for (term, &tf) in counts {
+                postings
+                    .entry(term.clone())
+                    .or_default()
+                    .push((doc as u32, tf as f32));
+            }
+        }
+        // idf = ln(1 + N/df); tf weight = 1 + ln(tf).
+        let mut idf: HashMap<String, f32> = HashMap::with_capacity(postings.len());
+        for (term, plist) in &postings {
+            idf.insert(
+                term.clone(),
+                (1.0 + n_docs as f32 / plist.len() as f32).ln(),
+            );
+        }
+        // Precompute document vector norms under the tf-idf weighting.
+        let mut norms = vec![0.0f32; n_docs];
+        for (term, plist) in &postings {
+            let w_idf = idf[term];
+            for &(doc, tf) in plist {
+                let w = (1.0 + tf.ln()) * w_idf;
+                norms[doc as usize] += w * w;
+            }
+        }
+        for n in &mut norms {
+            *n = n.sqrt();
+        }
+        for plist in postings.values_mut() {
+            plist.sort_unstable_by_key(|&(doc, _)| doc);
+        }
+        InvertedIndex {
+            postings,
+            idf,
+            norms,
+            n_docs,
+        }
+    }
+}
+
+/// An immutable TF-IDF index with cosine-normalized search.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    pub(crate) postings: HashMap<String, Vec<(u32, f32)>>,
+    pub(crate) idf: HashMap<String, f32>,
+    pub(crate) norms: Vec<f32>,
+    pub(crate) n_docs: usize,
+}
+
+impl InvertedIndex {
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.n_docs
+    }
+
+    /// True when no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n_docs == 0
+    }
+
+    /// Number of distinct terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency of a term (after tokenization/stemming of the
+    /// raw term string).
+    pub fn document_frequency(&self, term: &str) -> usize {
+        let toks = tokenize_text(term);
+        match toks.as_slice() {
+            [t] => self.postings.get(t).map(Vec::len).unwrap_or(0),
+            _ => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_contiguous_ids() {
+        let mut b = IndexBuilder::new();
+        assert_eq!(b.add_document("alpha beta"), 0);
+        assert_eq!(b.add_document("gamma"), 1);
+        let idx = b.build();
+        assert_eq!(idx.len(), 2);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn document_frequency_counts_docs_not_occurrences() {
+        let mut b = IndexBuilder::new();
+        b.add_document("rdf rdf rdf");
+        b.add_document("rdf sparql");
+        b.add_document("unrelated");
+        let idx = b.build();
+        assert_eq!(idx.document_frequency("rdf"), 2);
+        assert_eq!(idx.document_frequency("sparql"), 1);
+        assert_eq!(idx.document_frequency("missing"), 0);
+        assert_eq!(idx.document_frequency("rdf sparql"), 0); // multi-token
+    }
+
+    #[test]
+    fn weighted_fields_boost_terms() {
+        let mut b = IndexBuilder::new();
+        b.add_weighted_document(&[("databases", 3), ("networks", 1)]);
+        let idx = b.build();
+        let db = idx.postings.get("database").unwrap();
+        let nw = idx.postings.get("network").unwrap();
+        assert!(db[0].1 > nw[0].1);
+    }
+
+    #[test]
+    fn empty_index_is_consistent() {
+        let idx = IndexBuilder::new().build();
+        assert!(idx.is_empty());
+        assert_eq!(idx.vocabulary_size(), 0);
+    }
+
+    #[test]
+    fn norms_are_positive_for_nonempty_docs() {
+        let mut b = IndexBuilder::new();
+        b.add_document("semantic web technologies");
+        b.add_document(""); // empty doc
+        let idx = b.build();
+        assert!(idx.norms[0] > 0.0);
+        assert_eq!(idx.norms[1], 0.0);
+    }
+}

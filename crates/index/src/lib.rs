@@ -1,0 +1,23 @@
+//! A small inverted-index / TF-IDF retrieval substrate.
+//!
+//! MINARET retrieves candidate reviewers by matching expanded keywords
+//! against reviewer research-interest profiles, and the TPMS-style
+//! baseline matches manuscripts against reviewer publication text. Both
+//! need a ranked text-retrieval primitive; this crate provides it,
+//! dependency-free:
+//!
+//! * [`tokenize_text`] — lowercasing tokenizer with stopword removal and
+//!   light plural stemming;
+//! * [`IndexBuilder`] / [`InvertedIndex`] — TF-IDF weighted postings with
+//!   cosine-normalized top-k search.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod build;
+mod search;
+mod token;
+
+pub use build::{IndexBuilder, InvertedIndex};
+pub use search::SearchHit;
+pub use token::{stem_lite, tokenize_text};

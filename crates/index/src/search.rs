@@ -1,0 +1,159 @@
+//! Top-k cosine search over the index.
+
+use std::collections::HashMap;
+
+use crate::build::InvertedIndex;
+use crate::token::tokenize_text;
+
+/// One search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Document id as assigned by the builder.
+    pub doc: usize,
+    /// Cosine similarity between query and document tf-idf vectors,
+    /// in `[0, 1]` (up to floating-point rounding).
+    pub score: f32,
+}
+
+impl InvertedIndex {
+    /// Returns up to `k` documents most similar to `query`, best first.
+    /// Ties are broken by ascending document id for determinism.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if k == 0 || self.n_docs == 0 {
+            return Vec::new();
+        }
+        // Query vector under the same weighting as documents.
+        let mut q_counts: HashMap<&str, f32> = HashMap::new();
+        let toks = tokenize_text(query);
+        for t in &toks {
+            *q_counts.entry(t.as_str()).or_insert(0.0) += 1.0;
+        }
+        let mut q_weights: Vec<(&str, f32)> = Vec::with_capacity(q_counts.len());
+        let mut q_norm = 0.0f32;
+        for (term, tf) in q_counts {
+            let Some(&idf) = self.idf.get(term) else {
+                continue;
+            };
+            let w = (1.0 + tf.ln()) * idf;
+            q_norm += w * w;
+            q_weights.push((term, w));
+        }
+        if q_weights.is_empty() {
+            return Vec::new();
+        }
+        let q_norm = q_norm.sqrt();
+        let mut scores: HashMap<u32, f32> = HashMap::new();
+        for (term, qw) in q_weights {
+            let idf = self.idf[term];
+            for &(doc, tf) in &self.postings[term] {
+                let dw = (1.0 + tf.ln()) * idf;
+                *scores.entry(doc).or_insert(0.0) += qw * dw;
+            }
+        }
+        let mut hits: Vec<SearchHit> = scores
+            .into_iter()
+            .filter_map(|(doc, dot)| {
+                let dn = self.norms[doc as usize];
+                if dn <= 0.0 {
+                    return None;
+                }
+                Some(SearchHit {
+                    doc: doc as usize,
+                    score: dot / (dn * q_norm),
+                })
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use proptest::prelude::*;
+
+    fn corpus() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document("semantic web and linked data with RDF and SPARQL");
+        b.add_document("deep learning for image classification");
+        b.add_document("query optimization in relational databases");
+        b.add_document("RDF stores and SPARQL query processing");
+        b.add_document("reinforcement learning agents");
+        b.build()
+    }
+
+    #[test]
+    fn exact_topic_match_ranks_first() {
+        let idx = corpus();
+        let hits = idx.search("RDF SPARQL", 3);
+        assert!(!hits.is_empty());
+        assert!(hits[0].doc == 0 || hits[0].doc == 3);
+        // Both RDF docs come before unrelated ones.
+        let rdf_positions: Vec<usize> = hits
+            .iter()
+            .enumerate()
+            .filter(|(_, h)| h.doc == 0 || h.doc == 3)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(rdf_positions, vec![0, 1]);
+    }
+
+    #[test]
+    fn identical_document_scores_near_one() {
+        let idx = corpus();
+        let hits = idx.search("reinforcement learning agents", 1);
+        assert_eq!(hits[0].doc, 4);
+        assert!(hits[0].score > 0.99, "score {}", hits[0].score);
+    }
+
+    #[test]
+    fn unknown_terms_yield_nothing() {
+        let idx = corpus();
+        assert!(idx.search("quantum gravity", 5).is_empty());
+        assert!(idx.search("", 5).is_empty());
+    }
+
+    #[test]
+    fn k_zero_and_empty_index() {
+        let idx = corpus();
+        assert!(idx.search("rdf", 0).is_empty());
+        let empty = IndexBuilder::new().build();
+        assert!(empty.search("rdf", 5).is_empty());
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let idx = corpus();
+        let hits = idx.search("query learning", 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn search_respects_k_and_bounds(q in "[a-z ]{0,40}", k in 0usize..8) {
+            let idx = corpus();
+            let hits = idx.search(&q, k);
+            prop_assert!(hits.len() <= k);
+            for h in &hits {
+                prop_assert!(h.doc < idx.len());
+                prop_assert!(h.score > 0.0);
+                prop_assert!(h.score <= 1.0 + 1e-4);
+            }
+            // No duplicate docs.
+            let mut docs: Vec<_> = hits.iter().map(|h| h.doc).collect();
+            docs.sort_unstable();
+            docs.dedup();
+            prop_assert_eq!(docs.len(), hits.len());
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Tokenization for the retrieval substrate.
+
+/// English stopwords common in scholarly interest phrases and titles.
+/// Deliberately small — retrieval quality here comes from TF-IDF, not
+/// aggressive filtering.
+const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "into", "is", "it", "of",
+    "on", "or", "that", "the", "their", "this", "to", "toward", "towards", "using", "via", "with",
+];
+
+fn is_stopword(t: &str) -> bool {
+    STOPWORDS.binary_search(&t).is_ok()
+}
+
+/// Light stemming: strips common English plural/verbal suffixes without a
+/// full Porter stemmer. `databases` → `database`, `queries` → `query`,
+/// `indexing` stays (too short to strip safely).
+pub fn stem_lite(token: &str) -> String {
+    let t = token;
+    // Length guards count *characters*, not bytes, so multibyte tokens
+    // are never stripped below the two-character token minimum.
+    let chars = t.chars().count();
+    if chars > 4 && t.ends_with("ies") {
+        let mut s = t[..t.len() - 3].to_string();
+        s.push('y');
+        return s;
+    }
+    if chars > 4 && (t.ends_with("sses") || t.ends_with("xes") || t.ends_with("ches")) {
+        return t[..t.len() - 2].to_string();
+    }
+    if chars > 3 && t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") {
+        return t[..t.len() - 1].to_string();
+    }
+    t.to_string()
+}
+
+/// Lowercases, splits on non-alphanumerics, drops stopwords and
+/// single-character tokens, applies light stemming.
+///
+/// ```
+/// use minaret_index::tokenize_text;
+/// assert_eq!(
+///     tokenize_text("Scalable Processing of RDF Queries"),
+///     vec!["scalable", "processing", "rdf", "query"]
+/// );
+/// ```
+pub fn tokenize_text(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() {
+            for lower in ch.to_lowercase() {
+                cur.push(lower);
+            }
+        } else if !cur.is_empty() {
+            push_token(&mut out, std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        push_token(&mut out, cur);
+    }
+    out
+}
+
+fn push_token(out: &mut Vec<String>, t: String) {
+    if t.chars().count() < 2 || is_stopword(&t) {
+        return;
+    }
+    out.push(stem_lite(&t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stopwords_table_is_sorted_for_binary_search() {
+        let mut sorted = STOPWORDS.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, STOPWORDS);
+    }
+
+    #[test]
+    fn drops_stopwords_and_short_tokens() {
+        assert_eq!(tokenize_text("the state of the art"), vec!["state", "art"]);
+        assert_eq!(tokenize_text("a b c"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn stems_plurals() {
+        assert_eq!(stem_lite("databases"), "database");
+        assert_eq!(stem_lite("queries"), "query");
+        assert_eq!(stem_lite("systems"), "system");
+        assert_eq!(stem_lite("classes"), "class"); // -sses keeps one s
+        assert_eq!(stem_lite("class"), "class"); // -ss untouched
+        assert_eq!(stem_lite("corpus"), "corpus"); // -us untouched
+        assert_eq!(stem_lite("gas"), "gas"); // too short
+    }
+
+    #[test]
+    fn handles_unicode_and_punctuation() {
+        assert_eq!(
+            tokenize_text("Müller-style façades!"),
+            vec!["müller", "style", "façade"]
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn tokens_never_contain_separators(s in ".{0,80}") {
+            for t in tokenize_text(&s) {
+                prop_assert!(t.chars().all(char::is_alphanumeric));
+                prop_assert!(t.chars().count() >= 2);
+            }
+        }
+
+        #[test]
+        fn tokenization_is_deterministic(s in ".{0,80}") {
+            prop_assert_eq!(tokenize_text(&s), tokenize_text(&s));
+        }
+    }
+}

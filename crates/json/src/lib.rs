@@ -1,0 +1,22 @@
+//! A minimal JSON codec, built from scratch.
+//!
+//! The MINARET prototype exposes RESTful APIs; this workspace's allowed
+//! external crates include `serde` but not `serde_json`, and the JSON
+//! needed by `minaret-server` is small enough to own outright — which
+//! also makes it a well-contained, property-testable substrate.
+//!
+//! * [`Value`] — the JSON data model (objects preserve insertion order).
+//! * `Value::to_string` (via `Display`) / [`Value::to_pretty_string`]
+//!   — serialization with full string escaping.
+//! * [`parse`] — a recursive-descent parser with a depth limit, returning
+//!   positioned errors.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod parse;
+mod ser;
+mod value;
+
+pub use parse::{parse, ParseError};
+pub use value::Value;

@@ -1,0 +1,175 @@
+//! Serialization.
+
+use std::fmt;
+
+use crate::value::Value;
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self, None, 0)
+    }
+}
+
+impl Value {
+    /// Compact serialization (what `to_string` produces via `Display`).
+    pub fn to_json(&self) -> String {
+        self.to_string()
+    }
+
+    /// Two-space-indented serialization for humans.
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        use fmt::Write;
+        write!(PrettyWriter(&mut out), "{}", PrettyValue(self)).expect("string write");
+        out
+    }
+}
+
+struct PrettyWriter<'a>(&'a mut String);
+impl fmt::Write for PrettyWriter<'_> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.0.push_str(s);
+        Ok(())
+    }
+}
+
+struct PrettyValue<'a>(&'a Value);
+impl fmt::Display for PrettyValue<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write_value(f, self.0, Some(2), 0)
+    }
+}
+
+fn write_value(
+    f: &mut fmt::Formatter<'_>,
+    v: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(true) => f.write_str("true"),
+        Value::Bool(false) => f.write_str("false"),
+        Value::Number(n) => write_number(f, *n),
+        Value::String(s) => write_string(f, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                return f.write_str("[]");
+            }
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                newline_indent(f, indent, depth + 1)?;
+                write_value(f, item, indent, depth + 1)?;
+            }
+            newline_indent(f, indent, depth)?;
+            f.write_str("]")
+        }
+        Value::Object(fields) => {
+            if fields.is_empty() {
+                return f.write_str("{}");
+            }
+            f.write_str("{")?;
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                newline_indent(f, indent, depth + 1)?;
+                write_string(f, k)?;
+                f.write_str(":")?;
+                if indent.is_some() {
+                    f.write_str(" ")?;
+                }
+                write_value(f, val, indent, depth + 1)?;
+            }
+            newline_indent(f, indent, depth)?;
+            f.write_str("}")
+        }
+    }
+}
+
+fn newline_indent(f: &mut fmt::Formatter<'_>, indent: Option<usize>, depth: usize) -> fmt::Result {
+    if let Some(w) = indent {
+        f.write_str("\n")?;
+        for _ in 0..w * depth {
+            f.write_str(" ")?;
+        }
+    }
+    Ok(())
+}
+
+fn write_number(f: &mut fmt::Formatter<'_>, n: f64) -> fmt::Result {
+    if !n.is_finite() {
+        // JSON has no NaN/Infinity; emit null like most encoders.
+        return f.write_str("null");
+    }
+    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        write!(f, "{}", n as i64)
+    } else {
+        write!(f, "{n}")
+    }
+}
+
+fn write_string(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0C}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => {
+                let mut buf = [0u8; 4];
+                f.write_str(c.encode_utf8(&mut buf))?;
+            }
+        }
+    }
+    f.write_str("\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_serialize_canonically() {
+        assert_eq!(Value::Null.to_json(), "null");
+        assert_eq!(Value::from(true).to_json(), "true");
+        assert_eq!(Value::from(42u32).to_json(), "42");
+        assert_eq!(Value::from(1.5).to_json(), "1.5");
+        assert_eq!(Value::from("hi").to_json(), "\"hi\"");
+        assert_eq!(Value::Number(f64::NAN).to_json(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Value::from("a\"b\\c\nd\te\u{01}");
+        assert_eq!(s.to_json(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+        // Unicode passes through unescaped.
+        assert_eq!(Value::from("héllo").to_json(), "\"héllo\"");
+    }
+
+    #[test]
+    fn containers_serialize_in_order() {
+        let v = Value::object()
+            .set("z", 1u32)
+            .set("a", vec![1u32, 2])
+            .set("nested", Value::object().set("k", "v"));
+        assert_eq!(v.to_json(), r#"{"z":1,"a":[1,2],"nested":{"k":"v"}}"#);
+        assert_eq!(Value::Array(vec![]).to_json(), "[]");
+        assert_eq!(Value::object().to_json(), "{}");
+    }
+
+    #[test]
+    fn pretty_printing_indents() {
+        let v = Value::object().set("a", vec![1u32]);
+        let pretty = v.to_pretty_string();
+        assert!(pretty.contains("{\n  \"a\": [\n    1\n  ]\n}"));
+    }
+}

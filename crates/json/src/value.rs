@@ -1,0 +1,180 @@
+//! The JSON data model.
+
+/// A JSON value. Objects preserve insertion order (like the documents the
+/// REST API emits, so field order is stable for clients and tests).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers up to 2^53 round-trip).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object as an ordered list of key–value pairs. Duplicate keys
+    /// are not rejected at construction; [`Value::get`] returns the first.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Object(Vec::new())
+    }
+
+    /// Inserts (or replaces) a field on an object; panics if `self` is
+    /// not an object — construction-time misuse, not input-dependent.
+    pub fn set(mut self, key: &str, value: impl Into<Value>) -> Value {
+        match &mut self {
+            Value::Object(fields) => {
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value.into();
+                } else {
+                    fields.push((key.to_string(), value.into()));
+                }
+                self
+            }
+            _ => panic!("Value::set on non-object"),
+        }
+    }
+
+    /// Field lookup on objects; `None` elsewhere.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64` when integral and in range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<f64> for Value {
+    fn from(n: f64) -> Self {
+        Value::Number(n)
+    }
+}
+impl From<u32> for Value {
+    fn from(n: u32) -> Self {
+        Value::Number(n as f64)
+    }
+}
+impl From<u64> for Value {
+    fn from(n: u64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+impl From<usize> for Value {
+    fn from(n: usize) -> Self {
+        Value::Number(n as f64)
+    }
+}
+impl From<i64> for Value {
+    fn from(n: i64) -> Self {
+        Value::Number(n as f64)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Self {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(o: Option<T>) -> Self {
+        o.map(Into::into).unwrap_or(Value::Null)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_builder_sets_and_replaces() {
+        let v = Value::object().set("a", 1u32).set("b", "x").set("a", 2u32);
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(2));
+        assert_eq!(v.get("b").and_then(Value::as_str), Some("x"));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn accessors_are_type_safe() {
+        assert_eq!(Value::from(true).as_bool(), Some(true));
+        assert_eq!(Value::from(1.5).as_f64(), Some(1.5));
+        assert_eq!(Value::from(1.5).as_u64(), None);
+        assert_eq!(Value::from(3u64).as_u64(), Some(3));
+        assert_eq!(Value::from(-1i64).as_u64(), None);
+        assert!(Value::from(Option::<u32>::None).is_null());
+        assert_eq!(Value::from(vec![1u32, 2]).as_array().unwrap().len(), 2);
+        assert_eq!(Value::Null.as_str(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn set_on_non_object_panics() {
+        let _ = Value::Null.set("a", 1u32);
+    }
+}

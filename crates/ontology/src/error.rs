@@ -1,0 +1,65 @@
+//! Error type for ontology construction and queries.
+
+use std::fmt;
+
+use crate::TopicId;
+
+/// Errors produced while building or querying an ontology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OntologyError {
+    /// Two topics were registered with the same normalized label.
+    DuplicateLabel(String),
+    /// An edge referenced a topic id that was never registered.
+    UnknownTopic(TopicId),
+    /// A keyword could not be resolved to any topic.
+    UnknownKeyword(String),
+    /// Adding a `super_topic_of` edge would create a cycle.
+    CycleDetected {
+        /// Child endpoint of the offending edge.
+        child: TopicId,
+        /// Parent endpoint of the offending edge.
+        parent: TopicId,
+    },
+    /// A topic was registered with an empty label.
+    EmptyLabel,
+    /// A self-loop edge was requested.
+    SelfLoop(TopicId),
+}
+
+impl fmt::Display for OntologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OntologyError::DuplicateLabel(l) => {
+                write!(f, "duplicate topic label after normalization: {l:?}")
+            }
+            OntologyError::UnknownTopic(id) => write!(f, "unknown topic id {id}"),
+            OntologyError::UnknownKeyword(k) => {
+                write!(f, "keyword {k:?} does not resolve to any ontology topic")
+            }
+            OntologyError::CycleDetected { child, parent } => write!(
+                f,
+                "edge {parent} -> {child} would create a cycle in super-topic hierarchy"
+            ),
+            OntologyError::EmptyLabel => write!(f, "topic label must be non-empty"),
+            OntologyError::SelfLoop(id) => write!(f, "self-loop edge on topic {id}"),
+        }
+    }
+}
+
+impl std::error::Error for OntologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readably() {
+        let e = OntologyError::DuplicateLabel("rdf".into());
+        assert!(e.to_string().contains("rdf"));
+        let e = OntologyError::CycleDetected {
+            child: TopicId(1),
+            parent: TopicId(2),
+        };
+        assert!(e.to_string().contains("cycle"));
+    }
+}

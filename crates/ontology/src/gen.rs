@@ -1,0 +1,192 @@
+//! Deterministic synthetic-ontology generator.
+//!
+//! The scalability experiments (E7) need ontologies far larger than the
+//! curated seed. This generator produces random-but-reproducible DAGs with
+//! CSO-like shape parameters: a configurable branching factor, depth, and
+//! density of `related_equivalent` edges.
+//!
+//! The generator carries its own tiny SplitMix64 PRNG instead of depending
+//! on `rand`, keeping this substrate crate dependency-free.
+
+use crate::graph::{Ontology, OntologyBuilder};
+use crate::topic::TopicId;
+
+/// SplitMix64 — small, fast, and statistically adequate for synthetic
+/// data generation (not for cryptography).
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub(crate) fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Parameters of the synthetic ontology.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneratorConfig {
+    /// Total number of topics (including the root).
+    pub topics: usize,
+    /// Average number of children per internal topic; controls depth.
+    pub branching: usize,
+    /// Fraction of topics that receive one extra (second) parent,
+    /// making the graph a DAG rather than a tree. In `[0, 1]`.
+    pub multi_parent_rate: f64,
+    /// Number of `related_equivalent` edges as a fraction of topic count.
+    pub related_rate: f64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        Self {
+            topics: 1000,
+            branching: 8,
+            multi_parent_rate: 0.15,
+            related_rate: 0.3,
+            seed: 0x00C5_0C50,
+        }
+    }
+}
+
+/// Generates synthetic ontologies.
+#[derive(Debug, Clone)]
+pub struct OntologyGenerator {
+    config: GeneratorConfig,
+}
+
+impl OntologyGenerator {
+    /// Creates a generator with the given configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Generates the ontology. Deterministic for a fixed configuration.
+    pub fn generate(&self) -> Ontology {
+        let cfg = &self.config;
+        let n = cfg.topics.max(1);
+        let mut rng = SplitMix64::new(cfg.seed);
+        let mut b = OntologyBuilder::new();
+        let mut ids: Vec<TopicId> = Vec::with_capacity(n);
+        ids.push(
+            b.add_topic("synthetic topic 0", &[])
+                .expect("root label is valid"),
+        );
+        for i in 1..n {
+            let label = format!("synthetic topic {i}");
+            let id = b.add_topic(&label, &[]).expect("generated labels unique");
+            // Attach to a parent chosen among earlier topics, biased toward
+            // recent ones to produce a branching-factor-controlled depth:
+            // picking uniformly from the last `branching` eligible slots
+            // approximates a b-ary tree.
+            let window = cfg.branching.max(1);
+            let lo = i.saturating_sub(window * 4);
+            let parent = ids[lo + rng.below(i - lo)];
+            b.add_super_topic(parent, id)
+                .expect("parent precedes child");
+            // Occasional second parent (edges always point old -> new, so
+            // no cycle is possible).
+            if i > 2 && rng.next_u64() as f64 / u64::MAX as f64 <= cfg.multi_parent_rate {
+                let second = ids[rng.below(i)];
+                if second != parent {
+                    b.add_super_topic(second, id)
+                        .expect("old -> new is acyclic");
+                }
+            }
+            ids.push(id);
+        }
+        let related_edges = (n as f64 * cfg.related_rate) as usize;
+        for _ in 0..related_edges {
+            let a = ids[rng.below(n)];
+            let c = ids[rng.below(n)];
+            if a != c {
+                b.add_related(a, c).expect("ids are valid");
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = OntologyGenerator::new(GeneratorConfig::default());
+        let a = g.generate();
+        let b = g.generate();
+        assert_eq!(a.len(), b.len());
+        let sa = a.stats();
+        let sb = b.stats();
+        assert_eq!(sa.super_edges, sb.super_edges);
+        assert_eq!(sa.related_edges, sb.related_edges);
+    }
+
+    #[test]
+    fn respects_topic_count() {
+        let g = OntologyGenerator::new(GeneratorConfig {
+            topics: 500,
+            ..Default::default()
+        });
+        assert_eq!(g.generate().len(), 500);
+    }
+
+    #[test]
+    fn produces_single_root_dag() {
+        let o = OntologyGenerator::new(GeneratorConfig {
+            topics: 300,
+            ..Default::default()
+        })
+        .generate();
+        assert_eq!(o.stats().roots, 1);
+        assert!(o.stats().max_depth > 1);
+    }
+
+    #[test]
+    fn all_labels_resolve() {
+        let o = OntologyGenerator::new(GeneratorConfig {
+            topics: 50,
+            ..Default::default()
+        })
+        .generate();
+        for i in 0..50 {
+            assert!(o.resolve(&format!("synthetic topic {i}")).is_some());
+        }
+    }
+
+    #[test]
+    fn tiny_ontology_works() {
+        let o = OntologyGenerator::new(GeneratorConfig {
+            topics: 1,
+            ..Default::default()
+        })
+        .generate();
+        assert_eq!(o.len(), 1);
+        assert_eq!(o.stats().max_depth, 1);
+    }
+
+    #[test]
+    fn splitmix_bounded_sampling() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(rng.below(10) < 10);
+        }
+    }
+}

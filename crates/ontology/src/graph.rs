@@ -1,0 +1,392 @@
+//! The immutable topic graph and its builder.
+
+use std::collections::HashMap;
+
+use crate::error::OntologyError;
+use crate::normalize::normalize_label;
+use crate::topic::{Topic, TopicId};
+
+/// Builder for [`Ontology`].
+///
+/// Topics are registered first, then edges. `build` validates that the
+/// `super_topic_of` relation is acyclic and precomputes the depth table
+/// used by the similarity measure.
+#[derive(Debug, Default)]
+pub struct OntologyBuilder {
+    topics: Vec<Topic>,
+    by_norm: HashMap<String, TopicId>,
+    parents: Vec<Vec<TopicId>>,
+    children: Vec<Vec<TopicId>>,
+    related: Vec<Vec<TopicId>>,
+}
+
+impl OntologyBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a topic with the given canonical label and aliases.
+    ///
+    /// Returns the assigned [`TopicId`]. Fails if the normalized label (or
+    /// a normalized alias) collides with an already-registered label.
+    pub fn add_topic(&mut self, label: &str, aliases: &[&str]) -> Result<TopicId, OntologyError> {
+        let normalized = normalize_label(label);
+        if normalized.is_empty() {
+            return Err(OntologyError::EmptyLabel);
+        }
+        if self.by_norm.contains_key(&normalized) {
+            return Err(OntologyError::DuplicateLabel(normalized));
+        }
+        let mut norm_aliases = Vec::with_capacity(aliases.len());
+        for a in aliases {
+            let na = normalize_label(a);
+            if na.is_empty() || na == normalized {
+                continue;
+            }
+            if self.by_norm.contains_key(&na) {
+                return Err(OntologyError::DuplicateLabel(na));
+            }
+            norm_aliases.push(na);
+        }
+        let id = TopicId(self.topics.len() as u32);
+        self.by_norm.insert(normalized.clone(), id);
+        for na in &norm_aliases {
+            self.by_norm.insert(na.clone(), id);
+        }
+        self.topics.push(Topic {
+            id,
+            label: label.trim().to_string(),
+            normalized,
+            aliases: norm_aliases,
+        });
+        self.parents.push(Vec::new());
+        self.children.push(Vec::new());
+        self.related.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Records that `parent` is a super-topic of `child`
+    /// (CSO's `superTopicOf`).
+    pub fn add_super_topic(
+        &mut self,
+        parent: TopicId,
+        child: TopicId,
+    ) -> Result<(), OntologyError> {
+        self.check_id(parent)?;
+        self.check_id(child)?;
+        if parent == child {
+            return Err(OntologyError::SelfLoop(parent));
+        }
+        if self.reaches(child, parent) {
+            return Err(OntologyError::CycleDetected { child, parent });
+        }
+        if !self.parents[child.index()].contains(&parent) {
+            self.parents[child.index()].push(parent);
+            self.children[parent.index()].push(child);
+        }
+        Ok(())
+    }
+
+    /// Records an undirected `relatedEquivalent` edge between two topics.
+    pub fn add_related(&mut self, a: TopicId, b: TopicId) -> Result<(), OntologyError> {
+        self.check_id(a)?;
+        self.check_id(b)?;
+        if a == b {
+            return Err(OntologyError::SelfLoop(a));
+        }
+        if !self.related[a.index()].contains(&b) {
+            self.related[a.index()].push(b);
+            self.related[b.index()].push(a);
+        }
+        Ok(())
+    }
+
+    /// Finalizes the ontology, computing depth tables.
+    pub fn build(self) -> Ontology {
+        let n = self.topics.len();
+        // Depth = 1 + length of the longest ancestor chain to a root.
+        // Computed by memoized DFS; acyclicity is guaranteed by
+        // `add_super_topic`, so the recursion terminates.
+        let mut depth = vec![0u32; n];
+        fn depth_of(i: usize, parents: &[Vec<TopicId>], depth: &mut [u32]) -> u32 {
+            if depth[i] != 0 {
+                return depth[i];
+            }
+            let d = 1 + parents[i]
+                .iter()
+                .map(|p| depth_of(p.index(), parents, depth))
+                .max()
+                .unwrap_or(0);
+            depth[i] = d;
+            d
+        }
+        for i in 0..n {
+            depth_of(i, &self.parents, &mut depth);
+        }
+        Ontology {
+            topics: self.topics,
+            by_norm: self.by_norm,
+            parents: self.parents,
+            children: self.children,
+            related: self.related,
+            depth,
+        }
+    }
+
+    fn check_id(&self, id: TopicId) -> Result<(), OntologyError> {
+        if id.index() < self.topics.len() {
+            Ok(())
+        } else {
+            Err(OntologyError::UnknownTopic(id))
+        }
+    }
+
+    /// True when `to` is reachable from `from` following parent->child
+    /// (super-topic) edges.
+    fn reaches(&self, from: TopicId, to: TopicId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = vec![false; self.topics.len()];
+        while let Some(t) = stack.pop() {
+            if t == to {
+                return true;
+            }
+            if std::mem::replace(&mut seen[t.index()], true) {
+                continue;
+            }
+            stack.extend(self.children[t.index()].iter().copied());
+        }
+        false
+    }
+}
+
+/// Summary statistics about an ontology, used by experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OntologyStats {
+    /// Number of topics.
+    pub topics: usize,
+    /// Number of directed `super_topic_of` edges.
+    pub super_edges: usize,
+    /// Number of undirected `related_equivalent` edges.
+    pub related_edges: usize,
+    /// Number of topics with no parents.
+    pub roots: usize,
+    /// Maximum depth of any topic (root = 1).
+    pub max_depth: u32,
+}
+
+/// An immutable research-topic ontology.
+///
+/// Mirrors the structure of the Computer Science Ontology the paper uses:
+/// a DAG of topics under `super_topic_of` plus undirected
+/// `related_equivalent` edges between topics that denote near-synonymous
+/// or tightly-coupled areas.
+#[derive(Debug, Clone)]
+pub struct Ontology {
+    topics: Vec<Topic>,
+    by_norm: HashMap<String, TopicId>,
+    parents: Vec<Vec<TopicId>>,
+    children: Vec<Vec<TopicId>>,
+    related: Vec<Vec<TopicId>>,
+    depth: Vec<u32>,
+}
+
+impl Ontology {
+    /// Number of topics.
+    pub fn len(&self) -> usize {
+        self.topics.len()
+    }
+
+    /// True when the ontology has no topics.
+    pub fn is_empty(&self) -> bool {
+        self.topics.is_empty()
+    }
+
+    /// Looks up a topic by free-text label or alias.
+    pub fn resolve(&self, keyword: &str) -> Option<TopicId> {
+        self.by_norm.get(&normalize_label(keyword)).copied()
+    }
+
+    /// Returns the topic record for `id`.
+    pub fn topic(&self, id: TopicId) -> Result<&Topic, OntologyError> {
+        self.topics
+            .get(id.index())
+            .ok_or(OntologyError::UnknownTopic(id))
+    }
+
+    /// Canonical label for `id`; panics only if `id` came from a different
+    /// ontology (programmer error surfaced via `Result` in `topic`).
+    pub fn label(&self, id: TopicId) -> &str {
+        &self.topics[id.index()].label
+    }
+
+    /// Direct super-topics of `id`.
+    pub fn parents(&self, id: TopicId) -> &[TopicId] {
+        &self.parents[id.index()]
+    }
+
+    /// Direct sub-topics of `id`.
+    pub fn children(&self, id: TopicId) -> &[TopicId] {
+        &self.children[id.index()]
+    }
+
+    /// Topics linked to `id` by `related_equivalent`.
+    pub fn related(&self, id: TopicId) -> &[TopicId] {
+        &self.related[id.index()]
+    }
+
+    /// Depth of `id` in the super-topic DAG (roots have depth 1).
+    pub fn depth(&self, id: TopicId) -> u32 {
+        self.depth[id.index()]
+    }
+
+    /// Iterates over all topics.
+    pub fn topics(&self) -> impl Iterator<Item = &Topic> {
+        self.topics.iter()
+    }
+
+    /// All ancestors of `id` (transitive super-topics), excluding `id`.
+    pub fn ancestors(&self, id: TopicId) -> Vec<TopicId> {
+        let mut seen = vec![false; self.topics.len()];
+        let mut out = Vec::new();
+        let mut stack: Vec<TopicId> = self.parents[id.index()].clone();
+        while let Some(t) = stack.pop() {
+            if std::mem::replace(&mut seen[t.index()], true) {
+                continue;
+            }
+            out.push(t);
+            stack.extend(self.parents[t.index()].iter().copied());
+        }
+        out
+    }
+
+    /// Summary statistics.
+    pub fn stats(&self) -> OntologyStats {
+        OntologyStats {
+            topics: self.topics.len(),
+            super_edges: self.parents.iter().map(Vec::len).sum(),
+            related_edges: self.related.iter().map(Vec::len).sum::<usize>() / 2,
+            roots: self.parents.iter().filter(|p| p.is_empty()).count(),
+            max_depth: self.depth.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> (Ontology, TopicId, TopicId, TopicId) {
+        let mut b = OntologyBuilder::new();
+        let cs = b.add_topic("Computer Science", &[]).unwrap();
+        let db = b.add_topic("Databases", &["data bases"]).unwrap();
+        let sw = b.add_topic("Semantic Web", &[]).unwrap();
+        b.add_super_topic(cs, db).unwrap();
+        b.add_super_topic(cs, sw).unwrap();
+        b.add_related(db, sw).unwrap();
+        (b.build(), cs, db, sw)
+    }
+
+    #[test]
+    fn resolves_labels_and_aliases_case_insensitively() {
+        let (o, _, db, _) = tiny();
+        assert_eq!(o.resolve("databases"), Some(db));
+        assert_eq!(o.resolve("DATA-BASES"), Some(db));
+        assert_eq!(o.resolve("nonexistent"), None);
+    }
+
+    #[test]
+    fn depth_roots_are_one() {
+        let (o, cs, db, _) = tiny();
+        assert_eq!(o.depth(cs), 1);
+        assert_eq!(o.depth(db), 2);
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let mut b = OntologyBuilder::new();
+        b.add_topic("RDF", &[]).unwrap();
+        assert_eq!(
+            b.add_topic("rdf", &[]),
+            Err(OntologyError::DuplicateLabel("rdf".into()))
+        );
+    }
+
+    #[test]
+    fn alias_collision_rejected() {
+        let mut b = OntologyBuilder::new();
+        b.add_topic("RDF", &[]).unwrap();
+        assert!(b.add_topic("Triples", &["RDF"]).is_err());
+    }
+
+    #[test]
+    fn cycles_rejected() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_topic("a", &[]).unwrap();
+        let c = b.add_topic("b", &[]).unwrap();
+        let d = b.add_topic("c", &[]).unwrap();
+        b.add_super_topic(a, c).unwrap();
+        b.add_super_topic(c, d).unwrap();
+        assert!(matches!(
+            b.add_super_topic(d, a),
+            Err(OntologyError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_topic("a", &[]).unwrap();
+        assert_eq!(b.add_super_topic(a, a), Err(OntologyError::SelfLoop(a)));
+        assert_eq!(b.add_related(a, a), Err(OntologyError::SelfLoop(a)));
+    }
+
+    #[test]
+    fn related_is_symmetric() {
+        let (o, _, db, sw) = tiny();
+        assert!(o.related(db).contains(&sw));
+        assert!(o.related(sw).contains(&db));
+    }
+
+    #[test]
+    fn ancestors_transitive() {
+        let mut b = OntologyBuilder::new();
+        let cs = b.add_topic("cs", &[]).unwrap();
+        let db = b.add_topic("db", &[]).unwrap();
+        let rdf = b.add_topic("rdf", &[]).unwrap();
+        b.add_super_topic(cs, db).unwrap();
+        b.add_super_topic(db, rdf).unwrap();
+        let o = b.build();
+        let anc = o.ancestors(rdf);
+        assert!(anc.contains(&cs) && anc.contains(&db));
+        assert_eq!(anc.len(), 2);
+    }
+
+    #[test]
+    fn stats_counts_edges() {
+        let (o, ..) = tiny();
+        let s = o.stats();
+        assert_eq!(s.topics, 3);
+        assert_eq!(s.super_edges, 2);
+        assert_eq!(s.related_edges, 1);
+        assert_eq!(s.roots, 1);
+        assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_topic("a", &[]).unwrap();
+        let c = b.add_topic("b", &[]).unwrap();
+        b.add_super_topic(a, c).unwrap();
+        b.add_super_topic(a, c).unwrap();
+        b.add_related(a, c).unwrap();
+        b.add_related(c, a).unwrap();
+        let o = b.build();
+        assert_eq!(o.children(a).len(), 1);
+        assert_eq!(o.related(a).len(), 1);
+    }
+}

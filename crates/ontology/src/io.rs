@@ -1,0 +1,380 @@
+//! Loading ontologies from CSO-style CSV triple exports.
+//!
+//! The paper downloads the Computer Science Ontology from
+//! `cso.kmi.open.ac.uk`, which ships as CSV triples:
+//!
+//! ```csv
+//! "<.../topics/semantic_web>","<.../superTopicOf>","<.../topics/rdf>"
+//! "<.../topics/rdf>","<.../relatedEquivalent>","<.../topics/sparql>"
+//! "<.../topics/rdf>","<.../preferentialEquivalent>","<.../topics/rdf>"
+//! ```
+//!
+//! [`parse_cso_csv`] accepts that shape (full IRIs or bare labels),
+//! mapping `superTopicOf` to hierarchy edges, `relatedEquivalent` to
+//! related edges, and `preferentialEquivalent` to aliases. Unknown
+//! relations are counted and skipped, so newer CSO releases load without
+//! code changes.
+
+use std::collections::HashMap;
+
+use crate::error::OntologyError;
+use crate::graph::{Ontology, OntologyBuilder};
+use crate::topic::TopicId;
+
+/// What a CSV load did — for logging and sanity checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Topics created.
+    pub topics: usize,
+    /// `superTopicOf` edges added.
+    pub super_edges: usize,
+    /// `relatedEquivalent` edges added.
+    pub related_edges: usize,
+    /// Alias (`preferentialEquivalent`) rows applied.
+    pub aliases: usize,
+    /// Rows skipped with their line numbers and reasons.
+    pub skipped: Vec<(usize, String)>,
+}
+
+/// Parses a CSO-style CSV export into an ontology.
+///
+/// Rows are `subject,relation,object`, each field optionally quoted and
+/// optionally a full IRI (the last path segment becomes the label, with
+/// `_` read as a space). Edges that would create cycles or self-loops are
+/// reported in [`LoadReport::skipped`] rather than failing the load —
+/// real CSO exports contain a handful of both.
+pub fn parse_cso_csv(input: &str) -> Result<(Ontology, LoadReport), OntologyError> {
+    let mut builder = OntologyBuilder::new();
+    let mut ids: HashMap<String, TopicId> = HashMap::new();
+    let mut report = LoadReport::default();
+    // Aliases are applied at the end: CSO lists them as rows, but the
+    // builder wants them at topic creation. We instead register alias
+    // labels as lookups on the canonical topic via a second pass using
+    // related-equivalence of names (cheap trick: store them and re-add).
+    let mut alias_rows: Vec<(String, String, usize)> = Vec::new();
+    let mut edge_rows: Vec<(String, &'static str, String, usize)> = Vec::new();
+
+    for (line_no, raw_line) in input.lines().enumerate() {
+        let line = raw_line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields = split_csv_row(line);
+        if fields.len() != 3 {
+            report.skipped.push((
+                line_no + 1,
+                format!("expected 3 fields, got {}", fields.len()),
+            ));
+            continue;
+        }
+        let subject = iri_label(&fields[0]);
+        let relation = iri_label(&fields[1]);
+        let object = iri_label(&fields[2]);
+        if subject.is_empty() || object.is_empty() {
+            report.skipped.push((line_no + 1, "empty endpoint".into()));
+            continue;
+        }
+        match relation.as_str() {
+            "supertopicof" | "super topic of" => {
+                edge_rows.push((subject, "super", object, line_no + 1));
+            }
+            "relatedequivalent" | "related equivalent" => {
+                edge_rows.push((subject, "related", object, line_no + 1));
+            }
+            "preferentialequivalent" | "preferential equivalent" => {
+                alias_rows.push((subject, object, line_no + 1));
+            }
+            "contributesto" | "contributes to" => {
+                // Present in CSO but not used by MINARET's expansion.
+                report
+                    .skipped
+                    .push((line_no + 1, "relation contributesTo ignored".into()));
+            }
+            other => {
+                report
+                    .skipped
+                    .push((line_no + 1, format!("unknown relation {other:?}")));
+            }
+        }
+    }
+
+    // Create all topics mentioned by any kept row.
+    let ensure_topic =
+        |label: &str, builder: &mut OntologyBuilder, ids: &mut HashMap<String, TopicId>| {
+            if let Some(&id) = ids.get(label) {
+                return Ok::<TopicId, OntologyError>(id);
+            }
+            let id = builder.add_topic(label, &[])?;
+            ids.insert(label.to_string(), id);
+            Ok(id)
+        };
+    for (a, _, b, line) in &edge_rows {
+        for endpoint in [a, b] {
+            if !ids.contains_key(endpoint) {
+                match ensure_topic(endpoint, &mut builder, &mut ids) {
+                    Ok(_) => report.topics += 1,
+                    Err(e) => {
+                        report.skipped.push((*line, e.to_string()));
+                    }
+                }
+            }
+        }
+    }
+    for (a, rel, b, line) in &edge_rows {
+        let (Some(&ia), Some(&ib)) = (ids.get(a), ids.get(b)) else {
+            continue;
+        };
+        let result = match *rel {
+            "super" => builder.add_super_topic(ia, ib).map(|()| {
+                report.super_edges += 1;
+            }),
+            _ => builder.add_related(ia, ib).map(|()| {
+                report.related_edges += 1;
+            }),
+        };
+        if let Err(e) = result {
+            report.skipped.push((*line, e.to_string()));
+        }
+    }
+    // Aliases: CSO's preferentialEquivalent maps a variant (subject) to
+    // its canonical topic (object). The builder has no post-hoc alias
+    // API, so variants become `related_equivalent` twins when both exist
+    // as topics, and are recorded as applied aliases otherwise.
+    for (variant, canonical, line) in &alias_rows {
+        match (ids.get(variant), ids.get(canonical)) {
+            (Some(&iv), Some(&ic)) if iv != ic => {
+                if builder.add_related(iv, ic).is_ok() {
+                    report.aliases += 1;
+                }
+            }
+            (None, Some(&ic)) => {
+                // Variant label not a topic of its own: create it as a
+                // twin topic linked relatedEquivalent to the canonical.
+                match builder.add_topic(variant, &[]) {
+                    Ok(iv) => {
+                        ids.insert(variant.clone(), iv);
+                        report.topics += 1;
+                        if builder.add_related(iv, ic).is_ok() {
+                            report.aliases += 1;
+                        }
+                    }
+                    Err(e) => report.skipped.push((*line, e.to_string())),
+                }
+            }
+            _ => report
+                .skipped
+                .push((*line, "alias endpoints unresolved".into())),
+        }
+    }
+
+    Ok((builder.build(), report))
+}
+
+/// Serializes an ontology back to the CSO-style CSV triple format that
+/// [`parse_cso_csv`] reads.
+///
+/// Hierarchy edges become `superTopicOf` rows, related edges become
+/// `relatedEquivalent` rows (emitted once per undirected pair), and
+/// aliases become `preferentialEquivalent` rows. Labels are emitted bare
+/// (no IRIs); fields are quoted. Round trip: re-importing the output
+/// reproduces the same topic set and edges (aliases come back as
+/// related-equivalent twin topics, which is how the importer models
+/// them).
+pub fn to_cso_csv(ontology: &Ontology) -> String {
+    let mut out = String::new();
+    let quote = |s: &str| format!("\"{}\"", s.replace('"', "\"\""));
+    for topic in ontology.topics() {
+        for &child in ontology.children(topic.id) {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                quote(&topic.normalized),
+                quote("superTopicOf"),
+                quote(&ontology.topic(child).expect("child exists").normalized)
+            ));
+        }
+        for &rel in ontology.related(topic.id) {
+            if topic.id < rel {
+                out.push_str(&format!(
+                    "{},{},{}\n",
+                    quote(&topic.normalized),
+                    quote("relatedEquivalent"),
+                    quote(&ontology.topic(rel).expect("related exists").normalized)
+                ));
+            }
+        }
+        for alias in &topic.aliases {
+            out.push_str(&format!(
+                "{},{},{}\n",
+                quote(alias),
+                quote("preferentialEquivalent"),
+                quote(&topic.normalized)
+            ));
+        }
+    }
+    out
+}
+
+/// Splits one CSV row, honouring double quotes (CSO quotes every field).
+fn split_csv_row(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut in_quotes = false;
+    let mut chars = line.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes && chars.peek() == Some(&'"') => {
+                cur.push('"');
+                chars.next();
+            }
+            '"' => in_quotes = !in_quotes,
+            ',' if !in_quotes => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+/// Extracts a human label from an IRI-or-label field:
+/// `<https://cso.kmi.open.ac.uk/topics/semantic_web>` → `semantic web`.
+fn iri_label(field: &str) -> String {
+    let s = field.trim().trim_matches(|c| c == '<' || c == '>');
+    let last = s.rsplit('/').next().unwrap_or(s);
+    let last = last.rsplit('#').next().unwrap_or(last);
+    crate::normalize::normalize_label(&last.replace('_', " "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+"<https://cso.kmi.open.ac.uk/topics/computer_science>","<https://cso.kmi.open.ac.uk/schema/cso#superTopicOf>","<https://cso.kmi.open.ac.uk/topics/semantic_web>"
+"<https://cso.kmi.open.ac.uk/topics/semantic_web>","<https://cso.kmi.open.ac.uk/schema/cso#superTopicOf>","<https://cso.kmi.open.ac.uk/topics/rdf>"
+"<https://cso.kmi.open.ac.uk/topics/semantic_web>","<https://cso.kmi.open.ac.uk/schema/cso#superTopicOf>","<https://cso.kmi.open.ac.uk/topics/sparql>"
+"<https://cso.kmi.open.ac.uk/topics/rdf>","<https://cso.kmi.open.ac.uk/schema/cso#relatedEquivalent>","<https://cso.kmi.open.ac.uk/topics/sparql>"
+"<https://cso.kmi.open.ac.uk/topics/resource_description_framework>","<https://cso.kmi.open.ac.uk/schema/cso#preferentialEquivalent>","<https://cso.kmi.open.ac.uk/topics/rdf>"
+"<https://cso.kmi.open.ac.uk/topics/rdf>","<https://cso.kmi.open.ac.uk/schema/cso#contributesTo>","<https://cso.kmi.open.ac.uk/topics/databases>"
+"#;
+
+    #[test]
+    fn loads_cso_sample() {
+        let (ontology, report) = parse_cso_csv(SAMPLE).unwrap();
+        assert_eq!(report.super_edges, 3);
+        assert_eq!(report.related_edges, 1);
+        assert_eq!(report.aliases, 1);
+        let rdf = ontology.resolve("rdf").unwrap();
+        let sw = ontology.resolve("semantic web").unwrap();
+        assert!(ontology.parents(rdf).contains(&sw));
+        // The alias twin participates in similarity via relatedEquivalent.
+        let alias = ontology.resolve("resource description framework").unwrap();
+        assert!(ontology.similarity(alias, rdf) >= 0.9);
+        // contributesTo skipped but reported.
+        assert!(report
+            .skipped
+            .iter()
+            .any(|(_, r)| r.contains("contributesTo")));
+    }
+
+    #[test]
+    fn expansion_works_on_loaded_ontology() {
+        use crate::expand::KeywordExpander;
+        let (ontology, _) = parse_cso_csv(SAMPLE).unwrap();
+        let expander = KeywordExpander::with_defaults(&ontology);
+        let labels: Vec<String> = expander
+            .expand("rdf")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.label)
+            .collect();
+        assert!(labels.iter().any(|l| l == "semantic web"));
+        assert!(labels.iter().any(|l| l == "sparql"));
+    }
+
+    #[test]
+    fn bare_labels_and_unquoted_fields_work() {
+        let input =
+            "computer science,superTopicOf,databases\ndatabases,relatedEquivalent,data mining\n";
+        let (ontology, report) = parse_cso_csv(input).unwrap();
+        assert_eq!(report.super_edges, 1);
+        assert_eq!(report.related_edges, 1);
+        assert!(ontology.resolve("data mining").is_some());
+    }
+
+    #[test]
+    fn malformed_rows_are_skipped_not_fatal() {
+        let input = "only,two\n\n# comment\na,superTopicOf,b\nb,superTopicOf,a\n";
+        let (ontology, report) = parse_cso_csv(input).unwrap();
+        // First row: wrong arity. Last row: would create a cycle.
+        assert_eq!(report.skipped.len(), 2);
+        assert_eq!(ontology.len(), 2);
+        assert_eq!(report.super_edges, 1);
+    }
+
+    #[test]
+    fn quoted_commas_and_escaped_quotes() {
+        let row = r#""a, with comma","superTopicOf","say ""b""""#;
+        let fields = split_csv_row(row);
+        assert_eq!(fields[0], "a, with comma");
+        assert_eq!(fields[2], "say \"b\"");
+    }
+
+    #[test]
+    fn export_reimports_with_same_structure() {
+        let (original, _) = parse_cso_csv(SAMPLE).unwrap();
+        let csv = to_cso_csv(&original);
+        let (reimported, report) = parse_cso_csv(&csv).unwrap();
+        assert!(
+            report.skipped.is_empty(),
+            "round trip skipped rows: {report:?}"
+        );
+        let a = original.stats();
+        let b = reimported.stats();
+        assert_eq!(a.super_edges, b.super_edges);
+        assert_eq!(a.related_edges, b.related_edges);
+        // Every original label still resolves.
+        for t in original.topics() {
+            assert!(
+                reimported.resolve(&t.normalized).is_some(),
+                "lost topic {:?}",
+                t.label
+            );
+        }
+    }
+
+    #[test]
+    fn curated_ontology_survives_round_trip() {
+        let original = crate::seed::curated_cs_ontology();
+        let (reimported, report) = parse_cso_csv(&to_cso_csv(&original)).unwrap();
+        assert!(report.skipped.is_empty());
+        // Aliases become related twins, so topic count grows; but all
+        // hierarchy edges survive and every label resolves.
+        assert_eq!(original.stats().super_edges, reimported.stats().super_edges);
+        for t in original.topics() {
+            assert!(reimported.resolve(&t.normalized).is_some());
+            for alias in &t.aliases {
+                assert!(
+                    reimported.resolve(alias).is_some(),
+                    "alias {alias:?} lost in round trip"
+                );
+            }
+        }
+        // The paper's expansion example still works after a round trip.
+        let expander = crate::expand::KeywordExpander::with_defaults(&reimported);
+        let labels: Vec<String> = expander
+            .expand("rdf")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.label)
+            .collect();
+        assert!(labels.iter().any(|l| l == "semantic web"));
+    }
+
+    #[test]
+    fn unknown_relations_reported() {
+        let input = "a,frenemyOf,b\n";
+        let (_, report) = parse_cso_csv(input).unwrap();
+        assert_eq!(report.skipped.len(), 1);
+        assert!(report.skipped[0].1.contains("frenemyof"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Text normalization shared by topic lookup and keyword matching.
+//!
+//! Scholarly sources spell the same topic many ways (`"Semantic Web"`,
+//! `"semantic-web"`, `" SEMANTIC  WEB "`). All lookups in this crate go
+//! through [`normalize_label`] so that those variants collide.
+
+/// Normalizes a topic label or keyword for lookup.
+///
+/// Lowercases, maps any run of non-alphanumeric characters to a single
+/// space, and trims. The result is stable: normalizing twice is a no-op.
+///
+/// ```
+/// use minaret_ontology::normalize_label;
+/// assert_eq!(normalize_label("  Semantic--Web "), "semantic web");
+/// assert_eq!(normalize_label("RDF"), "rdf");
+/// ```
+pub fn normalize_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut pending_space = false;
+    for ch in s.chars() {
+        if ch.is_alphanumeric() {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            for lower in ch.to_lowercase() {
+                out.push(lower);
+            }
+        } else {
+            pending_space = true;
+        }
+    }
+    out
+}
+
+/// Splits a string into normalized word tokens.
+///
+/// ```
+/// use minaret_ontology::tokenize;
+/// assert_eq!(tokenize("Linked-Open Data!"), vec!["linked", "open", "data"]);
+/// ```
+pub fn tokenize(s: &str) -> Vec<String> {
+    normalize_label(s)
+        .split(' ')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn collapses_punctuation_and_case() {
+        assert_eq!(normalize_label("Big   Data!!"), "big data");
+        assert_eq!(normalize_label("machine_learning"), "machine learning");
+        assert_eq!(normalize_label(""), "");
+        assert_eq!(normalize_label("---"), "");
+    }
+
+    #[test]
+    fn keeps_unicode_letters() {
+        assert_eq!(normalize_label("Müller"), "müller");
+    }
+
+    #[test]
+    fn tokenize_drops_empties() {
+        assert_eq!(tokenize(" , "), Vec::<String>::new());
+        assert_eq!(tokenize("a,b"), vec!["a", "b"]);
+    }
+
+    proptest! {
+        #[test]
+        fn normalization_is_idempotent(s in ".{0,64}") {
+            let once = normalize_label(&s);
+            let twice = normalize_label(&once);
+            prop_assert_eq!(once, twice);
+        }
+
+        #[test]
+        fn normalized_output_has_no_double_spaces(s in ".{0,64}") {
+            let n = normalize_label(&s);
+            prop_assert!(!n.contains("  "));
+            prop_assert!(!n.starts_with(' '));
+            prop_assert!(!n.ends_with(' '));
+        }
+
+        #[test]
+        fn tokens_join_to_normalized(s in ".{0,64}") {
+            let n = normalize_label(&s);
+            let joined = tokenize(&s).join(" ");
+            prop_assert_eq!(n, joined);
+        }
+    }
+}

@@ -1,0 +1,1310 @@
+//! A hand-curated computer-science topic ontology.
+//!
+//! The paper uses the Computer Science Ontology (CSO) downloaded from
+//! `cso.kmi.open.ac.uk`. That download is unavailable here, so this module
+//! ships a curated ontology with the same *shape*: a DAG rooted at
+//! "Computer Science" with `super_topic_of` edges and
+//! `related_equivalent` edges between near-synonymous areas. It covers the
+//! major CS fields and is deliberately dense around the paper's own worked
+//! example (`"RDF"` → `"Semantic Web"`, `"Linked Open Data"`,
+//! `"SPARQL"`).
+
+use crate::graph::{Ontology, OntologyBuilder};
+
+/// `(label, aliases, parent labels)` — parents must appear earlier in the
+/// table so the builder can resolve them in one pass.
+const TOPICS: &[(&str, &[&str], &[&str])] = &[
+    ("Computer Science", &["cs", "computing"], &[]),
+    // ---- depth 2: major areas -------------------------------------------
+    (
+        "Databases",
+        &["data bases", "database systems", "dbms"],
+        &["Computer Science"],
+    ),
+    ("Artificial Intelligence", &["ai"], &["Computer Science"]),
+    (
+        "Machine Learning",
+        &["ml", "statistical learning"],
+        &["Artificial Intelligence"],
+    ),
+    (
+        "Data Mining",
+        &["knowledge discovery", "kdd"],
+        &["Computer Science"],
+    ),
+    ("Information Retrieval", &["ir"], &["Computer Science"]),
+    (
+        "Distributed Systems",
+        &["distributed computing"],
+        &["Computer Science"],
+    ),
+    (
+        "Computer Networks",
+        &["networking", "networks"],
+        &["Computer Science"],
+    ),
+    (
+        "Security and Privacy",
+        &["computer security", "cybersecurity"],
+        &["Computer Science"],
+    ),
+    ("Software Engineering", &["se"], &["Computer Science"]),
+    ("Programming Languages", &["pl"], &["Computer Science"]),
+    (
+        "Theory of Computation",
+        &["theoretical computer science"],
+        &["Computer Science"],
+    ),
+    (
+        "Human Computer Interaction",
+        &["hci", "human-computer interaction"],
+        &["Computer Science"],
+    ),
+    ("Computer Graphics", &["graphics"], &["Computer Science"]),
+    ("Operating Systems", &["os"], &["Computer Science"]),
+    (
+        "Computer Architecture",
+        &["hardware architecture"],
+        &["Computer Science"],
+    ),
+    (
+        "Bioinformatics",
+        &["computational biology"],
+        &["Computer Science"],
+    ),
+    (
+        "Natural Language Processing",
+        &["nlp", "computational linguistics"],
+        &["Artificial Intelligence"],
+    ),
+    (
+        "Computer Vision",
+        &["cv", "machine vision"],
+        &["Artificial Intelligence"],
+    ),
+    ("World Wide Web", &["web", "www"], &["Computer Science"]),
+    (
+        "Parallel Computing",
+        &["parallel processing"],
+        &["Computer Science"],
+    ),
+    ("Embedded Systems", &[], &["Computer Science"]),
+    ("Robotics", &[], &["Artificial Intelligence"]),
+    (
+        "Scientometrics",
+        &["bibliometrics", "science of science"],
+        &["Computer Science"],
+    ),
+    (
+        "Knowledge Representation",
+        &["kr"],
+        &["Artificial Intelligence"],
+    ),
+    // ---- databases subtree ---------------------------------------------
+    ("Query Processing", &["query execution"], &["Databases"]),
+    (
+        "Query Optimization",
+        &["query optimisation"],
+        &["Query Processing"],
+    ),
+    (
+        "Transaction Processing",
+        &["transactions", "oltp"],
+        &["Databases"],
+    ),
+    ("Concurrency Control", &[], &["Transaction Processing"]),
+    (
+        "Distributed Databases",
+        &[],
+        &["Databases", "Distributed Systems"],
+    ),
+    (
+        "Data Integration",
+        &["information integration"],
+        &["Databases"],
+    ),
+    (
+        "Data Warehousing",
+        &["data warehouses", "olap"],
+        &["Databases"],
+    ),
+    (
+        "Data Cleaning",
+        &["data cleansing", "data quality"],
+        &["Data Integration"],
+    ),
+    (
+        "Entity Resolution",
+        &["record linkage", "deduplication"],
+        &["Data Cleaning"],
+    ),
+    (
+        "Schema Matching",
+        &["schema mapping"],
+        &["Data Integration"],
+    ),
+    (
+        "Indexing",
+        &["index structures", "access methods"],
+        &["Databases"],
+    ),
+    (
+        "Spatial Databases",
+        &["spatial data management"],
+        &["Databases"],
+    ),
+    ("Temporal Databases", &[], &["Databases"]),
+    (
+        "Graph Databases",
+        &["graph data management"],
+        &["Databases"],
+    ),
+    (
+        "NoSQL",
+        &["nosql databases", "non-relational databases"],
+        &["Databases"],
+    ),
+    ("Key Value Stores", &["key-value stores"], &["NoSQL"]),
+    ("Document Stores", &["document databases"], &["NoSQL"]),
+    ("Column Stores", &["columnar storage"], &["Databases"]),
+    (
+        "In Memory Databases",
+        &["main memory databases"],
+        &["Databases"],
+    ),
+    (
+        "Data Streams",
+        &["stream processing", "streaming data"],
+        &["Databases"],
+    ),
+    (
+        "Complex Event Processing",
+        &["cep", "event processing"],
+        &["Data Streams"],
+    ),
+    (
+        "Big Data",
+        &["large-scale data", "big data analytics"],
+        &["Databases", "Distributed Systems"],
+    ),
+    ("MapReduce", &["map-reduce"], &["Big Data"]),
+    ("Data Lakes", &[], &["Big Data"]),
+    ("Query Languages", &[], &["Databases"]),
+    ("SQL", &["structured query language"], &["Query Languages"]),
+    (
+        "Relational Databases",
+        &["relational model", "rdbms"],
+        &["Databases"],
+    ),
+    (
+        "XML",
+        &["extensible markup language", "xml data"],
+        &["Databases", "World Wide Web"],
+    ),
+    (
+        "JSON Data Management",
+        &["json"],
+        &["Databases", "World Wide Web"],
+    ),
+    (
+        "Provenance",
+        &["data provenance", "lineage"],
+        &["Databases"],
+    ),
+    (
+        "Crowdsourcing",
+        &["crowd computing", "human computation"],
+        &["Databases", "World Wide Web"],
+    ),
+    ("Benchmarking", &["performance evaluation"], &["Databases"]),
+    (
+        "Database Tuning",
+        &["self-tuning databases", "autonomic databases"],
+        &["Databases"],
+    ),
+    (
+        "Approximate Query Processing",
+        &["aqp"],
+        &["Query Processing"],
+    ),
+    (
+        "Join Processing",
+        &["join algorithms"],
+        &["Query Processing"],
+    ),
+    (
+        "Cardinality Estimation",
+        &["selectivity estimation"],
+        &["Query Optimization"],
+    ),
+    (
+        "Storage Systems",
+        &["storage management"],
+        &["Databases", "Operating Systems"],
+    ),
+    (
+        "Log Structured Storage",
+        &["lsm trees", "log-structured merge trees"],
+        &["Storage Systems"],
+    ),
+    ("B Trees", &["b-trees", "btree"], &["Indexing"]),
+    ("Hash Indexes", &["hashing"], &["Indexing"]),
+    ("Learned Indexes", &[], &["Indexing", "Machine Learning"]),
+    (
+        "Multidimensional Indexing",
+        &["r-trees"],
+        &["Indexing", "Spatial Databases"],
+    ),
+    ("Data Models", &[], &["Databases"]),
+    ("Data Compression", &["compression"], &["Storage Systems"]),
+    (
+        "Recovery",
+        &["crash recovery", "logging and recovery"],
+        &["Transaction Processing"],
+    ),
+    (
+        "Serializability",
+        &["isolation levels"],
+        &["Concurrency Control"],
+    ),
+    (
+        "Multiversion Concurrency Control",
+        &["mvcc"],
+        &["Concurrency Control"],
+    ),
+    (
+        "Optimistic Concurrency Control",
+        &["occ"],
+        &["Concurrency Control"],
+    ),
+    (
+        "Distributed Transactions",
+        &["two-phase commit", "2pc"],
+        &["Transaction Processing", "Distributed Databases"],
+    ),
+    ("Polystores", &["multistore systems"], &["Data Integration"]),
+    ("Scientific Databases", &["array databases"], &["Databases"]),
+    (
+        "Uncertain Data",
+        &["probabilistic databases"],
+        &["Databases"],
+    ),
+    (
+        "Time Series Data",
+        &["time series databases"],
+        &["Databases"],
+    ),
+    (
+        "Workflow Systems",
+        &["scientific workflows"],
+        &["Databases", "Distributed Systems"],
+    ),
+    (
+        "Business Process Management",
+        &["bpm", "process mining"],
+        &["Workflow Systems"],
+    ),
+    // ---- semantic web subtree (paper's example lives here) --------------
+    (
+        "Semantic Web",
+        &["web of data"],
+        &["World Wide Web", "Databases"],
+    ),
+    (
+        "RDF",
+        &["resource description framework", "rdf data"],
+        &["Semantic Web"],
+    ),
+    (
+        "SPARQL",
+        &["sparql query language"],
+        &["Semantic Web", "Query Languages"],
+    ),
+    (
+        "Linked Open Data",
+        &["linked data", "lod"],
+        &["Semantic Web"],
+    ),
+    (
+        "Ontologies",
+        &["ontology engineering"],
+        &["Semantic Web", "Knowledge Representation"],
+    ),
+    ("OWL", &["web ontology language"], &["Ontologies"]),
+    (
+        "Knowledge Graphs",
+        &["knowledge graph"],
+        &["Semantic Web", "Graph Databases"],
+    ),
+    (
+        "RDF Stores",
+        &["triple stores", "triplestores"],
+        &["RDF", "Storage Systems"],
+    ),
+    (
+        "Ontology Matching",
+        &["ontology alignment"],
+        &["Ontologies", "Schema Matching"],
+    ),
+    (
+        "Reasoning",
+        &["inference", "description logics"],
+        &["Ontologies", "Knowledge Representation"],
+    ),
+    ("SHACL", &["shapes constraint language"], &["RDF"]),
+    ("RDF Schema", &["rdfs"], &["RDF"]),
+    // ---- AI / ML subtree -------------------------------------------------
+    (
+        "Deep Learning",
+        &["neural networks", "deep neural networks"],
+        &["Machine Learning"],
+    ),
+    (
+        "Convolutional Neural Networks",
+        &["cnn", "cnns"],
+        &["Deep Learning"],
+    ),
+    (
+        "Recurrent Neural Networks",
+        &["rnn", "lstm"],
+        &["Deep Learning"],
+    ),
+    ("Transformers", &["attention models"], &["Deep Learning"]),
+    ("Reinforcement Learning", &["rl"], &["Machine Learning"]),
+    (
+        "Supervised Learning",
+        &["classification", "regression analysis"],
+        &["Machine Learning"],
+    ),
+    ("Unsupervised Learning", &[], &["Machine Learning"]),
+    (
+        "Clustering",
+        &["cluster analysis"],
+        &["Unsupervised Learning", "Data Mining"],
+    ),
+    (
+        "Dimensionality Reduction",
+        &["feature selection"],
+        &["Unsupervised Learning"],
+    ),
+    (
+        "Support Vector Machines",
+        &["svm", "svms"],
+        &["Supervised Learning"],
+    ),
+    (
+        "Decision Trees",
+        &["random forests", "gradient boosting"],
+        &["Supervised Learning"],
+    ),
+    (
+        "Bayesian Methods",
+        &["bayesian networks", "probabilistic graphical models"],
+        &["Machine Learning"],
+    ),
+    (
+        "Online Learning",
+        &["incremental learning"],
+        &["Machine Learning"],
+    ),
+    (
+        "Transfer Learning",
+        &["domain adaptation"],
+        &["Machine Learning"],
+    ),
+    ("Active Learning", &[], &["Machine Learning"]),
+    (
+        "Federated Learning",
+        &[],
+        &["Machine Learning", "Distributed Systems"],
+    ),
+    (
+        "AutoML",
+        &["automated machine learning", "hyperparameter optimization"],
+        &["Machine Learning"],
+    ),
+    (
+        "Explainable AI",
+        &["xai", "interpretability"],
+        &["Machine Learning"],
+    ),
+    (
+        "Recommender Systems",
+        &["recommendation systems", "collaborative filtering"],
+        &["Machine Learning", "Information Retrieval"],
+    ),
+    (
+        "Anomaly Detection",
+        &["outlier detection"],
+        &["Data Mining"],
+    ),
+    (
+        "Frequent Pattern Mining",
+        &["association rules", "itemset mining"],
+        &["Data Mining"],
+    ),
+    ("Graph Mining", &["network mining"], &["Data Mining"]),
+    (
+        "Social Network Analysis",
+        &["social networks"],
+        &["Graph Mining", "World Wide Web"],
+    ),
+    ("Community Detection", &[], &["Social Network Analysis"]),
+    (
+        "Link Prediction",
+        &[],
+        &["Social Network Analysis", "Machine Learning"],
+    ),
+    (
+        "Text Mining",
+        &["text analytics"],
+        &["Data Mining", "Natural Language Processing"],
+    ),
+    ("Sentiment Analysis", &["opinion mining"], &["Text Mining"]),
+    (
+        "Topic Modeling",
+        &["topic models", "lda", "latent dirichlet allocation"],
+        &["Text Mining", "Machine Learning"],
+    ),
+    (
+        "Information Extraction",
+        &["ie"],
+        &["Natural Language Processing", "Text Mining"],
+    ),
+    (
+        "Named Entity Recognition",
+        &["ner"],
+        &["Information Extraction"],
+    ),
+    (
+        "Entity Linking",
+        &["entity disambiguation"],
+        &["Information Extraction", "Knowledge Graphs"],
+    ),
+    ("Relation Extraction", &[], &["Information Extraction"]),
+    (
+        "Machine Translation",
+        &["mt"],
+        &["Natural Language Processing"],
+    ),
+    (
+        "Question Answering",
+        &["qa systems"],
+        &["Natural Language Processing", "Information Retrieval"],
+    ),
+    (
+        "Word Embeddings",
+        &["word2vec", "distributed representations"],
+        &["Natural Language Processing", "Deep Learning"],
+    ),
+    (
+        "Language Models",
+        &["language modeling"],
+        &["Natural Language Processing"],
+    ),
+    (
+        "Speech Recognition",
+        &["asr"],
+        &["Natural Language Processing"],
+    ),
+    (
+        "Text Summarization",
+        &["summarization"],
+        &["Natural Language Processing"],
+    ),
+    (
+        "Image Classification",
+        &[],
+        &["Computer Vision", "Supervised Learning"],
+    ),
+    ("Object Detection", &[], &["Computer Vision"]),
+    ("Image Segmentation", &[], &["Computer Vision"]),
+    ("Face Recognition", &[], &["Computer Vision"]),
+    (
+        "Planning",
+        &["automated planning"],
+        &["Artificial Intelligence"],
+    ),
+    (
+        "Search Algorithms",
+        &["heuristic search"],
+        &["Artificial Intelligence"],
+    ),
+    (
+        "Constraint Satisfaction",
+        &["constraint programming"],
+        &["Artificial Intelligence"],
+    ),
+    (
+        "Multi Agent Systems",
+        &["agents", "agent-based systems"],
+        &["Artificial Intelligence"],
+    ),
+    (
+        "Game Theory",
+        &["mechanism design"],
+        &["Artificial Intelligence", "Theory of Computation"],
+    ),
+    (
+        "Evolutionary Computation",
+        &["genetic algorithms"],
+        &["Artificial Intelligence"],
+    ),
+    (
+        "Fuzzy Logic",
+        &["fuzzy systems"],
+        &["Artificial Intelligence"],
+    ),
+    ("Expert Systems", &[], &["Knowledge Representation"]),
+    // ---- IR subtree -------------------------------------------------------
+    (
+        "Web Search",
+        &["search engines"],
+        &["Information Retrieval", "World Wide Web"],
+    ),
+    (
+        "Ranking",
+        &["learning to rank", "ranking models"],
+        &["Information Retrieval"],
+    ),
+    ("Relevance Feedback", &[], &["Information Retrieval"]),
+    (
+        "Query Expansion",
+        &["query reformulation"],
+        &["Information Retrieval"],
+    ),
+    (
+        "Inverted Indexes",
+        &["inverted files"],
+        &["Information Retrieval", "Indexing"],
+    ),
+    (
+        "TF IDF",
+        &["tf-idf", "term weighting"],
+        &["Information Retrieval"],
+    ),
+    (
+        "Evaluation Metrics",
+        &["ndcg", "precision and recall"],
+        &["Information Retrieval"],
+    ),
+    (
+        "Digital Libraries",
+        &["scholarly data", "academic search"],
+        &["Information Retrieval", "Scientometrics"],
+    ),
+    (
+        "Citation Analysis",
+        &["citation networks", "h-index"],
+        &["Scientometrics"],
+    ),
+    (
+        "Peer Review",
+        &["scientific reviewing", "manuscript review"],
+        &["Scientometrics"],
+    ),
+    (
+        "Reviewer Assignment",
+        &["reviewer recommendation", "paper-reviewer assignment"],
+        &["Peer Review", "Recommender Systems"],
+    ),
+    (
+        "Author Name Disambiguation",
+        &["name disambiguation", "author disambiguation"],
+        &["Digital Libraries", "Entity Resolution"],
+    ),
+    (
+        "Conflict of Interest Detection",
+        &["coi detection"],
+        &["Peer Review"],
+    ),
+    (
+        "Expert Finding",
+        &["expertise retrieval", "expert search"],
+        &["Information Retrieval", "Scientometrics"],
+    ),
+    (
+        "Bibliographic Databases",
+        &["dblp", "citation indexes"],
+        &["Digital Libraries"],
+    ),
+    // ---- distributed systems subtree --------------------------------------
+    (
+        "Cloud Computing",
+        &["cloud services"],
+        &["Distributed Systems"],
+    ),
+    (
+        "Serverless Computing",
+        &["function as a service", "faas"],
+        &["Cloud Computing"],
+    ),
+    (
+        "Virtualization",
+        &["virtual machines"],
+        &["Cloud Computing", "Operating Systems"],
+    ),
+    (
+        "Containers",
+        &["containerization", "docker"],
+        &["Virtualization"],
+    ),
+    (
+        "Consensus Protocols",
+        &["paxos", "raft"],
+        &["Distributed Systems"],
+    ),
+    (
+        "Replication",
+        &["data replication"],
+        &["Distributed Systems", "Databases"],
+    ),
+    (
+        "Fault Tolerance",
+        &["dependability"],
+        &["Distributed Systems"],
+    ),
+    ("Peer to Peer Systems", &["p2p"], &["Distributed Systems"]),
+    (
+        "Blockchain",
+        &["distributed ledger", "smart contracts"],
+        &["Distributed Systems", "Security and Privacy"],
+    ),
+    (
+        "Edge Computing",
+        &["fog computing"],
+        &["Cloud Computing", "Computer Networks"],
+    ),
+    ("Grid Computing", &[], &["Distributed Systems"]),
+    ("Load Balancing", &[], &["Distributed Systems"]),
+    (
+        "Distributed File Systems",
+        &["hdfs"],
+        &["Distributed Systems", "Storage Systems"],
+    ),
+    (
+        "Resource Management",
+        &["scheduling", "cluster scheduling"],
+        &["Distributed Systems", "Operating Systems"],
+    ),
+    (
+        "Microservices",
+        &["service-oriented architecture", "soa"],
+        &["Distributed Systems", "Software Engineering"],
+    ),
+    // ---- networks subtree --------------------------------------------------
+    ("Wireless Networks", &["wifi"], &["Computer Networks"]),
+    (
+        "Sensor Networks",
+        &["wireless sensor networks", "wsn"],
+        &["Wireless Networks", "Embedded Systems"],
+    ),
+    (
+        "Internet of Things",
+        &["iot"],
+        &["Computer Networks", "Embedded Systems"],
+    ),
+    (
+        "Software Defined Networking",
+        &["sdn"],
+        &["Computer Networks"],
+    ),
+    ("Network Protocols", &["tcp/ip"], &["Computer Networks"]),
+    (
+        "Network Measurement",
+        &["traffic analysis"],
+        &["Computer Networks"],
+    ),
+    (
+        "Mobile Computing",
+        &["mobile systems"],
+        &["Computer Networks"],
+    ),
+    (
+        "Content Delivery Networks",
+        &["cdn"],
+        &["Computer Networks", "World Wide Web"],
+    ),
+    // ---- security subtree --------------------------------------------------
+    (
+        "Cryptography",
+        &["crypto"],
+        &["Security and Privacy", "Theory of Computation"],
+    ),
+    (
+        "Public Key Cryptography",
+        &["rsa", "asymmetric cryptography"],
+        &["Cryptography"],
+    ),
+    ("Homomorphic Encryption", &[], &["Cryptography"]),
+    (
+        "Authentication",
+        &["access control"],
+        &["Security and Privacy"],
+    ),
+    (
+        "Intrusion Detection",
+        &["ids"],
+        &["Security and Privacy", "Anomaly Detection"],
+    ),
+    (
+        "Malware Analysis",
+        &["malware detection"],
+        &["Security and Privacy"],
+    ),
+    (
+        "Differential Privacy",
+        &[],
+        &["Security and Privacy", "Databases"],
+    ),
+    (
+        "Data Anonymization",
+        &["k-anonymity"],
+        &["Security and Privacy", "Databases"],
+    ),
+    (
+        "Web Security",
+        &[],
+        &["Security and Privacy", "World Wide Web"],
+    ),
+    (
+        "Network Security",
+        &["firewalls"],
+        &["Security and Privacy", "Computer Networks"],
+    ),
+    ("Secure Multiparty Computation", &["mpc"], &["Cryptography"]),
+    // ---- software engineering subtree --------------------------------------
+    (
+        "Software Testing",
+        &["test generation", "unit testing"],
+        &["Software Engineering"],
+    ),
+    (
+        "Program Analysis",
+        &["static analysis", "dynamic analysis"],
+        &["Software Engineering", "Programming Languages"],
+    ),
+    (
+        "Software Verification",
+        &["formal verification"],
+        &["Software Engineering", "Theory of Computation"],
+    ),
+    ("Model Checking", &[], &["Software Verification"]),
+    (
+        "Program Synthesis",
+        &[],
+        &["Programming Languages", "Artificial Intelligence"],
+    ),
+    ("Refactoring", &["code smells"], &["Software Engineering"]),
+    (
+        "Mining Software Repositories",
+        &["msr"],
+        &["Software Engineering", "Data Mining"],
+    ),
+    (
+        "DevOps",
+        &["continuous integration", "ci/cd"],
+        &["Software Engineering"],
+    ),
+    ("Requirements Engineering", &[], &["Software Engineering"]),
+    (
+        "Software Architecture",
+        &["design patterns"],
+        &["Software Engineering"],
+    ),
+    (
+        "Empirical Software Engineering",
+        &[],
+        &["Software Engineering"],
+    ),
+    (
+        "Bug Detection",
+        &["fault localization", "defect prediction"],
+        &["Software Testing"],
+    ),
+    // ---- PL subtree ---------------------------------------------------------
+    (
+        "Compilers",
+        &["compiler construction", "code generation"],
+        &["Programming Languages"],
+    ),
+    (
+        "Type Systems",
+        &["type theory", "type inference"],
+        &["Programming Languages"],
+    ),
+    (
+        "Functional Programming",
+        &["lambda calculus"],
+        &["Programming Languages"],
+    ),
+    (
+        "Concurrent Programming",
+        &["parallel programming"],
+        &["Programming Languages", "Parallel Computing"],
+    ),
+    (
+        "Memory Management",
+        &["garbage collection"],
+        &["Programming Languages", "Operating Systems"],
+    ),
+    ("Just In Time Compilation", &["jit"], &["Compilers"]),
+    (
+        "Domain Specific Languages",
+        &["dsl", "dsls"],
+        &["Programming Languages"],
+    ),
+    // ---- theory subtree -----------------------------------------------------
+    (
+        "Algorithms",
+        &["algorithm design"],
+        &["Theory of Computation"],
+    ),
+    (
+        "Computational Complexity",
+        &["complexity theory", "np-completeness"],
+        &["Theory of Computation"],
+    ),
+    ("Graph Algorithms", &["graph theory"], &["Algorithms"]),
+    ("Approximation Algorithms", &[], &["Algorithms"]),
+    (
+        "Randomized Algorithms",
+        &["probabilistic algorithms"],
+        &["Algorithms"],
+    ),
+    (
+        "Online Algorithms",
+        &["competitive analysis"],
+        &["Algorithms"],
+    ),
+    ("Data Structures", &[], &["Algorithms"]),
+    (
+        "Streaming Algorithms",
+        &["sketching", "sublinear algorithms"],
+        &["Algorithms", "Data Streams"],
+    ),
+    (
+        "Optimization",
+        &["mathematical optimization", "linear programming"],
+        &["Theory of Computation"],
+    ),
+    (
+        "Combinatorial Optimization",
+        &["integer programming"],
+        &["Optimization"],
+    ),
+    (
+        "Convex Optimization",
+        &["gradient descent"],
+        &["Optimization", "Machine Learning"],
+    ),
+    (
+        "Automata Theory",
+        &["formal languages"],
+        &["Theory of Computation"],
+    ),
+    (
+        "Logic in Computer Science",
+        &["computational logic", "satisfiability", "sat solving"],
+        &["Theory of Computation"],
+    ),
+    (
+        "Quantum Computing",
+        &["quantum algorithms"],
+        &["Theory of Computation", "Computer Architecture"],
+    ),
+    (
+        "Coding Theory",
+        &["error correcting codes"],
+        &["Theory of Computation"],
+    ),
+    (
+        "Computational Geometry",
+        &[],
+        &["Algorithms", "Computer Graphics"],
+    ),
+    // ---- HCI / graphics / misc ---------------------------------------------
+    (
+        "Information Visualization",
+        &["data visualization", "visual analytics"],
+        &["Human Computer Interaction", "Computer Graphics"],
+    ),
+    (
+        "User Studies",
+        &["usability", "user experience"],
+        &["Human Computer Interaction"],
+    ),
+    (
+        "Ubiquitous Computing",
+        &["pervasive computing"],
+        &["Human Computer Interaction", "Mobile Computing"],
+    ),
+    (
+        "Accessibility",
+        &["assistive technology"],
+        &["Human Computer Interaction"],
+    ),
+    ("Rendering", &["ray tracing"], &["Computer Graphics"]),
+    (
+        "Geometric Modeling",
+        &["3d modeling", "mesh processing"],
+        &["Computer Graphics"],
+    ),
+    (
+        "Animation",
+        &["character animation"],
+        &["Computer Graphics"],
+    ),
+    (
+        "Virtual Reality",
+        &["vr", "augmented reality", "ar"],
+        &["Computer Graphics", "Human Computer Interaction"],
+    ),
+    (
+        "GPU Computing",
+        &["gpgpu", "cuda"],
+        &["Parallel Computing", "Computer Architecture"],
+    ),
+    (
+        "High Performance Computing",
+        &["hpc", "supercomputing"],
+        &["Parallel Computing"],
+    ),
+    (
+        "Real Time Systems",
+        &[],
+        &["Embedded Systems", "Operating Systems"],
+    ),
+    ("Cyber Physical Systems", &["cps"], &["Embedded Systems"]),
+    (
+        "File Systems",
+        &[],
+        &["Operating Systems", "Storage Systems"],
+    ),
+    ("Kernel Design", &["microkernels"], &["Operating Systems"]),
+    (
+        "Energy Efficiency",
+        &["power management", "green computing"],
+        &["Computer Architecture", "Operating Systems"],
+    ),
+    (
+        "Non Volatile Memory",
+        &["nvm", "persistent memory"],
+        &["Computer Architecture", "Storage Systems"],
+    ),
+    (
+        "Hardware Accelerators",
+        &["fpga", "asic"],
+        &["Computer Architecture"],
+    ),
+    (
+        "Processor Design",
+        &["cpu microarchitecture", "branch prediction"],
+        &["Computer Architecture"],
+    ),
+    (
+        "Caching",
+        &["cache management", "cache replacement"],
+        &["Computer Architecture", "Operating Systems"],
+    ),
+    (
+        "Genomics",
+        &["sequence analysis", "genome assembly"],
+        &["Bioinformatics"],
+    ),
+    (
+        "Protein Structure Prediction",
+        &["proteomics"],
+        &["Bioinformatics"],
+    ),
+    (
+        "Medical Informatics",
+        &["health informatics", "clinical data"],
+        &["Bioinformatics", "Databases"],
+    ),
+    (
+        "Computational Neuroscience",
+        &["brain modeling"],
+        &["Bioinformatics", "Artificial Intelligence"],
+    ),
+    (
+        "Geographic Information Systems",
+        &["gis", "geospatial data"],
+        &["Spatial Databases", "Information Retrieval"],
+    ),
+    (
+        "Urban Computing",
+        &["smart cities"],
+        &["Data Mining", "Internet of Things"],
+    ),
+    (
+        "E Learning",
+        &["educational technology", "mooc"],
+        &["Human Computer Interaction", "World Wide Web"],
+    ),
+    (
+        "Computational Social Science",
+        &["social computing"],
+        &["Data Mining", "Social Network Analysis"],
+    ),
+    (
+        "Fairness in Machine Learning",
+        &["algorithmic fairness", "bias in ai"],
+        &["Machine Learning", "Computational Social Science"],
+    ),
+    (
+        "Adversarial Machine Learning",
+        &["adversarial examples"],
+        &["Machine Learning", "Security and Privacy"],
+    ),
+    (
+        "Graph Neural Networks",
+        &["gnn", "gnns"],
+        &["Deep Learning", "Graph Mining"],
+    ),
+    (
+        "Generative Models",
+        &[
+            "gans",
+            "generative adversarial networks",
+            "variational autoencoders",
+        ],
+        &["Deep Learning"],
+    ),
+    (
+        "Few Shot Learning",
+        &["meta-learning", "zero-shot learning"],
+        &["Machine Learning"],
+    ),
+    (
+        "Self Supervised Learning",
+        &["contrastive learning"],
+        &["Machine Learning"],
+    ),
+    ("Data Augmentation", &[], &["Machine Learning"]),
+    (
+        "Model Compression",
+        &["knowledge distillation", "pruning"],
+        &["Deep Learning"],
+    ),
+    (
+        "Machine Learning Systems",
+        &["ml systems", "mlops"],
+        &["Machine Learning", "Distributed Systems"],
+    ),
+    (
+        "Data Management for ML",
+        &["ml data management", "feature stores"],
+        &["Machine Learning Systems", "Databases"],
+    ),
+    (
+        "Vector Databases",
+        &["similarity search", "nearest neighbor search"],
+        &["Databases", "Information Retrieval"],
+    ),
+];
+
+/// Undirected `related_equivalent` pairs — near-synonymous or tightly
+/// coupled topics, by label.
+const RELATED: &[(&str, &str)] = &[
+    // The paper's worked example: RDF expands to these three.
+    ("RDF", "Semantic Web"),
+    ("RDF", "Linked Open Data"),
+    ("RDF", "SPARQL"),
+    ("SPARQL", "Query Languages"),
+    ("Linked Open Data", "Knowledge Graphs"),
+    ("Ontologies", "Knowledge Representation"),
+    ("Knowledge Graphs", "Ontologies"),
+    ("Semantic Web", "Ontologies"),
+    ("Big Data", "MapReduce"),
+    ("Big Data", "Data Streams"),
+    ("Cloud Computing", "Virtualization"),
+    ("Data Mining", "Machine Learning"),
+    ("Clustering", "Unsupervised Learning"),
+    ("Deep Learning", "Machine Learning"),
+    ("Text Mining", "Natural Language Processing"),
+    ("Information Extraction", "Named Entity Recognition"),
+    ("Entity Resolution", "Author Name Disambiguation"),
+    ("Entity Linking", "Entity Resolution"),
+    (
+        "Recommender Systems",
+        "Collaborative Filtering Alias Holder",
+    ),
+    ("Expert Finding", "Reviewer Assignment"),
+    ("Peer Review", "Reviewer Assignment"),
+    ("Citation Analysis", "Digital Libraries"),
+    ("Inverted Indexes", "Web Search"),
+    ("TF IDF", "Ranking"),
+    ("Query Expansion", "Web Search"),
+    ("Consensus Protocols", "Replication"),
+    ("Fault Tolerance", "Replication"),
+    ("Blockchain", "Consensus Protocols"),
+    ("Distributed File Systems", "Storage Systems"),
+    ("Stream Processing Alias Holder", "Complex Event Processing"),
+    ("Data Warehousing", "Big Data"),
+    ("Column Stores", "Data Warehousing"),
+    ("In Memory Databases", "Column Stores"),
+    ("Graph Databases", "Graph Mining"),
+    ("Graph Neural Networks", "Knowledge Graphs"),
+    ("Social Network Analysis", "Community Detection"),
+    ("Topic Modeling", "Text Mining"),
+    ("Word Embeddings", "Language Models"),
+    ("Transformers", "Language Models"),
+    ("Image Classification", "Object Detection"),
+    ("Cryptography", "Network Security"),
+    ("Differential Privacy", "Data Anonymization"),
+    ("Intrusion Detection", "Network Security"),
+    ("Program Analysis", "Bug Detection"),
+    ("Software Verification", "Model Checking"),
+    ("Compilers", "Program Analysis"),
+    ("Concurrency Control", "Distributed Transactions"),
+    ("Multiversion Concurrency Control", "Serializability"),
+    ("Query Optimization", "Cardinality Estimation"),
+    ("Learned Indexes", "B Trees"),
+    ("Log Structured Storage", "Key Value Stores"),
+    ("Vector Databases", "Word Embeddings"),
+    ("GPU Computing", "High Performance Computing"),
+    ("Hardware Accelerators", "GPU Computing"),
+    ("Non Volatile Memory", "File Systems"),
+    ("Internet of Things", "Sensor Networks"),
+    ("Edge Computing", "Internet of Things"),
+    ("Geographic Information Systems", "Spatial Databases"),
+    ("Urban Computing", "Geographic Information Systems"),
+    ("Medical Informatics", "Genomics"),
+    ("Fairness in Machine Learning", "Explainable AI"),
+    ("AutoML", "Hyperparameter Tuning Alias Holder"),
+    ("Streaming Algorithms", "Data Streams"),
+    ("Information Visualization", "User Studies"),
+    ("Scientometrics", "Citation Analysis"),
+    ("Conflict of Interest Detection", "Peer Review"),
+    ("Question Answering", "Web Search"),
+    ("Data Cleaning", "Entity Resolution"),
+    ("Schema Matching", "Ontology Matching"),
+    ("Provenance", "Workflow Systems"),
+    ("Business Process Management", "Workflow Systems"),
+];
+
+/// Builds the curated ontology.
+///
+/// Infallible by construction: the tables above are validated by unit
+/// tests, and any inconsistency introduced by a future edit fails those
+/// tests rather than panicking in production code (unknown labels in the
+/// `RELATED` table are skipped with the pair recorded in `skipped` —
+/// exposed through [`curated_cs_ontology_report`]).
+pub fn curated_cs_ontology() -> Ontology {
+    curated_cs_ontology_report().0
+}
+
+/// Builds the curated ontology and reports `RELATED` pairs whose labels
+/// did not resolve (used by tests to keep the tables consistent).
+pub fn curated_cs_ontology_report() -> (Ontology, Vec<(String, String)>) {
+    let mut b = OntologyBuilder::new();
+    let mut ids = std::collections::HashMap::new();
+    for (label, aliases, parents) in TOPICS {
+        let id = b
+            .add_topic(label, aliases)
+            .unwrap_or_else(|e| panic!("curated topic table invalid at {label:?}: {e}"));
+        ids.insert(*label, id);
+        for p in *parents {
+            let pid = *ids
+                .get(p)
+                .unwrap_or_else(|| panic!("parent {p:?} of {label:?} not yet defined"));
+            b.add_super_topic(pid, id)
+                .unwrap_or_else(|e| panic!("curated edge table invalid at {label:?}: {e}"));
+        }
+    }
+    let mut skipped = Vec::new();
+    for (a, bl) in RELATED {
+        match (ids.get(a), ids.get(bl)) {
+            (Some(&ia), Some(&ib)) => {
+                b.add_related(ia, ib)
+                    .unwrap_or_else(|e| panic!("related edge {a:?}-{bl:?} invalid: {e}"));
+            }
+            _ => skipped.push((a.to_string(), bl.to_string())),
+        }
+    }
+    (b.build(), skipped)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curated_ontology_builds() {
+        let o = curated_cs_ontology();
+        assert!(
+            o.len() >= 200,
+            "expected a substantial ontology, got {}",
+            o.len()
+        );
+        let s = o.stats();
+        assert_eq!(s.roots, 1, "single root expected");
+        assert!(s.max_depth >= 4);
+    }
+
+    #[test]
+    fn related_table_mostly_resolves() {
+        // A handful of placeholder labels are deliberately absent; anything
+        // else failing to resolve is a table bug.
+        let (_, skipped) = curated_cs_ontology_report();
+        for (a, b) in &skipped {
+            assert!(
+                a.contains("Alias Holder") || b.contains("Alias Holder"),
+                "unexpected unresolved related pair: {a:?} - {b:?}"
+            );
+        }
+        assert!(skipped.len() <= 3, "too many skipped pairs: {skipped:?}");
+    }
+
+    #[test]
+    fn papers_example_topics_exist() {
+        let o = curated_cs_ontology();
+        for label in [
+            "RDF",
+            "Semantic Web",
+            "Linked Open Data",
+            "SPARQL",
+            "Big Data",
+        ] {
+            assert!(o.resolve(label).is_some(), "missing topic {label}");
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_to_same_topic() {
+        let o = curated_cs_ontology();
+        assert_eq!(
+            o.resolve("rdf"),
+            o.resolve("resource description framework")
+        );
+        assert_eq!(o.resolve("ml"), o.resolve("Machine Learning"));
+        assert_eq!(o.resolve("kdd"), o.resolve("Data Mining"));
+    }
+
+    #[test]
+    fn rdf_related_to_paper_expansion_targets() {
+        let o = curated_cs_ontology();
+        let rdf = o.resolve("RDF").unwrap();
+        let rel: Vec<&str> = o.related(rdf).iter().map(|&t| o.label(t)).collect();
+        assert!(rel.contains(&"Semantic Web"));
+        assert!(rel.contains(&"Linked Open Data"));
+        assert!(rel.contains(&"SPARQL"));
+    }
+
+    #[test]
+    fn every_non_root_topic_reaches_the_root() {
+        let o = curated_cs_ontology();
+        let root = o.resolve("Computer Science").unwrap();
+        for t in o.topics() {
+            if t.id == root {
+                continue;
+            }
+            assert!(
+                o.ancestors(t.id).contains(&root),
+                "topic {} does not reach root",
+                t.label
+            );
+        }
+    }
+}

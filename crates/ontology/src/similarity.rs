@@ -1,0 +1,142 @@
+//! Semantic similarity between topics.
+//!
+//! The paper requires every expanded keyword to carry a similarity score
+//! `sc ∈ [0, 1]` relative to the original keyword (§2.1). We use a
+//! Wu–Palmer-style measure over the super-topic DAG, blended with a fixed
+//! bonus for `related_equivalent` neighbours, which CSO treats as
+//! near-synonyms.
+
+use std::collections::HashSet;
+
+use crate::graph::Ontology;
+use crate::topic::TopicId;
+
+/// Score assigned to a direct `related_equivalent` neighbour.
+pub(crate) const RELATED_SCORE: f64 = 0.9;
+
+impl Ontology {
+    /// Semantic similarity between two topics, in `[0, 1]`.
+    ///
+    /// * identical topics score `1.0`;
+    /// * `related_equivalent` neighbours score at least
+    ///   [`RELATED_SCORE`](0.9);
+    /// * otherwise the Wu–Palmer measure
+    ///   `2·depth(lcs) / (depth(a) + depth(b))` over the super-topic DAG,
+    ///   where `lcs` is the deepest common ancestor (topics themselves
+    ///   count as their own ancestors);
+    /// * topics with no common ancestor score `0.0`.
+    pub fn similarity(&self, a: TopicId, b: TopicId) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let wp = self.wu_palmer(a, b);
+        if self.related(a).contains(&b) {
+            wp.max(RELATED_SCORE)
+        } else {
+            wp
+        }
+    }
+
+    fn wu_palmer(&self, a: TopicId, b: TopicId) -> f64 {
+        let mut anc_a: HashSet<TopicId> = self.ancestors(a).into_iter().collect();
+        anc_a.insert(a);
+        let mut anc_b: HashSet<TopicId> = self.ancestors(b).into_iter().collect();
+        anc_b.insert(b);
+        let lcs_depth = anc_a
+            .intersection(&anc_b)
+            .map(|t| self.depth(*t))
+            .max()
+            .unwrap_or(0);
+        if lcs_depth == 0 {
+            return 0.0;
+        }
+        let da = self.depth(a) as f64;
+        let db = self.depth(b) as f64;
+        (2.0 * lcs_depth as f64) / (da + db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::OntologyBuilder;
+
+    /// cs ── db ── rdf
+    ///    └─ ai ── ml
+    /// related: rdf <-> sparql (sparql under db)
+    fn fixture() -> (Ontology, Vec<TopicId>) {
+        let mut b = OntologyBuilder::new();
+        let cs = b.add_topic("cs", &[]).unwrap();
+        let db = b.add_topic("db", &[]).unwrap();
+        let rdf = b.add_topic("rdf", &[]).unwrap();
+        let ai = b.add_topic("ai", &[]).unwrap();
+        let ml = b.add_topic("ml", &[]).unwrap();
+        let sparql = b.add_topic("sparql", &[]).unwrap();
+        b.add_super_topic(cs, db).unwrap();
+        b.add_super_topic(db, rdf).unwrap();
+        b.add_super_topic(cs, ai).unwrap();
+        b.add_super_topic(ai, ml).unwrap();
+        b.add_super_topic(db, sparql).unwrap();
+        b.add_related(rdf, sparql).unwrap();
+        (b.build(), vec![cs, db, rdf, ai, ml, sparql])
+    }
+
+    #[test]
+    fn identical_topics_score_one() {
+        let (o, ids) = fixture();
+        assert_eq!(o.similarity(ids[2], ids[2]), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_symmetric() {
+        let (o, ids) = fixture();
+        for &a in &ids {
+            for &b in &ids {
+                assert!((o.similarity(a, b) - o.similarity(b, a)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn related_neighbours_score_high() {
+        let (o, ids) = fixture();
+        let (rdf, sparql) = (ids[2], ids[5]);
+        assert!(o.similarity(rdf, sparql) >= 0.9);
+    }
+
+    #[test]
+    fn siblings_beat_cousins() {
+        let (o, ids) = fixture();
+        let (db, rdf, ml) = (ids[1], ids[2], ids[4]);
+        // rdf–db (parent/child) > rdf–ml (only common ancestor is root).
+        assert!(o.similarity(rdf, db) > o.similarity(rdf, ml));
+    }
+
+    #[test]
+    fn scores_bounded() {
+        let (o, ids) = fixture();
+        for &a in &ids {
+            for &b in &ids {
+                let s = o.similarity(a, b);
+                assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_topics_score_zero() {
+        let mut b = OntologyBuilder::new();
+        let a = b.add_topic("a", &[]).unwrap();
+        let c = b.add_topic("b", &[]).unwrap();
+        let o = b.build();
+        assert_eq!(o.similarity(a, c), 0.0);
+    }
+
+    #[test]
+    fn parent_child_similarity_uses_parent_depth() {
+        let (o, ids) = fixture();
+        let (cs, db) = (ids[0], ids[1]);
+        // lcs = cs (depth 1), depths 1 and 2 => 2*1/(1+2).
+        assert!((o.similarity(cs, db) - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests over generated ontologies: the invariants the
+//! similarity measure and expander must hold for *any* DAG, not just the
+//! curated seed.
+
+use minaret_ontology::gen::{GeneratorConfig, OntologyGenerator};
+use minaret_ontology::{ExpansionConfig, KeywordExpander, TopicId};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (
+        2usize..120,
+        1usize..10,
+        0.0f64..0.5,
+        0.0f64..0.8,
+        any::<u64>(),
+    )
+        .prop_map(
+            |(topics, branching, multi_parent_rate, related_rate, seed)| GeneratorConfig {
+                topics,
+                branching,
+                multi_parent_rate,
+                related_rate,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn similarity_is_symmetric_bounded_and_reflexive(cfg in arb_config()) {
+        let o = OntologyGenerator::new(cfg).generate();
+        let n = o.len();
+        // Sample a grid of pairs rather than all O(n^2).
+        let step = (n / 12).max(1);
+        for i in (0..n).step_by(step) {
+            let a = TopicId::from_index(i);
+            prop_assert_eq!(o.similarity(a, a), 1.0);
+            for j in (0..n).step_by(step) {
+                let b = TopicId::from_index(j);
+                let sab = o.similarity(a, b);
+                let sba = o.similarity(b, a);
+                prop_assert!((sab - sba).abs() < 1e-12, "asymmetric: {} vs {}", sab, sba);
+                prop_assert!((0.0..=1.0).contains(&sab));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_graphs_are_single_rooted_dags(cfg in arb_config()) {
+        let o = OntologyGenerator::new(cfg).generate();
+        let stats = o.stats();
+        prop_assert_eq!(stats.roots, 1);
+        prop_assert!(stats.max_depth >= 1);
+        // Every topic's ancestors terminate at the root (acyclicity was
+        // enforced at build; this checks reachability).
+        let root = TopicId::from_index(0);
+        for t in o.topics() {
+            if t.id != root {
+                prop_assert!(o.ancestors(t.id).contains(&root));
+            }
+        }
+    }
+
+    #[test]
+    fn expansion_scores_sorted_and_bounded_on_any_ontology(
+        cfg in arb_config(),
+        seed_idx in 0usize..100,
+        min_score in 0.0f64..1.0,
+        max_hops in 0u32..4,
+    ) {
+        let o = OntologyGenerator::new(cfg).generate();
+        let seed = TopicId::from_index(seed_idx % o.len());
+        let expander = KeywordExpander::new(&o, ExpansionConfig {
+            min_score,
+            max_hops,
+            max_results: 64,
+            ..Default::default()
+        });
+        let out = expander.expand_topic(seed);
+        prop_assert!(!out.is_empty(), "seed itself always present");
+        prop_assert_eq!(out[0].topic, seed);
+        prop_assert_eq!(out[0].score, 1.0);
+        for w in out.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for e in &out {
+            prop_assert!((0.0..=1.0).contains(&e.score));
+            prop_assert!(e.hops <= max_hops);
+            if e.topic != seed {
+                prop_assert!(e.score >= min_score);
+                // Reported score equals the true seed similarity.
+                prop_assert!((e.score - o.similarity(seed, e.topic)).abs() < 1e-12);
+            }
+        }
+        // No duplicates.
+        let mut topics: Vec<_> = out.iter().map(|e| e.topic).collect();
+        topics.sort();
+        topics.dedup();
+        prop_assert_eq!(topics.len(), out.len());
+    }
+
+    #[test]
+    fn expanding_with_lower_floor_is_a_superset(cfg in arb_config(), seed_idx in 0usize..100) {
+        let o = OntologyGenerator::new(cfg).generate();
+        let seed = TopicId::from_index(seed_idx % o.len());
+        let strict = KeywordExpander::new(&o, ExpansionConfig {
+            min_score: 0.8,
+            max_results: 1000,
+            ..Default::default()
+        }).expand_topic(seed);
+        let loose = KeywordExpander::new(&o, ExpansionConfig {
+            min_score: 0.4,
+            max_results: 1000,
+            ..Default::default()
+        }).expand_topic(seed);
+        let loose_topics: std::collections::HashSet<_> =
+            loose.iter().map(|e| e.topic).collect();
+        for e in &strict {
+            prop_assert!(
+                loose_topics.contains(&e.topic),
+                "strict result {:?} missing from loose expansion",
+                e.label
+            );
+        }
+    }
+}

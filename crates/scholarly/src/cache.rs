@@ -1,0 +1,218 @@
+//! Caching decorator over any [`ScholarSource`].
+//!
+//! The paper stresses that MINARET extracts information on-the-fly so the
+//! recommendations are "dynamic and based on up-to-date information".
+//! On-the-fly extraction is expensive; within one recommendation run the
+//! same profile is needed by several phases, so a per-run cache is the
+//! standard mitigation. Experiment E6 measures exactly what it buys.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::SourceError;
+use crate::record::SourceProfile;
+use crate::sim::ScholarSource;
+use crate::spec::SourceKind;
+
+/// Cache hit/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to go to the underlying source.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]`; `0` when no requests were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A read-through cache over a source.
+///
+/// Successful results are cached per query; errors are never cached, so a
+/// transient failure retried later can still succeed.
+pub struct CachingSource {
+    inner: Arc<dyn ScholarSource>,
+    by_name: RwLock<HashMap<String, Vec<SourceProfile>>>,
+    by_interest: RwLock<HashMap<String, Vec<SourceProfile>>>,
+    by_key: RwLock<HashMap<String, SourceProfile>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CachingSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachingSource")
+            .field("kind", &self.inner.kind())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl CachingSource {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: Arc<dyn ScholarSource>) -> Self {
+        Self {
+            inner,
+            by_name: RwLock::new(HashMap::new()),
+            by_interest: RwLock::new(HashMap::new()),
+            by_key: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Current hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drops all cached entries (a new recommendation run starting from
+    /// scratch, per the paper's freshness requirement).
+    pub fn clear(&self) {
+        self.by_name.write().clear();
+        self.by_interest.write().clear();
+        self.by_key.write().clear();
+    }
+}
+
+impl ScholarSource for CachingSource {
+    fn kind(&self) -> SourceKind {
+        self.inner.kind()
+    }
+
+    fn supports_interest_search(&self) -> bool {
+        self.inner.supports_interest_search()
+    }
+
+    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        if let Some(hit) = self.by_name.read().get(name) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.search_by_name(name)?;
+        self.by_name
+            .write()
+            .insert(name.to_string(), result.clone());
+        Ok(result)
+    }
+
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        if let Some(hit) = self.by_interest.read().get(keyword) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.search_by_interest(keyword)?;
+        self.by_interest
+            .write()
+            .insert(keyword.to_string(), result.clone());
+        Ok(result)
+    }
+
+    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+        if let Some(hit) = self.by_key.read().get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = self.inner.fetch_profile(key)?;
+        self.by_key.write().insert(key.to_string(), result.clone());
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimulatedSource;
+    use crate::spec::SourceSpec;
+    use minaret_synth::{WorldConfig, WorldGenerator};
+
+    fn cached(kind: SourceKind) -> (CachingSource, Arc<minaret_synth::World>) {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 100,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let src = Arc::new(SimulatedSource::new(
+            SourceSpec::for_kind(kind),
+            world.clone(),
+        ));
+        (CachingSource::new(src), world)
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let (c, w) = cached(SourceKind::GoogleScholar);
+        let name = w.scholars()[0].full_name();
+        let a = c.search_by_name(&name).unwrap();
+        let b = c.search_by_name(&name).unwrap();
+        assert_eq!(a, b);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_forces_refetch() {
+        let (c, w) = cached(SourceKind::Dblp);
+        let name = w.scholars()[1].full_name();
+        c.search_by_name(&name).unwrap();
+        c.clear();
+        c.search_by_name(&name).unwrap();
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 50,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        spec.failure_rate = 0.95;
+        let src = Arc::new(SimulatedSource::new(spec, world));
+        let c = CachingSource::new(src);
+        // Keep retrying until one call succeeds; then the next identical
+        // call must be a hit even though earlier ones failed.
+        let mut ok = false;
+        for _ in 0..200 {
+            if c.search_by_name("anyone").is_ok() {
+                ok = true;
+                break;
+            }
+        }
+        assert!(ok, "expected at least one success in 200 tries");
+        let before = c.stats().hits;
+        c.search_by_name("anyone").unwrap();
+        assert_eq!(c.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn empty_stats_hit_ratio_is_zero() {
+        let (c, _) = cached(SourceKind::Orcid);
+        assert_eq!(c.stats().hit_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Errors returned by scholarly sources.
+
+use std::fmt;
+
+use crate::spec::SourceKind;
+
+/// Errors a (simulated) scholarly source can return.
+///
+/// These mirror the failure modes of real web scraping: transient network
+/// failures, rate limiting, missing pages, and queries a source simply
+/// does not support.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceError {
+    /// A transient failure (timeout, connection reset). Retriable.
+    Transient {
+        /// Which source failed.
+        source: SourceKind,
+    },
+    /// The source rate-limited the caller. Retriable after a pause.
+    RateLimited {
+        /// Which source rate-limited.
+        source: SourceKind,
+    },
+    /// The requested profile does not exist on this source.
+    NotFound {
+        /// Which source was asked.
+        source: SourceKind,
+        /// The key that was requested.
+        key: String,
+    },
+    /// The source does not support this kind of query (e.g. DBLP has no
+    /// interest-based search).
+    Unsupported {
+        /// Which source was asked.
+        source: SourceKind,
+        /// Human-readable description of the unsupported operation.
+        operation: &'static str,
+    },
+}
+
+impl SourceError {
+    /// True when retrying the same request may succeed.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            SourceError::Transient { .. } | SourceError::RateLimited { .. }
+        )
+    }
+
+    /// The source that produced the error.
+    pub fn source(&self) -> SourceKind {
+        match self {
+            SourceError::Transient { source }
+            | SourceError::RateLimited { source }
+            | SourceError::NotFound { source, .. }
+            | SourceError::Unsupported { source, .. } => *source,
+        }
+    }
+}
+
+impl fmt::Display for SourceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceError::Transient { source } => write!(f, "{source}: transient failure"),
+            SourceError::RateLimited { source } => write!(f, "{source}: rate limited"),
+            SourceError::NotFound { source, key } => {
+                write!(f, "{source}: profile {key:?} not found")
+            }
+            SourceError::Unsupported { source, operation } => {
+                write!(f, "{source}: unsupported operation: {operation}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SourceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retriability_classification() {
+        assert!(SourceError::Transient {
+            source: SourceKind::Dblp
+        }
+        .is_retriable());
+        assert!(SourceError::RateLimited {
+            source: SourceKind::GoogleScholar
+        }
+        .is_retriable());
+        assert!(!SourceError::NotFound {
+            source: SourceKind::Publons,
+            key: "x".into()
+        }
+        .is_retriable());
+        assert!(!SourceError::Unsupported {
+            source: SourceKind::Dblp,
+            operation: "interest search"
+        }
+        .is_retriable());
+    }
+
+    #[test]
+    fn display_includes_source() {
+        let e = SourceError::NotFound {
+            source: SourceKind::Orcid,
+            key: "orcid:77".into(),
+        };
+        assert!(e.to_string().contains("ORCID"));
+        assert_eq!(e.source(), SourceKind::Orcid);
+    }
+}

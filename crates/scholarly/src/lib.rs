@@ -1,0 +1,45 @@
+//! Simulated scholarly data sources for the MINARET reproduction.
+//!
+//! MINARET extracts reviewer information *on-the-fly* from six scholarly
+//! websites: Google Scholar, DBLP, Publons, ACM DL, ORCID and
+//! ResearcherID (§2.1). This crate simulates all six as in-process
+//! services over one shared [`minaret_synth::World`]. Each source exposes
+//! a *partial, noisy, differently-shaped* view — Google Scholar has
+//! interests and citation metrics, DBLP has complete publication lists but
+//! no interests, Publons has review histories, ORCID has affiliation
+//! history, and so on — so the framework still faces the real integration
+//! problems: fan-out, heterogeneous records, merging, failures, caching.
+//!
+//! Key pieces:
+//!
+//! * [`ScholarSource`] — the trait the framework queries; the paper notes
+//!   the framework is "flexibly designed to include any further
+//!   information from any additional scholarly resource", which this trait
+//!   is the seam for.
+//! * [`SimulatedSource`] / [`SourceSpec`] — the six built-in simulations.
+//! * [`CachingSource`] — a caching decorator with hit/miss statistics
+//!   (experiment E6 measures cold vs. warm extraction).
+//! * [`SourceRegistry`] — concurrent fan-out with retry over all sources.
+//! * [`merge_profiles`] — merges per-source profiles into candidate
+//!   records by (normalized name, affiliation), the way a scraper must.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cache;
+mod error;
+mod merge;
+mod record;
+mod registry;
+mod sim;
+mod spec;
+
+pub use cache::{CacheStats, CachingSource};
+pub use error::SourceError;
+pub use merge::{merge_profiles, MergedCandidate};
+pub use record::{
+    AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
+};
+pub use registry::{RegistryConfig, RegistryStats, SourceRegistry};
+pub use sim::{ScholarSource, SimulatedSource};
+pub use spec::{SourceKind, SourceSpec};

@@ -1,0 +1,167 @@
+//! The record shapes sources return — the "scraped page" equivalents.
+
+use minaret_synth::ScholarId;
+
+use crate::spec::SourceKind;
+
+/// Citation metrics as exposed by metric-bearing sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SourceMetrics {
+    /// Total citation count, if the source exposes it.
+    pub citations: Option<u64>,
+    /// h-index, if the source exposes it.
+    pub h_index: Option<u32>,
+    /// i10-index (papers with ≥ 10 citations), Google-Scholar-style.
+    pub i10_index: Option<u32>,
+}
+
+/// One publication as listed on a profile page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourcePublication {
+    /// Title string.
+    pub title: String,
+    /// Publication year.
+    pub year: u32,
+    /// Venue name string (not an id — sources expose text).
+    pub venue_name: String,
+    /// Co-author display names as printed on the page.
+    pub coauthor_names: Vec<String>,
+    /// Topic keywords attached to the publication, when the source
+    /// exposes them.
+    pub keywords: Vec<String>,
+    /// Citation count of this publication, when exposed.
+    pub citations: Option<u32>,
+}
+
+/// One review record (Publons-style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceReview {
+    /// Venue reviewed for, as text.
+    pub venue_name: String,
+    /// Year of the review.
+    pub year: u32,
+    /// Days from invitation to submitted review.
+    pub turnaround_days: u32,
+    /// Review quality (1–5 stars), when the source exposes it (Publons).
+    pub quality: Option<u8>,
+}
+
+/// One entry of an affiliation history (ORCID-style).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AffiliationRecord {
+    /// Institution name as text.
+    pub institution: String,
+    /// Country of the institution.
+    pub country: String,
+    /// First year (inclusive).
+    pub from_year: u32,
+    /// Last year (inclusive).
+    pub to_year: u32,
+}
+
+/// A scholar profile as returned by one source.
+///
+/// This is the unit the extraction phase works with: text fields, partial
+/// lists, per-source keys — the shape of a scraped profile page.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceProfile {
+    /// Which source produced this profile.
+    pub source: SourceKind,
+    /// Opaque per-source profile key (e.g. `"gs:1f3a"`). Stable across
+    /// calls; different sources use unrelated keys for the same person.
+    pub key: String,
+    /// Display name as rendered by the source — may be abbreviated
+    /// ("L. Zhou") depending on the source's name noise.
+    pub display_name: String,
+    /// Current affiliation as text, when known.
+    pub affiliation: Option<String>,
+    /// Country of the current affiliation, when known.
+    pub country: Option<String>,
+    /// Full affiliation history (ORCID exposes this; others leave it
+    /// empty).
+    pub affiliation_history: Vec<AffiliationRecord>,
+    /// Research-interest keywords registered on the profile.
+    pub interests: Vec<String>,
+    /// Publications listed on the profile (subset of the truth).
+    pub publications: Vec<SourcePublication>,
+    /// Citation metrics, when the source exposes them.
+    pub metrics: SourceMetrics,
+    /// Review records, when the source exposes them (Publons).
+    pub reviews: Vec<SourceReview>,
+    /// Ground-truth identity of the scholar this profile belongs to.
+    ///
+    /// **Evaluation-only.** The recommendation framework never reads this
+    /// field; it exists so `minaret-eval` can score disambiguation and
+    /// ranking decisions against the truth. Real scraped pages obviously
+    /// have no such label.
+    pub truth: ScholarId,
+}
+
+impl SourceProfile {
+    /// Number of review records on the profile.
+    pub fn review_count(&self) -> u32 {
+        self.reviews.len() as u32
+    }
+
+    /// Most recent publication year on the profile, if any.
+    pub fn latest_publication_year(&self) -> Option<u32> {
+        self.publications.iter().map(|p| p.year).max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> SourceProfile {
+        SourceProfile {
+            source: SourceKind::GoogleScholar,
+            key: "gs:1".into(),
+            display_name: "Ada Lovelace".into(),
+            affiliation: Some("University of Tartu".into()),
+            country: Some("Estonia".into()),
+            affiliation_history: vec![],
+            interests: vec!["databases".into()],
+            publications: vec![
+                SourcePublication {
+                    title: "A".into(),
+                    year: 2015,
+                    venue_name: "J".into(),
+                    coauthor_names: vec![],
+                    keywords: vec![],
+                    citations: Some(4),
+                },
+                SourcePublication {
+                    title: "B".into(),
+                    year: 2017,
+                    venue_name: "J".into(),
+                    coauthor_names: vec![],
+                    keywords: vec![],
+                    citations: None,
+                },
+            ],
+            metrics: SourceMetrics::default(),
+            reviews: vec![SourceReview {
+                venue_name: "J".into(),
+                year: 2016,
+                turnaround_days: 21,
+                quality: Some(4),
+            }],
+            truth: ScholarId(0),
+        }
+    }
+
+    #[test]
+    fn helpers_summarize_profile() {
+        let p = profile();
+        assert_eq!(p.review_count(), 1);
+        assert_eq!(p.latest_publication_year(), Some(2017));
+    }
+
+    #[test]
+    fn empty_profile_has_no_latest_year() {
+        let mut p = profile();
+        p.publications.clear();
+        assert_eq!(p.latest_publication_year(), None);
+    }
+}

@@ -1,0 +1,591 @@
+//! The simulated source implementation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use minaret_ontology::normalize_label;
+use minaret_synth::{ScholarId, World};
+
+use crate::error::SourceError;
+use crate::record::{
+    AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
+};
+use crate::spec::{SourceKind, SourceSpec};
+
+/// A scholarly data source, as the extraction phase sees it.
+///
+/// The paper's framework treats every scholarly website uniformly and is
+/// "flexibly designed to include any further information from any
+/// additional scholarly resource" — this trait is that extension seam.
+/// All methods may fail transiently; callers are expected to retry
+/// retriable errors (see [`crate::SourceRegistry`]).
+pub trait ScholarSource: Send + Sync {
+    /// Which service this is.
+    fn kind(&self) -> SourceKind;
+
+    /// Whether [`ScholarSource::search_by_interest`] is supported.
+    fn supports_interest_search(&self) -> bool;
+
+    /// Finds profiles whose display name matches `name` (normalized,
+    /// both full names and abbreviated forms are matched the way the
+    /// real sites do).
+    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError>;
+
+    /// Finds profiles that register `keyword` among their research
+    /// interests — the paper queries Google Scholar and Publons this way
+    /// to retrieve candidate reviewers (§2.1).
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError>;
+
+    /// Fetches one profile by its per-source key.
+    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError>;
+}
+
+/// FNV-1a; all simulation noise is a pure function of hashed identifiers,
+/// so a source's view of the world is stable across calls and runs.
+fn hash64(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &p in parts {
+        for b in p.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// One simulated scholarly website over a shared [`World`].
+pub struct SimulatedSource {
+    spec: SourceSpec,
+    world: Arc<World>,
+    salt: u64,
+    /// normalized full display name -> scholars covered by this source.
+    name_index: HashMap<String, Vec<ScholarId>>,
+    /// normalized interest keyword -> scholars registering it here.
+    interest_index: HashMap<String, Vec<ScholarId>>,
+    calls: AtomicU64,
+    rate_window_used: AtomicU64,
+}
+
+impl std::fmt::Debug for SimulatedSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedSource")
+            .field("kind", &self.spec.kind)
+            .field("names", &self.name_index.len())
+            .finish()
+    }
+}
+
+impl SimulatedSource {
+    /// Builds the simulated source, precomputing its coverage and search
+    /// indexes for the given world.
+    pub fn new(spec: SourceSpec, world: Arc<World>) -> Self {
+        let salt = hash64(&[spec.kind as u64 + 1, 0x5eed]);
+        let mut name_index: HashMap<String, Vec<ScholarId>> = HashMap::new();
+        let mut interest_index: HashMap<String, Vec<ScholarId>> = HashMap::new();
+        for s in world.scholars() {
+            if !Self::covered_static(salt, spec.coverage, s.id) {
+                continue;
+            }
+            let display = Self::display_name_static(salt, &spec, s.id, &world);
+            name_index
+                .entry(normalize_label(&display))
+                .or_default()
+                .push(s.id);
+            // Also index under the unabbreviated name — sites match both.
+            let full = normalize_label(&s.full_name());
+            let entry = name_index.entry(full).or_default();
+            if !entry.contains(&s.id) {
+                entry.push(s.id);
+            }
+            if spec.has_interests {
+                for (i, &t) in s.interests.iter().enumerate() {
+                    // Each interest survives onto the profile with p=0.85.
+                    let keep = unit(hash64(&[salt, 0x1a7e, s.id.0 as u64, i as u64])) < 0.85;
+                    if keep {
+                        let label = normalize_label(world.ontology.label(t));
+                        interest_index.entry(label).or_default().push(s.id);
+                    }
+                }
+            }
+        }
+        Self {
+            spec,
+            world,
+            salt,
+            name_index,
+            interest_index,
+            calls: AtomicU64::new(0),
+            rate_window_used: AtomicU64::new(0),
+        }
+    }
+
+    /// The source's simulation parameters.
+    pub fn spec(&self) -> &SourceSpec {
+        &self.spec
+    }
+
+    /// Number of scholars this source covers.
+    pub fn covered_count(&self) -> usize {
+        self.world
+            .scholars()
+            .iter()
+            .filter(|s| Self::covered_static(self.salt, self.spec.coverage, s.id))
+            .count()
+    }
+
+    fn covered_static(salt: u64, coverage: f64, id: ScholarId) -> bool {
+        unit(hash64(&[salt, 0xc0ffee, id.0 as u64])) < coverage
+    }
+
+    fn display_name_static(salt: u64, spec: &SourceSpec, id: ScholarId, world: &World) -> String {
+        let s = world.scholar(id);
+        if unit(hash64(&[salt, 0x4a3e, id.0 as u64])) < spec.name_noise {
+            let initial = s.given_name.chars().next().unwrap_or('?');
+            format!("{initial}. {}", s.family_name)
+        } else {
+            s.full_name()
+        }
+    }
+
+    /// The per-source key for a scholar — an opaque, source-specific id.
+    pub fn key_for(&self, id: ScholarId) -> String {
+        let obfuscated = hash64(&[self.salt, 0x6b, id.0 as u64]) & 0xffff_ffff;
+        format!("{}:{obfuscated:08x}-{}", self.spec.kind.prefix(), id.0)
+    }
+
+    fn scholar_from_key(&self, key: &str) -> Option<ScholarId> {
+        let rest = key
+            .strip_prefix(self.spec.kind.prefix())?
+            .strip_prefix(':')?;
+        let (hash_part, idx) = rest.split_once('-')?;
+        let id = ScholarId(idx.parse().ok()?);
+        if id.index() >= self.world.scholars().len() {
+            return None;
+        }
+        let expect = hash64(&[self.salt, 0x6b, id.0 as u64]) & 0xffff_ffff;
+        if u64::from_str_radix(hash_part, 16).ok()? != expect {
+            return None;
+        }
+        Some(id)
+    }
+
+    /// Simulates per-call cost and failure; every public operation calls
+    /// this exactly once.
+    fn pay_call(&self) -> Result<(), SourceError> {
+        if self.spec.latency_micros > 0 {
+            std::thread::sleep(Duration::from_micros(self.spec.latency_micros));
+        }
+        let seq = self.calls.fetch_add(1, Ordering::Relaxed);
+        if self.spec.rate_limit > 0 {
+            let used = self.rate_window_used.fetch_add(1, Ordering::Relaxed);
+            if used >= self.spec.rate_limit as u64 {
+                // One rejection, then the window resets — a compressed
+                // model of "back off and the limiter forgives you".
+                self.rate_window_used.store(0, Ordering::Relaxed);
+                return Err(SourceError::RateLimited {
+                    source: self.spec.kind,
+                });
+            }
+        }
+        if self.spec.failure_rate > 0.0
+            && unit(hash64(&[self.salt, 0xfa11, seq])) < self.spec.failure_rate
+        {
+            return Err(SourceError::Transient {
+                source: self.spec.kind,
+            });
+        }
+        Ok(())
+    }
+
+    /// Builds the profile a page fetch would return for `id`.
+    fn build_profile(&self, id: ScholarId) -> SourceProfile {
+        let w = &self.world;
+        let s = w.scholar(id);
+        let spec = &self.spec;
+        let display_name = Self::display_name_static(self.salt, spec, id, w);
+
+        let current_inst = w.institution(s.current_affiliation());
+        let (affiliation, country) = (
+            Some(current_inst.name.clone()),
+            Some(current_inst.country.clone()),
+        );
+        let affiliation_history = if spec.has_affiliation_history {
+            s.affiliations
+                .iter()
+                .map(|a| {
+                    let inst = w.institution(a.institution);
+                    AffiliationRecord {
+                        institution: inst.name.clone(),
+                        country: inst.country.clone(),
+                        from_year: a.from_year,
+                        to_year: a.to_year,
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let interests = if spec.has_interests {
+            s.interests
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| unit(hash64(&[self.salt, 0x1a7e, id.0 as u64, *i as u64])) < 0.85)
+                .map(|(_, &t)| w.ontology.label(t).to_string())
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        let mut publications = Vec::new();
+        for &pid in w.papers_of(id) {
+            if unit(hash64(&[self.salt, 0x9a9e2, pid.0 as u64])) >= spec.publication_coverage {
+                continue;
+            }
+            let p = w.paper(pid);
+            publications.push(SourcePublication {
+                title: p.title.clone(),
+                year: p.year,
+                venue_name: w.venue(p.venue).name.clone(),
+                coauthor_names: p
+                    .authors
+                    .iter()
+                    .filter(|&&a| a != id)
+                    .map(|&a| w.scholar(a).full_name())
+                    .collect(),
+                keywords: p
+                    .topics
+                    .iter()
+                    .map(|&t| w.ontology.label(t).to_string())
+                    .collect(),
+                citations: if spec.has_metrics {
+                    Some(p.citations)
+                } else {
+                    None
+                },
+            });
+        }
+
+        let metrics = if spec.has_metrics {
+            // Metrics reflect what *this source* indexes, like real sites.
+            let mut cites: Vec<u32> = publications
+                .iter()
+                .map(|p| p.citations.unwrap_or(0))
+                .collect();
+            cites.sort_unstable_by(|a, b| b.cmp(a));
+            let h = cites
+                .iter()
+                .enumerate()
+                .take_while(|(rank, &c)| c as usize > *rank)
+                .count() as u32;
+            SourceMetrics {
+                citations: Some(cites.iter().map(|&c| c as u64).sum()),
+                h_index: Some(h),
+                i10_index: Some(cites.iter().filter(|&&c| c >= 10).count() as u32),
+            }
+        } else {
+            SourceMetrics::default()
+        };
+
+        let reviews = if spec.has_reviews {
+            w.reviews_of(id)
+                .map(|r| SourceReview {
+                    venue_name: w.venue(r.venue).name.clone(),
+                    year: r.year,
+                    turnaround_days: r.turnaround_days,
+                    quality: Some(r.quality),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        SourceProfile {
+            source: spec.kind,
+            key: self.key_for(id),
+            display_name,
+            affiliation,
+            country,
+            affiliation_history,
+            interests,
+            publications,
+            metrics,
+            reviews,
+            truth: id,
+        }
+    }
+}
+
+impl ScholarSource for SimulatedSource {
+    fn kind(&self) -> SourceKind {
+        self.spec.kind
+    }
+
+    fn supports_interest_search(&self) -> bool {
+        self.spec.supports_interest_search
+    }
+
+    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        self.pay_call()?;
+        let needle = normalize_label(name);
+        let ids = self.name_index.get(&needle).cloned().unwrap_or_default();
+        Ok(ids.into_iter().map(|id| self.build_profile(id)).collect())
+    }
+
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        if !self.spec.supports_interest_search {
+            return Err(SourceError::Unsupported {
+                source: self.spec.kind,
+                operation: "search by research interest",
+            });
+        }
+        self.pay_call()?;
+        let needle = normalize_label(keyword);
+        let ids = self
+            .interest_index
+            .get(&needle)
+            .cloned()
+            .unwrap_or_default();
+        Ok(ids.into_iter().map(|id| self.build_profile(id)).collect())
+    }
+
+    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+        self.pay_call()?;
+        let id = self
+            .scholar_from_key(key)
+            .ok_or_else(|| SourceError::NotFound {
+                source: self.spec.kind,
+                key: key.to_string(),
+            })?;
+        if !Self::covered_static(self.salt, self.spec.coverage, id) {
+            return Err(SourceError::NotFound {
+                source: self.spec.kind,
+                key: key.to_string(),
+            });
+        }
+        Ok(self.build_profile(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minaret_synth::{WorldConfig, WorldGenerator};
+
+    fn world() -> Arc<World> {
+        Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 200,
+                ..Default::default()
+            })
+            .generate(),
+        )
+    }
+
+    fn source(kind: SourceKind) -> SimulatedSource {
+        SimulatedSource::new(SourceSpec::for_kind(kind), world())
+    }
+
+    #[test]
+    fn coverage_is_partial_and_stable() {
+        let s = source(SourceKind::Publons);
+        let c1 = s.covered_count();
+        let c2 = s.covered_count();
+        assert_eq!(c1, c2);
+        assert!(c1 > 50 && c1 < 200, "publons coverage {c1} out of range");
+    }
+
+    #[test]
+    fn fetch_roundtrips_through_key() {
+        let s = source(SourceKind::Dblp);
+        let w = world();
+        // Find a covered scholar.
+        let id = w
+            .scholars()
+            .iter()
+            .map(|sc| sc.id)
+            .find(|&id| s.fetch_profile(&s.key_for(id)).is_ok())
+            .expect("dblp covers 95%");
+        let p = s.fetch_profile(&s.key_for(id)).unwrap();
+        assert_eq!(p.truth, id);
+        assert_eq!(p.source, SourceKind::Dblp);
+    }
+
+    #[test]
+    fn bad_keys_are_not_found() {
+        let s = source(SourceKind::Dblp);
+        assert!(matches!(
+            s.fetch_profile("dblp:zzzz-3"),
+            Err(SourceError::NotFound { .. })
+        ));
+        assert!(matches!(
+            s.fetch_profile("gs:00000000-3"),
+            Err(SourceError::NotFound { .. })
+        ));
+        assert!(matches!(
+            s.fetch_profile("dblp:00000000-999999"),
+            Err(SourceError::NotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn dblp_has_full_pubs_but_no_interests_or_metrics() {
+        let s = source(SourceKind::Dblp);
+        let w = world();
+        for sc in w.scholars().iter().take(50) {
+            if let Ok(p) = s.fetch_profile(&s.key_for(sc.id)) {
+                assert!(p.interests.is_empty());
+                assert_eq!(p.metrics, SourceMetrics::default());
+                assert_eq!(p.publications.len(), w.papers_of(sc.id).len());
+            }
+        }
+    }
+
+    #[test]
+    fn google_scholar_exposes_interests_and_metrics() {
+        let s = source(SourceKind::GoogleScholar);
+        let w = world();
+        let mut saw_interests = false;
+        let mut saw_metrics = false;
+        for sc in w.scholars() {
+            if let Ok(p) = s.fetch_profile(&s.key_for(sc.id)) {
+                saw_interests |= !p.interests.is_empty();
+                saw_metrics |= p.metrics.citations.is_some();
+            }
+        }
+        assert!(saw_interests && saw_metrics);
+    }
+
+    #[test]
+    fn publons_exposes_reviews() {
+        let s = source(SourceKind::Publons);
+        let w = world();
+        let any_reviews = w.scholars().iter().any(|sc| {
+            s.fetch_profile(&s.key_for(sc.id))
+                .map(|p| !p.reviews.is_empty())
+                .unwrap_or(false)
+        });
+        assert!(any_reviews);
+    }
+
+    #[test]
+    fn orcid_exposes_affiliation_history() {
+        let s = source(SourceKind::Orcid);
+        let w = world();
+        let any_history = w.scholars().iter().any(|sc| {
+            s.fetch_profile(&s.key_for(sc.id))
+                .map(|p| !p.affiliation_history.is_empty())
+                .unwrap_or(false)
+        });
+        assert!(any_history);
+    }
+
+    #[test]
+    fn interest_search_finds_registered_scholars() {
+        let s = source(SourceKind::GoogleScholar);
+        let w = world();
+        // Take some scholar's interest and search for it.
+        let sc = &w.scholars()[0];
+        let label = w.ontology.label(sc.interests[0]);
+        let hits = s.search_by_interest(label).unwrap();
+        for h in &hits {
+            let normalized: Vec<String> = h.interests.iter().map(|i| normalize_label(i)).collect();
+            assert!(normalized.contains(&normalize_label(label)));
+        }
+    }
+
+    #[test]
+    fn dblp_rejects_interest_search() {
+        let s = source(SourceKind::Dblp);
+        assert!(matches!(
+            s.search_by_interest("databases"),
+            Err(SourceError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn name_search_matches_collisions_together() {
+        let w = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 300,
+                name_collision_rate: 0.4,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::Dblp), w.clone());
+        // Find a name shared by several scholars.
+        let mut counts: HashMap<String, Vec<ScholarId>> = HashMap::new();
+        for sc in w.scholars() {
+            counts.entry(sc.full_name()).or_default().push(sc.id);
+        }
+        let (name, ids) = counts.iter().find(|(_, v)| v.len() >= 2).unwrap();
+        let hits = s.search_by_name(name).unwrap();
+        // All covered holders of the name are returned.
+        let got: std::collections::HashSet<ScholarId> = hits.iter().map(|p| p.truth).collect();
+        let covered: Vec<_> = ids
+            .iter()
+            .filter(|&&id| s.fetch_profile(&s.key_for(id)).is_ok())
+            .collect();
+        assert!(covered.len() >= 2, "collision sample too small");
+        for id in covered {
+            assert!(got.contains(id));
+        }
+    }
+
+    #[test]
+    fn failure_injection_is_retriable() {
+        let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        spec.failure_rate = 0.5;
+        let s = SimulatedSource::new(spec, world());
+        let mut failures = 0;
+        let mut successes = 0;
+        for _ in 0..100 {
+            match s.search_by_name("nobody") {
+                Ok(_) => successes += 1,
+                Err(e) => {
+                    assert!(e.is_retriable());
+                    failures += 1;
+                }
+            }
+        }
+        assert!(
+            failures > 20 && successes > 20,
+            "f={failures} s={successes}"
+        );
+    }
+
+    #[test]
+    fn rate_limit_triggers_then_recovers() {
+        let mut spec = SourceSpec::for_kind(SourceKind::Dblp);
+        spec.rate_limit = 5;
+        let s = SimulatedSource::new(spec, world());
+        let mut limited = false;
+        for _ in 0..12 {
+            if matches!(s.search_by_name("x"), Err(SourceError::RateLimited { .. })) {
+                limited = true;
+                break;
+            }
+        }
+        assert!(limited);
+        // After the rejection, the window resets and calls succeed again.
+        assert!(s.search_by_name("x").is_ok());
+    }
+
+    #[test]
+    fn profiles_are_deterministic() {
+        let s = source(SourceKind::GoogleScholar);
+        let w = world();
+        let id = w.scholars()[3].id;
+        let key = s.key_for(id);
+        if let (Ok(a), Ok(b)) = (s.fetch_profile(&key), s.fetch_profile(&key)) {
+            assert_eq!(a, b);
+        }
+    }
+}

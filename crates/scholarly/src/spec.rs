@@ -1,0 +1,200 @@
+//! Source kinds and their simulation parameters.
+
+use std::fmt;
+
+/// The six scholarly sources the paper's prototype scrapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// Google Scholar — interests, citation metrics, most publications.
+    GoogleScholar,
+    /// DBLP — authoritative publication lists, no interests or metrics.
+    Dblp,
+    /// Publons — review histories, some interests.
+    Publons,
+    /// ACM Digital Library — partial publications with citation counts.
+    AcmDl,
+    /// ORCID — identity and full affiliation history.
+    Orcid,
+    /// ResearcherID (Web of Science) — metrics, partial publications.
+    ResearcherId,
+}
+
+impl SourceKind {
+    /// All six sources in a stable order.
+    pub const ALL: [SourceKind; 6] = [
+        SourceKind::GoogleScholar,
+        SourceKind::Dblp,
+        SourceKind::Publons,
+        SourceKind::AcmDl,
+        SourceKind::Orcid,
+        SourceKind::ResearcherId,
+    ];
+
+    /// Short key prefix used in per-source profile keys.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            SourceKind::GoogleScholar => "gs",
+            SourceKind::Dblp => "dblp",
+            SourceKind::Publons => "pub",
+            SourceKind::AcmDl => "acm",
+            SourceKind::Orcid => "orcid",
+            SourceKind::ResearcherId => "rid",
+        }
+    }
+}
+
+impl fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            SourceKind::GoogleScholar => "Google Scholar",
+            SourceKind::Dblp => "DBLP",
+            SourceKind::Publons => "Publons",
+            SourceKind::AcmDl => "ACM DL",
+            SourceKind::Orcid => "ORCID",
+            SourceKind::ResearcherId => "ResearcherID",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Behavioural parameters of one simulated source.
+///
+/// The defaults per kind (see [`SourceSpec::for_kind`]) encode the
+/// qualitative differences between the real services; every field is
+/// adjustable for ablations and failure-injection tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceSpec {
+    /// Which service this simulates.
+    pub kind: SourceKind,
+    /// Fraction of the world's scholars that have a profile here.
+    pub coverage: f64,
+    /// Fraction of a covered scholar's papers this source lists.
+    pub publication_coverage: f64,
+    /// Whether profiles carry research-interest keywords.
+    pub has_interests: bool,
+    /// Whether profiles carry citation metrics (citations / h-index).
+    pub has_metrics: bool,
+    /// Whether profiles carry review records (Publons' specialty).
+    pub has_reviews: bool,
+    /// Whether profiles carry full affiliation history (ORCID) rather
+    /// than only the current affiliation.
+    pub has_affiliation_history: bool,
+    /// Whether the source supports searching scholars *by interest
+    /// keyword* (the paper queries Google Scholar and Publons this way).
+    pub supports_interest_search: bool,
+    /// Probability a profile's display name is abbreviated to initials
+    /// ("L. Zhou") — drives disambiguation difficulty.
+    pub name_noise: f64,
+    /// Probability any single call fails transiently.
+    pub failure_rate: f64,
+    /// Calls allowed per rate-limit window before `RateLimited` errors;
+    /// `0` disables rate limiting.
+    pub rate_limit: u32,
+    /// Simulated per-call latency in microseconds (0 in unit tests;
+    /// experiment E6 raises it to web-scraping scale).
+    pub latency_micros: u64,
+}
+
+impl SourceSpec {
+    /// The default simulation parameters for each service.
+    pub fn for_kind(kind: SourceKind) -> Self {
+        let base = Self {
+            kind,
+            coverage: 1.0,
+            publication_coverage: 1.0,
+            has_interests: false,
+            has_metrics: false,
+            has_reviews: false,
+            has_affiliation_history: false,
+            supports_interest_search: false,
+            name_noise: 0.0,
+            failure_rate: 0.0,
+            rate_limit: 0,
+            latency_micros: 0,
+        };
+        match kind {
+            SourceKind::GoogleScholar => Self {
+                coverage: 0.90,
+                publication_coverage: 0.90,
+                has_interests: true,
+                has_metrics: true,
+                supports_interest_search: true,
+                name_noise: 0.05,
+                ..base
+            },
+            SourceKind::Dblp => Self {
+                coverage: 0.95,
+                publication_coverage: 1.0,
+                name_noise: 0.02,
+                ..base
+            },
+            SourceKind::Publons => Self {
+                coverage: 0.50,
+                publication_coverage: 0.30,
+                has_interests: true,
+                has_reviews: true,
+                supports_interest_search: true,
+                name_noise: 0.10,
+                ..base
+            },
+            SourceKind::AcmDl => Self {
+                coverage: 0.60,
+                publication_coverage: 0.70,
+                has_metrics: true,
+                name_noise: 0.15,
+                ..base
+            },
+            SourceKind::Orcid => Self {
+                coverage: 0.70,
+                publication_coverage: 0.60,
+                has_affiliation_history: true,
+                name_noise: 0.02,
+                ..base
+            },
+            SourceKind::ResearcherId => Self {
+                coverage: 0.40,
+                publication_coverage: 0.50,
+                has_metrics: true,
+                name_noise: 0.10,
+                ..base
+            },
+        }
+    }
+
+    /// Specs for all six sources with default parameters.
+    pub fn all_defaults() -> Vec<SourceSpec> {
+        SourceKind::ALL.iter().map(|&k| Self::for_kind(k)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_unique() {
+        let p: std::collections::HashSet<_> = SourceKind::ALL.iter().map(|k| k.prefix()).collect();
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn default_specs_encode_service_shapes() {
+        let gs = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        assert!(gs.has_interests && gs.has_metrics && gs.supports_interest_search);
+        let dblp = SourceSpec::for_kind(SourceKind::Dblp);
+        assert!(!dblp.has_interests && !dblp.has_metrics);
+        assert_eq!(dblp.publication_coverage, 1.0);
+        let publons = SourceSpec::for_kind(SourceKind::Publons);
+        assert!(publons.has_reviews && publons.supports_interest_search);
+        let orcid = SourceSpec::for_kind(SourceKind::Orcid);
+        assert!(orcid.has_affiliation_history);
+    }
+
+    #[test]
+    fn all_defaults_covers_six_sources() {
+        let specs = SourceSpec::all_defaults();
+        assert_eq!(specs.len(), 6);
+        let kinds: std::collections::HashSet<_> = specs.iter().map(|s| s.kind).collect();
+        assert_eq!(kinds.len(), 6);
+    }
+}

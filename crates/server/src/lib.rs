@@ -1,0 +1,27 @@
+//! The MINARET RESTful API.
+//!
+//! The paper's prototype is "available both as a Web application as well
+//! as RESTful APIs". This crate exposes the same workflow over HTTP:
+//!
+//! | route | method | purpose |
+//! |---|---|---|
+//! | `/health` | GET | liveness + world statistics |
+//! | `/sources` | GET | the registered scholarly sources |
+//! | `/expand?keyword=K` | GET | semantic expansion of one keyword |
+//! | `/verify-authors` | POST | identity candidates per author (Fig 4) |
+//! | `/recommend` | POST | the full three-phase pipeline (Figs 3→5) |
+//!
+//! The binary (`minaret-server`) generates a synthetic world, wires the
+//! six simulated sources, and serves. [`build_router`] is also used
+//! in-process by the integration tests and examples.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod codec;
+mod routes;
+mod state;
+
+pub use codec::{manuscript_from_json, report_to_json};
+pub use routes::build_router;
+pub use state::AppState;

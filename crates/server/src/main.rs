@@ -1,0 +1,58 @@
+//! The `minaret-server` binary: generates a synthetic scholarly world,
+//! wires the six simulated sources, and serves the REST API.
+//!
+//! ```text
+//! minaret-server [--addr 127.0.0.1:8080] [--scholars 2000] [--seed 42]
+//! ```
+
+use std::sync::Arc;
+
+use minaret_http::Server;
+use minaret_server::{build_router, AppState};
+
+fn main() {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut scholars = 2000usize;
+    let mut seed = 42u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--scholars" => {
+                scholars = value("--scholars")
+                    .parse()
+                    .expect("--scholars must be an integer")
+            }
+            "--seed" => seed = value("--seed").parse().expect("--seed must be an integer"),
+            "--help" | "-h" => {
+                println!("minaret-server [--addr 127.0.0.1:8080] [--scholars 2000] [--seed 42]");
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("generating synthetic scholarly world ({scholars} scholars, seed {seed})…");
+    let state: Arc<AppState> = AppState::demo(scholars, seed);
+    let stats = state.world.stats();
+    eprintln!(
+        "world ready: {} scholars, {} papers, {} venues, {} review records",
+        stats.scholars, stats.papers, stats.venues, stats.reviews
+    );
+    let router = build_router(state);
+    let server = Server::bind(&addr, router, 8).expect("failed to bind");
+    eprintln!("MINARET API listening on http://{}", server.local_addr());
+    eprintln!("  GET  /health     GET /sources     GET /expand?keyword=RDF");
+    eprintln!("  POST /verify-authors               POST /recommend");
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,315 @@
+//! Route handlers.
+
+use std::sync::Arc;
+
+use minaret_core::{Minaret, MinaretError};
+use minaret_disambig::{AuthorQuery, IdentityResolver};
+use minaret_http::{Response, Router};
+use minaret_json::Value;
+use minaret_ontology::{ExpansionConfig, KeywordExpander};
+
+use crate::codec::{manuscript_from_json, report_to_json};
+use crate::state::AppState;
+
+/// Builds the full API router over the given state.
+pub fn build_router(state: Arc<AppState>) -> Router {
+    let mut router = Router::new();
+
+    let s = state.clone();
+    router.get("/health", move |_, _| {
+        let stats = s.world.stats();
+        Response::json(
+            200,
+            &Value::object()
+                .set("status", "ok")
+                .set(
+                    "world",
+                    Value::object()
+                        .set("scholars", stats.scholars)
+                        .set("papers", stats.papers)
+                        .set("venues", stats.venues)
+                        .set("reviews", stats.reviews),
+                )
+                .set("sources", s.registry.len()),
+        )
+    });
+
+    let s = state.clone();
+    router.get("/sources", move |_, _| {
+        let kinds: Vec<Value> = s
+            .registry
+            .kinds()
+            .iter()
+            .map(|k| Value::from(k.to_string()))
+            .collect();
+        Response::json(200, &Value::object().set("sources", kinds))
+    });
+
+    let s = state.clone();
+    router.get("/expand", move |req, _| {
+        let Some(keyword) = req.query_param("keyword") else {
+            return Response::error(400, "missing query parameter \"keyword\"");
+        };
+        let min_score = req
+            .query_param("min_score")
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(ExpansionConfig::default().min_score);
+        let cfg = ExpansionConfig {
+            min_score,
+            ..Default::default()
+        };
+        let expander = KeywordExpander::new(&s.ontology, cfg);
+        match expander.expand(keyword) {
+            Ok(expanded) => {
+                let items: Vec<Value> = expanded
+                    .iter()
+                    .map(|e| {
+                        Value::object()
+                            .set("keyword", e.label.as_str())
+                            .set("score", e.score)
+                            .set("hops", e.hops)
+                    })
+                    .collect();
+                Response::json(
+                    200,
+                    &Value::object()
+                        .set("keyword", keyword)
+                        .set("expanded", items),
+                )
+            }
+            Err(e) => Response::error(404, &e.to_string()),
+        }
+    });
+
+    let s = state.clone();
+    router.post("/verify-authors", move |req, _| {
+        let body = match req.json_body() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let Some(authors) = body.get("authors").and_then(Value::as_array) else {
+            return Response::error(400, "missing array field \"authors\"");
+        };
+        let keywords: Vec<String> = body
+            .get("keywords")
+            .and_then(Value::as_array)
+            .map(|ks| {
+                ks.iter()
+                    .filter_map(Value::as_str)
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        let resolver = IdentityResolver::new(&s.registry);
+        let mut results = Vec::new();
+        for a in authors {
+            let Some(name) = a.get("name").and_then(Value::as_str) else {
+                return Response::error(400, "author entries need a \"name\"");
+            };
+            let query = AuthorQuery {
+                name: name.to_string(),
+                affiliation: a
+                    .get("affiliation")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                country: a.get("country").and_then(Value::as_str).map(str::to_string),
+                context_keywords: keywords.clone(),
+            };
+            let candidates = resolver.candidates(&query);
+            let matches: Vec<Value> = candidates
+                .iter()
+                .map(|m| {
+                    Value::object()
+                        .set("display_name", m.candidate.display_name.as_str())
+                        .set("affiliation", m.candidate.affiliation.clone())
+                        .set("score", m.score)
+                        .set(
+                            "sources",
+                            m.candidate
+                                .sources
+                                .iter()
+                                .map(|k| Value::from(k.to_string()))
+                                .collect::<Vec<_>>(),
+                        )
+                        .set("publications", m.candidate.publications.len())
+                })
+                .collect();
+            results.push(Value::object().set("name", name).set("matches", matches));
+        }
+        Response::json(200, &Value::object().set("authors", results))
+    });
+
+    let s = state.clone();
+    router.post("/recommend", move |req, _| {
+        let body = match req.json_body() {
+            Ok(b) => b,
+            Err(e) => return Response::error(400, &e.to_string()),
+        };
+        let (manuscript, config) = match manuscript_from_json(&body, s.minaret.config()) {
+            Ok(x) => x,
+            Err(e) => return Response::error(422, &e),
+        };
+        // Per-request configuration: a fresh framework view over the same
+        // shared registry/ontology (both Arc-shared, so this is cheap).
+        let minaret = Minaret::new(s.registry.clone(), s.ontology.clone(), config);
+        match minaret.recommend(&manuscript) {
+            Ok(report) => Response::json(200, &report_to_json(&report)),
+            Err(MinaretError::InvalidManuscript(m)) => Response::error(422, &m),
+            Err(MinaretError::NoCandidates) => Response::json(
+                200,
+                &report_empty(&manuscript.title, "no candidate reviewers found"),
+            ),
+            Err(e) => Response::error(500, &e.to_string()),
+        }
+    });
+
+    router
+}
+
+fn report_empty(title: &str, note: &str) -> Value {
+    Value::object()
+        .set("title", title)
+        .set("recommendations", Vec::<Value>::new())
+        .set("note", note)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minaret_http::{Method, Request};
+
+    fn request(method: Method, path: &str, query: &[(&str, &str)], body: &str) -> Request {
+        Request {
+            method,
+            path: path.into(),
+            query: query
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            headers: vec![],
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn router() -> (Arc<AppState>, Router) {
+        let state = AppState::demo(150, 42);
+        let router = build_router(state.clone());
+        (state, router)
+    }
+
+    #[test]
+    fn health_reports_world_stats() {
+        let (_, router) = router();
+        let resp = router.dispatch(&request(Method::Get, "/health", &[], ""));
+        assert_eq!(resp.status, 200);
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("sources").and_then(Value::as_u64), Some(6));
+    }
+
+    #[test]
+    fn expand_returns_scored_neighbours() {
+        let (_, router) = router();
+        let resp = router.dispatch(&request(Method::Get, "/expand", &[("keyword", "RDF")], ""));
+        assert_eq!(resp.status, 200);
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let expanded = v.get("expanded").and_then(Value::as_array).unwrap();
+        let labels: Vec<&str> = expanded
+            .iter()
+            .filter_map(|e| e.get("keyword").and_then(Value::as_str))
+            .collect();
+        assert!(labels.contains(&"Semantic Web"));
+        // Unknown keyword -> 404, missing param -> 400.
+        let resp = router.dispatch(&request(
+            Method::Get,
+            "/expand",
+            &[("keyword", "flower arranging")],
+            "",
+        ));
+        assert_eq!(resp.status, 404);
+        let resp = router.dispatch(&request(Method::Get, "/expand", &[], ""));
+        assert_eq!(resp.status, 400);
+    }
+
+    #[test]
+    fn verify_authors_returns_matches() {
+        let (state, router) = router();
+        let scholar = &state.world.scholars()[0];
+        let body = Value::object()
+            .set(
+                "authors",
+                vec![Value::object().set("name", scholar.full_name().as_str())],
+            )
+            .set("keywords", Vec::<Value>::new())
+            .to_string();
+        let resp = router.dispatch(&request(Method::Post, "/verify-authors", &[], &body));
+        assert_eq!(resp.status, 200);
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let authors = v.get("authors").and_then(Value::as_array).unwrap();
+        assert_eq!(authors.len(), 1);
+        assert!(
+            !authors[0]
+                .get("matches")
+                .and_then(Value::as_array)
+                .unwrap()
+                .is_empty(),
+            "expected at least one identity match"
+        );
+    }
+
+    #[test]
+    fn recommend_end_to_end() {
+        let (state, router) = router();
+        let lead = state
+            .world
+            .scholars()
+            .iter()
+            .find(|s| !state.world.papers_of(s.id).is_empty())
+            .unwrap();
+        let keywords: Vec<Value> = lead
+            .interests
+            .iter()
+            .take(2)
+            .map(|&t| Value::from(state.world.ontology.label(t)))
+            .collect();
+        let body = Value::object()
+            .set("title", "An HTTP-submitted manuscript")
+            .set("keywords", keywords)
+            .set(
+                "authors",
+                vec![Value::object().set("name", lead.full_name().as_str())],
+            )
+            .set("target_venue", state.world.venues()[0].name.as_str())
+            .set("config", Value::object().set("max_recommendations", 5u32))
+            .to_string();
+        let resp = router.dispatch(&request(Method::Post, "/recommend", &[], &body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let recs = v.get("recommendations").and_then(Value::as_array).unwrap();
+        assert!(!recs.is_empty() && recs.len() <= 5);
+        assert!(recs[0].get("score_details").is_some());
+        assert!(v.get("timings_ms").is_some());
+    }
+
+    #[test]
+    fn recommend_rejects_bad_bodies() {
+        let (_, router) = router();
+        let resp = router.dispatch(&request(Method::Post, "/recommend", &[], "{not json"));
+        assert_eq!(resp.status, 400);
+        let resp = router.dispatch(&request(
+            Method::Post,
+            "/recommend",
+            &[],
+            r#"{"keywords":[],"authors":[]}"#,
+        ));
+        assert_eq!(resp.status, 422);
+        // Valid shape but empty title -> validation error.
+        let resp = router.dispatch(&request(
+            Method::Post,
+            "/recommend",
+            &[],
+            r#"{"title":"","keywords":["RDF"],"authors":[{"name":"A B"}],"target_venue":"J"}"#,
+        ));
+        assert_eq!(resp.status, 422);
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared application state.
+
+use std::sync::Arc;
+
+use minaret_core::{EditorConfig, Minaret};
+use minaret_ontology::Ontology;
+use minaret_scholarly::{RegistryConfig, SimulatedSource, SourceRegistry, SourceSpec};
+use minaret_synth::{World, WorldConfig, WorldGenerator};
+
+/// Everything the route handlers need.
+pub struct AppState {
+    /// The synthetic world behind the simulated sources.
+    pub world: Arc<World>,
+    /// The source registry.
+    pub registry: Arc<SourceRegistry>,
+    /// The topic ontology.
+    pub ontology: Arc<Ontology>,
+    /// The framework with the server's default editor configuration.
+    pub minaret: Minaret,
+}
+
+impl AppState {
+    /// Builds the default demo state: a generated world, the six default
+    /// sources, the curated ontology, and a default editor config.
+    pub fn demo(scholars: usize, seed: u64) -> Arc<AppState> {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                seed,
+                ..WorldConfig::sized(scholars)
+            })
+            .generate(),
+        );
+        let ontology = Arc::new(minaret_ontology::seed::curated_cs_ontology());
+        let mut registry = SourceRegistry::new(RegistryConfig::default());
+        for spec in SourceSpec::all_defaults() {
+            registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+        }
+        let registry = Arc::new(registry);
+        let minaret = Minaret::new(registry.clone(), ontology.clone(), EditorConfig::default());
+        Arc::new(AppState {
+            world,
+            registry,
+            ontology,
+            minaret,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_state_wires_everything() {
+        let state = AppState::demo(100, 7);
+        assert_eq!(state.registry.len(), 6);
+        assert!(state.world.scholars().len() == 100);
+        assert!(state.ontology.len() > 100);
+    }
+}

@@ -1,0 +1,106 @@
+//! World-generation parameters.
+
+/// Configuration of the synthetic scholarly world.
+///
+/// Defaults produce a small world suitable for unit tests; the
+/// experiments scale `scholars` into the tens of thousands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// PRNG seed — the whole world is a pure function of the config.
+    pub seed: u64,
+    /// Number of scholars.
+    pub scholars: usize,
+    /// Number of institutions.
+    pub institutions: usize,
+    /// Number of journals.
+    pub journals: usize,
+    /// Number of conferences.
+    pub conferences: usize,
+    /// First simulated year (inclusive).
+    pub start_year: u32,
+    /// Last simulated year (inclusive) — "now" for recency scoring.
+    pub end_year: u32,
+    /// Mean number of papers a scholar authors per active year.
+    pub papers_per_scholar_year: f64,
+    /// Mean number of research interests per scholar.
+    pub interests_per_scholar: usize,
+    /// Probability that a newly generated scholar's full name exactly
+    /// duplicates an earlier scholar's (drives experiment F4).
+    pub name_collision_rate: f64,
+    /// Fraction of scholars who perform manuscript reviews at all.
+    pub reviewer_fraction: f64,
+    /// Mean reviews per reviewing scholar per year.
+    pub reviews_per_reviewer_year: f64,
+    /// Probability a scholar changes institution in any given year.
+    pub mobility_rate: f64,
+    /// Mean number of coauthors per paper (beyond the first author).
+    pub coauthors_per_paper: f64,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x4D494E41, // "MINA"
+            scholars: 500,
+            institutions: 40,
+            journals: 12,
+            conferences: 12,
+            start_year: 2000,
+            end_year: 2018, // the paper's "now"
+            papers_per_scholar_year: 0.8,
+            interests_per_scholar: 4,
+            name_collision_rate: 0.05,
+            reviewer_fraction: 0.6,
+            reviews_per_reviewer_year: 1.5,
+            mobility_rate: 0.08,
+            coauthors_per_paper: 2.2,
+        }
+    }
+}
+
+impl WorldConfig {
+    /// A configuration scaled to `scholars` people, keeping venue and
+    /// institution counts proportionate.
+    pub fn sized(scholars: usize) -> Self {
+        Self {
+            scholars,
+            institutions: (scholars / 12).clamp(10, 500),
+            journals: (scholars / 40).clamp(8, 120),
+            conferences: (scholars / 40).clamp(8, 120),
+            ..Self::default()
+        }
+    }
+
+    /// Number of simulated years.
+    pub fn years(&self) -> u32 {
+        self.end_year.saturating_sub(self.start_year) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_consistent() {
+        let c = WorldConfig::default();
+        assert!(c.start_year < c.end_year);
+        assert!(c.scholars > 0 && c.institutions > 0);
+        assert_eq!(c.years(), 19);
+    }
+
+    #[test]
+    fn sized_scales_proportionately() {
+        let c = WorldConfig::sized(12_000);
+        assert_eq!(c.scholars, 12_000);
+        assert!(c.institutions >= 100);
+        assert!(c.journals >= 8 && c.conferences >= 8);
+    }
+
+    #[test]
+    fn sized_clamps_small_worlds() {
+        let c = WorldConfig::sized(10);
+        assert_eq!(c.institutions, 10);
+        assert_eq!(c.journals, 8);
+    }
+}

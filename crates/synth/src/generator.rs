@@ -1,0 +1,490 @@
+//! The world generator.
+
+use std::collections::HashMap;
+
+use minaret_ontology::{Ontology, TopicId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::WorldConfig;
+use crate::ids::{InstitutionId, PaperId, ScholarId, VenueId};
+use crate::model::{AffiliationSpan, Institution, Paper, ReviewRecord, Scholar, Venue, VenueKind};
+use crate::names::{institution_country, institution_name, NamePool};
+use crate::world::World;
+
+/// Generates a [`World`] from a [`WorldConfig`] and an [`Ontology`].
+///
+/// The same `(config, ontology)` pair always yields the same world.
+#[derive(Debug, Clone)]
+pub struct WorldGenerator {
+    config: WorldConfig,
+}
+
+impl WorldGenerator {
+    /// Creates a generator.
+    pub fn new(config: WorldConfig) -> Self {
+        Self { config }
+    }
+
+    /// Generates the world against the curated CS ontology.
+    pub fn generate(&self) -> World {
+        self.generate_with(minaret_ontology::seed::curated_cs_ontology())
+    }
+
+    /// Generates the world against a caller-provided ontology.
+    pub fn generate_with(&self, ontology: Ontology) -> World {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let institutions: Vec<Institution> = (0..cfg.institutions.max(1))
+            .map(|i| Institution {
+                id: InstitutionId(i as u32),
+                name: institution_name(i),
+                country: institution_country(i),
+            })
+            .collect();
+
+        let topic_pool: Vec<TopicId> = ontology.topics().map(|t| t.id).collect();
+
+        let venues = self.gen_venues(&mut rng, &topic_pool);
+        let scholars = self.gen_scholars(&mut rng, &ontology, &topic_pool, institutions.len());
+
+        // topic -> scholars interested in it, for coauthor/venue matching.
+        let mut by_topic: HashMap<TopicId, Vec<ScholarId>> = HashMap::new();
+        for s in &scholars {
+            for &t in &s.interests {
+                by_topic.entry(t).or_default().push(s.id);
+            }
+        }
+        let mut venues_by_topic: HashMap<TopicId, Vec<VenueId>> = HashMap::new();
+        for v in &venues {
+            for &t in &v.topics {
+                venues_by_topic.entry(t).or_default().push(v.id);
+            }
+        }
+
+        let papers = self.gen_papers(&mut rng, &scholars, &venues, &by_topic, &venues_by_topic);
+        let reviews = self.gen_reviews(&mut rng, &scholars, &venues, &venues_by_topic);
+
+        World::assemble(
+            ontology,
+            cfg.end_year,
+            scholars,
+            papers,
+            venues,
+            institutions,
+            reviews,
+        )
+    }
+
+    fn gen_venues(&self, rng: &mut StdRng, topic_pool: &[TopicId]) -> Vec<Venue> {
+        let cfg = &self.config;
+        let mut venues = Vec::with_capacity(cfg.journals + cfg.conferences);
+        for i in 0..cfg.journals + cfg.conferences {
+            let kind = if i < cfg.journals {
+                VenueKind::Journal
+            } else {
+                VenueKind::Conference
+            };
+            let n_topics = rng.gen_range(2..=4).min(topic_pool.len());
+            let mut topics = Vec::with_capacity(n_topics);
+            while topics.len() < n_topics {
+                let t = topic_pool[rng.gen_range(0..topic_pool.len())];
+                if !topics.contains(&t) {
+                    topics.push(t);
+                }
+            }
+            let name = match kind {
+                VenueKind::Journal => format!("Journal of Synthetic Computing {}", i + 1),
+                VenueKind::Conference => {
+                    format!(
+                        "International Conference on Synthetic Systems {}",
+                        i + 1 - cfg.journals
+                    )
+                }
+            };
+            venues.push(Venue {
+                id: VenueId(i as u32),
+                name,
+                kind,
+                topics,
+            });
+        }
+        venues
+    }
+
+    fn gen_scholars(
+        &self,
+        rng: &mut StdRng,
+        ontology: &Ontology,
+        topic_pool: &[TopicId],
+        n_institutions: usize,
+    ) -> Vec<Scholar> {
+        let cfg = &self.config;
+        let mut pool = NamePool::new(cfg.name_collision_rate);
+        let mut scholars = Vec::with_capacity(cfg.scholars);
+        for i in 0..cfg.scholars {
+            let (given, family) = pool.draw(rng);
+            let active_since = rng.gen_range(cfg.start_year..=cfg.end_year.saturating_sub(1));
+            // Affiliation history: start somewhere, move with mobility_rate.
+            let mut affiliations = Vec::new();
+            let mut inst = rng.gen_range(0..n_institutions);
+            let mut from = active_since;
+            for year in active_since..=cfg.end_year {
+                if year > from && rng.gen::<f64>() < cfg.mobility_rate {
+                    affiliations.push(AffiliationSpan {
+                        institution: InstitutionId(inst as u32),
+                        from_year: from,
+                        to_year: year - 1,
+                    });
+                    let mut next = rng.gen_range(0..n_institutions);
+                    if n_institutions > 1 {
+                        while next == inst {
+                            next = rng.gen_range(0..n_institutions);
+                        }
+                    }
+                    inst = next;
+                    from = year;
+                }
+            }
+            affiliations.push(AffiliationSpan {
+                institution: InstitutionId(inst as u32),
+                from_year: from,
+                to_year: cfg.end_year,
+            });
+            // Interests: one "home" topic plus semantically nearby topics,
+            // so scholars are topically coherent like real researchers.
+            let home = topic_pool[rng.gen_range(0..topic_pool.len())];
+            let mut interests = vec![home];
+            let mut frontier: Vec<TopicId> = ontology
+                .related(home)
+                .iter()
+                .chain(ontology.parents(home))
+                .chain(ontology.children(home))
+                .copied()
+                .collect();
+            while interests.len() < cfg.interests_per_scholar.max(1) {
+                let t = if !frontier.is_empty() && rng.gen::<f64>() < 0.7 {
+                    frontier.swap_remove(rng.gen_range(0..frontier.len()))
+                } else {
+                    topic_pool[rng.gen_range(0..topic_pool.len())]
+                };
+                if !interests.contains(&t) {
+                    interests.push(t);
+                }
+                if frontier.is_empty() && interests.len() >= 2 && rng.gen::<f64>() < 0.1 {
+                    break;
+                }
+            }
+            scholars.push(Scholar {
+                id: ScholarId(i as u32),
+                given_name: given,
+                family_name: family,
+                affiliations,
+                interests,
+                active_since,
+            });
+        }
+        scholars
+    }
+
+    fn gen_papers(
+        &self,
+        rng: &mut StdRng,
+        scholars: &[Scholar],
+        venues: &[Venue],
+        by_topic: &HashMap<TopicId, Vec<ScholarId>>,
+        venues_by_topic: &HashMap<TopicId, Vec<VenueId>>,
+    ) -> Vec<Paper> {
+        let cfg = &self.config;
+        let mut papers = Vec::new();
+        // Preferential attachment over prior coauthors.
+        let mut prior_coauthors: Vec<Vec<ScholarId>> = vec![Vec::new(); scholars.len()];
+        for year in cfg.start_year..=cfg.end_year {
+            for s in scholars {
+                if year < s.active_since {
+                    continue;
+                }
+                for _ in 0..poisson(rng, cfg.papers_per_scholar_year) {
+                    let lead = s.id;
+                    // Paper topics: 1-3 of the lead's interests.
+                    let n_topics = rng.gen_range(1..=3.min(s.interests.len()));
+                    let mut topics = Vec::with_capacity(n_topics);
+                    while topics.len() < n_topics {
+                        let t = s.interests[rng.gen_range(0..s.interests.len())];
+                        if !topics.contains(&t) {
+                            topics.push(t);
+                        }
+                    }
+                    // Coauthors: prior collaborators first, then scholars
+                    // sharing the paper's topics.
+                    let n_co = poisson(rng, cfg.coauthors_per_paper).min(6);
+                    let mut authors = vec![lead];
+                    for _ in 0..n_co {
+                        let cand = if !prior_coauthors[lead.index()].is_empty()
+                            && rng.gen::<f64>() < 0.5
+                        {
+                            let pc = &prior_coauthors[lead.index()];
+                            Some(pc[rng.gen_range(0..pc.len())])
+                        } else {
+                            by_topic
+                                .get(&topics[rng.gen_range(0..topics.len())])
+                                .filter(|v| !v.is_empty())
+                                .map(|v| v[rng.gen_range(0..v.len())])
+                        };
+                        if let Some(c) = cand {
+                            if !authors.contains(&c) && scholars[c.index()].active_since <= year {
+                                authors.push(c);
+                            }
+                        }
+                    }
+                    for &a in &authors {
+                        for &b in &authors {
+                            if a != b && !prior_coauthors[a.index()].contains(&b) {
+                                prior_coauthors[a.index()].push(b);
+                            }
+                        }
+                    }
+                    // Venue: one that covers a paper topic when possible.
+                    let venue = topics
+                        .iter()
+                        .filter_map(|t| venues_by_topic.get(t))
+                        .flat_map(|v| v.iter())
+                        .next()
+                        .copied()
+                        .unwrap_or_else(|| VenueId(rng.gen_range(0..venues.len()) as u32));
+                    // Citations: heavy-tailed, growing with age.
+                    let age = (cfg.end_year - year) as f64;
+                    let burst = (-(rng.gen::<f64>().max(1e-12)).ln()).powf(2.0);
+                    let citations = (burst * (1.0 + age * 1.5)) as u32;
+                    let id = PaperId(papers.len() as u32);
+                    papers.push(Paper {
+                        id,
+                        title: format!("On synthetic result #{} ({year})", papers.len()),
+                        year,
+                        venue,
+                        authors,
+                        topics,
+                        citations,
+                    });
+                }
+            }
+        }
+        papers
+    }
+
+    fn gen_reviews(
+        &self,
+        rng: &mut StdRng,
+        scholars: &[Scholar],
+        venues: &[Venue],
+        venues_by_topic: &HashMap<TopicId, Vec<VenueId>>,
+    ) -> Vec<ReviewRecord> {
+        let cfg = &self.config;
+        let mut reviews = Vec::new();
+        for s in scholars {
+            if rng.gen::<f64>() >= cfg.reviewer_fraction {
+                continue;
+            }
+            for year in s.active_since..=cfg.end_year {
+                for _ in 0..poisson(rng, cfg.reviews_per_reviewer_year) {
+                    // Review for a venue in the scholar's area when possible.
+                    let venue = s
+                        .interests
+                        .iter()
+                        .filter_map(|t| venues_by_topic.get(t))
+                        .filter(|v| !v.is_empty())
+                        .map(|v| v[rng.gen_range(0..v.len())])
+                        .next()
+                        .unwrap_or_else(|| VenueId(rng.gen_range(0..venues.len()) as u32));
+                    let turnaround_days = 7 + (rng.gen::<f64>() * 60.0) as u32;
+                    // Quality is a per-scholar trait with per-review noise.
+                    let base = 2.0 + 3.0 * (s.id.0 as f64 * 0.618).fract();
+                    let quality = (base + rng.gen_range(-1.0..1.0)).round().clamp(1.0, 5.0) as u8;
+                    reviews.push(ReviewRecord {
+                        reviewer: s.id,
+                        venue,
+                        year,
+                        turnaround_days,
+                        quality,
+                    });
+                }
+            }
+        }
+        reviews
+    }
+}
+
+/// Knuth's Poisson sampler — fine for the small λ used here.
+fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 50 {
+            return k; // guard against pathological λ
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_world() -> World {
+        WorldGenerator::new(WorldConfig {
+            scholars: 120,
+            institutions: 10,
+            journals: 5,
+            conferences: 5,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_world().stats();
+        let b = small_world().stats();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorldGenerator::new(WorldConfig {
+            scholars: 120,
+            seed: 1,
+            ..Default::default()
+        })
+        .generate()
+        .stats();
+        let b = WorldGenerator::new(WorldConfig {
+            scholars: 120,
+            seed: 2,
+            ..Default::default()
+        })
+        .generate()
+        .stats();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_scholar_has_affiliation_and_interests() {
+        let w = small_world();
+        for s in w.scholars() {
+            assert!(!s.affiliations.is_empty());
+            assert!(!s.interests.is_empty());
+            assert!(s.affiliations.last().unwrap().to_year == 2018);
+        }
+    }
+
+    #[test]
+    fn affiliation_spans_are_contiguous_and_ordered() {
+        let w = small_world();
+        for s in w.scholars() {
+            let mut prev_end: Option<u32> = None;
+            for a in &s.affiliations {
+                assert!(a.from_year <= a.to_year);
+                if let Some(pe) = prev_end {
+                    assert_eq!(a.from_year, pe + 1, "gap in affiliation history");
+                }
+                prev_end = Some(a.to_year);
+            }
+        }
+    }
+
+    #[test]
+    fn papers_have_valid_references() {
+        let w = small_world();
+        assert!(!w.papers().is_empty());
+        for p in w.papers() {
+            assert!(!p.authors.is_empty());
+            assert!(!p.topics.is_empty());
+            assert!((p.venue.index()) < w.venues().len());
+            assert!(p.year >= 2000 && p.year <= 2018);
+            for a in &p.authors {
+                assert!(a.index() < w.scholars().len());
+                assert!(w.scholar(*a).active_since <= p.year);
+            }
+        }
+    }
+
+    #[test]
+    fn name_collisions_appear_at_configured_rate() {
+        let w = WorldGenerator::new(WorldConfig {
+            scholars: 400,
+            name_collision_rate: 0.3,
+            ..Default::default()
+        })
+        .generate();
+        let stats = w.stats();
+        // Forced rate 0.3 guarantees a healthy number of colliding names.
+        assert!(
+            stats.colliding_scholars as f64 >= 0.2 * 400.0,
+            "got {} colliding scholars",
+            stats.colliding_scholars
+        );
+    }
+
+    #[test]
+    fn reviews_reference_valid_entities() {
+        let w = small_world();
+        assert!(!w.reviews().is_empty());
+        for r in w.reviews() {
+            assert!(r.reviewer.index() < w.scholars().len());
+            assert!(r.venue.index() < w.venues().len());
+            assert!(r.turnaround_days >= 7);
+        }
+    }
+
+    #[test]
+    fn review_quality_is_in_range_and_scholar_correlated() {
+        let w = small_world();
+        let mut per_scholar: std::collections::HashMap<_, Vec<u8>> =
+            std::collections::HashMap::new();
+        for r in w.reviews() {
+            assert!((1..=5).contains(&r.quality));
+            per_scholar.entry(r.reviewer).or_default().push(r.quality);
+        }
+        // Quality is a per-scholar trait with ±1 noise: within-scholar
+        // spread must be small for scholars with several reviews.
+        let mut checked = 0;
+        for quals in per_scholar.values().filter(|q| q.len() >= 5) {
+            let min = *quals.iter().min().unwrap();
+            let max = *quals.iter().max().unwrap();
+            assert!(max - min <= 3, "quality spread {min}..{max} too wide");
+            checked += 1;
+        }
+        assert!(checked > 5, "not enough multi-review scholars to check");
+    }
+
+    #[test]
+    fn poisson_mean_is_roughly_lambda() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let sum: usize = (0..n).map(|_| poisson(&mut rng, 2.0)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn scholars_interests_are_topically_coherent() {
+        // At least some scholars should have >1 interest, and interests
+        // should frequently be ontology-adjacent to the home topic.
+        let w = small_world();
+        let multi = w
+            .scholars()
+            .iter()
+            .filter(|s| s.interests.len() > 1)
+            .count();
+        assert!(multi > w.scholars().len() / 2);
+    }
+}

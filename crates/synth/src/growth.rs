@@ -1,0 +1,178 @@
+//! DBLP-style publication growth model (Figure 1 of the paper).
+//!
+//! The paper motivates MINARET with DBLP's statistics: ~3.8M indexed
+//! publications in 2018, ~120K journal articles added in 2018, and the
+//! claim that global scientific output doubles every nine years. This
+//! module is an analytic model producing a records-per-year series by
+//! publication type with exactly those properties, so experiment F1 can
+//! regenerate the figure's shape.
+
+/// Publication types shown in the DBLP figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecordKind {
+    /// Journal articles.
+    JournalArticle,
+    /// Conference and workshop papers.
+    ConferencePaper,
+    /// Informal publications (preprints etc.).
+    Informal,
+    /// Books and theses.
+    BookOrThesis,
+    /// Editorship records.
+    Editorship,
+    /// Parts in books or collections.
+    PartInCollection,
+    /// Reference works.
+    ReferenceWork,
+}
+
+impl RecordKind {
+    /// All kinds, in the order the figure's legend lists them.
+    pub const ALL: [RecordKind; 7] = [
+        RecordKind::JournalArticle,
+        RecordKind::ConferencePaper,
+        RecordKind::Informal,
+        RecordKind::BookOrThesis,
+        RecordKind::Editorship,
+        RecordKind::PartInCollection,
+        RecordKind::ReferenceWork,
+    ];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RecordKind::JournalArticle => "Journal Articles",
+            RecordKind::ConferencePaper => "Conference and Workshop Papers",
+            RecordKind::Informal => "Informal Publications",
+            RecordKind::BookOrThesis => "Books and Theses",
+            RecordKind::Editorship => "Editorship",
+            RecordKind::PartInCollection => "Parts in Books or Collections",
+            RecordKind::ReferenceWork => "Reference Works",
+        }
+    }
+
+    /// Share of yearly records attributed to this kind. Calibrated to the
+    /// rough DBLP mix visible in Figure 1 (conference papers dominate,
+    /// journal articles second, the rest are small). Sums to 1.
+    pub fn share(self) -> f64 {
+        match self {
+            RecordKind::JournalArticle => 0.27,
+            RecordKind::ConferencePaper => 0.50,
+            RecordKind::Informal => 0.15,
+            RecordKind::BookOrThesis => 0.03,
+            RecordKind::Editorship => 0.02,
+            RecordKind::PartInCollection => 0.02,
+            RecordKind::ReferenceWork => 0.01,
+        }
+    }
+}
+
+/// Exponential-growth model of new records per year.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrowthModel {
+    /// First modeled year.
+    pub start_year: u32,
+    /// Reference ("current") year for the calibration totals.
+    pub reference_year: u32,
+    /// Doubling period in years (the paper cites nine).
+    pub doubling_years: f64,
+    /// Total new records added in `reference_year` (all kinds).
+    pub records_in_reference_year: f64,
+}
+
+impl Default for GrowthModel {
+    /// Calibrated to the paper: reference year 2018, ~120K journal
+    /// articles in 2018 (so ≈ 444K records total that year at a 27%
+    /// journal share), doubling every 9 years, starting at 1990 like the
+    /// DBLP figure.
+    fn default() -> Self {
+        Self {
+            start_year: 1990,
+            reference_year: 2018,
+            doubling_years: 9.0,
+            records_in_reference_year: 120_000.0 / RecordKind::JournalArticle.share(),
+        }
+    }
+}
+
+impl GrowthModel {
+    /// New records of all kinds added in `year`.
+    pub fn records_in_year(&self, year: u32) -> f64 {
+        let dt = year as f64 - self.reference_year as f64;
+        self.records_in_reference_year * 2f64.powf(dt / self.doubling_years)
+    }
+
+    /// New records of `kind` added in `year`.
+    pub fn records_of_kind(&self, year: u32, kind: RecordKind) -> f64 {
+        self.records_in_year(year) * kind.share()
+    }
+
+    /// Cumulative records from `start_year` through `year` inclusive.
+    pub fn cumulative_through(&self, year: u32) -> f64 {
+        (self.start_year..=year)
+            .map(|y| self.records_in_year(y))
+            .sum()
+    }
+
+    /// The full per-year series for one kind, `start_year..=end_year`.
+    pub fn series(&self, kind: RecordKind, end_year: u32) -> Vec<(u32, f64)> {
+        (self.start_year..=end_year)
+            .map(|y| (y, self.records_of_kind(y, kind)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one() {
+        let total: f64 = RecordKind::ALL.iter().map(|k| k.share()).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_every_nine_years() {
+        let m = GrowthModel::default();
+        let r = m.records_in_year(2009);
+        let r2 = m.records_in_year(2018);
+        assert!((r2 / r - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn journal_articles_2018_match_paper_figure() {
+        let m = GrowthModel::default();
+        let j = m.records_of_kind(2018, RecordKind::JournalArticle);
+        assert!((j - 120_000.0).abs() < 1.0, "got {j}");
+    }
+
+    #[test]
+    fn cumulative_total_is_dblp_scale() {
+        // The paper says DBLP indexes over 3.8M publications. The
+        // analytic model integrates to the same order of magnitude.
+        let m = GrowthModel::default();
+        let total = m.cumulative_through(2018);
+        assert!(
+            (3_000_000.0..8_000_000.0).contains(&total),
+            "cumulative {total}"
+        );
+    }
+
+    #[test]
+    fn series_is_monotonically_increasing() {
+        let m = GrowthModel::default();
+        let s = m.series(RecordKind::ConferencePaper, 2018);
+        assert_eq!(s.len(), 29);
+        for w in s.windows(2) {
+            assert!(w[1].1 > w[0].1);
+        }
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            RecordKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), RecordKind::ALL.len());
+    }
+}

@@ -1,0 +1,65 @@
+//! Identifier newtypes for world entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Raw index into the world's entity table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a scholar (a real person in the synthetic world).
+    ScholarId,
+    "s"
+);
+id_type!(
+    /// Identifier of a published paper.
+    PaperId,
+    "p"
+);
+id_type!(
+    /// Identifier of a publication venue (journal or conference).
+    VenueId,
+    "v"
+);
+id_type!(
+    /// Identifier of an institution (university / research lab).
+    InstitutionId,
+    "i"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(ScholarId(3).to_string(), "s3");
+        assert_eq!(PaperId(4).to_string(), "p4");
+        assert_eq!(VenueId(5).to_string(), "v5");
+        assert_eq!(InstitutionId(6).to_string(), "i6");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ScholarId(1) < ScholarId(2));
+        assert_eq!(PaperId(9).index(), 9);
+    }
+}

@@ -1,0 +1,235 @@
+//! Name generation with deliberate collisions.
+//!
+//! §2.1 of the paper motivates identity verification with name ambiguity
+//! ("in the far east, many scholars may share one of the popular names",
+//! citing DBLP's `Zhou:Lei` page). The generator therefore draws family
+//! names from a Zipf-like distribution over a modest pool, and a
+//! configurable `collision_rate` forces a fraction of scholars to share a
+//! *complete* full name with an earlier scholar, creating the hard
+//! disambiguation cases that experiment F4 sweeps.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const GIVEN: &[&str] = &[
+    "Lei", "Wei", "Jing", "Ming", "Hao", "Yan", "Mohamed", "Ahmed", "Sara", "Omar", "Fatima",
+    "Anna", "Ivan", "Elena", "Dmitri", "Olga", "John", "Mary", "James", "Linda", "Robert",
+    "Patricia", "Michael", "Jennifer", "David", "Maria", "Carlos", "Ana", "Jose", "Lucia", "Hans",
+    "Greta", "Klaus", "Ingrid", "Pierre", "Marie", "Jean", "Sophie", "Kenji", "Yuki", "Hiroshi",
+    "Aiko", "Raj", "Priya", "Arjun", "Divya", "Kwame", "Amara", "Tunde", "Zainab", "Erik",
+    "Astrid", "Lars", "Freja", "Marco", "Giulia", "Luca", "Chiara", "Pavel", "Katya",
+];
+
+const FAMILY: &[&str] = &[
+    "Zhou",
+    "Wang",
+    "Li",
+    "Zhang",
+    "Chen",
+    "Liu",
+    "Yang",
+    "Huang",
+    "Kim",
+    "Lee",
+    "Park",
+    "Nguyen",
+    "Tran",
+    "Sato",
+    "Suzuki",
+    "Tanaka",
+    "Singh",
+    "Kumar",
+    "Patel",
+    "Sharma",
+    "Hassan",
+    "Ali",
+    "Ibrahim",
+    "Sakr",
+    "Awad",
+    "Maher",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Martinez",
+    "Rodriguez",
+    "Lopez",
+    "Gonzalez",
+    "Mueller",
+    "Schmidt",
+    "Schneider",
+    "Fischer",
+    "Weber",
+    "Meyer",
+    "Dubois",
+    "Moreau",
+    "Laurent",
+    "Rossi",
+    "Russo",
+    "Ferrari",
+    "Esposito",
+    "Ivanov",
+    "Petrov",
+    "Smirnov",
+    "Kuznetsov",
+    "Andersen",
+    "Johansson",
+    "Korhonen",
+    "Tamm",
+    "Kask",
+    "Okafor",
+    "Mensah",
+    "Diallo",
+];
+
+/// Draws names; tracks previously issued full names so collisions can be
+/// forced deliberately.
+#[derive(Debug)]
+pub(crate) struct NamePool {
+    issued: Vec<(usize, usize)>,
+    collision_rate: f64,
+}
+
+impl NamePool {
+    pub(crate) fn new(collision_rate: f64) -> Self {
+        Self {
+            issued: Vec::new(),
+            collision_rate: collision_rate.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Draws a `(given, family)` pair. With probability `collision_rate`
+    /// (once at least one name has been issued) the pair duplicates a
+    /// previously issued name exactly.
+    pub(crate) fn draw(&mut self, rng: &mut StdRng) -> (String, String) {
+        let pair = if !self.issued.is_empty() && rng.gen::<f64>() < self.collision_rate {
+            self.issued[rng.gen_range(0..self.issued.len())]
+        } else {
+            // Zipf-ish family-name skew: square the uniform draw so low
+            // indices (popular names) are favoured.
+            let g = rng.gen_range(0..GIVEN.len());
+            let f = ((rng.gen::<f64>().powi(2)) * FAMILY.len() as f64) as usize;
+            (g, f.min(FAMILY.len() - 1))
+        };
+        self.issued.push(pair);
+        (GIVEN[pair.0].to_string(), FAMILY[pair.1].to_string())
+    }
+}
+
+/// Generates a synthetic institution name for index `i`.
+pub(crate) fn institution_name(i: usize) -> String {
+    const CITIES: &[&str] = &[
+        "Tartu",
+        "Lisbon",
+        "Cairo",
+        "Beijing",
+        "Tokyo",
+        "Berlin",
+        "Paris",
+        "Madrid",
+        "Rome",
+        "Moscow",
+        "Delhi",
+        "Lagos",
+        "Nairobi",
+        "Boston",
+        "Seattle",
+        "Toronto",
+        "Sydney",
+        "Helsinki",
+        "Oslo",
+        "Vienna",
+        "Zurich",
+        "Prague",
+        "Warsaw",
+        "Seoul",
+        "Singapore",
+    ];
+    const KINDS: &[&str] = &[
+        "University of",
+        "Institute of Technology of",
+        "National Lab of",
+    ];
+    let city = CITIES[i % CITIES.len()];
+    let kind = KINDS[(i / CITIES.len()) % KINDS.len()];
+    if i < CITIES.len() {
+        format!("University of {city}")
+    } else {
+        format!("{kind} {city} {}", i / (CITIES.len() * KINDS.len()) + 1)
+    }
+}
+
+/// Country for institution index `i` (stable mapping so COI country
+/// checks are deterministic).
+pub(crate) fn institution_country(i: usize) -> String {
+    const COUNTRIES: &[&str] = &[
+        "Estonia",
+        "Portugal",
+        "Egypt",
+        "China",
+        "Japan",
+        "Germany",
+        "France",
+        "Spain",
+        "Italy",
+        "Russia",
+        "India",
+        "Nigeria",
+        "Kenya",
+        "USA",
+        "USA",
+        "Canada",
+        "Australia",
+        "Finland",
+        "Norway",
+        "Austria",
+        "Switzerland",
+        "Czechia",
+        "Poland",
+        "South Korea",
+        "Singapore",
+    ];
+    COUNTRIES[i % COUNTRIES.len()].to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_collision_rate_never_forces_duplicates_of_issued() {
+        // With rate 0 duplicates may still occur by chance, but the forced
+        // path must never fire; we verify determinism and pool coverage.
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut pool = NamePool::new(0.0);
+        let names: Vec<_> = (0..200).map(|_| pool.draw(&mut rng)).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert!(unique.len() > 100, "expected mostly unique names");
+    }
+
+    #[test]
+    fn full_collision_rate_duplicates_everything_after_first() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut pool = NamePool::new(1.0);
+        let first = pool.draw(&mut rng);
+        for _ in 0..50 {
+            assert_eq!(pool.draw(&mut rng), first);
+        }
+    }
+
+    #[test]
+    fn institution_names_unique_for_reasonable_counts() {
+        let names: Vec<_> = (0..150).map(institution_name).collect();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn countries_stable() {
+        assert_eq!(institution_country(0), "Estonia");
+        assert_eq!(institution_country(25), "Estonia");
+    }
+}

@@ -1,0 +1,96 @@
+//! Experiment driver: regenerates every table/figure in `DESIGN.md`'s
+//! experiment index and prints the reports recorded in `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release --example experiments            # run everything
+//! cargo run --release --example experiments -- f1 e4   # run a subset
+//! ```
+
+use minaret::eval::experiments as exp;
+
+fn main() {
+    let requested: Vec<String> = std::env::args().skip(1).map(|a| a.to_lowercase()).collect();
+    let all = requested.is_empty();
+    let want = |id: &str| all || requested.iter().any(|r| r == id);
+    let mut ran = 0;
+
+    if want("f1") {
+        println!("{}", exp::run_f1().report);
+        ran += 1;
+    }
+    if want("f2") {
+        println!("{}", exp::run_f2(1000, 8).report);
+        ran += 1;
+    }
+    if want("f3") {
+        println!("{}", exp::run_f3().report);
+        ran += 1;
+    }
+    if want("f4") {
+        println!(
+            "{}",
+            exp::run_f4(600, &[0.0, 0.1, 0.2, 0.4, 0.6], 60).report
+        );
+        ran += 1;
+    }
+    if want("f5") {
+        println!("{}", exp::run_f5(1000).report);
+        ran += 1;
+    }
+    if want("e1") {
+        println!("{}", exp::run_e1().report);
+        ran += 1;
+    }
+    if want("e2") {
+        println!("{}", exp::run_e2().report);
+        ran += 1;
+    }
+    if want("e3") {
+        println!("{}", exp::run_e3(600, 10).report);
+        ran += 1;
+    }
+    if want("e4") {
+        println!(
+            "{}",
+            exp::run_e4(exp::E4Config {
+                scholars: 600,
+                manuscripts: 15,
+                k: 10,
+            })
+            .report
+        );
+        ran += 1;
+    }
+    if want("e5") {
+        println!("{}", exp::run_e5(500, 8).report);
+        ran += 1;
+    }
+    if want("e6") {
+        println!("{}", exp::run_e6(500, 500, 0.05).report);
+        ran += 1;
+    }
+    if want("e7") {
+        println!("{}", exp::run_e7(&[500, 1000, 2000, 5000], 4).report);
+        ran += 1;
+    }
+    if want("e8") {
+        println!("{}", exp::run_e8(800).report);
+        ran += 1;
+    }
+    if want("e9") {
+        println!("{}", exp::run_e9(500, 10).report);
+        ran += 1;
+    }
+    if want("e10") {
+        println!("{}", exp::run_e10(600, 80).report);
+        ran += 1;
+    }
+
+    if ran == 0 {
+        eprintln!(
+            "unknown experiment id(s) {:?}; valid: f1 f2 f3 f4 f5 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10",
+            requested
+        );
+        std::process::exit(2);
+    }
+}

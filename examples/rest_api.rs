@@ -1,0 +1,114 @@
+//! The RESTful API end to end: starts the server in-process on an
+//! ephemeral port and drives the demo workflow over real HTTP —
+//! `/health`, `/expand`, `/verify-authors`, `/recommend`.
+//!
+//! ```text
+//! cargo run --release --example rest_api
+//! ```
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use minaret::json::{parse, Value};
+use minaret_server::{build_router, AppState};
+
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    let payload = match body {
+        Some(b) => format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{b}",
+            b.len()
+        ),
+        None => format!("{method} {path} HTTP/1.1\r\nHost: localhost\r\n\r\n"),
+    };
+    stream.write_all(payload.as_bytes()).expect("write");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let json_body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .filter(|b| !b.is_empty())
+        .map(|b| parse(b).expect("JSON body"))
+        .unwrap_or(Value::Null);
+    (status, json_body)
+}
+
+fn main() {
+    let state: Arc<AppState> = AppState::demo(800, 7);
+    let scholar = state
+        .world
+        .scholars()
+        .iter()
+        .find(|s| !state.world.papers_of(s.id).is_empty())
+        .expect("active scholar");
+    let keywords: Vec<String> = scholar
+        .interests
+        .iter()
+        .take(2)
+        .map(|&t| state.world.ontology.label(t).to_string())
+        .collect();
+    let venue = state.world.venues()[0].name.clone();
+    let name = scholar.full_name();
+
+    let server = minaret::http::Server::bind("127.0.0.1:0", build_router(state), 4).expect("bind");
+    let addr = server.local_addr();
+    println!("serving on http://{addr}\n");
+
+    let (status, health) = http(addr, "GET", "/health", None);
+    println!("GET /health -> {status}\n{}\n", health.to_pretty_string());
+
+    let (status, expansion) = http(addr, "GET", "/expand?keyword=RDF", None);
+    println!(
+        "GET /expand?keyword=RDF -> {status}\n{}\n",
+        expansion.to_pretty_string()
+    );
+
+    let verify_body = Value::object()
+        .set("authors", vec![Value::object().set("name", name.as_str())])
+        .set(
+            "keywords",
+            keywords
+                .iter()
+                .map(|k| Value::from(k.as_str()))
+                .collect::<Vec<_>>(),
+        )
+        .to_string();
+    let (status, verified) = http(addr, "POST", "/verify-authors", Some(&verify_body));
+    println!(
+        "POST /verify-authors -> {status}\n{}\n",
+        verified.to_pretty_string()
+    );
+
+    let recommend_body = Value::object()
+        .set("title", "An HTTP-submitted manuscript")
+        .set(
+            "keywords",
+            keywords
+                .iter()
+                .map(|k| Value::from(k.as_str()))
+                .collect::<Vec<_>>(),
+        )
+        .set("authors", vec![Value::object().set("name", name.as_str())])
+        .set("target_venue", venue.as_str())
+        .set(
+            "config",
+            Value::object()
+                .set("max_recommendations", 5u32)
+                .set("coi_affiliation_level", "university"),
+        )
+        .to_string();
+    let (status, recommendations) = http(addr, "POST", "/recommend", Some(&recommend_body));
+    println!(
+        "POST /recommend -> {status}\n{}\n",
+        recommendations.to_pretty_string()
+    );
+
+    server.shutdown();
+    println!("server shut down cleanly");
+}

@@ -1,0 +1,120 @@
+//! The pipeline under injected source failures and rate limits — the
+//! conditions real on-the-fly scraping actually faces.
+
+use std::sync::Arc;
+
+use minaret::prelude::*;
+use minaret::scholarly::ScholarSource;
+use minaret_synth::SubmissionGenerator;
+
+fn world(scholars: usize) -> Arc<World> {
+    Arc::new(WorldGenerator::new(WorldConfig::sized(scholars)).generate())
+}
+
+fn manuscript(world: &World) -> ManuscriptDetails {
+    let sub = SubmissionGenerator::new(world, 17).generate().unwrap();
+    ManuscriptDetails {
+        title: sub.title.clone(),
+        keywords: sub.keywords.clone(),
+        authors: sub
+            .authors
+            .iter()
+            .map(|&id| AuthorInput::named(world.scholar(id).full_name()))
+            .collect(),
+        target_venue: world.venue(sub.target_venue).name.clone(),
+    }
+}
+
+fn minaret_with(
+    world: &Arc<World>,
+    failure_rate: f64,
+    rate_limit: u32,
+    max_retries: u32,
+) -> Minaret {
+    let mut registry = SourceRegistry::new(RegistryConfig {
+        max_retries,
+        concurrent: true,
+    });
+    for mut spec in SourceSpec::all_defaults() {
+        spec.failure_rate = failure_rate;
+        spec.rate_limit = rate_limit;
+        registry.register(Arc::new(SimulatedSource::new(spec, world.clone()))
+            as Arc<dyn ScholarSource>);
+    }
+    Minaret::new(
+        Arc::new(registry),
+        Arc::new(minaret::ontology::seed::curated_cs_ontology()),
+        EditorConfig::default(),
+    )
+}
+
+#[test]
+fn moderate_failures_are_fully_absorbed_by_retries() {
+    let w = world(300);
+    let m = manuscript(&w);
+    let clean = minaret_with(&w, 0.0, 0, 3).recommend(&m).unwrap();
+    let flaky = minaret_with(&w, 0.3, 0, 6).recommend(&m).unwrap();
+    // With generous retries the flaky run retrieves the same candidates.
+    assert_eq!(clean.candidates_retrieved, flaky.candidates_retrieved);
+    let names = |r: &minaret::core::RecommendationReport| {
+        r.recommendations
+            .iter()
+            .map(|x| x.name.clone())
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(names(&clean), names(&flaky));
+}
+
+#[test]
+fn heavy_failures_degrade_but_do_not_crash() {
+    let w = world(300);
+    let m = manuscript(&w);
+    let battered = minaret_with(&w, 0.9, 0, 1);
+    // Either we get recommendations (from whatever calls survived) or a
+    // clean NoCandidates error — never a panic.
+    match battered.recommend(&m) {
+        Ok(report) => {
+            assert!(
+                !report.source_errors.is_empty(),
+                "90% failure rate must surface source errors"
+            );
+        }
+        Err(e) => {
+            assert!(matches!(e, minaret::core::MinaretError::NoCandidates));
+        }
+    }
+}
+
+#[test]
+fn rate_limited_sources_are_retried_through() {
+    let w = world(200);
+    let m = manuscript(&w);
+    let limited = minaret_with(&w, 0.0, 3, 5);
+    let report = limited.recommend(&m).unwrap();
+    assert!(!report.recommendations.is_empty());
+}
+
+#[test]
+fn sequential_and_concurrent_fanout_agree_under_failures() {
+    let w = world(200);
+    let make = |concurrent: bool| {
+        let mut registry = SourceRegistry::new(RegistryConfig {
+            max_retries: 8,
+            concurrent,
+        });
+        for mut spec in SourceSpec::all_defaults() {
+            spec.failure_rate = 0.2;
+            registry.register(Arc::new(SimulatedSource::new(spec, w.clone()))
+                as Arc<dyn ScholarSource>);
+        }
+        Minaret::new(
+            Arc::new(registry),
+            Arc::new(minaret::ontology::seed::curated_cs_ontology()),
+            EditorConfig::default(),
+        )
+    };
+    let m = manuscript(&w);
+    let a = make(true).recommend(&m).unwrap();
+    let b = make(false).recommend(&m).unwrap();
+    assert_eq!(a.candidates_retrieved, b.candidates_retrieved);
+}

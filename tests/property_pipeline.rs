@@ -1,0 +1,161 @@
+//! Property-based tests over the whole pipeline: for arbitrary editor
+//! configurations, the framework's structural invariants hold.
+
+use std::sync::Arc;
+
+use minaret::prelude::*;
+use minaret_synth::SubmissionGenerator;
+use proptest::prelude::*;
+
+/// One shared world + registry for all cases (building them per-case
+/// would dominate the test time); configs vary per case.
+fn shared() -> &'static (
+    Arc<World>,
+    Arc<SourceRegistry>,
+    Arc<minaret::ontology::Ontology>,
+) {
+    use std::sync::OnceLock;
+    static SHARED: OnceLock<(
+        Arc<World>,
+        Arc<SourceRegistry>,
+        Arc<minaret::ontology::Ontology>,
+    )> = OnceLock::new();
+    SHARED.get_or_init(|| {
+        let world = Arc::new(WorldGenerator::new(WorldConfig::sized(250)).generate());
+        let mut registry = SourceRegistry::new(RegistryConfig::default());
+        for spec in SourceSpec::all_defaults() {
+            registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+        }
+        (
+            world,
+            Arc::new(registry),
+            Arc::new(minaret::ontology::seed::curated_cs_ontology()),
+        )
+    })
+}
+
+fn arb_weights() -> impl Strategy<Value = RankingWeights> {
+    (
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+        0.0f64..=1.0,
+    )
+        .prop_map(|(c, i, r, e, f, resp)| RankingWeights {
+            coverage: c,
+            impact: i,
+            recency: r,
+            experience: e,
+            familiarity: f,
+            responsiveness: resp,
+        })
+}
+
+fn arb_config() -> impl Strategy<Value = EditorConfig> {
+    (
+        arb_weights(),
+        0.0f64..=1.0,
+        1usize..=30,
+        prop_oneof![
+            Just(AffiliationMatchLevel::University),
+            Just(AffiliationMatchLevel::Country),
+            Just(AffiliationMatchLevel::Off)
+        ],
+        any::<bool>(),
+        prop_oneof![Just(ImpactMetric::Citations), Just(ImpactMetric::HIndex)],
+    )
+        .prop_map(
+            |(weights, threshold, max, level, coauth, metric)| EditorConfig {
+                weights,
+                keyword_score_threshold: threshold,
+                max_recommendations: max,
+                coi: CoiConfig {
+                    coauthorship: coauth,
+                    affiliation_level: level,
+                    ..Default::default()
+                },
+                impact_metric: metric,
+                ..Default::default()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn pipeline_invariants_hold_for_any_editor_config(
+        config in arb_config(),
+        sub_seed in 0u64..6,
+    ) {
+        let (world, registry, ontology) = shared();
+        let sub = SubmissionGenerator::new(world, sub_seed).generate().unwrap();
+        let manuscript = ManuscriptDetails {
+            title: sub.title.clone(),
+            keywords: sub.keywords.clone(),
+            authors: sub
+                .authors
+                .iter()
+                .map(|&id| {
+                    let s = world.scholar(id);
+                    let inst = world.institution(s.current_affiliation());
+                    AuthorInput::named(s.full_name())
+                        .with_affiliation(inst.name.clone())
+                        .with_country(inst.country.clone())
+                })
+                .collect(),
+            target_venue: world.venue(sub.target_venue).name.clone(),
+        };
+        let max = config.max_recommendations;
+        let coi_coauthorship = config.coi.coauthorship;
+        let minaret = Minaret::new(registry.clone(), ontology.clone(), config);
+        let Ok(report) = minaret.recommend(&manuscript) else {
+            // NoCandidates is legal for extreme configs.
+            return Ok(());
+        };
+        // Invariant 1: bounded output.
+        prop_assert!(report.recommendations.len() <= max);
+        // Invariant 2: ranks contiguous, totals sorted and in [0, 1].
+        let mut prev = f64::INFINITY;
+        for (i, r) in report.recommendations.iter().enumerate() {
+            prop_assert_eq!(r.rank, i + 1);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&r.total));
+            prop_assert!(r.total <= prev);
+            prev = r.total;
+            // Invariant 3: every component in [0, 1].
+            for v in [
+                r.breakdown.coverage,
+                r.breakdown.impact,
+                r.breakdown.recency,
+                r.breakdown.experience,
+                r.breakdown.familiarity,
+                r.breakdown.responsiveness,
+            ] {
+                prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            }
+            // Invariant 4: matched keywords scored in [0, 1].
+            for (_, s) in &r.matched_keywords {
+                prop_assert!((0.0..=1.0).contains(s));
+            }
+        }
+        // Invariant 5: accounting — kept + filtered = retrieved.
+        prop_assert!(
+            report.filtered_out.len() <= report.candidates_retrieved
+        );
+        // Invariant 6: with co-authorship COI enabled, no author name
+        // appears among the recommendations. (With COI disabled by the
+        // editor, a same-named *different* scholar may legitimately
+        // appear — name collisions are part of the world model.)
+        if coi_coauthorship {
+            for r in &report.recommendations {
+                for a in &manuscript.authors {
+                    prop_assert_ne!(&r.name, &a.name);
+                }
+            }
+        }
+    }
+}

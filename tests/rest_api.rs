@@ -1,0 +1,203 @@
+//! The REST API over real TCP — the F3 form round-trip plus the full
+//! workflow over HTTP (the paper ships the framework "as RESTful APIs").
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use minaret::http::Server;
+use minaret::json::{parse, Value};
+use minaret_server::{build_router, AppState};
+
+struct TestServer {
+    state: Arc<AppState>,
+    server: Option<Server>,
+}
+
+impl TestServer {
+    fn start() -> Self {
+        let state = AppState::demo(250, 99);
+        let server = Server::bind("127.0.0.1:0", build_router(state.clone()), 2).unwrap();
+        Self {
+            state,
+            server: Some(server),
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.server.as_ref().unwrap().local_addr()
+    }
+
+    fn request(&self, method: &str, path: &str, body: Option<&str>) -> (u16, Value) {
+        let mut stream = TcpStream::connect(self.addr()).unwrap();
+        let payload = match body {
+            Some(b) => format!(
+                "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{b}",
+                b.len()
+            ),
+            None => format!("{method} {path} HTTP/1.1\r\nHost: t\r\n\r\n"),
+        };
+        stream.write_all(payload.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let status: u16 = response
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap();
+        let body = response
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b)
+            .filter(|b| !b.is_empty())
+            .map(|b| parse(b).unwrap())
+            .unwrap_or(Value::Null);
+        (status, body)
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(s) = self.server.take() {
+            s.shutdown();
+        }
+    }
+}
+
+#[test]
+fn health_and_sources_over_http() {
+    let ts = TestServer::start();
+    let (status, v) = ts.request("GET", "/health", None);
+    assert_eq!(status, 200);
+    assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+    let (status, v) = ts.request("GET", "/sources", None);
+    assert_eq!(status, 200);
+    let sources = v.get("sources").and_then(Value::as_array).unwrap();
+    assert_eq!(sources.len(), 6);
+    let names: Vec<&str> = sources.iter().filter_map(Value::as_str).collect();
+    assert!(names.contains(&"Google Scholar"));
+    assert!(names.contains(&"Publons"));
+}
+
+#[test]
+fn expansion_endpoint_reproduces_paper_example() {
+    let ts = TestServer::start();
+    let (status, v) = ts.request("GET", "/expand?keyword=RDF", None);
+    assert_eq!(status, 200);
+    let labels: Vec<&str> = v
+        .get("expanded")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(|e| e.get("keyword").and_then(Value::as_str))
+        .collect();
+    for expected in ["Semantic Web", "Linked Open Data", "SPARQL"] {
+        assert!(
+            labels.contains(&expected),
+            "missing {expected} in {labels:?}"
+        );
+    }
+}
+
+#[test]
+fn full_form_round_trip_over_http() {
+    let ts = TestServer::start();
+    let lead = ts
+        .state
+        .world
+        .scholars()
+        .iter()
+        .find(|s| !ts.state.world.papers_of(s.id).is_empty())
+        .unwrap();
+    let inst = ts.state.world.institution(lead.current_affiliation());
+    let keywords: Vec<Value> = lead
+        .interests
+        .iter()
+        .take(3)
+        .map(|&t| Value::from(ts.state.world.ontology.label(t)))
+        .collect();
+    // Every field of the Figure 3 form, including editor filters.
+    let body = Value::object()
+        .set("title", "HTTP round trip")
+        .set("keywords", keywords)
+        .set(
+            "authors",
+            vec![Value::object()
+                .set("name", lead.full_name().as_str())
+                .set("affiliation", inst.name.as_str())
+                .set("country", inst.country.as_str())],
+        )
+        .set("target_venue", ts.state.world.venues()[0].name.as_str())
+        .set(
+            "config",
+            Value::object()
+                .set("max_recommendations", 7u32)
+                .set("keyword_score_threshold", 0.5)
+                .set("coi_affiliation_level", "university")
+                .set(
+                    "weights",
+                    Value::object().set("coverage", 0.5).set("impact", 0.2),
+                ),
+        )
+        .to_string();
+    let (status, v) = ts.request("POST", "/recommend", Some(&body));
+    assert_eq!(status, 200, "{v:?}");
+    let recs = v.get("recommendations").and_then(Value::as_array).unwrap();
+    assert!(!recs.is_empty() && recs.len() <= 7);
+    // Ranked descending, every row has the drill-down fields.
+    let mut prev = f64::INFINITY;
+    for r in recs {
+        let total = r.get("total_score").and_then(Value::as_f64).unwrap();
+        assert!(total <= prev);
+        prev = total;
+        let details = r.get("score_details").unwrap();
+        for field in [
+            "topic_coverage",
+            "scientific_impact",
+            "recency",
+            "review_experience",
+            "outlet_familiarity",
+        ] {
+            let x = details.get(field).and_then(Value::as_f64).unwrap();
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+    // The author never appears among the recommendations.
+    for r in recs {
+        assert_ne!(
+            r.get("name").and_then(Value::as_str).unwrap(),
+            lead.full_name()
+        );
+    }
+}
+
+#[test]
+fn verify_authors_over_http() {
+    let ts = TestServer::start();
+    let scholar = &ts.state.world.scholars()[3];
+    let body = Value::object()
+        .set(
+            "authors",
+            vec![Value::object().set("name", scholar.full_name().as_str())],
+        )
+        .to_string();
+    let (status, v) = ts.request("POST", "/verify-authors", Some(&body));
+    assert_eq!(status, 200);
+    let authors = v.get("authors").and_then(Value::as_array).unwrap();
+    assert_eq!(
+        authors[0].get("name").and_then(Value::as_str),
+        Some(scholar.full_name().as_str())
+    );
+}
+
+#[test]
+fn api_rejects_garbage() {
+    let ts = TestServer::start();
+    let (status, _) = ts.request("POST", "/recommend", Some("{broken"));
+    assert_eq!(status, 400);
+    let (status, _) = ts.request("POST", "/recommend", Some(r#"{"title": 3}"#));
+    assert_eq!(status, 422);
+    let (status, _) = ts.request("GET", "/nope", None);
+    assert_eq!(status, 404);
+    let (status, _) = ts.request("POST", "/health", Some("{}"));
+    assert_eq!(status, 405);
+}
