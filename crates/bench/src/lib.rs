@@ -13,6 +13,7 @@ use minaret_scholarly::{
     RegistryConfig, ScholarSource, SimulatedSource, SourceRegistry, SourceSpec,
 };
 use minaret_synth::{SubmissionGenerator, World, WorldConfig, WorldGenerator};
+use minaret_telemetry::Telemetry;
 
 /// A prebuilt world + registry + framework, plus one ready manuscript.
 pub struct BenchStack {
@@ -31,6 +32,31 @@ pub struct BenchStack {
 /// Builds the standard bench stack for a world of `scholars` scholars.
 pub fn stack(scholars: usize) -> BenchStack {
     stack_with(scholars, 0.05, EditorConfig::default())
+}
+
+/// Like [`stack`], but with `telemetry` wired through both the source
+/// registry and the framework — the configuration the overhead bench
+/// compares against the disabled default.
+pub fn telemetry_stack(scholars: usize, telemetry: Telemetry) -> BenchStack {
+    let base = stack(scholars);
+    let mut registry = SourceRegistry::with_telemetry(RegistryConfig::default(), telemetry.clone());
+    for spec in SourceSpec::all_defaults() {
+        registry.register(
+            Arc::new(SimulatedSource::new(spec, base.world.clone())) as Arc<dyn ScholarSource>
+        );
+    }
+    let registry = Arc::new(registry);
+    let minaret = Minaret::new(
+        registry.clone(),
+        base.ontology.clone(),
+        EditorConfig::default(),
+    )
+    .with_telemetry(telemetry);
+    BenchStack {
+        registry,
+        minaret,
+        ..base
+    }
 }
 
 /// Builds a stack with a custom collision rate and editor config.

@@ -9,6 +9,7 @@
 //! minaret verify "Lei Zhou" [--affiliation "University of Tartu"]
 //! minaret recommend manuscript.json [--top 10] [--explain]
 //! minaret demo                      # end-to-end walkthrough
+//! minaret stats                     # demo run + telemetry table
 //! ```
 //!
 //! `recommend` reads the same JSON document the REST API's `/recommend`
@@ -51,6 +52,7 @@ USAGE:
   minaret verify <NAME> [--affiliation A] [--country C] [--keywords k1,k2]
   minaret recommend <manuscript.json> [--top N] [--explain]
   minaret demo
+  minaret stats
 
 WORLD OPTIONS (all commands):
   --scholars N   size of the synthetic scholarly world (default 1000)
@@ -89,9 +91,17 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> CliResult {
         "expand" => cmd_expand(&rest, out),
         "verify" => cmd_verify(&rest, world, out),
         "recommend" => cmd_recommend(&rest, world, out),
-        "demo" => cmd_demo(world, out),
+        "demo" => no_extra_args(&rest).and_then(|()| cmd_demo(world, out)),
+        "stats" => no_extra_args(&rest).and_then(|()| cmd_stats(world, out)),
         "help" | "--help" | "-h" => write(out, USAGE),
         other => Err(format!("unknown command {other:?}; try `minaret help`")),
+    }
+}
+
+fn no_extra_args(rest: &[String]) -> CliResult {
+    match rest.first() {
+        None => Ok(()),
+        Some(extra) => Err(format!("unexpected argument {extra:?}")),
     }
 }
 
@@ -249,8 +259,9 @@ fn cmd_recommend(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write
     Ok(())
 }
 
-fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
-    let state = AppState::demo(world.scholars, world.seed);
+/// A manuscript authored by the first published scholar in the world,
+/// using their own interests as keywords — guaranteed to have candidates.
+fn demo_manuscript(state: &AppState) -> Result<minaret_core::ManuscriptDetails, String> {
     let lead = state
         .world
         .scholars()
@@ -258,7 +269,7 @@ fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
         .find(|s| !state.world.papers_of(s.id).is_empty())
         .ok_or("degenerate world: nobody published")?;
     let inst = state.world.institution(lead.current_affiliation());
-    let manuscript = minaret_core::ManuscriptDetails {
+    Ok(minaret_core::ManuscriptDetails {
         title: "A demonstration manuscript".into(),
         keywords: lead
             .interests
@@ -272,12 +283,16 @@ fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
             country: Some(inst.country.clone()),
         }],
         target_venue: state.world.venues()[0].name.clone(),
-    };
+    })
+}
+
+fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
+    let state = AppState::demo(world.scholars, world.seed);
+    let manuscript = demo_manuscript(&state)?;
     writeln!(
         out,
-        "demo manuscript by {} ({}) — keywords: {}",
-        lead.full_name(),
-        inst.name,
+        "demo manuscript by {} — keywords: {}",
+        manuscript.authors[0].name,
         manuscript.keywords.join(", ")
     )
     .map_err(|e| e.to_string())?;
@@ -286,6 +301,23 @@ fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
         .recommend(&manuscript)
         .map_err(|e| e.to_string())?;
     write!(out, "{}", report.render_table()).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn cmd_stats(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
+    let state = AppState::demo(world.scholars, world.seed);
+    let manuscript = demo_manuscript(&state)?;
+    state
+        .minaret
+        .recommend(&manuscript)
+        .map_err(|e| e.to_string())?;
+    writeln!(
+        out,
+        "telemetry after one demo recommendation ({} scholars, seed {}):\n",
+        world.scholars, world.seed
+    )
+    .map_err(|e| e.to_string())?;
+    write!(out, "{}", state.telemetry.render_table()).map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -349,6 +381,21 @@ mod tests {
         let (res, output) = run_capture(&["demo", "--scholars", "150", "--seed", "3"]);
         assert!(res.is_ok(), "{res:?}");
         assert!(output.contains("TOTAL"));
+    }
+
+    #[test]
+    fn stats_renders_telemetry_table() {
+        let (res, output) = run_capture(&["stats", "--scholars", "150", "--seed", "3"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(output.contains("minaret_phase_micros"), "{output}");
+        assert!(output.contains("minaret_source_requests_total"), "{output}");
+        assert!(output.contains("minaret_recommend_total"), "{output}");
+    }
+
+    #[test]
+    fn stats_and_demo_reject_unknown_flags() {
+        assert!(run_capture(&["stats", "--frobnicate"]).0.is_err());
+        assert!(run_capture(&["demo", "extra"]).0.is_err());
     }
 
     #[test]

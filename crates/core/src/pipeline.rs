@@ -7,6 +7,7 @@ use std::time::{Duration, Instant};
 use minaret_disambig::{AuthorQuery, IdentityResolver, ResolutionPolicy, VerifiedAuthor};
 use minaret_ontology::{normalize_label, KeywordExpander, Ontology};
 use minaret_scholarly::{merge_profiles, MergedCandidate, SourceKind, SourceRegistry};
+use minaret_telemetry::Telemetry;
 
 use crate::coi::AuthorRecord;
 use crate::config::EditorConfig;
@@ -242,6 +243,7 @@ pub struct Minaret {
     ontology: Arc<Ontology>,
     config: EditorConfig,
     resolution: ResolutionPolicy,
+    telemetry: Telemetry,
 }
 
 impl Minaret {
@@ -259,6 +261,7 @@ impl Minaret {
             ontology,
             config,
             resolution: ResolutionPolicy::AutoTop1,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -266,6 +269,14 @@ impl Minaret {
     /// Figure 4 decision point).
     pub fn with_resolution_policy(mut self, policy: ResolutionPolicy) -> Self {
         self.resolution = policy;
+        self
+    }
+
+    /// Reports per-phase spans, durations, and candidate-flow gauges to
+    /// `telemetry`; each [`recommend`](Self::recommend) call also lands
+    /// one trace in the recent-traces ring.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -280,15 +291,42 @@ impl Minaret {
         self.config = config;
     }
 
+    /// Records one phase's duration histogram and candidate in/out
+    /// gauges.
+    fn note_phase(&self, phase: &str, took: std::time::Duration, cand_in: usize, cand_out: usize) {
+        self.telemetry
+            .histogram("minaret_phase_micros", &[("phase", phase)])
+            .observe_duration(took);
+        self.telemetry
+            .gauge(
+                "minaret_phase_candidates",
+                &[("phase", phase), ("direction", "in")],
+            )
+            .set(cand_in as i64);
+        self.telemetry
+            .gauge(
+                "minaret_phase_candidates",
+                &[("phase", phase), ("direction", "out")],
+            )
+            .set(cand_out as i64);
+    }
+
     /// Runs the full three-phase workflow for one manuscript.
     pub fn recommend(
         &self,
         manuscript: &ManuscriptDetails,
     ) -> Result<RecommendationReport, MinaretError> {
-        manuscript.validate()?;
+        let trace = self.telemetry.trace("recommend");
+        if let Err(e) = manuscript.validate() {
+            self.telemetry
+                .counter("minaret_recommend_total", &[("result", "invalid")])
+                .inc();
+            return Err(e);
+        }
         let mut source_errors = Vec::new();
 
         // ---- Phase 1: information extraction --------------------------
+        let phase_span = trace.span("extraction");
         let t0 = Instant::now();
         let verified_authors = self.verify_authors(manuscript);
         let author_records: Vec<AuthorRecord> = manuscript
@@ -311,11 +349,22 @@ impl Minaret {
         let candidates = self.retrieve_candidates(&expansion_sets, &mut source_errors);
         let candidates_retrieved = candidates.len();
         let extraction = t0.elapsed();
+        drop(phase_span);
+        self.note_phase(
+            "extraction",
+            extraction,
+            manuscript.keywords.len(),
+            candidates_retrieved,
+        );
         if candidates_retrieved == 0 {
+            self.telemetry
+                .counter("minaret_recommend_total", &[("result", "no_candidates")])
+                .inc();
             return Err(MinaretError::NoCandidates);
         }
 
         // ---- Phase 2: filtering ---------------------------------------
+        let phase_span = trace.span("filtering");
         let t1 = Instant::now();
         let mut kept = Vec::new();
         let mut filtered_out = Vec::new();
@@ -331,8 +380,12 @@ impl Minaret {
             }
         }
         let filtering = t1.elapsed();
+        drop(phase_span);
+        self.note_phase("filtering", filtering, candidates_retrieved, kept.len());
 
         // ---- Phase 3: ranking -----------------------------------------
+        let phase_span = trace.span("ranking");
+        let ranking_in = kept.len();
         let t2 = Instant::now();
         let mut scored: Vec<(CandidateProfile, ScoreBreakdown, f64)> = kept
             .into_iter()
@@ -353,7 +406,7 @@ impl Minaret {
                 .then_with(|| a.0.merged.display_name.cmp(&b.0.merged.display_name))
         });
         scored.truncate(self.config.max_recommendations);
-        let recommendations = scored
+        let recommendations: Vec<Recommendation> = scored
             .into_iter()
             .enumerate()
             .map(|(i, (cand, breakdown, total))| Recommendation {
@@ -368,6 +421,11 @@ impl Minaret {
             })
             .collect();
         let ranking = t2.elapsed();
+        drop(phase_span);
+        self.note_phase("ranking", ranking, ranking_in, recommendations.len());
+        self.telemetry
+            .counter("minaret_recommend_total", &[("result", "ok")])
+            .inc();
 
         Ok(RecommendationReport {
             manuscript: manuscript.clone(),
@@ -423,7 +481,7 @@ impl Minaret {
     /// record (the chosen candidate carries publications, co-authors and
     /// affiliation history used by the COI check).
     fn verify_authors(&self, manuscript: &ManuscriptDetails) -> Vec<VerifiedAuthor> {
-        let resolver = IdentityResolver::new(&self.registry);
+        let resolver = IdentityResolver::new(&self.registry).with_telemetry(self.telemetry.clone());
         manuscript
             .authors
             .iter()
@@ -752,6 +810,63 @@ mod tests {
         assert_eq!(
             report.timings.total(),
             report.timings.extraction + report.timings.filtering + report.timings.ranking
+        );
+    }
+
+    #[test]
+    fn telemetry_records_phase_metrics_and_a_trace() {
+        let (world, minaret) = setup();
+        let telemetry = minaret_telemetry::Telemetry::new();
+        let minaret = minaret.with_telemetry(telemetry.clone());
+        let m = manuscript_from_world(&world);
+        minaret.recommend(&m).unwrap();
+
+        let text = telemetry.encode_prometheus();
+        for phase in ["extraction", "filtering", "ranking"] {
+            assert!(
+                text.contains(&format!(
+                    "minaret_phase_micros_count{{phase=\"{phase}\"}} 1"
+                )),
+                "missing phase histogram for {phase}:\n{text}"
+            );
+            for direction in ["in", "out"] {
+                assert!(
+                    text.contains(&format!(
+                        "minaret_phase_candidates{{direction=\"{direction}\",phase=\"{phase}\"}}"
+                    )),
+                    "missing {phase}/{direction} gauge:\n{text}"
+                );
+            }
+        }
+        assert!(
+            text.contains("minaret_recommend_total{result=\"ok\"} 1"),
+            "{text}"
+        );
+
+        let traces = telemetry.recent_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].name, "recommend");
+        let span_names: Vec<&str> = traces[0].spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(span_names, ["extraction", "filtering", "ranking"]);
+        assert!(traces[0].spans.iter().all(|s| s.depth == 0));
+    }
+
+    #[test]
+    fn telemetry_counts_rejected_manuscripts() {
+        let (_, minaret) = setup();
+        let telemetry = minaret_telemetry::Telemetry::new();
+        let minaret = minaret.with_telemetry(telemetry.clone());
+        let m = ManuscriptDetails {
+            title: "".into(),
+            keywords: vec!["RDF".into()],
+            authors: vec![AuthorInput::named("A B")],
+            target_venue: "J".into(),
+        };
+        assert!(minaret.recommend(&m).is_err());
+        let text = telemetry.encode_prometheus();
+        assert!(
+            text.contains("minaret_recommend_total{result=\"invalid\"} 1"),
+            "{text}"
         );
     }
 

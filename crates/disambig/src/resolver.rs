@@ -1,6 +1,7 @@
 //! The identity resolver: search → merge → score → resolve.
 
 use minaret_scholarly::{merge_profiles, MergedCandidate, SourceRegistry};
+use minaret_telemetry::Telemetry;
 
 use crate::evidence::{collect_evidence, Evidence, EvidenceWeights};
 use crate::name::parse_name;
@@ -55,6 +56,17 @@ pub enum ResolutionPolicy {
     Manual(ManualChooser),
 }
 
+impl ResolutionPolicy {
+    /// Stable label for metrics (`policy="auto_top1"`, ...).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ResolutionPolicy::AutoTop1 => "auto_top1",
+            ResolutionPolicy::Confident { .. } => "confident",
+            ResolutionPolicy::Manual(_) => "manual",
+        }
+    }
+}
+
 impl std::fmt::Debug for ResolutionPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -81,6 +93,17 @@ pub enum ResolutionOutcome {
     NotFound,
 }
 
+impl ResolutionOutcome {
+    /// Stable label for metrics (`outcome="resolved"`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            ResolutionOutcome::Resolved => "resolved",
+            ResolutionOutcome::Ambiguous => "ambiguous",
+            ResolutionOutcome::NotFound => "not_found",
+        }
+    }
+}
+
 /// The verification result for one author.
 #[derive(Debug)]
 pub struct VerifiedAuthor {
@@ -98,20 +121,30 @@ pub struct VerifiedAuthor {
 pub struct IdentityResolver<'r> {
     registry: &'r SourceRegistry,
     weights: EvidenceWeights,
+    telemetry: Telemetry,
 }
 
 impl<'r> IdentityResolver<'r> {
-    /// Creates a resolver with default evidence weights.
+    /// Creates a resolver with default evidence weights and no
+    /// telemetry.
     pub fn new(registry: &'r SourceRegistry) -> Self {
         Self {
             registry,
             weights: EvidenceWeights::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
     /// Overrides the evidence weights.
     pub fn with_weights(mut self, weights: EvidenceWeights) -> Self {
         self.weights = weights;
+        self
+    }
+
+    /// Reports `minaret_resolution_outcomes_total{policy,outcome}` and
+    /// candidate-count histograms to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -163,10 +196,24 @@ impl<'r> IdentityResolver<'r> {
         matches
     }
 
+    /// Counts one resolution by policy and outcome.
+    fn note_outcome(&self, policy: &ResolutionPolicy, outcome: ResolutionOutcome) {
+        self.telemetry
+            .counter(
+                "minaret_resolution_outcomes_total",
+                &[("policy", policy.label()), ("outcome", outcome.label())],
+            )
+            .inc();
+    }
+
     /// Resolves one author with the given policy.
     pub fn resolve(&self, query: AuthorQuery, policy: &ResolutionPolicy) -> VerifiedAuthor {
         let alternatives = self.candidates(&query);
+        self.telemetry
+            .histogram("minaret_resolution_candidates", &[])
+            .observe(alternatives.len() as u64);
         if alternatives.is_empty() {
+            self.note_outcome(policy, ResolutionOutcome::NotFound);
             return VerifiedAuthor {
                 query,
                 chosen: None,
@@ -188,18 +235,24 @@ impl<'r> IdentityResolver<'r> {
             ResolutionPolicy::Manual(choose) => choose(&alternatives),
         };
         match chosen_idx {
-            Some(i) if i < alternatives.len() => VerifiedAuthor {
-                query,
-                chosen: Some(alternatives[i].clone()),
-                alternatives,
-                outcome: ResolutionOutcome::Resolved,
-            },
-            _ => VerifiedAuthor {
-                query,
-                chosen: None,
-                alternatives,
-                outcome: ResolutionOutcome::Ambiguous,
-            },
+            Some(i) if i < alternatives.len() => {
+                self.note_outcome(policy, ResolutionOutcome::Resolved);
+                VerifiedAuthor {
+                    query,
+                    chosen: Some(alternatives[i].clone()),
+                    alternatives,
+                    outcome: ResolutionOutcome::Resolved,
+                }
+            }
+            _ => {
+                self.note_outcome(policy, ResolutionOutcome::Ambiguous);
+                VerifiedAuthor {
+                    query,
+                    chosen: None,
+                    alternatives,
+                    outcome: ResolutionOutcome::Ambiguous,
+                }
+            }
         }
     }
 }
@@ -368,6 +421,58 @@ mod tests {
             &ResolutionPolicy::AutoTop1,
         );
         assert_eq!(v.outcome, ResolutionOutcome::NotFound);
+    }
+
+    #[test]
+    fn telemetry_counts_outcomes_by_policy() {
+        let (world, reg) = setup(0.0);
+        let telemetry = minaret_telemetry::Telemetry::new();
+        let resolver = IdentityResolver::new(&reg).with_telemetry(telemetry.clone());
+        let s = world
+            .scholars()
+            .iter()
+            .find(|s| !world.papers_of(s.id).is_empty())
+            .unwrap();
+        resolver.resolve(query_for(&world, s.id), &ResolutionPolicy::AutoTop1);
+        resolver.resolve(
+            query_for(&world, s.id),
+            &ResolutionPolicy::Confident {
+                threshold: 0.99,
+                margin: 0.5,
+            },
+        );
+        resolver.resolve(
+            AuthorQuery {
+                name: "Zaphod Beeblebrox".into(),
+                affiliation: None,
+                country: None,
+                context_keywords: vec![],
+            },
+            &ResolutionPolicy::AutoTop1,
+        );
+        let text = telemetry.encode_prometheus();
+        assert!(
+            text.contains(
+                "minaret_resolution_outcomes_total{outcome=\"resolved\",policy=\"auto_top1\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "minaret_resolution_outcomes_total{outcome=\"ambiguous\",policy=\"confident\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "minaret_resolution_outcomes_total{outcome=\"not_found\",policy=\"auto_top1\"} 1"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("minaret_resolution_candidates_count 3"),
+            "{text}"
+        );
     }
 
     #[test]

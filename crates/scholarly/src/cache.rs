@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use minaret_telemetry::Telemetry;
 use parking_lot::RwLock;
 
 use crate::error::SourceError;
@@ -17,13 +18,21 @@ use crate::record::SourceProfile;
 use crate::sim::ScholarSource;
 use crate::spec::SourceKind;
 
-/// Cache hit/miss counters.
+/// Cache hit/miss/error/eviction counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Requests answered from the cache.
     pub hits: u64,
-    /// Requests that had to go to the underlying source.
+    /// Requests that went to the underlying source and succeeded
+    /// (i.e. populated the cache). Failed fetch-throughs are counted in
+    /// `errors`, not here — counting them as misses used to make the
+    /// hit ratio drift downward on flaky sources even when every
+    /// cacheable response was served from cache.
     pub misses: u64,
+    /// Fetch-throughs that failed; nothing was cached.
+    pub errors: u64,
+    /// Entries dropped by [`CachingSource::clear`].
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -44,11 +53,14 @@ impl CacheStats {
 /// transient failure retried later can still succeed.
 pub struct CachingSource {
     inner: Arc<dyn ScholarSource>,
+    telemetry: Telemetry,
     by_name: RwLock<HashMap<String, Vec<SourceProfile>>>,
     by_interest: RwLock<HashMap<String, Vec<SourceProfile>>>,
     by_key: RwLock<HashMap<String, SourceProfile>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    errors: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for CachingSource {
@@ -61,32 +73,80 @@ impl std::fmt::Debug for CachingSource {
 }
 
 impl CachingSource {
-    /// Wraps `inner` with an empty cache.
+    /// Wraps `inner` with an empty cache and no telemetry.
     pub fn new(inner: Arc<dyn ScholarSource>) -> Self {
+        Self::with_telemetry(inner, Telemetry::disabled())
+    }
+
+    /// Wraps `inner` with an empty cache reporting
+    /// `minaret_cache_{hits,misses,errors,evictions}_total{source=...}`
+    /// to `telemetry`.
+    pub fn with_telemetry(inner: Arc<dyn ScholarSource>, telemetry: Telemetry) -> Self {
         Self {
             inner,
+            telemetry,
             by_name: RwLock::new(HashMap::new()),
             by_interest: RwLock::new(HashMap::new()),
             by_key: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Current hit/miss counters.
+    /// Current hit/miss/error/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
     /// Drops all cached entries (a new recommendation run starting from
     /// scratch, per the paper's freshness requirement).
     pub fn clear(&self) {
-        self.by_name.write().clear();
-        self.by_interest.write().clear();
-        self.by_key.write().clear();
+        let evicted = {
+            let mut by_name = self.by_name.write();
+            let mut by_interest = self.by_interest.write();
+            let mut by_key = self.by_key.write();
+            let n = by_name.len() + by_interest.len() + by_key.len();
+            by_name.clear();
+            by_interest.clear();
+            by_key.clear();
+            n as u64
+        };
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.cache_counter("evictions").inc_by(evicted);
+    }
+
+    fn cache_counter(&self, event: &str) -> minaret_telemetry::Counter {
+        self.telemetry.counter(
+            &format!("minaret_cache_{event}_total"),
+            &[("source", self.inner.kind().prefix())],
+        )
+    }
+
+    fn on_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_counter("hits").inc();
+    }
+
+    /// Resolves a fetch-through: successes count as misses (the cache
+    /// is now populated), failures as errors (nothing was cached).
+    fn on_fetch<T>(&self, result: &Result<T, SourceError>) {
+        match result {
+            Ok(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.cache_counter("misses").inc();
+            }
+            Err(_) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                self.cache_counter("errors").inc();
+            }
+        }
     }
 }
 
@@ -101,11 +161,12 @@ impl ScholarSource for CachingSource {
 
     fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError> {
         if let Some(hit) = self.by_name.read().get(name) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.on_hit();
             return Ok(hit.clone());
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = self.inner.search_by_name(name)?;
+        let result = self.inner.search_by_name(name);
+        self.on_fetch(&result);
+        let result = result?;
         self.by_name
             .write()
             .insert(name.to_string(), result.clone());
@@ -114,11 +175,12 @@ impl ScholarSource for CachingSource {
 
     fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
         if let Some(hit) = self.by_interest.read().get(keyword) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.on_hit();
             return Ok(hit.clone());
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = self.inner.search_by_interest(keyword)?;
+        let result = self.inner.search_by_interest(keyword);
+        self.on_fetch(&result);
+        let result = result?;
         self.by_interest
             .write()
             .insert(keyword.to_string(), result.clone());
@@ -127,11 +189,12 @@ impl ScholarSource for CachingSource {
 
     fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
         if let Some(hit) = self.by_key.read().get(key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.on_hit();
             return Ok(hit.clone());
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = self.inner.fetch_profile(key)?;
+        let result = self.inner.fetch_profile(key);
+        self.on_fetch(&result);
+        let result = result?;
         self.by_key.write().insert(key.to_string(), result.clone());
         Ok(result)
     }
@@ -214,5 +277,75 @@ mod tests {
     fn empty_stats_hit_ratio_is_zero() {
         let (c, _) = cached(SourceKind::Orcid);
         assert_eq!(c.stats().hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn failed_fetches_count_as_errors_not_misses() {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 50,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        spec.failure_rate = 1.0;
+        let c = CachingSource::new(Arc::new(SimulatedSource::new(spec, world)));
+        for _ in 0..5 {
+            assert!(c.search_by_name("anyone").is_err());
+        }
+        let s = c.stats();
+        assert_eq!(s.errors, 5);
+        assert_eq!(s.misses, 0, "failed fetches must not count as misses");
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn clear_counts_evictions() {
+        let (c, w) = cached(SourceKind::Dblp);
+        c.search_by_name(&w.scholars()[0].full_name()).unwrap();
+        c.search_by_name(&w.scholars()[1].full_name()).unwrap();
+        c.clear();
+        assert_eq!(c.stats().evictions, 2);
+        c.clear();
+        assert_eq!(
+            c.stats().evictions,
+            2,
+            "clearing an empty cache evicts nothing"
+        );
+    }
+
+    #[test]
+    fn telemetry_mirrors_cache_counters() {
+        let telemetry = minaret_telemetry::Telemetry::new();
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 100,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let src = Arc::new(SimulatedSource::new(
+            SourceSpec::for_kind(SourceKind::GoogleScholar),
+            world.clone(),
+        ));
+        let c = CachingSource::with_telemetry(src, telemetry.clone());
+        let name = world.scholars()[0].full_name();
+        c.search_by_name(&name).unwrap();
+        c.search_by_name(&name).unwrap();
+        c.clear();
+        let text = telemetry.encode_prometheus();
+        assert!(
+            text.contains("minaret_cache_hits_total{source=\"gs\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("minaret_cache_misses_total{source=\"gs\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("minaret_cache_evictions_total{source=\"gs\"} 1"),
+            "{text}"
+        );
     }
 }

@@ -2,6 +2,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
+
+use minaret_telemetry::Telemetry;
 
 use crate::error::SourceError;
 use crate::record::SourceProfile;
@@ -47,6 +50,7 @@ pub struct RegistryStats {
 pub struct SourceRegistry {
     sources: Vec<Arc<dyn ScholarSource>>,
     config: RegistryConfig,
+    telemetry: Telemetry,
     calls: AtomicU64,
     retries: AtomicU64,
     gave_up: AtomicU64,
@@ -61,11 +65,18 @@ impl std::fmt::Debug for SourceRegistry {
 }
 
 impl SourceRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry without telemetry.
     pub fn new(config: RegistryConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Creates an empty registry reporting per-source request, retry,
+    /// error, and latency series to `telemetry`.
+    pub fn with_telemetry(config: RegistryConfig, telemetry: Telemetry) -> Self {
         Self {
             sources: Vec::new(),
             config,
+            telemetry,
             calls: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             gave_up: AtomicU64::new(0),
@@ -102,25 +113,67 @@ impl SourceRegistry {
     }
 
     /// Runs `op` against one source with the retry policy.
-    fn with_retry<T>(&self, op: impl Fn() -> Result<T, SourceError>) -> Result<T, SourceError> {
+    fn with_retry<T>(
+        &self,
+        kind: SourceKind,
+        op: impl Fn() -> Result<T, SourceError>,
+    ) -> Result<T, SourceError> {
+        let source_label = kind.prefix();
+        let started = Instant::now();
         let mut last_err = None;
-        for attempt in 0..=self.config.max_retries {
-            self.calls.fetch_add(1, Ordering::Relaxed);
-            match op() {
-                Ok(v) => return Ok(v),
-                Err(e) if e.is_retriable() && attempt < self.config.max_retries => {
-                    self.retries.fetch_add(1, Ordering::Relaxed);
-                    last_err = Some(e);
-                }
-                Err(e) => {
-                    if e.is_retriable() {
-                        self.gave_up.fetch_add(1, Ordering::Relaxed);
+        let result = 'attempts: {
+            for attempt in 0..=self.config.max_retries {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.telemetry
+                    .counter("minaret_source_requests_total", &[("source", source_label)])
+                    .inc();
+                match op() {
+                    Ok(v) => break 'attempts Ok(v),
+                    Err(e) if e.is_retriable() && attempt < self.config.max_retries => {
+                        self.retries.fetch_add(1, Ordering::Relaxed);
+                        self.note_error(source_label, &e);
+                        self.telemetry
+                            .counter("minaret_source_retries_total", &[("source", source_label)])
+                            .inc();
+                        last_err = Some(e);
                     }
-                    return Err(e);
+                    Err(e) => {
+                        if e.is_retriable() {
+                            self.gave_up.fetch_add(1, Ordering::Relaxed);
+                            self.telemetry
+                                .counter(
+                                    "minaret_source_gave_up_total",
+                                    &[("source", source_label)],
+                                )
+                                .inc();
+                        }
+                        self.note_error(source_label, &e);
+                        break 'attempts Err(e);
+                    }
                 }
             }
-        }
-        Err(last_err.expect("loop executes at least once"))
+            Err(last_err.expect("loop executes at least once"))
+        };
+        self.telemetry
+            .histogram("minaret_source_call_micros", &[("source", source_label)])
+            .observe_duration(started.elapsed());
+        result
+    }
+
+    /// Counts one error occurrence by class.
+    fn note_error(&self, source_label: &str, error: &SourceError) {
+        let class = match error {
+            SourceError::Transient { .. } => "transient",
+            SourceError::RateLimited { .. } => "rate_limited",
+            SourceError::NotFound { .. } => "not_found",
+            SourceError::Unsupported { .. } => "unsupported",
+        };
+        self.telemetry
+            .counter(
+                "minaret_source_errors_total",
+                &[("source", source_label), ("kind", class)],
+            )
+            .inc();
     }
 
     /// Fans a query out to every source and concatenates the successes.
@@ -140,7 +193,7 @@ impl SourceRegistry {
                         .map(|s| {
                             let s = s.clone();
                             let op = &op;
-                            scope.spawn(move || self.with_retry(|| op(s.as_ref())))
+                            scope.spawn(move || self.with_retry(s.kind(), || op(s.as_ref())))
                         })
                         .collect();
                     handles
@@ -161,7 +214,7 @@ impl SourceRegistry {
             let mut profiles = Vec::new();
             let mut errors = Vec::new();
             for s in &self.sources {
-                match self.with_retry(|| op(s.as_ref())) {
+                match self.with_retry(s.kind(), || op(s.as_ref())) {
                     Ok(mut v) => profiles.append(&mut v),
                     Err(e) => errors.push(e),
                 }
@@ -172,13 +225,19 @@ impl SourceRegistry {
 
     /// Searches all sources by scholar name.
     pub fn search_by_name(&self, name: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
-        self.fan_out(|s| s.search_by_name(name))
+        let started = Instant::now();
+        let result = self.fan_out(|s| s.search_by_name(name));
+        self.telemetry
+            .histogram("minaret_fanout_micros", &[("query", "name")])
+            .observe_duration(started.elapsed());
+        result
     }
 
     /// Searches all interest-capable sources by research-interest
     /// keyword; incapable sources are skipped silently (their
     /// `Unsupported` is expected, not an error condition).
     pub fn search_by_interest(&self, keyword: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
+        let started = Instant::now();
         let (profiles, errors) = self.fan_out(|s| {
             if s.supports_interest_search() {
                 s.search_by_interest(keyword)
@@ -186,6 +245,9 @@ impl SourceRegistry {
                 Ok(Vec::new())
             }
         });
+        self.telemetry
+            .histogram("minaret_fanout_micros", &[("query", "interest")])
+            .observe_duration(started.elapsed());
         (profiles, errors)
     }
 }
@@ -297,6 +359,56 @@ mod tests {
         let stats = reg.stats();
         assert!(stats.retries > 0, "expected some retries to occur");
         assert!(stats.calls > 30);
+    }
+
+    #[test]
+    fn telemetry_tracks_per_source_requests_and_retries() {
+        let w = world();
+        let telemetry = minaret_telemetry::Telemetry::new();
+        let mut reg = SourceRegistry::with_telemetry(
+            RegistryConfig {
+                max_retries: 6,
+                concurrent: false,
+            },
+            telemetry.clone(),
+        );
+        let mut gs = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        gs.failure_rate = 0.4;
+        reg.register(Arc::new(SimulatedSource::new(gs, w.clone())));
+        reg.register(Arc::new(SimulatedSource::new(
+            SourceSpec::for_kind(SourceKind::Dblp),
+            w.clone(),
+        )));
+        for i in 0..20 {
+            let _ = reg.search_by_name(&w.scholars()[i].full_name());
+        }
+        let stats = reg.stats();
+        let text = telemetry.encode_prometheus();
+        // Telemetry and legacy counters must agree.
+        let gs_reqs = telemetry
+            .counter("minaret_source_requests_total", &[("source", "gs")])
+            .get();
+        let dblp_reqs = telemetry
+            .counter("minaret_source_requests_total", &[("source", "dblp")])
+            .get();
+        assert_eq!(gs_reqs + dblp_reqs, stats.calls);
+        assert_eq!(dblp_reqs, 20, "DBLP never fails, one call per query");
+        assert!(
+            text.contains("minaret_source_retries_total{source=\"gs\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("minaret_source_errors_total{kind=\"transient\",source=\"gs\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("minaret_source_call_micros_count{source=\"dblp\"} 20"),
+            "{text}"
+        );
+        assert!(
+            text.contains("minaret_fanout_micros_count{query=\"name\"} 20"),
+            "{text}"
+        );
     }
 
     #[test]

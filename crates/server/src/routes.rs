@@ -1,167 +1,257 @@
 //! Route handlers.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use minaret_core::{Minaret, MinaretError};
 use minaret_disambig::{AuthorQuery, IdentityResolver};
-use minaret_http::{Response, Router};
+use minaret_http::{Params, Request, Response, Router};
 use minaret_json::Value;
 use minaret_ontology::{ExpansionConfig, KeywordExpander};
+use minaret_telemetry::Telemetry;
 
 use crate::codec::{manuscript_from_json, report_to_json};
 use crate::state::AppState;
 
+/// Wraps a handler with per-route telemetry: a latency histogram
+/// (`minaret_http_request_micros{route}`) and a status-code counter
+/// (`minaret_http_requests_total{route,status}`).
+fn instrumented(
+    telemetry: Telemetry,
+    route: &'static str,
+    handler: impl Fn(&Request, &Params) -> Response + Send + Sync + 'static,
+) -> impl Fn(&Request, &Params) -> Response + Send + Sync + 'static {
+    move |req, params| {
+        let start = Instant::now();
+        let resp = handler(req, params);
+        let status = resp.status.to_string();
+        telemetry
+            .counter(
+                "minaret_http_requests_total",
+                &[("route", route), ("status", &status)],
+            )
+            .inc();
+        telemetry
+            .histogram("minaret_http_request_micros", &[("route", route)])
+            .observe_duration(start.elapsed());
+        resp
+    }
+}
+
 /// Builds the full API router over the given state.
 pub fn build_router(state: Arc<AppState>) -> Router {
     let mut router = Router::new();
+    let t = |route| (state.telemetry.clone(), route);
 
     let s = state.clone();
-    router.get("/health", move |_, _| {
-        let stats = s.world.stats();
-        Response::json(
-            200,
-            &Value::object()
-                .set("status", "ok")
-                .set(
-                    "world",
-                    Value::object()
-                        .set("scholars", stats.scholars)
-                        .set("papers", stats.papers)
-                        .set("venues", stats.venues)
-                        .set("reviews", stats.reviews),
-                )
-                .set("sources", s.registry.len()),
-        )
-    });
-
-    let s = state.clone();
-    router.get("/sources", move |_, _| {
-        let kinds: Vec<Value> = s
-            .registry
-            .kinds()
-            .iter()
-            .map(|k| Value::from(k.to_string()))
-            .collect();
-        Response::json(200, &Value::object().set("sources", kinds))
-    });
-
-    let s = state.clone();
-    router.get("/expand", move |req, _| {
-        let Some(keyword) = req.query_param("keyword") else {
-            return Response::error(400, "missing query parameter \"keyword\"");
-        };
-        let min_score = req
-            .query_param("min_score")
-            .and_then(|v| v.parse::<f64>().ok())
-            .unwrap_or(ExpansionConfig::default().min_score);
-        let cfg = ExpansionConfig {
-            min_score,
-            ..Default::default()
-        };
-        let expander = KeywordExpander::new(&s.ontology, cfg);
-        match expander.expand(keyword) {
-            Ok(expanded) => {
-                let items: Vec<Value> = expanded
-                    .iter()
-                    .map(|e| {
+    let (tel, route) = t("/health");
+    router.get(
+        route,
+        instrumented(tel, route, move |_, _| {
+            let stats = s.world.stats();
+            Response::json(
+                200,
+                &Value::object()
+                    .set("status", "ok")
+                    .set(
+                        "world",
                         Value::object()
-                            .set("keyword", e.label.as_str())
-                            .set("score", e.score)
-                            .set("hops", e.hops)
+                            .set("scholars", stats.scholars)
+                            .set("papers", stats.papers)
+                            .set("venues", stats.venues)
+                            .set("reviews", stats.reviews),
+                    )
+                    .set("sources", s.registry.len()),
+            )
+        }),
+    );
+
+    let s = state.clone();
+    let (tel, route) = t("/sources");
+    router.get(
+        route,
+        instrumented(tel, route, move |_, _| {
+            let kinds: Vec<Value> = s
+                .registry
+                .kinds()
+                .iter()
+                .map(|k| Value::from(k.to_string()))
+                .collect();
+            Response::json(200, &Value::object().set("sources", kinds))
+        }),
+    );
+
+    let s = state.clone();
+    let (tel, route) = t("/expand");
+    router.get(
+        route,
+        instrumented(tel, route, move |req, _| {
+            let Some(keyword) = req.query_param("keyword") else {
+                return Response::error(400, "missing query parameter \"keyword\"");
+            };
+            let min_score = req
+                .query_param("min_score")
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(ExpansionConfig::default().min_score);
+            let cfg = ExpansionConfig {
+                min_score,
+                ..Default::default()
+            };
+            let expander = KeywordExpander::new(&s.ontology, cfg);
+            match expander.expand(keyword) {
+                Ok(expanded) => {
+                    let items: Vec<Value> = expanded
+                        .iter()
+                        .map(|e| {
+                            Value::object()
+                                .set("keyword", e.label.as_str())
+                                .set("score", e.score)
+                                .set("hops", e.hops)
+                        })
+                        .collect();
+                    Response::json(
+                        200,
+                        &Value::object()
+                            .set("keyword", keyword)
+                            .set("expanded", items),
+                    )
+                }
+                Err(e) => Response::error(404, &e.to_string()),
+            }
+        }),
+    );
+
+    let s = state.clone();
+    let (tel, route) = t("/verify-authors");
+    router.post(
+        route,
+        instrumented(tel, route, move |req, _| {
+            let body = match req.json_body() {
+                Ok(b) => b,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            let Some(authors) = body.get("authors").and_then(Value::as_array) else {
+                return Response::error(400, "missing array field \"authors\"");
+            };
+            let keywords: Vec<String> = body
+                .get("keywords")
+                .and_then(Value::as_array)
+                .map(|ks| {
+                    ks.iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default();
+            let resolver = IdentityResolver::new(&s.registry).with_telemetry(s.telemetry.clone());
+            let mut results = Vec::new();
+            for a in authors {
+                let Some(name) = a.get("name").and_then(Value::as_str) else {
+                    return Response::error(400, "author entries need a \"name\"");
+                };
+                let query = AuthorQuery {
+                    name: name.to_string(),
+                    affiliation: a
+                        .get("affiliation")
+                        .and_then(Value::as_str)
+                        .map(str::to_string),
+                    country: a.get("country").and_then(Value::as_str).map(str::to_string),
+                    context_keywords: keywords.clone(),
+                };
+                let candidates = resolver.candidates(&query);
+                let matches: Vec<Value> = candidates
+                    .iter()
+                    .map(|m| {
+                        Value::object()
+                            .set("display_name", m.candidate.display_name.as_str())
+                            .set("affiliation", m.candidate.affiliation.clone())
+                            .set("score", m.score)
+                            .set(
+                                "sources",
+                                m.candidate
+                                    .sources
+                                    .iter()
+                                    .map(|k| Value::from(k.to_string()))
+                                    .collect::<Vec<_>>(),
+                            )
+                            .set("publications", m.candidate.publications.len())
                     })
                     .collect();
-                Response::json(
-                    200,
-                    &Value::object()
-                        .set("keyword", keyword)
-                        .set("expanded", items),
-                )
+                results.push(Value::object().set("name", name).set("matches", matches));
             }
-            Err(e) => Response::error(404, &e.to_string()),
-        }
-    });
+            Response::json(200, &Value::object().set("authors", results))
+        }),
+    );
 
     let s = state.clone();
-    router.post("/verify-authors", move |req, _| {
-        let body = match req.json_body() {
-            Ok(b) => b,
-            Err(e) => return Response::error(400, &e.to_string()),
-        };
-        let Some(authors) = body.get("authors").and_then(Value::as_array) else {
-            return Response::error(400, "missing array field \"authors\"");
-        };
-        let keywords: Vec<String> = body
-            .get("keywords")
-            .and_then(Value::as_array)
-            .map(|ks| {
-                ks.iter()
-                    .filter_map(Value::as_str)
-                    .map(str::to_string)
-                    .collect()
-            })
-            .unwrap_or_default();
-        let resolver = IdentityResolver::new(&s.registry);
-        let mut results = Vec::new();
-        for a in authors {
-            let Some(name) = a.get("name").and_then(Value::as_str) else {
-                return Response::error(400, "author entries need a \"name\"");
+    let (tel, route) = t("/recommend");
+    router.post(
+        route,
+        instrumented(tel, route, move |req, _| {
+            let body = match req.json_body() {
+                Ok(b) => b,
+                Err(e) => return Response::error(400, &e.to_string()),
             };
-            let query = AuthorQuery {
-                name: name.to_string(),
-                affiliation: a
-                    .get("affiliation")
-                    .and_then(Value::as_str)
-                    .map(str::to_string),
-                country: a.get("country").and_then(Value::as_str).map(str::to_string),
-                context_keywords: keywords.clone(),
+            let (manuscript, config) = match manuscript_from_json(&body, s.minaret.config()) {
+                Ok(x) => x,
+                Err(e) => return Response::error(422, &e),
             };
-            let candidates = resolver.candidates(&query);
-            let matches: Vec<Value> = candidates
+            // Per-request configuration: a fresh framework view over the same
+            // shared registry/ontology (both Arc-shared, so this is cheap).
+            let minaret = Minaret::new(s.registry.clone(), s.ontology.clone(), config)
+                .with_telemetry(s.telemetry.clone());
+            match minaret.recommend(&manuscript) {
+                Ok(report) => Response::json(200, &report_to_json(&report)),
+                Err(MinaretError::InvalidManuscript(m)) => Response::error(422, &m),
+                Err(MinaretError::NoCandidates) => Response::json(
+                    200,
+                    &report_empty(&manuscript.title, "no candidate reviewers found"),
+                ),
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }),
+    );
+
+    let s = state.clone();
+    let (tel, route) = t("/metrics");
+    router.get(
+        route,
+        instrumented(tel, route, move |_, _| {
+            Response::text(200, s.telemetry.encode_prometheus())
+        }),
+    );
+
+    let s = state.clone();
+    let (tel, route) = t("/traces/recent");
+    router.get(
+        route,
+        instrumented(tel, route, move |_, _| {
+            let traces: Vec<Value> = s
+                .telemetry
+                .recent_traces()
                 .iter()
-                .map(|m| {
+                .map(|trace| {
+                    let spans: Vec<Value> = trace
+                        .spans
+                        .iter()
+                        .map(|span| {
+                            Value::object()
+                                .set("name", span.name.as_str())
+                                .set("depth", span.depth as u64)
+                                .set("start_micros", span.start_micros)
+                                .set("duration_micros", span.duration_micros)
+                        })
+                        .collect();
                     Value::object()
-                        .set("display_name", m.candidate.display_name.as_str())
-                        .set("affiliation", m.candidate.affiliation.clone())
-                        .set("score", m.score)
-                        .set(
-                            "sources",
-                            m.candidate
-                                .sources
-                                .iter()
-                                .map(|k| Value::from(k.to_string()))
-                                .collect::<Vec<_>>(),
-                        )
-                        .set("publications", m.candidate.publications.len())
+                        .set("name", trace.name.as_str())
+                        .set("started_unix_ms", trace.started_unix_ms)
+                        .set("total_micros", trace.total_micros)
+                        .set("spans", spans)
                 })
                 .collect();
-            results.push(Value::object().set("name", name).set("matches", matches));
-        }
-        Response::json(200, &Value::object().set("authors", results))
-    });
-
-    let s = state.clone();
-    router.post("/recommend", move |req, _| {
-        let body = match req.json_body() {
-            Ok(b) => b,
-            Err(e) => return Response::error(400, &e.to_string()),
-        };
-        let (manuscript, config) = match manuscript_from_json(&body, s.minaret.config()) {
-            Ok(x) => x,
-            Err(e) => return Response::error(422, &e),
-        };
-        // Per-request configuration: a fresh framework view over the same
-        // shared registry/ontology (both Arc-shared, so this is cheap).
-        let minaret = Minaret::new(s.registry.clone(), s.ontology.clone(), config);
-        match minaret.recommend(&manuscript) {
-            Ok(report) => Response::json(200, &report_to_json(&report)),
-            Err(MinaretError::InvalidManuscript(m)) => Response::error(422, &m),
-            Err(MinaretError::NoCandidates) => Response::json(
-                200,
-                &report_empty(&manuscript.title, "no candidate reviewers found"),
-            ),
-            Err(e) => Response::error(500, &e.to_string()),
-        }
-    });
+            Response::json(200, &Value::object().set("traces", traces))
+        }),
+    );
 
     router
 }
@@ -289,6 +379,71 @@ mod tests {
         assert!(!recs.is_empty() && recs.len() <= 5);
         assert!(recs[0].get("score_details").is_some());
         assert!(v.get("timings_ms").is_some());
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (_, router) = router();
+        router.dispatch(&request(Method::Get, "/health", &[], ""));
+        let resp = router.dispatch(&request(Method::Get, "/metrics", &[], ""));
+        assert_eq!(resp.status, 200);
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(k, v)| k == "Content-Type" && v.starts_with("text/plain")));
+        let text = String::from_utf8(resp.body).unwrap();
+        assert!(
+            text.contains("minaret_http_requests_total{route=\"/health\",status=\"200\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("minaret_http_request_micros_count{route=\"/health\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn traces_endpoint_reports_pipeline_spans() {
+        let (state, router) = router();
+        let lead = state
+            .world
+            .scholars()
+            .iter()
+            .find(|s| !state.world.papers_of(s.id).is_empty())
+            .unwrap();
+        let keywords: Vec<Value> = lead
+            .interests
+            .iter()
+            .take(2)
+            .map(|&t| Value::from(state.world.ontology.label(t)))
+            .collect();
+        let body = Value::object()
+            .set("title", "Traced manuscript")
+            .set("keywords", keywords)
+            .set(
+                "authors",
+                vec![Value::object().set("name", lead.full_name().as_str())],
+            )
+            .set("target_venue", state.world.venues()[0].name.as_str())
+            .to_string();
+        let resp = router.dispatch(&request(Method::Post, "/recommend", &[], &body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+
+        let resp = router.dispatch(&request(Method::Get, "/traces/recent", &[], ""));
+        assert_eq!(resp.status, 200);
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let traces = v.get("traces").and_then(Value::as_array).unwrap();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(
+            traces[0].get("name").and_then(Value::as_str),
+            Some("recommend")
+        );
+        let spans = traces[0].get("spans").and_then(Value::as_array).unwrap();
+        let names: Vec<&str> = spans
+            .iter()
+            .filter_map(|s| s.get("name").and_then(Value::as_str))
+            .collect();
+        assert_eq!(names, ["extraction", "filtering", "ranking"]);
     }
 
     #[test]

@@ -6,6 +6,7 @@ use minaret_core::{EditorConfig, Minaret};
 use minaret_ontology::Ontology;
 use minaret_scholarly::{RegistryConfig, SimulatedSource, SourceRegistry, SourceSpec};
 use minaret_synth::{World, WorldConfig, WorldGenerator};
+use minaret_telemetry::Telemetry;
 
 /// Everything the route handlers need.
 pub struct AppState {
@@ -17,12 +18,22 @@ pub struct AppState {
     pub ontology: Arc<Ontology>,
     /// The framework with the server's default editor configuration.
     pub minaret: Minaret,
+    /// Process-wide metrics + traces, served at `/metrics` and
+    /// `/traces/recent`. Enabled by [`AppState::demo`].
+    pub telemetry: Telemetry,
 }
 
 impl AppState {
     /// Builds the default demo state: a generated world, the six default
-    /// sources, the curated ontology, and a default editor config.
+    /// sources, the curated ontology, a default editor config, and
+    /// telemetry enabled throughout.
     pub fn demo(scholars: usize, seed: u64) -> Arc<AppState> {
+        Self::demo_with_telemetry(scholars, seed, Telemetry::new())
+    }
+
+    /// Like [`AppState::demo`], but with a caller-provided telemetry
+    /// handle (pass [`Telemetry::disabled`] to opt out).
+    pub fn demo_with_telemetry(scholars: usize, seed: u64, telemetry: Telemetry) -> Arc<AppState> {
         let world = Arc::new(
             WorldGenerator::new(WorldConfig {
                 seed,
@@ -31,17 +42,20 @@ impl AppState {
             .generate(),
         );
         let ontology = Arc::new(minaret_ontology::seed::curated_cs_ontology());
-        let mut registry = SourceRegistry::new(RegistryConfig::default());
+        let mut registry =
+            SourceRegistry::with_telemetry(RegistryConfig::default(), telemetry.clone());
         for spec in SourceSpec::all_defaults() {
             registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
         }
         let registry = Arc::new(registry);
-        let minaret = Minaret::new(registry.clone(), ontology.clone(), EditorConfig::default());
+        let minaret = Minaret::new(registry.clone(), ontology.clone(), EditorConfig::default())
+            .with_telemetry(telemetry.clone());
         Arc::new(AppState {
             world,
             registry,
             ontology,
             minaret,
+            telemetry,
         })
     }
 }
@@ -56,5 +70,12 @@ mod tests {
         assert_eq!(state.registry.len(), 6);
         assert!(state.world.scholars().len() == 100);
         assert!(state.ontology.len() > 100);
+        assert!(state.telemetry.is_enabled());
+    }
+
+    #[test]
+    fn demo_state_can_opt_out_of_telemetry() {
+        let state = AppState::demo_with_telemetry(100, 7, Telemetry::disabled());
+        assert!(!state.telemetry.is_enabled());
     }
 }

@@ -1,0 +1,210 @@
+//! Text encoders: Prometheus exposition format and a human table.
+
+use std::fmt::Write as _;
+
+use crate::metrics::{MetricSnapshot, SnapshotValue};
+
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    if let Some((k, v)) = extra {
+        pairs.push(format!("{k}=\"{}\"", escape_label_value(v)));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Encodes a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): `# TYPE` headers, one series per line, histograms
+/// expanded into `_bucket`/`_sum`/`_count`.
+pub(crate) fn prometheus(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    let mut last_family: Option<&str> = None;
+    for metric in snapshot {
+        if last_family != Some(metric.name.as_str()) {
+            let _ = writeln!(
+                out,
+                "# TYPE {} {}",
+                metric.name,
+                metric.kind.prometheus_name()
+            );
+            last_family = Some(metric.name.as_str());
+        }
+        let labels = label_block(&metric.labels, None);
+        match &metric.value {
+            SnapshotValue::Counter(v) => {
+                let _ = writeln!(out, "{}{labels} {v}", metric.name);
+            }
+            SnapshotValue::Gauge(v) => {
+                let _ = writeln!(out, "{}{labels} {v}", metric.name);
+            }
+            SnapshotValue::Histogram(h) => {
+                let mut cum = 0;
+                for (bound, cumulative) in h.cumulative() {
+                    cum = cumulative;
+                    // Skip interior empty prefixes? No: Prometheus
+                    // expects monotone cumulative buckets; emitting all
+                    // 41 is noisy, so only emit buckets up to the first
+                    // one that covers every observation.
+                    let le = label_block(&metric.labels, Some(("le", &bound.to_string())));
+                    let _ = writeln!(out, "{}_bucket{le} {cumulative}", metric.name);
+                    if cumulative == h.count {
+                        break;
+                    }
+                }
+                let _ = cum;
+                let le = label_block(&metric.labels, Some(("le", "+Inf")));
+                let _ = writeln!(out, "{}_bucket{le} {}", metric.name, h.count);
+                let _ = writeln!(out, "{}_sum{labels} {}", metric.name, h.sum);
+                let _ = writeln!(out, "{}_count{labels} {}", metric.name, h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as an aligned plain-text table (the `minaret
+/// stats` view). Histograms show count / mean / p50 / p95 / p99.
+pub(crate) fn table(snapshot: &[MetricSnapshot]) -> String {
+    let mut rows: Vec<[String; 3]> = vec![[
+        "METRIC".to_string(),
+        "LABELS".to_string(),
+        "VALUE".to_string(),
+    ]];
+    for metric in snapshot {
+        let labels = if metric.labels.is_empty() {
+            "-".to_string()
+        } else {
+            metric
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let value = match &metric.value {
+            SnapshotValue::Counter(v) => v.to_string(),
+            SnapshotValue::Gauge(v) => v.to_string(),
+            SnapshotValue::Histogram(h) => format!(
+                "count={} mean={:.1} p50={:.0} p95={:.0} p99={:.0}",
+                h.count,
+                h.mean(),
+                h.p50(),
+                h.p95(),
+                h.p99()
+            ),
+        };
+        rows.push([metric.name.clone(), labels, value]);
+    }
+    if rows.len() == 1 {
+        return "(no metrics recorded)\n".to_string();
+    }
+    let widths = rows.iter().fold([0usize; 3], |mut w, row| {
+        for (i, cell) in row.iter().enumerate() {
+            w[i] = w[i].max(cell.chars().count());
+        }
+        w
+    });
+    let mut out = String::new();
+    for row in &rows {
+        let _ = writeln!(
+            out,
+            "{:w0$}  {:w1$}  {}",
+            row[0],
+            row[1],
+            row[2],
+            w0 = widths[0],
+            w1 = widths[1]
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Telemetry;
+
+    #[test]
+    fn prometheus_format_counters_and_gauges() {
+        let t = Telemetry::new();
+        t.counter("reqs_total", &[("route", "/recommend"), ("code", "200")])
+            .inc_by(7);
+        t.gauge("candidates", &[("phase", "filtering")]).set(-3);
+        let text = t.encode_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter"), "{text}");
+        assert!(
+            text.contains("reqs_total{code=\"200\",route=\"/recommend\"} 7"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE candidates gauge"), "{text}");
+        assert!(
+            text.contains("candidates{phase=\"filtering\"} -3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative_and_capped() {
+        let t = Telemetry::new();
+        let h = t.histogram("lat", &[]);
+        h.observe(1); // bucket le=1
+        h.observe(3); // bucket le=4
+        h.observe(3);
+        let text = t.encode_prometheus();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"4\"} 3"), "{text}");
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("lat_sum 7"), "{text}");
+        assert!(text.contains("lat_count 3"), "{text}");
+        // Emission stops at the first all-covering bucket.
+        assert!(!text.contains("le=\"8\""), "{text}");
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let t = Telemetry::new();
+        t.counter("c", &[("q", "say \"hi\"\nback\\slash")]).inc();
+        let text = t.encode_prometheus();
+        assert!(
+            text.contains(r#"c{q="say \"hi\"\nback\\slash"} 1"#),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn table_lists_each_series_once() {
+        let t = Telemetry::new();
+        t.counter("a_total", &[("s", "x")]).inc();
+        t.histogram("b_us", &[]).observe(10);
+        let table = t.render_table();
+        assert!(table.starts_with("METRIC"), "{table}");
+        assert!(table.contains("a_total"), "{table}");
+        assert!(table.contains("s=x"), "{table}");
+        assert!(table.contains("count=1"), "{table}");
+        assert_eq!(table.lines().count(), 3, "{table}");
+    }
+
+    #[test]
+    fn empty_registry_renders_placeholder() {
+        let t = Telemetry::new();
+        assert_eq!(t.render_table(), "(no metrics recorded)\n");
+    }
+}

@@ -1,0 +1,251 @@
+//! # minaret-telemetry
+//!
+//! In-process observability for the MINARET stack: a labelled metrics
+//! registry (counters, gauges, log-bucketed histograms), lightweight
+//! span tracing with a bounded ring of recent traces, and text
+//! encoders (Prometheus exposition format and a human table).
+//!
+//! Everything hangs off a cheaply-cloneable [`Telemetry`] handle that
+//! is threaded through constructors. [`Telemetry::new`] records;
+//! [`Telemetry::disabled`] is a no-op handle with near-zero cost, so
+//! call sites never need `if enabled` branches:
+//!
+//! ```
+//! use minaret_telemetry::Telemetry;
+//!
+//! let telemetry = Telemetry::new();
+//! telemetry
+//!     .counter("minaret_source_requests_total", &[("source", "dblp")])
+//!     .inc();
+//! telemetry
+//!     .histogram("minaret_fetch_seconds", &[("source", "dblp")])
+//!     .observe_duration(std::time::Duration::from_millis(12));
+//!
+//! {
+//!     let trace = telemetry.trace("recommend");
+//!     let _phase = trace.span("extraction");
+//!     // ... work ...
+//! } // trace lands in the recent-traces ring here
+//!
+//! let text = telemetry.encode_prometheus();
+//! assert!(text.contains("minaret_source_requests_total{source=\"dblp\"} 1"));
+//! assert_eq!(telemetry.recent_traces().len(), 1);
+//! ```
+//!
+//! The crate has no dependencies beyond std atomics and `parking_lot`,
+//! and never spawns threads or does I/O: scraping is pull-based via
+//! [`Telemetry::encode_prometheus`] / [`Telemetry::recent_traces`].
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod encode;
+mod metrics;
+mod spans;
+
+use std::sync::Arc;
+
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, MetricSnapshot, SnapshotValue,
+};
+pub use spans::{FinishedTrace, Span, SpanRecord, Trace};
+
+use metrics::MetricsRegistry;
+use spans::TraceRing;
+
+/// How many finished traces the ring keeps before evicting the oldest.
+pub const DEFAULT_TRACE_CAPACITY: usize = 64;
+
+struct Inner {
+    metrics: MetricsRegistry,
+    traces: TraceRing,
+}
+
+/// Handle to a telemetry sink, shared by every instrumented component.
+///
+/// Cloning is cheap (an `Arc` bump, or nothing for the disabled
+/// handle). All methods are safe to call from any thread.
+#[derive(Clone)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    /// A recording handle with the default trace-ring capacity.
+    pub fn new() -> Self {
+        Self::with_trace_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A recording handle keeping at most `capacity` finished traces.
+    pub fn with_trace_capacity(capacity: usize) -> Self {
+        Telemetry {
+            inner: Some(Arc::new(Inner {
+                metrics: MetricsRegistry::new(),
+                traces: TraceRing::new(capacity),
+            })),
+        }
+    }
+
+    /// A no-op handle: every metric/span call returns an inert object.
+    ///
+    /// Existing call sites that do not care about telemetry pass this;
+    /// the cost per instrumented operation is one branch.
+    pub fn disabled() -> Self {
+        Telemetry { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A monotonically increasing counter for the given series.
+    ///
+    /// Series identity is `(name, labels)`; labels are sorted
+    /// internally, so argument order does not matter. Registering the
+    /// same name as two different metric kinds panics.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.metrics.counter(name, labels),
+            None => Counter::noop(),
+        }
+    }
+
+    /// A gauge (set/add/sub) for the given series.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.metrics.gauge(name, labels),
+            None => Gauge::noop(),
+        }
+    }
+
+    /// A log-bucketed histogram for the given series.
+    ///
+    /// Values are unit-free `u64`s; durations are conventionally
+    /// recorded in microseconds via [`Histogram::observe_duration`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.metrics.histogram(name, labels),
+            None => Histogram::noop(),
+        }
+    }
+
+    /// Starts a trace; spans opened from it are collected and the
+    /// whole trace lands in the recent-traces ring when dropped.
+    pub fn trace(&self, name: &str) -> Trace {
+        match &self.inner {
+            Some(inner) => Trace::recording(name, Arc::clone(inner).into()),
+            None => Trace::noop(),
+        }
+    }
+
+    /// The most recently finished traces, newest first.
+    pub fn recent_traces(&self) -> Vec<FinishedTrace> {
+        match &self.inner {
+            Some(inner) => inner.traces.recent(),
+            None => Vec::new(),
+        }
+    }
+
+    /// A point-in-time snapshot of every registered series, sorted by
+    /// name then labels.
+    pub fn snapshot(&self) -> Vec<MetricSnapshot> {
+        match &self.inner {
+            Some(inner) => inner.metrics.snapshot(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    pub fn encode_prometheus(&self) -> String {
+        encode::prometheus(&self.snapshot())
+    }
+
+    /// Renders the registry as a plain-text table (for `minaret stats`).
+    pub fn render_table(&self) -> String {
+        encode::table(&self.snapshot())
+    }
+}
+
+impl Inner {
+    pub(crate) fn trace_ring(&self) -> &TraceRing {
+        &self.traces
+    }
+}
+
+pub(crate) use spans::TraceSink;
+
+impl From<Arc<Inner>> for TraceSink {
+    fn from(inner: Arc<Inner>) -> TraceSink {
+        TraceSink::new(inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn disabled_handle_is_fully_inert() {
+        let t = Telemetry::disabled();
+        t.counter("c", &[]).inc();
+        t.gauge("g", &[]).set(9);
+        t.histogram("h", &[]).observe(5);
+        let trace = t.trace("r");
+        drop(trace.span("s"));
+        drop(trace);
+        assert!(!t.is_enabled());
+        assert!(t.snapshot().is_empty());
+        assert!(t.recent_traces().is_empty());
+        assert_eq!(t.encode_prometheus(), "");
+    }
+
+    #[test]
+    fn end_to_end_counter_trace_and_encode() {
+        let t = Telemetry::new();
+        t.counter("requests_total", &[("route", "/recommend")])
+            .inc();
+        t.counter("requests_total", &[("route", "/recommend")])
+            .inc();
+        t.histogram("latency_us", &[])
+            .observe_duration(Duration::from_micros(250));
+        {
+            let trace = t.trace("req");
+            let _outer = trace.span("outer");
+        }
+        let text = t.encode_prometheus();
+        assert!(
+            text.contains("requests_total{route=\"/recommend\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("latency_us_count 1"), "{text}");
+        let traces = t.recent_traces();
+        assert_eq!(traces.len(), 1);
+        assert_eq!(traces[0].spans.len(), 1);
+        assert_eq!(traces[0].spans[0].name, "outer");
+    }
+
+    #[test]
+    fn clones_share_the_same_registry() {
+        let t = Telemetry::new();
+        let u = t.clone();
+        t.counter("shared", &[]).inc_by(3);
+        u.counter("shared", &[]).inc_by(4);
+        assert_eq!(t.counter("shared", &[]).get(), 7);
+    }
+}

@@ -1,0 +1,535 @@
+//! The labelled metrics registry: counters, gauges, histograms.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// The kind of a metric family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing `u64`.
+    Counter,
+    /// Arbitrary signed value.
+    Gauge,
+    /// Log-bucketed value distribution.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn prometheus_name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Canonical label set: sorted, owned pairs.
+pub(crate) type LabelSet = Vec<(String, String)>;
+
+fn canonical_labels(labels: &[(&str, &str)]) -> LabelSet {
+    let mut owned: LabelSet = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    owned.sort();
+    owned
+}
+
+enum Series {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCell>),
+}
+
+struct Family {
+    kind: MetricKind,
+    series: BTreeMap<LabelSet, Series>,
+}
+
+/// All registered metric families, keyed by name.
+pub(crate) struct MetricsRegistry {
+    families: RwLock<BTreeMap<String, Family>>,
+}
+
+impl MetricsRegistry {
+    pub(crate) fn new() -> Self {
+        MetricsRegistry {
+            families: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    fn series<T>(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        kind: MetricKind,
+        make: impl Fn() -> Series,
+        extract: impl Fn(&Series) -> Option<T>,
+    ) -> T {
+        let labels = canonical_labels(labels);
+        // Fast path: the series already exists.
+        {
+            let families = self.families.read();
+            if let Some(family) = families.get(name) {
+                assert_eq!(
+                    family.kind, kind,
+                    "metric {name:?} registered as {:?}, requested as {kind:?}",
+                    family.kind
+                );
+                if let Some(series) = family.series.get(&labels) {
+                    return extract(series).expect("series kind matches family kind");
+                }
+            }
+        }
+        let mut families = self.families.write();
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert_eq!(
+            family.kind, kind,
+            "metric {name:?} registered as {:?}, requested as {kind:?}",
+            family.kind
+        );
+        let series = family.series.entry(labels).or_insert_with(make);
+        extract(series).expect("series kind matches family kind")
+    }
+
+    pub(crate) fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        Counter(Some(self.series(
+            name,
+            labels,
+            MetricKind::Counter,
+            || Series::Counter(Arc::new(AtomicU64::new(0))),
+            |s| match s {
+                Series::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )))
+    }
+
+    pub(crate) fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        Gauge(Some(self.series(
+            name,
+            labels,
+            MetricKind::Gauge,
+            || Series::Gauge(Arc::new(AtomicI64::new(0))),
+            |s| match s {
+                Series::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )))
+    }
+
+    pub(crate) fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        Histogram(Some(self.series(
+            name,
+            labels,
+            MetricKind::Histogram,
+            || Series::Histogram(Arc::new(HistogramCell::new())),
+            |s| match s {
+                Series::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )))
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<MetricSnapshot> {
+        let families = self.families.read();
+        let mut out = Vec::new();
+        for (name, family) in families.iter() {
+            for (labels, series) in family.series.iter() {
+                out.push(MetricSnapshot {
+                    name: name.clone(),
+                    kind: family.kind,
+                    labels: labels.clone(),
+                    value: match series {
+                        Series::Counter(c) => SnapshotValue::Counter(c.load(Ordering::Relaxed)),
+                        Series::Gauge(g) => SnapshotValue::Gauge(g.load(Ordering::Relaxed)),
+                        Series::Histogram(h) => SnapshotValue::Histogram(h.snapshot()),
+                    },
+                });
+            }
+        }
+        out
+    }
+}
+
+/// One series at a point in time (see [`crate::Telemetry::snapshot`]).
+#[derive(Debug, Clone)]
+pub struct MetricSnapshot {
+    /// Family name, e.g. `minaret_source_requests_total`.
+    pub name: String,
+    /// Family kind.
+    pub kind: MetricKind,
+    /// Sorted label pairs identifying the series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The observed value.
+    pub value: SnapshotValue,
+}
+
+/// The value part of a [`MetricSnapshot`].
+#[derive(Debug, Clone)]
+pub enum SnapshotValue {
+    /// Counter reading.
+    Counter(u64),
+    /// Gauge reading.
+    Gauge(i64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+/// A monotonically increasing counter.
+///
+/// Handles from [`crate::Telemetry::disabled`] are inert; increments
+/// wrap on overflow rather than panicking (an instrumentation library
+/// must never take the process down).
+#[derive(Clone)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub(crate) fn noop() -> Self {
+        Counter(None)
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.inc_by(1);
+    }
+
+    /// Adds `n` (wrapping on overflow).
+    pub fn inc_by(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> u64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Clone)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub(crate) fn noop() -> Self {
+        Gauge(None)
+    }
+
+    /// Sets the value outright.
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: i64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `n`.
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Current value (0 for a no-op handle).
+    pub fn get(&self) -> i64 {
+        self.0
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// Number of finite histogram buckets; bucket `i` covers `(2^(i-1), 2^i]`
+/// (bucket 0 covers `[0, 1]`). Values above `2^(BUCKETS-1)` land in the
+/// overflow bucket. 2^40 µs ≈ 13 days, ample for latencies.
+const BUCKETS: usize = 41;
+
+pub(crate) struct HistogramCell {
+    /// Per-bucket (non-cumulative) counts; index [`BUCKETS`] is overflow.
+    buckets: [AtomicU64; BUCKETS + 1],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        // ceil(log2(v)) for v >= 2.
+        let idx = 64 - (v - 1).leading_zeros() as usize;
+        idx.min(BUCKETS)
+    }
+}
+
+/// Upper bound of finite bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    1u64 << i
+}
+
+impl HistogramCell {
+    fn new() -> Self {
+        HistogramCell {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// A log-bucketed histogram of `u64` observations.
+#[derive(Clone)]
+pub struct Histogram(Option<Arc<HistogramCell>>);
+
+impl Histogram {
+    pub(crate) fn noop() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        if let Some(cell) = &self.0 {
+            cell.observe(v);
+        }
+    }
+
+    /// Records a duration in microseconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Current state (empty for a no-op handle).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |cell| cell.snapshot())
+    }
+}
+
+/// Point-in-time state of one histogram series.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Non-cumulative per-bucket counts; the final entry is overflow.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: vec![0; BUCKETS + 1],
+        }
+    }
+
+    /// Iterator over `(upper_bound, cumulative_count)` for the finite
+    /// buckets, in ascending bound order. The overflow bucket is not
+    /// included; `count` covers it.
+    pub fn cumulative(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        let mut acc = 0u64;
+        self.buckets[..self.buckets.len() - 1]
+            .iter()
+            .enumerate()
+            .map(move |(i, c)| {
+                acc += c;
+                (bucket_bound(i), acc)
+            })
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the matching bucket. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).max(1.0);
+        let mut cum = 0u64;
+        for (i, c) in self.buckets.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let lower = if i == 0 { 0 } else { bucket_bound(i - 1) };
+                let upper = if i >= BUCKETS {
+                    // Overflow bucket: no meaningful upper bound; report
+                    // its lower edge.
+                    return lower as f64;
+                } else {
+                    bucket_bound(i)
+                };
+                let within = (rank - cum as f64) / *c as f64;
+                return lower as f64 + within * (upper - lower) as f64;
+            }
+            cum = next;
+        }
+        bucket_bound(BUCKETS - 1) as f64
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 20), 20);
+        assert_eq!(bucket_index((1 << 20) + 1), 21);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS);
+    }
+
+    #[test]
+    fn every_value_is_at_most_its_bucket_bound() {
+        for v in [0u64, 1, 2, 3, 7, 8, 9, 1000, 123_456_789] {
+            let idx = bucket_index(v);
+            assert!(
+                v <= bucket_bound(idx),
+                "value {v} above bound of bucket {idx}"
+            );
+            if idx > 0 {
+                assert!(v > bucket_bound(idx - 1), "value {v} fits a lower bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_bracket_uniform_data() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[]);
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert_eq!(snap.sum, 500_500);
+        // Log buckets are coarse; assert the right bucket, not the
+        // exact value: p50 of 1..=1000 is 500, inside (256, 512].
+        let p50 = snap.p50();
+        assert!((256.0..=512.0).contains(&p50), "p50 = {p50}");
+        let p99 = snap.p99();
+        assert!((512.0..=1024.0).contains(&p99), "p99 = {p99}");
+        assert!(snap.p95() <= p99 + f64::EPSILON);
+        assert_eq!(snap.quantile(1.0), snap.quantile(2.0)); // clamped
+    }
+
+    #[test]
+    fn quantile_of_constant_stream_sits_in_its_bucket() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("h", &[]);
+        for _ in 0..100 {
+            h.observe(300);
+        }
+        let snap = h.snapshot();
+        for q in [0.01, 0.5, 0.95, 0.99] {
+            let est = snap.quantile(q);
+            assert!((256.0..=512.0).contains(&est), "q{q} = {est}");
+        }
+    }
+
+    #[test]
+    fn counter_wraps_instead_of_panicking() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("c", &[]);
+        c.inc_by(u64::MAX);
+        c.inc_by(3);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways() {
+        let reg = MetricsRegistry::new();
+        let g = reg.gauge("g", &[("phase", "filtering")]);
+        g.set(10);
+        g.add(5);
+        g.sub(7);
+        assert_eq!(g.get(), 8);
+    }
+
+    #[test]
+    fn label_order_does_not_split_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("c", &[("a", "1"), ("b", "2")]).inc();
+        reg.counter("c", &[("b", "2"), ("a", "1")]).inc();
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        match snap[0].value {
+            SnapshotValue::Counter(v) => assert_eq!(v, 2),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "registered as")]
+    fn kind_conflict_panics() {
+        let reg = MetricsRegistry::new();
+        reg.counter("same", &[]).inc();
+        let _ = reg.gauge("same", &[]);
+    }
+}

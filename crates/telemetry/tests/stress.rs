@@ -1,0 +1,92 @@
+//! Concurrency stress: many threads hammering shared series must not
+//! lose increments or observations.
+
+use std::time::Duration;
+
+use minaret_telemetry::{SnapshotValue, Telemetry};
+
+const THREADS: usize = 8;
+const OPS_PER_THREAD: u64 = 20_000;
+
+#[test]
+fn no_lost_counter_increments_under_contention() {
+    let telemetry = Telemetry::new();
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let telemetry = telemetry.clone();
+            scope.spawn(move || {
+                // Half the threads hit a shared series, half a
+                // per-thread one, so both contended and uncontended
+                // paths are exercised (including first-registration
+                // races on the same name).
+                let labels_own = worker.to_string();
+                for i in 0..OPS_PER_THREAD {
+                    telemetry.counter("stress_shared_total", &[]).inc();
+                    telemetry
+                        .counter("stress_per_thread_total", &[("t", &labels_own)])
+                        .inc();
+                    if i % 64 == 0 {
+                        telemetry.gauge("stress_gauge", &[]).add(1);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        telemetry.counter("stress_shared_total", &[]).get(),
+        THREADS as u64 * OPS_PER_THREAD
+    );
+    let per_thread_sum: u64 = telemetry
+        .snapshot()
+        .iter()
+        .filter(|m| m.name == "stress_per_thread_total")
+        .map(|m| match m.value {
+            SnapshotValue::Counter(v) => v,
+            _ => panic!("wrong kind"),
+        })
+        .sum();
+    assert_eq!(per_thread_sum, THREADS as u64 * OPS_PER_THREAD);
+}
+
+#[test]
+fn no_lost_histogram_observations_under_contention() {
+    let telemetry = Telemetry::new();
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let telemetry = telemetry.clone();
+            scope.spawn(move || {
+                let h = telemetry.histogram("stress_lat_us", &[]);
+                for i in 0..OPS_PER_THREAD {
+                    h.observe(worker as u64 * 1000 + i % 997);
+                }
+            });
+        }
+    });
+    let snap = telemetry.histogram("stress_lat_us", &[]).snapshot();
+    assert_eq!(snap.count, THREADS as u64 * OPS_PER_THREAD);
+    let bucket_total: u64 = snap.buckets.iter().sum();
+    assert_eq!(
+        bucket_total, snap.count,
+        "bucket counts disagree with total"
+    );
+}
+
+#[test]
+fn traces_from_many_threads_all_land_in_the_ring() {
+    let telemetry = Telemetry::with_trace_capacity(THREADS * 4);
+    std::thread::scope(|scope| {
+        for worker in 0..THREADS {
+            let telemetry = telemetry.clone();
+            scope.spawn(move || {
+                for i in 0..3 {
+                    let trace = telemetry.trace(&format!("w{worker}-{i}"));
+                    let _span = trace.span("work");
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            });
+        }
+    });
+    let traces = telemetry.recent_traces();
+    assert_eq!(traces.len(), THREADS * 3);
+    assert!(traces.iter().all(|t| t.spans.len() == 1));
+}

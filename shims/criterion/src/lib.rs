@@ -1,0 +1,267 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Implements the API subset the `minaret-bench` targets use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a simple but honest measurement
+//! protocol: a warm-up pass sizes the iteration batch to ~10 ms, then
+//! `sample_size` batches are timed and the per-iteration mean, minimum
+//! and p50 are printed. No statistical regression analysis, no plots;
+//! results land on stdout, which is what CI reads anyway.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A parameterised benchmark name, e.g. `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form (inside a group, the group is the function).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { name: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        Self { name }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean per-iteration time of the last `iter` call.
+    last_mean: Duration,
+    last_min: Duration,
+    last_median: Duration,
+    total_iters: u64,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Self {
+            samples,
+            last_mean: Duration::ZERO,
+            last_min: Duration::ZERO,
+            last_median: Duration::ZERO,
+            total_iters: 0,
+        }
+    }
+
+    /// Times `routine`, batching iterations so each sample runs ~10 ms.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: find a batch size whose wall time is ~10 ms.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let took = t.elapsed();
+            if took >= Duration::from_millis(10) || batch >= 1 << 20 {
+                break;
+            }
+            batch = (batch * 2).max(1);
+        }
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.samples);
+        let mut iters = 0u64;
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(t.elapsed() / batch as u32);
+            iters += batch;
+        }
+        per_iter.sort_unstable();
+        self.last_min = per_iter[0];
+        self.last_median = per_iter[per_iter.len() / 2];
+        self.last_mean = per_iter.iter().sum::<Duration>() / per_iter.len() as u32;
+        self.total_iters = iters;
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// No-op for CLI compatibility (`cargo bench` passes flags the shim
+    /// ignores).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Overrides the default number of timed samples.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into(), self.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is incremental, so this is cosmetic).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    group: Option<&str>,
+    id: &BenchmarkId,
+    samples: usize,
+    mut f: F,
+) {
+    let full = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    let mut b = Bencher::new(samples);
+    f(&mut b);
+    println!(
+        "{full:<56} mean {:>12?}  p50 {:>12?}  min {:>12?}  ({} iters)",
+        b.last_mean, b.last_median, b.last_min, b.total_iters
+    );
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| black_box(40u64) + 2);
+        assert!(b.total_iters > 0);
+        assert!(b.last_min <= b.last_mean || b.last_mean == Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(2);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(0)));
+    }
+}

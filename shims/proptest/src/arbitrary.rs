@@ -1,0 +1,99 @@
+//! `any::<T>()` — canonical strategies for primitive types.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A type with a canonical "generate anything" strategy.
+pub trait Arbitrary {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+/// Generates any value of `A`, full range.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite, sign-symmetric, spanning several orders of magnitude.
+        let magnitude = rng.unit_f64() * 1e9;
+        if rng.next_u64() & 1 == 1 {
+            -magnitude
+        } else {
+            magnitude
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        // Printable ASCII most of the time; the occasional wide char.
+        if rng.below(8) < 7 {
+            char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+        } else {
+            char::from_u32(0xA1 + rng.below(0x2000) as u32).unwrap_or('\u{FFFD}')
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_hits_both_values() {
+        let mut r = TestRng::from_seed(1);
+        let s = any::<bool>();
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[s.generate(&mut r) as usize] = true;
+        }
+        assert_eq!(seen, [true, true]);
+    }
+
+    #[test]
+    fn any_u64_varies() {
+        let mut r = TestRng::from_seed(2);
+        let s = any::<u64>();
+        let a = s.generate(&mut r);
+        let b = s.generate(&mut r);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Strategies that sample from fixed collections.
+
+use crate::collection::SizeRange;
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Picks one element of `options` uniformly (cloned).
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select() needs at least one option");
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.below(self.options.len() as u64) as usize].clone()
+    }
+}
+
+/// Picks a random subsequence of `source` (order-preserving); its size
+/// falls in `size`, clamped to `source.len()`.
+pub fn subsequence<T: Clone>(source: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
+    Subsequence {
+        source,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+#[derive(Debug, Clone)]
+pub struct Subsequence<T> {
+    source: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let want = self.size.sample(rng).min(self.source.len());
+        // Partial Fisher–Yates over the index set keeps each subset
+        // equally likely; sorting restores source order.
+        let mut indices: Vec<usize> = (0..self.source.len()).collect();
+        for i in 0..want {
+            let j = i + rng.below((indices.len() - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        let mut picked: Vec<usize> = indices[..want].to_vec();
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.source[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_only_yields_members() {
+        let mut r = TestRng::from_seed(5);
+        let s = select(vec!["a", "b", "c"]);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(s.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn subsequence_preserves_order_and_clamps() {
+        let mut r = TestRng::from_seed(6);
+        let s = subsequence(vec![1, 2, 3, 4, 5], 0usize..=9);
+        for _ in 0..200 {
+            let sub = s.generate(&mut r);
+            assert!(sub.len() <= 5);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "{sub:?} out of order");
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::sync::Arc;
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a
+/// strategy simply samples a fresh value from the RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds
+    /// out of it.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `self` generates leaves, and
+    /// `recurse` wraps an inner strategy into a branch strategy. The
+    /// `_desired_size` / `_expected_branch_size` hints are accepted for
+    /// API parity; recursion depth is bounded by `depth` and biased
+    /// 2:1 toward leaves at every level.
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf: BoxedStrategy<Self::Value> = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = recurse(current.clone()).boxed();
+            current = Union::weighted(vec![(2, leaf.clone()), (1, branch)]).boxed();
+        }
+        current
+    }
+
+    /// Erases the concrete strategy type. The result is cheaply
+    /// cloneable (shared), which `prop_recursive` closures rely on.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// A type-erased, shareable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, S2> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// Chooses among several boxed strategies (the engine of
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Uniform choice.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice; weights need not be normalised.
+    pub fn weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!options.is_empty(), "Union needs at least one option");
+        let total_weight = options.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total_weight > 0, "Union weights sum to zero");
+        Self {
+            options,
+            total_weight,
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut roll = rng.below(self.total_weight);
+        for (w, s) in &self.options {
+            if roll < *w as u64 {
+                return s.generate(rng);
+            }
+            roll -= *w as u64;
+        }
+        unreachable!("roll bounded by total weight")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u8, u16, u32, u64, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Simple-regex string strategies: `"[a-z ]{0,40}"`, `".{0,64}"`, …
+/// (see [`crate::string`] for the supported grammar).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        crate::string::generate_from_pattern(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0);
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7, I 8, J 9, K 10, L 11);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let a = (3usize..9).generate(&mut r);
+            assert!((3..9).contains(&a));
+            let b = (0.0f64..=1.0).generate(&mut r);
+            assert!((0.0..=1.0).contains(&b));
+            let c = (-4i32..=4).generate(&mut r);
+            assert!((-4..=4).contains(&c));
+        }
+    }
+
+    #[test]
+    fn map_flat_map_and_union_compose() {
+        let mut r = rng();
+        let s = (1u32..5).prop_map(|v| v * 10);
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!(v % 10 == 0 && (10..50).contains(&v));
+        }
+        let f = Just(3usize).prop_flat_map(|n| crate::collection::vec(0u8..2, n..n + 1));
+        assert_eq!(f.generate(&mut r).len(), 3);
+        let u = crate::prop_oneof![Just(1u8), Just(2u8)];
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..100 {
+            seen.insert(u.generate(&mut r));
+        }
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(children) => 1 + children.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0u8..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 4, |inner| {
+                crate::collection::vec(inner, 0..4).prop_map(Tree::Node)
+            });
+        let mut r = rng();
+        let mut max_depth = 0;
+        for _ in 0..200 {
+            max_depth = max_depth.max(depth(&strat.generate(&mut r)));
+        }
+        assert!(max_depth > 1, "recursion never branched");
+        assert!(max_depth <= 5, "depth bound exceeded: {max_depth}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Simple-regex string generation for `&str` strategies.
+//!
+//! Supported grammar (a deliberately small subset of what upstream
+//! proptest accepts, covering every pattern in this workspace):
+//!
+//! * `[...]` — character class with literal chars, `a-z` ranges, and
+//!   `\`-escapes (`\\`, `\]`, `\-`, `\n`, `\t`);
+//! * `.` — "any" character: mostly printable ASCII with a sprinkle of
+//!   non-ASCII and whitespace so Unicode paths get exercised;
+//! * any other char — itself, literally;
+//! * each atom may be followed by `{n}` or `{m,n}` repetition.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// One char drawn uniformly from the listed choices.
+    Class(Vec<char>),
+    /// The `.` wildcard.
+    Any,
+    /// A literal character.
+    Literal(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+/// Generates one string matching `pattern`.
+pub(crate) fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let count = if piece.min == piece.max {
+            piece.min
+        } else {
+            piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize
+        };
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(choices) => choices[rng.below(choices.len() as u64) as usize],
+        Atom::Any => {
+            // Mostly printable ASCII; occasionally something wider so
+            // consumers see multi-byte UTF-8 and control whitespace.
+            const EXOTIC: &[char] = &['é', 'ß', 'λ', '中', '😀', '\n', '\t', ' '];
+            if rng.below(10) < 8 {
+                char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+            } else {
+                EXOTIC[rng.below(EXOTIC.len() as u64) as usize]
+            }
+        }
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (class, consumed) = parse_class(&chars[i + 1..], pattern);
+                i += consumed + 1;
+                Atom::Class(class)
+            }
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(unescape(c))
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unclosed {{}} in pattern {pattern:?}"));
+            let spec: String = chars[i + 1..i + close].iter().collect();
+            i += close + 1;
+            match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses a `[...]` body (starting just after `[`); returns the choice
+/// set and the number of chars consumed including the closing `]`.
+fn parse_class(chars: &[char], pattern: &str) -> (Vec<char>, usize) {
+    let mut choices = Vec::new();
+    let mut i = 0;
+    loop {
+        match chars.get(i) {
+            None => panic!("unclosed character class in pattern {pattern:?}"),
+            Some(']') => {
+                assert!(!choices.is_empty(), "empty character class in {pattern:?}");
+                return (choices, i + 1);
+            }
+            Some('\\') => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                choices.push(unescape(c));
+                i += 2;
+            }
+            Some(&lo) => {
+                // `a-z` range, unless `-` is the final literal before `]`.
+                if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']') {
+                    let hi = chars[i + 2];
+                    assert!(lo <= hi, "inverted class range in {pattern:?}");
+                    for code in lo as u32..=hi as u32 {
+                        if let Some(c) = char::from_u32(code) {
+                            choices.push(c);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    choices.push(lo);
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(7)
+    }
+
+    #[test]
+    fn class_with_range_and_repetition() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_from_pattern("[a-c x]{2,5}", &mut r);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| "abc x".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_fixed_counts() {
+        let mut r = rng();
+        let s = generate_from_pattern("ab[0-9]{3}", &mut r);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn dot_generates_varied_chars() {
+        let mut r = rng();
+        let s = generate_from_pattern(".{0,64}", &mut r);
+        assert!(s.chars().count() <= 64);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            distinct.extend(generate_from_pattern(".{8}", &mut r).chars());
+        }
+        assert!(distinct.len() > 10);
+    }
+}

@@ -1,0 +1,176 @@
+//! Integration test for the telemetry surface of the REST API.
+//!
+//! Drives one full `/recommend` through the router, then checks that
+//! `GET /metrics` returns well-formed Prometheus text covering every
+//! scholarly source and every pipeline phase, and that
+//! `GET /traces/recent` shows the request's span tree.
+
+use minaret_http::{Method, Request, Response, Router};
+use minaret_json::Value;
+use minaret_scholarly::SourceKind;
+use minaret_server::AppState;
+use std::sync::Arc;
+
+fn get(router: &Router, path: &str) -> Response {
+    router.dispatch(&Request {
+        method: Method::Get,
+        path: path.into(),
+        query: vec![],
+        headers: vec![],
+        body: vec![],
+    })
+}
+
+fn post(router: &Router, path: &str, body: &str) -> Response {
+    router.dispatch(&Request {
+        method: Method::Post,
+        path: path.into(),
+        query: vec![],
+        headers: vec![],
+        body: body.as_bytes().to_vec(),
+    })
+}
+
+/// Builds a demo server and runs one successful recommendation.
+fn server_after_one_recommend() -> (Arc<AppState>, Router) {
+    let state = AppState::demo(150, 42);
+    let router = minaret_server::build_router(state.clone());
+    let lead = state
+        .world
+        .scholars()
+        .iter()
+        .find(|s| !state.world.papers_of(s.id).is_empty())
+        .expect("world has a published scholar");
+    let keywords: Vec<Value> = lead
+        .interests
+        .iter()
+        .take(2)
+        .map(|&t| Value::from(state.world.ontology.label(t)))
+        .collect();
+    let body = Value::object()
+        .set("title", "Telemetry integration manuscript")
+        .set("keywords", keywords)
+        .set(
+            "authors",
+            vec![Value::object().set("name", lead.full_name().as_str())],
+        )
+        .set("target_venue", state.world.venues()[0].name.as_str())
+        .to_string();
+    let resp = post(&router, "/recommend", &body);
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    (state, router)
+}
+
+/// Minimal Prometheus text-format validation: every line is a comment
+/// or `name{labels} value` with a parseable numeric value.
+fn assert_parses_as_prometheus(text: &str) {
+    assert!(!text.trim().is_empty(), "metrics body is empty");
+    for line in text.lines() {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("no value on line {line:?}"));
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value on line {line:?}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+            "bad metric name on line {line:?}"
+        );
+        if let Some(rest) = series.strip_prefix(name) {
+            if !rest.is_empty() {
+                assert!(
+                    rest.starts_with('{') && rest.ends_with('}'),
+                    "malformed label block on line {line:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn metrics_cover_all_sources_and_phases_after_a_recommendation() {
+    let (_, router) = server_after_one_recommend();
+    let resp = get(&router, "/metrics");
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    assert_parses_as_prometheus(&text);
+
+    // Every one of the six sources was queried by the fan-out.
+    assert_eq!(SourceKind::ALL.len(), 6);
+    for kind in SourceKind::ALL {
+        let series = format!(
+            "minaret_source_requests_total{{source=\"{}\"}}",
+            kind.prefix()
+        );
+        assert!(text.contains(&series), "missing {series}:\n{text}");
+        let latency = format!(
+            "minaret_source_call_micros_count{{source=\"{}\"}}",
+            kind.prefix()
+        );
+        assert!(text.contains(&latency), "missing {latency}:\n{text}");
+    }
+
+    // All three pipeline phases ran exactly once.
+    for phase in ["extraction", "filtering", "ranking"] {
+        let series = format!("minaret_phase_micros_count{{phase=\"{phase}\"}} 1");
+        assert!(text.contains(&series), "missing {series}:\n{text}");
+    }
+    assert!(
+        text.contains("minaret_recommend_total{result=\"ok\"} 1"),
+        "{text}"
+    );
+
+    // The HTTP layer recorded the POST itself.
+    assert!(
+        text.contains("minaret_http_requests_total{route=\"/recommend\",status=\"200\"} 1"),
+        "{text}"
+    );
+}
+
+#[test]
+fn traces_recent_shows_the_request_span_tree() {
+    let (_, router) = server_after_one_recommend();
+    let resp = get(&router, "/traces/recent");
+    assert_eq!(resp.status, 200);
+    let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    let traces = v.get("traces").and_then(Value::as_array).unwrap();
+    assert_eq!(traces.len(), 1);
+    let trace = &traces[0];
+    assert_eq!(trace.get("name").and_then(Value::as_str), Some("recommend"));
+    let total = trace.get("total_micros").and_then(Value::as_u64).unwrap();
+    let spans = trace.get("spans").and_then(Value::as_array).unwrap();
+    let names: Vec<&str> = spans
+        .iter()
+        .filter_map(|s| s.get("name").and_then(Value::as_str))
+        .collect();
+    assert_eq!(names, ["extraction", "filtering", "ranking"]);
+    let span_sum: u64 = spans
+        .iter()
+        .filter_map(|s| s.get("duration_micros").and_then(Value::as_u64))
+        .sum();
+    assert!(
+        span_sum <= total,
+        "phase spans ({span_sum}us) exceed the whole trace ({total}us)"
+    );
+}
+
+#[test]
+fn http_error_statuses_are_labeled_separately() {
+    let (_, router) = server_after_one_recommend();
+    let resp = post(&router, "/recommend", "{not json");
+    assert_eq!(resp.status, 400);
+    let text = String::from_utf8(get(&router, "/metrics").body).unwrap();
+    assert!(
+        text.contains("minaret_http_requests_total{route=\"/recommend\",status=\"400\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("minaret_http_requests_total{route=\"/recommend\",status=\"200\"} 1"),
+        "{text}"
+    );
+}
