@@ -16,4 +16,7 @@ cargo build --release
 echo "==> tier-1: cargo test -q"
 cargo test -q
 
+echo "==> fault injection: cargo test --test failure_injection"
+cargo test -q --test failure_injection
+
 echo "CI OK"

@@ -249,12 +249,30 @@ fn cmd_recommend(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write
         report.recommendations.len()
     )
     .map_err(|e| e.to_string())?;
+    write_degraded_warning(&report, out)?;
     write!(out, "{}", report.render_table()).map_err(|e| e.to_string())?;
     if explain {
         writeln!(out).map_err(|e| e.to_string())?;
         for r in &report.recommendations {
             writeln!(out, "{}", r.explain(&config.weights)).map_err(|e| e.to_string())?;
         }
+    }
+    Ok(())
+}
+
+/// Prints the degraded-coverage banner when sources were missing from a
+/// run — the editor should know the list was built from a thinner view.
+fn write_degraded_warning(
+    report: &minaret_core::RecommendationReport,
+    out: &mut dyn std::io::Write,
+) -> CliResult {
+    if report.degraded {
+        writeln!(
+            out,
+            "WARNING: degraded results — source(s) unavailable: {}\n",
+            report.degraded_sources.join(", ")
+        )
+        .map_err(|e| e.to_string())?;
     }
     Ok(())
 }
@@ -300,6 +318,7 @@ fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
         .minaret
         .recommend(&manuscript)
         .map_err(|e| e.to_string())?;
+    write_degraded_warning(&report, out)?;
     write!(out, "{}", report.render_table()).map_err(|e| e.to_string())?;
     Ok(())
 }
@@ -390,6 +409,9 @@ mod tests {
         assert!(output.contains("minaret_phase_micros"), "{output}");
         assert!(output.contains("minaret_source_requests_total"), "{output}");
         assert!(output.contains("minaret_recommend_total"), "{output}");
+        // The resilience layer's breaker gauge is registered per source
+        // from startup, so the stats table lists it even when healthy.
+        assert!(output.contains("minaret_breaker_state"), "{output}");
     }
 
     #[test]

@@ -185,6 +185,13 @@ pub struct EditorConfig {
     pub pc_members: Option<Vec<String>>,
     /// The current year, for recency computations.
     pub current_year: u32,
+    /// Degradation floor: the minimum number of scholarly sources that
+    /// must answer candidate retrieval for a run to proceed. With fewer
+    /// (sources down, breakers open), the run fails with
+    /// [`SourcesUnavailable`](crate::MinaretError::SourcesUnavailable)
+    /// instead of silently recommending from too thin a view. Partial
+    /// coverage above the floor succeeds but flags the report degraded.
+    pub min_sources: usize,
 }
 
 impl Default for EditorConfig {
@@ -200,6 +207,7 @@ impl Default for EditorConfig {
             max_recommendations: 20,
             pc_members: None,
             current_year: 2018,
+            min_sources: 1,
         }
     }
 }

@@ -12,6 +12,17 @@ pub enum MinaretError {
     NoCandidates,
     /// Every scholarly source failed during extraction.
     AllSourcesFailed(Vec<String>),
+    /// Too few sources answered candidate retrieval to trust a result:
+    /// fewer than the editor's `min_sources` floor responded (outages,
+    /// timeouts, open circuit breakers). The degraded sources are named.
+    SourcesUnavailable {
+        /// How many sources answered successfully.
+        responded: usize,
+        /// The editor's `min_sources` floor.
+        required: usize,
+        /// Names of the sources that failed or were short-circuited.
+        degraded: Vec<String>,
+    },
 }
 
 impl fmt::Display for MinaretError {
@@ -28,6 +39,20 @@ impl fmt::Display for MinaretError {
             }
             MinaretError::AllSourcesFailed(errs) => {
                 write!(f, "all scholarly sources failed: {}", errs.join("; "))
+            }
+            MinaretError::SourcesUnavailable {
+                responded,
+                required,
+                degraded,
+            } => {
+                write!(
+                    f,
+                    "only {responded} of the required {required} sources answered"
+                )?;
+                if !degraded.is_empty() {
+                    write!(f, " (degraded: {})", degraded.join(", "))?;
+                }
+                Ok(())
             }
         }
     }
@@ -48,5 +73,13 @@ mod tests {
         assert!(MinaretError::AllSourcesFailed(vec!["a".into(), "b".into()])
             .to_string()
             .contains("a; b"));
+        let e = MinaretError::SourcesUnavailable {
+            responded: 1,
+            required: 2,
+            degraded: vec!["Google Scholar".into(), "Publons".into()],
+        };
+        let text = e.to_string();
+        assert!(text.contains("1 of the required 2"));
+        assert!(text.contains("Google Scholar, Publons"));
     }
 }

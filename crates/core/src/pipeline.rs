@@ -6,7 +6,9 @@ use std::time::{Duration, Instant};
 
 use minaret_disambig::{AuthorQuery, IdentityResolver, ResolutionPolicy, VerifiedAuthor};
 use minaret_ontology::{normalize_label, KeywordExpander, Ontology};
-use minaret_scholarly::{merge_profiles, MergedCandidate, SourceKind, SourceRegistry};
+use minaret_scholarly::{
+    merge_profiles, MergedCandidate, SourceKind, SourceRegistry, SourceStatus,
+};
 use minaret_telemetry::Telemetry;
 
 use crate::coi::AuthorRecord;
@@ -199,6 +201,13 @@ pub struct RecommendationReport {
     /// Source errors survived during extraction (failed sources are
     /// skipped, not fatal).
     pub source_errors: Vec<String>,
+    /// True when candidate retrieval ran with partial source coverage:
+    /// at least one source that should have answered failed (outage,
+    /// deadline, open breaker). The ranked list is still valid but was
+    /// built from fewer views than configured.
+    pub degraded: bool,
+    /// Names of the sources missing from a degraded run, sorted.
+    pub degraded_sources: Vec<String>,
 }
 
 impl RecommendationReport {
@@ -346,7 +355,7 @@ impl Minaret {
         let (expansion_sets, expansions, unknown_keywords) =
             self.expand_keywords(&manuscript.keywords);
 
-        let candidates = self.retrieve_candidates(&expansion_sets, &mut source_errors);
+        let (candidates, coverage) = self.retrieve_candidates(&expansion_sets, &mut source_errors);
         let candidates_retrieved = candidates.len();
         let extraction = t0.elapsed();
         drop(phase_span);
@@ -356,6 +365,22 @@ impl Minaret {
             manuscript.keywords.len(),
             candidates_retrieved,
         );
+        let degraded_sources: Vec<String> =
+            coverage.degraded.iter().map(|k| k.to_string()).collect();
+        let degraded = !degraded_sources.is_empty();
+        if coverage.responded.len() < self.config.min_sources {
+            self.telemetry
+                .counter(
+                    "minaret_recommend_total",
+                    &[("result", "sources_unavailable")],
+                )
+                .inc();
+            return Err(MinaretError::SourcesUnavailable {
+                responded: coverage.responded.len(),
+                required: self.config.min_sources,
+                degraded: degraded_sources,
+            });
+        }
         if candidates_retrieved == 0 {
             self.telemetry
                 .counter("minaret_recommend_total", &[("result", "no_candidates")])
@@ -426,6 +451,11 @@ impl Minaret {
         self.telemetry
             .counter("minaret_recommend_total", &[("result", "ok")])
             .inc();
+        if degraded {
+            self.telemetry
+                .counter("minaret_recommend_degraded_total", &[])
+                .inc();
+        }
 
         Ok(RecommendationReport {
             manuscript: manuscript.clone(),
@@ -441,6 +471,8 @@ impl Minaret {
                 ranking,
             },
             source_errors,
+            degraded,
+            degraded_sources,
         })
     }
 
@@ -559,12 +591,14 @@ impl Minaret {
 
     /// Phase-1 step: retrieve candidate reviewers by querying every
     /// interest-capable source for every expanded keyword, then merging
-    /// per-source profiles into candidates.
+    /// per-source profiles into candidates. The second return value is
+    /// the per-source health ledger aggregated across all per-label
+    /// fan-outs, which drives the degraded-mode decision.
     fn retrieve_candidates(
         &self,
         expansion_sets: &[KeywordExpansionSet],
         source_errors: &mut Vec<String>,
-    ) -> Vec<CandidateProfile> {
+    ) -> (Vec<CandidateProfile>, SourceCoverage) {
         // Collect the distinct labels to search, with their best score.
         let mut labels: HashMap<String, f64> = HashMap::new();
         for set in expansion_sets {
@@ -584,12 +618,24 @@ impl Minaret {
         // every merged profile's matches even when a name collision
         // conflates two same-source profiles into one candidate.
         let mut matched: HashMap<String, Vec<(String, f64)>> = HashMap::new();
+        let mut coverage = SourceCoverage::default();
         for (label, score) in &sorted_labels {
-            let (found, errors) = self.registry.search_by_interest(label);
-            for e in errors {
-                source_errors.push(e.to_string());
+            let report = self.registry.search_by_interest_report(label);
+            for outcome in &report.outcomes {
+                match &outcome.status {
+                    SourceStatus::Ok => {
+                        coverage.responded.insert(outcome.source);
+                    }
+                    SourceStatus::Failed(e) => {
+                        coverage.degraded.insert(outcome.source);
+                        source_errors.push(e.to_string());
+                    }
+                    // Skipped sources neither responded nor degrade the
+                    // run — they were never expected to answer.
+                    SourceStatus::Skipped => {}
+                }
             }
-            for p in found {
+            for p in report.profiles {
                 matched
                     .entry(p.key.clone())
                     .or_default()
@@ -602,7 +648,7 @@ impl Minaret {
         profiles.dedup_by(|a, b| a.source == b.source && a.key == b.key);
 
         let merged = merge_profiles(profiles);
-        merged
+        let candidates = merged
             .into_iter()
             .map(|m| {
                 let mut label_scores: HashMap<String, f64> = HashMap::new();
@@ -629,15 +675,25 @@ impl Minaret {
                     keyword_score,
                 }
             })
-            .collect()
+            .collect();
+        (candidates, coverage)
     }
+}
+
+/// Which sources answered (vs. failed) across one run's retrieval
+/// fan-outs. A source that answered any label counts as responded; one
+/// that failed any label counts as degraded coverage.
+#[derive(Debug, Default)]
+struct SourceCoverage {
+    responded: std::collections::BTreeSet<SourceKind>,
+    degraded: std::collections::BTreeSet<SourceKind>,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::manuscript::AuthorInput;
-    use minaret_scholarly::{RegistryConfig, SimulatedSource, SourceSpec};
+    use minaret_scholarly::{FaultSchedule, RegistryConfig, SimulatedSource, SourceSpec};
     use minaret_synth::{World, WorldConfig, WorldGenerator};
 
     fn setup() -> (Arc<World>, Minaret) {
@@ -767,6 +823,90 @@ mod tests {
             Err(MinaretError::NoCandidates) => {}
             other => panic!("expected NoCandidates, got {other:?}"),
         }
+    }
+
+    /// Builds a Minaret over all six default sources, with `dead` sources
+    /// scripted as permanently down.
+    fn minaret_with_outages(world: &Arc<World>, dead: &[SourceKind]) -> Minaret {
+        let mut reg = SourceRegistry::new(RegistryConfig {
+            max_retries: 1,
+            ..Default::default()
+        });
+        for spec in SourceSpec::all_defaults() {
+            let kind = spec.kind;
+            let mut source = SimulatedSource::new(spec, world.clone());
+            if dead.contains(&kind) {
+                source = source.with_fault(FaultSchedule::PermanentOutage);
+            }
+            reg.register(Arc::new(source));
+        }
+        Minaret::new(
+            Arc::new(reg),
+            Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+            EditorConfig::default(),
+        )
+    }
+
+    #[test]
+    fn dead_source_degrades_but_still_recommends() {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 300,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let minaret = minaret_with_outages(&world, &[SourceKind::Publons]);
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).expect("degraded run still succeeds");
+        assert!(!report.recommendations.is_empty());
+        assert!(report.degraded, "a dead source must flag the report");
+        assert_eq!(report.degraded_sources, vec!["Publons".to_string()]);
+        assert!(!report.source_errors.is_empty());
+        // The surviving sources never include the dead one.
+        for r in &report.recommendations {
+            assert!(!r.sources.contains(&SourceKind::Publons));
+        }
+    }
+
+    #[test]
+    fn too_few_sources_fails_with_sources_unavailable() {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 300,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        // Both interest-capable sources down: 0 responders < min_sources.
+        let minaret =
+            minaret_with_outages(&world, &[SourceKind::GoogleScholar, SourceKind::Publons]);
+        let m = manuscript_from_world(&world);
+        match minaret.recommend(&m) {
+            Err(MinaretError::SourcesUnavailable {
+                responded,
+                required,
+                degraded,
+            }) => {
+                assert_eq!(responded, 0);
+                assert_eq!(required, 1);
+                assert!(
+                    degraded.contains(&"Google Scholar".to_string()),
+                    "{degraded:?}"
+                );
+                assert!(degraded.contains(&"Publons".to_string()), "{degraded:?}");
+            }
+            other => panic!("expected SourcesUnavailable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn healthy_run_is_not_degraded() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        assert!(!report.degraded);
+        assert!(report.degraded_sources.is_empty());
     }
 
     #[test]

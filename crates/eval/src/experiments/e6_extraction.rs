@@ -3,6 +3,7 @@
 
 use std::time::Duration;
 
+use minaret_scholarly::{BreakerConfig, RegistryConfig, ResilienceConfig, SourceKind};
 use minaret_synth::WorldConfig;
 
 use crate::harness::{EvalContext, ScenarioConfig};
@@ -21,6 +22,12 @@ pub struct E6Result {
     pub calls: u64,
     /// Retries absorbed (injected transient failures).
     pub retries: u64,
+    /// Wall-clock of the cold run with Publons scripted permanently dead.
+    pub degraded_cold: Duration,
+    /// Wall-clock of the warm degraded run (cache hot, breaker open).
+    pub degraded_warm: Duration,
+    /// Calls the open breaker rejected across both degraded runs.
+    pub short_circuited: u64,
     /// Rendered report.
     pub report: String,
 }
@@ -64,6 +71,50 @@ pub fn run_e6(scholars: usize, latency_micros: u64, failure_rate: f64) -> E6Resu
     };
     let stats = ctx.registry.stats();
 
+    // Same scenario, but Publons is scripted permanently dead and the
+    // registry runs with a breaker: the cost of degraded-mode service.
+    // No dice here — the scripted outage is the only fault, so the
+    // degraded numbers are attributable to it alone.
+    let dead_ctx = EvalContext::build(ScenarioConfig {
+        world: WorldConfig::sized(scholars),
+        source_latency_micros: latency_micros,
+        source_failure_rate: 0.0,
+        cached: true,
+        registry: RegistryConfig {
+            resilience: ResilienceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown_micros: 60_000_000,
+                    probe_successes: 1,
+                },
+                ..ResilienceConfig::disabled()
+            },
+            ..Default::default()
+        },
+        dead_sources: vec![SourceKind::Publons],
+        ..Default::default()
+    });
+    let dead_sub = dead_ctx.submissions(1, 0xE6).pop().expect("submission");
+    let dm = dead_ctx.manuscript_for(&dead_sub);
+    let t2 = std::time::Instant::now();
+    let degraded_run = dead_ctx
+        .minaret
+        .recommend(&dm)
+        .expect("five healthy sources still recommend");
+    let degraded_cold = t2.elapsed();
+    let t3 = std::time::Instant::now();
+    dead_ctx.minaret.recommend(&dm).expect("warm degraded run");
+    let degraded_warm = t3.elapsed();
+    assert!(
+        degraded_run.degraded
+            && degraded_run
+                .degraded_sources
+                .contains(&"Publons".to_string()),
+        "the dead source must be named: {:?}",
+        degraded_run.degraded_sources
+    );
+    let dead_stats = dead_ctx.registry.stats();
+
     let mut table = TextTable::new(&["run", "wall clock"]);
     table.row(&[
         "cold (empty cache)".into(),
@@ -73,11 +124,20 @@ pub fn run_e6(scholars: usize, latency_micros: u64, failure_rate: f64) -> E6Resu
         "warm (cached)".into(),
         format!("{:.1} ms", warm.as_secs_f64() * 1e3),
     ]);
+    table.row(&[
+        "degraded cold (Publons dead)".into(),
+        format!("{:.1} ms", degraded_cold.as_secs_f64() * 1e3),
+    ]);
+    table.row(&[
+        "degraded warm (breaker open)".into(),
+        format!("{:.1} ms", degraded_warm.as_secs_f64() * 1e3),
+    ]);
     let report = format!(
         "E6  on-the-fly extraction cost ({scholars} scholars, {latency_micros} µs/call, \
          {failure_rate} failure rate)\n{}\
          cache hit ratio {:.2}; registry calls {}, retries {}, gave up {}\n\
-         speedup warm/cold: {:.1}x\n",
+         speedup warm/cold: {:.1}x\n\
+         degraded runs: flagged degraded, missing {:?}; breaker short-circuited {} calls\n",
         table.render(),
         hit_ratio,
         stats.calls,
@@ -87,7 +147,9 @@ pub fn run_e6(scholars: usize, latency_micros: u64, failure_rate: f64) -> E6Resu
             cold.as_secs_f64() / warm.as_secs_f64()
         } else {
             f64::INFINITY
-        }
+        },
+        degraded_run.degraded_sources,
+        dead_stats.short_circuited,
     );
     E6Result {
         cold,
@@ -95,6 +157,9 @@ pub fn run_e6(scholars: usize, latency_micros: u64, failure_rate: f64) -> E6Resu
         hit_ratio,
         calls: stats.calls,
         retries: stats.retries,
+        degraded_cold,
+        degraded_warm,
+        short_circuited: dead_stats.short_circuited,
         report,
     }
 }
@@ -115,5 +180,12 @@ mod tests {
     fn e6_survives_failure_injection() {
         let r = run_e6(100, 0, 0.3);
         assert!(r.retries > 0, "expected retries under 30% failure rate");
+    }
+
+    #[test]
+    fn e6_degraded_runs_short_circuit_the_dead_source() {
+        let r = run_e6(120, 0, 0.0);
+        assert!(r.short_circuited >= 1, "{r:?}");
+        assert!(r.report.contains("Publons"), "{}", r.report);
     }
 }

@@ -5,7 +5,8 @@ use std::sync::Arc;
 use minaret_core::{EditorConfig, Minaret};
 use minaret_ontology::{seed::curated_cs_ontology, Ontology};
 use minaret_scholarly::{
-    CachingSource, RegistryConfig, ScholarSource, SimulatedSource, SourceRegistry, SourceSpec,
+    CachingSource, FaultSchedule, RegistryConfig, ScholarSource, SimulatedSource, SourceKind,
+    SourceRegistry, SourceSpec,
 };
 use minaret_synth::{SubmissionGenerator, SubmissionSpec, World, WorldConfig, WorldGenerator};
 
@@ -23,6 +24,11 @@ pub struct ScenarioConfig {
     pub source_failure_rate: f64,
     /// Whether to wrap sources in the read-through cache.
     pub cached: bool,
+    /// Registry behaviour: retries, concurrency, and the resilience
+    /// policy (deadlines, backoff, circuit breakers).
+    pub registry: RegistryConfig,
+    /// Sources scripted as permanently dead (degraded-mode scenarios).
+    pub dead_sources: Vec<SourceKind>,
 }
 
 impl Default for ScenarioConfig {
@@ -33,6 +39,8 @@ impl Default for ScenarioConfig {
             source_latency_micros: 0,
             source_failure_rate: 0.0,
             cached: false,
+            registry: RegistryConfig::default(),
+            dead_sources: Vec::new(),
         }
     }
 }
@@ -71,12 +79,17 @@ impl EvalContext {
     pub fn build(scenario: ScenarioConfig) -> Self {
         let world = Arc::new(WorldGenerator::new(scenario.world.clone()).generate());
         let ontology = Arc::new(curated_cs_ontology());
-        let mut registry = SourceRegistry::new(RegistryConfig::default());
+        let mut registry = SourceRegistry::new(scenario.registry);
         let mut caches = Vec::new();
         for mut spec in SourceSpec::all_defaults() {
             spec.latency_micros = scenario.source_latency_micros;
             spec.failure_rate = scenario.source_failure_rate;
-            let sim: Arc<dyn ScholarSource> = Arc::new(SimulatedSource::new(spec, world.clone()));
+            let kind = spec.kind;
+            let mut sim = SimulatedSource::new(spec, world.clone());
+            if scenario.dead_sources.contains(&kind) {
+                sim = sim.with_fault(FaultSchedule::PermanentOutage);
+            }
+            let sim: Arc<dyn ScholarSource> = Arc::new(sim);
             if scenario.cached {
                 let cached = Arc::new(CachingSource::new(sim));
                 caches.push(cached.clone());

@@ -36,6 +36,35 @@ pub enum SourceError {
         /// Human-readable description of the unsupported operation.
         operation: &'static str,
     },
+    /// The call exceeded its per-call deadline (the response, if any,
+    /// arrived too late to use). Retriable — slowness is often
+    /// transient — but each retry is bounded by the fan-out budget.
+    DeadlineExceeded {
+        /// Which source was too slow.
+        source: SourceKind,
+    },
+    /// The fan-out budget ran out before this source's retries did; the
+    /// remaining attempts were abandoned. Not retriable within the same
+    /// fan-out.
+    BudgetExhausted {
+        /// Which source was cut off.
+        source: SourceKind,
+    },
+    /// The source's circuit breaker is open: it failed repeatedly and is
+    /// being rested instead of hammered. Not retriable within the same
+    /// fan-out (the breaker admits probes again after its cooldown).
+    CircuitOpen {
+        /// Which source is short-circuited.
+        source: SourceKind,
+    },
+    /// The source implementation itself failed (e.g. its worker thread
+    /// panicked). Not retriable.
+    Internal {
+        /// Which source misbehaved.
+        source: SourceKind,
+        /// What happened, for the log line.
+        detail: String,
+    },
 }
 
 impl SourceError {
@@ -43,7 +72,22 @@ impl SourceError {
     pub fn is_retriable(&self) -> bool {
         matches!(
             self,
-            SourceError::Transient { .. } | SourceError::RateLimited { .. }
+            SourceError::Transient { .. }
+                | SourceError::RateLimited { .. }
+                | SourceError::DeadlineExceeded { .. }
+        )
+    }
+
+    /// True when the error indicates the *service* is unhealthy (feeds
+    /// the circuit breaker), as opposed to an orderly "no such profile"
+    /// or "operation unsupported" answer from a healthy service.
+    pub fn is_service_fault(&self) -> bool {
+        matches!(
+            self,
+            SourceError::Transient { .. }
+                | SourceError::RateLimited { .. }
+                | SourceError::DeadlineExceeded { .. }
+                | SourceError::Internal { .. }
         )
     }
 
@@ -53,7 +97,11 @@ impl SourceError {
             SourceError::Transient { source }
             | SourceError::RateLimited { source }
             | SourceError::NotFound { source, .. }
-            | SourceError::Unsupported { source, .. } => *source,
+            | SourceError::Unsupported { source, .. }
+            | SourceError::DeadlineExceeded { source }
+            | SourceError::BudgetExhausted { source }
+            | SourceError::CircuitOpen { source }
+            | SourceError::Internal { source, .. } => *source,
         }
     }
 }
@@ -68,6 +116,21 @@ impl fmt::Display for SourceError {
             }
             SourceError::Unsupported { source, operation } => {
                 write!(f, "{source}: unsupported operation: {operation}")
+            }
+            SourceError::DeadlineExceeded { source } => {
+                write!(f, "{source}: call deadline exceeded")
+            }
+            SourceError::BudgetExhausted { source } => {
+                write!(
+                    f,
+                    "{source}: fan-out budget exhausted before retries completed"
+                )
+            }
+            SourceError::CircuitOpen { source } => {
+                write!(f, "{source}: circuit breaker open (source resting)")
+            }
+            SourceError::Internal { source, detail } => {
+                write!(f, "{source}: internal source failure: {detail}")
             }
         }
     }
@@ -99,6 +162,64 @@ mod tests {
             operation: "interest search"
         }
         .is_retriable());
+        assert!(SourceError::DeadlineExceeded {
+            source: SourceKind::AcmDl
+        }
+        .is_retriable());
+        assert!(!SourceError::BudgetExhausted {
+            source: SourceKind::AcmDl
+        }
+        .is_retriable());
+        assert!(!SourceError::CircuitOpen {
+            source: SourceKind::Orcid
+        }
+        .is_retriable());
+        assert!(!SourceError::Internal {
+            source: SourceKind::Orcid,
+            detail: "panicked".into()
+        }
+        .is_retriable());
+    }
+
+    #[test]
+    fn service_fault_classification_feeds_the_breaker() {
+        // Service faults: the breaker should count these.
+        for e in [
+            SourceError::Transient {
+                source: SourceKind::Dblp,
+            },
+            SourceError::RateLimited {
+                source: SourceKind::Dblp,
+            },
+            SourceError::DeadlineExceeded {
+                source: SourceKind::Dblp,
+            },
+            SourceError::Internal {
+                source: SourceKind::Dblp,
+                detail: "x".into(),
+            },
+        ] {
+            assert!(e.is_service_fault(), "{e}");
+        }
+        // Healthy-service answers: the breaker must NOT count these.
+        for e in [
+            SourceError::NotFound {
+                source: SourceKind::Dblp,
+                key: "k".into(),
+            },
+            SourceError::Unsupported {
+                source: SourceKind::Dblp,
+                operation: "op",
+            },
+            SourceError::CircuitOpen {
+                source: SourceKind::Dblp,
+            },
+            SourceError::BudgetExhausted {
+                source: SourceKind::Dblp,
+            },
+        ] {
+            assert!(!e.is_service_fault(), "{e}");
+        }
     }
 
     #[test]

@@ -19,7 +19,16 @@
 //! * [`SimulatedSource`] / [`SourceSpec`] — the six built-in simulations.
 //! * [`CachingSource`] — a caching decorator with hit/miss statistics
 //!   (experiment E6 measures cold vs. warm extraction).
-//! * [`SourceRegistry`] — concurrent fan-out with retry over all sources.
+//! * [`SourceRegistry`] — concurrent fan-out with retry over all sources,
+//!   hardened by a resilience layer: per-call deadlines, a whole-fan-out
+//!   budget, seeded exponential backoff, and a per-source
+//!   [`CircuitBreaker`] — so one dead website degrades coverage instead
+//!   of taking the recommendation down.
+//! * [`Clock`] / [`SimulatedClock`] — injectable time, so every deadline,
+//!   backoff pause, and breaker cooldown is deterministic under test.
+//! * [`FaultSchedule`] — scripted failures for [`SimulatedSource`]
+//!   (fail-N-then-recover, permanent outage, fixed slowness, rate-limit
+//!   bursts), replacing dice with exact, reproducible fault timelines.
 //! * [`merge_profiles`] — merges per-source profiles into candidate
 //!   records by (normalized name, affiliation), the way a scraper must.
 
@@ -27,19 +36,27 @@
 #![forbid(unsafe_code)]
 
 mod cache;
+mod clock;
 mod error;
 mod merge;
 mod record;
 mod registry;
+mod resilience;
 mod sim;
 mod spec;
 
 pub use cache::{CacheStats, CachingSource};
+pub use clock::{Clock, SimulatedClock, SystemClock};
 pub use error::SourceError;
 pub use merge::{merge_profiles, MergedCandidate};
 pub use record::{
     AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
 };
-pub use registry::{RegistryConfig, RegistryStats, SourceRegistry};
-pub use sim::{ScholarSource, SimulatedSource};
+pub use registry::{
+    FanOutReport, RegistryConfig, RegistryStats, SourceOutcome, SourceRegistry, SourceStatus,
+};
+pub use resilience::{
+    BackoffConfig, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig,
+};
+pub use sim::{FaultSchedule, ScholarSource, SimulatedSource};
 pub use spec::{SourceKind, SourceSpec};

@@ -1,17 +1,25 @@
-//! Concurrent fan-out over all registered sources, with retry.
+//! Concurrent fan-out over all registered sources, with resilience:
+//! retries with seeded backoff, per-call deadlines, a whole-fan-out
+//! budget, and a circuit breaker per source.
+//!
+//! The design goal is that one stalled or dying source can never take a
+//! recommendation down: per-source failures become per-source
+//! [`SourceOutcome`]s (including a panicking source implementation), and
+//! callers decide how much partial coverage they tolerate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
 
 use minaret_telemetry::Telemetry;
 
+use crate::clock::{Clock, SystemClock};
 use crate::error::SourceError;
 use crate::record::SourceProfile;
+use crate::resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
 use crate::sim::ScholarSource;
 use crate::spec::SourceKind;
 
-/// Retry policy for the registry's fan-out calls.
+/// Retry + resilience policy for the registry's fan-out calls.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RegistryConfig {
     /// Retries per source call for retriable errors.
@@ -19,6 +27,10 @@ pub struct RegistryConfig {
     /// Whether to query sources concurrently (one thread per source, the
     /// way a scraper overlaps network waits) or sequentially.
     pub concurrent: bool,
+    /// Deadlines, backoff, and circuit-breaker policy. The default is
+    /// fully disabled (immediate retries, no deadlines, no breaker);
+    /// [`ResilienceConfig::standard`] is the production preset.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for RegistryConfig {
@@ -26,6 +38,7 @@ impl Default for RegistryConfig {
         Self {
             max_retries: 3,
             concurrent: true,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -37,8 +50,79 @@ pub struct RegistryStats {
     pub calls: u64,
     /// Calls that failed retriably and were retried.
     pub retries: u64,
-    /// Calls that ultimately failed after exhausting retries.
+    /// Calls that ultimately failed after exhausting retries (or the
+    /// fan-out budget).
     pub gave_up: u64,
+    /// Calls classified as timed out against the per-call deadline.
+    pub timed_out: u64,
+    /// Requests rejected fast because the source's breaker was open.
+    pub short_circuited: u64,
+}
+
+/// How one source's slice of a fan-out ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceStatus {
+    /// The source answered (possibly after retries).
+    Ok,
+    /// The source was not asked — it does not support this operation
+    /// (expected, not a failure).
+    Skipped,
+    /// The source failed; the error says how (transient exhaustion,
+    /// deadline, budget, open breaker, panic, …).
+    Failed(SourceError),
+}
+
+/// One source's result line in a [`FanOutReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceOutcome {
+    /// Which source.
+    pub source: SourceKind,
+    /// How its slice of the fan-out ended.
+    pub status: SourceStatus,
+    /// Calls actually issued to it (0 when skipped or short-circuited
+    /// before the first attempt).
+    pub attempts: u32,
+}
+
+/// The structured result of one fan-out: merged profiles plus a
+/// per-source outcome ledger, so callers can tell *which* sources are
+/// missing from the answer and why (the degraded-mode contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FanOutReport {
+    /// Successful sources' profiles, concatenated.
+    pub profiles: Vec<SourceProfile>,
+    /// One outcome per registered source, in registration order.
+    pub outcomes: Vec<SourceOutcome>,
+}
+
+impl FanOutReport {
+    /// The per-source errors (legacy tuple-API view).
+    pub fn errors(&self) -> Vec<SourceError> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                SourceStatus::Failed(e) => Some(e.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Sources that answered successfully.
+    pub fn responded(&self) -> Vec<SourceKind> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.status == SourceStatus::Ok)
+            .map(|o| o.source)
+            .collect()
+    }
+
+    /// Outcomes of sources that failed (were not skipped).
+    pub fn failed(&self) -> Vec<&SourceOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.status, SourceStatus::Failed(_)))
+            .collect()
+    }
 }
 
 /// The set of scholarly sources MINARET queries, with uniform fan-out.
@@ -49,11 +133,15 @@ pub struct RegistryStats {
 /// implementing [`ScholarSource`].
 pub struct SourceRegistry {
     sources: Vec<Arc<dyn ScholarSource>>,
+    breakers: Vec<CircuitBreaker>,
     config: RegistryConfig,
     telemetry: Telemetry,
+    clock: Arc<dyn Clock>,
     calls: AtomicU64,
     retries: AtomicU64,
     gave_up: AtomicU64,
+    timed_out: AtomicU64,
+    short_circuited: AtomicU64,
 }
 
 impl std::fmt::Debug for SourceRegistry {
@@ -71,21 +159,38 @@ impl SourceRegistry {
     }
 
     /// Creates an empty registry reporting per-source request, retry,
-    /// error, and latency series to `telemetry`.
+    /// error, timeout, short-circuit, breaker-state and latency series
+    /// to `telemetry`.
     pub fn with_telemetry(config: RegistryConfig, telemetry: Telemetry) -> Self {
         Self {
             sources: Vec::new(),
+            breakers: Vec::new(),
             config,
             telemetry,
+            clock: Arc::new(SystemClock::new()),
             calls: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             gave_up: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            short_circuited: AtomicU64::new(0),
         }
     }
 
-    /// Adds a source.
+    /// Replaces the clock used for deadlines, backoff pauses, and
+    /// breaker cooldowns (share one [`crate::SimulatedClock`] with
+    /// scripted sources for deterministic tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Adds a source (and its circuit breaker).
     pub fn register(&mut self, source: Arc<dyn ScholarSource>) {
+        let kind = source.kind();
         self.sources.push(source);
+        let breaker = CircuitBreaker::new(self.config.resilience.breaker);
+        self.note_breaker_state(kind.prefix(), BreakerState::Closed);
+        self.breakers.push(breaker);
     }
 
     /// The registered source kinds, in registration order.
@@ -109,46 +214,129 @@ impl SourceRegistry {
             calls: self.calls.load(Ordering::Relaxed),
             retries: self.retries.load(Ordering::Relaxed),
             gave_up: self.gave_up.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            short_circuited: self.short_circuited.load(Ordering::Relaxed),
         }
     }
 
-    /// Runs `op` against one source with the retry policy.
-    fn with_retry<T>(
+    /// The current breaker state of `kind`'s source, or `None` when no
+    /// such source is registered. Reading rolls open → half-open if the
+    /// cooldown has elapsed.
+    pub fn breaker_state(&self, kind: SourceKind) -> Option<BreakerState> {
+        let idx = self.sources.iter().position(|s| s.kind() == kind)?;
+        let state = self.breakers[idx].state(self.clock.now_micros());
+        Some(state)
+    }
+
+    /// Publishes a breaker state to the telemetry gauge.
+    fn note_breaker_state(&self, source_label: &str, state: BreakerState) {
+        self.telemetry
+            .gauge("minaret_breaker_state", &[("source", source_label)])
+            .set(state.gauge_value());
+    }
+
+    /// Runs `op` against one source with the retry, deadline, backoff,
+    /// and breaker policy. Returns the result and the number of calls
+    /// actually issued.
+    fn call_with_policy<T>(
         &self,
+        index: usize,
         kind: SourceKind,
+        fanout_deadline: Option<u64>,
         op: impl Fn() -> Result<T, SourceError>,
-    ) -> Result<T, SourceError> {
+    ) -> (Result<T, SourceError>, u32) {
         let source_label = kind.prefix();
-        let started = Instant::now();
+        let breaker = &self.breakers[index];
+        let policy = &self.config.resilience;
+        let started = self.clock.now_micros();
+        let mut attempts = 0u32;
         let mut last_err = None;
         let result = 'attempts: {
             for attempt in 0..=self.config.max_retries {
+                let now = self.clock.now_micros();
+                if !breaker.allow(now) {
+                    self.short_circuited.fetch_add(1, Ordering::Relaxed);
+                    self.telemetry
+                        .counter(
+                            "minaret_source_short_circuits_total",
+                            &[("source", source_label)],
+                        )
+                        .inc();
+                    let err = SourceError::CircuitOpen { source: kind };
+                    self.note_error(source_label, &err);
+                    self.note_breaker_state(source_label, breaker.state(now));
+                    break 'attempts Err(err);
+                }
+                if let Some(deadline) = fanout_deadline {
+                    if now >= deadline {
+                        break 'attempts Err(self.budget_exhausted(source_label, kind));
+                    }
+                }
+                attempts += 1;
                 self.calls.fetch_add(1, Ordering::Relaxed);
                 self.telemetry
                     .counter("minaret_source_requests_total", &[("source", source_label)])
                     .inc();
-                match op() {
-                    Ok(v) => break 'attempts Ok(v),
-                    Err(e) if e.is_retriable() && attempt < self.config.max_retries => {
-                        self.retries.fetch_add(1, Ordering::Relaxed);
-                        self.note_error(source_label, &e);
+                let call_started = self.clock.now_micros();
+                let mut outcome = op();
+                if policy.call_deadline_micros > 0 {
+                    let elapsed = self.clock.now_micros().saturating_sub(call_started);
+                    if elapsed > policy.call_deadline_micros {
+                        // Even a success that arrives after the deadline
+                        // is useless — a real HTTP client would have hung
+                        // up already.
+                        self.timed_out.fetch_add(1, Ordering::Relaxed);
                         self.telemetry
-                            .counter("minaret_source_retries_total", &[("source", source_label)])
+                            .counter("minaret_source_timeouts_total", &[("source", source_label)])
                             .inc();
-                        last_err = Some(e);
+                        outcome = Err(SourceError::DeadlineExceeded { source: kind });
+                    }
+                }
+                let after_call = self.clock.now_micros();
+                match outcome {
+                    Ok(v) => {
+                        breaker.record_success();
+                        self.note_breaker_state(source_label, breaker.state(after_call));
+                        break 'attempts Ok(v);
                     }
                     Err(e) => {
-                        if e.is_retriable() {
-                            self.gave_up.fetch_add(1, Ordering::Relaxed);
+                        if e.is_service_fault() {
+                            breaker.record_failure(after_call);
+                        } else {
+                            // The service answered fine; the answer was
+                            // just "no" — keep the breaker healthy.
+                            breaker.record_success();
+                        }
+                        self.note_breaker_state(source_label, breaker.state(after_call));
+                        self.note_error(source_label, &e);
+                        if e.is_retriable() && attempt < self.config.max_retries {
+                            self.retries.fetch_add(1, Ordering::Relaxed);
                             self.telemetry
                                 .counter(
-                                    "minaret_source_gave_up_total",
+                                    "minaret_source_retries_total",
                                     &[("source", source_label)],
                                 )
                                 .inc();
+                            let delay = policy.backoff.delay_micros(attempt, kind as u64);
+                            if let Some(deadline) = fanout_deadline {
+                                if after_call.saturating_add(delay) >= deadline {
+                                    break 'attempts Err(self.budget_exhausted(source_label, kind));
+                                }
+                            }
+                            self.clock.sleep_micros(delay);
+                            last_err = Some(e);
+                        } else {
+                            if e.is_retriable() {
+                                self.gave_up.fetch_add(1, Ordering::Relaxed);
+                                self.telemetry
+                                    .counter(
+                                        "minaret_source_gave_up_total",
+                                        &[("source", source_label)],
+                                    )
+                                    .inc();
+                            }
+                            break 'attempts Err(e);
                         }
-                        self.note_error(source_label, &e);
-                        break 'attempts Err(e);
                     }
                 }
             }
@@ -156,8 +344,22 @@ impl SourceRegistry {
         };
         self.telemetry
             .histogram("minaret_source_call_micros", &[("source", source_label)])
-            .observe_duration(started.elapsed());
-        result
+            .observe(self.clock.now_micros().saturating_sub(started));
+        (result, attempts)
+    }
+
+    /// Builds (and counts) a budget-exhaustion error for `kind`.
+    fn budget_exhausted(&self, source_label: &str, kind: SourceKind) -> SourceError {
+        self.gave_up.fetch_add(1, Ordering::Relaxed);
+        self.telemetry
+            .counter(
+                "minaret_source_budget_exhausted_total",
+                &[("source", source_label)],
+            )
+            .inc();
+        let err = SourceError::BudgetExhausted { source: kind };
+        self.note_error(source_label, &err);
+        err
     }
 
     /// Counts one error occurrence by class.
@@ -167,6 +369,10 @@ impl SourceRegistry {
             SourceError::RateLimited { .. } => "rate_limited",
             SourceError::NotFound { .. } => "not_found",
             SourceError::Unsupported { .. } => "unsupported",
+            SourceError::DeadlineExceeded { .. } => "deadline",
+            SourceError::BudgetExhausted { .. } => "budget",
+            SourceError::CircuitOpen { .. } => "circuit_open",
+            SourceError::Internal { .. } => "internal",
         };
         self.telemetry
             .counter(
@@ -176,86 +382,165 @@ impl SourceRegistry {
             .inc();
     }
 
-    /// Fans a query out to every source and concatenates the successes.
+    /// Fans a query out to every source and collects per-source
+    /// outcomes. Sources for which `applies` is false are skipped
+    /// without a call.
     ///
-    /// Per-source failures (after retries) are collected, not fatal — a
-    /// scraper that loses one site still recommends from the other five.
+    /// Per-source failures (after retries) are per-source outcomes, not
+    /// fatal — a scraper that loses one site still recommends from the
+    /// other five. That includes a source whose thread panics: the panic
+    /// is caught at the join and converted into a per-source
+    /// [`SourceError::Internal`], so the siblings still merge.
     fn fan_out(
         &self,
-        op: impl Fn(&dyn ScholarSource) -> Result<Vec<SourceProfile>, SourceError> + Sync,
-    ) -> (Vec<SourceProfile>, Vec<SourceError>) {
-        if self.config.concurrent {
-            let results: Vec<Result<Vec<SourceProfile>, SourceError>> =
-                std::thread::scope(|scope| {
-                    let handles: Vec<_> = self
-                        .sources
-                        .iter()
-                        .map(|s| {
-                            let s = s.clone();
-                            let op = &op;
-                            scope.spawn(move || self.with_retry(s.kind(), || op(s.as_ref())))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("source query thread panicked"))
-                        .collect()
-                });
-            let mut profiles = Vec::new();
-            let mut errors = Vec::new();
-            for r in results {
-                match r {
-                    Ok(mut v) => profiles.append(&mut v),
-                    Err(e) => errors.push(e),
-                }
-            }
-            (profiles, errors)
+        applies: impl Fn(&dyn ScholarSource) -> bool + Sync,
+        call: impl Fn(&dyn ScholarSource) -> Result<Vec<SourceProfile>, SourceError> + Sync,
+    ) -> FanOutReport {
+        let budget = self.config.resilience.fanout_budget_micros;
+        let fanout_deadline = (budget > 0).then(|| self.clock.now_micros().saturating_add(budget));
+        // One slot per source: None when `applies` skipped it, otherwise
+        // the call result plus the attempt count.
+        type Slot = Option<(Result<Vec<SourceProfile>, SourceError>, u32)>;
+        let results: Vec<(SourceKind, Slot)> = if self.config.concurrent {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .sources
+                    .iter()
+                    .enumerate()
+                    .map(|(i, s)| {
+                        let s = s.clone();
+                        let applies = &applies;
+                        let call = &call;
+                        let kind = s.kind();
+                        let handle = scope.spawn(move || {
+                            applies(s.as_ref()).then(|| {
+                                self.call_with_policy(i, kind, fanout_deadline, || call(s.as_ref()))
+                            })
+                        });
+                        (kind, i, handle)
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|(kind, i, h)| match h.join() {
+                        Ok(r) => (kind, r),
+                        Err(payload) => (kind, Some((Err(self.note_panic(i, kind, payload)), 1))),
+                    })
+                    .collect()
+            })
         } else {
-            let mut profiles = Vec::new();
-            let mut errors = Vec::new();
-            for s in &self.sources {
-                match self.with_retry(s.kind(), || op(s.as_ref())) {
-                    Ok(mut v) => profiles.append(&mut v),
-                    Err(e) => errors.push(e),
+            self.sources
+                .iter()
+                .enumerate()
+                .map(|(i, s)| {
+                    let kind = s.kind();
+                    let result = applies(s.as_ref()).then(|| {
+                        self.call_with_policy(i, kind, fanout_deadline, || call(s.as_ref()))
+                    });
+                    (kind, result)
+                })
+                .collect()
+        };
+        let mut profiles = Vec::new();
+        let mut outcomes = Vec::new();
+        for (kind, result) in results {
+            let outcome = match result {
+                None => SourceOutcome {
+                    source: kind,
+                    status: SourceStatus::Skipped,
+                    attempts: 0,
+                },
+                Some((Ok(mut v), attempts)) => {
+                    profiles.append(&mut v);
+                    SourceOutcome {
+                        source: kind,
+                        status: SourceStatus::Ok,
+                        attempts,
+                    }
                 }
-            }
-            (profiles, errors)
+                Some((Err(e), attempts)) => SourceOutcome {
+                    source: kind,
+                    status: SourceStatus::Failed(e),
+                    attempts,
+                },
+            };
+            outcomes.push(outcome);
         }
+        FanOutReport { profiles, outcomes }
     }
 
-    /// Searches all sources by scholar name.
-    pub fn search_by_name(&self, name: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
-        let started = Instant::now();
-        let result = self.fan_out(|s| s.search_by_name(name));
+    /// Converts a panicked source thread into a per-source error: the
+    /// breaker records the failure and the siblings' results survive.
+    fn note_panic(
+        &self,
+        index: usize,
+        kind: SourceKind,
+        payload: Box<dyn std::any::Any + Send>,
+    ) -> SourceError {
+        let detail = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "source thread panicked".to_string());
+        let source_label = kind.prefix();
+        let now = self.clock.now_micros();
+        self.breakers[index].record_failure(now);
+        self.note_breaker_state(source_label, self.breakers[index].state(now));
+        let err = SourceError::Internal {
+            source: kind,
+            detail,
+        };
+        self.note_error(source_label, &err);
+        err
+    }
+
+    /// Searches all sources by scholar name, with per-source outcomes.
+    pub fn search_by_name_report(&self, name: &str) -> FanOutReport {
+        let started = self.clock.now_micros();
+        let report = self.fan_out(|_| true, |s| s.search_by_name(name));
         self.telemetry
             .histogram("minaret_fanout_micros", &[("query", "name")])
-            .observe_duration(started.elapsed());
-        result
+            .observe(self.clock.now_micros().saturating_sub(started));
+        report
+    }
+
+    /// Searches all sources by scholar name (legacy tuple view).
+    pub fn search_by_name(&self, name: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
+        let report = self.search_by_name_report(name);
+        let errors = report.errors();
+        (report.profiles, errors)
     }
 
     /// Searches all interest-capable sources by research-interest
-    /// keyword; incapable sources are skipped silently (their
-    /// `Unsupported` is expected, not an error condition).
-    pub fn search_by_interest(&self, keyword: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
-        let started = Instant::now();
-        let (profiles, errors) = self.fan_out(|s| {
-            if s.supports_interest_search() {
-                s.search_by_interest(keyword)
-            } else {
-                Ok(Vec::new())
-            }
-        });
+    /// keyword, with per-source outcomes; incapable sources are marked
+    /// [`SourceStatus::Skipped`] (their absence is expected, not an
+    /// error condition).
+    pub fn search_by_interest_report(&self, keyword: &str) -> FanOutReport {
+        let started = self.clock.now_micros();
+        let report = self.fan_out(
+            |s| s.supports_interest_search(),
+            |s| s.search_by_interest(keyword),
+        );
         self.telemetry
             .histogram("minaret_fanout_micros", &[("query", "interest")])
-            .observe_duration(started.elapsed());
-        (profiles, errors)
+            .observe(self.clock.now_micros().saturating_sub(started));
+        report
+    }
+
+    /// Searches all interest-capable sources (legacy tuple view).
+    pub fn search_by_interest(&self, keyword: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
+        let report = self.search_by_interest_report(keyword);
+        let errors = report.errors();
+        (report.profiles, errors)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::sim::SimulatedSource;
+    use crate::clock::SimulatedClock;
+    use crate::resilience::BreakerConfig;
+    use crate::sim::{FaultSchedule, SimulatedSource};
     use crate::spec::SourceSpec;
     use minaret_synth::{World, WorldConfig, WorldGenerator};
 
@@ -327,14 +612,28 @@ mod tests {
         let w = world();
         let reg = full_registry(&w, true);
         let label = w.ontology.label(w.scholars()[0].interests[0]);
-        let (profiles, errors) = reg.search_by_interest(label);
-        assert!(errors.is_empty());
+        let report = reg.search_by_interest_report(label);
+        assert!(report.errors().is_empty());
         // Only GS and Publons support interest search.
-        for p in &profiles {
+        for p in &report.profiles {
             assert!(matches!(
                 p.source,
                 SourceKind::GoogleScholar | SourceKind::Publons
             ));
+        }
+        // The incapable sources are marked skipped, not failed — being
+        // asked a question you don't support is not ill health.
+        for o in &report.outcomes {
+            match o.source {
+                SourceKind::GoogleScholar | SourceKind::Publons => {
+                    assert_eq!(o.status, SourceStatus::Ok, "{:?}", o.source);
+                    assert!(o.attempts >= 1);
+                }
+                _ => {
+                    assert_eq!(o.status, SourceStatus::Skipped, "{:?}", o.source);
+                    assert_eq!(o.attempts, 0);
+                }
+            }
         }
     }
 
@@ -344,6 +643,7 @@ mod tests {
         let mut reg = SourceRegistry::new(RegistryConfig {
             max_retries: 6,
             concurrent: false,
+            ..Default::default()
         });
         let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
         spec.failure_rate = 0.4;
@@ -369,6 +669,7 @@ mod tests {
             RegistryConfig {
                 max_retries: 6,
                 concurrent: false,
+                ..Default::default()
             },
             telemetry.clone(),
         );
@@ -409,6 +710,12 @@ mod tests {
             text.contains("minaret_fanout_micros_count{query=\"name\"} 20"),
             "{text}"
         );
+        // The breaker gauge is published from registration time so that
+        // scrapes see every source even before any traffic.
+        assert!(
+            text.contains("minaret_breaker_state{source=\"dblp\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]
@@ -417,6 +724,7 @@ mod tests {
         let mut reg = SourceRegistry::new(RegistryConfig {
             max_retries: 1,
             concurrent: false,
+            ..Default::default()
         });
         let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
         spec.failure_rate = 1.0;
@@ -425,5 +733,83 @@ mod tests {
         assert!(profiles.is_empty());
         assert_eq!(errors.len(), 1);
         assert!(reg.stats().gave_up >= 1);
+    }
+
+    #[test]
+    fn breaker_trips_and_short_circuits_a_dead_source() {
+        let w = world();
+        let clock = SimulatedClock::new();
+        let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        spec.latency_micros = 0;
+        let mut reg = SourceRegistry::new(RegistryConfig {
+            max_retries: 1,
+            concurrent: false,
+            resilience: ResilienceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown_micros: 1_000_000,
+                    probe_successes: 1,
+                },
+                ..ResilienceConfig::disabled()
+            },
+        })
+        .with_clock(clock.clone());
+        reg.register(Arc::new(
+            SimulatedSource::new(spec, w.clone())
+                .with_fault(FaultSchedule::PermanentOutage)
+                .with_clock(clock.clone()),
+        ));
+        // Two fan-outs x two attempts = 4 consecutive failures >= 3.
+        let _ = reg.search_by_name("a");
+        let _ = reg.search_by_name("b");
+        assert_eq!(
+            reg.breaker_state(SourceKind::GoogleScholar),
+            Some(BreakerState::Open)
+        );
+        // The third fan-out is rejected without touching the source.
+        let calls_before = reg.stats().calls;
+        let report = reg.search_by_name_report("c");
+        assert_eq!(reg.stats().calls, calls_before);
+        assert!(reg.stats().short_circuited >= 1);
+        assert_eq!(report.outcomes.len(), 1);
+        assert_eq!(
+            report.outcomes[0].status,
+            SourceStatus::Failed(SourceError::CircuitOpen {
+                source: SourceKind::GoogleScholar
+            })
+        );
+        assert_eq!(report.outcomes[0].attempts, 0);
+    }
+
+    #[test]
+    fn slow_source_times_out_against_call_deadline() {
+        let w = world();
+        let clock = SimulatedClock::new();
+        let mut spec = SourceSpec::for_kind(SourceKind::Dblp);
+        spec.latency_micros = 0;
+        let mut reg = SourceRegistry::new(RegistryConfig {
+            max_retries: 0,
+            concurrent: false,
+            resilience: ResilienceConfig {
+                call_deadline_micros: 10_000,
+                ..ResilienceConfig::disabled()
+            },
+        })
+        .with_clock(clock.clone());
+        reg.register(Arc::new(
+            SimulatedSource::new(spec, w.clone())
+                .with_fault(FaultSchedule::Slow {
+                    latency_micros: 50_000,
+                })
+                .with_clock(clock.clone()),
+        ));
+        let report = reg.search_by_name_report(&w.scholars()[0].full_name());
+        assert_eq!(
+            report.outcomes[0].status,
+            SourceStatus::Failed(SourceError::DeadlineExceeded {
+                source: SourceKind::Dblp
+            })
+        );
+        assert_eq!(reg.stats().timed_out, 1);
     }
 }

@@ -1,0 +1,490 @@
+//! Resilience policies for the source fan-out: seeded exponential
+//! backoff, per-source circuit breakers, and deadline/budget settings.
+//!
+//! Real scholarly sites are flaky and rate-limited; the paper's
+//! "on-the-fly" extraction claim only holds in production if a stalled
+//! or dying source cannot take the whole recommendation down. The
+//! registry composes three mechanisms, all clock-injected (see
+//! [`crate::Clock`]) so every decision is reproducible under test:
+//!
+//! * [`BackoffConfig`] — exponential retry delays with deterministic,
+//!   seeded jitter; monotone non-decreasing in the attempt number and
+//!   capped.
+//! * [`CircuitBreaker`] — the classic closed → open → half-open state
+//!   machine: after `failure_threshold` consecutive failures the source
+//!   is short-circuited for `cooldown_micros`, then probe requests are
+//!   let through until `probe_successes` of them succeed.
+//! * [`ResilienceConfig`] — per-call deadlines and a whole-fan-out
+//!   budget, plus the two policies above.
+
+use parking_lot::Mutex;
+
+/// FNV-1a over words — the same deterministic mixer the simulator uses,
+/// reused here so jitter is a pure function of (seed, source, attempt).
+fn hash64(parts: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &p in parts {
+        for b in p.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Exponential backoff between retries, with seeded jitter.
+///
+/// The delay before retry `attempt` (0-based) is
+/// `min(max_micros, base_micros * 2^attempt * (1 + jitter * u))` where
+/// `u ∈ [0, 1)` is a deterministic hash of `(seed, salt, attempt)`.
+/// Because `jitter ≤ 1`, the sequence is monotone non-decreasing for any
+/// salt, and it is always capped at `max_micros` — both properties are
+/// property-tested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffConfig {
+    /// First retry delay; `0` disables backoff entirely (retry at once,
+    /// the pre-resilience behaviour).
+    pub base_micros: u64,
+    /// Upper bound on any single delay.
+    pub max_micros: u64,
+    /// Jitter fraction in `[0, 1]`: how much of the exponential delay
+    /// may be added on top (de-synchronises retry storms).
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for BackoffConfig {
+    /// Backoff disabled — identical retry timing to the pre-resilience
+    /// registry.
+    fn default() -> Self {
+        Self {
+            base_micros: 0,
+            max_micros: 0,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+impl BackoffConfig {
+    /// Production-shaped defaults: 50 ms first retry, doubling, ±50%
+    /// jitter, capped at 2 s.
+    pub fn standard() -> Self {
+        Self {
+            base_micros: 50_000,
+            max_micros: 2_000_000,
+            jitter: 0.5,
+            seed: 0x05ee_d0ff,
+        }
+    }
+
+    /// The delay in microseconds before retry `attempt` (0-based) for
+    /// the call stream identified by `salt` (e.g. the source kind).
+    pub fn delay_micros(&self, attempt: u32, salt: u64) -> u64 {
+        if self.base_micros == 0 {
+            return 0;
+        }
+        let raw = self
+            .base_micros
+            .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX));
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let u = (hash64(&[self.seed, salt, attempt as u64]) >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = (raw as f64 * (1.0 + jitter * u)).min(u64::MAX as f64) as u64;
+        jittered.min(self.max_micros.max(self.base_micros))
+    }
+}
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open; `0` disables the
+    /// breaker (every request is allowed, the pre-resilience behaviour).
+    pub failure_threshold: u32,
+    /// How long an open breaker rejects before letting probes through.
+    pub cooldown_micros: u64,
+    /// Consecutive probe successes in half-open state needed to close.
+    pub probe_successes: u32,
+}
+
+impl Default for BreakerConfig {
+    /// Breaker disabled.
+    fn default() -> Self {
+        Self {
+            failure_threshold: 0,
+            cooldown_micros: 0,
+            probe_successes: 1,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Production-shaped defaults: open after 5 consecutive failures,
+    /// cool down for 10 s, close after 2 successful probes.
+    pub fn standard() -> Self {
+        Self {
+            failure_threshold: 5,
+            cooldown_micros: 10_000_000,
+            probe_successes: 2,
+        }
+    }
+}
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally; consecutive failures are counted.
+    Closed,
+    /// Requests are rejected without touching the source.
+    Open,
+    /// Cooldown elapsed; probe requests are being let through.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable numeric encoding for the telemetry gauge
+    /// (`0` closed, `1` half-open, `2` open).
+    pub fn gauge_value(self) -> i64 {
+        match self {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at_micros: u64,
+    probe_successes: u32,
+}
+
+/// One source's closed → open → half-open state machine.
+///
+/// All transitions are driven by explicit timestamps (the registry's
+/// injected clock), never by wall time, so the machine is fully
+/// deterministic under test.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<BreakerInner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        Self {
+            config,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at_micros: 0,
+                probe_successes: 0,
+            }),
+        }
+    }
+
+    /// True when the breaker never rejects (threshold 0).
+    pub fn is_disabled(&self) -> bool {
+        self.config.failure_threshold == 0
+    }
+
+    /// The current state, advancing open → half-open if the cooldown has
+    /// elapsed at `now_micros`.
+    pub fn state(&self, now_micros: u64) -> BreakerState {
+        if self.is_disabled() {
+            return BreakerState::Closed;
+        }
+        let mut inner = self.inner.lock();
+        self.roll_cooldown(&mut inner, now_micros);
+        inner.state
+    }
+
+    /// Whether a request may be issued at `now_micros`. Open breakers
+    /// reject fast; half-open breakers admit probes.
+    pub fn allow(&self, now_micros: u64) -> bool {
+        if self.is_disabled() {
+            return true;
+        }
+        let mut inner = self.inner.lock();
+        self.roll_cooldown(&mut inner, now_micros);
+        inner.state != BreakerState::Open
+    }
+
+    fn roll_cooldown(&self, inner: &mut BreakerInner, now_micros: u64) {
+        if inner.state == BreakerState::Open
+            && now_micros.saturating_sub(inner.opened_at_micros) >= self.config.cooldown_micros
+        {
+            inner.state = BreakerState::HalfOpen;
+            inner.probe_successes = 0;
+        }
+    }
+
+    /// Records a successful (or service-is-healthy) call.
+    pub fn record_success(&self) {
+        if self.is_disabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.probe_successes += 1;
+                if inner.probe_successes >= self.config.probe_successes.max(1) {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                }
+            }
+            // A straggler success from before the trip: ignore.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed call at `now_micros`; may trip the breaker open.
+    pub fn record_failure(&self, now_micros: u64) {
+        if self.is_disabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at_micros = now_micros;
+                }
+            }
+            // A failed probe re-opens immediately and restarts the
+            // cooldown from now.
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at_micros = now_micros;
+                inner.probe_successes = 0;
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+/// Everything the registry needs to survive flaky sources.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilienceConfig {
+    /// Deadline for one source call (including the call's own latency);
+    /// a call observed to exceed it is classified as
+    /// [`SourceError::DeadlineExceeded`](crate::SourceError::DeadlineExceeded).
+    /// `0` disables per-call deadlines.
+    pub call_deadline_micros: u64,
+    /// Budget for one whole fan-out (all retries and backoff pauses of
+    /// every source). Once exhausted, remaining retries are abandoned as
+    /// [`SourceError::BudgetExhausted`](crate::SourceError::BudgetExhausted).
+    /// `0` disables the budget.
+    pub fanout_budget_micros: u64,
+    /// Retry-delay policy.
+    pub backoff: BackoffConfig,
+    /// Per-source circuit-breaker policy.
+    pub breaker: BreakerConfig,
+}
+
+impl ResilienceConfig {
+    /// Everything disabled — byte-for-byte the pre-resilience registry
+    /// behaviour (immediate retries, no deadlines, no breaker).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Production-shaped defaults: 2 s per call, 8 s per fan-out,
+    /// standard backoff and breaker. Used by the server and CLI.
+    pub fn standard() -> Self {
+        Self {
+            call_deadline_micros: 2_000_000,
+            fanout_budget_micros: 8_000_000,
+            backoff: BackoffConfig::standard(),
+            breaker: BreakerConfig::standard(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn breaker(threshold: u32, cooldown: u64, probes: u32) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_micros: cooldown,
+            probe_successes: probes,
+        })
+    }
+
+    /// One scripted step against the breaker: an event at a timestamp,
+    /// then the state we expect to observe at that same timestamp.
+    enum Event {
+        Fail(u64),
+        Succeed(u64),
+        /// Only observe (drives open → half-open on cooldown expiry).
+        Check(u64),
+    }
+
+    #[test]
+    fn breaker_state_machine_table() {
+        use BreakerState::*;
+        use Event::*;
+        // (name, failure_threshold, cooldown_micros, probe_successes, script)
+        type Case = (&'static str, u32, u64, u32, Vec<(Event, BreakerState)>);
+        let cases: Vec<Case> = vec![
+            (
+                "closed until threshold, then open",
+                3,
+                1_000,
+                1,
+                vec![
+                    (Fail(0), Closed),
+                    (Fail(1), Closed),
+                    (Fail(2), Open),
+                    (Check(500), Open),
+                ],
+            ),
+            (
+                "success resets the consecutive counter",
+                2,
+                1_000,
+                1,
+                vec![
+                    (Fail(0), Closed),
+                    (Succeed(1), Closed),
+                    (Fail(2), Closed),
+                    (Fail(3), Open),
+                ],
+            ),
+            (
+                "open rejects fast until cooldown, then half-open",
+                1,
+                1_000,
+                1,
+                vec![
+                    (Fail(0), Open),
+                    (Check(999), Open),
+                    (Check(1_000), HalfOpen),
+                ],
+            ),
+            (
+                "half-open probe success closes after quota",
+                1,
+                100,
+                2,
+                vec![
+                    (Fail(0), Open),
+                    (Check(100), HalfOpen),
+                    (Succeed(101), HalfOpen),
+                    (Succeed(102), Closed),
+                ],
+            ),
+            (
+                "half-open probe failure re-opens and restarts cooldown",
+                1,
+                100,
+                1,
+                vec![
+                    (Fail(0), Open),
+                    (Check(100), HalfOpen),
+                    (Fail(150), Open),
+                    (Check(249), Open),
+                    (Check(250), HalfOpen),
+                    (Succeed(251), Closed),
+                ],
+            ),
+        ];
+        for (name, threshold, cooldown, probes, steps) in cases {
+            let b = breaker(threshold, cooldown, probes);
+            for (i, (event, expected)) in steps.into_iter().enumerate() {
+                let now = match event {
+                    Fail(t) => {
+                        // `allow` first, the way the registry drives it.
+                        b.allow(t);
+                        b.record_failure(t);
+                        t
+                    }
+                    Succeed(t) => {
+                        b.allow(t);
+                        b.record_success();
+                        t
+                    }
+                    Check(t) => t,
+                };
+                assert_eq!(
+                    b.state(now),
+                    expected,
+                    "case {name:?}, step {i}: wrong state at t={now}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn open_breaker_rejects_and_closed_allows() {
+        let b = breaker(1, 1_000, 1);
+        assert!(b.allow(0));
+        b.record_failure(0);
+        assert!(!b.allow(10), "open breaker must reject fast");
+        assert!(b.allow(1_000), "cooldown expiry admits a probe");
+    }
+
+    #[test]
+    fn disabled_breaker_never_opens() {
+        let b = breaker(0, 0, 1);
+        for t in 0..50 {
+            b.record_failure(t);
+            assert!(b.allow(t));
+            assert_eq!(b.state(t), BreakerState::Closed);
+        }
+    }
+
+    #[test]
+    fn disabled_backoff_is_zero() {
+        let b = BackoffConfig::default();
+        for attempt in 0..10 {
+            assert_eq!(b.delay_micros(attempt, 7), 0);
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_for_a_seed() {
+        let b = BackoffConfig::standard();
+        let a: Vec<u64> = (0..8).map(|n| b.delay_micros(n, 3)).collect();
+        let c: Vec<u64> = (0..8).map(|n| b.delay_micros(n, 3)).collect();
+        assert_eq!(a, c);
+        // A different salt (source) jitters differently but stays in
+        // the same exponential envelope.
+        let d: Vec<u64> = (0..8).map(|n| b.delay_micros(n, 4)).collect();
+        assert_ne!(a, d);
+    }
+
+    proptest! {
+        #[test]
+        fn backoff_delays_are_monotone_and_capped(
+            base in 1u64..1_000_000,
+            cap_mult in 1u64..1_000,
+            jitter in 0.0f64..1.0,
+            seed in 0u64..u64::MAX,
+            salt in 0u64..u64::MAX,
+        ) {
+            let cfg = BackoffConfig {
+                base_micros: base,
+                max_micros: base.saturating_mul(cap_mult),
+                jitter,
+                seed,
+            };
+            let cap = cfg.max_micros.max(cfg.base_micros);
+            let mut prev = 0u64;
+            for attempt in 0..64 {
+                let d = cfg.delay_micros(attempt, salt);
+                prop_assert!(d >= prev, "attempt {attempt}: {d} < {prev}");
+                prop_assert!(d <= cap, "attempt {attempt}: {d} > cap {cap}");
+                prev = d;
+            }
+        }
+    }
+}

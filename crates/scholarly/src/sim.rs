@@ -3,11 +3,11 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 use minaret_ontology::normalize_label;
 use minaret_synth::{ScholarId, World};
 
+use crate::clock::{Clock, SystemClock};
 use crate::error::SourceError;
 use crate::record::{
     AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
@@ -59,10 +59,47 @@ fn unit(h: u64) -> f64 {
     (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
+/// A scripted fault injected into a [`SimulatedSource`] — the
+/// deterministic counterpart of `SourceSpec::failure_rate`'s dice.
+///
+/// Schedules are keyed off the source's own call counter and the
+/// injected [`Clock`], so every breaker transition and backoff decision
+/// downstream of them is exactly reproducible: no sleeps, no randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultSchedule {
+    /// No scripted faults (spec-driven behaviour only).
+    #[default]
+    Healthy,
+    /// The first `failures` calls fail transiently, then the source
+    /// recovers for good.
+    FailThenRecover {
+        /// How many leading calls fail.
+        failures: u64,
+    },
+    /// Every call fails transiently — a dead service.
+    PermanentOutage,
+    /// Every call succeeds but takes `latency_micros` of injected-clock
+    /// time — a stalled-but-alive service for deadline tests.
+    Slow {
+        /// Fixed per-call latency on the injected clock.
+        latency_micros: u64,
+    },
+    /// Repeating rate-limit bursts: `allowed` calls succeed, then
+    /// `limited` calls are rejected with `RateLimited`, forever.
+    RateLimitBursts {
+        /// Calls admitted per window.
+        allowed: u64,
+        /// Calls rejected after the window fills.
+        limited: u64,
+    },
+}
+
 /// One simulated scholarly website over a shared [`World`].
 pub struct SimulatedSource {
     spec: SourceSpec,
     world: Arc<World>,
+    fault: FaultSchedule,
+    clock: Arc<dyn Clock>,
     salt: u64,
     /// normalized full display name -> scholars covered by this source.
     name_index: HashMap<String, Vec<ScholarId>>,
@@ -117,6 +154,8 @@ impl SimulatedSource {
         Self {
             spec,
             world,
+            fault: FaultSchedule::default(),
+            clock: Arc::new(SystemClock::new()),
             salt,
             name_index,
             interest_index,
@@ -125,9 +164,28 @@ impl SimulatedSource {
         }
     }
 
+    /// Scripts a deterministic fault schedule onto this source.
+    pub fn with_fault(mut self, fault: FaultSchedule) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// Replaces the clock the source pays latency against (share one
+    /// [`crate::SimulatedClock`] with the registry for deterministic
+    /// deadline tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
     /// The source's simulation parameters.
     pub fn spec(&self) -> &SourceSpec {
         &self.spec
+    }
+
+    /// The scripted fault schedule, if any.
+    pub fn fault(&self) -> FaultSchedule {
+        self.fault
     }
 
     /// Number of scholars this source covers.
@@ -176,12 +234,40 @@ impl SimulatedSource {
     }
 
     /// Simulates per-call cost and failure; every public operation calls
-    /// this exactly once.
+    /// this exactly once. Scripted faults ([`FaultSchedule`]) are applied
+    /// first — they are deterministic in the call sequence number — then
+    /// the spec's probabilistic failure model.
     fn pay_call(&self) -> Result<(), SourceError> {
         if self.spec.latency_micros > 0 {
-            std::thread::sleep(Duration::from_micros(self.spec.latency_micros));
+            self.clock.sleep_micros(self.spec.latency_micros);
         }
         let seq = self.calls.fetch_add(1, Ordering::Relaxed);
+        match self.fault {
+            FaultSchedule::Healthy => {}
+            FaultSchedule::FailThenRecover { failures } => {
+                if seq < failures {
+                    return Err(SourceError::Transient {
+                        source: self.spec.kind,
+                    });
+                }
+            }
+            FaultSchedule::PermanentOutage => {
+                return Err(SourceError::Transient {
+                    source: self.spec.kind,
+                });
+            }
+            FaultSchedule::Slow { latency_micros } => {
+                self.clock.sleep_micros(latency_micros);
+            }
+            FaultSchedule::RateLimitBursts { allowed, limited } => {
+                let window = allowed.saturating_add(limited).max(1);
+                if seq % window >= allowed {
+                    return Err(SourceError::RateLimited {
+                        source: self.spec.kind,
+                    });
+                }
+            }
+        }
         if self.spec.rate_limit > 0 {
             let used = self.rate_window_used.fetch_add(1, Ordering::Relaxed);
             if used >= self.spec.rate_limit as u64 {
@@ -576,6 +662,69 @@ mod tests {
         assert!(limited);
         // After the rejection, the window resets and calls succeed again.
         assert!(s.search_by_name("x").is_ok());
+    }
+
+    #[test]
+    fn fail_then_recover_schedule_is_exact() {
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::Dblp), world())
+            .with_fault(FaultSchedule::FailThenRecover { failures: 3 });
+        for i in 0..3 {
+            assert!(
+                matches!(s.search_by_name("x"), Err(SourceError::Transient { .. })),
+                "call {i} should fail"
+            );
+        }
+        for _ in 0..5 {
+            assert!(
+                s.search_by_name("x").is_ok(),
+                "recovered source must stay up"
+            );
+        }
+    }
+
+    #[test]
+    fn permanent_outage_never_recovers() {
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::Dblp), world())
+            .with_fault(FaultSchedule::PermanentOutage);
+        for _ in 0..10 {
+            assert!(matches!(
+                s.search_by_name("x"),
+                Err(SourceError::Transient { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn slow_schedule_charges_the_injected_clock() {
+        let clock = crate::clock::SimulatedClock::new();
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::Dblp), world())
+            .with_fault(FaultSchedule::Slow {
+                latency_micros: 40_000,
+            })
+            .with_clock(clock.clone());
+        assert!(s.search_by_name("x").is_ok());
+        assert_eq!(clock.now_micros(), 40_000);
+        assert!(s.search_by_name("x").is_ok());
+        assert_eq!(clock.now_micros(), 80_000, "each call pays fixed latency");
+    }
+
+    #[test]
+    fn rate_limit_bursts_repeat_exactly() {
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::Dblp), world()).with_fault(
+            FaultSchedule::RateLimitBursts {
+                allowed: 2,
+                limited: 1,
+            },
+        );
+        for window in 0..3 {
+            for _ in 0..2 {
+                assert!(s.search_by_name("x").is_ok(), "window {window}");
+            }
+            assert!(
+                matches!(s.search_by_name("x"), Err(SourceError::RateLimited { .. })),
+                "window {window} third call must be limited"
+            );
+        }
     }
 
     #[test]

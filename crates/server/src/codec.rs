@@ -20,6 +20,7 @@ use minaret_json::Value;
 ///     "coi_affiliation_level": "university" | "country" | "off",
 ///     "weights": {"coverage": 0.4, "impact": 0.2, "recency": 0.2,
 ///                  "experience": 0.1, "familiarity": 0.1},
+///     "min_sources": 2,
 ///     "min_citations": 100, "max_citations": 50000,
 ///     "min_h_index": 5, "max_h_index": 60,
 ///     "min_reviews": 1, "max_reviews": 500,
@@ -96,6 +97,9 @@ fn apply_config_overrides(cfg: &Value, config: &mut EditorConfig) -> Result<(), 
     }
     if let Some(m) = cfg.get("max_recommendations").and_then(Value::as_u64) {
         config.max_recommendations = m as usize;
+    }
+    if let Some(m) = cfg.get("min_sources").and_then(Value::as_u64) {
+        config.min_sources = m as usize;
     }
     if let Some(level) = cfg.get("coi_affiliation_level").and_then(Value::as_str) {
         config.coi.affiliation_level = match level {
@@ -228,6 +232,23 @@ pub fn report_to_json(report: &RecommendationReport) -> Value {
         )
         .set("candidates_retrieved", report.candidates_retrieved)
         .set("filtered_out", report.filtered_out.len())
+        .set("degraded", report.degraded)
+        .set(
+            "degraded_sources",
+            report
+                .degraded_sources
+                .iter()
+                .map(|s| Value::from(s.as_str()))
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "source_errors",
+            report
+                .source_errors
+                .iter()
+                .map(|s| Value::from(s.as_str()))
+                .collect::<Vec<_>>(),
+        )
         .set(
             "timings_ms",
             Value::object()
@@ -268,6 +289,7 @@ mod tests {
                 "target_venue":"J",
                 "config":{"keyword_score_threshold":0.7,
                           "max_recommendations":5,
+                          "min_sources":2,
                           "coi_affiliation_level":"country",
                           "weights":{"coverage":1.0,"impact":0.0},
                           "min_citations":10,
@@ -277,6 +299,7 @@ mod tests {
         let (_, cfg) = manuscript_from_json(&body, &base()).unwrap();
         assert_eq!(cfg.keyword_score_threshold, 0.7);
         assert_eq!(cfg.max_recommendations, 5);
+        assert_eq!(cfg.min_sources, 2);
         assert_eq!(cfg.coi.affiliation_level, AffiliationMatchLevel::Country);
         assert_eq!(cfg.weights.coverage, 1.0);
         assert_eq!(cfg.weights.impact, 0.0);

@@ -207,6 +207,11 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                     200,
                     &report_empty(&manuscript.title, "no candidate reviewers found"),
                 ),
+                // Too few sources answered to trust a result: the
+                // service is temporarily degraded below the floor.
+                Err(e @ MinaretError::SourcesUnavailable { .. }) => {
+                    Response::error(503, &e.to_string())
+                }
                 Err(e) => Response::error(500, &e.to_string()),
             }
         }),
@@ -379,6 +384,12 @@ mod tests {
         assert!(!recs.is_empty() && recs.len() <= 5);
         assert!(recs[0].get("score_details").is_some());
         assert!(v.get("timings_ms").is_some());
+        assert_eq!(v.get("degraded").and_then(Value::as_bool), Some(false));
+        assert!(v
+            .get("degraded_sources")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

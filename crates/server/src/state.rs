@@ -4,7 +4,9 @@ use std::sync::Arc;
 
 use minaret_core::{EditorConfig, Minaret};
 use minaret_ontology::Ontology;
-use minaret_scholarly::{RegistryConfig, SimulatedSource, SourceRegistry, SourceSpec};
+use minaret_scholarly::{
+    RegistryConfig, ResilienceConfig, SimulatedSource, SourceRegistry, SourceSpec,
+};
 use minaret_synth::{World, WorldConfig, WorldGenerator};
 use minaret_telemetry::Telemetry;
 
@@ -41,13 +43,31 @@ impl AppState {
             })
             .generate(),
         );
-        let ontology = Arc::new(minaret_ontology::seed::curated_cs_ontology());
-        let mut registry =
-            SourceRegistry::with_telemetry(RegistryConfig::default(), telemetry.clone());
+        // Servers run with the production resilience preset: deadlines,
+        // backoff, and breakers on, so a misbehaving source degrades
+        // results instead of stalling requests.
+        let mut registry = SourceRegistry::with_telemetry(
+            RegistryConfig {
+                resilience: ResilienceConfig::standard(),
+                ..Default::default()
+            },
+            telemetry.clone(),
+        );
         for spec in SourceSpec::all_defaults() {
             registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
         }
-        let registry = Arc::new(registry);
+        Self::with_registry(world, Arc::new(registry), telemetry)
+    }
+
+    /// Builds state over a caller-assembled registry (tests inject
+    /// scripted-fault sources this way) plus the curated ontology and a
+    /// default editor configuration.
+    pub fn with_registry(
+        world: Arc<World>,
+        registry: Arc<SourceRegistry>,
+        telemetry: Telemetry,
+    ) -> Arc<AppState> {
+        let ontology = Arc::new(minaret_ontology::seed::curated_cs_ontology());
         let minaret = Minaret::new(registry.clone(), ontology.clone(), EditorConfig::default())
             .with_telemetry(telemetry.clone());
         Arc::new(AppState {

@@ -1,0 +1,169 @@
+//! Degraded-mode behaviour over the REST surface: a scripted-dead source
+//! must show up as `degraded: true` in `/recommend` responses and as an
+//! open breaker gauge in `/metrics`.
+
+use std::sync::Arc;
+
+use minaret::json::Value;
+use minaret::prelude::*;
+use minaret::scholarly::ScholarSource;
+use minaret_server::{build_router, AppState};
+use minaret_telemetry::Telemetry;
+
+fn dispatch(
+    router: &minaret::http::Router,
+    method: minaret::http::Method,
+    path: &str,
+    body: &str,
+) -> minaret::http::Response {
+    router.dispatch(&minaret::http::Request {
+        method,
+        path: path.into(),
+        query: vec![],
+        headers: vec![],
+        body: body.as_bytes().to_vec(),
+    })
+}
+
+/// Demo-equivalent state, except Publons is scripted permanently dead
+/// and the registry runs with a tight breaker so the outage trips fast.
+fn state_with_dead_publons() -> Arc<AppState> {
+    let world = Arc::new(WorldGenerator::new(WorldConfig::sized(250)).generate());
+    let telemetry = Telemetry::new();
+    let mut registry = minaret::scholarly::SourceRegistry::with_telemetry(
+        RegistryConfig {
+            max_retries: 1,
+            resilience: ResilienceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 3,
+                    cooldown_micros: 60_000_000,
+                    probe_successes: 1,
+                },
+                ..ResilienceConfig::standard()
+            },
+            ..Default::default()
+        },
+        telemetry.clone(),
+    );
+    for spec in SourceSpec::all_defaults() {
+        let kind = spec.kind;
+        let mut source = SimulatedSource::new(spec, world.clone());
+        if kind == SourceKind::Publons {
+            source = source.with_fault(FaultSchedule::PermanentOutage);
+        }
+        registry.register(Arc::new(source) as Arc<dyn ScholarSource>);
+    }
+    AppState::with_registry(world, Arc::new(registry), telemetry)
+}
+
+#[test]
+fn recommend_reports_degraded_sources_and_metrics_show_the_breaker() {
+    let state = state_with_dead_publons();
+    let router = build_router(state.clone());
+
+    let lead = state
+        .world
+        .scholars()
+        .iter()
+        .find(|s| !state.world.papers_of(s.id).is_empty())
+        .expect("a published scholar exists");
+    let keywords: Vec<Value> = lead
+        .interests
+        .iter()
+        .take(2)
+        .map(|&t| Value::from(state.world.ontology.label(t)))
+        .collect();
+    let body = Value::object()
+        .set("title", "A manuscript during a Publons outage")
+        .set("keywords", keywords)
+        .set(
+            "authors",
+            vec![Value::object().set("name", lead.full_name().as_str())],
+        )
+        .set("target_venue", state.world.venues()[0].name.as_str())
+        .to_string();
+
+    let resp = dispatch(&router, minaret::http::Method::Post, "/recommend", &body);
+    assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+    let v = minaret::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(
+        v.get("degraded").and_then(Value::as_bool),
+        Some(true),
+        "{v}"
+    );
+    let degraded: Vec<&str> = v
+        .get("degraded_sources")
+        .and_then(Value::as_array)
+        .unwrap()
+        .iter()
+        .filter_map(Value::as_str)
+        .collect();
+    assert_eq!(degraded, vec!["Publons"]);
+    assert!(
+        !v.get("recommendations")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty(),
+        "degraded runs still return a ranked list"
+    );
+    assert!(
+        !v.get("source_errors")
+            .and_then(Value::as_array)
+            .unwrap()
+            .is_empty(),
+        "the per-source errors are surfaced"
+    );
+
+    // The breaker tripped open during the run and /metrics says so:
+    // gauge value 2 = open (0 closed, 1 half-open).
+    let resp = dispatch(&router, minaret::http::Method::Get, "/metrics", "");
+    assert_eq!(resp.status, 200);
+    let text = String::from_utf8(resp.body).unwrap();
+    assert!(
+        text.contains("minaret_breaker_state{source=\"pub\"} 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("minaret_source_short_circuits_total{source=\"pub\"}"),
+        "{text}"
+    );
+    // Healthy sources stay closed.
+    assert!(
+        text.contains("minaret_breaker_state{source=\"dblp\"} 0"),
+        "{text}"
+    );
+}
+
+#[test]
+fn min_sources_floor_returns_service_unavailable() {
+    let state = state_with_dead_publons();
+    let router = build_router(state.clone());
+    let lead = state
+        .world
+        .scholars()
+        .iter()
+        .find(|s| !state.world.papers_of(s.id).is_empty())
+        .unwrap();
+    let keywords: Vec<Value> = lead
+        .interests
+        .iter()
+        .take(2)
+        .map(|&t| Value::from(state.world.ontology.label(t)))
+        .collect();
+    // Demand more responding sources than can answer with Publons dead:
+    // only Google Scholar serves interest search now.
+    let body = Value::object()
+        .set("title", "Too strict for an outage")
+        .set("keywords", keywords)
+        .set(
+            "authors",
+            vec![Value::object().set("name", lead.full_name().as_str())],
+        )
+        .set("target_venue", state.world.venues()[0].name.as_str())
+        .set("config", Value::object().set("min_sources", 2u32))
+        .to_string();
+    let resp = dispatch(&router, minaret::http::Method::Post, "/recommend", &body);
+    assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+    let text = String::from_utf8_lossy(&resp.body).to_string();
+    assert!(text.contains("Publons"), "{text}");
+}
