@@ -19,4 +19,10 @@ cargo test -q
 echo "==> fault injection: cargo test --test failure_injection"
 cargo test -q --test failure_injection
 
+echo "==> batched/parallel equivalence: cargo test --test batched_equivalence"
+cargo test -q --test batched_equivalence
+
+echo "==> perf smoke: batched speedup + extraction vs BENCH_e7_scalability.json"
+cargo run -q --release --example perf_smoke
+
 echo "CI OK"

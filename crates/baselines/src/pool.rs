@@ -2,8 +2,8 @@
 //!
 //! TPMS-style matchers assume a reviewer database that already exists.
 //! Our sources only answer queries, so the pool is built the way a crawler
-//! would: issue an interest search for every topic label in the ontology
-//! and merge everything that comes back.
+//! would: issue every topic label in the ontology as one batched interest
+//! fan-out and merge everything that comes back.
 
 use minaret_ontology::Ontology;
 use minaret_scholarly::{merge_profiles, MergedCandidate, SourceRegistry};
@@ -11,11 +11,13 @@ use minaret_scholarly::{merge_profiles, MergedCandidate, SourceRegistry};
 /// Crawls the registry once, building the merged candidate pool that the
 /// closed-database baselines rank over.
 pub fn crawl_pool(registry: &SourceRegistry, ontology: &Ontology) -> Vec<MergedCandidate> {
-    let mut profiles = Vec::new();
-    for topic in ontology.topics() {
-        let (mut found, _errors) = registry.search_by_interest(&topic.label);
-        profiles.append(&mut found);
-    }
+    let labels: Vec<String> = ontology.topics().map(|topic| topic.label.clone()).collect();
+    let report = registry.search_by_interests_report(&labels);
+    let mut profiles: Vec<_> = report
+        .by_label
+        .into_iter()
+        .flat_map(|(_, hits)| hits)
+        .collect();
     profiles.sort_by(|a, b| (a.source, &a.key).cmp(&(b.source, &b.key)));
     profiles.dedup_by(|a, b| a.source == b.source && a.key == b.key);
     merge_profiles(profiles)

@@ -1,8 +1,9 @@
-//! Bench E7: end-to-end recommendation latency vs. world size, and batch
-//! throughput vs. worker count.
+//! Bench E7: end-to-end recommendation latency vs. world size, batch
+//! throughput vs. worker count, and batched vs. per-label retrieval as
+//! the label set grows.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use minaret_bench::{manuscript_from, stack};
+use minaret_bench::{latency_stack, manuscript_from, stack};
 
 fn bench_e7(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_scalability");
@@ -28,6 +29,40 @@ fn bench_e7(c: &mut Criterion) {
         });
     }
     batch.finish();
+
+    // Label-set sweep: the same labels retrieved as one batched fan-out
+    // vs. one fan-out per label (the pre-batching pipeline's cost model).
+    // Sources carry scraping-scale latency — per-label retrieval pays
+    // one policed round trip per label, batched pays one per batch.
+    let s = latency_stack(500, 500);
+    let mut labels: Vec<String> = s
+        .ontology
+        .topics()
+        .map(|t| t.label.clone())
+        .take(80)
+        .collect();
+    let mut filler = 0usize;
+    while labels.len() < 80 {
+        // Unknown labels still pay the fan-out; cost is what's measured.
+        labels.push(format!("synthetic topic {filler}"));
+        filler += 1;
+    }
+    let mut sweep = c.benchmark_group("e7_scalability/label_sweep");
+    sweep.sample_size(10);
+    for n in [5usize, 20, 80] {
+        let set: Vec<String> = labels[..n].to_vec();
+        sweep.bench_with_input(BenchmarkId::new("batched", n), &set, |b, set| {
+            b.iter(|| std::hint::black_box(s.registry.search_by_interests_report(set)))
+        });
+        sweep.bench_with_input(BenchmarkId::new("per_label", n), &set, |b, set| {
+            b.iter(|| {
+                for label in set {
+                    std::hint::black_box(s.registry.search_by_interest_report(label));
+                }
+            })
+        });
+    }
+    sweep.finish();
 }
 
 criterion_group!(benches, bench_e7);

@@ -59,6 +59,33 @@ pub fn telemetry_stack(scholars: usize, telemetry: Telemetry) -> BenchStack {
     }
 }
 
+/// Like [`stack`], but with every source's call latency set to
+/// `latency_micros` — scraping-scale round trips, the regime MINARET's
+/// on-the-fly extraction actually runs in and the one the batched
+/// fan-out exists for (one policed round trip per source per batch
+/// instead of one per label).
+pub fn latency_stack(scholars: usize, latency_micros: u64) -> BenchStack {
+    let base = stack(scholars);
+    let mut registry = SourceRegistry::new(RegistryConfig::default());
+    for mut spec in SourceSpec::all_defaults() {
+        spec.latency_micros = latency_micros;
+        registry.register(
+            Arc::new(SimulatedSource::new(spec, base.world.clone())) as Arc<dyn ScholarSource>
+        );
+    }
+    let registry = Arc::new(registry);
+    let minaret = Minaret::new(
+        registry.clone(),
+        base.ontology.clone(),
+        EditorConfig::default(),
+    );
+    BenchStack {
+        registry,
+        minaret,
+        ..base
+    }
+}
+
 /// Builds a stack with a custom collision rate and editor config.
 pub fn stack_with(scholars: usize, name_collision_rate: f64, editor: EditorConfig) -> BenchStack {
     let world = Arc::new(

@@ -78,6 +78,22 @@ pub fn filter_candidate(
     FilterDecision::Kept
 }
 
+/// Applies [`filter_candidate`] to every candidate, in parallel over
+/// contiguous chunks (`parallelism` threads; `0` = all cores). Each
+/// decision is a pure function of its candidate, so the output vector is
+/// element-for-element identical to a sequential loop — callers
+/// partition kept/removed afterwards, preserving order and tie-breaks.
+pub fn filter_decisions(
+    candidates: &[crate::pipeline::CandidateProfile],
+    authors: &[AuthorRecord],
+    config: &EditorConfig,
+    parallelism: usize,
+) -> Vec<FilterDecision> {
+    crate::par::chunked_map(candidates, parallelism, |cand| {
+        filter_candidate(&cand.merged, cand.keyword_score, authors, config)
+    })
+}
+
 /// Conference mode (§3): "only candidate reviewers who belong to the
 /// programme committee are retained". Matching is by name compatibility
 /// so "L. Zhou" on the PC list matches candidate "Lei Zhou".

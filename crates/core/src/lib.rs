@@ -31,6 +31,7 @@ mod config;
 mod error;
 pub mod filter;
 mod manuscript;
+pub mod par;
 mod pipeline;
 pub mod rank;
 

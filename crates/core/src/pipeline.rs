@@ -14,9 +14,9 @@ use minaret_telemetry::Telemetry;
 use crate::coi::AuthorRecord;
 use crate::config::EditorConfig;
 use crate::error::MinaretError;
-use crate::filter::{filter_candidate, FilterDecision, FilterReason};
+use crate::filter::{filter_decisions, FilterDecision, FilterReason};
 use crate::manuscript::ManuscriptDetails;
-use crate::rank::{score_candidate, KeywordExpansionSet, ScoreBreakdown};
+use crate::rank::{score_candidates, KeywordExpansionSet, ScoreBreakdown};
 
 /// Wall-clock cost of each workflow phase — experiment F2 prints these as
 /// the per-phase breakdown of Figure 2's workflow.
@@ -253,6 +253,7 @@ pub struct Minaret {
     config: EditorConfig,
     resolution: ResolutionPolicy,
     telemetry: Telemetry,
+    parallelism: usize,
 }
 
 impl Minaret {
@@ -271,7 +272,17 @@ impl Minaret {
             config,
             resolution: ResolutionPolicy::AutoTop1,
             telemetry: Telemetry::disabled(),
+            parallelism: 0,
         }
+    }
+
+    /// Caps the worker threads the filter and rank phases may use per
+    /// `recommend` call (`0`, the default, means all available cores;
+    /// `1` forces the sequential path). Parallel output is byte-identical
+    /// to sequential — this knob only trades latency against CPU.
+    pub fn with_parallelism(mut self, parallelism: usize) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Overrides how ambiguous author identities are resolved (the
@@ -391,15 +402,15 @@ impl Minaret {
         // ---- Phase 2: filtering ---------------------------------------
         let phase_span = trace.span("filtering");
         let t1 = Instant::now();
+        // Decisions are computed as a parallel order-preserving map; the
+        // partition below runs sequentially on the combined output, so
+        // kept/filtered orders match the single-threaded path exactly.
+        let decisions =
+            filter_decisions(&candidates, &author_records, &self.config, self.parallelism);
         let mut kept = Vec::new();
         let mut filtered_out = Vec::new();
-        for cand in candidates {
-            match filter_candidate(
-                &cand.merged,
-                cand.keyword_score,
-                &author_records,
-                &self.config,
-            ) {
+        for (cand, decision) in candidates.into_iter().zip(decisions) {
+            match decision {
                 FilterDecision::Kept => kept.push(cand),
                 FilterDecision::Removed(reason) => filtered_out.push((cand, reason)),
             }
@@ -412,18 +423,19 @@ impl Minaret {
         let phase_span = trace.span("ranking");
         let ranking_in = kept.len();
         let t2 = Instant::now();
+        // Scoring parallelizes the same way; sort + truncate stay
+        // sequential so ties break identically to the sequential path.
+        let scores = score_candidates(
+            &kept,
+            &expansion_sets,
+            &manuscript.target_venue,
+            &self.config,
+            self.parallelism,
+        );
         let mut scored: Vec<(CandidateProfile, ScoreBreakdown, f64)> = kept
             .into_iter()
-            .map(|cand| {
-                let breakdown = score_candidate(
-                    &cand.merged,
-                    &expansion_sets,
-                    &manuscript.target_venue,
-                    &self.config,
-                );
-                let total = breakdown.total(&self.config.weights);
-                (cand, breakdown, total)
-            })
+            .zip(scores)
+            .map(|(cand, (breakdown, total))| (cand, breakdown, total))
             .collect();
         scored.sort_by(|a, b| {
             b.2.partial_cmp(&a.2)
@@ -589,11 +601,12 @@ impl Minaret {
         (sets, summaries, unknown)
     }
 
-    /// Phase-1 step: retrieve candidate reviewers by querying every
-    /// interest-capable source for every expanded keyword, then merging
-    /// per-source profiles into candidates. The second return value is
-    /// the per-source health ledger aggregated across all per-label
-    /// fan-outs, which drives the degraded-mode decision.
+    /// Phase-1 step: retrieve candidate reviewers by issuing the whole
+    /// expanded label set as **one batched fan-out** — every
+    /// interest-capable source answers all labels in a single
+    /// policy-governed call — then merging per-source profiles into
+    /// candidates. The second return value is the per-source health
+    /// ledger of that fan-out, which drives the degraded-mode decision.
     fn retrieve_candidates(
         &self,
         expansion_sets: &[KeywordExpansionSet],
@@ -619,8 +632,12 @@ impl Minaret {
         // conflates two same-source profiles into one candidate.
         let mut matched: HashMap<String, Vec<(String, f64)>> = HashMap::new();
         let mut coverage = SourceCoverage::default();
-        for (label, score) in &sorted_labels {
-            let report = self.registry.search_by_interest_report(label);
+        if !sorted_labels.is_empty() {
+            let label_names: Vec<String> = sorted_labels
+                .iter()
+                .map(|(label, _)| label.clone())
+                .collect();
+            let report = self.registry.search_by_interests_report(&label_names);
             for outcome in &report.outcomes {
                 match &outcome.status {
                     SourceStatus::Ok => {
@@ -628,19 +645,27 @@ impl Minaret {
                     }
                     SourceStatus::Failed(e) => {
                         coverage.degraded.insert(outcome.source);
-                        source_errors.push(e.to_string());
+                        // One aggregated entry per failed source — a dead
+                        // source fails the whole batch once, not once per
+                        // label.
+                        source_errors.push(format!("{e} ({} labels affected)", label_names.len()));
                     }
                     // Skipped sources neither responded nor degrade the
                     // run — they were never expected to answer.
                     SourceStatus::Skipped => {}
                 }
             }
-            for p in report.profiles {
-                matched
-                    .entry(p.key.clone())
-                    .or_default()
-                    .push((label.clone(), *score));
-                profiles.push(p);
+            // Per-label hits come back in input order, and within one
+            // label in source-registration order — the same profile
+            // stream the per-label fan-out loop used to produce.
+            for ((label, score), (_, hits)) in sorted_labels.iter().zip(report.by_label) {
+                for p in hits {
+                    matched
+                        .entry(p.key.clone())
+                        .or_default()
+                        .push((label.clone(), *score));
+                    profiles.push(p);
+                }
             }
         }
         // Dedupe profiles found under several labels.
@@ -680,9 +705,10 @@ impl Minaret {
     }
 }
 
-/// Which sources answered (vs. failed) across one run's retrieval
-/// fan-outs. A source that answered any label counts as responded; one
-/// that failed any label counts as degraded coverage.
+/// Which sources answered (vs. failed) the run's batched retrieval
+/// fan-out. With batching a source answers or fails the whole label set
+/// in one call, so each source lands in exactly one bucket (or neither,
+/// when it was skipped as interest-incapable).
 #[derive(Debug, Default)]
 struct SourceCoverage {
     responded: std::collections::BTreeSet<SourceKind>,
@@ -866,6 +892,72 @@ mod tests {
         // The surviving sources never include the dead one.
         for r in &report.recommendations {
             assert!(!r.sources.contains(&SourceKind::Publons));
+        }
+    }
+
+    #[test]
+    fn dead_source_reports_one_aggregated_error_not_one_per_label() {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 300,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let minaret = minaret_with_outages(&world, &[SourceKind::Publons]);
+        let m = manuscript_from_world(&world);
+        let report = minaret.recommend(&m).unwrap();
+        // The expanded label set is much larger than one, yet the dead
+        // source contributes exactly one aggregated error entry carrying
+        // the affected-label count.
+        assert_eq!(
+            report.source_errors.len(),
+            1,
+            "one entry per failed source: {:?}",
+            report.source_errors
+        );
+        assert!(
+            report.source_errors[0].contains("labels affected"),
+            "{:?}",
+            report.source_errors
+        );
+    }
+
+    #[test]
+    fn forced_sequential_parallelism_matches_default() {
+        let (world, minaret) = setup();
+        let m = manuscript_from_world(&world);
+        let parallel = minaret.recommend(&m).unwrap();
+        let (world2, _) = setup();
+        drop(world2);
+        let sequential_minaret = {
+            let mut reg = SourceRegistry::new(RegistryConfig::default());
+            for spec in SourceSpec::all_defaults() {
+                reg.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+            }
+            Minaret::new(
+                Arc::new(reg),
+                Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+                EditorConfig::default(),
+            )
+            .with_parallelism(1)
+        };
+        let sequential = sequential_minaret.recommend(&m).unwrap();
+        assert_eq!(
+            parallel.recommendations.len(),
+            sequential.recommendations.len()
+        );
+        for (p, s) in parallel
+            .recommendations
+            .iter()
+            .zip(&sequential.recommendations)
+        {
+            assert_eq!(p.name, s.name);
+            assert_eq!(
+                p.total.to_bits(),
+                s.total.to_bits(),
+                "scores must be bitwise equal"
+            );
         }
     }
 

@@ -231,6 +231,27 @@ pub fn score_candidate(
     }
 }
 
+/// Scores every candidate, in parallel over contiguous chunks
+/// (`parallelism` threads; `0` = all cores). Scoring is a pure function
+/// of the candidate plus shared read-only inputs, so the returned
+/// `(breakdown, total)` vector is element-for-element identical to a
+/// sequential map — the caller's sort and tie-breaks then run
+/// sequentially on the combined output, keeping the ranking byte-
+/// identical to the single-threaded path.
+pub fn score_candidates(
+    candidates: &[crate::pipeline::CandidateProfile],
+    expansions: &[KeywordExpansionSet],
+    target_venue: &str,
+    config: &EditorConfig,
+    parallelism: usize,
+) -> Vec<(ScoreBreakdown, f64)> {
+    crate::par::chunked_map(candidates, parallelism, |cand| {
+        let breakdown = score_candidate(&cand.merged, expansions, target_venue, config);
+        let total = breakdown.total(&config.weights);
+        (breakdown, total)
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,10 @@ pub use e3_coi::{run_e3, E3Result};
 pub use e4_quality::{run_e4, E4Config, E4Result, MethodQuality};
 pub use e5_weights::{run_e5, E5Result};
 pub use e6_extraction::{run_e6, E6Result};
-pub use e7_scalability::{run_e7, E7Result, ScalePoint};
+pub use e7_scalability::{
+    run_e7, run_e7_addendum, E7AddendumResult, E7Result, LabelSweepPoint, ParallelismPoint,
+    ScalePoint, E7_LABEL_SIZES, E7_PARALLELISM,
+};
 pub use e8_conference::{run_e8, E8Result};
 pub use e9_sources::{run_e9, E9Result, SourceAblation};
 pub use fig1_growth::{run_f1, F1Result};

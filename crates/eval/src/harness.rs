@@ -29,6 +29,10 @@ pub struct ScenarioConfig {
     pub registry: RegistryConfig,
     /// Sources scripted as permanently dead (degraded-mode scenarios).
     pub dead_sources: Vec<SourceKind>,
+    /// Worker threads for the pipeline's filter/rank phases (`0` = all
+    /// cores, `1` = sequential). Output is identical either way; the E7
+    /// addendum sweeps this to measure phase-level scaling.
+    pub pipeline_parallelism: usize,
 }
 
 impl Default for ScenarioConfig {
@@ -41,6 +45,7 @@ impl Default for ScenarioConfig {
             cached: false,
             registry: RegistryConfig::default(),
             dead_sources: Vec::new(),
+            pipeline_parallelism: 0,
         }
     }
 }
@@ -99,7 +104,8 @@ impl EvalContext {
             }
         }
         let registry = Arc::new(registry);
-        let minaret = Minaret::new(registry.clone(), ontology.clone(), scenario.editor.clone());
+        let minaret = Minaret::new(registry.clone(), ontology.clone(), scenario.editor.clone())
+            .with_parallelism(scenario.pipeline_parallelism);
         Self {
             world,
             registry,

@@ -187,6 +187,65 @@ impl ScholarSource for CachingSource {
         Ok(result)
     }
 
+    /// Per-label caching over the batched search: labels already cached
+    /// (from earlier batches *or* single-label queries) are served from
+    /// the cache, and only the missing ones go to the inner source — as
+    /// one batch. Each cached label counts a hit, each fetched label a
+    /// miss; a failed fetch-through counts one error and caches nothing,
+    /// so a later retry can still succeed.
+    fn search_by_interests(
+        &self,
+        labels: &[String],
+    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
+        let mut results: Vec<Option<Vec<SourceProfile>>> = Vec::with_capacity(labels.len());
+        let mut missing: Vec<String> = Vec::new();
+        {
+            let cache = self.by_interest.read();
+            for label in labels {
+                match cache.get(label) {
+                    Some(hit) => {
+                        self.on_hit();
+                        results.push(Some(hit.clone()));
+                    }
+                    None => {
+                        missing.push(label.clone());
+                        results.push(None);
+                    }
+                }
+            }
+        }
+        if !missing.is_empty() {
+            match self.inner.search_by_interests(&missing) {
+                Ok(fetched) => {
+                    let mut cache = self.by_interest.write();
+                    let fetched_by_label: HashMap<String, Vec<SourceProfile>> =
+                        fetched.into_iter().collect();
+                    for (label, slot) in labels.iter().zip(results.iter_mut()) {
+                        if slot.is_none() {
+                            // get, not remove: a duplicated input label
+                            // must resolve both occurrences.
+                            let hits = fetched_by_label.get(label).cloned().unwrap_or_default();
+                            self.misses.fetch_add(1, Ordering::Relaxed);
+                            self.cache_counter("misses").inc();
+                            cache.insert(label.clone(), hits.clone());
+                            *slot = Some(hits);
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                    self.cache_counter("errors").inc();
+                    return Err(e);
+                }
+            }
+        }
+        Ok(labels
+            .iter()
+            .zip(results)
+            .map(|(label, hits)| (label.clone(), hits.expect("every label resolved")))
+            .collect())
+    }
+
     fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
         if let Some(hit) = self.by_key.read().get(key) {
             self.on_hit();
@@ -271,6 +330,56 @@ mod tests {
         let before = c.stats().hits;
         c.search_by_name("anyone").unwrap();
         assert_eq!(c.stats().hits, before + 1);
+    }
+
+    #[test]
+    fn batched_search_serves_cached_labels_and_fetches_the_rest() {
+        let (c, w) = cached(SourceKind::GoogleScholar);
+        let labels: Vec<String> = w
+            .scholars()
+            .iter()
+            .take(3)
+            .map(|s| w.ontology.label(s.interests[0]).to_string())
+            .collect();
+        // Warm one label through the single-label path.
+        let warm = c.search_by_interest(&labels[0]).unwrap();
+        assert_eq!(c.stats().misses, 1);
+        // The batch serves it from cache and fetches only the others.
+        let batch = c.search_by_interests(&labels).unwrap();
+        assert_eq!(batch.len(), labels.len());
+        assert_eq!(batch[0].1, warm);
+        let s = c.stats();
+        assert_eq!(s.hits, 1, "the warmed label must be a hit");
+        let distinct: std::collections::HashSet<&String> = labels.iter().collect();
+        assert_eq!(
+            s.misses as usize,
+            distinct.len(),
+            "only missing labels fetch"
+        );
+        // A repeat batch is now fully cached.
+        let again = c.search_by_interests(&labels).unwrap();
+        assert_eq!(again, batch);
+        assert_eq!(c.stats().hits as usize, 1 + labels.len());
+    }
+
+    #[test]
+    fn batched_search_failure_counts_one_error_and_caches_nothing() {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 50,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        spec.failure_rate = 1.0;
+        let c = CachingSource::new(Arc::new(SimulatedSource::new(spec, world)));
+        let labels = vec!["databases".to_string(), "data mining".to_string()];
+        assert!(c.search_by_interests(&labels).is_err());
+        let s = c.stats();
+        assert_eq!(s.errors, 1, "one failed batch fetch-through = one error");
+        assert_eq!(s.misses, 0);
+        assert_eq!(s.hits, 0);
     }
 
     #[test]

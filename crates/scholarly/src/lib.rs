@@ -20,10 +20,14 @@
 //! * [`CachingSource`] — a caching decorator with hit/miss statistics
 //!   (experiment E6 measures cold vs. warm extraction).
 //! * [`SourceRegistry`] — concurrent fan-out with retry over all sources,
-//!   hardened by a resilience layer: per-call deadlines, a whole-fan-out
-//!   budget, seeded exponential backoff, and a per-source
-//!   [`CircuitBreaker`] — so one dead website degrades coverage instead
-//!   of taking the recommendation down.
+//!   running on a persistent worker pool (one long-lived worker per
+//!   source plus a shared overflow crew) and hardened by a resilience
+//!   layer: per-call deadlines, a whole-fan-out budget, seeded
+//!   exponential backoff, and a per-source [`CircuitBreaker`] — so one
+//!   dead website degrades coverage instead of taking the recommendation
+//!   down. [`SourceRegistry::search_by_interests_report`] issues a whole
+//!   label set as one batched fan-out ([`BatchFanOutReport`]), paying the
+//!   resilience policy once per source instead of once per label.
 //! * [`Clock`] / [`SimulatedClock`] — injectable time, so every deadline,
 //!   backoff pause, and breaker cooldown is deterministic under test.
 //! * [`FaultSchedule`] — scripted failures for [`SimulatedSource`]
@@ -53,7 +57,8 @@ pub use record::{
     AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
 };
 pub use registry::{
-    FanOutReport, RegistryConfig, RegistryStats, SourceOutcome, SourceRegistry, SourceStatus,
+    BatchFanOutReport, FanOutReport, RegistryConfig, RegistryStats, SourceOutcome, SourceRegistry,
+    SourceStatus,
 };
 pub use resilience::{
     BackoffConfig, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig,

@@ -2,15 +2,27 @@
 //! retries with seeded backoff, per-call deadlines, a whole-fan-out
 //! budget, and a circuit breaker per source.
 //!
+//! Fan-outs run on a **persistent worker pool**: one long-lived worker
+//! thread per source (so each source's calls have an affinity home) plus
+//! a small shared overflow crew that absorbs spill when a source's
+//! worker is busy. Enqueueing a job is two atomic operations and a
+//! channel send — no thread spawn per call, which matters when the
+//! pipeline issues many fan-outs per recommendation.
+//!
 //! The design goal is that one stalled or dying source can never take a
 //! recommendation down: per-source failures become per-source
-//! [`SourceOutcome`]s (including a panicking source implementation), and
+//! [`SourceOutcome`]s (including a panicking source implementation,
+//! contained by `catch_unwind` so the worker thread survives), and
 //! callers decide how much partial coverage they tolerate.
 
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
+use crossbeam::channel;
 use minaret_telemetry::Telemetry;
+use parking_lot::RwLock;
 
 use crate::clock::{Clock, SystemClock};
 use crate::error::SourceError;
@@ -24,8 +36,9 @@ use crate::spec::SourceKind;
 pub struct RegistryConfig {
     /// Retries per source call for retriable errors.
     pub max_retries: u32,
-    /// Whether to query sources concurrently (one thread per source, the
-    /// way a scraper overlaps network waits) or sequentially.
+    /// Whether to query sources concurrently (on the persistent worker
+    /// pool, the way a scraper overlaps network waits) or sequentially
+    /// on the calling thread (deterministic, for simulated-clock tests).
     pub concurrent: bool,
     /// Deadlines, backoff, and circuit-breaker policy. The default is
     /// fully disabled (immediate retries, no deadlines, no breaker);
@@ -125,107 +138,72 @@ impl FanOutReport {
     }
 }
 
-/// The set of scholarly sources MINARET queries, with uniform fan-out.
-///
-/// The registry mirrors the paper's design: six sources today, but
-/// "flexibly designed to include any further information from any
-/// additional scholarly resource" — `register` accepts anything
-/// implementing [`ScholarSource`].
-pub struct SourceRegistry {
-    sources: Vec<Arc<dyn ScholarSource>>,
-    breakers: Vec<CircuitBreaker>,
+/// The result of one **batched** interest fan-out
+/// ([`SourceRegistry::search_by_interests_report`]): per-label hits
+/// merged across sources, plus the same per-source outcome ledger as
+/// [`FanOutReport`]. One batched fan-out costs each source exactly one
+/// policy-governed call regardless of label count — the resilience
+/// accounting (deadline, budget, breaker, retries) applies once per
+/// source per batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchFanOutReport {
+    /// Hits per requested label, in input order. A label nobody
+    /// registered gets an empty vector. Within one label, profiles are
+    /// concatenated in source-registration order (deterministic).
+    pub by_label: Vec<(String, Vec<SourceProfile>)>,
+    /// One outcome per registered source, in registration order. A
+    /// failed source failed the *whole batch* — every label in it.
+    pub outcomes: Vec<SourceOutcome>,
+}
+
+impl BatchFanOutReport {
+    /// The per-source errors.
+    pub fn errors(&self) -> Vec<SourceError> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                SourceStatus::Failed(e) => Some(e.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total profiles across all labels (before any dedup).
+    pub fn profile_count(&self) -> usize {
+        self.by_label.iter().map(|(_, hits)| hits.len()).sum()
+    }
+}
+
+/// One registered source with its breaker — the unit a pool job works
+/// on. Cloning is cheap (two `Arc`s + a tag).
+#[derive(Clone)]
+struct SourceEntry {
+    source: Arc<dyn ScholarSource>,
+    breaker: Arc<CircuitBreaker>,
+    kind: SourceKind,
+}
+
+/// State shared between the registry handle and its pool workers:
+/// policy, telemetry, clock, and the call counters. Jobs capture this
+/// behind an `Arc`, which is what lets fan-out work move to long-lived
+/// threads instead of scoped borrows.
+struct RegistryShared {
     config: RegistryConfig,
     telemetry: Telemetry,
-    clock: Arc<dyn Clock>,
+    clock: RwLock<Arc<dyn Clock>>,
+    sources: RwLock<Vec<SourceEntry>>,
     calls: AtomicU64,
     retries: AtomicU64,
     gave_up: AtomicU64,
     timed_out: AtomicU64,
     short_circuited: AtomicU64,
+    /// Jobs enqueued on the pool but not yet started.
+    queue_depth: AtomicU64,
 }
 
-impl std::fmt::Debug for SourceRegistry {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SourceRegistry")
-            .field("sources", &self.kinds())
-            .finish()
-    }
-}
-
-impl SourceRegistry {
-    /// Creates an empty registry without telemetry.
-    pub fn new(config: RegistryConfig) -> Self {
-        Self::with_telemetry(config, Telemetry::disabled())
-    }
-
-    /// Creates an empty registry reporting per-source request, retry,
-    /// error, timeout, short-circuit, breaker-state and latency series
-    /// to `telemetry`.
-    pub fn with_telemetry(config: RegistryConfig, telemetry: Telemetry) -> Self {
-        Self {
-            sources: Vec::new(),
-            breakers: Vec::new(),
-            config,
-            telemetry,
-            clock: Arc::new(SystemClock::new()),
-            calls: AtomicU64::new(0),
-            retries: AtomicU64::new(0),
-            gave_up: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
-            short_circuited: AtomicU64::new(0),
-        }
-    }
-
-    /// Replaces the clock used for deadlines, backoff pauses, and
-    /// breaker cooldowns (share one [`crate::SimulatedClock`] with
-    /// scripted sources for deterministic tests).
-    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
-        self.clock = clock;
-        self
-    }
-
-    /// Adds a source (and its circuit breaker).
-    pub fn register(&mut self, source: Arc<dyn ScholarSource>) {
-        let kind = source.kind();
-        self.sources.push(source);
-        let breaker = CircuitBreaker::new(self.config.resilience.breaker);
-        self.note_breaker_state(kind.prefix(), BreakerState::Closed);
-        self.breakers.push(breaker);
-    }
-
-    /// The registered source kinds, in registration order.
-    pub fn kinds(&self) -> Vec<SourceKind> {
-        self.sources.iter().map(|s| s.kind()).collect()
-    }
-
-    /// Number of registered sources.
-    pub fn len(&self) -> usize {
-        self.sources.len()
-    }
-
-    /// True when no sources are registered.
-    pub fn is_empty(&self) -> bool {
-        self.sources.is_empty()
-    }
-
-    /// Call counters so far.
-    pub fn stats(&self) -> RegistryStats {
-        RegistryStats {
-            calls: self.calls.load(Ordering::Relaxed),
-            retries: self.retries.load(Ordering::Relaxed),
-            gave_up: self.gave_up.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            short_circuited: self.short_circuited.load(Ordering::Relaxed),
-        }
-    }
-
-    /// The current breaker state of `kind`'s source, or `None` when no
-    /// such source is registered. Reading rolls open → half-open if the
-    /// cooldown has elapsed.
-    pub fn breaker_state(&self, kind: SourceKind) -> Option<BreakerState> {
-        let idx = self.sources.iter().position(|s| s.kind() == kind)?;
-        let state = self.breakers[idx].state(self.clock.now_micros());
-        Some(state)
+impl RegistryShared {
+    fn clock(&self) -> Arc<dyn Clock> {
+        self.clock.read().clone()
     }
 
     /// Publishes a breaker state to the telemetry gauge.
@@ -235,25 +213,42 @@ impl SourceRegistry {
             .set(state.gauge_value());
     }
 
+    fn note_enqueue(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::AcqRel) + 1;
+        self.telemetry
+            .gauge("minaret_pool_queue_depth", &[])
+            .set(depth as i64);
+    }
+
+    fn note_dequeue(&self) {
+        let depth = self.queue_depth.fetch_sub(1, Ordering::AcqRel) - 1;
+        self.telemetry
+            .gauge("minaret_pool_queue_depth", &[])
+            .set(depth as i64);
+    }
+
     /// Runs `op` against one source with the retry, deadline, backoff,
     /// and breaker policy. Returns the result and the number of calls
-    /// actually issued.
+    /// actually issued. For a batched operation this runs **once for the
+    /// whole batch**: one deadline, one retry ladder, one breaker
+    /// verdict, regardless of how many labels the batch carries.
     fn call_with_policy<T>(
         &self,
-        index: usize,
-        kind: SourceKind,
+        entry: &SourceEntry,
         fanout_deadline: Option<u64>,
         op: impl Fn() -> Result<T, SourceError>,
     ) -> (Result<T, SourceError>, u32) {
+        let kind = entry.kind;
         let source_label = kind.prefix();
-        let breaker = &self.breakers[index];
+        let breaker = entry.breaker.as_ref();
         let policy = &self.config.resilience;
-        let started = self.clock.now_micros();
+        let clock = self.clock();
+        let started = clock.now_micros();
         let mut attempts = 0u32;
         let mut last_err = None;
         let result = 'attempts: {
             for attempt in 0..=self.config.max_retries {
-                let now = self.clock.now_micros();
+                let now = clock.now_micros();
                 if !breaker.allow(now) {
                     self.short_circuited.fetch_add(1, Ordering::Relaxed);
                     self.telemetry
@@ -277,10 +272,10 @@ impl SourceRegistry {
                 self.telemetry
                     .counter("minaret_source_requests_total", &[("source", source_label)])
                     .inc();
-                let call_started = self.clock.now_micros();
+                let call_started = clock.now_micros();
                 let mut outcome = op();
                 if policy.call_deadline_micros > 0 {
-                    let elapsed = self.clock.now_micros().saturating_sub(call_started);
+                    let elapsed = clock.now_micros().saturating_sub(call_started);
                     if elapsed > policy.call_deadline_micros {
                         // Even a success that arrives after the deadline
                         // is useless — a real HTTP client would have hung
@@ -292,7 +287,7 @@ impl SourceRegistry {
                         outcome = Err(SourceError::DeadlineExceeded { source: kind });
                     }
                 }
-                let after_call = self.clock.now_micros();
+                let after_call = clock.now_micros();
                 match outcome {
                     Ok(v) => {
                         breaker.record_success();
@@ -323,7 +318,7 @@ impl SourceRegistry {
                                     break 'attempts Err(self.budget_exhausted(source_label, kind));
                                 }
                             }
-                            self.clock.sleep_micros(delay);
+                            clock.sleep_micros(delay);
                             last_err = Some(e);
                         } else {
                             if e.is_retriable() {
@@ -344,7 +339,7 @@ impl SourceRegistry {
         };
         self.telemetry
             .histogram("minaret_source_call_micros", &[("source", source_label)])
-            .observe(self.clock.now_micros().saturating_sub(started));
+            .observe(clock.now_micros().saturating_sub(started));
         (result, attempts)
     }
 
@@ -381,70 +376,369 @@ impl SourceRegistry {
             )
             .inc();
     }
+}
 
-    /// Fans a query out to every source and collects per-source
-    /// outcomes. Sources for which `applies` is false are skipped
-    /// without a call.
-    ///
-    /// Per-source failures (after retries) are per-source outcomes, not
-    /// fatal — a scraper that loses one site still recommends from the
-    /// other five. That includes a source whose thread panics: the panic
-    /// is caught at the join and converted into a per-source
-    /// [`SourceError::Internal`], so the siblings still merge.
-    fn fan_out(
-        &self,
-        applies: impl Fn(&dyn ScholarSource) -> bool + Sync,
-        call: impl Fn(&dyn ScholarSource) -> Result<Vec<SourceProfile>, SourceError> + Sync,
-    ) -> FanOutReport {
-        let budget = self.config.resilience.fanout_budget_micros;
-        let fanout_deadline = (budget > 0).then(|| self.clock.now_micros().saturating_add(budget));
-        // One slot per source: None when `applies` skipped it, otherwise
-        // the call result plus the attempt count.
-        type Slot = Option<(Result<Vec<SourceProfile>, SourceError>, u32)>;
-        let results: Vec<(SourceKind, Slot)> = if self.config.concurrent {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = self
-                    .sources
-                    .iter()
-                    .enumerate()
-                    .map(|(i, s)| {
-                        let s = s.clone();
-                        let applies = &applies;
-                        let call = &call;
-                        let kind = s.kind();
-                        let handle = scope.spawn(move || {
-                            applies(s.as_ref()).then(|| {
-                                self.call_with_policy(i, kind, fanout_deadline, || call(s.as_ref()))
-                            })
-                        });
-                        (kind, i, handle)
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|(kind, i, h)| match h.join() {
-                        Ok(r) => (kind, r),
-                        Err(payload) => (kind, Some((Err(self.note_panic(i, kind, payload)), 1))),
-                    })
-                    .collect()
-            })
-        } else {
-            self.sources
-                .iter()
-                .enumerate()
-                .map(|(i, s)| {
-                    let kind = s.kind();
-                    let result = applies(s.as_ref()).then(|| {
-                        self.call_with_policy(i, kind, fanout_deadline, || call(s.as_ref()))
-                    });
-                    (kind, result)
-                })
-                .collect()
+/// Converts a caught panic payload into a per-source error. The breaker
+/// records the failure downstream in `call_with_policy` (an `Internal`
+/// error is a service fault), so a source that keeps panicking trips its
+/// breaker exactly like one that keeps erroring.
+fn panic_to_error(kind: SourceKind, payload: Box<dyn std::any::Any + Send>) -> SourceError {
+    let detail = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "source thread panicked".to_string());
+    SourceError::Internal {
+        source: kind,
+        detail,
+    }
+}
+
+/// Runs a source call with panic containment: a panicking source
+/// implementation becomes a per-source [`SourceError::Internal`] and the
+/// (persistent) worker thread survives to serve the next job.
+fn guarded_call<T>(
+    entry: &SourceEntry,
+    call: &(dyn Fn(&dyn ScholarSource) -> Result<T, SourceError> + Send + Sync),
+) -> Result<T, SourceError> {
+    match std::panic::catch_unwind(AssertUnwindSafe(|| call(entry.source.as_ref()))) {
+        Ok(result) => result,
+        Err(payload) => Err(panic_to_error(entry.kind, payload)),
+    }
+}
+
+/// A unit of fan-out work shipped to a pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The per-fan-out source call, shared across every pool job it spawns.
+type SharedCall<T> = Arc<dyn Fn(&dyn ScholarSource) -> Result<T, SourceError> + Send + Sync>;
+
+/// How many shared overflow workers drain spill from busy per-source
+/// workers. Bounds cross-fan-out parallelism at `sources + OVERFLOW`.
+const OVERFLOW_WORKERS: usize = 4;
+
+struct PoolWorker {
+    tx: channel::Sender<Job>,
+    /// 0 = idle; 1 = a job is queued or running on the affinity queue.
+    busy: Arc<AtomicU64>,
+}
+
+/// The persistent worker pool: one long-lived thread per source known at
+/// spawn time, plus [`OVERFLOW_WORKERS`] shared threads. Spawned lazily
+/// on the first concurrent fan-out (sequential registries never pay for
+/// threads) and shut down when the registry drops.
+struct WorkerPool {
+    workers: Vec<PoolWorker>,
+    overflow_tx: Option<channel::Sender<Job>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    fn spawn(per_source: usize) -> Self {
+        let mut workers = Vec::with_capacity(per_source);
+        let mut handles = Vec::new();
+        let run = |job: Job| {
+            // Belt to `guarded_call`'s braces: nothing a job does may
+            // kill its worker.
+            let _ = std::panic::catch_unwind(AssertUnwindSafe(job));
         };
+        for i in 0..per_source {
+            let (tx, rx) = channel::unbounded::<Job>();
+            let busy = Arc::new(AtomicU64::new(0));
+            let worker_busy = busy.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("minaret-source-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        run(job);
+                        worker_busy.store(0, Ordering::Release);
+                    }
+                })
+                .expect("spawn source worker");
+            handles.push(handle);
+            workers.push(PoolWorker { tx, busy });
+        }
+        let (overflow_tx, overflow_rx) = channel::unbounded::<Job>();
+        for i in 0..OVERFLOW_WORKERS {
+            let rx = overflow_rx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("minaret-overflow-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        run(job);
+                    }
+                })
+                .expect("spawn overflow worker");
+            handles.push(handle);
+        }
+        Self {
+            workers,
+            overflow_tx: Some(overflow_tx),
+            handles,
+        }
+    }
+
+    /// Routes a job: the source's own worker when idle, the shared
+    /// overflow queue when busy (so one slow source never serializes
+    /// unrelated fan-outs behind it), inline as a last resort during
+    /// shutdown races.
+    fn enqueue(&self, index: usize, job: Job) {
+        if let Some(worker) = self.workers.get(index) {
+            if worker
+                .busy
+                .compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                match worker.tx.send(job) {
+                    Ok(()) => return,
+                    Err(channel::SendError(job)) => {
+                        worker.busy.store(0, Ordering::Release);
+                        return self.send_overflow(job);
+                    }
+                }
+            }
+        }
+        self.send_overflow(job);
+    }
+
+    fn send_overflow(&self, job: Job) {
+        let Some(tx) = &self.overflow_tx else {
+            job();
+            return;
+        };
+        // A disconnected overflow queue (pool mid-drop) degrades to
+        // inline execution rather than losing the reply.
+        if let Err(channel::SendError(job)) = tx.send(job) {
+            job();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Dropping every sender disconnects the channels; workers drain
+        // their queues and exit. Join for a clean shutdown.
+        self.workers.clear();
+        self.overflow_tx = None;
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One slot per source: `None` when `applies` skipped it, otherwise the
+/// call result plus the attempt count.
+type Slot<T> = Option<(Result<T, SourceError>, u32)>;
+
+/// The set of scholarly sources MINARET queries, with uniform fan-out.
+///
+/// The registry mirrors the paper's design: six sources today, but
+/// "flexibly designed to include any further information from any
+/// additional scholarly resource" — `register` accepts anything
+/// implementing [`ScholarSource`].
+pub struct SourceRegistry {
+    shared: Arc<RegistryShared>,
+    pool: OnceLock<WorkerPool>,
+}
+
+impl std::fmt::Debug for SourceRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SourceRegistry")
+            .field("sources", &self.kinds())
+            .finish()
+    }
+}
+
+impl SourceRegistry {
+    /// Creates an empty registry without telemetry.
+    pub fn new(config: RegistryConfig) -> Self {
+        Self::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Creates an empty registry reporting per-source request, retry,
+    /// error, timeout, short-circuit, breaker-state, pool-queue-depth,
+    /// batch-size and latency series to `telemetry`.
+    pub fn with_telemetry(config: RegistryConfig, telemetry: Telemetry) -> Self {
+        Self {
+            shared: Arc::new(RegistryShared {
+                config,
+                telemetry,
+                clock: RwLock::new(Arc::new(SystemClock::new())),
+                sources: RwLock::new(Vec::new()),
+                calls: AtomicU64::new(0),
+                retries: AtomicU64::new(0),
+                gave_up: AtomicU64::new(0),
+                timed_out: AtomicU64::new(0),
+                short_circuited: AtomicU64::new(0),
+                queue_depth: AtomicU64::new(0),
+            }),
+            pool: OnceLock::new(),
+        }
+    }
+
+    /// Replaces the clock used for deadlines, backoff pauses, and
+    /// breaker cooldowns (share one [`crate::SimulatedClock`] with
+    /// scripted sources for deterministic tests).
+    pub fn with_clock(self, clock: Arc<dyn Clock>) -> Self {
+        *self.shared.clock.write() = clock;
+        self
+    }
+
+    /// Adds a source (and its circuit breaker). Sources registered after
+    /// the first concurrent fan-out still work — their jobs run on the
+    /// shared overflow workers instead of a dedicated thread.
+    pub fn register(&mut self, source: Arc<dyn ScholarSource>) {
+        let kind = source.kind();
+        let breaker = Arc::new(CircuitBreaker::new(self.shared.config.resilience.breaker));
+        self.shared
+            .note_breaker_state(kind.prefix(), BreakerState::Closed);
+        self.shared.sources.write().push(SourceEntry {
+            source,
+            breaker,
+            kind,
+        });
+    }
+
+    /// The registered source kinds, in registration order.
+    pub fn kinds(&self) -> Vec<SourceKind> {
+        self.shared.sources.read().iter().map(|e| e.kind).collect()
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.shared.sources.read().len()
+    }
+
+    /// True when no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shared.sources.read().is_empty()
+    }
+
+    /// Call counters so far.
+    pub fn stats(&self) -> RegistryStats {
+        RegistryStats {
+            calls: self.shared.calls.load(Ordering::Relaxed),
+            retries: self.shared.retries.load(Ordering::Relaxed),
+            gave_up: self.shared.gave_up.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+            short_circuited: self.shared.short_circuited.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The current breaker state of `kind`'s source, or `None` when no
+    /// such source is registered. Reading rolls open → half-open if the
+    /// cooldown has elapsed.
+    pub fn breaker_state(&self, kind: SourceKind) -> Option<BreakerState> {
+        let sources = self.shared.sources.read();
+        let entry = sources.iter().find(|e| e.kind == kind)?;
+        Some(entry.breaker.state(self.shared.clock().now_micros()))
+    }
+
+    /// The worker pool, spawned on first use with one worker per source
+    /// registered at that moment.
+    fn pool(&self) -> &WorkerPool {
+        self.pool
+            .get_or_init(|| WorkerPool::spawn(self.shared.sources.read().len()))
+    }
+
+    /// Fans a query out to every source and collects per-source slots in
+    /// registration order. Sources for which `applies` is false are
+    /// skipped without a call.
+    ///
+    /// Per-source failures (after retries) are per-source results, not
+    /// fatal — a scraper that loses one site still recommends from the
+    /// other five. That includes a source whose implementation panics:
+    /// the panic is caught around the call and converted into a
+    /// per-source [`SourceError::Internal`], so the siblings still merge
+    /// and the pool worker survives.
+    fn fan_out<T, A, C>(&self, applies: A, call: C) -> Vec<(SourceKind, Slot<T>)>
+    where
+        T: Send + 'static,
+        A: Fn(&dyn ScholarSource) -> bool,
+        C: Fn(&dyn ScholarSource) -> Result<T, SourceError> + Send + Sync + 'static,
+    {
+        let shared = &self.shared;
+        let budget = shared.config.resilience.fanout_budget_micros;
+        let fanout_deadline =
+            (budget > 0).then(|| shared.clock().now_micros().saturating_add(budget));
+        let entries: Vec<SourceEntry> = shared.sources.read().clone();
+        let applicable: Vec<bool> = entries.iter().map(|e| applies(e.source.as_ref())).collect();
+        let mut slots: Vec<(SourceKind, Slot<T>)> =
+            entries.iter().map(|e| (e.kind, None)).collect();
+
+        if !shared.config.concurrent {
+            for (i, entry) in entries.iter().enumerate() {
+                if applicable[i] {
+                    slots[i].1 =
+                        Some(shared.call_with_policy(entry, fanout_deadline, || {
+                            guarded_call(entry, &call)
+                        }));
+                }
+            }
+            return slots;
+        }
+
+        let pool = self.pool();
+        let call: SharedCall<T> = Arc::new(call);
+        let (reply_tx, reply_rx) = channel::unbounded::<(usize, (Result<T, SourceError>, u32))>();
+        let mut expected = 0usize;
+        for (i, entry) in entries.iter().enumerate() {
+            if !applicable[i] {
+                continue;
+            }
+            expected += 1;
+            let shared = Arc::clone(shared);
+            let entry = entry.clone();
+            let call = Arc::clone(&call);
+            let reply_tx = reply_tx.clone();
+            shared.note_enqueue();
+            pool.enqueue(
+                i,
+                Box::new(move || {
+                    shared.note_dequeue();
+                    let result = shared.call_with_policy(&entry, fanout_deadline, || {
+                        guarded_call(&entry, call.as_ref())
+                    });
+                    let _ = reply_tx.send((i, result));
+                }),
+            );
+        }
+        drop(reply_tx);
+        let mut received = 0usize;
+        while received < expected {
+            match reply_rx.recv() {
+                Ok((i, result)) => {
+                    slots[i].1 = Some(result);
+                    received += 1;
+                }
+                // All job-held senders dropped before every reply landed:
+                // a job died without replying. Mark the stragglers failed
+                // rather than hanging or mislabelling them as skipped.
+                Err(_) => break,
+            }
+        }
+        if received < expected {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                if applicable[i] && slot.1.is_none() {
+                    slot.1 = Some((
+                        Err(SourceError::Internal {
+                            source: slot.0,
+                            detail: "source worker disappeared mid-fan-out".to_string(),
+                        }),
+                        0,
+                    ));
+                }
+            }
+        }
+        slots
+    }
+
+    /// Folds fan-out slots into the merged-profile report shape.
+    fn collect_profile_report(slots: Vec<(SourceKind, Slot<Vec<SourceProfile>>)>) -> FanOutReport {
         let mut profiles = Vec::new();
         let mut outcomes = Vec::new();
-        for (kind, result) in results {
-            let outcome = match result {
+        for (kind, slot) in slots {
+            let outcome = match slot {
                 None => SourceOutcome {
                     source: kind,
                     status: SourceStatus::Skipped,
@@ -469,38 +763,17 @@ impl SourceRegistry {
         FanOutReport { profiles, outcomes }
     }
 
-    /// Converts a panicked source thread into a per-source error: the
-    /// breaker records the failure and the siblings' results survive.
-    fn note_panic(
-        &self,
-        index: usize,
-        kind: SourceKind,
-        payload: Box<dyn std::any::Any + Send>,
-    ) -> SourceError {
-        let detail = payload
-            .downcast_ref::<&str>()
-            .map(|s| s.to_string())
-            .or_else(|| payload.downcast_ref::<String>().cloned())
-            .unwrap_or_else(|| "source thread panicked".to_string());
-        let source_label = kind.prefix();
-        let now = self.clock.now_micros();
-        self.breakers[index].record_failure(now);
-        self.note_breaker_state(source_label, self.breakers[index].state(now));
-        let err = SourceError::Internal {
-            source: kind,
-            detail,
-        };
-        self.note_error(source_label, &err);
-        err
-    }
-
     /// Searches all sources by scholar name, with per-source outcomes.
     pub fn search_by_name_report(&self, name: &str) -> FanOutReport {
-        let started = self.clock.now_micros();
-        let report = self.fan_out(|_| true, |s| s.search_by_name(name));
-        self.telemetry
+        let clock = self.shared.clock();
+        let started = clock.now_micros();
+        let name = name.to_string();
+        let report =
+            Self::collect_profile_report(self.fan_out(|_| true, move |s| s.search_by_name(&name)));
+        self.shared
+            .telemetry
             .histogram("minaret_fanout_micros", &[("query", "name")])
-            .observe(self.clock.now_micros().saturating_sub(started));
+            .observe(clock.now_micros().saturating_sub(started));
         report
     }
 
@@ -516,14 +789,17 @@ impl SourceRegistry {
     /// [`SourceStatus::Skipped`] (their absence is expected, not an
     /// error condition).
     pub fn search_by_interest_report(&self, keyword: &str) -> FanOutReport {
-        let started = self.clock.now_micros();
-        let report = self.fan_out(
+        let clock = self.shared.clock();
+        let started = clock.now_micros();
+        let keyword = keyword.to_string();
+        let report = Self::collect_profile_report(self.fan_out(
             |s| s.supports_interest_search(),
-            |s| s.search_by_interest(keyword),
-        );
-        self.telemetry
+            move |s| s.search_by_interest(&keyword),
+        ));
+        self.shared
+            .telemetry
             .histogram("minaret_fanout_micros", &[("query", "interest")])
-            .observe(self.clock.now_micros().saturating_sub(started));
+            .observe(clock.now_micros().saturating_sub(started));
         report
     }
 
@@ -532,6 +808,68 @@ impl SourceRegistry {
         let report = self.search_by_interest_report(keyword);
         let errors = report.errors();
         (report.profiles, errors)
+    }
+
+    /// Issues the whole label set as **one batched fan-out**: every
+    /// interest-capable source receives one
+    /// [`ScholarSource::search_by_interests`] call carrying all labels,
+    /// under one application of the resilience policy (deadline, budget,
+    /// breaker, retries). This is the per-`recommend()` retrieval path —
+    /// one fan-out regardless of how many labels expansion produced,
+    /// where the per-label API would pay `labels × sources` policed
+    /// calls and as many fan-out latencies.
+    pub fn search_by_interests_report(&self, labels: &[String]) -> BatchFanOutReport {
+        let clock = self.shared.clock();
+        let started = clock.now_micros();
+        self.shared
+            .telemetry
+            .histogram("minaret_batch_labels", &[])
+            .observe(labels.len() as u64);
+        let query: Vec<String> = labels.to_vec();
+        let slots = self.fan_out(
+            |s| s.supports_interest_search(),
+            move |s| s.search_by_interests(&query),
+        );
+        let index_of: HashMap<&str, usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.as_str(), i))
+            .collect();
+        let mut by_label: Vec<(String, Vec<SourceProfile>)> =
+            labels.iter().map(|l| (l.clone(), Vec::new())).collect();
+        let mut outcomes = Vec::new();
+        for (kind, slot) in slots {
+            let outcome = match slot {
+                None => SourceOutcome {
+                    source: kind,
+                    status: SourceStatus::Skipped,
+                    attempts: 0,
+                },
+                Some((Ok(pairs), attempts)) => {
+                    for (label, mut hits) in pairs {
+                        if let Some(&i) = index_of.get(label.as_str()) {
+                            by_label[i].1.append(&mut hits);
+                        }
+                    }
+                    SourceOutcome {
+                        source: kind,
+                        status: SourceStatus::Ok,
+                        attempts,
+                    }
+                }
+                Some((Err(e), attempts)) => SourceOutcome {
+                    source: kind,
+                    status: SourceStatus::Failed(e),
+                    attempts,
+                },
+            };
+            outcomes.push(outcome);
+        }
+        self.shared
+            .telemetry
+            .histogram("minaret_fanout_micros", &[("query", "interest_batch")])
+            .observe(clock.now_micros().saturating_sub(started));
+        BatchFanOutReport { by_label, outcomes }
     }
 }
 
@@ -633,6 +971,189 @@ mod tests {
                     assert_eq!(o.status, SourceStatus::Skipped, "{:?}", o.source);
                     assert_eq!(o.attempts, 0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_interest_fanout_answers_every_label_in_order() {
+        let w = world();
+        let reg = full_registry(&w, true);
+        let mut labels: Vec<String> = w
+            .scholars()
+            .iter()
+            .take(5)
+            .map(|s| w.ontology.label(s.interests[0]).to_string())
+            .collect();
+        labels.dedup();
+        labels.push("no such research topic".to_string());
+        let report = reg.search_by_interests_report(&labels);
+        assert_eq!(report.by_label.len(), labels.len());
+        for ((got, hits), want) in report.by_label.iter().zip(&labels) {
+            assert_eq!(got, want, "label order must match the input");
+            for p in hits {
+                assert!(matches!(
+                    p.source,
+                    SourceKind::GoogleScholar | SourceKind::Publons
+                ));
+            }
+        }
+        assert!(report.by_label.last().unwrap().1.is_empty());
+        // Each interest-capable source paid exactly one call for the
+        // whole batch; the rest were skipped.
+        for o in &report.outcomes {
+            match o.source {
+                SourceKind::GoogleScholar | SourceKind::Publons => {
+                    assert_eq!(o.status, SourceStatus::Ok);
+                    assert_eq!(
+                        o.attempts, 1,
+                        "{:?} must answer the batch in one call",
+                        o.source
+                    );
+                }
+                _ => assert_eq!(o.status, SourceStatus::Skipped),
+            }
+        }
+        assert_eq!(reg.stats().calls, 2, "one call per capable source");
+    }
+
+    #[test]
+    fn batched_fanout_matches_per_label_fanouts() {
+        let w = world();
+        let reg_batched = full_registry(&w, true);
+        let reg_loop = full_registry(&w, false);
+        let labels: Vec<String> = w
+            .scholars()
+            .iter()
+            .take(8)
+            .map(|s| w.ontology.label(s.interests[0]).to_string())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let batch = reg_batched.search_by_interests_report(&labels);
+        for (label, hits) in &batch.by_label {
+            let single = reg_loop.search_by_interest_report(label);
+            assert_eq!(
+                hits, &single.profiles,
+                "batched hits for {label} diverge from the per-label fan-out"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_fanout_fails_the_whole_batch_for_a_dead_source() {
+        let w = world();
+        let mut reg = SourceRegistry::new(RegistryConfig {
+            max_retries: 1,
+            ..Default::default()
+        });
+        let mut gs = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        gs.latency_micros = 0;
+        reg.register(Arc::new(
+            SimulatedSource::new(gs, w.clone()).with_fault(FaultSchedule::PermanentOutage),
+        ));
+        let mut pb = SourceSpec::for_kind(SourceKind::Publons);
+        pb.latency_micros = 0;
+        reg.register(Arc::new(SimulatedSource::new(pb, w.clone())));
+        let labels: Vec<String> = (0..40).map(|i| format!("label {i}")).collect();
+        let report = reg.search_by_interests_report(&labels);
+        // One outcome per source — not one per label — so a dead source
+        // produces exactly one error for the whole 40-label batch.
+        assert_eq!(report.outcomes.len(), 2);
+        assert_eq!(report.errors().len(), 1);
+        assert!(matches!(
+            report.outcomes[0].status,
+            SourceStatus::Failed(SourceError::Transient { .. })
+        ));
+        assert_eq!(report.outcomes[1].status, SourceStatus::Ok);
+    }
+
+    #[test]
+    fn pool_queue_depth_returns_to_zero_and_batch_size_is_observed() {
+        let w = world();
+        let telemetry = minaret_telemetry::Telemetry::new();
+        let mut reg = SourceRegistry::with_telemetry(RegistryConfig::default(), telemetry.clone());
+        for spec in SourceSpec::all_defaults() {
+            reg.register(Arc::new(SimulatedSource::new(spec, w.clone())));
+        }
+        let labels: Vec<String> = (0..7).map(|i| format!("label {i}")).collect();
+        let _ = reg.search_by_interests_report(&labels);
+        let _ = reg.search_by_name_report(&w.scholars()[0].full_name());
+        let text = telemetry.encode_prometheus();
+        // Every enqueued job was dequeued before its reply landed, so
+        // after the fan-outs the gauge is back at zero.
+        assert!(
+            text.contains("minaret_pool_queue_depth 0"),
+            "queue depth must drain: {text}"
+        );
+        assert!(
+            text.contains("minaret_batch_labels_count 1"),
+            "batch size histogram must record the batched fan-out: {text}"
+        );
+        assert!(
+            text.contains("minaret_fanout_micros_count{query=\"interest_batch\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn pool_workers_survive_a_panicking_source_across_fanouts() {
+        struct PanickingSource;
+        impl ScholarSource for PanickingSource {
+            fn kind(&self) -> SourceKind {
+                SourceKind::Orcid
+            }
+            fn supports_interest_search(&self) -> bool {
+                false
+            }
+            fn search_by_name(&self, _name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+                panic!("scripted pool panic");
+            }
+            fn search_by_interest(
+                &self,
+                _keyword: &str,
+            ) -> Result<Vec<SourceProfile>, SourceError> {
+                Err(SourceError::Unsupported {
+                    source: SourceKind::Orcid,
+                    operation: "interest search",
+                })
+            }
+            fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+                Err(SourceError::NotFound {
+                    source: SourceKind::Orcid,
+                    key: key.to_string(),
+                })
+            }
+        }
+        let w = world();
+        let mut reg = SourceRegistry::new(RegistryConfig::default());
+        reg.register(Arc::new(SimulatedSource::new(
+            SourceSpec::for_kind(SourceKind::Dblp),
+            w.clone(),
+        )));
+        reg.register(Arc::new(PanickingSource));
+        let name = w.scholars()[0].full_name();
+        // The same long-lived worker serves every fan-out; three panics
+        // in a row must each be contained and the healthy sibling must
+        // keep answering.
+        for round in 0..3 {
+            let report = reg.search_by_name_report(&name);
+            let dblp = report
+                .outcomes
+                .iter()
+                .find(|o| o.source == SourceKind::Dblp)
+                .unwrap();
+            assert_eq!(dblp.status, SourceStatus::Ok, "round {round}");
+            let dead = report
+                .outcomes
+                .iter()
+                .find(|o| o.source == SourceKind::Orcid)
+                .unwrap();
+            match &dead.status {
+                SourceStatus::Failed(SourceError::Internal { detail, .. }) => {
+                    assert!(detail.contains("scripted pool panic"), "{detail}");
+                }
+                other => panic!("round {round}: expected internal error, got {other:?}"),
             }
         }
     }

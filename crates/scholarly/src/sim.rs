@@ -38,6 +38,31 @@ pub trait ScholarSource: Send + Sync {
     /// to retrieve candidate reviewers (§2.1).
     fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError>;
 
+    /// Answers a whole label set in one call, returning the hits per
+    /// label in input order. Retrieval is fundamentally a batched,
+    /// index-backed operation; issuing the expanded keyword set as one
+    /// request lets a source amortize its per-call cost across every
+    /// label instead of paying it per keyword.
+    ///
+    /// The default implementation loops [`search_by_interest`] per label
+    /// (propagating the first error), so third-party sources keep
+    /// working unchanged; sources with an interest index should override
+    /// it to pay their per-call cost once.
+    ///
+    /// [`search_by_interest`]: ScholarSource::search_by_interest
+    fn search_by_interests(
+        &self,
+        labels: &[String],
+    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
+        labels
+            .iter()
+            .map(|label| {
+                self.search_by_interest(label)
+                    .map(|hits| (label.clone(), hits))
+            })
+            .collect()
+    }
+
     /// Fetches one profile by its per-source key.
     fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError>;
 }
@@ -441,6 +466,38 @@ impl ScholarSource for SimulatedSource {
         Ok(ids.into_iter().map(|id| self.build_profile(id)).collect())
     }
 
+    /// One `pay_call` answers the whole batch: the interest index is
+    /// precomputed, so per-label lookups are free once the (simulated)
+    /// request cost is paid. This is the batched-retrieval win the
+    /// per-label default cannot express.
+    fn search_by_interests(
+        &self,
+        labels: &[String],
+    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
+        if !self.spec.supports_interest_search {
+            return Err(SourceError::Unsupported {
+                source: self.spec.kind,
+                operation: "search by research interest",
+            });
+        }
+        self.pay_call()?;
+        Ok(labels
+            .iter()
+            .map(|label| {
+                let needle = normalize_label(label);
+                let ids = self
+                    .interest_index
+                    .get(&needle)
+                    .cloned()
+                    .unwrap_or_default();
+                (
+                    label.clone(),
+                    ids.into_iter().map(|id| self.build_profile(id)).collect(),
+                )
+            })
+            .collect())
+    }
+
     fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
         self.pay_call()?;
         let id = self
@@ -587,6 +644,48 @@ mod tests {
     }
 
     #[test]
+    fn batched_interest_search_matches_per_label_results() {
+        let s = source(SourceKind::GoogleScholar);
+        let w = world();
+        let labels: Vec<String> = w
+            .scholars()
+            .iter()
+            .take(4)
+            .map(|sc| w.ontology.label(sc.interests[0]).to_string())
+            .collect();
+        let batched = s.search_by_interests(&labels).unwrap();
+        assert_eq!(batched.len(), labels.len());
+        for (label, hits) in &batched {
+            let single = s.search_by_interest(label).unwrap();
+            assert_eq!(hits, &single, "batched hits diverge for {label}");
+        }
+    }
+
+    #[test]
+    fn batched_interest_search_pays_one_call() {
+        // FailThenRecover{1}: the first call fails. A batched query over
+        // many labels must consume exactly one call-counter tick, so the
+        // second batch (and everything after) succeeds.
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), world())
+            .with_fault(FaultSchedule::FailThenRecover { failures: 1 });
+        let labels: Vec<String> = (0..10).map(|i| format!("label {i}")).collect();
+        assert!(s.search_by_interests(&labels).is_err(), "first call fails");
+        assert!(
+            s.search_by_interests(&labels).is_ok(),
+            "one batch = one call; the fault schedule must have advanced exactly once"
+        );
+    }
+
+    #[test]
+    fn batched_interest_search_rejected_by_incapable_source() {
+        let s = source(SourceKind::Dblp);
+        assert!(matches!(
+            s.search_by_interests(&["databases".to_string()]),
+            Err(SourceError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
     fn dblp_rejects_interest_search() {
         let s = source(SourceKind::Dblp);
         assert!(matches!(
@@ -606,22 +705,32 @@ mod tests {
             .generate(),
         );
         let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::Dblp), w.clone());
-        // Find a name shared by several scholars.
+        // Find a name shared by several scholars. Pick one where at least
+        // two holders are actually covered by this source — DBLP's
+        // coverage is partial, so an arbitrary colliding name might have
+        // only one covered holder.
         let mut counts: HashMap<String, Vec<ScholarId>> = HashMap::new();
         for sc in w.scholars() {
             counts.entry(sc.full_name()).or_default().push(sc.id);
         }
-        let (name, ids) = counts.iter().find(|(_, v)| v.len() >= 2).unwrap();
+        let (name, covered) = counts
+            .iter()
+            .filter(|(_, v)| v.len() >= 2)
+            .map(|(name, ids)| {
+                let covered: Vec<_> = ids
+                    .iter()
+                    .copied()
+                    .filter(|&id| s.fetch_profile(&s.key_for(id)).is_ok())
+                    .collect();
+                (name, covered)
+            })
+            .find(|(_, covered)| covered.len() >= 2)
+            .expect("collision sample too small");
         let hits = s.search_by_name(name).unwrap();
         // All covered holders of the name are returned.
         let got: std::collections::HashSet<ScholarId> = hits.iter().map(|p| p.truth).collect();
-        let covered: Vec<_> = ids
-            .iter()
-            .filter(|&&id| s.fetch_profile(&s.key_for(id)).is_ok())
-            .collect();
-        assert!(covered.len() >= 2, "collision sample too small");
         for id in covered {
-            assert!(got.contains(id));
+            assert!(got.contains(&id));
         }
     }
 

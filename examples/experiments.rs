@@ -73,6 +73,10 @@ fn main() {
         println!("{}", exp::run_e7(&[500, 1000, 2000, 5000], 4).report);
         ran += 1;
     }
+    if want("e7a") {
+        println!("{}", exp::run_e7_addendum(500, 6).report);
+        ran += 1;
+    }
     if want("e8") {
         println!("{}", exp::run_e8(800).report);
         ran += 1;
@@ -88,7 +92,7 @@ fn main() {
 
     if ran == 0 {
         eprintln!(
-            "unknown experiment id(s) {:?}; valid: f1 f2 f3 f4 f5 e1 e2 e3 e4 e5 e6 e7 e8 e9 e10",
+            "unknown experiment id(s) {:?}; valid: f1 f2 f3 f4 f5 e1 e2 e3 e4 e5 e6 e7 e7a e8 e9 e10",
             requested
         );
         std::process::exit(2);

@@ -1,0 +1,177 @@
+//! CI perf smoke for the batched-retrieval pipeline (E7 addendum).
+//!
+//! Two modes:
+//!
+//! - `--record` re-measures and writes the committed baseline,
+//!   `BENCH_e7_scalability.json`. Run it (release mode) after an
+//!   intentional performance change and commit the new file.
+//! - default (no flag) re-measures and **fails** (exit 1) when either
+//!   guard breaks:
+//!   1. batched retrieval of the full label set must stay at least
+//!      [`MIN_SPEEDUP`]x faster than per-label retrieval, and
+//!   2. the extraction phase of a multi-keyword recommendation must not
+//!      regress more than [`REGRESSION_HEADROOM`] over the baseline.
+//!
+//! Sources carry scraping-scale injected latency, so the measurement is
+//! dominated by round trips the registry schedules — not raw CPU — which
+//! keeps the check stable across machines. Minimum-of-N timing discards
+//! scheduler noise.
+
+use std::time::{Duration, Instant};
+
+use minaret::eval::harness::{EvalContext, ScenarioConfig};
+use minaret::json::{parse, Value};
+
+/// Committed baseline, resolved against the workspace root so the smoke
+/// works from any working directory.
+const BASELINE_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_e7_scalability.json");
+
+/// World size: small — the round trips, not profile assembly, should
+/// dominate.
+const SCHOLARS: usize = 200;
+
+/// Labels in the sweep set (the largest point of the e7 label sweep).
+const LABELS: usize = 80;
+
+/// Per-call injected source latency, in microseconds.
+const LATENCY_MICROS: u64 = 500;
+
+/// Timed repetitions; the minimum is kept.
+const RUNS: usize = 5;
+
+/// Batched retrieval must beat per-label retrieval by at least this
+/// factor (the PR's headline claim).
+const MIN_SPEEDUP: f64 = 2.0;
+
+/// Allowed extraction-time growth over the committed baseline.
+const REGRESSION_HEADROOM: f64 = 1.25;
+
+struct Measured {
+    per_label: Duration,
+    batched: Duration,
+    extraction: Duration,
+}
+
+fn min_of<F: FnMut() -> Duration>(runs: usize, mut f: F) -> Duration {
+    (0..runs).map(|_| f()).min().expect("runs >= 1")
+}
+
+fn measure() -> Measured {
+    let mut scenario = ScenarioConfig::sized(SCHOLARS);
+    scenario.source_latency_micros = LATENCY_MICROS;
+    let ctx = EvalContext::build(scenario);
+
+    let mut labels: Vec<String> = ctx
+        .ontology
+        .topics()
+        .map(|t| t.label.clone())
+        .take(LABELS)
+        .collect();
+    let mut filler = 0usize;
+    while labels.len() < LABELS {
+        labels.push(format!("synthetic topic {filler}"));
+        filler += 1;
+    }
+
+    let per_label = min_of(RUNS, || {
+        let t = Instant::now();
+        for label in &labels {
+            let _ = ctx.registry.search_by_interest_report(label);
+        }
+        t.elapsed()
+    });
+    let batched = min_of(RUNS, || {
+        let t = Instant::now();
+        let _ = ctx.registry.search_by_interests_report(&labels);
+        t.elapsed()
+    });
+
+    // Extraction phase of a multi-keyword manuscript: the end-to-end
+    // path the batching optimises (author verification fan-outs plus
+    // exactly one batched interest fan-out).
+    let sub = ctx.submissions(1, 0xE7).pop().expect("submission");
+    let mut manuscript = ctx.manuscript_for(&sub);
+    let mut topics = ctx.ontology.topics().map(|t| t.label.clone());
+    while manuscript.keywords.len() < 3 {
+        let label = topics.next().expect("curated ontology has topics");
+        if !manuscript.keywords.contains(&label) {
+            manuscript.keywords.push(label);
+        }
+    }
+    let extraction = min_of(RUNS, || {
+        let report = ctx
+            .minaret
+            .recommend(&manuscript)
+            .expect("smoke pipeline succeeds");
+        report.timings.extraction
+    });
+
+    Measured {
+        per_label,
+        batched,
+        extraction,
+    }
+}
+
+fn micros(d: Duration) -> u64 {
+    d.as_micros() as u64
+}
+
+fn main() {
+    let record = std::env::args().any(|a| a == "--record");
+    let m = measure();
+    let speedup = m.per_label.as_secs_f64() / m.batched.as_secs_f64().max(1e-9);
+    println!(
+        "perf smoke: per_label({LABELS})={:.2} ms  batched({LABELS})={:.2} ms  speedup={speedup:.1}x  extraction={:.2} ms",
+        m.per_label.as_secs_f64() * 1e3,
+        m.batched.as_secs_f64() * 1e3,
+        m.extraction.as_secs_f64() * 1e3,
+    );
+
+    if speedup < MIN_SPEEDUP {
+        eprintln!(
+            "FAIL: batched retrieval speedup {speedup:.2}x is below the required {MIN_SPEEDUP}x"
+        );
+        std::process::exit(1);
+    }
+
+    if record {
+        let json = Value::object()
+            .set("scholars", SCHOLARS)
+            .set("labels", LABELS)
+            .set("source_latency_micros", LATENCY_MICROS)
+            .set("runs", RUNS)
+            .set("per_label_micros", micros(m.per_label))
+            .set("batched_micros", micros(m.batched))
+            .set("speedup", speedup)
+            .set("extraction_micros", micros(m.extraction));
+        std::fs::write(BASELINE_PATH, json.to_pretty_string() + "\n")
+            .expect("baseline file is writable");
+        println!("recorded baseline to {BASELINE_PATH}");
+        return;
+    }
+
+    let raw = std::fs::read_to_string(BASELINE_PATH).unwrap_or_else(|e| {
+        eprintln!("FAIL: no committed baseline at {BASELINE_PATH} ({e}); run with --record first");
+        std::process::exit(1);
+    });
+    let baseline = parse(&raw).expect("baseline parses as JSON");
+    let base_extraction = baseline
+        .get("extraction_micros")
+        .and_then(|v| v.as_u64())
+        .expect("baseline has extraction_micros");
+    let budget = base_extraction as f64 * REGRESSION_HEADROOM;
+    let measured = micros(m.extraction) as f64;
+    if measured > budget {
+        eprintln!(
+            "FAIL: extraction {measured:.0} us exceeds baseline {base_extraction} us by more than {:.0}% \
+             (budget {budget:.0} us)",
+            (REGRESSION_HEADROOM - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: extraction {measured:.0} us within {:.0}% of baseline {base_extraction} us",
+        (REGRESSION_HEADROOM - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,263 @@
+//! Equivalence guarantees for the batched + parallel pipeline.
+//!
+//! PR goals under test: (1) one `recommend()` call performs exactly one
+//! registry fan-out regardless of how many labels keyword expansion
+//! produced — counted through an instrumented source; (2) the concurrent
+//! worker-pool registry plus parallel filter/rank produce **the same
+//! report** as the fully sequential path — same rankings with bitwise-
+//! equal scores, same filtered-out reasons, same degraded-source sets —
+//! across seeded worlds and scripted fault schedules.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use minaret::prelude::*;
+use minaret::scholarly::{ScholarSource, SourceError, SourceProfile};
+use minaret_synth::SubmissionGenerator;
+
+/// Wraps a source and counts how it is queried for interests: batched
+/// calls vs. legacy per-label calls.
+struct CountingSource {
+    inner: SimulatedSource,
+    batched: AtomicUsize,
+    single: AtomicUsize,
+}
+
+impl CountingSource {
+    fn new(inner: SimulatedSource) -> Self {
+        Self {
+            inner,
+            batched: AtomicUsize::new(0),
+            single: AtomicUsize::new(0),
+        }
+    }
+}
+
+impl ScholarSource for CountingSource {
+    fn kind(&self) -> SourceKind {
+        self.inner.kind()
+    }
+    fn supports_interest_search(&self) -> bool {
+        self.inner.supports_interest_search()
+    }
+    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        self.inner.search_by_name(name)
+    }
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        self.single.fetch_add(1, Ordering::Relaxed);
+        self.inner.search_by_interest(keyword)
+    }
+    fn search_by_interests(
+        &self,
+        labels: &[String],
+    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
+        self.batched.fetch_add(1, Ordering::Relaxed);
+        self.inner.search_by_interests(labels)
+    }
+    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+        self.inner.fetch_profile(key)
+    }
+}
+
+fn world(scholars: usize) -> Arc<World> {
+    Arc::new(WorldGenerator::new(WorldConfig::sized(scholars)).generate())
+}
+
+fn manuscript(world: &World, seed: u64) -> ManuscriptDetails {
+    let sub = SubmissionGenerator::new(world, seed).generate().unwrap();
+    ManuscriptDetails {
+        title: sub.title.clone(),
+        keywords: sub.keywords.clone(),
+        authors: sub
+            .authors
+            .iter()
+            .map(|&id| AuthorInput::named(world.scholar(id).full_name()))
+            .collect(),
+        target_venue: world.venue(sub.target_venue).name.clone(),
+    }
+}
+
+#[test]
+fn one_recommend_is_exactly_one_fanout() {
+    let world = world(250);
+    let mut registry = SourceRegistry::new(RegistryConfig::default());
+    let mut counters: Vec<Arc<CountingSource>> = Vec::new();
+    for spec in SourceSpec::all_defaults() {
+        let counting = Arc::new(CountingSource::new(SimulatedSource::new(
+            spec,
+            world.clone(),
+        )));
+        counters.push(counting.clone());
+        registry.register(counting);
+    }
+    let minaret = Minaret::new(
+        Arc::new(registry),
+        Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+        EditorConfig::default(),
+    );
+    let m = manuscript(&world, 23);
+    assert!(
+        m.keywords.len() >= 2,
+        "want a multi-keyword manuscript so expansion yields many labels"
+    );
+    minaret.recommend(&m).expect("pipeline succeeds");
+    for source in &counters {
+        let batched = source.batched.load(Ordering::Relaxed);
+        let single = source.single.load(Ordering::Relaxed);
+        assert_eq!(
+            single,
+            0,
+            "{:?} was queried per-label; retrieval must be batched",
+            source.kind()
+        );
+        if source.supports_interest_search() {
+            assert_eq!(
+                batched,
+                1,
+                "{:?} must see exactly one batched fan-out per recommend()",
+                source.kind()
+            );
+        } else {
+            assert_eq!(
+                batched,
+                0,
+                "{:?} does not support interest search",
+                source.kind()
+            );
+        }
+    }
+    // A second recommendation pays exactly one more fan-out.
+    minaret.recommend(&m).expect("pipeline succeeds");
+    for source in counters.iter().filter(|s| s.supports_interest_search()) {
+        assert_eq!(source.batched.load(Ordering::Relaxed), 2);
+    }
+}
+
+/// Serializes everything ranking-relevant about a report, with float
+/// scores rendered via `to_bits` so equality means *bitwise* equality.
+fn fingerprint(report: &RecommendationReport) -> Vec<String> {
+    let mut lines = vec![
+        format!("retrieved={}", report.candidates_retrieved),
+        format!("degraded={:?}", report.degraded_sources),
+        format!("errors={:?}", report.source_errors),
+    ];
+    for rec in &report.recommendations {
+        let b = &rec.breakdown;
+        lines.push(format!(
+            "rank {} {} total={:016x} cov={:016x} imp={:016x} rec={:016x} exp={:016x} fam={:016x} res={:016x}",
+            rec.rank,
+            rec.name,
+            rec.total.to_bits(),
+            b.coverage.to_bits(),
+            b.impact.to_bits(),
+            b.recency.to_bits(),
+            b.experience.to_bits(),
+            b.familiarity.to_bits(),
+            b.responsiveness.to_bits(),
+        ));
+    }
+    for (cand, reason) in &report.filtered_out {
+        lines.push(format!(
+            "filtered {} score={:016x} reason={:?}",
+            cand.merged.display_name,
+            cand.keyword_score.to_bits(),
+            reason
+        ));
+    }
+    lines
+}
+
+/// Builds a framework over all six sources with the given registry mode,
+/// filter/rank parallelism, and scripted faults. Fault schedules are
+/// stateful, so every variant gets its own freshly scripted registry.
+fn build(
+    world: &Arc<World>,
+    concurrent: bool,
+    parallelism: usize,
+    faults: &[(SourceKind, FaultSchedule)],
+) -> Minaret {
+    let mut registry = SourceRegistry::new(RegistryConfig {
+        concurrent,
+        ..Default::default()
+    });
+    for spec in SourceSpec::all_defaults() {
+        let kind = spec.kind;
+        let mut source = SimulatedSource::new(spec, world.clone());
+        if let Some((_, fault)) = faults.iter().find(|(k, _)| *k == kind) {
+            source = source.with_fault(*fault);
+        }
+        registry.register(Arc::new(source));
+    }
+    Minaret::new(
+        Arc::new(registry),
+        Arc::new(minaret_ontology::seed::curated_cs_ontology()),
+        EditorConfig::default(),
+    )
+    .with_parallelism(parallelism)
+}
+
+#[test]
+fn parallel_report_is_byte_identical_to_sequential_across_seeds() {
+    let world = world(300);
+    for seed in [1u64, 7, 23, 42] {
+        let m = manuscript(&world, seed);
+        let parallel = build(&world, true, 0, &[])
+            .recommend(&m)
+            .expect("parallel run succeeds");
+        let sequential = build(&world, false, 1, &[])
+            .recommend(&m)
+            .expect("sequential run succeeds");
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&sequential),
+            "seed {seed}: worker-pool + parallel filter/rank diverged from the sequential path"
+        );
+    }
+}
+
+#[test]
+fn parallel_report_is_byte_identical_under_scripted_faults() {
+    let world = world(300);
+    let scenarios: Vec<Vec<(SourceKind, FaultSchedule)>> = vec![
+        // A transient wobble, fully absorbed by retries.
+        vec![(
+            SourceKind::GoogleScholar,
+            FaultSchedule::FailThenRecover { failures: 2 },
+        )],
+        // A permanent outage: both variants must degrade identically.
+        vec![(SourceKind::Publons, FaultSchedule::PermanentOutage)],
+        // Mixed weather across several sources.
+        vec![
+            (
+                SourceKind::Dblp,
+                FaultSchedule::FailThenRecover { failures: 1 },
+            ),
+            (SourceKind::Publons, FaultSchedule::PermanentOutage),
+            (
+                SourceKind::Orcid,
+                FaultSchedule::FailThenRecover { failures: 2 },
+            ),
+        ],
+    ];
+    for (i, faults) in scenarios.iter().enumerate() {
+        let m = manuscript(&world, 17);
+        let parallel = build(&world, true, 0, faults)
+            .recommend(&m)
+            .expect("parallel run succeeds");
+        let sequential = build(&world, false, 1, faults)
+            .recommend(&m)
+            .expect("sequential run succeeds");
+        assert_eq!(
+            fingerprint(&parallel),
+            fingerprint(&sequential),
+            "fault scenario {i} diverged between parallel and sequential paths"
+        );
+        if faults
+            .iter()
+            .any(|(_, f)| matches!(f, FaultSchedule::PermanentOutage))
+        {
+            assert!(parallel.degraded, "scenario {i} should report degradation");
+            assert!(!parallel.source_errors.is_empty());
+        }
+    }
+}
