@@ -19,10 +19,19 @@ cargo test -q
 echo "==> fault injection: cargo test --test failure_injection"
 cargo test -q --test failure_injection
 
-echo "==> batched/parallel equivalence: cargo test --test batched_equivalence"
+echo "==> batched/parallel equivalence + zero-copy goldens: cargo test --test batched_equivalence"
 cargo test -q --test batched_equivalence
+
+echo "==> telemetry surface (incl. coalescing counter): cargo test --test metrics_endpoint"
+cargo test -q --test metrics_endpoint
+
+echo "==> single-flight coalescing: cargo test -p minaret-scholarly coalesc"
+cargo test -q -p minaret-scholarly coalesc
 
 echo "==> perf smoke: batched speedup + extraction vs BENCH_e7_scalability.json"
 cargo run -q --release --example perf_smoke
+
+echo "==> alloc smoke: warm-path allocations vs BENCH_e7_scalability.json (count-allocs)"
+cargo run -q --release --features count-allocs --example perf_smoke
 
 echo "CI OK"

@@ -1,0 +1,92 @@
+//! A counting global allocator for allocation-visible benchmarking.
+//!
+//! Wall-clock latency on a 1-CPU container is too noisy to gate small
+//! hot-path regressions, but allocation counts are exact and perfectly
+//! reproducible: the same code path performs the same number of heap
+//! allocations every run. The perf smoke (`examples/perf_smoke.rs`)
+//! installs [`CountingAllocator`] as the global allocator (behind the
+//! `alloc-count` feature) and reports allocations and bytes per
+//! warm-path recommendation, which `ci.sh` gates against the committed
+//! baseline.
+//!
+//! Counting is two relaxed atomic increments per allocation — cheap
+//! enough to leave on for a measurement binary, but not meant for
+//! production servers, hence the feature gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`GlobalAlloc`] wrapper around [`System`] that counts every
+/// allocation and allocated byte. Install with `#[global_allocator]`.
+///
+/// Reallocation growth counts as one allocation (the data moved), and
+/// frees are not subtracted — the counters measure allocator *traffic*,
+/// which is what costs time, not live-set size.
+pub struct CountingAllocator;
+
+// SAFETY: defers entirely to `System`; the counters are plain atomics
+// and never allocate themselves.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// A snapshot of the allocation counters, taken with [`snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AllocSnapshot {
+    allocs: u64,
+    bytes: u64,
+}
+
+impl AllocSnapshot {
+    /// Allocations performed since `earlier`.
+    pub fn allocs_since(&self, earlier: &AllocSnapshot) -> u64 {
+        self.allocs.wrapping_sub(earlier.allocs)
+    }
+
+    /// Bytes allocated since `earlier`.
+    pub fn bytes_since(&self, earlier: &AllocSnapshot) -> u64 {
+        self.bytes.wrapping_sub(earlier.bytes)
+    }
+}
+
+/// Reads the current counters. Meaningful only when
+/// [`CountingAllocator`] is installed as the global allocator;
+/// otherwise both deltas stay zero.
+#[must_use]
+pub fn snapshot() -> AllocSnapshot {
+    AllocSnapshot {
+        allocs: ALLOCS.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// True when the counters are live (i.e. the counting allocator is
+/// installed): performs a tiny allocation and checks the counter moved.
+#[must_use]
+pub fn is_counting() -> bool {
+    let before = snapshot();
+    let probe = vec![0u8; 1];
+    std::hint::black_box(&probe);
+    let after = snapshot();
+    after.allocs_since(&before) > 0
+}

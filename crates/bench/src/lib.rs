@@ -5,6 +5,9 @@
 //! here build the same world + sources + framework stack the evaluation
 //! harness uses, at bench-friendly sizes.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc;
+
 use std::sync::Arc;
 
 use minaret_core::{EditorConfig, ManuscriptDetails, Minaret};

@@ -10,7 +10,9 @@
 use minaret_disambig::evidence::token_jaccard;
 use minaret_disambig::name::parse_name;
 use minaret_ontology::normalize_label;
+use minaret_scholarly::intern;
 use minaret_scholarly::MergedCandidate;
+use std::sync::Arc;
 
 use crate::config::{AffiliationMatchLevel, CoiConfig};
 
@@ -122,10 +124,13 @@ pub fn check_coi(
 ) -> CoiVerdict {
     let mut reasons = Vec::new();
     let cand_name = parse_name(&candidate.display_name);
-    let cand_titles: Vec<String> = candidate
+    // Interned + memoized: the same candidate profiles recur across
+    // recommendations, so warm COI checks clone Arcs instead of
+    // re-normalizing every publication title.
+    let cand_titles: Vec<Arc<str>> = candidate
         .publications
         .iter()
-        .map(|p| normalize_label(&p.title))
+        .map(|p| intern::normalized(&p.title))
         .collect();
     let cand_coauthors: Vec<_> = candidate
         .publications
@@ -140,12 +145,12 @@ pub fn check_coi(
     for h in &candidate.affiliation_history {
         cand_institutions.push(h.institution.clone());
     }
-    let mut cand_countries: Vec<String> = Vec::new();
+    let mut cand_countries: Vec<Arc<str>> = Vec::new();
     if let Some(c) = &candidate.country {
-        cand_countries.push(normalize_label(c));
+        cand_countries.push(intern::normalized(c));
     }
     for h in &candidate.affiliation_history {
-        cand_countries.push(normalize_label(&h.country));
+        cand_countries.push(intern::normalized(&h.country));
     }
     cand_countries.sort();
     cand_countries.dedup();
@@ -176,9 +181,12 @@ pub fn check_coi(
             // Signal 2: they share a publication title — distinct sources
             // may list the same paper under each of them.
             let title_link = !author.publication_titles.is_empty()
-                && cand_titles
-                    .iter()
-                    .any(|t| author.publication_titles.contains(t));
+                && cand_titles.iter().any(|t| {
+                    author
+                        .publication_titles
+                        .iter()
+                        .any(|at| at.as_str() == t.as_ref())
+                });
             if name_link || title_link {
                 reasons.push(CoiReason::CoAuthorship {
                     author: author.name.clone(),
@@ -210,8 +218,10 @@ pub fn check_coi(
                         author: author.name.clone(),
                         institution: inst,
                     });
-                } else if let Some(country) =
-                    author.countries.iter().find(|c| cand_countries.contains(c))
+                } else if let Some(country) = author
+                    .countries
+                    .iter()
+                    .find(|c| cand_countries.iter().any(|cc| cc.as_ref() == c.as_str()))
                 {
                     reasons.push(CoiReason::SharedCountry {
                         author: author.name.clone(),
@@ -256,15 +266,15 @@ mod tests {
         }
     }
 
-    fn pub_with(title: &str, coauthors: &[&str]) -> SourcePublication {
-        SourcePublication {
+    fn pub_with(title: &str, coauthors: &[&str]) -> Arc<SourcePublication> {
+        Arc::new(SourcePublication {
             title: title.into(),
             year: 2016,
             venue_name: "J".into(),
             coauthor_names: coauthors.iter().map(|s| s.to_string()).collect(),
             keywords: vec![],
             citations: None,
-        }
+        })
     }
 
     #[test]

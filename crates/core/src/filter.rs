@@ -111,6 +111,7 @@ mod tests {
     use super::*;
     use crate::config::ExpertiseConstraints;
     use minaret_scholarly::{SourceMetrics, SourceReview};
+    use std::sync::Arc;
 
     fn candidate(name: &str) -> MergedCandidate {
         MergedCandidate {
@@ -125,12 +126,12 @@ mod tests {
                 h_index: Some(12),
                 i10_index: None,
             },
-            reviews: vec![SourceReview {
+            reviews: vec![Arc::new(SourceReview {
                 venue_name: "J".into(),
                 year: 2017,
                 turnaround_days: 20,
                 quality: Some(3),
-            }],
+            })],
             sources: vec![],
             keys: vec![],
             truths: vec![],

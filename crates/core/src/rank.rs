@@ -4,8 +4,9 @@
 
 use std::collections::HashMap;
 
-use minaret_ontology::normalize_label;
+use minaret_scholarly::intern;
 use minaret_scholarly::MergedCandidate;
+use std::sync::Arc;
 
 use crate::config::{EditorConfig, ImpactMetric, RankingWeights};
 
@@ -92,14 +93,17 @@ pub fn topic_coverage(candidate: &MergedCandidate, expansions: &[KeywordExpansio
     if expansions.is_empty() {
         return 0.0;
     }
-    let mut labels: Vec<String> = candidate
+    // Interned + memoized normalization: the same interests and keywords
+    // recur across every candidate of every recommendation, so the warm
+    // path clones `Arc<str>`s instead of re-allocating normalized strings.
+    let mut labels: Vec<Arc<str>> = candidate
         .interests
         .iter()
-        .map(|i| normalize_label(i))
+        .map(|i| intern::normalized(i))
         .collect();
     for p in &candidate.publications {
         for k in &p.keywords {
-            labels.push(normalize_label(k));
+            labels.push(intern::normalized(k));
         }
     }
     let total: f64 = expansions.iter().map(|e| e.best_match(labels.iter())).sum();
@@ -136,7 +140,7 @@ pub fn recency(
     for e in expansions {
         let mut best = 0.0f64;
         for p in &candidate.publications {
-            let sim = e.best_match(p.keywords.iter().map(|k| normalize_label(k)));
+            let sim = e.best_match(p.keywords.iter().map(|k| intern::normalized(k)));
             if sim <= 0.0 {
                 continue;
             }
@@ -158,19 +162,21 @@ pub fn review_experience(candidate: &MergedCandidate) -> f64 {
 /// it plus papers published in it (§2.3's two sub-components),
 /// log-scaled together.
 pub fn outlet_familiarity(candidate: &MergedCandidate, target_venue: &str) -> f64 {
-    let target = normalize_label(target_venue);
+    let target = intern::normalized(target_venue);
     if target.is_empty() {
         return 0.0;
     }
+    // Interned venue names make the match a pointer comparison on the
+    // warm path (the interner maps equal content to one Arc).
     let reviews_for = candidate
         .reviews
         .iter()
-        .filter(|r| normalize_label(&r.venue_name) == target)
+        .filter(|r| Arc::ptr_eq(&intern::normalized(&r.venue_name), &target))
         .count() as f64;
     let pubs_in = candidate
         .publications
         .iter()
-        .filter(|p| normalize_label(&p.venue_name) == target)
+        .filter(|p| Arc::ptr_eq(&intern::normalized(&p.venue_name), &target))
         .count() as f64;
     log_norm(reviews_for + pubs_in, FAMILIARITY_CAP)
 }
@@ -255,6 +261,7 @@ pub fn score_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use minaret_ontology::normalize_label;
     use minaret_scholarly::{SourceMetrics, SourcePublication, SourceReview};
     use proptest::prelude::*;
 
@@ -315,14 +322,14 @@ mod tests {
     fn coverage_counts_publication_keywords_too() {
         let expansions = vec![expansion("RDF", &[])];
         let mut c = with_interests(&[]);
-        c.publications.push(SourcePublication {
+        c.publications.push(Arc::new(SourcePublication {
             title: "t".into(),
             year: 2017,
             venue_name: "J".into(),
             coauthor_names: vec![],
             keywords: vec!["RDF".into()],
             citations: None,
-        });
+        }));
         assert!((topic_coverage(&c, &expansions) - 1.0).abs() < 1e-9);
     }
 
@@ -357,16 +364,16 @@ mod tests {
     fn recent_work_beats_old_work() {
         let expansions = vec![expansion("RDF", &[])];
         let mut fresh = with_interests(&[]);
-        fresh.publications.push(SourcePublication {
+        fresh.publications.push(Arc::new(SourcePublication {
             title: "new".into(),
             year: 2018,
             venue_name: "J".into(),
             coauthor_names: vec![],
             keywords: vec!["rdf".into()],
             citations: None,
-        });
+        }));
         let mut stale = fresh.clone();
-        stale.publications[0].year = 2005;
+        Arc::make_mut(&mut stale.publications[0]).year = 2005;
         let rf = recency(&fresh, &expansions, 2018, 5.0);
         let rs = recency(&stale, &expansions, 2018, 5.0);
         assert!(rf > rs);
@@ -387,20 +394,20 @@ mod tests {
         let mut a = with_interests(&[]);
         let mut b = with_interests(&[]);
         for i in 0..3 {
-            a.reviews.push(SourceReview {
+            a.reviews.push(Arc::new(SourceReview {
                 venue_name: format!("V{i}"),
                 year: 2016,
                 turnaround_days: 20,
                 quality: Some(3),
-            });
+            }));
         }
         for i in 0..30 {
-            b.reviews.push(SourceReview {
+            b.reviews.push(Arc::new(SourceReview {
                 venue_name: format!("V{i}"),
                 year: 2016,
                 turnaround_days: 20,
                 quality: Some(3),
-            });
+            }));
         }
         assert!(review_experience(&b) > review_experience(&a));
         assert!(review_experience(&a) > 0.0);
@@ -410,26 +417,26 @@ mod tests {
     #[test]
     fn familiarity_counts_reviews_and_pubs_for_target_only() {
         let mut c = with_interests(&[]);
-        c.reviews.push(SourceReview {
+        c.reviews.push(Arc::new(SourceReview {
             venue_name: "Journal of X".into(),
             year: 2017,
             turnaround_days: 15,
             quality: Some(3),
-        });
-        c.reviews.push(SourceReview {
+        }));
+        c.reviews.push(Arc::new(SourceReview {
             venue_name: "Other Venue".into(),
             year: 2017,
             turnaround_days: 15,
             quality: Some(3),
-        });
-        c.publications.push(SourcePublication {
+        }));
+        c.publications.push(Arc::new(SourcePublication {
             title: "t".into(),
             year: 2015,
             venue_name: "journal of x".into(),
             coauthor_names: vec![],
             keywords: vec![],
             citations: None,
-        });
+        }));
         let f = outlet_familiarity(&c, "Journal of X");
         assert!((f - log_norm(2.0, FAMILIARITY_CAP)).abs() < 1e-9);
         assert_eq!(outlet_familiarity(&c, "Nowhere"), 0.0);
@@ -478,19 +485,19 @@ mod tests {
     #[test]
     fn responsiveness_rewards_fast_recent_reviewers() {
         let mut fast = with_interests(&[]);
-        fast.reviews.push(SourceReview {
+        fast.reviews.push(Arc::new(SourceReview {
             venue_name: "J".into(),
             year: 2018,
             turnaround_days: 7,
             quality: Some(3),
-        });
+        }));
         let mut slow = with_interests(&[]);
-        slow.reviews.push(SourceReview {
+        slow.reviews.push(Arc::new(SourceReview {
             venue_name: "J".into(),
             year: 2018,
             turnaround_days: 90,
             quality: Some(3),
-        });
+        }));
         let rf = responsiveness(&fast, 2018);
         let rs = responsiveness(&slow, 2018);
         assert!(rf > rs, "fast {rf} vs slow {rs}");
@@ -504,14 +511,14 @@ mod tests {
     #[test]
     fn responsiveness_decays_with_idle_years() {
         let mut recent = with_interests(&[]);
-        recent.reviews.push(SourceReview {
+        recent.reviews.push(Arc::new(SourceReview {
             venue_name: "J".into(),
             year: 2018,
             turnaround_days: 7,
             quality: Some(3),
-        });
+        }));
         let mut dormant = recent.clone();
-        dormant.reviews[0].year = 2009;
+        Arc::make_mut(&mut dormant.reviews[0]).year = 2009;
         assert!(responsiveness(&recent, 2018) > responsiveness(&dormant, 2018));
     }
 

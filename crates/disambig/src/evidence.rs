@@ -128,13 +128,15 @@ mod tests {
             affiliation_history: vec![],
             interests: interests.iter().map(|s| s.to_string()).collect(),
             publications: (0..pubs)
-                .map(|i| minaret_scholarly::SourcePublication {
-                    title: format!("p{i}"),
-                    year: 2015,
-                    venue_name: "J".into(),
-                    coauthor_names: vec![],
-                    keywords: vec![],
-                    citations: None,
+                .map(|i| {
+                    std::sync::Arc::new(minaret_scholarly::SourcePublication {
+                        title: format!("p{i}"),
+                        year: 2015,
+                        venue_name: "J".into(),
+                        coauthor_names: vec![],
+                        keywords: vec![],
+                        citations: None,
+                    })
                 })
                 .collect(),
             metrics: SourceMetrics::default(),
@@ -172,7 +174,7 @@ mod tests {
     #[test]
     fn topical_overlap_counts_interests_and_pub_keywords() {
         let mut c = candidate("U", "X", &["semantic web"], 1);
-        c.publications[0].keywords = vec!["Big Data".into()];
+        std::sync::Arc::make_mut(&mut c.publications[0]).keywords = vec!["Big Data".into()];
         let kw = vec![
             "Semantic Web".to_string(),
             "big-data".to_string(),

@@ -5,6 +5,10 @@
 //! On-the-fly extraction is expensive; within one recommendation run the
 //! same profile is needed by several phases, so a per-run cache is the
 //! standard mitigation. Experiment E6 measures exactly what it buys.
+//!
+//! Entries are stored and returned as `Arc`-shared values: a cache hit is
+//! a shallow clone of a `Vec<Arc<SourceProfile>>` (pointer bumps), never a
+//! deep copy of the profiles themselves.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,9 +58,9 @@ impl CacheStats {
 pub struct CachingSource {
     inner: Arc<dyn ScholarSource>,
     telemetry: Telemetry,
-    by_name: RwLock<HashMap<String, Vec<SourceProfile>>>,
-    by_interest: RwLock<HashMap<String, Vec<SourceProfile>>>,
-    by_key: RwLock<HashMap<String, SourceProfile>>,
+    by_name: RwLock<HashMap<String, Vec<Arc<SourceProfile>>>>,
+    by_interest: RwLock<HashMap<Arc<str>, Vec<Arc<SourceProfile>>>>,
+    by_key: RwLock<HashMap<String, Arc<SourceProfile>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
@@ -74,6 +78,7 @@ impl std::fmt::Debug for CachingSource {
 
 impl CachingSource {
     /// Wraps `inner` with an empty cache and no telemetry.
+    #[must_use]
     pub fn new(inner: Arc<dyn ScholarSource>) -> Self {
         Self::with_telemetry(inner, Telemetry::disabled())
     }
@@ -81,6 +86,7 @@ impl CachingSource {
     /// Wraps `inner` with an empty cache reporting
     /// `minaret_cache_{hits,misses,errors,evictions}_total{source=...}`
     /// to `telemetry`.
+    #[must_use]
     pub fn with_telemetry(inner: Arc<dyn ScholarSource>, telemetry: Telemetry) -> Self {
         Self {
             inner,
@@ -159,7 +165,7 @@ impl ScholarSource for CachingSource {
         self.inner.supports_interest_search()
     }
 
-    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         if let Some(hit) = self.by_name.read().get(name) {
             self.on_hit();
             return Ok(hit.clone());
@@ -173,7 +179,7 @@ impl ScholarSource for CachingSource {
         Ok(result)
     }
 
-    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         if let Some(hit) = self.by_interest.read().get(keyword) {
             self.on_hit();
             return Ok(hit.clone());
@@ -183,7 +189,7 @@ impl ScholarSource for CachingSource {
         let result = result?;
         self.by_interest
             .write()
-            .insert(keyword.to_string(), result.clone());
+            .insert(crate::intern::intern(keyword), result.clone());
         Ok(result)
     }
 
@@ -192,17 +198,18 @@ impl ScholarSource for CachingSource {
     /// the cache, and only the missing ones go to the inner source — as
     /// one batch. Each cached label counts a hit, each fetched label a
     /// miss; a failed fetch-through counts one error and caches nothing,
-    /// so a later retry can still succeed.
+    /// so a later retry can still succeed — and labels already cached
+    /// before the failure stay cached.
     fn search_by_interests(
         &self,
-        labels: &[String],
-    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
-        let mut results: Vec<Option<Vec<SourceProfile>>> = Vec::with_capacity(labels.len());
-        let mut missing: Vec<String> = Vec::new();
+        labels: &[Arc<str>],
+    ) -> Result<crate::sim::LabeledHits, SourceError> {
+        let mut results: Vec<Option<Vec<Arc<SourceProfile>>>> = Vec::with_capacity(labels.len());
+        let mut missing: Vec<Arc<str>> = Vec::new();
         {
             let cache = self.by_interest.read();
             for label in labels {
-                match cache.get(label) {
+                match cache.get(label.as_ref()) {
                     Some(hit) => {
                         self.on_hit();
                         results.push(Some(hit.clone()));
@@ -218,13 +225,16 @@ impl ScholarSource for CachingSource {
             match self.inner.search_by_interests(&missing) {
                 Ok(fetched) => {
                     let mut cache = self.by_interest.write();
-                    let fetched_by_label: HashMap<String, Vec<SourceProfile>> =
+                    let fetched_by_label: HashMap<Arc<str>, Vec<Arc<SourceProfile>>> =
                         fetched.into_iter().collect();
                     for (label, slot) in labels.iter().zip(results.iter_mut()) {
                         if slot.is_none() {
                             // get, not remove: a duplicated input label
                             // must resolve both occurrences.
-                            let hits = fetched_by_label.get(label).cloned().unwrap_or_default();
+                            let hits = fetched_by_label
+                                .get(label.as_ref())
+                                .cloned()
+                                .unwrap_or_default();
                             self.misses.fetch_add(1, Ordering::Relaxed);
                             self.cache_counter("misses").inc();
                             cache.insert(label.clone(), hits.clone());
@@ -246,7 +256,7 @@ impl ScholarSource for CachingSource {
             .collect())
     }
 
-    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+    fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
         if let Some(hit) = self.by_key.read().get(key) {
             self.on_hit();
             return Ok(hit.clone());
@@ -262,6 +272,7 @@ impl ScholarSource for CachingSource {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern;
     use crate::sim::SimulatedSource;
     use crate::spec::SourceSpec;
     use minaret_synth::{WorldConfig, WorldGenerator};
@@ -281,6 +292,22 @@ mod tests {
         (CachingSource::new(src), world)
     }
 
+    fn world_labels(w: &minaret_synth::World, n: usize) -> Vec<Arc<str>> {
+        let mut labels: Vec<Arc<str>> = Vec::new();
+        for s in w.scholars() {
+            for &i in &s.interests {
+                let label = intern::intern(w.ontology.label(i));
+                if !labels.contains(&label) {
+                    labels.push(label);
+                }
+                if labels.len() == n {
+                    return labels;
+                }
+            }
+        }
+        labels
+    }
+
     #[test]
     fn repeat_queries_hit_the_cache() {
         let (c, w) = cached(SourceKind::GoogleScholar);
@@ -292,6 +319,21 @@ mod tests {
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 1);
         assert!((s.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_hits_share_profile_allocations() {
+        let (c, w) = cached(SourceKind::GoogleScholar);
+        let name = w.scholars()[0].full_name();
+        let a = c.search_by_name(&name).unwrap();
+        let b = c.search_by_name(&name).unwrap();
+        assert!(!a.is_empty());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!(
+                Arc::ptr_eq(x, y),
+                "a cache hit must be a shallow Arc clone, not a deep copy"
+            );
+        }
     }
 
     #[test]
@@ -335,12 +377,8 @@ mod tests {
     #[test]
     fn batched_search_serves_cached_labels_and_fetches_the_rest() {
         let (c, w) = cached(SourceKind::GoogleScholar);
-        let labels: Vec<String> = w
-            .scholars()
-            .iter()
-            .take(3)
-            .map(|s| w.ontology.label(s.interests[0]).to_string())
-            .collect();
+        let labels = world_labels(&w, 3);
+        assert_eq!(labels.len(), 3);
         // Warm one label through the single-label path.
         let warm = c.search_by_interest(&labels[0]).unwrap();
         assert_eq!(c.stats().misses, 1);
@@ -350,16 +388,78 @@ mod tests {
         assert_eq!(batch[0].1, warm);
         let s = c.stats();
         assert_eq!(s.hits, 1, "the warmed label must be a hit");
-        let distinct: std::collections::HashSet<&String> = labels.iter().collect();
-        assert_eq!(
-            s.misses as usize,
-            distinct.len(),
-            "only missing labels fetch"
-        );
+        assert_eq!(s.misses as usize, labels.len(), "only missing labels fetch");
         // A repeat batch is now fully cached.
         let again = c.search_by_interests(&labels).unwrap();
         assert_eq!(again, batch);
         assert_eq!(c.stats().hits as usize, 1 + labels.len());
+    }
+
+    #[test]
+    fn mixed_batch_preserves_input_order_and_counts_exactly() {
+        let (c, w) = cached(SourceKind::GoogleScholar);
+        let labels = world_labels(&w, 4);
+        assert_eq!(labels.len(), 4);
+        // Warm labels 1 and 3 so the batch interleaves hit/miss/hit/miss.
+        c.search_by_interest(&labels[1]).unwrap();
+        c.search_by_interest(&labels[3]).unwrap();
+        let mixed = vec![
+            labels[0].clone(),
+            labels[1].clone(),
+            labels[2].clone(),
+            labels[3].clone(),
+        ];
+        let batch = c.search_by_interests(&mixed).unwrap();
+        // Output order mirrors input order label-for-label, regardless of
+        // which labels were served from cache.
+        assert_eq!(batch.len(), mixed.len());
+        for (got, want) in batch.iter().zip(mixed.iter()) {
+            assert!(Arc::ptr_eq(&got.0, want), "labels echo in input order");
+        }
+        let s = c.stats();
+        assert_eq!(s.hits, 2, "two pre-warmed labels hit");
+        assert_eq!(s.misses, 2 + 2, "two warmups + two batch fetches");
+        assert_eq!(s.errors, 0);
+        // Cached hits are the same Arcs the single-label path returned.
+        let single = c.search_by_interest(&labels[1]).unwrap();
+        let batched = &batch[1].1;
+        assert_eq!(&single, batched);
+    }
+
+    #[test]
+    fn partial_miss_failure_leaves_cached_labels_intact() {
+        let world = Arc::new(
+            WorldGenerator::new(WorldConfig {
+                scholars: 100,
+                ..Default::default()
+            })
+            .generate(),
+        );
+        let labels = world_labels(&world, 2);
+        assert_eq!(labels.len(), 2);
+        let spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        // Alternating succeed/fail: call 0 succeeds, call 1 fails, ...
+        let flaky = Arc::new(SimulatedSource::new(spec, world).with_fault(
+            crate::sim::FaultSchedule::RateLimitBursts {
+                allowed: 1,
+                limited: 1,
+            },
+        ));
+        let c = CachingSource::new(flaky);
+        // Inner call 0 succeeds and caches label 0.
+        let cached_hits = c.search_by_interest(&labels[0]).unwrap();
+        // The batch hits label 0 in cache and fetches only label 1 —
+        // inner call 1, which is scripted to fail.
+        let before = c.stats();
+        assert!(c.search_by_interests(&labels).is_err());
+        let after = c.stats();
+        assert_eq!(after.errors, before.errors + 1, "one error for the batch");
+        assert_eq!(after.hits, before.hits + 1, "cached label still hits");
+        assert_eq!(after.misses, before.misses, "failure caches nothing");
+        // The previously cached label is still served from cache.
+        let again = c.search_by_interest(&labels[0]).unwrap();
+        assert_eq!(again, cached_hits);
+        assert_eq!(c.stats().hits, after.hits + 1);
     }
 
     #[test]
@@ -374,7 +474,7 @@ mod tests {
         let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
         spec.failure_rate = 1.0;
         let c = CachingSource::new(Arc::new(SimulatedSource::new(spec, world)));
-        let labels = vec!["databases".to_string(), "data mining".to_string()];
+        let labels = vec![intern::intern("databases"), intern::intern("data mining")];
         assert!(c.search_by_interests(&labels).is_err());
         let s = c.stats();
         assert_eq!(s.errors, 1, "one failed batch fetch-through = one error");

@@ -1,0 +1,159 @@
+//! String interning for the extraction hot path.
+//!
+//! The pipeline shuttles the same small vocabulary of strings — topic
+//! labels, normalized names, affiliations, merge keys — through every
+//! fan-out, cache lookup, and merge bucket of every recommendation.
+//! Interning maps each distinct string to one shared `Arc<str>` so the
+//! warm path clones pointers instead of re-allocating the bytes, and
+//! memoizes [`normalize_label`] so loops over interests and keywords pay
+//! the lowercase/collapse work once per distinct input instead of once
+//! per visit.
+//!
+//! The global interner never evicts: its vocabulary is bounded by the
+//! distinct labels, names, and affiliations the world exposes, which is
+//! exactly the working set a long-lived service wants resident. (Interned
+//! `Arc<str>` addresses are therefore stable for the process lifetime,
+//! which [`crate::merge`] relies on for its pointer-keyed merge-key
+//! memo.)
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, OnceLock};
+
+use minaret_ontology::normalize_label;
+use parking_lot::RwLock;
+
+/// A content-addressed store of shared strings plus a memo table for
+/// normalized forms. Thread-safe; reads (warm hits) take a shared lock.
+pub struct Interner {
+    strings: RwLock<HashSet<Arc<str>>>,
+    /// raw input -> interned `normalize_label(raw)`.
+    normalized: RwLock<HashMap<Arc<str>, Arc<str>>>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            strings: RwLock::new(HashSet::new()),
+            normalized: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The shared `Arc<str>` for `s`, allocating only on first sight.
+    pub fn intern(&self, s: &str) -> Arc<str> {
+        if let Some(hit) = self.strings.read().get(s) {
+            return hit.clone();
+        }
+        let mut strings = self.strings.write();
+        if let Some(hit) = strings.get(s) {
+            return hit.clone();
+        }
+        let arc: Arc<str> = Arc::from(s);
+        strings.insert(arc.clone());
+        arc
+    }
+
+    /// The interned [`normalize_label`] of `s`, memoized per distinct
+    /// raw input: warm calls are two hash lookups and zero allocations.
+    pub fn normalized(&self, s: &str) -> Arc<str> {
+        if let Some(hit) = self.normalized.read().get(s) {
+            return hit.clone();
+        }
+        let norm = self.intern(&normalize_label(s));
+        let raw = self.intern(s);
+        self.normalized
+            .write()
+            .entry(raw)
+            .or_insert_with(|| norm.clone());
+        norm
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.strings.read().len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.read().is_empty()
+    }
+}
+
+static GLOBAL: OnceLock<Interner> = OnceLock::new();
+
+/// The process-wide interner every pipeline component shares.
+#[must_use]
+pub fn global() -> &'static Interner {
+    GLOBAL.get_or_init(Interner::new)
+}
+
+/// Interns `s` in the [`global`] interner.
+pub fn intern(s: &str) -> Arc<str> {
+    global().intern(s)
+}
+
+/// Memoized, interned [`normalize_label`] via the [`global`] interner.
+pub fn normalized(s: &str) -> Arc<str> {
+    global().normalized(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_storage() {
+        let i = Interner::new();
+        let a = i.intern("semantic web");
+        let b = i.intern("semantic web");
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn distinct_strings_stay_distinct() {
+        let i = Interner::new();
+        let a = i.intern("semantic web");
+        let b = i.intern("big data");
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(i.len(), 2);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn normalized_matches_normalize_label_and_memoizes() {
+        let i = Interner::new();
+        let a = i.normalized("Big-Data");
+        assert_eq!(a.as_ref(), normalize_label("Big-Data"));
+        let b = i.normalized("Big-Data");
+        assert!(Arc::ptr_eq(&a, &b));
+        // A differently-spelled raw input converges on the same
+        // normalized Arc.
+        let c = i.normalized("big   data");
+        assert!(Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn normalized_of_already_normal_input_is_shared() {
+        let i = Interner::new();
+        let raw = i.intern("big data");
+        let norm = i.normalized("big data");
+        assert!(Arc::ptr_eq(&raw, &norm));
+    }
+
+    #[test]
+    fn global_interner_is_shared() {
+        let a = intern("global-intern-probe");
+        let b = intern("global-intern-probe");
+        assert!(Arc::ptr_eq(&a, &b));
+        let n = normalized("Global-Intern-Probe");
+        assert_eq!(n.as_ref(), "global intern probe");
+    }
+}

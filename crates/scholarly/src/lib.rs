@@ -42,6 +42,7 @@
 mod cache;
 mod clock;
 mod error;
+pub mod intern;
 mod merge;
 mod record;
 mod registry;
@@ -52,6 +53,7 @@ mod spec;
 pub use cache::{CacheStats, CachingSource};
 pub use clock::{Clock, SimulatedClock, SystemClock};
 pub use error::SourceError;
+pub use intern::Interner;
 pub use merge::{merge_profiles, MergedCandidate};
 pub use record::{
     AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
@@ -63,5 +65,5 @@ pub use registry::{
 pub use resilience::{
     BackoffConfig, BreakerConfig, BreakerState, CircuitBreaker, ResilienceConfig,
 };
-pub use sim::{FaultSchedule, ScholarSource, SimulatedSource};
+pub use sim::{FaultSchedule, LabeledHits, ProfileStore, ScholarSource, SimulatedSource};
 pub use spec::{SourceKind, SourceSpec};

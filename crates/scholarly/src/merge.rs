@@ -8,10 +8,12 @@
 //! that happens using the profiles' ground-truth labels.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
-use minaret_ontology::normalize_label;
 use minaret_synth::ScholarId;
+use parking_lot::RwLock;
 
+use crate::intern;
 use crate::record::{AffiliationRecord, SourceMetrics, SourceProfile, SourceReview};
 use crate::spec::SourceKind;
 
@@ -30,12 +32,13 @@ pub struct MergedCandidate {
     /// Union of research interests across sources (normalized, deduped).
     pub interests: Vec<String>,
     /// Union of publications, deduplicated by normalized title.
-    pub publications: Vec<crate::record::SourcePublication>,
+    /// `Arc`-shared with the source profiles that contributed them.
+    pub publications: Vec<Arc<crate::record::SourcePublication>>,
     /// Best available metrics (max across sources, since every source
     /// under-counts relative to the truth).
     pub metrics: SourceMetrics,
-    /// Union of review records.
-    pub reviews: Vec<SourceReview>,
+    /// Union of review records, `Arc`-shared like `publications`.
+    pub reviews: Vec<Arc<SourceReview>>,
     /// Which sources contributed.
     pub sources: Vec<SourceKind>,
     /// Per-source profile keys that were merged.
@@ -60,27 +63,47 @@ impl MergedCandidate {
     }
 }
 
-fn merge_key(p: &SourceProfile) -> String {
+/// Pointer-keyed memo for [`merge_key`]: interned `(name, affiliation)`
+/// pairs map to their interned composite key. The global interner never
+/// frees, so interned `Arc<str>` data addresses are stable and unique
+/// per content — a `(usize, usize)` address pair identifies the inputs
+/// without hashing their bytes, and a warm merge allocates nothing.
+type MergeKeyMemo = HashMap<(usize, usize), Arc<str>>;
+static MERGE_KEYS: OnceLock<RwLock<MergeKeyMemo>> = OnceLock::new();
+
+fn merge_key(p: &SourceProfile) -> Arc<str> {
     // Family-name + first initial + affiliation: abbreviated display
     // names ("L. Zhou") must land in the same bucket as "Lei Zhou" at the
     // same institution, while "Lei Zhou" at another university stays
     // separate (until country-level checks catch it later).
-    let name = normalize_label(&p.display_name);
+    let name = intern::normalized(&p.display_name);
+    let aff = match p.affiliation.as_deref() {
+        Some(a) => intern::normalized(a),
+        None => intern::intern(""),
+    };
+    let memo = MERGE_KEYS.get_or_init(|| RwLock::new(HashMap::new()));
+    let addr = (
+        name.as_ref().as_ptr() as usize,
+        aff.as_ref().as_ptr() as usize,
+    );
+    if let Some(hit) = memo.read().get(&addr) {
+        return hit.clone();
+    }
     let mut parts: Vec<&str> = name.split(' ').filter(|s| !s.is_empty()).collect();
     let family = parts.pop().unwrap_or("");
     let initial = parts.first().and_then(|s| s.chars().next()).unwrap_or('?');
-    let aff = p
-        .affiliation
-        .as_deref()
-        .map(normalize_label)
-        .unwrap_or_default();
-    format!("{initial}|{family}|{aff}")
+    let key = intern::intern(&format!("{initial}|{family}|{aff}"));
+    memo.write().entry(addr).or_insert_with(|| key.clone());
+    key
 }
 
 /// Merges source profiles into candidates keyed by
-/// (name-initial, family name, affiliation).
-pub fn merge_profiles(profiles: Vec<SourceProfile>) -> Vec<MergedCandidate> {
-    let mut buckets: HashMap<String, Vec<SourceProfile>> = HashMap::new();
+/// (name-initial, family name, affiliation). Input profiles are
+/// `Arc`-shared (the shape every source hands out), so bucketing moves
+/// pointers; the per-profile cost of a merge is two memoized interner
+/// lookups, not a rebuilt key string.
+pub fn merge_profiles(profiles: Vec<Arc<SourceProfile>>) -> Vec<MergedCandidate> {
+    let mut buckets: HashMap<Arc<str>, Vec<Arc<SourceProfile>>> = HashMap::new();
     for p in profiles {
         buckets.entry(merge_key(&p)).or_default().push(p);
     }
@@ -101,7 +124,7 @@ pub fn merge_profiles(profiles: Vec<SourceProfile>) -> Vec<MergedCandidate> {
     out
 }
 
-fn merge_bucket(mut profiles: Vec<SourceProfile>) -> MergedCandidate {
+fn merge_bucket(mut profiles: Vec<Arc<SourceProfile>>) -> MergedCandidate {
     profiles.sort_by(|a, b| a.source.cmp(&b.source).then(a.key.cmp(&b.key)));
     let display_name = profiles
         .iter()
@@ -120,18 +143,21 @@ fn merge_bucket(mut profiles: Vec<SourceProfile>) -> MergedCandidate {
         }
     }
 
-    let mut interests: BTreeSet<String> = BTreeSet::new();
+    // Memoized normalization: these loops revisit the same interest and
+    // title strings on every merge of every recommendation, so the warm
+    // path is interner hits, not fresh normalize allocations.
+    let mut interests: BTreeSet<Arc<str>> = BTreeSet::new();
     for p in &profiles {
         for i in &p.interests {
-            interests.insert(normalize_label(i));
+            interests.insert(intern::normalized(i));
         }
     }
 
     let mut publications = Vec::new();
-    let mut seen_titles: BTreeSet<String> = BTreeSet::new();
+    let mut seen_titles: BTreeSet<Arc<str>> = BTreeSet::new();
     for p in &profiles {
         for publ in &p.publications {
-            if seen_titles.insert(normalize_label(&publ.title)) {
+            if seen_titles.insert(intern::normalized(&publ.title)) {
                 publications.push(publ.clone());
             }
         }
@@ -170,7 +196,7 @@ fn merge_bucket(mut profiles: Vec<SourceProfile>) -> MergedCandidate {
         affiliation,
         country,
         affiliation_history,
-        interests: interests.into_iter().collect(),
+        interests: interests.iter().map(|i| i.to_string()).collect(),
         publications,
         metrics,
         reviews,
@@ -184,6 +210,10 @@ fn merge_bucket(mut profiles: Vec<SourceProfile>) -> MergedCandidate {
 mod tests {
     use super::*;
     use crate::record::SourcePublication;
+
+    fn arcs(ps: Vec<SourceProfile>) -> Vec<Arc<SourceProfile>> {
+        ps.into_iter().map(Arc::new).collect()
+    }
 
     fn profile(source: SourceKind, name: &str, aff: &str, truth: u32) -> SourceProfile {
         SourceProfile {
@@ -210,7 +240,7 @@ mod tests {
             1,
         );
         let b = profile(SourceKind::Dblp, "Lei Zhou", "University of Tartu", 1);
-        let merged = merge_profiles(vec![a, b]);
+        let merged = merge_profiles(arcs(vec![a, b]));
         assert_eq!(merged.len(), 1);
         assert_eq!(
             merged[0].sources,
@@ -229,7 +259,7 @@ mod tests {
             1,
         );
         let b = profile(SourceKind::AcmDl, "L. Zhou", "University of Tartu", 1);
-        let merged = merge_profiles(vec![a, b]);
+        let merged = merge_profiles(arcs(vec![a, b]));
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].display_name, "Lei Zhou"); // longest wins
     }
@@ -248,7 +278,7 @@ mod tests {
             "University of Beijing",
             2,
         );
-        let merged = merge_profiles(vec![a, b]);
+        let merged = merge_profiles(arcs(vec![a, b]));
         assert_eq!(merged.len(), 2);
     }
 
@@ -261,7 +291,7 @@ mod tests {
             1,
         );
         let b = profile(SourceKind::Dblp, "Lei Zhou", "University of Tartu", 2);
-        let merged = merge_profiles(vec![a, b]);
+        let merged = merge_profiles(arcs(vec![a, b]));
         assert_eq!(merged.len(), 1);
         assert!(merged[0].is_conflated());
         assert_eq!(merged[0].truths.len(), 2);
@@ -270,36 +300,36 @@ mod tests {
     #[test]
     fn publications_dedupe_by_title_and_metrics_take_max() {
         let mut a = profile(SourceKind::GoogleScholar, "A B", "U", 1);
-        a.publications.push(SourcePublication {
+        a.publications.push(Arc::new(SourcePublication {
             title: "Shared Result".into(),
             year: 2015,
             venue_name: "J".into(),
             coauthor_names: vec![],
             keywords: vec![],
             citations: Some(5),
-        });
+        }));
         a.metrics.citations = Some(100);
         a.metrics.h_index = Some(5);
         let mut b = profile(SourceKind::AcmDl, "A B", "U", 1);
-        b.publications.push(SourcePublication {
+        b.publications.push(Arc::new(SourcePublication {
             title: "shared   result".into(), // same title, different text
             year: 2015,
             venue_name: "J".into(),
             coauthor_names: vec![],
             keywords: vec![],
             citations: Some(3),
-        });
-        b.publications.push(SourcePublication {
+        }));
+        b.publications.push(Arc::new(SourcePublication {
             title: "Unique Result".into(),
             year: 2016,
             venue_name: "J".into(),
             coauthor_names: vec![],
             keywords: vec![],
             citations: None,
-        });
+        }));
         b.metrics.citations = Some(80);
         b.metrics.h_index = Some(7);
-        let merged = merge_profiles(vec![a, b]);
+        let merged = merge_profiles(arcs(vec![a, b]));
         assert_eq!(merged.len(), 1);
         assert_eq!(merged[0].publications.len(), 2);
         assert_eq!(merged[0].metrics.citations, Some(100));
@@ -312,7 +342,7 @@ mod tests {
         a.interests = vec!["Semantic Web".into(), "Big-Data".into()];
         let mut b = profile(SourceKind::Publons, "A B", "U", 1);
         b.interests = vec!["semantic web".into(), "Databases".into()];
-        let merged = merge_profiles(vec![a, b]);
+        let merged = merge_profiles(arcs(vec![a, b]));
         assert_eq!(
             merged[0].interests,
             vec!["big data", "databases", "semantic web"]
@@ -324,8 +354,8 @@ mod tests {
         let a = profile(SourceKind::GoogleScholar, "A B", "U", 1);
         let b = profile(SourceKind::Dblp, "A B", "U", 1);
         let c = profile(SourceKind::Publons, "C D", "V", 2);
-        let m1 = merge_profiles(vec![a.clone(), b.clone(), c.clone()]);
-        let m2 = merge_profiles(vec![c, b, a]);
+        let m1 = merge_profiles(arcs(vec![a.clone(), b.clone(), c.clone()]));
+        let m2 = merge_profiles(arcs(vec![c, b, a]));
         assert_eq!(m1, m2);
     }
 

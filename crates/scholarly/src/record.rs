@@ -1,6 +1,7 @@
 //! The record shapes sources return — the "scraped page" equivalents.
 
 use minaret_synth::ScholarId;
+use std::sync::Arc;
 
 use crate::spec::SourceKind;
 
@@ -83,11 +84,14 @@ pub struct SourceProfile {
     /// Research-interest keywords registered on the profile.
     pub interests: Vec<String>,
     /// Publications listed on the profile (subset of the truth).
-    pub publications: Vec<SourcePublication>,
+    /// `Arc`-shared: merged candidates borrow these records instead of
+    /// deep-copying title/venue/keyword strings every recommendation.
+    pub publications: Vec<Arc<SourcePublication>>,
     /// Citation metrics, when the source exposes them.
     pub metrics: SourceMetrics,
     /// Review records, when the source exposes them (Publons).
-    pub reviews: Vec<SourceReview>,
+    /// `Arc`-shared, like `publications`.
+    pub reviews: Vec<Arc<SourceReview>>,
     /// Ground-truth identity of the scholar this profile belongs to.
     ///
     /// **Evaluation-only.** The recommendation framework never reads this
@@ -123,30 +127,30 @@ mod tests {
             affiliation_history: vec![],
             interests: vec!["databases".into()],
             publications: vec![
-                SourcePublication {
+                Arc::new(SourcePublication {
                     title: "A".into(),
                     year: 2015,
                     venue_name: "J".into(),
                     coauthor_names: vec![],
                     keywords: vec![],
                     citations: Some(4),
-                },
-                SourcePublication {
+                }),
+                Arc::new(SourcePublication {
                     title: "B".into(),
                     year: 2017,
                     venue_name: "J".into(),
                     coauthor_names: vec![],
                     keywords: vec![],
                     citations: None,
-                },
+                }),
             ],
             metrics: SourceMetrics::default(),
-            reviews: vec![SourceReview {
+            reviews: vec![Arc::new(SourceReview {
                 venue_name: "J".into(),
                 year: 2016,
                 turnaround_days: 21,
                 quality: Some(4),
-            }],
+            })],
             truth: ScholarId(0),
         }
     }

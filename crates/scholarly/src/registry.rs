@@ -15,10 +15,11 @@
 //! contained by `catch_unwind` so the worker thread survives), and
 //! callers decide how much partial coverage they tolerate.
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 use crossbeam::channel;
 use minaret_telemetry::Telemetry;
@@ -26,6 +27,7 @@ use parking_lot::RwLock;
 
 use crate::clock::{Clock, SystemClock};
 use crate::error::SourceError;
+use crate::intern;
 use crate::record::SourceProfile;
 use crate::resilience::{BreakerState, CircuitBreaker, ResilienceConfig};
 use crate::sim::ScholarSource;
@@ -102,8 +104,10 @@ pub struct SourceOutcome {
 /// missing from the answer and why (the degraded-mode contract).
 #[derive(Debug, Clone, PartialEq)]
 pub struct FanOutReport {
-    /// Successful sources' profiles, concatenated.
-    pub profiles: Vec<SourceProfile>,
+    /// Successful sources' profiles, concatenated. `Arc`-shared with the
+    /// sources' own stores (and any cache layer): fanning the same
+    /// profile out twice clones a pointer, not the record.
+    pub profiles: Vec<Arc<SourceProfile>>,
     /// One outcome per registered source, in registration order.
     pub outcomes: Vec<SourceOutcome>,
 }
@@ -150,7 +154,9 @@ pub struct BatchFanOutReport {
     /// Hits per requested label, in input order. A label nobody
     /// registered gets an empty vector. Within one label, profiles are
     /// concatenated in source-registration order (deterministic).
-    pub by_label: Vec<(String, Vec<SourceProfile>)>,
+    /// Labels are interned `Arc<str>`s and profiles are `Arc`-shared
+    /// with the sources that produced them.
+    pub by_label: Vec<(Arc<str>, Vec<Arc<SourceProfile>>)>,
     /// One outcome per registered source, in registration order. A
     /// failed source failed the *whole batch* — every label in it.
     pub outcomes: Vec<SourceOutcome>,
@@ -199,6 +205,12 @@ struct RegistryShared {
     short_circuited: AtomicU64,
     /// Jobs enqueued on the pool but not yet started.
     queue_depth: AtomicU64,
+    /// In-flight single-flight cells, keyed by (source, fan-out key).
+    /// Type-erased so one map serves any fan-out result type.
+    inflight: Mutex<HashMap<(SourceKind, u64), Arc<dyn Any + Send + Sync>>>,
+    /// Fan-out slices answered by joining another caller's in-flight
+    /// computation instead of issuing their own source call.
+    coalesced: AtomicU64,
 }
 
 impl RegistryShared {
@@ -343,6 +355,91 @@ impl RegistryShared {
         (result, attempts)
     }
 
+    /// Runs `run` under single-flight coalescing: the first caller for a
+    /// given `(source, key)` becomes the **leader** and computes the
+    /// result; callers arriving while it is in flight become
+    /// **followers**, wait on the leader's cell, and clone its result —
+    /// no second source call, no second breaker/retry/budget charge. The
+    /// cell is removed once the leader publishes, so later fan-outs (a
+    /// cache-miss retry, a changed world) compute fresh.
+    ///
+    /// The leader publishes even if `run` panics (the panic is converted
+    /// into the same per-source `Internal` error the fan-out job layer
+    /// would report), so followers can never be stranded on a dead cell.
+    fn coalesced_call<T: Clone + Send + 'static>(
+        &self,
+        key: (SourceKind, u64),
+        source_label: &str,
+        run: impl FnOnce() -> (Result<T, SourceError>, u32),
+    ) -> (Result<T, SourceError>, u32) {
+        struct Cell<T> {
+            done: Mutex<Option<(Result<T, SourceError>, u32)>>,
+            cv: Condvar,
+        }
+        let (cell, leader) = {
+            let mut map = self.inflight.lock().expect("inflight map poisoned");
+            match map.get(&key) {
+                Some(existing) => (existing.clone(), false),
+                None => {
+                    let cell: Arc<dyn Any + Send + Sync> = Arc::new(Cell::<T> {
+                        done: Mutex::new(None),
+                        cv: Condvar::new(),
+                    });
+                    map.insert(key, cell.clone());
+                    (cell, true)
+                }
+            }
+        };
+        let cell = cell
+            .downcast::<Cell<T>>()
+            .expect("one result type per coalescing key");
+        if leader {
+            let outcome = std::panic::catch_unwind(AssertUnwindSafe(run));
+            let result = match outcome {
+                Ok(r) => r,
+                Err(payload) => (Err(panic_to_error(key.0, payload)), 0),
+            };
+            *cell.done.lock().expect("coalescing cell poisoned") = Some(result.clone());
+            cell.cv.notify_all();
+            self.inflight
+                .lock()
+                .expect("inflight map poisoned")
+                .remove(&key);
+            result
+        } else {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            self.telemetry
+                .counter(
+                    "minaret_fanout_coalesced_total",
+                    &[("source", source_label)],
+                )
+                .inc();
+            let mut done = cell.done.lock().expect("coalescing cell poisoned");
+            while done.is_none() {
+                done = cell.cv.wait(done).expect("coalescing cell poisoned");
+            }
+            done.as_ref().expect("filled before notify").clone()
+        }
+    }
+
+    /// One source's slice of a fan-out: the full resilience policy,
+    /// optionally shared with concurrent identical fan-outs via
+    /// single-flight coalescing (`coalesce` carries the fan-out key).
+    fn policed_call<T: Clone + Send + 'static>(
+        &self,
+        entry: &SourceEntry,
+        fanout_deadline: Option<u64>,
+        coalesce: Option<u64>,
+        call: &(dyn Fn(&dyn ScholarSource) -> Result<T, SourceError> + Send + Sync),
+    ) -> (Result<T, SourceError>, u32) {
+        match coalesce {
+            None => self.call_with_policy(entry, fanout_deadline, || guarded_call(entry, call)),
+            Some(key) => self.coalesced_call((entry.kind, key), entry.kind.prefix(), || {
+                self.call_with_policy(entry, fanout_deadline, || guarded_call(entry, call))
+            }),
+        }
+    }
+
     /// Builds (and counts) a budget-exhaustion error for `kind`.
     fn budget_exhausted(&self, source_label: &str, kind: SourceKind) -> SourceError {
         self.gave_up.fetch_add(1, Ordering::Relaxed);
@@ -376,6 +473,27 @@ impl RegistryShared {
             )
             .inc();
     }
+}
+
+/// The single-flight identity of a batched interest fan-out: an FNV-1a
+/// hash of the **sorted, deduplicated, normalized** label set, so two
+/// concurrent fan-outs asking the same question — regardless of label
+/// order or raw spelling — share one in-flight computation per source.
+fn batch_fanout_key(labels: &[String]) -> u64 {
+    let mut normalized: Vec<Arc<str>> = labels.iter().map(|l| intern::normalized(l)).collect();
+    normalized.sort();
+    normalized.dedup();
+    let mut h: u64 = 0xcbf29ce484222325;
+    for label in &normalized {
+        for &b in label.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        // Separator fold so ["ab","c"] and ["a","bc"] differ.
+        h ^= 0x1f;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
 }
 
 /// Converts a caught panic payload into a per-source error. The breaker
@@ -571,6 +689,8 @@ impl SourceRegistry {
                 timed_out: AtomicU64::new(0),
                 short_circuited: AtomicU64::new(0),
                 queue_depth: AtomicU64::new(0),
+                inflight: Mutex::new(HashMap::new()),
+                coalesced: AtomicU64::new(0),
             }),
             pool: OnceLock::new(),
         }
@@ -592,6 +712,12 @@ impl SourceRegistry {
         let breaker = Arc::new(CircuitBreaker::new(self.shared.config.resilience.breaker));
         self.shared
             .note_breaker_state(kind.prefix(), BreakerState::Closed);
+        // Touch the coalescing counter so scrapes see the series (at 0)
+        // from registration time, like the breaker gauge below.
+        self.shared.telemetry.counter(
+            "minaret_fanout_coalesced_total",
+            &[("source", kind.prefix())],
+        );
         self.shared.sources.write().push(SourceEntry {
             source,
             breaker,
@@ -651,9 +777,18 @@ impl SourceRegistry {
     /// the panic is caught around the call and converted into a
     /// per-source [`SourceError::Internal`], so the siblings still merge
     /// and the pool worker survives.
-    fn fan_out<T, A, C>(&self, applies: A, call: C) -> Vec<(SourceKind, Slot<T>)>
+    /// `coalesce` opts the fan-out into single-flight sharing: fan-outs
+    /// carrying the same key that overlap in time charge each source one
+    /// policed call and share the result (see
+    /// [`RegistryShared::coalesced_call`]).
+    fn fan_out<T, A, C>(
+        &self,
+        applies: A,
+        call: C,
+        coalesce: Option<u64>,
+    ) -> Vec<(SourceKind, Slot<T>)>
     where
-        T: Send + 'static,
+        T: Clone + Send + 'static,
         A: Fn(&dyn ScholarSource) -> bool,
         C: Fn(&dyn ScholarSource) -> Result<T, SourceError> + Send + Sync + 'static,
     {
@@ -669,10 +804,7 @@ impl SourceRegistry {
         if !shared.config.concurrent {
             for (i, entry) in entries.iter().enumerate() {
                 if applicable[i] {
-                    slots[i].1 =
-                        Some(shared.call_with_policy(entry, fanout_deadline, || {
-                            guarded_call(entry, &call)
-                        }));
+                    slots[i].1 = Some(shared.policed_call(entry, fanout_deadline, coalesce, &call));
                 }
             }
             return slots;
@@ -696,9 +828,8 @@ impl SourceRegistry {
                 i,
                 Box::new(move || {
                     shared.note_dequeue();
-                    let result = shared.call_with_policy(&entry, fanout_deadline, || {
-                        guarded_call(&entry, call.as_ref())
-                    });
+                    let result =
+                        shared.policed_call(&entry, fanout_deadline, coalesce, call.as_ref());
                     let _ = reply_tx.send((i, result));
                 }),
             );
@@ -734,7 +865,9 @@ impl SourceRegistry {
     }
 
     /// Folds fan-out slots into the merged-profile report shape.
-    fn collect_profile_report(slots: Vec<(SourceKind, Slot<Vec<SourceProfile>>)>) -> FanOutReport {
+    fn collect_profile_report(
+        slots: Vec<(SourceKind, Slot<Vec<Arc<SourceProfile>>>)>,
+    ) -> FanOutReport {
         let mut profiles = Vec::new();
         let mut outcomes = Vec::new();
         for (kind, slot) in slots {
@@ -768,8 +901,11 @@ impl SourceRegistry {
         let clock = self.shared.clock();
         let started = clock.now_micros();
         let name = name.to_string();
-        let report =
-            Self::collect_profile_report(self.fan_out(|_| true, move |s| s.search_by_name(&name)));
+        let report = Self::collect_profile_report(self.fan_out(
+            |_| true,
+            move |s| s.search_by_name(&name),
+            None,
+        ));
         self.shared
             .telemetry
             .histogram("minaret_fanout_micros", &[("query", "name")])
@@ -778,7 +914,7 @@ impl SourceRegistry {
     }
 
     /// Searches all sources by scholar name (legacy tuple view).
-    pub fn search_by_name(&self, name: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
+    pub fn search_by_name(&self, name: &str) -> (Vec<Arc<SourceProfile>>, Vec<SourceError>) {
         let report = self.search_by_name_report(name);
         let errors = report.errors();
         (report.profiles, errors)
@@ -795,6 +931,7 @@ impl SourceRegistry {
         let report = Self::collect_profile_report(self.fan_out(
             |s| s.supports_interest_search(),
             move |s| s.search_by_interest(&keyword),
+            None,
         ));
         self.shared
             .telemetry
@@ -804,7 +941,7 @@ impl SourceRegistry {
     }
 
     /// Searches all interest-capable sources (legacy tuple view).
-    pub fn search_by_interest(&self, keyword: &str) -> (Vec<SourceProfile>, Vec<SourceError>) {
+    pub fn search_by_interest(&self, keyword: &str) -> (Vec<Arc<SourceProfile>>, Vec<SourceError>) {
         let report = self.search_by_interest_report(keyword);
         let errors = report.errors();
         (report.profiles, errors)
@@ -825,18 +962,34 @@ impl SourceRegistry {
             .telemetry
             .histogram("minaret_batch_labels", &[])
             .observe(labels.len() as u64);
-        let query: Vec<String> = labels.to_vec();
+        // Intern once per fan-out: the batch travels as shared `Arc<str>`s
+        // through the worker pool, every source, any cache layer, and back
+        // out in the report — zero label-string allocations past this
+        // point on a warm interner.
+        let query: Vec<Arc<str>> = labels.iter().map(|l| intern::intern(l)).collect();
+        let key = batch_fanout_key(labels);
+        let call_query = query.clone();
         let slots = self.fan_out(
             |s| s.supports_interest_search(),
-            move |s| s.search_by_interests(&query),
+            move |s| s.search_by_interests(&call_query),
+            Some(key),
         );
+        // Exact label match first (the usual case: the echo *is* the
+        // caller's Arc). A coalesced follower whose raw spelling differs
+        // from the leader's still maps correctly via the normalized form,
+        // since sources answer labels up to normalization anyway.
         let index_of: HashMap<&str, usize> = labels
             .iter()
             .enumerate()
             .map(|(i, l)| (l.as_str(), i))
             .collect();
-        let mut by_label: Vec<(String, Vec<SourceProfile>)> =
-            labels.iter().map(|l| (l.clone(), Vec::new())).collect();
+        let index_of_norm: HashMap<Arc<str>, usize> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (intern::normalized(l), i))
+            .collect();
+        let mut by_label: Vec<(Arc<str>, Vec<Arc<SourceProfile>>)> =
+            query.iter().map(|l| (l.clone(), Vec::new())).collect();
         let mut outcomes = Vec::new();
         for (kind, slot) in slots {
             let outcome = match slot {
@@ -847,7 +1000,11 @@ impl SourceRegistry {
                 },
                 Some((Ok(pairs), attempts)) => {
                     for (label, mut hits) in pairs {
-                        if let Some(&i) = index_of.get(label.as_str()) {
+                        let slot = index_of
+                            .get(label.as_ref())
+                            .or_else(|| index_of_norm.get(&intern::normalized(&label)))
+                            .copied();
+                        if let Some(i) = slot {
                             by_label[i].1.append(&mut hits);
                         }
                     }
@@ -870,6 +1027,12 @@ impl SourceRegistry {
             .histogram("minaret_fanout_micros", &[("query", "interest_batch")])
             .observe(clock.now_micros().saturating_sub(started));
         BatchFanOutReport { by_label, outcomes }
+    }
+
+    /// Fan-out slices answered by coalescing onto another caller's
+    /// in-flight identical fan-out (see `minaret_fanout_coalesced_total`).
+    pub fn coalesced_count(&self) -> u64 {
+        self.shared.coalesced.load(Ordering::Relaxed)
     }
 }
 
@@ -939,7 +1102,7 @@ mod tests {
         let name = w.scholars()[5].full_name();
         let (mut a, _) = reg_c.search_by_name(&name);
         let (mut b, _) = reg_s.search_by_name(&name);
-        let key = |p: &SourceProfile| (p.source, p.key.clone());
+        let key = |p: &Arc<SourceProfile>| (p.source, p.key.clone());
         a.sort_by_key(key);
         b.sort_by_key(key);
         assert_eq!(a, b);
@@ -990,7 +1153,11 @@ mod tests {
         let report = reg.search_by_interests_report(&labels);
         assert_eq!(report.by_label.len(), labels.len());
         for ((got, hits), want) in report.by_label.iter().zip(&labels) {
-            assert_eq!(got, want, "label order must match the input");
+            assert_eq!(
+                got.as_ref(),
+                want.as_str(),
+                "label order must match the input"
+            );
             for p in hits {
                 assert!(matches!(
                     p.source,
@@ -1106,19 +1273,19 @@ mod tests {
             fn supports_interest_search(&self) -> bool {
                 false
             }
-            fn search_by_name(&self, _name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+            fn search_by_name(&self, _name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
                 panic!("scripted pool panic");
             }
             fn search_by_interest(
                 &self,
                 _keyword: &str,
-            ) -> Result<Vec<SourceProfile>, SourceError> {
+            ) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
                 Err(SourceError::Unsupported {
                     source: SourceKind::Orcid,
                     operation: "interest search",
                 })
             }
-            fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+            fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
                 Err(SourceError::NotFound {
                     source: SourceKind::Orcid,
                     key: key.to_string(),
@@ -1332,5 +1499,192 @@ mod tests {
             })
         );
         assert_eq!(reg.stats().timed_out, 1);
+    }
+
+    /// A source whose batched interest search blocks until released,
+    /// making concurrent fan-outs overlap deterministically (no sleeps).
+    struct GatedSource {
+        inner: SimulatedSource,
+        release: Arc<(Mutex<bool>, Condvar)>,
+        inner_calls: Arc<AtomicU64>,
+    }
+
+    impl GatedSource {
+        fn wait_for_release(&self) {
+            let (flag, cv) = &*self.release;
+            let mut open = flag.lock().expect("gate poisoned");
+            while !*open {
+                open = cv.wait(open).expect("gate poisoned");
+            }
+        }
+    }
+
+    impl ScholarSource for GatedSource {
+        fn kind(&self) -> SourceKind {
+            self.inner.kind()
+        }
+        fn supports_interest_search(&self) -> bool {
+            true
+        }
+        fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
+            self.inner.search_by_name(name)
+        }
+        fn search_by_interest(
+            &self,
+            keyword: &str,
+        ) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
+            self.inner.search_by_interest(keyword)
+        }
+        fn search_by_interests(
+            &self,
+            labels: &[Arc<str>],
+        ) -> Result<crate::sim::LabeledHits, SourceError> {
+            self.inner_calls.fetch_add(1, Ordering::Relaxed);
+            self.wait_for_release();
+            self.inner.search_by_interests(labels)
+        }
+        fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
+            self.inner.fetch_profile(key)
+        }
+    }
+
+    fn open_gate(release: &Arc<(Mutex<bool>, Condvar)>) {
+        let (flag, cv) = &**release;
+        *flag.lock().expect("gate poisoned") = true;
+        cv.notify_all();
+    }
+
+    #[test]
+    fn concurrent_identical_fanouts_coalesce_onto_one_leader() {
+        let w = world();
+        let telemetry = Telemetry::new();
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let inner_calls = Arc::new(AtomicU64::new(0));
+        let mut reg = SourceRegistry::with_telemetry(RegistryConfig::default(), telemetry.clone());
+        reg.register(Arc::new(GatedSource {
+            inner: SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), w.clone()),
+            release: release.clone(),
+            inner_calls: inner_calls.clone(),
+        }));
+        let reg = Arc::new(reg);
+        let labels: Vec<String> = w
+            .scholars()
+            .iter()
+            .take(2)
+            .map(|s| w.ontology.label(s.interests[0]).to_string())
+            .collect();
+        // 1 leader + 3 followers: followers park on overflow workers
+        // while the leader holds the source's affinity worker.
+        const N: usize = 4;
+        let mut handles = Vec::new();
+        for _ in 0..N {
+            let reg = reg.clone();
+            let labels = labels.clone();
+            handles.push(std::thread::spawn(move || {
+                reg.search_by_interests_report(&labels)
+            }));
+        }
+        // The leader is parked on the gate; wait until every follower
+        // has registered against its in-flight cell, then release.
+        while reg.coalesced_count() < (N - 1) as u64 {
+            std::thread::yield_now();
+        }
+        open_gate(&release);
+        let reports: Vec<BatchFanOutReport> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // The source answered exactly once for all N fan-outs, and the
+        // policy layer charged exactly one call.
+        assert_eq!(inner_calls.load(Ordering::Relaxed), 1);
+        assert_eq!(reg.stats().calls, 1);
+        assert_eq!(reg.coalesced_count(), (N - 1) as u64);
+        // Followers received clones of the leader result: same labels,
+        // same profiles, same outcomes.
+        for r in &reports[1..] {
+            assert_eq!(r.by_label, reports[0].by_label);
+            assert_eq!(r.outcomes, reports[0].outcomes);
+        }
+        assert!(reports[0].by_label.iter().any(|(_, hits)| !hits.is_empty()));
+        let text = telemetry.encode_prometheus();
+        assert!(
+            text.contains("minaret_fanout_coalesced_total{source=\"gs\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn a_coalesced_failure_charges_the_breaker_once() {
+        let w = world();
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let inner_calls = Arc::new(AtomicU64::new(0));
+        // max_retries 1 → one failing policy run records 2 breaker
+        // failures. Threshold 8 would trip only if all four fan-outs
+        // each ran the policy (4 × 2 = 8); a coalesced run must not.
+        let mut reg = SourceRegistry::new(RegistryConfig {
+            max_retries: 1,
+            resilience: ResilienceConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 8,
+                    cooldown_micros: 60_000_000,
+                    probe_successes: 1,
+                },
+                ..ResilienceConfig::disabled()
+            },
+            ..Default::default()
+        });
+        reg.register(Arc::new(GatedSource {
+            inner: SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), w.clone())
+                .with_fault(FaultSchedule::PermanentOutage),
+            release: release.clone(),
+            inner_calls: inner_calls.clone(),
+        }));
+        let reg = Arc::new(reg);
+        let labels = vec!["databases".to_string()];
+        const N: usize = 4;
+        let mut handles = Vec::new();
+        for _ in 0..N {
+            let reg = reg.clone();
+            let labels = labels.clone();
+            handles.push(std::thread::spawn(move || {
+                reg.search_by_interests_report(&labels)
+            }));
+        }
+        while reg.coalesced_count() < (N - 1) as u64 {
+            std::thread::yield_now();
+        }
+        open_gate(&release);
+        let reports: Vec<BatchFanOutReport> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // One policy run: 1 call + 1 retry, one give-up — shared by all.
+        let stats = reg.stats();
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.gave_up, 1);
+        for r in &reports {
+            assert!(matches!(r.outcomes[0].status, SourceStatus::Failed(_)));
+        }
+        // Two recorded failures, not eight: the breaker stays closed,
+        // so the coalesced failure was charged exactly once.
+        assert_eq!(
+            reg.breaker_state(SourceKind::GoogleScholar),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn coalescing_counter_is_exported_at_zero_from_registration() {
+        let w = world();
+        let telemetry = Telemetry::new();
+        let mut reg = SourceRegistry::with_telemetry(RegistryConfig::default(), telemetry.clone());
+        reg.register(Arc::new(SimulatedSource::new(
+            SourceSpec::for_kind(SourceKind::Dblp),
+            w.clone(),
+        )));
+        // No fan-out has run, but scrapes must already see the series.
+        let text = telemetry.encode_prometheus();
+        assert!(
+            text.contains("minaret_fanout_coalesced_total{source=\"dblp\"} 0"),
+            "{text}"
+        );
+        assert_eq!(reg.coalesced_count(), 0);
     }
 }

@@ -2,10 +2,12 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use minaret_ontology::normalize_label;
 use minaret_synth::{ScholarId, World};
+
+use crate::intern;
 
 use crate::clock::{Clock, SystemClock};
 use crate::error::SourceError;
@@ -13,6 +15,11 @@ use crate::record::{
     AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
 };
 use crate::spec::{SourceKind, SourceSpec};
+
+/// Per-label hit lists from a batched interest search: each queried
+/// label (echoed as the caller's interned `Arc<str>`) paired with its
+/// possibly-empty, `Arc`-shared profile hits, in input order.
+pub type LabeledHits = Vec<(Arc<str>, Vec<Arc<SourceProfile>>)>;
 
 /// A scholarly data source, as the extraction phase sees it.
 ///
@@ -30,19 +37,23 @@ pub trait ScholarSource: Send + Sync {
 
     /// Finds profiles whose display name matches `name` (normalized,
     /// both full names and abbreviated forms are matched the way the
-    /// real sites do).
-    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError>;
+    /// real sites do). Results are `Arc`-shared: a profile handed out
+    /// twice is the same allocation, not a deep copy, so callers may
+    /// hold hits from overlapping queries cheaply.
+    fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError>;
 
     /// Finds profiles that register `keyword` among their research
     /// interests — the paper queries Google Scholar and Publons this way
     /// to retrieve candidate reviewers (§2.1).
-    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError>;
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError>;
 
     /// Answers a whole label set in one call, returning the hits per
     /// label in input order. Retrieval is fundamentally a batched,
     /// index-backed operation; issuing the expanded keyword set as one
     /// request lets a source amortize its per-call cost across every
-    /// label instead of paying it per keyword.
+    /// label instead of paying it per keyword. Labels travel as interned
+    /// `Arc<str>` so a batch echoed back (and cached, and re-batched)
+    /// never re-allocates its label strings.
     ///
     /// The default implementation loops [`search_by_interest`] per label
     /// (propagating the first error), so third-party sources keep
@@ -50,10 +61,7 @@ pub trait ScholarSource: Send + Sync {
     /// it to pay their per-call cost once.
     ///
     /// [`search_by_interest`]: ScholarSource::search_by_interest
-    fn search_by_interests(
-        &self,
-        labels: &[String],
-    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
+    fn search_by_interests(&self, labels: &[Arc<str>]) -> Result<LabeledHits, SourceError> {
         labels
             .iter()
             .map(|label| {
@@ -64,7 +72,47 @@ pub trait ScholarSource: Send + Sync {
     }
 
     /// Fetches one profile by its per-source key.
-    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError>;
+    fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError>;
+}
+
+/// A lazily-built, per-source store of [`Arc`]-shared profiles.
+///
+/// Building a [`SourceProfile`] clones institution names, publication
+/// titles, coauthor names, and keyword lists out of the world — dozens
+/// of allocations per profile. A source's view of a scholar is
+/// deterministic, so the store builds each profile at most once (on
+/// first request, lock-free via [`OnceLock`]) and every subsequent hit
+/// anywhere — name search, interest search, key fetch — is one `Arc`
+/// clone.
+pub struct ProfileStore {
+    slots: Vec<OnceLock<Arc<SourceProfile>>>,
+}
+
+impl ProfileStore {
+    /// An empty store with one slot per scholar in the world.
+    #[must_use]
+    pub fn with_capacity(scholars: usize) -> Self {
+        Self {
+            slots: (0..scholars).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The shared profile for `id`, building it via `build` exactly once
+    /// across all threads.
+    pub fn get_or_build(
+        &self,
+        id: ScholarId,
+        build: impl FnOnce() -> SourceProfile,
+    ) -> Arc<SourceProfile> {
+        self.slots[id.index()]
+            .get_or_init(|| Arc::new(build()))
+            .clone()
+    }
+
+    /// How many profiles have been materialized so far.
+    pub fn built_count(&self) -> usize {
+        self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
 }
 
 /// FNV-1a; all simulation noise is a pure function of hashed identifiers,
@@ -130,6 +178,8 @@ pub struct SimulatedSource {
     name_index: HashMap<String, Vec<ScholarId>>,
     /// normalized interest keyword -> scholars registering it here.
     interest_index: HashMap<String, Vec<ScholarId>>,
+    /// Memoized profiles: built on first hit, `Arc`-shared ever after.
+    profiles: ProfileStore,
     calls: AtomicU64,
     rate_window_used: AtomicU64,
 }
@@ -176,6 +226,7 @@ impl SimulatedSource {
                 }
             }
         }
+        let profiles = ProfileStore::with_capacity(world.scholars().len());
         Self {
             spec,
             world,
@@ -184,6 +235,7 @@ impl SimulatedSource {
             salt,
             name_index,
             interest_index,
+            profiles,
             calls: AtomicU64::new(0),
             rate_window_used: AtomicU64::new(0),
         }
@@ -314,6 +366,12 @@ impl SimulatedSource {
         Ok(())
     }
 
+    /// The shared profile for `id`: built once via [`Self::build_profile`]
+    /// on first request, an `Arc` clone ever after.
+    fn profile(&self, id: ScholarId) -> Arc<SourceProfile> {
+        self.profiles.get_or_build(id, || self.build_profile(id))
+    }
+
     /// Builds the profile a page fetch would return for `id`.
     fn build_profile(&self, id: ScholarId) -> SourceProfile {
         let w = &self.world;
@@ -360,7 +418,7 @@ impl SimulatedSource {
                 continue;
             }
             let p = w.paper(pid);
-            publications.push(SourcePublication {
+            publications.push(Arc::new(SourcePublication {
                 title: p.title.clone(),
                 year: p.year,
                 venue_name: w.venue(p.venue).name.clone(),
@@ -380,7 +438,7 @@ impl SimulatedSource {
                 } else {
                     None
                 },
-            });
+            }));
         }
 
         let metrics = if spec.has_metrics {
@@ -406,11 +464,13 @@ impl SimulatedSource {
 
         let reviews = if spec.has_reviews {
             w.reviews_of(id)
-                .map(|r| SourceReview {
-                    venue_name: w.venue(r.venue).name.clone(),
-                    year: r.year,
-                    turnaround_days: r.turnaround_days,
-                    quality: Some(r.quality),
+                .map(|r| {
+                    Arc::new(SourceReview {
+                        venue_name: w.venue(r.venue).name.clone(),
+                        year: r.year,
+                        turnaround_days: r.turnaround_days,
+                        quality: Some(r.quality),
+                    })
                 })
                 .collect()
         } else {
@@ -442,14 +502,19 @@ impl ScholarSource for SimulatedSource {
         self.spec.supports_interest_search
     }
 
-    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         self.pay_call()?;
-        let needle = normalize_label(name);
-        let ids = self.name_index.get(&needle).cloned().unwrap_or_default();
-        Ok(ids.into_iter().map(|id| self.build_profile(id)).collect())
+        let needle = intern::normalized(name);
+        // Iterate the index slice in place — no per-lookup id-vector
+        // clone — and hand out memoized profiles.
+        let hits = match self.name_index.get(needle.as_ref()) {
+            Some(ids) => ids.iter().map(|&id| self.profile(id)).collect(),
+            None => Vec::new(),
+        };
+        Ok(hits)
     }
 
-    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         if !self.spec.supports_interest_search {
             return Err(SourceError::Unsupported {
                 source: self.spec.kind,
@@ -457,23 +522,21 @@ impl ScholarSource for SimulatedSource {
             });
         }
         self.pay_call()?;
-        let needle = normalize_label(keyword);
-        let ids = self
-            .interest_index
-            .get(&needle)
-            .cloned()
-            .unwrap_or_default();
-        Ok(ids.into_iter().map(|id| self.build_profile(id)).collect())
+        let needle = intern::normalized(keyword);
+        let hits = match self.interest_index.get(needle.as_ref()) {
+            Some(ids) => ids.iter().map(|&id| self.profile(id)).collect(),
+            None => Vec::new(),
+        };
+        Ok(hits)
     }
 
     /// One `pay_call` answers the whole batch: the interest index is
     /// precomputed, so per-label lookups are free once the (simulated)
     /// request cost is paid. This is the batched-retrieval win the
-    /// per-label default cannot express.
-    fn search_by_interests(
-        &self,
-        labels: &[String],
-    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
+    /// per-label default cannot express. Echoed labels are the caller's
+    /// own interned `Arc<str>`s — no string clone per label — and
+    /// normalization is memoized across the loop.
+    fn search_by_interests(&self, labels: &[Arc<str>]) -> Result<LabeledHits, SourceError> {
         if !self.spec.supports_interest_search {
             return Err(SourceError::Unsupported {
                 source: self.spec.kind,
@@ -484,21 +547,17 @@ impl ScholarSource for SimulatedSource {
         Ok(labels
             .iter()
             .map(|label| {
-                let needle = normalize_label(label);
-                let ids = self
-                    .interest_index
-                    .get(&needle)
-                    .cloned()
-                    .unwrap_or_default();
-                (
-                    label.clone(),
-                    ids.into_iter().map(|id| self.build_profile(id)).collect(),
-                )
+                let needle = intern::normalized(label);
+                let hits = match self.interest_index.get(needle.as_ref()) {
+                    Some(ids) => ids.iter().map(|&id| self.profile(id)).collect(),
+                    None => Vec::new(),
+                };
+                (label.clone(), hits)
             })
             .collect())
     }
 
-    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+    fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
         self.pay_call()?;
         let id = self
             .scholar_from_key(key)
@@ -512,7 +571,7 @@ impl ScholarSource for SimulatedSource {
                 key: key.to_string(),
             });
         }
-        Ok(self.build_profile(id))
+        Ok(self.profile(id))
     }
 }
 
@@ -647,11 +706,11 @@ mod tests {
     fn batched_interest_search_matches_per_label_results() {
         let s = source(SourceKind::GoogleScholar);
         let w = world();
-        let labels: Vec<String> = w
+        let labels: Vec<Arc<str>> = w
             .scholars()
             .iter()
             .take(4)
-            .map(|sc| w.ontology.label(sc.interests[0]).to_string())
+            .map(|sc| intern::intern(w.ontology.label(sc.interests[0])))
             .collect();
         let batched = s.search_by_interests(&labels).unwrap();
         assert_eq!(batched.len(), labels.len());
@@ -668,7 +727,9 @@ mod tests {
         // second batch (and everything after) succeeds.
         let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), world())
             .with_fault(FaultSchedule::FailThenRecover { failures: 1 });
-        let labels: Vec<String> = (0..10).map(|i| format!("label {i}")).collect();
+        let labels: Vec<Arc<str>> = (0..10)
+            .map(|i| intern::intern(&format!("label {i}")))
+            .collect();
         assert!(s.search_by_interests(&labels).is_err(), "first call fails");
         assert!(
             s.search_by_interests(&labels).is_ok(),
@@ -677,10 +738,29 @@ mod tests {
     }
 
     #[test]
+    fn batched_interest_search_echoes_the_callers_interned_labels() {
+        let s = source(SourceKind::GoogleScholar);
+        let w = world();
+        let labels: Vec<Arc<str>> = w
+            .scholars()
+            .iter()
+            .take(3)
+            .map(|sc| intern::intern(w.ontology.label(sc.interests[0])))
+            .collect();
+        let batched = s.search_by_interests(&labels).unwrap();
+        for ((echoed, _), sent) in batched.iter().zip(&labels) {
+            assert!(
+                Arc::ptr_eq(echoed, sent),
+                "echoed label must share the caller's allocation"
+            );
+        }
+    }
+
+    #[test]
     fn batched_interest_search_rejected_by_incapable_source() {
         let s = source(SourceKind::Dblp);
         assert!(matches!(
-            s.search_by_interests(&["databases".to_string()]),
+            s.search_by_interests(&[intern::intern("databases")]),
             Err(SourceError::Unsupported { .. })
         ));
     }
@@ -845,5 +925,29 @@ mod tests {
         if let (Ok(a), Ok(b)) = (s.fetch_profile(&key), s.fetch_profile(&key)) {
             assert_eq!(a, b);
         }
+    }
+
+    #[test]
+    fn profile_store_shares_one_allocation_across_entry_points() {
+        let s = source(SourceKind::GoogleScholar);
+        let w = world();
+        // Find a covered scholar via fetch, then reach the same profile
+        // through name search: both must hand out the same Arc.
+        let (id, fetched) = w
+            .scholars()
+            .iter()
+            .find_map(|sc| s.fetch_profile(&s.key_for(sc.id)).ok().map(|p| (sc.id, p)))
+            .expect("gs covers most scholars");
+        let by_name = s.search_by_name(&fetched.display_name).unwrap();
+        let same = by_name
+            .iter()
+            .find(|p| p.truth == id)
+            .expect("name search must find the fetched scholar");
+        assert!(
+            Arc::ptr_eq(&fetched, same),
+            "memoized store must share, not rebuild"
+        );
+        let again = s.fetch_profile(&s.key_for(id)).unwrap();
+        assert!(Arc::ptr_eq(&fetched, &again));
     }
 }

@@ -6,6 +6,11 @@ use minaret_scholarly::{
 };
 use minaret_synth::ScholarId;
 use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arcs(ps: Vec<SourceProfile>) -> Vec<Arc<SourceProfile>> {
+    ps.into_iter().map(Arc::new).collect()
+}
 
 fn arb_kind() -> impl Strategy<Value = SourceKind> {
     proptest::sample::select(SourceKind::ALL.to_vec())
@@ -31,13 +36,15 @@ fn arb_profile() -> impl Strategy<Value = SourceProfile> {
                 affiliation_history: vec![],
                 interests,
                 publications: (0..pubs)
-                    .map(|i| SourcePublication {
-                        title: format!("paper {i} by person {person}"),
-                        year: 2010 + i as u32,
-                        venue_name: "J".into(),
-                        coauthor_names: vec![],
-                        keywords: vec![],
-                        citations: None,
+                    .map(|i| {
+                        Arc::new(SourcePublication {
+                            title: format!("paper {i} by person {person}"),
+                            year: 2010 + i as u32,
+                            venue_name: "J".into(),
+                            coauthor_names: vec![],
+                            keywords: vec![],
+                            citations: None,
+                        })
                     })
                     .collect(),
                 metrics: SourceMetrics {
@@ -56,21 +63,21 @@ proptest! {
 
     #[test]
     fn merge_is_permutation_invariant(mut profiles in proptest::collection::vec(arb_profile(), 0..12), rotate in 0usize..12) {
-        let a = merge_profiles(profiles.clone());
+        let a = merge_profiles(arcs(profiles.clone()));
         let len = profiles.len();
         if len > 0 {
             profiles.rotate_left(rotate % len);
         }
-        let b = merge_profiles(profiles);
+        let b = merge_profiles(arcs(profiles));
         prop_assert_eq!(a, b);
     }
 
     #[test]
     fn merge_is_idempotent_on_duplicated_input(profiles in proptest::collection::vec(arb_profile(), 0..8)) {
-        let once = merge_profiles(profiles.clone());
+        let once = merge_profiles(arcs(profiles.clone()));
         let mut doubled = profiles.clone();
         doubled.extend(profiles);
-        let twice = merge_profiles(doubled);
+        let twice = merge_profiles(arcs(doubled));
         // Duplicating inputs may duplicate keys inside a candidate but
         // must not change the number of candidates or their identities.
         prop_assert_eq!(once.len(), twice.len());
@@ -87,7 +94,7 @@ proptest! {
         for (i, p) in profiles.iter_mut().enumerate() {
             p.key = format!("{}#{i}", p.key);
         }
-        let merged = merge_profiles(profiles.clone());
+        let merged = merge_profiles(arcs(profiles.clone()));
         let total_keys: usize = merged.iter().map(|c| c.keys.len()).sum();
         prop_assert_eq!(total_keys, profiles.len());
         // Metrics are maxima over contributing profiles, so never less
@@ -105,7 +112,7 @@ proptest! {
 
     #[test]
     fn merged_interests_are_normalized_and_sorted(profiles in proptest::collection::vec(arb_profile(), 0..10)) {
-        for cand in merge_profiles(profiles) {
+        for cand in merge_profiles(arcs(profiles)) {
             let mut sorted = cand.interests.clone();
             sorted.sort();
             sorted.dedup();

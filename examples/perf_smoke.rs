@@ -16,8 +16,20 @@
 //! dominated by round trips the registry schedules — not raw CPU — which
 //! keeps the check stable across machines. Minimum-of-N timing discards
 //! scheduler noise.
+//!
+//! Built with `--features count-allocs`, the smoke additionally counts
+//! **heap allocations per warm recommendation** through a counting
+//! global allocator and fails when they regress more than
+//! [`ALLOC_REGRESSION_HEADROOM`] over the committed baseline — the guard
+//! for the zero-copy extraction work (Arc-shared profiles, interning,
+//! single-flight coalescing). Without the feature the allocation guard
+//! is skipped (timings stay valid either way).
 
 use std::time::{Duration, Instant};
+
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: minaret_bench::alloc::CountingAllocator = minaret_bench::alloc::CountingAllocator;
 
 use minaret::eval::harness::{EvalContext, ScenarioConfig};
 use minaret::json::{parse, Value};
@@ -45,6 +57,11 @@ const MIN_SPEEDUP: f64 = 2.0;
 
 /// Allowed extraction-time growth over the committed baseline.
 const REGRESSION_HEADROOM: f64 = 1.25;
+
+/// Allowed growth in warm-path allocations per recommendation over the
+/// committed baseline (only checked under `--features count-allocs`).
+#[cfg(feature = "count-allocs")]
+const ALLOC_REGRESSION_HEADROOM: f64 = 1.25;
 
 struct Measured {
     per_label: Duration,
@@ -117,6 +134,45 @@ fn micros(d: Duration) -> u64 {
     d.as_micros() as u64
 }
 
+/// Warm-path allocation counts per recommendation: `(allocs, bytes)`
+/// for a cached registry and for the uncached pipeline default.
+#[cfg(feature = "count-allocs")]
+fn measure_allocs() -> ((u64, u64), (u64, u64)) {
+    use minaret::eval::harness::{EvalContext, ScenarioConfig};
+
+    fn per_rec(cached: bool) -> (u64, u64) {
+        let mut scenario = ScenarioConfig::sized(SCHOLARS);
+        scenario.source_latency_micros = 0;
+        scenario.cached = cached;
+        let ctx = EvalContext::build(scenario);
+        let sub = ctx.submissions(1, 0xE7).pop().expect("submission");
+        let mut manuscript = ctx.manuscript_for(&sub);
+        let mut topics = ctx.ontology.topics().map(|t| t.label.clone());
+        while manuscript.keywords.len() < 3 {
+            let label = topics.next().expect("curated ontology has topics");
+            if !manuscript.keywords.contains(&label) {
+                manuscript.keywords.push(label);
+            }
+        }
+        // Warm caches, the interner, lazy profile stores, worker pools.
+        for _ in 0..2 {
+            let _ = ctx.minaret.recommend(&manuscript).unwrap();
+        }
+        const N: u64 = 5;
+        let before = minaret_bench::alloc::snapshot();
+        for _ in 0..N {
+            let _ = std::hint::black_box(ctx.minaret.recommend(&manuscript).unwrap());
+        }
+        let after = minaret_bench::alloc::snapshot();
+        (
+            after.allocs_since(&before) / N,
+            after.bytes_since(&before) / N,
+        )
+    }
+
+    (per_rec(true), per_rec(false))
+}
+
 fn main() {
     let record = std::env::args().any(|a| a == "--record");
     let m = measure();
@@ -128,6 +184,16 @@ fn main() {
         m.extraction.as_secs_f64() * 1e3,
     );
 
+    #[cfg(feature = "count-allocs")]
+    let ((warm_allocs, warm_bytes), (uncached_allocs, uncached_bytes)) = {
+        let counts = measure_allocs();
+        println!(
+            "alloc smoke: warm {} allocs/rec ({} bytes)  uncached {} allocs/rec ({} bytes)",
+            counts.0 .0, counts.0 .1, counts.1 .0, counts.1 .1
+        );
+        counts
+    };
+
     if speedup < MIN_SPEEDUP {
         eprintln!(
             "FAIL: batched retrieval speedup {speedup:.2}x is below the required {MIN_SPEEDUP}x"
@@ -136,7 +202,8 @@ fn main() {
     }
 
     if record {
-        let json = Value::object()
+        #[allow(unused_mut)]
+        let mut json = Value::object()
             .set("scholars", SCHOLARS)
             .set("labels", LABELS)
             .set("source_latency_micros", LATENCY_MICROS)
@@ -145,6 +212,14 @@ fn main() {
             .set("batched_micros", micros(m.batched))
             .set("speedup", speedup)
             .set("extraction_micros", micros(m.extraction));
+        #[cfg(feature = "count-allocs")]
+        {
+            json = json
+                .set("warm_allocs_per_rec", warm_allocs)
+                .set("warm_alloc_bytes_per_rec", warm_bytes)
+                .set("uncached_warm_allocs_per_rec", uncached_allocs)
+                .set("uncached_warm_alloc_bytes_per_rec", uncached_bytes);
+        }
         std::fs::write(BASELINE_PATH, json.to_pretty_string() + "\n")
             .expect("baseline file is writable");
         println!("recorded baseline to {BASELINE_PATH}");
@@ -174,4 +249,31 @@ fn main() {
         "OK: extraction {measured:.0} us within {:.0}% of baseline {base_extraction} us",
         (REGRESSION_HEADROOM - 1.0) * 100.0
     );
+
+    #[cfg(feature = "count-allocs")]
+    for (field, measured) in [
+        ("warm_allocs_per_rec", warm_allocs),
+        ("uncached_warm_allocs_per_rec", uncached_allocs),
+    ] {
+        let Some(base) = baseline.get(field).and_then(|v| v.as_u64()) else {
+            eprintln!(
+                "FAIL: baseline {BASELINE_PATH} lacks {field}; re-record with --features count-allocs"
+            );
+            std::process::exit(1);
+        };
+        let budget = base as f64 * ALLOC_REGRESSION_HEADROOM;
+        if measured as f64 > budget {
+            eprintln!(
+                "FAIL: {field} {measured} exceeds baseline {base} by more than {:.0}% (budget {budget:.0})",
+                (ALLOC_REGRESSION_HEADROOM - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "OK: {field} {measured} within {:.0}% of baseline {base}",
+            (ALLOC_REGRESSION_HEADROOM - 1.0) * 100.0
+        );
+    }
+    #[cfg(feature = "count-allocs")]
+    let _ = (warm_bytes, uncached_bytes);
 }

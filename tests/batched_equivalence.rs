@@ -40,21 +40,21 @@ impl ScholarSource for CountingSource {
     fn supports_interest_search(&self) -> bool {
         self.inner.supports_interest_search()
     }
-    fn search_by_name(&self, name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         self.inner.search_by_name(name)
     }
-    fn search_by_interest(&self, keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_interest(&self, keyword: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         self.single.fetch_add(1, Ordering::Relaxed);
         self.inner.search_by_interest(keyword)
     }
     fn search_by_interests(
         &self,
-        labels: &[String],
-    ) -> Result<Vec<(String, Vec<SourceProfile>)>, SourceError> {
+        labels: &[Arc<str>],
+    ) -> Result<minaret_scholarly::LabeledHits, SourceError> {
         self.batched.fetch_add(1, Ordering::Relaxed);
         self.inner.search_by_interests(labels)
     }
-    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+    fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
         self.inner.fetch_profile(key)
     }
 }
@@ -259,5 +259,92 @@ fn parallel_report_is_byte_identical_under_scripted_faults() {
             assert!(parallel.degraded, "scenario {i} should report degradation");
             assert!(!parallel.source_errors.is_empty());
         }
+    }
+}
+
+/// FNV-1a over fingerprint lines, folding a newline byte after each —
+/// the exact hash the pre-refactor goldens below were captured with.
+fn fnv64(lines: &[String]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for line in lines {
+        for b in line.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0x0a;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Golden snapshots captured from the pre-zero-copy pipeline (String
+/// profiles, no interning, no Arc sharing), sequential registry with
+/// parallelism 1 over `world(300)`. The zero-copy refactor promises
+/// **byte-identical recommendations**; these hashes hold it to that.
+#[test]
+fn zero_copy_pipeline_matches_pre_refactor_golden_snapshots() {
+    let world = world(300);
+    let golden = [
+        (1u64, 0xe3d5a1bc368a4108u64),
+        (7, 0x220856e6d64b40f3),
+        (23, 0x150c9c0dd4eacd9d),
+        (42, 0xc46e6c0af08561ad),
+    ];
+    for (seed, want) in golden {
+        let m = manuscript(&world, seed);
+        let report = build(&world, false, 1, &[])
+            .recommend(&m)
+            .expect("sequential run succeeds");
+        assert_eq!(
+            fnv64(&fingerprint(&report)),
+            want,
+            "seed {seed}: recommendations diverged from the pre-refactor golden snapshot"
+        );
+    }
+}
+
+/// Same golden-snapshot guarantee under scripted fault schedules: the
+/// degraded-mode output (outcomes, errors, surviving rankings) must also
+/// be byte-identical to the pre-refactor pipeline's.
+#[test]
+fn zero_copy_pipeline_matches_golden_snapshots_under_faults() {
+    let world = world(300);
+    let scenarios: Vec<(Vec<(SourceKind, FaultSchedule)>, u64)> = vec![
+        (
+            vec![(
+                SourceKind::GoogleScholar,
+                FaultSchedule::FailThenRecover { failures: 2 },
+            )],
+            0x944f215c447b007b,
+        ),
+        (
+            vec![(SourceKind::Publons, FaultSchedule::PermanentOutage)],
+            0x6b253fc5b268252b,
+        ),
+        (
+            vec![
+                (
+                    SourceKind::Dblp,
+                    FaultSchedule::FailThenRecover { failures: 1 },
+                ),
+                (SourceKind::Publons, FaultSchedule::PermanentOutage),
+                (
+                    SourceKind::Orcid,
+                    FaultSchedule::FailThenRecover { failures: 2 },
+                ),
+            ],
+            0x6b253fc5b268252b,
+        ),
+    ];
+    for (i, (faults, want)) in scenarios.iter().enumerate() {
+        let m = manuscript(&world, 17);
+        let report = build(&world, false, 1, faults)
+            .recommend(&m)
+            .expect("sequential run succeeds");
+        assert_eq!(
+            fnv64(&fingerprint(&report)),
+            *want,
+            "fault scenario {i} diverged from the pre-refactor golden snapshot"
+        );
     }
 }

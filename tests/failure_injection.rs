@@ -237,16 +237,16 @@ impl ScholarSource for PanickingSource {
     fn supports_interest_search(&self) -> bool {
         false
     }
-    fn search_by_name(&self, _name: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_name(&self, _name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         panic!("injected panic in source thread");
     }
-    fn search_by_interest(&self, _keyword: &str) -> Result<Vec<SourceProfile>, SourceError> {
+    fn search_by_interest(&self, _keyword: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
         Err(SourceError::Unsupported {
             source: SourceKind::ResearcherId,
             operation: "interest search",
         })
     }
-    fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+    fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
         Err(SourceError::NotFound {
             source: SourceKind::ResearcherId,
             key: key.to_string(),

@@ -130,6 +130,17 @@ fn metrics_cover_all_sources_and_phases_after_a_recommendation() {
         text.contains("minaret_http_requests_total{route=\"/recommend\",status=\"200\"} 1"),
         "{text}"
     );
+
+    // Single-flight coalescing is observable per source from
+    // registration time (zero until concurrent identical fan-outs
+    // actually share a leader).
+    for kind in SourceKind::ALL {
+        let series = format!(
+            "minaret_fanout_coalesced_total{{source=\"{}\"}}",
+            kind.prefix()
+        );
+        assert!(text.contains(&series), "missing {series}:\n{text}");
+    }
 }
 
 #[test]

@@ -190,13 +190,19 @@ fn s2_1_six_sources_and_extensibility() {
         fn supports_interest_search(&self) -> bool {
             true
         }
-        fn search_by_name(&self, _: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        fn search_by_name(
+            &self,
+            _: &str,
+        ) -> Result<Vec<std::sync::Arc<SourceProfile>>, SourceError> {
             Ok(vec![])
         }
-        fn search_by_interest(&self, _: &str) -> Result<Vec<SourceProfile>, SourceError> {
+        fn search_by_interest(
+            &self,
+            _: &str,
+        ) -> Result<Vec<std::sync::Arc<SourceProfile>>, SourceError> {
             Ok(vec![])
         }
-        fn fetch_profile(&self, key: &str) -> Result<SourceProfile, SourceError> {
+        fn fetch_profile(&self, key: &str) -> Result<std::sync::Arc<SourceProfile>, SourceError> {
             Err(SourceError::NotFound {
                 source: self.kind(),
                 key: key.to_string(),
