@@ -28,7 +28,22 @@ cargo test -q --test metrics_endpoint
 echo "==> single-flight coalescing: cargo test -p minaret-scholarly coalesc"
 cargo test -q -p minaret-scholarly coalesc
 
-echo "==> perf smoke: batched speedup + extraction vs BENCH_e7_scalability.json"
+echo "==> load shedding: cargo test --test load_shedding"
+cargo test -q --test load_shedding
+
+echo "==> keep-alive semantics: cargo test --test keep_alive"
+cargo test -q --test keep_alive
+
+echo "==> result cache: cargo test --test result_cache"
+cargo test -q --test result_cache
+
+echo "==> HTTP parser property tests: cargo test --test http_parser_proptest"
+cargo test -q --test http_parser_proptest
+
+echo "==> shutdown/drain soak: cargo test --test shutdown_drain"
+cargo test -q --test shutdown_drain
+
+echo "==> perf smoke: batched speedup + extraction + served cache hit vs BENCH_e7_scalability.json"
 cargo run -q --release --example perf_smoke
 
 echo "==> alloc smoke: warm-path allocations vs BENCH_e7_scalability.json (count-allocs)"

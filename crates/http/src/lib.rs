@@ -1,24 +1,36 @@
-//! A minimal HTTP/1.1 server substrate, built on `std::net`.
+//! An admission-controlled HTTP/1.1 server substrate, built on `std::net`.
 //!
 //! The MINARET prototype ships a web application and RESTful APIs. This
 //! crate provides just enough HTTP for `minaret-server` to expose the
-//! same workflow: request parsing with size limits, a pattern router
-//! (`/authors/:id`), JSON helpers (via `minaret-json`), and a threaded
-//! accept loop with graceful shutdown.
+//! same workflow under load: request parsing with size limits, a pattern
+//! router (`/authors/:id`), JSON helpers (via `minaret-json`), and a
+//! threaded accept loop with explicit overload policy —
 //!
-//! Deliberately out of scope: TLS, keep-alive, chunked encoding — the
-//! demo API needs none of them, and every connection is served
-//! `Connection: close`.
+//! - a **bounded admission queue** ([`queue::BoundedQueue`]): when full,
+//!   connections are shed with `503` + `Retry-After` instead of queueing
+//!   unboundedly; per-client bursts can be capped with `429`;
+//! - **HTTP/1.1 keep-alive** with max-requests and idle-timeout caps
+//!   ([`KeepAliveConfig`]);
+//! - **per-request deadlines**: socket read/write timeouts plus an
+//!   absolute [`Request::deadline`] handlers can pass down into
+//!   deadline-aware backends;
+//! - **graceful drain** on [`Server::shutdown`]: stop accepting, serve
+//!   everything already admitted, join every thread;
+//! - queue depth / shed / time-in-queue metrics via `minaret-telemetry`.
+//!
+//! Deliberately out of scope: TLS and chunked encoding — the API needs
+//! neither.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod queue;
 mod request;
 mod response;
 mod router;
 mod server;
 
-pub use request::{HttpError, Method, Request};
+pub use request::{percent_decode, HttpError, Method, Request};
 pub use response::Response;
 pub use router::{Params, Router};
-pub use server::Server;
+pub use server::{KeepAliveConfig, Server, ServerConfig};

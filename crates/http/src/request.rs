@@ -1,8 +1,9 @@
 //! HTTP request parsing.
 
 use std::fmt;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader};
 use std::net::TcpStream;
+use std::time::Instant;
 
 /// Maximum accepted header block, in bytes.
 const MAX_HEADER_BYTES: usize = 16 * 1024;
@@ -54,6 +55,8 @@ pub enum HttpError {
     UnsupportedMethod(String),
     /// Headers or body exceeded the size limits → 413.
     TooLarge,
+    /// A socket read/write deadline expired → 408.
+    Timeout,
     /// Underlying socket error.
     Io(String),
 }
@@ -64,12 +67,22 @@ impl fmt::Display for HttpError {
             HttpError::BadRequest(m) => write!(f, "bad request: {m}"),
             HttpError::UnsupportedMethod(m) => write!(f, "unsupported method: {m}"),
             HttpError::TooLarge => write!(f, "request too large"),
+            HttpError::Timeout => write!(f, "request timed out"),
             HttpError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }
 
 impl std::error::Error for HttpError {}
+
+/// Classifies a socket error: expired `SO_RCVTIMEO`/`SO_SNDTIMEO`
+/// deadlines surface as `WouldBlock`/`TimedOut` and map to 408.
+fn io_error(e: std::io::Error) -> HttpError {
+    match e.kind() {
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => HttpError::Timeout,
+        _ => HttpError::Io(e.to_string()),
+    }
+}
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
@@ -84,6 +97,12 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Raw body bytes.
     pub body: Vec<u8>,
+    /// Minor HTTP version: 1 for HTTP/1.1, 0 for HTTP/1.0.
+    pub minor_version: u8,
+    /// Absolute deadline for answering this request, when the server
+    /// enforces a per-request budget. Handlers may pass the remaining
+    /// time down into their own deadline-aware calls.
+    pub deadline: Option<Instant>,
 }
 
 impl Request {
@@ -111,15 +130,43 @@ impl Request {
         minaret_json::parse(text).map_err(|e| HttpError::BadRequest(e.to_string()))
     }
 
-    /// Reads and parses one request from a stream.
+    /// Whether the client asked for (or its HTTP version implies) closing
+    /// the connection after this response.
+    pub fn wants_close(&self) -> bool {
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            // HTTP/1.0 defaults to close, HTTP/1.1 to keep-alive.
+            _ => self.minor_version == 0,
+        }
+    }
+
+    /// Reads and parses one request from a stream. Convenience wrapper
+    /// around [`Request::read_from_buffered`] for close-per-request use;
+    /// keep-alive servers must hold one `BufReader` across requests so
+    /// pipelined bytes are not dropped between them.
     pub fn read_from(stream: &mut TcpStream) -> Result<Request, HttpError> {
         let mut reader = BufReader::new(stream);
+        match Request::read_from_buffered(&mut reader)? {
+            Some(request) => Ok(request),
+            None => Err(HttpError::Io("connection closed before request".into())),
+        }
+    }
+
+    /// Reads and parses one request from a buffered reader. Returns
+    /// `Ok(None)` when the peer closed cleanly before sending anything
+    /// (the normal end of a keep-alive connection).
+    pub fn read_from_buffered<R: BufRead>(reader: &mut R) -> Result<Option<Request>, HttpError> {
         let mut header_bytes = 0usize;
         let mut line = String::new();
-        reader
-            .read_line(&mut line)
-            .map_err(|e| HttpError::Io(e.to_string()))?;
+        let n = reader.read_line(&mut line).map_err(io_error)?;
+        if n == 0 {
+            return Ok(None);
+        }
         header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
         let request_line = line.trim_end();
         let mut parts = request_line.split(' ');
         let method_str = parts
@@ -131,11 +178,15 @@ impl Request {
         let version = parts
             .next()
             .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
-        if !version.starts_with("HTTP/1.") {
-            return Err(HttpError::BadRequest(format!(
-                "unsupported version {version:?}"
-            )));
+        if parts.next().is_some() {
+            return Err(HttpError::BadRequest(
+                "trailing data after HTTP version".into(),
+            ));
         }
+        let minor_version = version
+            .strip_prefix("HTTP/1.")
+            .and_then(|m| m.parse::<u8>().ok())
+            .ok_or_else(|| HttpError::BadRequest(format!("unsupported version {version:?}")))?;
         let method = Method::parse(method_str)
             .ok_or_else(|| HttpError::UnsupportedMethod(method_str.to_string()))?;
         let (path, query) = split_target(target)?;
@@ -143,9 +194,10 @@ impl Request {
         let mut headers = Vec::new();
         loop {
             let mut hl = String::new();
-            reader
-                .read_line(&mut hl)
-                .map_err(|e| HttpError::Io(e.to_string()))?;
+            let n = reader.read_line(&mut hl).map_err(io_error)?;
+            if n == 0 {
+                return Err(HttpError::Io("unexpected EOF in headers".into()));
+            }
             header_bytes += hl.len();
             if header_bytes > MAX_HEADER_BYTES {
                 return Err(HttpError::TooLarge);
@@ -160,29 +212,32 @@ impl Request {
             headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
 
-        let content_length = headers
-            .iter()
-            .find(|(k, _)| k == "content-length")
+        let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+        let content_length = lengths
+            .next()
             .map(|(_, v)| {
                 v.parse::<usize>()
                     .map_err(|_| HttpError::BadRequest("invalid content-length".into()))
             })
             .transpose()?
             .unwrap_or(0);
+        if lengths.next().is_some() {
+            return Err(HttpError::BadRequest("duplicate content-length".into()));
+        }
         if content_length > MAX_BODY_BYTES {
             return Err(HttpError::TooLarge);
         }
         let mut body = vec![0u8; content_length];
-        reader
-            .read_exact(&mut body)
-            .map_err(|e| HttpError::Io(e.to_string()))?;
-        Ok(Request {
+        reader.read_exact(&mut body).map_err(io_error)?;
+        Ok(Some(Request {
             method,
             path,
             query,
             headers,
             body,
-        })
+            minor_version,
+            deadline: None,
+        }))
     }
 }
 
@@ -203,7 +258,7 @@ fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpErr
 }
 
 /// Percent-decoding, with `+` treated as space in the query convention.
-fn percent_decode(s: &str) -> Result<String, HttpError> {
+pub fn percent_decode(s: &str) -> Result<String, HttpError> {
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -234,6 +289,12 @@ fn percent_decode(s: &str) -> Result<String, HttpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+        let mut cursor = Cursor::new(raw.to_vec());
+        Request::read_from_buffered(&mut cursor)
+    }
 
     #[test]
     fn split_target_parses_path_and_query() {
@@ -274,6 +335,8 @@ mod tests {
             query: vec![("a".into(), "1".into()), ("a".into(), "2".into())],
             headers: vec![("content-type".into(), "application/json".into())],
             body: b"{\"k\": 3}".to_vec(),
+            minor_version: 1,
+            deadline: None,
         };
         assert_eq!(r.query_param("a"), Some("1"));
         assert_eq!(r.query_param("b"), None);
@@ -290,6 +353,8 @@ mod tests {
             query: vec![],
             headers: vec![],
             body: b"{nope".to_vec(),
+            minor_version: 1,
+            deadline: None,
         };
         assert!(matches!(r.json_body(), Err(HttpError::BadRequest(_))));
         let r2 = Request {
@@ -297,5 +362,65 @@ mod tests {
             ..r
         };
         assert!(matches!(r2.json_body(), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn buffered_parse_reads_sequential_requests() {
+        let raw =
+            b"GET /a HTTP/1.1\r\nHost: x\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut cursor = Cursor::new(raw.to_vec());
+        let first = Request::read_from_buffered(&mut cursor).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.minor_version, 1);
+        let second = Request::read_from_buffered(&mut cursor).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert_eq!(second.body, b"hi");
+        assert!(Request::read_from_buffered(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn clean_eof_before_request_is_none() {
+        assert!(parse(b"").unwrap().is_none());
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nhi!";
+        assert!(matches!(parse(raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn trailing_garbage_after_version_is_rejected() {
+        let raw = b"GET /x HTTP/1.1 extra\r\n\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::BadRequest(_))));
+    }
+
+    #[test]
+    fn http10_defaults_to_close() {
+        let raw = b"GET /x HTTP/1.0\r\n\r\n";
+        let r = parse(raw).unwrap().unwrap();
+        assert_eq!(r.minor_version, 0);
+        assert!(r.wants_close());
+
+        let raw = b"GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(!parse(raw).unwrap().unwrap().wants_close());
+
+        let raw = b"GET /x HTTP/1.1\r\n\r\n";
+        assert!(!parse(raw).unwrap().unwrap().wants_close());
+
+        let raw = b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(parse(raw).unwrap().unwrap().wants_close());
+    }
+
+    #[test]
+    fn truncated_headers_are_io_errors() {
+        let raw = b"GET /x HTTP/1.1\r\nHost: x\r\n";
+        assert!(matches!(parse(raw), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn truncated_body_is_io_error() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
+        assert!(matches!(parse(raw), Err(HttpError::Io(_))));
     }
 }

@@ -19,13 +19,20 @@ pub struct Response {
 impl Response {
     /// A JSON response.
     pub fn json(status: u16, value: &Value) -> Response {
+        Response::json_bytes(status, value.to_string().into_bytes())
+    }
+
+    /// A JSON response from pre-serialized bytes. This is the cache
+    /// hit path: serving stored bytes directly guarantees the response
+    /// is byte-identical to the one that populated the cache.
+    pub fn json_bytes(status: u16, body: Vec<u8>) -> Response {
         Response {
             status,
             headers: vec![(
                 "Content-Type".into(),
                 "application/json; charset=utf-8".into(),
             )],
-            body: value.to_string().into_bytes(),
+            body,
         }
     }
 
@@ -58,16 +65,20 @@ impl Response {
             400 => "Bad Request",
             404 => "Not Found",
             405 => "Method Not Allowed",
+            408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             501 => "Not Implemented",
+            503 => "Service Unavailable",
             _ => "Unknown",
         }
     }
 
-    /// Serializes the response head + body.
-    pub fn to_bytes(&self) -> Vec<u8> {
+    /// Serializes the response head + body with the given connection
+    /// disposition.
+    fn serialize(&self, close: bool) -> Vec<u8> {
         let mut out = format!("HTTP/1.1 {} {}\r\n", self.status, self.reason());
         for (k, v) in &self.headers {
             out.push_str(k);
@@ -76,17 +87,32 @@ impl Response {
             out.push_str("\r\n");
         }
         out.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        out.push_str("Connection: close\r\n\r\n");
+        out.push_str(if close {
+            "Connection: close\r\n\r\n"
+        } else {
+            "Connection: keep-alive\r\n\r\n"
+        });
         let mut bytes = out.into_bytes();
         bytes.extend_from_slice(&self.body);
         bytes
     }
 
+    /// Serializes the response head + body (close-per-request form).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.serialize(true)
+    }
+
     /// Writes the response to a stream; errors are swallowed (the client
     /// hung up — nothing useful to do).
     pub fn write_to(&self, stream: &mut TcpStream) {
-        let _ = stream.write_all(&self.to_bytes());
-        let _ = stream.flush();
+        self.write_to_with(stream, true);
+    }
+
+    /// Writes the response, announcing whether the server will keep the
+    /// connection open afterwards. Returns false if the write failed
+    /// (client gone or write deadline expired).
+    pub fn write_to_with(&self, stream: &mut TcpStream, close: bool) -> bool {
+        stream.write_all(&self.serialize(close)).is_ok() && stream.flush().is_ok()
     }
 }
 
@@ -122,8 +148,34 @@ mod tests {
     }
 
     #[test]
-    fn unknown_status_reason() {
-        let r = Response::text(299, "");
-        assert_eq!(r.reason(), "Unknown");
+    fn keep_alive_serialization_differs_only_in_connection_header() {
+        let r = Response::text(200, "hi");
+        let close = String::from_utf8(r.serialize(true)).unwrap();
+        let keep = String::from_utf8(r.serialize(false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert_eq!(
+            close.replace("Connection: close", "Connection: keep-alive"),
+            keep
+        );
+    }
+
+    #[test]
+    fn json_bytes_serves_stored_payload_verbatim() {
+        let stored = br#"{"cached":true}"#.to_vec();
+        let r = Response::json_bytes(200, stored.clone());
+        assert_eq!(r.body, stored);
+        assert_eq!(
+            r.to_bytes(),
+            Response::json(200, &minaret_json::parse(r#"{"cached":true}"#).unwrap()).to_bytes()
+        );
+    }
+
+    #[test]
+    fn overload_status_reasons() {
+        assert_eq!(Response::text(408, "").reason(), "Request Timeout");
+        assert_eq!(Response::text(429, "").reason(), "Too Many Requests");
+        assert_eq!(Response::text(503, "").reason(), "Service Unavailable");
+        assert_eq!(Response::text(299, "").reason(), "Unknown");
     }
 }

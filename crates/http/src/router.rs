@@ -144,6 +144,8 @@ mod tests {
             query: vec![],
             headers: vec![],
             body: vec![],
+            minor_version: 1,
+            deadline: None,
         }
     }
 

@@ -1,24 +1,104 @@
-//! The threaded accept loop.
+//! The admission-controlled accept loop.
+//!
+//! One acceptor thread admits connections into a [`BoundedQueue`]; a
+//! fixed pool of worker threads serves them with HTTP/1.1 keep-alive.
+//! When the queue is full the acceptor **sheds**: the connection is
+//! answered `503` + `Retry-After` immediately instead of waiting, so
+//! overload degrades into fast, explicit refusals rather than unbounded
+//! latency. Per-client concurrent-connection bursts can additionally be
+//! capped with `429`. Shutdown is a graceful drain: stop accepting,
+//! serve (with `Connection: close`) everything already admitted, join
+//! every thread.
 
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::HashMap;
+use std::io::BufRead;
+use std::io::BufReader;
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel;
+use minaret_telemetry::Telemetry;
 
+use crate::queue::{BoundedQueue, PushError};
 use crate::request::{HttpError, Request};
 use crate::response::Response;
 use crate::router::Router;
 
+/// Keep-alive limits for a single connection.
+#[derive(Debug, Clone)]
+pub struct KeepAliveConfig {
+    /// Maximum requests served on one connection before the server
+    /// forces `Connection: close`. `1` disables keep-alive.
+    pub max_requests: usize,
+    /// How long a connection may sit idle between requests before the
+    /// server closes it. `None` waits forever.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for KeepAliveConfig {
+    fn default() -> Self {
+        KeepAliveConfig {
+            max_requests: 100,
+            idle_timeout: Some(Duration::from_secs(5)),
+        }
+    }
+}
+
+/// Serving-layer configuration for [`Server::bind_with`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// Admission-queue capacity; connections beyond it are shed with
+    /// `503` + `Retry-After`.
+    pub queue_depth: usize,
+    /// Budget for reading, handling, and writing one request. Applied
+    /// as socket read/write timeouts and passed to handlers via
+    /// [`Request::deadline`]. `None` disables the budget.
+    pub request_timeout: Option<Duration>,
+    /// Keep-alive limits.
+    pub keep_alive: KeepAliveConfig,
+    /// Value of the `Retry-After` header on shed responses, in seconds.
+    pub retry_after_secs: u64,
+    /// Maximum concurrent connections admitted per client IP before
+    /// further ones are shed with `429`. `0` disables the cap.
+    pub per_client_burst: usize,
+    /// Telemetry sink for queue/shed/latency metrics.
+    pub telemetry: Telemetry,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 8,
+            queue_depth: 128,
+            request_timeout: Some(Duration::from_secs(10)),
+            keep_alive: KeepAliveConfig::default(),
+            retry_after_secs: 1,
+            per_client_burst: 0,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// A connection admitted to the queue, stamped for time-in-queue.
+struct QueuedConn {
+    stream: TcpStream,
+    ip: Option<IpAddr>,
+    enqueued: Instant,
+}
+
 /// A running HTTP server.
 ///
-/// One acceptor thread feeds a fixed pool of worker threads over a
-/// channel; shutdown is cooperative (flag + wake-up connection) and
-/// joins every thread.
+/// One acceptor thread feeds a bounded queue drained by a fixed pool of
+/// worker threads; overload is shed at admission, and shutdown drains
+/// the queue before joining every thread.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    queue: Arc<BoundedQueue<QueuedConn>>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -31,46 +111,106 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `router` on `workers` threads.
+    /// `router` on `workers` threads with the legacy close-per-request
+    /// behavior: no keep-alive, no timeouts, telemetry disabled.
     pub fn bind(addr: &str, router: Router, workers: usize) -> std::io::Result<Server> {
+        Server::bind_with(
+            addr,
+            router,
+            ServerConfig {
+                workers,
+                request_timeout: None,
+                keep_alive: KeepAliveConfig {
+                    max_requests: 1,
+                    idle_timeout: None,
+                },
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Binds `addr` and starts serving `router` under `config`.
+    pub fn bind_with(addr: &str, router: Router, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let router = Arc::new(router);
-        let (tx, rx) = channel::unbounded::<TcpStream>();
+        let config = Arc::new(config);
+        let queue: Arc<BoundedQueue<QueuedConn>> = Arc::new(BoundedQueue::new(config.queue_depth));
+        let per_ip: Arc<Mutex<HashMap<IpAddr, usize>>> = Arc::new(Mutex::new(HashMap::new()));
 
-        let mut worker_handles = Vec::with_capacity(workers.max(1));
-        for _ in 0..workers.max(1) {
-            let rx = rx.clone();
+        let mut worker_handles = Vec::with_capacity(config.workers.max(1));
+        for _ in 0..config.workers.max(1) {
+            let queue = queue.clone();
             let router = router.clone();
+            let config = config.clone();
+            let stop = stop.clone();
+            let per_ip = per_ip.clone();
             worker_handles.push(std::thread::spawn(move || {
-                while let Ok(mut stream) = rx.recv() {
-                    handle_connection(&mut stream, &router);
+                while let Some(conn) = queue.pop() {
+                    let t = &config.telemetry;
+                    t.gauge("minaret_http_queue_depth", &[])
+                        .set(queue.len() as i64);
+                    t.histogram("minaret_http_time_in_queue_micros", &[])
+                        .observe_duration(conn.enqueued.elapsed());
+                    let ip = conn.ip;
+                    handle_connection(conn.stream, &router, &config, &stop);
+                    release_ip(&per_ip, ip);
                 }
             }));
         }
 
         let stop_flag = stop.clone();
+        let accept_queue = queue.clone();
+        let accept_config = config.clone();
         let acceptor = std::thread::spawn(move || {
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
                     break;
                 }
-                match stream {
-                    Ok(s) => {
-                        if tx.send(s).is_err() {
-                            break;
+                let Ok(stream) = stream else { continue };
+                let ip = stream.peer_addr().ok().map(|a| a.ip());
+                if accept_config.per_client_burst > 0 {
+                    if let Some(ip) = ip {
+                        let mut map = per_ip.lock().expect("per-ip lock poisoned");
+                        let count = map.entry(ip).or_insert(0);
+                        if *count >= accept_config.per_client_burst {
+                            drop(map);
+                            shed(stream, 429, "client burst limit", &accept_config);
+                            continue;
                         }
+                        *count += 1;
                     }
-                    Err(_) => continue,
+                }
+                let conn = QueuedConn {
+                    stream,
+                    ip,
+                    enqueued: Instant::now(),
+                };
+                match accept_queue.try_push(conn) {
+                    Ok(depth) => {
+                        accept_config
+                            .telemetry
+                            .gauge("minaret_http_queue_depth", &[])
+                            .set(depth as i64);
+                    }
+                    Err(PushError::Full(conn)) => {
+                        release_ip(&per_ip, conn.ip);
+                        shed(conn.stream, 503, "queue full", &accept_config);
+                    }
+                    Err(PushError::Closed(conn)) => {
+                        release_ip(&per_ip, conn.ip);
+                        shed(conn.stream, 503, "shutting down", &accept_config);
+                        break;
+                    }
                 }
             }
-            // Dropping tx closes the channel; workers drain and exit.
         });
 
         Ok(Server {
             addr: local,
             stop,
+            queue,
             acceptor: Some(acceptor),
             workers: worker_handles,
         })
@@ -81,31 +221,146 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, drains workers, and joins all threads.
+    /// Connections currently admitted but not yet picked up by a worker.
+    /// Test harnesses use this to synchronize on queue state instead of
+    /// sleeping.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Graceful drain: stop accepting, serve everything already queued
+    /// (forced `Connection: close`), and join all threads. Worker or
+    /// acceptor panics propagate to the caller.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Wake the acceptor's blocking accept with a dummy connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(a) = self.acceptor.take() {
-            let _ = a.join();
+            a.join().expect("acceptor thread panicked");
         }
+        // No more pushes are possible; close so workers exit once the
+        // already-admitted connections drain.
+        self.queue.close();
         for w in self.workers.drain(..) {
-            let _ = w.join();
+            w.join().expect("worker thread panicked");
         }
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, router: &Router) {
-    let response = match Request::read_from(stream) {
-        Ok(request) => router.dispatch(&request),
-        Err(HttpError::TooLarge) => Response::error(413, "request too large"),
-        Err(HttpError::UnsupportedMethod(m)) => {
-            Response::error(501, &format!("method {m} not implemented"))
-        }
-        Err(HttpError::BadRequest(m)) => Response::error(400, &m),
-        Err(HttpError::Io(_)) => return, // client went away mid-request
+/// Refuses a connection at admission with `status` + `Retry-After`.
+///
+/// The write and the lingering close run on a detached thread (capped at
+/// ~1s by socket timeouts) so a dead or slow client never stalls the
+/// acceptor. The lingering close matters for correctness, not courtesy:
+/// the acceptor never read the client's request bytes, and closing a
+/// socket with unread data sends RST, which can destroy the refusal
+/// in flight before the client reads it. Draining to EOF first means
+/// the close is a FIN and the `503`/`429` reliably arrives.
+fn shed(stream: TcpStream, status: u16, why: &str, config: &ServerConfig) {
+    let reason = match status {
+        429 => "client_burst",
+        _ if why == "shutting down" => "shutdown",
+        _ => "queue_full",
     };
-    response.write_to(stream);
+    config
+        .telemetry
+        .counter("minaret_http_shed_total", &[("reason", reason)])
+        .inc();
+    let response = Response::error(status, why)
+        .with_header("Retry-After", &config.retry_after_secs.to_string());
+    std::thread::spawn(move || {
+        let mut stream = stream;
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+        if !response.write_to_with(&mut stream, true) {
+            return;
+        }
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
+        let mut sink = [0u8; 4096];
+        loop {
+            match std::io::Read::read(&mut stream, &mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+    });
+}
+
+fn release_ip(per_ip: &Mutex<HashMap<IpAddr, usize>>, ip: Option<IpAddr>) {
+    let Some(ip) = ip else { return };
+    let mut map = per_ip.lock().expect("per-ip lock poisoned");
+    if let Some(count) = map.get_mut(&ip) {
+        *count = count.saturating_sub(1);
+        if *count == 0 {
+            map.remove(&ip);
+        }
+    }
+}
+
+/// Serves one connection: a keep-alive loop of parse → dispatch → write,
+/// with an idle timeout between requests and a per-request deadline
+/// (socket timeouts + [`Request::deadline`]) within each.
+fn handle_connection(
+    mut stream: TcpStream,
+    router: &Router,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut served: u64 = 0;
+    loop {
+        // Idle phase: wait for the first byte of the next request (or
+        // already-buffered pipelined bytes) under the idle timeout.
+        if stream
+            .set_read_timeout(config.keep_alive.idle_timeout)
+            .is_err()
+        {
+            break;
+        }
+        match reader.fill_buf() {
+            Ok([]) => break, // clean EOF
+            Ok(_) => {}
+            Err(_) => break, // idle timeout or socket error: just close
+        }
+        // Request phase: the per-request budget covers parse, handle,
+        // and write.
+        let _ = stream.set_read_timeout(config.request_timeout);
+        let _ = stream.set_write_timeout(config.request_timeout);
+        let deadline = config.request_timeout.map(|t| Instant::now() + t);
+        let (response, mut close) = match Request::read_from_buffered(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(mut request)) => {
+                request.deadline = deadline;
+                let close = request.wants_close();
+                (router.dispatch(&request), close)
+            }
+            Err(HttpError::Timeout) => (Response::error(408, "request timed out"), true),
+            Err(HttpError::TooLarge) => (Response::error(413, "request too large"), true),
+            Err(HttpError::UnsupportedMethod(m)) => (
+                Response::error(501, &format!("method {m} not implemented")),
+                true,
+            ),
+            Err(HttpError::BadRequest(m)) => (Response::error(400, &m), true),
+            Err(HttpError::Io(_)) => break, // client went away mid-request
+        };
+        served += 1;
+        if served >= config.keep_alive.max_requests as u64 || stop.load(Ordering::SeqCst) {
+            close = true;
+        }
+        let written = response.write_to_with(&mut stream, close);
+        if close || !written {
+            break;
+        }
+    }
+    if served > 0 {
+        config
+            .telemetry
+            .histogram("minaret_http_requests_per_connection", &[])
+            .observe(served);
+    }
 }
 
 #[cfg(test)]
@@ -207,5 +462,41 @@ mod tests {
             Err(_) => {}
             Ok(out) => assert!(out.is_empty(), "server answered after shutdown: {out}"),
         }
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            test_router(),
+            ServerConfig {
+                workers: 1,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        for _ in 0..3 {
+            s.write_all(b"GET /ping HTTP/1.1\r\nHost: x\r\n\r\n")
+                .unwrap();
+            let mut resp = String::new();
+            let mut buf = [0u8; 1024];
+            while !resp.ends_with("pong") {
+                let n = s.read(&mut buf).unwrap();
+                assert!(n > 0, "connection closed mid-response: {resp}");
+                resp.push_str(&String::from_utf8_lossy(&buf[..n]));
+            }
+            assert!(resp.starts_with("HTTP/1.1 200 OK"), "{resp}");
+            assert!(resp.contains("Connection: keep-alive"), "{resp}");
+        }
+        drop(s);
+        server.shutdown();
+    }
+
+    #[test]
+    fn queue_depth_starts_empty() {
+        let server = Server::bind("127.0.0.1:0", test_router(), 1).unwrap();
+        assert_eq!(server.queue_depth(), 0);
+        server.shutdown();
     }
 }

@@ -198,6 +198,10 @@ struct RegistryShared {
     telemetry: Telemetry,
     clock: RwLock<Arc<dyn Clock>>,
     sources: RwLock<Vec<SourceEntry>>,
+    /// The persistent worker pool, spawned lazily on the first
+    /// concurrent fan-out. Lives here (not on the handle) so
+    /// [`SourceRegistry::scoped_with_budget`] views share one pool.
+    pool: OnceLock<WorkerPool>,
     calls: AtomicU64,
     retries: AtomicU64,
     gave_up: AtomicU64,
@@ -656,7 +660,10 @@ type Slot<T> = Option<(Result<T, SourceError>, u32)>;
 /// implementing [`ScholarSource`].
 pub struct SourceRegistry {
     shared: Arc<RegistryShared>,
-    pool: OnceLock<WorkerPool>,
+    /// Absolute deadline (clock micros) bounding every fan-out issued
+    /// through this handle, on top of the per-fan-out budget. Set by
+    /// [`SourceRegistry::scoped_with_budget`]; `None` on the root handle.
+    request_deadline_micros: Option<u64>,
 }
 
 impl std::fmt::Debug for SourceRegistry {
@@ -689,10 +696,30 @@ impl SourceRegistry {
                 timed_out: AtomicU64::new(0),
                 short_circuited: AtomicU64::new(0),
                 queue_depth: AtomicU64::new(0),
+                pool: OnceLock::new(),
                 inflight: Mutex::new(HashMap::new()),
                 coalesced: AtomicU64::new(0),
             }),
-            pool: OnceLock::new(),
+            request_deadline_micros: None,
+        }
+    }
+
+    /// A view of this registry whose fan-outs are additionally bounded
+    /// by `budget_micros` from now — the serving layer's per-request
+    /// deadline threaded down into source calls. The view shares
+    /// everything (sources, breakers, counters, worker pool, coalescing)
+    /// with the root handle; only the deadline differs. A fan-out issued
+    /// through the view uses the **tighter** of the configured fan-out
+    /// budget and the remaining request budget.
+    pub fn scoped_with_budget(&self, budget_micros: u64) -> SourceRegistry {
+        SourceRegistry {
+            shared: Arc::clone(&self.shared),
+            request_deadline_micros: Some(
+                self.shared
+                    .clock()
+                    .now_micros()
+                    .saturating_add(budget_micros),
+            ),
         }
     }
 
@@ -763,7 +790,8 @@ impl SourceRegistry {
     /// The worker pool, spawned on first use with one worker per source
     /// registered at that moment.
     fn pool(&self) -> &WorkerPool {
-        self.pool
+        self.shared
+            .pool
             .get_or_init(|| WorkerPool::spawn(self.shared.sources.read().len()))
     }
 
@@ -794,8 +822,14 @@ impl SourceRegistry {
     {
         let shared = &self.shared;
         let budget = shared.config.resilience.fanout_budget_micros;
-        let fanout_deadline =
+        let config_deadline =
             (budget > 0).then(|| shared.clock().now_micros().saturating_add(budget));
+        // A scoped handle's request deadline clamps the fan-out budget:
+        // whichever expires first governs the calls.
+        let fanout_deadline = match (config_deadline, self.request_deadline_micros) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
         let entries: Vec<SourceEntry> = shared.sources.read().clone();
         let applicable: Vec<bool> = entries.iter().map(|e| applies(e.source.as_ref())).collect();
         let mut slots: Vec<(SourceKind, Slot<T>)> =
@@ -1668,6 +1702,45 @@ mod tests {
             reg.breaker_state(SourceKind::GoogleScholar),
             Some(BreakerState::Closed)
         );
+    }
+
+    #[test]
+    fn scoped_budget_clamps_fanouts_to_the_request_deadline() {
+        let w = world();
+        let clock = SimulatedClock::new();
+        let mut spec = SourceSpec::for_kind(SourceKind::Dblp);
+        spec.latency_micros = 1_000;
+        let mut reg = SourceRegistry::new(RegistryConfig {
+            max_retries: 0,
+            concurrent: false,
+            resilience: ResilienceConfig::disabled(),
+        })
+        .with_clock(clock.clone());
+        reg.register(Arc::new(
+            SimulatedSource::new(spec, w.clone()).with_clock(clock.clone()),
+        ));
+        let name = w.scholars()[0].full_name();
+        // Root handle: no request deadline, the call succeeds.
+        let report = reg.search_by_name_report(&name);
+        assert_eq!(report.outcomes[0].status, SourceStatus::Ok);
+        // A scoped view whose budget is already exhausted rejects the
+        // call before touching the source.
+        let calls_before = reg.stats().calls;
+        let scoped = reg.scoped_with_budget(0);
+        let report = scoped.search_by_name_report(&name);
+        assert_eq!(
+            report.outcomes[0].status,
+            SourceStatus::Failed(SourceError::BudgetExhausted {
+                source: SourceKind::Dblp
+            })
+        );
+        assert_eq!(reg.stats().calls, calls_before, "no source call issued");
+        // The scoped run charged the shared stats ledger.
+        assert!(reg.stats().gave_up >= 1);
+        // A generous budget behaves like the root handle.
+        let scoped = reg.scoped_with_budget(10_000_000);
+        let report = scoped.search_by_name_report(&name);
+        assert_eq!(report.outcomes[0].status, SourceStatus::Ok);
     }
 
     #[test]

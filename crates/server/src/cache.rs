@@ -1,0 +1,304 @@
+//! TTL'd recommendation result cache.
+//!
+//! `/recommend` is the expensive route: every uncached call runs the
+//! full three-phase pipeline (fan-out, disambiguation, filter, rank).
+//! Editors iterating on a submission re-ask the same question, so the
+//! serving layer keys finished **response bytes** by a canonical
+//! fingerprint of (manuscript, editor config) and serves repeats
+//! without touching Phases 1–3. Storing the serialized bytes — not the
+//! report — is what makes the hit path byte-identical to the miss path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex};
+
+use minaret_core::{EditorConfig, ManuscriptDetails};
+use minaret_scholarly::{Clock, SystemClock};
+use minaret_telemetry::Telemetry;
+
+struct Entry {
+    body: Arc<Vec<u8>>,
+    expires_at_micros: u64,
+}
+
+struct CacheInner {
+    map: HashMap<u64, Entry>,
+    /// Insertion order for FIFO eviction at capacity.
+    order: VecDeque<u64>,
+}
+
+/// A TTL'd, capacity-bounded cache of serialized `/recommend` bodies.
+///
+/// Reports hit/miss/eviction/invalidation counters and an entry gauge
+/// to telemetry. Time comes from an injectable [`Clock`], so expiry is
+/// testable with a simulated clock instead of wall-time sleeps.
+pub struct ResultCache {
+    ttl_micros: u64,
+    capacity: usize,
+    clock: Arc<dyn Clock>,
+    telemetry: Telemetry,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ResultCache(ttl {}us, cap {}, {} entries)",
+            self.ttl_micros,
+            self.capacity,
+            self.len()
+        )
+    }
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` responses, each valid for
+    /// `ttl_micros` after insertion.
+    pub fn new(ttl_micros: u64, capacity: usize) -> Self {
+        Self {
+            ttl_micros,
+            capacity: capacity.max(1),
+            clock: Arc::new(SystemClock::new()),
+            telemetry: Telemetry::disabled(),
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Replaces the clock (share a `SimulatedClock` for deterministic
+    /// TTL tests).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Reports `minaret_result_cache_*` series to `telemetry`.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Entries currently stored (including any not yet expired-on-read).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock poisoned").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical fingerprint of a `/recommend` question: an FNV-64
+    /// hash over the `Debug` rendering of the manuscript and the full
+    /// editor configuration. Every config field participates — and any
+    /// field added later participates automatically — so two requests
+    /// share a cache line only if the pipeline would see identical
+    /// inputs.
+    pub fn fingerprint(manuscript: &ManuscriptDetails, config: &EditorConfig) -> u64 {
+        let canonical = format!("{manuscript:?}|{config:?}");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in canonical.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// The cached response for `key`, if present and unexpired. An
+    /// expired entry is evicted on read and counts as a miss.
+    pub fn get(&self, key: u64) -> Option<Arc<Vec<u8>>> {
+        let now = self.clock.now_micros();
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        match inner.map.get(&key) {
+            Some(entry) if now < entry.expires_at_micros => {
+                let body = entry.body.clone();
+                drop(inner);
+                self.telemetry
+                    .counter("minaret_result_cache_hits_total", &[])
+                    .inc();
+                Some(body)
+            }
+            Some(_) => {
+                inner.map.remove(&key);
+                inner.order.retain(|k| *k != key);
+                let entries = inner.map.len();
+                drop(inner);
+                self.telemetry
+                    .counter("minaret_result_cache_evictions_total", &[("cause", "ttl")])
+                    .inc();
+                self.note_miss(entries);
+                None
+            }
+            None => {
+                let entries = inner.map.len();
+                drop(inner);
+                self.note_miss(entries);
+                None
+            }
+        }
+    }
+
+    /// Stores a response under `key`, evicting the oldest entries past
+    /// capacity.
+    pub fn insert(&self, key: u64, body: Vec<u8>) {
+        let expires_at_micros = self.clock.now_micros().saturating_add(self.ttl_micros);
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        if inner
+            .map
+            .insert(
+                key,
+                Entry {
+                    body: Arc::new(body),
+                    expires_at_micros,
+                },
+            )
+            .is_none()
+        {
+            inner.order.push_back(key);
+        }
+        let mut evicted = 0u64;
+        while inner.map.len() > self.capacity {
+            let Some(oldest) = inner.order.pop_front() else {
+                break;
+            };
+            inner.map.remove(&oldest);
+            evicted += 1;
+        }
+        let entries = inner.map.len();
+        drop(inner);
+        if evicted > 0 {
+            self.telemetry
+                .counter(
+                    "minaret_result_cache_evictions_total",
+                    &[("cause", "capacity")],
+                )
+                .inc_by(evicted);
+        }
+        self.telemetry
+            .gauge("minaret_result_cache_entries", &[])
+            .set(entries as i64);
+    }
+
+    /// Drops every entry (the invalidation hook for world changes).
+    /// Returns how many entries were dropped.
+    pub fn invalidate_all(&self) -> usize {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let dropped = inner.map.len();
+        inner.map.clear();
+        inner.order.clear();
+        drop(inner);
+        self.telemetry
+            .counter("minaret_result_cache_invalidations_total", &[])
+            .inc();
+        self.telemetry
+            .gauge("minaret_result_cache_entries", &[])
+            .set(0);
+        dropped
+    }
+
+    fn note_miss(&self, entries: usize) {
+        self.telemetry
+            .counter("minaret_result_cache_misses_total", &[])
+            .inc();
+        self.telemetry
+            .gauge("minaret_result_cache_entries", &[])
+            .set(entries as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minaret_core::AuthorInput;
+    use minaret_scholarly::SimulatedClock;
+
+    fn manuscript(title: &str) -> ManuscriptDetails {
+        ManuscriptDetails {
+            title: title.to_string(),
+            keywords: vec!["databases".into()],
+            authors: vec![AuthorInput::named("A. Author")],
+            target_venue: "EDBT".into(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_manuscript_and_config() {
+        let m1 = manuscript("one");
+        let m2 = manuscript("two");
+        let c1 = EditorConfig::default();
+        let c2 = EditorConfig {
+            max_recommendations: c1.max_recommendations + 1,
+            ..EditorConfig::default()
+        };
+        assert_eq!(
+            ResultCache::fingerprint(&m1, &c1),
+            ResultCache::fingerprint(&m1, &c1)
+        );
+        assert_ne!(
+            ResultCache::fingerprint(&m1, &c1),
+            ResultCache::fingerprint(&m2, &c1)
+        );
+        assert_ne!(
+            ResultCache::fingerprint(&m1, &c1),
+            ResultCache::fingerprint(&m1, &c2)
+        );
+    }
+
+    #[test]
+    fn hit_returns_stored_bytes_and_counts() {
+        let telemetry = Telemetry::new();
+        let cache = ResultCache::new(1_000_000, 8).with_telemetry(telemetry.clone());
+        assert!(cache.get(1).is_none());
+        cache.insert(1, b"body".to_vec());
+        assert_eq!(cache.get(1).unwrap().as_slice(), b"body");
+        assert_eq!(
+            telemetry
+                .counter("minaret_result_cache_hits_total", &[])
+                .get(),
+            1
+        );
+        assert_eq!(
+            telemetry
+                .counter("minaret_result_cache_misses_total", &[])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn entries_expire_after_ttl_on_the_injected_clock() {
+        let clock = SimulatedClock::new();
+        let cache = ResultCache::new(1_000, 8).with_clock(clock.clone());
+        cache.insert(7, b"x".to_vec());
+        assert!(cache.get(7).is_some());
+        clock.advance(999);
+        assert!(cache.get(7).is_some(), "just inside the TTL");
+        clock.advance(1);
+        assert!(cache.get(7).is_none(), "expired exactly at the TTL");
+        assert!(cache.is_empty(), "expired entry evicted on read");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let cache = ResultCache::new(1_000_000, 2);
+        cache.insert(1, b"a".to_vec());
+        cache.insert(2, b"b".to_vec());
+        cache.insert(3, b"c".to_vec());
+        assert!(cache.get(1).is_none(), "oldest entry evicted");
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_some());
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_all_drops_everything() {
+        let cache = ResultCache::new(1_000_000, 8);
+        cache.insert(1, b"a".to_vec());
+        cache.insert(2, b"b".to_vec());
+        assert_eq!(cache.invalidate_all(), 2);
+        assert!(cache.is_empty());
+        assert!(cache.get(1).is_none());
+    }
+}

@@ -10,6 +10,7 @@
 //! | `/expand?keyword=K` | GET | semantic expansion of one keyword |
 //! | `/verify-authors` | POST | identity candidates per author (Fig 4) |
 //! | `/recommend` | POST | the full three-phase pipeline (Figs 3→5) |
+//! | `/cache/invalidate` | POST | drop every cached `/recommend` result |
 //!
 //! The binary (`minaret-server`) generates a synthetic world, wires the
 //! six simulated sources, and serves. [`build_router`] is also used
@@ -18,10 +19,12 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod cache;
 mod codec;
 mod routes;
 mod state;
 
+pub use cache::ResultCache;
 pub use codec::{manuscript_from_json, report_to_json};
 pub use routes::build_router;
 pub use state::AppState;

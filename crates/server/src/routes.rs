@@ -8,10 +8,36 @@ use minaret_disambig::{AuthorQuery, IdentityResolver};
 use minaret_http::{Params, Request, Response, Router};
 use minaret_json::Value;
 use minaret_ontology::{ExpansionConfig, KeywordExpander};
+use minaret_scholarly::SourceRegistry;
 use minaret_telemetry::Telemetry;
 
+use crate::cache::ResultCache;
 use crate::codec::{manuscript_from_json, report_to_json};
 use crate::state::AppState;
+
+/// The registry view for this request. When the admission layer stamped
+/// a deadline on the request, every fan-out this handler performs is
+/// clamped to the *remaining* budget; a request whose budget is already
+/// spent is refused here (503 + `Retry-After`) instead of fanning out
+/// to sources that cannot possibly answer in time.
+fn scoped_registry(
+    registry: &Arc<SourceRegistry>,
+    req: &Request,
+) -> Result<Arc<SourceRegistry>, Response> {
+    let Some(deadline) = req.deadline else {
+        return Ok(registry.clone());
+    };
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(
+            Response::error(503, "request deadline exhausted before dispatch")
+                .with_header("Retry-After", "1"),
+        );
+    }
+    Ok(Arc::new(
+        registry.scoped_with_budget(remaining.as_micros() as u64),
+    ))
+}
 
 /// Wraps a handler with per-route telemetry: a latency histogram
 /// (`minaret_http_request_micros{route}`) and a status-code counter
@@ -143,7 +169,11 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                         .collect()
                 })
                 .unwrap_or_default();
-            let resolver = IdentityResolver::new(&s.registry).with_telemetry(s.telemetry.clone());
+            let registry = match scoped_registry(&s.registry, req) {
+                Ok(r) => r,
+                Err(resp) => return resp,
+            };
+            let resolver = IdentityResolver::new(&registry).with_telemetry(s.telemetry.clone());
             let mut results = Vec::new();
             for a in authors {
                 let Some(name) = a.get("name").and_then(Value::as_str) else {
@@ -196,12 +226,40 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                 Ok(x) => x,
                 Err(e) => return Response::error(422, &e),
             };
+            // Cache lookup before any pipeline work: identical
+            // (manuscript, config) questions are answered from the
+            // stored bytes, so the hit path is byte-identical to the
+            // miss that populated it.
+            let cached = s
+                .result_cache
+                .as_ref()
+                .map(|c| (c, ResultCache::fingerprint(&manuscript, &config)));
+            if let Some((cache, key)) = &cached {
+                if let Some(body) = cache.get(*key) {
+                    return Response::json_bytes(200, body.as_ref().clone());
+                }
+            }
+            let registry = match scoped_registry(&s.registry, req) {
+                Ok(r) => r,
+                Err(resp) => return resp,
+            };
             // Per-request configuration: a fresh framework view over the same
             // shared registry/ontology (both Arc-shared, so this is cheap).
-            let minaret = Minaret::new(s.registry.clone(), s.ontology.clone(), config)
+            let minaret = Minaret::new(registry, s.ontology.clone(), config)
                 .with_telemetry(s.telemetry.clone());
             match minaret.recommend(&manuscript) {
-                Ok(report) => Response::json(200, &report_to_json(&report)),
+                Ok(report) => {
+                    let body = report_to_json(&report).to_string().into_bytes();
+                    // Degraded answers are deliberately not cached: the
+                    // next identical request should retry the full
+                    // fan-out rather than pin a partial answer for a TTL.
+                    if !report.degraded {
+                        if let Some((cache, key)) = &cached {
+                            cache.insert(*key, body.clone());
+                        }
+                    }
+                    Response::json_bytes(200, body)
+                }
                 Err(MinaretError::InvalidManuscript(m)) => Response::error(422, &m),
                 Err(MinaretError::NoCandidates) => Response::json(
                     200,
@@ -214,6 +272,16 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                 }
                 Err(e) => Response::error(500, &e.to_string()),
             }
+        }),
+    );
+
+    let s = state.clone();
+    let (tel, route) = t("/cache/invalidate");
+    router.post(
+        route,
+        instrumented(tel, route, move |_, _| {
+            let dropped = s.invalidate_result_cache();
+            Response::json(200, &Value::object().set("invalidated", dropped as u64))
         }),
     );
 
@@ -283,6 +351,8 @@ mod tests {
                 .collect(),
             headers: vec![],
             body: body.as_bytes().to_vec(),
+            minor_version: 1,
+            deadline: None,
         }
     }
 
@@ -455,6 +525,72 @@ mod tests {
             .filter_map(|s| s.get("name").and_then(Value::as_str))
             .collect();
         assert_eq!(names, ["extraction", "filtering", "ranking"]);
+    }
+
+    #[test]
+    fn recommend_repeats_are_served_from_cache_and_invalidatable() {
+        let (state, router) = router();
+        let lead = state
+            .world
+            .scholars()
+            .iter()
+            .find(|s| !state.world.papers_of(s.id).is_empty())
+            .unwrap();
+        let keywords: Vec<Value> = lead
+            .interests
+            .iter()
+            .take(2)
+            .map(|&t| Value::from(state.world.ontology.label(t)))
+            .collect();
+        let body = Value::object()
+            .set("title", "A cached manuscript")
+            .set("keywords", keywords)
+            .set(
+                "authors",
+                vec![Value::object().set("name", lead.full_name().as_str())],
+            )
+            .set("target_venue", state.world.venues()[0].name.as_str())
+            .to_string();
+        let first = router.dispatch(&request(Method::Post, "/recommend", &[], &body));
+        assert_eq!(
+            first.status,
+            200,
+            "{}",
+            String::from_utf8_lossy(&first.body)
+        );
+        let second = router.dispatch(&request(Method::Post, "/recommend", &[], &body));
+        assert_eq!(second.status, 200);
+        assert_eq!(first.body, second.body, "cache hit must be byte-identical");
+        assert_eq!(
+            state
+                .telemetry
+                .counter("minaret_result_cache_hits_total", &[])
+                .get(),
+            1
+        );
+        let resp = router.dispatch(&request(Method::Post, "/cache/invalidate", &[], ""));
+        assert_eq!(resp.status, 200);
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
+        assert!(state.result_cache.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_before_fan_out() {
+        let (_, router) = router();
+        let body =
+            r#"{"title":"T","keywords":["RDF"],"authors":[{"name":"A B"}],"target_venue":"J"}"#;
+        let mut req = request(Method::Post, "/recommend", &[], body);
+        // A deadline of "now" is already exhausted by dispatch time.
+        req.deadline = Some(Instant::now());
+        let resp = router.dispatch(&req);
+        assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+        assert!(
+            resp.headers
+                .iter()
+                .any(|(k, v)| k == "Retry-After" && v == "1"),
+            "shed responses carry Retry-After"
+        );
     }
 
     #[test]

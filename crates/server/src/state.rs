@@ -10,6 +10,13 @@ use minaret_scholarly::{
 use minaret_synth::{World, WorldConfig, WorldGenerator};
 use minaret_telemetry::Telemetry;
 
+use crate::cache::ResultCache;
+
+/// Default `/recommend` result-cache TTL for demo servers, in micros.
+pub const DEFAULT_CACHE_TTL_MICROS: u64 = 30_000_000;
+/// Default `/recommend` result-cache capacity for demo servers.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
 /// Everything the route handlers need.
 pub struct AppState {
     /// The synthetic world behind the simulated sources.
@@ -23,12 +30,17 @@ pub struct AppState {
     /// Process-wide metrics + traces, served at `/metrics` and
     /// `/traces/recent`. Enabled by [`AppState::demo`].
     pub telemetry: Telemetry,
+    /// TTL'd cache of serialized `/recommend` responses, keyed by the
+    /// (manuscript, editor config) fingerprint. `None` disables caching
+    /// (the [`AppState::with_registry`] test path, so scripted-fault
+    /// tests always exercise the live pipeline).
+    pub result_cache: Option<Arc<ResultCache>>,
 }
 
 impl AppState {
     /// Builds the default demo state: a generated world, the six default
-    /// sources, the curated ontology, a default editor config, and
-    /// telemetry enabled throughout.
+    /// sources, the curated ontology, a default editor config, telemetry
+    /// enabled throughout, and the default result cache.
     pub fn demo(scholars: usize, seed: u64) -> Arc<AppState> {
         Self::demo_with_telemetry(scholars, seed, Telemetry::new())
     }
@@ -36,6 +48,17 @@ impl AppState {
     /// Like [`AppState::demo`], but with a caller-provided telemetry
     /// handle (pass [`Telemetry::disabled`] to opt out).
     pub fn demo_with_telemetry(scholars: usize, seed: u64, telemetry: Telemetry) -> Arc<AppState> {
+        Self::demo_with_cache_ttl(scholars, seed, telemetry, DEFAULT_CACHE_TTL_MICROS)
+    }
+
+    /// Like [`AppState::demo_with_telemetry`], with an explicit result
+    /// cache TTL in microseconds; `0` disables the cache entirely.
+    pub fn demo_with_cache_ttl(
+        scholars: usize,
+        seed: u64,
+        telemetry: Telemetry,
+        cache_ttl_micros: u64,
+    ) -> Arc<AppState> {
         let world = Arc::new(
             WorldGenerator::new(WorldConfig {
                 seed,
@@ -56,16 +79,33 @@ impl AppState {
         for spec in SourceSpec::all_defaults() {
             registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
         }
-        Self::with_registry(world, Arc::new(registry), telemetry)
+        let cache = (cache_ttl_micros > 0).then(|| {
+            Arc::new(
+                ResultCache::new(cache_ttl_micros, DEFAULT_CACHE_CAPACITY)
+                    .with_telemetry(telemetry.clone()),
+            )
+        });
+        Self::with_registry_and_cache(world, Arc::new(registry), telemetry, cache)
     }
 
     /// Builds state over a caller-assembled registry (tests inject
     /// scripted-fault sources this way) plus the curated ontology and a
-    /// default editor configuration.
+    /// default editor configuration. No result cache: every request
+    /// exercises the live pipeline.
     pub fn with_registry(
         world: Arc<World>,
         registry: Arc<SourceRegistry>,
         telemetry: Telemetry,
+    ) -> Arc<AppState> {
+        Self::with_registry_and_cache(world, registry, telemetry, None)
+    }
+
+    /// [`AppState::with_registry`] with an explicit result cache.
+    pub fn with_registry_and_cache(
+        world: Arc<World>,
+        registry: Arc<SourceRegistry>,
+        telemetry: Telemetry,
+        result_cache: Option<Arc<ResultCache>>,
     ) -> Arc<AppState> {
         let ontology = Arc::new(minaret_ontology::seed::curated_cs_ontology());
         let minaret = Minaret::new(registry.clone(), ontology.clone(), EditorConfig::default())
@@ -76,7 +116,18 @@ impl AppState {
             ontology,
             minaret,
             telemetry,
+            result_cache,
         })
+    }
+
+    /// Drops every cached `/recommend` response (the hook to call when
+    /// the underlying world or source data changes). Returns how many
+    /// entries were dropped; 0 when no cache is configured.
+    pub fn invalidate_result_cache(&self) -> usize {
+        self.result_cache
+            .as_ref()
+            .map(|c| c.invalidate_all())
+            .unwrap_or(0)
     }
 }
 
@@ -91,11 +142,19 @@ mod tests {
         assert!(state.world.scholars().len() == 100);
         assert!(state.ontology.len() > 100);
         assert!(state.telemetry.is_enabled());
+        assert!(state.result_cache.is_some());
     }
 
     #[test]
     fn demo_state_can_opt_out_of_telemetry() {
         let state = AppState::demo_with_telemetry(100, 7, Telemetry::disabled());
         assert!(!state.telemetry.is_enabled());
+    }
+
+    #[test]
+    fn zero_ttl_disables_the_result_cache() {
+        let state = AppState::demo_with_cache_ttl(100, 7, Telemetry::disabled(), 0);
+        assert!(state.result_cache.is_none());
+        assert_eq!(state.invalidate_result_cache(), 0);
     }
 }

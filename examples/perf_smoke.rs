@@ -25,6 +25,9 @@
 //! single-flight coalescing). Without the feature the allocation guard
 //! is skipped (timings stay valid either way).
 
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 #[cfg(feature = "count-allocs")]
@@ -32,7 +35,11 @@ use std::time::{Duration, Instant};
 static ALLOC: minaret_bench::alloc::CountingAllocator = minaret_bench::alloc::CountingAllocator;
 
 use minaret::eval::harness::{EvalContext, ScenarioConfig};
+use minaret::http::{KeepAliveConfig, Server, ServerConfig};
 use minaret::json::{parse, Value};
+use minaret::prelude::*;
+use minaret_server::{build_router, AppState, ResultCache};
+use minaret_telemetry::Telemetry;
 
 /// Committed baseline, resolved against the workspace root so the smoke
 /// works from any working directory.
@@ -62,6 +69,18 @@ const REGRESSION_HEADROOM: f64 = 1.25;
 /// committed baseline (only checked under `--features count-allocs`).
 #[cfg(feature = "count-allocs")]
 const ALLOC_REGRESSION_HEADROOM: f64 = 1.25;
+
+/// A cached `/recommend` over HTTP must beat the uncached pipeline by at
+/// least this factor (the serving-layer result cache's headline claim).
+const CACHE_MIN_SPEEDUP: f64 = 10.0;
+
+/// Allowed growth of the served cache-hit latency over the committed
+/// baseline. Wider than the extraction headroom: loopback round trips
+/// carry more scheduler noise than in-process timing.
+const SERVED_REGRESSION_HEADROOM: f64 = 2.0;
+
+/// Cached requests in the throughput run.
+const THROUGHPUT_REQUESTS: usize = 100;
 
 struct Measured {
     per_label: Duration,
@@ -134,6 +153,171 @@ fn micros(d: Duration) -> u64 {
     d.as_micros() as u64
 }
 
+struct ServedMeasured {
+    uncached: Duration,
+    cached: Duration,
+    rps: f64,
+    hit_rate: f64,
+}
+
+/// One keep-alive POST: write the request, read a `Content-Length`-framed
+/// response, return the status.
+fn post_keep_alive(stream: &mut TcpStream, path: &str, body: &str) -> u16 {
+    let req = format!(
+        "POST {path} HTTP/1.1\r\nHost: smoke\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("request written");
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 4096];
+    let head_end = loop {
+        if let Some(i) = raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream.read(&mut buf).expect("response readable");
+        assert!(n > 0, "server closed mid-response");
+        raw.extend_from_slice(&buf[..n]);
+    };
+    let head = String::from_utf8_lossy(&raw[..head_end]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| l.strip_prefix("Content-Length: "))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Content-Length present");
+    while raw.len() < head_end + content_length {
+        let n = stream.read(&mut buf).expect("body readable");
+        assert!(n > 0, "server closed mid-body");
+        raw.extend_from_slice(&buf[..n]);
+    }
+    status
+}
+
+/// Serving-layer measurement: cached vs uncached `/recommend` latency
+/// and cached throughput over one keep-alive connection, against a real
+/// TCP server whose sources carry the same injected scraping latency as
+/// the retrieval smoke (so the uncached path is round-trip-dominated
+/// and the comparison is stable across machines).
+fn measure_serving() -> ServedMeasured {
+    let world = Arc::new(
+        WorldGenerator::new(WorldConfig {
+            seed: 0xE7,
+            ..WorldConfig::sized(SCHOLARS)
+        })
+        .generate(),
+    );
+    let mut registry = SourceRegistry::new(RegistryConfig::default());
+    for mut spec in SourceSpec::all_defaults() {
+        spec.latency_micros = LATENCY_MICROS;
+        registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+    }
+    let telemetry = Telemetry::new();
+    let cache = Arc::new(ResultCache::new(600_000_000, 1024).with_telemetry(telemetry.clone()));
+    let state = AppState::with_registry_and_cache(
+        world,
+        Arc::new(registry),
+        telemetry.clone(),
+        Some(cache),
+    );
+    let router = build_router(state.clone());
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        router,
+        ServerConfig {
+            workers: 2,
+            keep_alive: KeepAliveConfig {
+                max_requests: 1_000_000,
+                idle_timeout: None,
+            },
+            telemetry: telemetry.clone(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+
+    let lead = state
+        .world
+        .scholars()
+        .iter()
+        .find(|s| !state.world.papers_of(s.id).is_empty())
+        .expect("a published scholar exists");
+    let keywords: Vec<Value> = lead
+        .interests
+        .iter()
+        .take(3)
+        .map(|&t| Value::from(state.world.ontology.label(t)))
+        .collect();
+    let body_for = |title: &str| {
+        Value::object()
+            .set("title", title)
+            .set("keywords", keywords.clone())
+            .set(
+                "authors",
+                vec![Value::object().set("name", lead.full_name().as_str())],
+            )
+            .set("target_venue", state.world.venues()[0].name.as_str())
+            .to_string()
+    };
+
+    let mut stream = TcpStream::connect(server.local_addr()).expect("client connects");
+    // Uncached: every request is a distinct title, so every request is
+    // a miss and runs the full pipeline. Minimum-of-N discards noise.
+    let uncached = (0..RUNS)
+        .map(|i| {
+            let body = body_for(&format!("smoke uncached {i}"));
+            let t = Instant::now();
+            let status = post_keep_alive(&mut stream, "/recommend", &body);
+            assert_eq!(status, 200, "uncached /recommend failed");
+            t.elapsed()
+        })
+        .min()
+        .expect("runs >= 1");
+
+    // Cached: one fill, then repeats of the identical question.
+    let cached_body = body_for("smoke cached");
+    assert_eq!(
+        post_keep_alive(&mut stream, "/recommend", &cached_body),
+        200
+    );
+    let cached = min_of(RUNS, || {
+        let t = Instant::now();
+        let status = post_keep_alive(&mut stream, "/recommend", &cached_body);
+        assert_eq!(status, 200, "cached /recommend failed");
+        t.elapsed()
+    });
+
+    // Throughput on the hit path, same keep-alive connection.
+    let t = Instant::now();
+    for _ in 0..THROUGHPUT_REQUESTS {
+        assert_eq!(
+            post_keep_alive(&mut stream, "/recommend", &cached_body),
+            200
+        );
+    }
+    let rps = THROUGHPUT_REQUESTS as f64 / t.elapsed().as_secs_f64().max(1e-9);
+
+    let hits = telemetry
+        .counter("minaret_result_cache_hits_total", &[])
+        .get() as f64;
+    let misses = telemetry
+        .counter("minaret_result_cache_misses_total", &[])
+        .get() as f64;
+    let hit_rate = hits / (hits + misses).max(1.0);
+
+    drop(stream);
+    server.shutdown();
+    ServedMeasured {
+        uncached,
+        cached,
+        rps,
+        hit_rate,
+    }
+}
+
 /// Warm-path allocation counts per recommendation: `(allocs, bytes)`
 /// for a cached registry and for the uncached pipeline default.
 #[cfg(feature = "count-allocs")]
@@ -201,6 +385,22 @@ fn main() {
         std::process::exit(1);
     }
 
+    let served = measure_serving();
+    let cache_speedup = served.uncached.as_secs_f64() / served.cached.as_secs_f64().max(1e-9);
+    println!(
+        "serving smoke: uncached={:.2} ms  cached={:.3} ms  cache_speedup={cache_speedup:.1}x  throughput={:.0} req/s  hit_rate={:.2}",
+        served.uncached.as_secs_f64() * 1e3,
+        served.cached.as_secs_f64() * 1e3,
+        served.rps,
+        served.hit_rate,
+    );
+    if cache_speedup < CACHE_MIN_SPEEDUP {
+        eprintln!(
+            "FAIL: served cache-hit speedup {cache_speedup:.2}x is below the required {CACHE_MIN_SPEEDUP}x"
+        );
+        std::process::exit(1);
+    }
+
     if record {
         #[allow(unused_mut)]
         let mut json = Value::object()
@@ -211,7 +411,12 @@ fn main() {
             .set("per_label_micros", micros(m.per_label))
             .set("batched_micros", micros(m.batched))
             .set("speedup", speedup)
-            .set("extraction_micros", micros(m.extraction));
+            .set("extraction_micros", micros(m.extraction))
+            .set("served_uncached_micros", micros(served.uncached))
+            .set("served_cached_micros", micros(served.cached))
+            .set("served_cache_speedup", cache_speedup)
+            .set("served_rps", served.rps)
+            .set("served_cache_hit_rate", served.hit_rate);
         #[cfg(feature = "count-allocs")]
         {
             json = json
@@ -248,6 +453,30 @@ fn main() {
     println!(
         "OK: extraction {measured:.0} us within {:.0}% of baseline {base_extraction} us",
         (REGRESSION_HEADROOM - 1.0) * 100.0
+    );
+
+    // Cache-hit-path regression gate: the served hit latency must stay
+    // near the committed baseline.
+    let base_cached = baseline
+        .get("served_cached_micros")
+        .and_then(|v| v.as_u64())
+        .unwrap_or_else(|| {
+            eprintln!("FAIL: baseline {BASELINE_PATH} lacks served_cached_micros; re-record");
+            std::process::exit(1);
+        });
+    let served_budget = base_cached as f64 * SERVED_REGRESSION_HEADROOM;
+    let served_measured = micros(served.cached) as f64;
+    if served_measured > served_budget {
+        eprintln!(
+            "FAIL: served cache hit {served_measured:.0} us exceeds baseline {base_cached} us \
+             by more than {:.0}% (budget {served_budget:.0} us)",
+            (SERVED_REGRESSION_HEADROOM - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: served cache hit {served_measured:.0} us within {:.0}% of baseline {base_cached} us",
+        (SERVED_REGRESSION_HEADROOM - 1.0) * 100.0
     );
 
     #[cfg(feature = "count-allocs")]

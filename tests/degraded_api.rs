@@ -22,6 +22,8 @@ fn dispatch(
         query: vec![],
         headers: vec![],
         body: body.as_bytes().to_vec(),
+        minor_version: 1,
+        deadline: None,
     })
 }
 

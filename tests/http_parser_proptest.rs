@@ -1,0 +1,191 @@
+//! Property tests for the HTTP request parser: whatever bytes arrive,
+//! in whatever chunking, the parser must either produce a request or a
+//! classified error — never panic, never hang, and never change its
+//! answer because of how the bytes were split across reads.
+
+use std::io::{BufReader, Read};
+
+use minaret::http::{percent_decode, HttpError, Request};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// A reader that hands out the payload in scripted chunk sizes, cycling
+/// through `sizes` — the adversarial version of a slow socket.
+struct ChunkReader {
+    data: Vec<u8>,
+    pos: usize,
+    sizes: Vec<usize>,
+    turn: usize,
+}
+
+impl ChunkReader {
+    fn new(data: Vec<u8>, sizes: Vec<usize>) -> Self {
+        ChunkReader {
+            data,
+            pos: 0,
+            sizes,
+            turn: 0,
+        }
+    }
+}
+
+impl Read for ChunkReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let step = self.sizes[self.turn % self.sizes.len()].max(1);
+        self.turn += 1;
+        let n = step.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+fn parse_chunked(payload: &[u8], sizes: Vec<usize>) -> Result<Option<Request>, HttpError> {
+    // A tiny BufReader capacity forces refills mid-token as well.
+    let mut reader = BufReader::with_capacity(7, ChunkReader::new(payload.to_vec(), sizes));
+    Request::read_from_buffered(&mut reader)
+}
+
+/// A syntactically valid request built from generated parts.
+fn render_request(path: &str, header_case: bool, body: &[u8]) -> Vec<u8> {
+    let cl = if header_case {
+        "CONTENT-LENGTH"
+    } else {
+        "Content-Length"
+    };
+    let mut out = format!(
+        "POST /{path} HTTP/1.1\r\nHost: t\r\n{cl}: {}\r\nX-Extra: v\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+proptest! {
+    /// Arbitrary bytes: parse-or-classified-error, never a panic. (The
+    /// absence of hangs is structural: the reader is finite and the
+    /// parser never seeks backwards.)
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        payload in collection::vec(any::<u8>(), 0..600),
+        sizes in collection::vec(1usize..9, 1..4),
+    ) {
+        let _ = parse_chunked(&payload, sizes);
+    }
+
+    /// A well-formed request parses identically no matter how the bytes
+    /// are split across reads — and round-trips its parts.
+    #[test]
+    fn chunking_never_changes_the_parse(
+        path in "[a-z]{1,8}",
+        upper in any::<bool>(),
+        body in collection::vec(any::<u8>(), 0..128),
+        sizes in collection::vec(1usize..5, 1..4),
+    ) {
+        let payload = render_request(&path, upper, &body);
+        let whole = parse_chunked(&payload, vec![payload.len()])
+            .expect("well-formed request parses")
+            .expect("non-empty input");
+        let split = parse_chunked(&payload, sizes)
+            .expect("same bytes, different chunking, same answer")
+            .expect("non-empty input");
+        prop_assert_eq!(&whole.path, &format!("/{}", path));
+        prop_assert_eq!(&whole.body, &body);
+        prop_assert_eq!(&split.path, &whole.path);
+        prop_assert_eq!(&split.body, &whole.body);
+        prop_assert_eq!(split.minor_version, whole.minor_version);
+        // Mixed-case Content-Length was honored either way.
+        prop_assert_eq!(whole.header("content-length").map(str::to_string),
+                        Some(body.len().to_string()));
+    }
+
+    /// Truncating a request mid-body is an I/O error (client went away),
+    /// not a panic and not a silently short body.
+    #[test]
+    fn truncated_bodies_are_io_errors(
+        body in collection::vec(any::<u8>(), 1..64),
+        cut in 1usize..64,
+        sizes in collection::vec(1usize..5, 1..3),
+    ) {
+        let payload = render_request("p", false, &body);
+        let cut = cut.min(body.len());
+        let truncated = &payload[..payload.len() - cut];
+        match parse_chunked(truncated, sizes) {
+            Err(HttpError::Io(_)) => {}
+            other => prop_assert!(false, "expected Io error, got {:?}", other.map(|r| r.map(|q| q.path))),
+        }
+    }
+
+    /// Duplicate or malformed Content-Length headers are 400-class
+    /// errors — request smuggling's favourite ambiguity is refused.
+    #[test]
+    fn conflicting_content_lengths_are_rejected(
+        a in 0usize..32,
+        b in 0usize..32,
+        junk in "[a-z]{1,6}",
+    ) {
+        let dup = format!(
+            "POST /p HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\n"
+        );
+        match parse_chunked(dup.as_bytes(), vec![3]) {
+            Err(HttpError::BadRequest(_)) => {}
+            other => prop_assert!(false, "duplicate CL accepted: {:?}", other.is_ok()),
+        }
+        let non_numeric = format!("POST /p HTTP/1.1\r\nContent-Length: {junk}\r\n\r\n");
+        match parse_chunked(non_numeric.as_bytes(), vec![3]) {
+            Err(HttpError::BadRequest(_)) => {}
+            other => prop_assert!(false, "non-numeric CL accepted: {:?}", other.is_ok()),
+        }
+    }
+
+    /// percent_decode handles any input without panicking, and decodes
+    /// an encode round-trip exactly.
+    #[test]
+    fn percent_decode_total_and_round_trips(
+        raw in ".{0,64}",
+        plain in "[a-zA-Z0-9 ]{0,32}",
+    ) {
+        let _ = percent_decode(&raw);
+        let encoded: String = plain
+            .bytes()
+            .map(|b| if b == b' ' { "+".to_string() } else { format!("%{b:02X}") })
+            .collect();
+        prop_assert_eq!(percent_decode(&encoded).unwrap(), plain);
+    }
+}
+
+#[test]
+fn oversized_headers_are_too_large() {
+    let mut payload = b"GET /p HTTP/1.1\r\n".to_vec();
+    payload.extend_from_slice(format!("X-Pad: {}\r\n", "a".repeat(17 * 1024)).as_bytes());
+    payload.extend_from_slice(b"\r\n");
+    match parse_chunked(&payload, vec![64]) {
+        Err(HttpError::TooLarge) => {}
+        other => panic!("expected TooLarge, got ok={:?}", other.is_ok()),
+    }
+}
+
+#[test]
+fn oversized_declared_body_is_too_large() {
+    let payload = b"POST /p HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n";
+    match parse_chunked(payload, vec![16]) {
+        Err(HttpError::TooLarge) => {}
+        other => panic!("expected TooLarge, got ok={:?}", other.is_ok()),
+    }
+}
+
+#[test]
+fn missing_content_length_means_empty_body() {
+    let payload = b"POST /p HTTP/1.1\r\nHost: t\r\n\r\nleftover";
+    let req = parse_chunked(payload, vec![5]).unwrap().unwrap();
+    assert!(req.body.is_empty(), "no Content-Length, no body consumed");
+}
+
+#[test]
+fn empty_input_is_clean_eof() {
+    assert!(parse_chunked(b"", vec![1]).unwrap().is_none());
+}

@@ -1,0 +1,206 @@
+//! HTTP/1.1 keep-alive semantics over real TCP: connection reuse,
+//! pipelining, the max-requests cap, explicit `Connection: close`, and
+//! HTTP/1.0 defaults. All framing is explicit (responses are read to
+//! their `Content-Length`), so nothing here depends on timing.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use minaret::http::{KeepAliveConfig, Response, Router, Server, ServerConfig};
+use minaret_telemetry::Telemetry;
+
+fn echo_router() -> Router {
+    let mut r = Router::new();
+    r.post("/echo", |req, _| {
+        Response::text(200, String::from_utf8_lossy(&req.body).into_owned())
+    });
+    r
+}
+
+fn server_with(keep_alive: KeepAliveConfig, telemetry: Telemetry) -> Server {
+    Server::bind_with(
+        "127.0.0.1:0",
+        echo_router(),
+        ServerConfig {
+            workers: 1,
+            request_timeout: None,
+            keep_alive,
+            telemetry,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn post_echo(body: &str, extra_header: &str) -> String {
+    format!(
+        "POST /echo HTTP/1.1\r\nHost: t\r\n{}Content-Length: {}\r\n\r\n{}",
+        extra_header,
+        body.len(),
+        body
+    )
+}
+
+/// Reads exactly one response off the stream: headers to the blank
+/// line, then `Content-Length` body bytes. Panics on EOF mid-response.
+fn read_response(s: &mut TcpStream) -> (u16, Vec<(String, String)>, String) {
+    let mut raw = Vec::new();
+    let mut buf = [0u8; 1];
+    // Headers, byte at a time (simple and race-free for tests).
+    while !raw.ends_with(b"\r\n\r\n") {
+        let n = s.read(&mut buf).unwrap();
+        assert!(
+            n == 1,
+            "EOF inside response head: {:?}",
+            String::from_utf8_lossy(&raw)
+        );
+        raw.push(buf[0]);
+    }
+    let head = String::from_utf8(raw).unwrap();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .unwrap()
+        .split_whitespace()
+        .nth(1)
+        .unwrap()
+        .parse()
+        .unwrap();
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(": "))
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    let len: usize = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .expect("response has Content-Length")
+        .1
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    s.read_exact(&mut body).unwrap();
+    (status, headers, String::from_utf8(body).unwrap())
+}
+
+fn connection_header(headers: &[(String, String)]) -> &str {
+    headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("connection"))
+        .map(|(_, v)| v.as_str())
+        .unwrap_or("")
+}
+
+fn assert_eof(s: &mut TcpStream) {
+    let mut buf = [0u8; 1];
+    assert_eq!(s.read(&mut buf).unwrap_or(0), 0, "expected server to close");
+}
+
+#[test]
+fn many_sequential_requests_reuse_one_connection() {
+    let server = server_with(KeepAliveConfig::default(), Telemetry::disabled());
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    for i in 0..10 {
+        let body = format!("request number {i}");
+        s.write_all(post_echo(&body, "").as_bytes()).unwrap();
+        let (status, headers, echoed) = read_response(&mut s);
+        assert_eq!(status, 200);
+        assert_eq!(echoed, body);
+        assert_eq!(connection_header(&headers), "keep-alive");
+    }
+    drop(s);
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let server = server_with(KeepAliveConfig::default(), Telemetry::disabled());
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    // Both requests in a single write; the server must answer both, in
+    // order, without waiting for anything in between.
+    let batch = format!("{}{}", post_echo("first", ""), post_echo("second", ""));
+    s.write_all(batch.as_bytes()).unwrap();
+    let (status1, _, body1) = read_response(&mut s);
+    let (status2, _, body2) = read_response(&mut s);
+    assert_eq!((status1, body1.as_str()), (200, "first"));
+    assert_eq!((status2, body2.as_str()), (200, "second"));
+    drop(s);
+    server.shutdown();
+}
+
+#[test]
+fn max_requests_cap_forces_close_and_records_histogram() {
+    let telemetry = Telemetry::new();
+    let server = server_with(
+        KeepAliveConfig {
+            max_requests: 3,
+            idle_timeout: None,
+        },
+        telemetry.clone(),
+    );
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    for i in 1..=3 {
+        s.write_all(post_echo("x", "").as_bytes()).unwrap();
+        let (status, headers, _) = read_response(&mut s);
+        assert_eq!(status, 200);
+        let expected = if i == 3 { "close" } else { "keep-alive" };
+        assert_eq!(connection_header(&headers), expected, "request {i}");
+    }
+    assert_eof(&mut s);
+    drop(s);
+    // shutdown() joins the worker, so the per-connection histogram has
+    // definitely been recorded by the time we read it.
+    server.shutdown();
+    let snap = telemetry
+        .histogram("minaret_http_requests_per_connection", &[])
+        .snapshot();
+    assert_eq!(snap.count, 1);
+    assert_eq!(snap.sum, 3);
+}
+
+#[test]
+fn client_connection_close_is_honored() {
+    let server = server_with(KeepAliveConfig::default(), Telemetry::disabled());
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.write_all(post_echo("bye", "Connection: close\r\n").as_bytes())
+        .unwrap();
+    let (status, headers, body) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert_eq!(body, "bye");
+    assert_eq!(connection_header(&headers), "close");
+    assert_eof(&mut s);
+    server.shutdown();
+}
+
+#[test]
+fn http_1_0_closes_by_default() {
+    let server = server_with(KeepAliveConfig::default(), Telemetry::disabled());
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    let body = "old protocol";
+    let req = format!(
+        "POST /echo HTTP/1.0\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    s.write_all(req.as_bytes()).unwrap();
+    let (status, headers, echoed) = read_response(&mut s);
+    assert_eq!(status, 200);
+    assert_eq!(echoed, body);
+    assert_eq!(connection_header(&headers), "close");
+    assert_eof(&mut s);
+    server.shutdown();
+}
+
+#[test]
+fn legacy_bind_still_closes_per_request() {
+    // The pre-keep-alive constructor must keep its contract: existing
+    // clients frame responses by reading to EOF.
+    let server = Server::bind("127.0.0.1:0", echo_router(), 1).unwrap();
+    let mut s = TcpStream::connect(server.local_addr()).unwrap();
+    s.write_all(post_echo("legacy", "").as_bytes()).unwrap();
+    let mut out = String::new();
+    s.read_to_string(&mut out).unwrap();
+    assert!(out.starts_with("HTTP/1.1 200 OK"), "{out}");
+    assert!(out.ends_with("legacy"), "{out}");
+    assert!(out.contains("Connection: close"), "{out}");
+    server.shutdown();
+}

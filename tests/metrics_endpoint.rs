@@ -18,6 +18,8 @@ fn get(router: &Router, path: &str) -> Response {
         query: vec![],
         headers: vec![],
         body: vec![],
+        minor_version: 1,
+        deadline: None,
     })
 }
 
@@ -28,6 +30,8 @@ fn post(router: &Router, path: &str, body: &str) -> Response {
         query: vec![],
         headers: vec![],
         body: body.as_bytes().to_vec(),
+        minor_version: 1,
+        deadline: None,
     })
 }
 
