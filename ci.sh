@@ -37,13 +37,19 @@ cargo test -q --test keep_alive
 echo "==> result cache: cargo test --test result_cache"
 cargo test -q --test result_cache
 
+echo "==> embedded store (WAL, tables, recovery, crash safety): cargo test -p minaret-store"
+cargo test -q -p minaret-store
+
+echo "==> store persistence goldens (RAM vs --data-dir byte-identical): cargo test --test store_persistence"
+cargo test -q --test store_persistence
+
 echo "==> HTTP parser property tests: cargo test --test http_parser_proptest"
 cargo test -q --test http_parser_proptest
 
 echo "==> shutdown/drain soak: cargo test --test shutdown_drain"
 cargo test -q --test shutdown_drain
 
-echo "==> perf smoke: batched speedup + extraction + served cache hit vs BENCH_e7_scalability.json"
+echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery vs BENCH_e7_scalability.json"
 cargo run -q --release --example perf_smoke
 
 echo "==> alloc smoke: warm-path allocations vs BENCH_e7_scalability.json (count-allocs)"

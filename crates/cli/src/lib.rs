@@ -15,7 +15,9 @@
 //! `recommend` reads the same JSON document the REST API's `/recommend`
 //! accepts (see `minaret-server`), including the `"config"` overrides.
 //! The scholarly world is synthetic and seeded; `--scholars` / `--seed`
-//! control it.
+//! control it, and `--data-dir` persists it: the first run snapshots
+//! the generated world into an embedded store there, and later runs
+//! with the same size/seed load the snapshot instead of regenerating.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -28,11 +30,13 @@ use minaret_server::{manuscript_from_json, AppState};
 /// Exit status of a CLI run.
 pub type CliResult = Result<(), String>;
 
-/// Common world options parsed from `--scholars` / `--seed`.
-#[derive(Debug, Clone, Copy)]
+/// Common world options parsed from `--scholars` / `--seed` /
+/// `--data-dir`.
+#[derive(Debug, Clone)]
 struct WorldOpts {
     scholars: usize,
     seed: u64,
+    data_dir: Option<String>,
 }
 
 impl Default for WorldOpts {
@@ -40,8 +44,26 @@ impl Default for WorldOpts {
         Self {
             scholars: 1000,
             seed: 42,
+            data_dir: None,
         }
     }
+}
+
+/// Builds the app state for a command, honouring `--data-dir`: with a
+/// data directory the world loads from its snapshot when one matches
+/// `(--scholars, --seed)` — skipping regeneration — and is snapshotted
+/// there after generation otherwise. Without one this is exactly the
+/// historical in-RAM [`AppState::demo`] path. The CLI never consults
+/// the `/recommend` result cache, so it is disabled here.
+fn build_state(world: &WorldOpts) -> Result<std::sync::Arc<AppState>, String> {
+    AppState::demo_with_data_dir(
+        world.scholars,
+        world.seed,
+        minaret_telemetry::Telemetry::new(),
+        0,
+        world.data_dir.as_deref().map(std::path::Path::new),
+    )
+    .map_err(|e| format!("cannot open --data-dir: {e}"))
 }
 
 const USAGE: &str = "\
@@ -55,8 +77,12 @@ USAGE:
   minaret stats
 
 WORLD OPTIONS (all commands):
-  --scholars N   size of the synthetic scholarly world (default 1000)
-  --seed N       world seed (default 42)
+  --scholars N    size of the synthetic scholarly world (default 1000)
+  --seed N        world seed (default 42)
+  --data-dir P    embedded-store directory; the generated world is
+                  snapshotted there and later runs with the same
+                  --scholars/--seed load the snapshot instead of
+                  regenerating (default: in-RAM, nothing on disk)
 ";
 
 /// Runs the CLI with the given arguments (without the program name),
@@ -83,6 +109,13 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> CliResult {
                 world.seed = next_value(&mut it, "--seed")?
                     .parse()
                     .map_err(|_| "--seed must be an integer".to_string())?;
+            }
+            "--data-dir" => {
+                let dir = next_value(&mut it, "--data-dir")?;
+                if dir.is_empty() {
+                    return Err("--data-dir needs a non-empty path".into());
+                }
+                world.data_dir = Some(dir.clone());
             }
             _ => rest.push(a.clone()),
         }
@@ -166,7 +199,7 @@ fn cmd_verify(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write) -
         }
     }
     let name = name.ok_or("verify needs an author name")?;
-    let state = AppState::demo(world.scholars, world.seed);
+    let state = build_state(&world)?;
     let resolver = IdentityResolver::new(&state.registry);
     let candidates = resolver.candidates(&AuthorQuery {
         name: name.clone(),
@@ -227,7 +260,7 @@ fn cmd_recommend(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let body: Value = minaret_json::parse(&text).map_err(|e| e.to_string())?;
 
-    let state = AppState::demo(world.scholars, world.seed);
+    let state = build_state(&world)?;
     let (manuscript, mut config) =
         manuscript_from_json(&body, state.minaret.config()).map_err(|e| e.to_string())?;
     if let Some(n) = top {
@@ -305,7 +338,7 @@ fn demo_manuscript(state: &AppState) -> Result<minaret_core::ManuscriptDetails, 
 }
 
 fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
-    let state = AppState::demo(world.scholars, world.seed);
+    let state = build_state(&world)?;
     let manuscript = demo_manuscript(&state)?;
     writeln!(
         out,
@@ -324,7 +357,7 @@ fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
 }
 
 fn cmd_stats(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
-    let state = AppState::demo(world.scholars, world.seed);
+    let state = build_state(&world)?;
     let manuscript = demo_manuscript(&state)?;
     state
         .minaret
@@ -467,6 +500,42 @@ mod tests {
         );
         let rec_lines = output.lines().filter(|l| l.starts_with('#')).count();
         assert!(rec_lines >= 1);
+    }
+
+    #[test]
+    fn data_dir_snapshots_then_reloads_identically() {
+        let dir = std::env::temp_dir().join(format!("minaret-cli-dd-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap();
+        let args = [
+            "demo",
+            "--scholars",
+            "150",
+            "--seed",
+            "3",
+            "--data-dir",
+            dir_str,
+        ];
+        let (res, first) = run_capture(&args);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().count() > 0,
+            "snapshot written to the data dir"
+        );
+        // Second run loads the snapshot; output must be byte-identical,
+        // and identical to a pure-RAM run of the same world.
+        let (res, second) = run_capture(&args);
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(first, second);
+        let (res, in_ram) = run_capture(&["demo", "--scholars", "150", "--seed", "3"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(first, in_ram);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn data_dir_rejects_empty_path() {
+        assert!(run_capture(&["demo", "--data-dir", ""]).0.is_err());
     }
 
     #[test]

@@ -24,6 +24,9 @@ pub enum OntologyError {
     EmptyLabel,
     /// A self-loop edge was requested.
     SelfLoop(TopicId),
+    /// Persisted ontology tables were structurally inconsistent
+    /// (mismatched lengths, out-of-range ids, or a cyclic hierarchy).
+    InconsistentTables(String),
 }
 
 impl fmt::Display for OntologyError {
@@ -42,6 +45,9 @@ impl fmt::Display for OntologyError {
             ),
             OntologyError::EmptyLabel => write!(f, "topic label must be non-empty"),
             OntologyError::SelfLoop(id) => write!(f, "self-loop edge on topic {id}"),
+            OntologyError::InconsistentTables(detail) => {
+                write!(f, "persisted ontology tables are inconsistent: {detail}")
+            }
         }
     }
 }

@@ -178,6 +178,32 @@ pub struct OntologyStats {
     pub max_depth: u32,
 }
 
+/// One topic's persistable fields (see [`Ontology::to_tables`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopicRow {
+    /// Canonical display label.
+    pub label: String,
+    /// Normalized form used for lookup.
+    pub normalized: String,
+    /// Normalized aliases.
+    pub aliases: Vec<String>,
+}
+
+/// A verbatim dump of an ontology's internal tables, sufficient to
+/// reconstruct it exactly — including adjacency-list ordering, which
+/// downstream keyword expansion can observe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OntologyTables {
+    /// Topic records in id order.
+    pub topics: Vec<TopicRow>,
+    /// Direct super-topics per topic, in stored order.
+    pub parents: Vec<Vec<TopicId>>,
+    /// Direct sub-topics per topic, in stored order.
+    pub children: Vec<Vec<TopicId>>,
+    /// `related_equivalent` neighbors per topic, in stored order.
+    pub related: Vec<Vec<TopicId>>,
+}
+
 /// An immutable research-topic ontology.
 ///
 /// Mirrors the structure of the Computer Science Ontology the paper uses:
@@ -261,6 +287,134 @@ impl Ontology {
             stack.extend(self.parents[t.index()].iter().copied());
         }
         out
+    }
+
+    /// Dumps the ontology's internal tables verbatim for persistence.
+    ///
+    /// Edge lists are exported in their stored order — ordering can be
+    /// observable downstream (expansion output order follows adjacency
+    /// order), so [`Ontology::from_tables`] restores it byte-for-byte
+    /// rather than replaying builder calls.
+    pub fn to_tables(&self) -> OntologyTables {
+        OntologyTables {
+            topics: self
+                .topics
+                .iter()
+                .map(|t| TopicRow {
+                    label: t.label.clone(),
+                    normalized: t.normalized.clone(),
+                    aliases: t.aliases.clone(),
+                })
+                .collect(),
+            parents: self.parents.clone(),
+            children: self.children.clone(),
+            related: self.related.clone(),
+        }
+    }
+
+    /// Reconstructs an ontology from tables produced by
+    /// [`Ontology::to_tables`], preserving all adjacency ordering
+    /// exactly. The lookup map and depth table are recomputed (both are
+    /// deterministic functions of the tables). Fails on structurally
+    /// inconsistent input: mismatched table lengths, out-of-range
+    /// topic ids, or a cyclic parent relation.
+    pub fn from_tables(tables: OntologyTables) -> Result<Self, OntologyError> {
+        let n = tables.topics.len();
+        if tables.parents.len() != n || tables.children.len() != n || tables.related.len() != n {
+            return Err(OntologyError::InconsistentTables(format!(
+                "{n} topics but {} parent, {} child, {} related rows",
+                tables.parents.len(),
+                tables.children.len(),
+                tables.related.len()
+            )));
+        }
+        let check = |rows: &[Vec<TopicId>], what: &str| -> Result<(), OntologyError> {
+            for row in rows {
+                for id in row {
+                    if id.index() >= n {
+                        return Err(OntologyError::InconsistentTables(format!(
+                            "{what} edge references topic {} of {n}",
+                            id.index()
+                        )));
+                    }
+                }
+            }
+            Ok(())
+        };
+        check(&tables.parents, "parent")?;
+        check(&tables.children, "child")?;
+        check(&tables.related, "related")?;
+
+        let mut by_norm = HashMap::new();
+        let mut topics = Vec::with_capacity(n);
+        for (i, row) in tables.topics.into_iter().enumerate() {
+            let id = TopicId(i as u32);
+            by_norm.insert(row.normalized.clone(), id);
+            for a in &row.aliases {
+                by_norm.insert(a.clone(), id);
+            }
+            topics.push(Topic {
+                id,
+                label: row.label,
+                normalized: row.normalized,
+                aliases: row.aliases,
+            });
+        }
+
+        // Recompute depth iteratively (input is untrusted, so no
+        // builder-guaranteed acyclicity: detect cycles instead of
+        // recursing forever).
+        let mut depth = vec![0u32; n];
+        let mut state = vec![0u8; n]; // 0 = unvisited, 1 = in progress, 2 = done
+        for start in 0..n {
+            if state[start] == 2 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            while let Some(&mut (i, ref mut next)) = stack.last_mut() {
+                if *next == 0 {
+                    if state[i] == 1 {
+                        return Err(OntologyError::InconsistentTables(format!(
+                            "parent relation contains a cycle through topic {i}"
+                        )));
+                    }
+                    if state[i] == 2 {
+                        stack.pop();
+                        continue;
+                    }
+                    state[i] = 1;
+                }
+                if let Some(p) = tables.parents[i].get(*next) {
+                    *next += 1;
+                    let p = p.index();
+                    if state[p] == 1 {
+                        return Err(OntologyError::InconsistentTables(format!(
+                            "parent relation contains a cycle through topic {p}"
+                        )));
+                    }
+                    if state[p] != 2 {
+                        stack.push((p, 0));
+                    }
+                } else {
+                    depth[i] = 1 + tables.parents[i]
+                        .iter()
+                        .map(|p| depth[p.index()])
+                        .max()
+                        .unwrap_or(0);
+                    state[i] = 2;
+                    stack.pop();
+                }
+            }
+        }
+
+        Ok(Ontology {
+            topics,
+            by_norm,
+            parents: tables.parents,
+            children: tables.children,
+            related: tables.related,
+            depth,
+        })
     }
 
     /// Summary statistics.
@@ -374,6 +528,64 @@ mod tests {
         assert_eq!(s.related_edges, 1);
         assert_eq!(s.roots, 1);
         assert_eq!(s.max_depth, 2);
+    }
+
+    #[test]
+    fn tables_round_trip_exactly() {
+        let (o, cs, db, sw) = tiny();
+        let restored = Ontology::from_tables(o.to_tables()).unwrap();
+        // Adjacency ordering, labels, aliases, lookup, and depth all
+        // survive verbatim.
+        for id in [cs, db, sw] {
+            assert_eq!(restored.parents(id), o.parents(id));
+            assert_eq!(restored.children(id), o.children(id));
+            assert_eq!(restored.related(id), o.related(id));
+            assert_eq!(restored.depth(id), o.depth(id));
+            assert_eq!(
+                restored.topic(id).unwrap().label,
+                o.topic(id).unwrap().label
+            );
+        }
+        assert_eq!(restored.resolve("DATA-BASES"), Some(db));
+        assert_eq!(restored.to_tables(), o.to_tables());
+    }
+
+    #[test]
+    fn from_tables_rejects_inconsistencies() {
+        let (o, ..) = tiny();
+        let mut bad = o.to_tables();
+        bad.parents.pop();
+        assert!(matches!(
+            Ontology::from_tables(bad),
+            Err(OntologyError::InconsistentTables(_))
+        ));
+
+        let mut bad = o.to_tables();
+        bad.related[0].push(TopicId(99));
+        assert!(matches!(
+            Ontology::from_tables(bad),
+            Err(OntologyError::InconsistentTables(_))
+        ));
+
+        // A cycle smuggled into the parent table must be detected, not
+        // recursed into.
+        let mut bad = o.to_tables();
+        bad.parents[0].push(TopicId(1)); // cs <- db while db <- cs
+        assert!(matches!(
+            Ontology::from_tables(bad),
+            Err(OntologyError::InconsistentTables(_))
+        ));
+    }
+
+    #[test]
+    fn curated_seed_round_trips() {
+        let o = crate::seed::curated_cs_ontology();
+        let restored = Ontology::from_tables(o.to_tables()).unwrap();
+        assert_eq!(restored.to_tables(), o.to_tables());
+        assert_eq!(restored.stats(), o.stats());
+        for t in o.topics() {
+            assert_eq!(restored.depth(t.id), o.depth(t.id), "{}", t.label);
+        }
     }
 
     #[test]

@@ -36,6 +36,6 @@ mod topic;
 
 pub use error::OntologyError;
 pub use expand::{ExpandedKeyword, ExpansionConfig, KeywordExpander};
-pub use graph::{Ontology, OntologyBuilder, OntologyStats};
+pub use graph::{Ontology, OntologyBuilder, OntologyStats, OntologyTables, TopicRow};
 pub use normalize::{normalize_label, tokenize};
 pub use topic::{Topic, TopicId};

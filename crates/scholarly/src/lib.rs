@@ -44,6 +44,7 @@ mod clock;
 mod error;
 pub mod intern;
 mod merge;
+pub mod persist;
 mod record;
 mod registry;
 mod resilience;

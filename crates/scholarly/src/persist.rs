@@ -1,0 +1,307 @@
+//! Versioned binary codec for [`SourceProfile`] and the store-backed
+//! profile cache.
+//!
+//! A simulated source's view of a scholar is deterministic, so a
+//! profile built once can be persisted and served from disk on the next
+//! process start instead of being rebuilt (and re-allocating its string
+//! fields) from the world. The encoding uses the `minaret-store` codec
+//! envelope — `[magic][tag][version]` — so a data directory written by
+//! a newer build is rejected with a descriptive
+//! [`StoreError::VersionMismatch`] rather than misparsed.
+//!
+//! Decoding failures on the read path are treated as cache misses by
+//! [`crate::ProfileStore`]: the profile is rebuilt from the world and
+//! re-persisted. The store is a cache of deterministic computation, so
+//! rebuilding is always safe — but a *corrupt* store file is still
+//! surfaced at open time by the engine's checksums.
+
+use std::sync::Arc;
+
+use minaret_store::{Reader, StoreError, Writer};
+use minaret_synth::ScholarId;
+
+use crate::record::{
+    AffiliationRecord, SourceMetrics, SourceProfile, SourcePublication, SourceReview,
+};
+use crate::spec::SourceKind;
+
+/// Envelope tag for encoded scholar profiles.
+pub const TAG_PROFILE: u8 = 0x70; // 'p'
+/// Current profile encoding version.
+pub const PROFILE_FORMAT_VERSION: u8 = 1;
+
+/// The store key a profile is persisted under: namespaced by the
+/// source's key prefix so the six sources' views never collide.
+#[must_use]
+pub fn profile_key(kind: SourceKind, id: ScholarId) -> Vec<u8> {
+    format!("profile/{}/{:08}", kind.prefix(), id.index()).into_bytes()
+}
+
+fn kind_to_byte(kind: SourceKind) -> u8 {
+    SourceKind::ALL
+        .iter()
+        .position(|&k| k == kind)
+        .expect("SourceKind::ALL covers every variant") as u8
+}
+
+fn kind_from_byte(b: u8) -> Result<SourceKind, StoreError> {
+    SourceKind::ALL
+        .get(b as usize)
+        .copied()
+        .ok_or(StoreError::Codec {
+            what: "scholar profile",
+            detail: format!("unknown source kind byte {b}"),
+        })
+}
+
+/// Encodes a profile into its versioned binary form.
+///
+/// Every field round-trips exactly — strings verbatim, options via
+/// presence bytes — so a decoded profile is indistinguishable from the
+/// freshly built one and recommendations computed from either are
+/// byte-identical.
+#[must_use]
+pub fn encode_profile(p: &SourceProfile) -> Vec<u8> {
+    let mut w = Writer::versioned(TAG_PROFILE, PROFILE_FORMAT_VERSION);
+    w.u8(kind_to_byte(p.source));
+    w.str(&p.key);
+    w.str(&p.display_name);
+    w.opt_str(p.affiliation.as_deref());
+    w.opt_str(p.country.as_deref());
+    w.u32(p.affiliation_history.len() as u32);
+    for a in &p.affiliation_history {
+        w.str(&a.institution);
+        w.str(&a.country);
+        w.u32(a.from_year);
+        w.u32(a.to_year);
+    }
+    w.u32(p.interests.len() as u32);
+    for i in &p.interests {
+        w.str(i);
+    }
+    w.u32(p.publications.len() as u32);
+    for pubrec in &p.publications {
+        w.str(&pubrec.title);
+        w.u32(pubrec.year);
+        w.str(&pubrec.venue_name);
+        w.u32(pubrec.coauthor_names.len() as u32);
+        for c in &pubrec.coauthor_names {
+            w.str(c);
+        }
+        w.u32(pubrec.keywords.len() as u32);
+        for k in &pubrec.keywords {
+            w.str(k);
+        }
+        w.opt_u32(pubrec.citations);
+    }
+    w.opt_u64(p.metrics.citations);
+    w.opt_u32(p.metrics.h_index);
+    w.opt_u32(p.metrics.i10_index);
+    w.u32(p.reviews.len() as u32);
+    for r in &p.reviews {
+        w.str(&r.venue_name);
+        w.u32(r.year);
+        w.u32(r.turnaround_days);
+        match r.quality {
+            Some(q) => {
+                w.u8(1);
+                w.u8(q);
+            }
+            None => w.u8(0),
+        }
+    }
+    w.u32(p.truth.0);
+    w.finish()
+}
+
+/// Decodes a profile previously written by [`encode_profile`].
+pub fn decode_profile(bytes: &[u8]) -> Result<SourceProfile, StoreError> {
+    let (mut r, _version) = Reader::versioned(
+        "scholar profile",
+        bytes,
+        TAG_PROFILE,
+        PROFILE_FORMAT_VERSION,
+    )?;
+    let source = kind_from_byte(r.u8()?)?;
+    let key = r.str()?.to_string();
+    let display_name = r.str()?.to_string();
+    let affiliation = r.opt_string()?;
+    let country = r.opt_string()?;
+    let n = r.u32()? as usize;
+    let mut affiliation_history = Vec::with_capacity(n);
+    for _ in 0..n {
+        affiliation_history.push(AffiliationRecord {
+            institution: r.str()?.to_string(),
+            country: r.str()?.to_string(),
+            from_year: r.u32()?,
+            to_year: r.u32()?,
+        });
+    }
+    let n = r.u32()? as usize;
+    let mut interests = Vec::with_capacity(n);
+    for _ in 0..n {
+        interests.push(r.str()?.to_string());
+    }
+    let n = r.u32()? as usize;
+    let mut publications = Vec::with_capacity(n);
+    for _ in 0..n {
+        let title = r.str()?.to_string();
+        let year = r.u32()?;
+        let venue_name = r.str()?.to_string();
+        let m = r.u32()? as usize;
+        let mut coauthor_names = Vec::with_capacity(m);
+        for _ in 0..m {
+            coauthor_names.push(r.str()?.to_string());
+        }
+        let m = r.u32()? as usize;
+        let mut keywords = Vec::with_capacity(m);
+        for _ in 0..m {
+            keywords.push(r.str()?.to_string());
+        }
+        let citations = r.opt_u32()?;
+        publications.push(Arc::new(SourcePublication {
+            title,
+            year,
+            venue_name,
+            coauthor_names,
+            keywords,
+            citations,
+        }));
+    }
+    let metrics = SourceMetrics {
+        citations: r.opt_u64()?,
+        h_index: r.opt_u32()?,
+        i10_index: r.opt_u32()?,
+    };
+    let n = r.u32()? as usize;
+    let mut reviews = Vec::with_capacity(n);
+    for _ in 0..n {
+        let venue_name = r.str()?.to_string();
+        let year = r.u32()?;
+        let turnaround_days = r.u32()?;
+        let quality = match r.u8()? {
+            0 => None,
+            1 => Some(r.u8()?),
+            other => {
+                return Err(StoreError::Codec {
+                    what: "scholar profile",
+                    detail: format!("review quality presence byte must be 0 or 1, got {other}"),
+                })
+            }
+        };
+        reviews.push(Arc::new(SourceReview {
+            venue_name,
+            year,
+            turnaround_days,
+            quality,
+        }));
+    }
+    let truth = ScholarId(r.u32()?);
+    r.expect_end()?;
+    Ok(SourceProfile {
+        source,
+        key,
+        display_name,
+        affiliation,
+        country,
+        affiliation_history,
+        interests,
+        publications,
+        metrics,
+        reviews,
+        truth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rich_profile() -> SourceProfile {
+        SourceProfile {
+            source: SourceKind::Orcid,
+            key: "orcid:0000-0002".into(),
+            display_name: "L. Zhou".into(),
+            affiliation: Some("University of Tartu".into()),
+            country: None,
+            affiliation_history: vec![AffiliationRecord {
+                institution: "MIT".into(),
+                country: "USA".into(),
+                from_year: 2001,
+                to_year: 2008,
+            }],
+            interests: vec!["semantic web".into(), "databases".into()],
+            publications: vec![Arc::new(SourcePublication {
+                title: "Linked Data at Scale".into(),
+                year: 2017,
+                venue_name: "EDBT".into(),
+                coauthor_names: vec!["A. Author".into()],
+                keywords: vec!["rdf".into()],
+                citations: None,
+            })],
+            metrics: SourceMetrics {
+                citations: Some(12_345),
+                h_index: None,
+                i10_index: Some(9),
+            },
+            reviews: vec![
+                Arc::new(SourceReview {
+                    venue_name: "VLDB".into(),
+                    year: 2018,
+                    turnaround_days: 14,
+                    quality: Some(5),
+                }),
+                Arc::new(SourceReview {
+                    venue_name: "EDBT".into(),
+                    year: 2019,
+                    turnaround_days: 30,
+                    quality: None,
+                }),
+            ],
+            truth: ScholarId(42),
+        }
+    }
+
+    #[test]
+    fn profile_round_trips_exactly() {
+        let p = rich_profile();
+        let decoded = decode_profile(&encode_profile(&p)).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn every_source_kind_round_trips() {
+        for kind in SourceKind::ALL {
+            let mut p = rich_profile();
+            p.source = kind;
+            assert_eq!(decode_profile(&encode_profile(&p)).unwrap().source, kind);
+        }
+    }
+
+    #[test]
+    fn future_version_is_a_descriptive_error() {
+        let p = rich_profile();
+        let mut bytes = encode_profile(&p);
+        bytes[2] = PROFILE_FORMAT_VERSION + 1; // bump the version byte
+        let err = decode_profile(&bytes).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("scholar profile"), "{msg}");
+        assert!(msg.contains("format version"), "{msg}");
+    }
+
+    #[test]
+    fn truncated_profile_is_an_error_not_a_panic() {
+        let bytes = encode_profile(&rich_profile());
+        for cut in 0..bytes.len() {
+            assert!(decode_profile(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn profile_keys_are_namespaced_per_source() {
+        let a = profile_key(SourceKind::GoogleScholar, ScholarId(7));
+        let b = profile_key(SourceKind::Dblp, ScholarId(7));
+        assert_ne!(a, b);
+        assert!(String::from_utf8(a).unwrap().starts_with("profile/gs/"));
+    }
+}

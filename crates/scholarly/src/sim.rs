@@ -86,6 +86,14 @@ pub trait ScholarSource: Send + Sync {
 /// clone.
 pub struct ProfileStore {
     slots: Vec<OnceLock<Arc<SourceProfile>>>,
+    /// When set, slot initialization consults the embedded store first
+    /// (decode hit → no rebuild) and persists freshly built profiles.
+    backing: Option<ProfileBacking>,
+}
+
+struct ProfileBacking {
+    store: Arc<minaret_store::Store>,
+    kind: SourceKind,
 }
 
 impl ProfileStore {
@@ -94,24 +102,61 @@ impl ProfileStore {
     pub fn with_capacity(scholars: usize) -> Self {
         Self {
             slots: (0..scholars).map(|_| OnceLock::new()).collect(),
+            backing: None,
+        }
+    }
+
+    /// A store whose slots lazily load from (and write back to) the
+    /// embedded `store`, under keys namespaced by `kind`. Decode
+    /// failures fall back to rebuilding — the persisted bytes are a
+    /// cache of deterministic computation, never the source of truth.
+    #[must_use]
+    pub fn with_store(scholars: usize, store: Arc<minaret_store::Store>, kind: SourceKind) -> Self {
+        Self {
+            slots: (0..scholars).map(|_| OnceLock::new()).collect(),
+            backing: Some(ProfileBacking { store, kind }),
         }
     }
 
     /// The shared profile for `id`, building it via `build` exactly once
-    /// across all threads.
+    /// across all threads (or loading it from the backing store, when
+    /// one is attached and holds a decodable entry).
     pub fn get_or_build(
         &self,
         id: ScholarId,
         build: impl FnOnce() -> SourceProfile,
     ) -> Arc<SourceProfile> {
         self.slots[id.index()]
-            .get_or_init(|| Arc::new(build()))
+            .get_or_init(|| {
+                if let Some(backing) = &self.backing {
+                    let key = crate::persist::profile_key(backing.kind, id);
+                    if let Ok(Some(bytes)) = backing.store.get(&key) {
+                        if let Ok(profile) = crate::persist::decode_profile(&bytes) {
+                            return Arc::new(profile);
+                        }
+                    }
+                    let profile = build();
+                    // Best-effort write-back: a full disk must not take
+                    // down the serving path — the profile is still
+                    // correct, just not persisted.
+                    let _ = backing
+                        .store
+                        .put(&key, &crate::persist::encode_profile(&profile));
+                    return Arc::new(profile);
+                }
+                Arc::new(build())
+            })
             .clone()
     }
 
     /// How many profiles have been materialized so far.
     pub fn built_count(&self) -> usize {
         self.slots.iter().filter(|s| s.get().is_some()).count()
+    }
+
+    /// True when a backing store is attached.
+    pub fn is_persistent(&self) -> bool {
+        self.backing.is_some()
     }
 }
 
@@ -252,6 +297,17 @@ impl SimulatedSource {
     /// deadline tests).
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Backs this source's profile cache with an embedded store:
+    /// profiles already persisted there are loaded instead of rebuilt,
+    /// and freshly built ones are written back. Serving behaviour is
+    /// byte-identical either way — profile construction is
+    /// deterministic and the codec round-trips exactly.
+    pub fn with_persistence(mut self, store: Arc<minaret_store::Store>) -> Self {
+        self.profiles =
+            ProfileStore::with_store(self.world.scholars().len(), store, self.spec.kind);
         self
     }
 
@@ -914,6 +970,45 @@ mod tests {
                 "window {window} third call must be limited"
             );
         }
+    }
+
+    #[test]
+    fn persistent_profiles_round_trip_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("minaret-sim-persist-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let w = world();
+        let fresh =
+            SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), w.clone());
+        let id = w.scholars()[3].id;
+        let expected = fresh.fetch_profile(&fresh.key_for(id)).unwrap();
+
+        // First persistent source: builds and writes back.
+        {
+            let store = Arc::new(
+                minaret_store::Store::open(&dir, minaret_store::StoreConfig::default()).unwrap(),
+            );
+            let s =
+                SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), w.clone())
+                    .with_persistence(store.clone());
+            assert!(s.profiles.is_persistent());
+            assert_eq!(*s.fetch_profile(&s.key_for(id)).unwrap(), *expected);
+            store.flush().unwrap();
+        }
+        // Second process: the profile is loaded from disk, not rebuilt,
+        // and is byte-identical to the fresh build.
+        let store = Arc::new(
+            minaret_store::Store::open(&dir, minaret_store::StoreConfig::default()).unwrap(),
+        );
+        assert!(store
+            .get(&crate::persist::profile_key(SourceKind::GoogleScholar, id))
+            .unwrap()
+            .is_some());
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), w.clone())
+            .with_persistence(store.clone());
+        assert_eq!(*s.fetch_profile(&s.key_for(id)).unwrap(), *expected);
+        drop(s);
+        drop(store);
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

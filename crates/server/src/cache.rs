@@ -181,6 +181,34 @@ impl ResultCache {
             .set(entries as i64);
     }
 
+    /// Drops the single entry under `key`, if present. Returns whether
+    /// an entry was actually dropped; both outcomes are counted to
+    /// telemetry (`scope="single"`, `outcome="hit"|"miss"`), so an
+    /// editor invalidating a fingerprint that was never cached — or
+    /// already expired — is visible in the metrics.
+    pub fn invalidate(&self, key: u64) -> bool {
+        let mut inner = self.inner.lock().expect("cache lock poisoned");
+        let dropped = inner.map.remove(&key).is_some();
+        if dropped {
+            inner.order.retain(|k| *k != key);
+        }
+        let entries = inner.map.len();
+        drop(inner);
+        self.telemetry
+            .counter(
+                "minaret_result_cache_invalidations_total",
+                &[
+                    ("scope", "single"),
+                    ("outcome", if dropped { "hit" } else { "miss" }),
+                ],
+            )
+            .inc();
+        self.telemetry
+            .gauge("minaret_result_cache_entries", &[])
+            .set(entries as i64);
+        dropped
+    }
+
     /// Drops every entry (the invalidation hook for world changes).
     /// Returns how many entries were dropped.
     pub fn invalidate_all(&self) -> usize {
@@ -290,6 +318,29 @@ mod tests {
         assert!(cache.get(2).is_some());
         assert!(cache.get(3).is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn invalidate_single_drops_only_that_entry_and_counts_outcomes() {
+        let telemetry = Telemetry::new();
+        let cache = ResultCache::new(1_000_000, 8).with_telemetry(telemetry.clone());
+        cache.insert(1, b"a".to_vec());
+        cache.insert(2, b"b".to_vec());
+        assert!(cache.invalidate(1), "present entry is dropped");
+        assert!(!cache.invalidate(1), "second attempt is a miss");
+        assert!(!cache.invalidate(999), "never-cached key is a miss");
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some(), "other entries survive");
+        let hit = telemetry.counter(
+            "minaret_result_cache_invalidations_total",
+            &[("scope", "single"), ("outcome", "hit")],
+        );
+        let miss = telemetry.counter(
+            "minaret_result_cache_invalidations_total",
+            &[("scope", "single"), ("outcome", "miss")],
+        );
+        assert_eq!(hit.get(), 1);
+        assert_eq!(miss.get(), 2);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! | `/expand?keyword=K` | GET | semantic expansion of one keyword |
 //! | `/verify-authors` | POST | identity candidates per author (Fig 4) |
 //! | `/recommend` | POST | the full three-phase pipeline (Figs 3→5) |
-//! | `/cache/invalidate` | POST | drop every cached `/recommend` result |
+//! | `/cache/invalidate` | POST | empty body: drop every cached `/recommend` result; manuscript body: drop just that fingerprint |
 //!
 //! The binary (`minaret-server`) generates a synthetic world, wires the
 //! six simulated sources, and serves. [`build_router`] is also used

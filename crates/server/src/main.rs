@@ -22,6 +22,13 @@ WORLD:
     --addr <host:port>            Bind address          [default: 127.0.0.1:8080]
     --scholars <n>                Synthetic scholars, n >= 1 [default: 2000]
     --seed <n>                    World generator seed  [default: 42]
+    --data-dir <path>             Embedded-store directory. On first boot the
+                                  generated world is snapshotted there; later
+                                  boots with the same --scholars/--seed load
+                                  the snapshot instead of regenerating, and
+                                  source profile caches persist across
+                                  restarts. Omit for pure-RAM mode (identical
+                                  recommendation bytes, nothing on disk)
 
 SERVING LAYER:
     --workers <n>                 Worker threads, n >= 1      [default: 8]
@@ -50,6 +57,7 @@ struct Flags {
     keepalive_max_requests: usize,
     idle_timeout_ms: u64,
     cache_ttl_ms: u64,
+    data_dir: Option<String>,
 }
 
 impl Default for Flags {
@@ -64,6 +72,7 @@ impl Default for Flags {
             keepalive_max_requests: 100,
             idle_timeout_ms: 5_000,
             cache_ttl_ms: 30_000,
+            data_dir: None,
         }
     }
 }
@@ -116,6 +125,12 @@ fn parse_flags(mut args: impl Iterator<Item = String>) -> Result<Option<Flags>, 
             }
             "--idle-timeout-ms" => flags.idle_timeout_ms = num(&flag, &value)?,
             "--cache-ttl-ms" => flags.cache_ttl_ms = num(&flag, &value)?,
+            "--data-dir" => {
+                if value.is_empty() {
+                    return Err("--data-dir needs a non-empty path".into());
+                }
+                flags.data_dir = Some(value);
+            }
             other => return Err(format!("unknown flag {other}; try --help")),
         }
     }
@@ -136,17 +151,30 @@ fn main() {
         }
     };
 
-    eprintln!(
-        "generating synthetic scholarly world ({} scholars, seed {})…",
-        flags.scholars, flags.seed
-    );
+    match &flags.data_dir {
+        Some(dir) => eprintln!(
+            "opening scholarly world ({} scholars, seed {}) from data dir {dir}…",
+            flags.scholars, flags.seed
+        ),
+        None => eprintln!(
+            "generating synthetic scholarly world ({} scholars, seed {})…",
+            flags.scholars, flags.seed
+        ),
+    }
     let telemetry = Telemetry::new();
-    let state: Arc<AppState> = AppState::demo_with_cache_ttl(
+    let state: Arc<AppState> = match AppState::demo_with_data_dir(
         flags.scholars,
         flags.seed,
         telemetry.clone(),
         flags.cache_ttl_ms.saturating_mul(1_000),
-    );
+        flags.data_dir.as_deref().map(std::path::Path::new),
+    ) {
+        Ok(state) => state,
+        Err(e) => {
+            eprintln!("error: failed to open data dir: {e}");
+            std::process::exit(2);
+        }
+    };
     let stats = state.world.stats();
     eprintln!(
         "world ready: {} scholars, {} papers, {} venues, {} review records",
@@ -226,6 +254,8 @@ mod tests {
             "250",
             "--cache-ttl-ms",
             "0",
+            "--data-dir",
+            "/tmp/minaret-data",
         ])
         .unwrap()
         .unwrap();
@@ -238,6 +268,15 @@ mod tests {
         assert_eq!(flags.keepalive_max_requests, 1);
         assert_eq!(flags.idle_timeout_ms, 250);
         assert_eq!(flags.cache_ttl_ms, 0);
+        assert_eq!(flags.data_dir.as_deref(), Some("/tmp/minaret-data"));
+    }
+
+    #[test]
+    fn data_dir_defaults_to_ram_mode_and_rejects_empty_paths() {
+        assert!(parse(&[]).unwrap().unwrap().data_dir.is_none());
+        assert!(parse(&["--data-dir", ""])
+            .unwrap_err()
+            .contains("--data-dir"));
     }
 
     #[test]

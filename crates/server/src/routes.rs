@@ -279,9 +279,39 @@ pub fn build_router(state: Arc<AppState>) -> Router {
     let (tel, route) = t("/cache/invalidate");
     router.post(
         route,
-        instrumented(tel, route, move |_, _| {
-            let dropped = s.invalidate_result_cache();
-            Response::json(200, &Value::object().set("invalidated", dropped as u64))
+        instrumented(tel, route, move |req, _| {
+            // No body: drop everything (the world-changed hook). With a
+            // manuscript body: drop only that (manuscript, config)
+            // fingerprint — the editor edited one submission and wants
+            // exactly its cached answer retired.
+            if req.body.is_empty() {
+                let dropped = s.invalidate_result_cache();
+                return Response::json(
+                    200,
+                    &Value::object()
+                        .set("invalidated", dropped as u64)
+                        .set("scope", "all"),
+                );
+            }
+            let body = match req.json_body() {
+                Ok(b) => b,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            let (manuscript, config) = match manuscript_from_json(&body, s.minaret.config()) {
+                Ok(x) => x,
+                Err(e) => return Response::error(422, &e),
+            };
+            let key = ResultCache::fingerprint(&manuscript, &config);
+            let dropped = s
+                .result_cache
+                .as_ref()
+                .is_some_and(|cache| cache.invalidate(key));
+            Response::json(
+                200,
+                &Value::object()
+                    .set("invalidated", dropped as u64)
+                    .set("scope", "single"),
+            )
         }),
     );
 
@@ -571,6 +601,91 @@ mod tests {
         let resp = router.dispatch(&request(Method::Post, "/cache/invalidate", &[], ""));
         assert_eq!(resp.status, 200);
         let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
+        assert!(state.result_cache.as_ref().unwrap().is_empty());
+    }
+
+    #[test]
+    fn scoped_invalidation_drops_only_the_fingerprinted_entry() {
+        let (state, router) = router();
+        let lead = state
+            .world
+            .scholars()
+            .iter()
+            .find(|s| !state.world.papers_of(s.id).is_empty())
+            .unwrap();
+        let keywords: Vec<Value> = lead
+            .interests
+            .iter()
+            .take(2)
+            .map(|&t| Value::from(state.world.ontology.label(t)))
+            .collect();
+        let make_body = |title: &str| {
+            Value::object()
+                .set("title", title)
+                .set("keywords", keywords.clone())
+                .set(
+                    "authors",
+                    vec![Value::object().set("name", lead.full_name().as_str())],
+                )
+                .set("target_venue", state.world.venues()[0].name.as_str())
+                .to_string()
+        };
+        let body_a = make_body("Submission A");
+        let body_b = make_body("Submission B");
+        assert_eq!(
+            router
+                .dispatch(&request(Method::Post, "/recommend", &[], &body_a))
+                .status,
+            200
+        );
+        assert_eq!(
+            router
+                .dispatch(&request(Method::Post, "/recommend", &[], &body_b))
+                .status,
+            200
+        );
+        assert_eq!(state.result_cache.as_ref().unwrap().len(), 2);
+
+        // Scoped invalidation of A: only A's entry goes.
+        let resp = router.dispatch(&request(Method::Post, "/cache/invalidate", &[], &body_a));
+        assert_eq!(resp.status, 200);
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("scope").and_then(Value::as_str), Some("single"));
+        assert_eq!(state.result_cache.as_ref().unwrap().len(), 1);
+
+        // Invalidating it again is a counted miss, not an error.
+        let resp = router.dispatch(&request(Method::Post, "/cache/invalidate", &[], &body_a));
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(0));
+        let miss = state.telemetry.counter(
+            "minaret_result_cache_invalidations_total",
+            &[("scope", "single"), ("outcome", "miss")],
+        );
+        assert_eq!(miss.get(), 1);
+
+        // Malformed scoped bodies are rejected, not treated as "all".
+        let resp = router.dispatch(&request(
+            Method::Post,
+            "/cache/invalidate",
+            &[],
+            "{not json",
+        ));
+        assert_eq!(resp.status, 400);
+        let resp = router.dispatch(&request(
+            Method::Post,
+            "/cache/invalidate",
+            &[],
+            r#"{"keywords":[]}"#,
+        ));
+        assert_eq!(resp.status, 422);
+        assert_eq!(state.result_cache.as_ref().unwrap().len(), 1, "B survives");
+
+        // Empty body still clears everything.
+        let resp = router.dispatch(&request(Method::Post, "/cache/invalidate", &[], ""));
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(v.get("scope").and_then(Value::as_str), Some("all"));
         assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
         assert!(state.result_cache.as_ref().unwrap().is_empty());
     }

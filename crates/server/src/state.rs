@@ -1,5 +1,6 @@
 //! Shared application state.
 
+use std::path::Path;
 use std::sync::Arc;
 
 use minaret_core::{EditorConfig, Minaret};
@@ -7,7 +8,8 @@ use minaret_ontology::Ontology;
 use minaret_scholarly::{
     RegistryConfig, ResilienceConfig, SimulatedSource, SourceRegistry, SourceSpec,
 };
-use minaret_synth::{World, WorldConfig, WorldGenerator};
+use minaret_store::{Store, StoreConfig, StoreError};
+use minaret_synth::{load_world, snapshot_world, SnapshotMeta, World, WorldConfig, WorldGenerator};
 use minaret_telemetry::Telemetry;
 
 use crate::cache::ResultCache;
@@ -35,6 +37,11 @@ pub struct AppState {
     /// (the [`AppState::with_registry`] test path, so scripted-fault
     /// tests always exercise the live pipeline).
     pub result_cache: Option<Arc<ResultCache>>,
+    /// The embedded store backing `--data-dir` mode: world snapshot and
+    /// persisted source profiles. `None` in pure-RAM mode, where
+    /// serving behaviour is byte-identical to a store-backed server
+    /// over the same (scholars, seed).
+    pub store: Option<Arc<Store>>,
 }
 
 impl AppState {
@@ -59,13 +66,65 @@ impl AppState {
         telemetry: Telemetry,
         cache_ttl_micros: u64,
     ) -> Arc<AppState> {
-        let world = Arc::new(
+        Self::demo_with_data_dir(scholars, seed, telemetry, cache_ttl_micros, None)
+            .expect("pure-RAM demo state cannot fail: no store I/O involved")
+    }
+
+    /// Like [`AppState::demo_with_cache_ttl`], optionally backed by an
+    /// embedded store at `data_dir`.
+    ///
+    /// With a data directory, the world is loaded from the snapshot
+    /// there when one exists for the same `(scholars, seed)` — skipping
+    /// regeneration entirely — and snapshotted after generation
+    /// otherwise; source profile caches also persist across restarts.
+    /// With `None`, behaviour (and every recommendation byte) is
+    /// identical to the historical pure-RAM path.
+    pub fn demo_with_data_dir(
+        scholars: usize,
+        seed: u64,
+        telemetry: Telemetry,
+        cache_ttl_micros: u64,
+        data_dir: Option<&Path>,
+    ) -> Result<Arc<AppState>, StoreError> {
+        let store = match data_dir {
+            Some(dir) => Some(Arc::new(Store::open_with_telemetry(
+                dir,
+                StoreConfig::default(),
+                telemetry.clone(),
+            )?)),
+            None => None,
+        };
+        let generate = || {
             WorldGenerator::new(WorldConfig {
                 seed,
                 ..WorldConfig::sized(scholars)
             })
-            .generate(),
-        );
+            .generate()
+        };
+        let world = match &store {
+            Some(store) => match load_world(store)? {
+                // Serve the snapshot only when it matches what was
+                // asked for; a stale snapshot (different size or seed)
+                // is regenerated and overwritten.
+                Some((world, meta)) if meta.scholars as usize == scholars && meta.seed == seed => {
+                    Arc::new(world)
+                }
+                _ => {
+                    let world = generate();
+                    snapshot_world(
+                        store,
+                        &world,
+                        SnapshotMeta {
+                            scholars: scholars as u32,
+                            seed,
+                            current_year: world.current_year,
+                        },
+                    )?;
+                    Arc::new(world)
+                }
+            },
+            None => Arc::new(generate()),
+        };
         // Servers run with the production resilience preset: deadlines,
         // backoff, and breakers on, so a misbehaving source degrades
         // results instead of stalling requests.
@@ -77,7 +136,11 @@ impl AppState {
             telemetry.clone(),
         );
         for spec in SourceSpec::all_defaults() {
-            registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+            let mut source = SimulatedSource::new(spec, world.clone());
+            if let Some(store) = &store {
+                source = source.with_persistence(store.clone());
+            }
+            registry.register(Arc::new(source));
         }
         let cache = (cache_ttl_micros > 0).then(|| {
             Arc::new(
@@ -85,7 +148,13 @@ impl AppState {
                     .with_telemetry(telemetry.clone()),
             )
         });
-        Self::with_registry_and_cache(world, Arc::new(registry), telemetry, cache)
+        let mut state = Self::with_registry_and_cache(world, Arc::new(registry), telemetry, cache);
+        if let Some(store) = store {
+            Arc::get_mut(&mut state)
+                .expect("state Arc is unshared at construction")
+                .store = Some(store);
+        }
+        Ok(state)
     }
 
     /// Builds state over a caller-assembled registry (tests inject
@@ -117,6 +186,7 @@ impl AppState {
             minaret,
             telemetry,
             result_cache,
+            store: None,
         })
     }
 
@@ -149,6 +219,30 @@ mod tests {
     fn demo_state_can_opt_out_of_telemetry() {
         let state = AppState::demo_with_telemetry(100, 7, Telemetry::disabled());
         assert!(!state.telemetry.is_enabled());
+    }
+
+    #[test]
+    fn data_dir_state_snapshots_then_loads_the_same_world() {
+        let dir = std::env::temp_dir().join(format!("minaret-state-dd-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = AppState::demo_with_data_dir(80, 11, Telemetry::disabled(), 0, Some(&dir))
+            .expect("fresh data dir");
+        assert!(first.store.is_some());
+        let scholars_first = first.world.scholars().to_vec();
+        drop(first);
+
+        // Second boot: the world comes from the snapshot, identically.
+        let second = AppState::demo_with_data_dir(80, 11, Telemetry::disabled(), 0, Some(&dir))
+            .expect("restart over snapshot");
+        assert_eq!(second.world.scholars(), scholars_first.as_slice());
+
+        // Different seed: the stale snapshot is regenerated, not served.
+        let third = AppState::demo_with_data_dir(80, 12, Telemetry::disabled(), 0, Some(&dir))
+            .expect("reseed over stale snapshot");
+        assert_ne!(third.world.scholars(), scholars_first.as_slice());
+        drop(second);
+        drop(third);
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! `minaret-store`: an embedded, crash-safe, log-structured key-value
+//! store backing MINARET's persistent scholarly world.
+//!
+//! The engine follows the Badger/LevelDB family shape, scaled to this
+//! system's needs:
+//!
+//! * **Write-ahead log** ([`wal`]) — every mutation is appended as a
+//!   checksummed, length-prefixed record before it is applied, so
+//!   acknowledged writes survive a crash.
+//! * **Memtable** — an in-memory sorted map absorbing writes until it
+//!   crosses a size threshold.
+//! * **Sorted tables** ([`table`]) — immutable, checksummed files with
+//!   sparse indexes, produced by memtable flushes and merged by
+//!   compaction to bound file count and disk usage.
+//! * **Recovery** — [`Store::open`] replays WALs in order, tolerating a
+//!   torn tail (the interrupted final append) while refusing to open on
+//!   mid-log corruption, and rebuilds exactly the pre-crash visible
+//!   state.
+//! * **Versioned codec** ([`codec`]) — every persisted payload carries
+//!   a magic byte, a type tag, and a format version, so a future build
+//!   reports a descriptive [`StoreError::VersionMismatch`] instead of
+//!   misparsing old bytes.
+//!
+//! Higher layers store scholar profiles and synthetic-world snapshots
+//! through this crate; the engine itself knows nothing about them —
+//! it moves opaque keys and values, durably.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod error;
+pub mod store;
+pub mod table;
+pub mod wal;
+
+pub use codec::{Reader, Writer, ENVELOPE_MAGIC};
+pub use error::StoreError;
+pub use store::{Store, StoreConfig, StoreStats, SyncMode};

@@ -1,0 +1,435 @@
+//! The write-ahead log: append-only, checksummed, length-prefixed.
+//!
+//! Every mutation is appended as one record before it touches the
+//! memtable, so a crash can lose at most the unsynced tail — never
+//! acknowledged state. Record layout:
+//!
+//! ```text
+//! [len u32][crc32 u32][payload: op u8 | key_len u32 | key | value]
+//! ```
+//!
+//! `len` counts the payload bytes; `crc32` (IEEE) covers the payload
+//! only, so a bit flip anywhere in a record is caught. Replay applies
+//! records in order and classifies damage by where it sits:
+//!
+//! * a record whose claimed bytes run past end-of-file, or whose
+//!   checksum fails **at** end-of-file, is a *torn tail* — the crash
+//!   interrupted the append. The committed prefix is returned and the
+//!   tail is reported for truncation;
+//! * a checksum failure with more bytes *after* the record is mid-log
+//!   corruption: committed data was damaged at rest, and replay refuses
+//!   with [`StoreError::Corrupt`] instead of silently dropping records.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::error::StoreError;
+
+/// One replayed WAL operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// Set `key` to `value`.
+    Put {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// Remove `key`.
+    Delete {
+        /// The key.
+        key: Vec<u8>,
+    },
+}
+
+const OP_PUT: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes` — the same polynomial
+/// zlib and LevelDB-family stores use. Table-free bitwise form: the WAL
+/// writes records far larger than the per-byte loop costs.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = 0xffff_ffff;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// An open WAL file accepting appends.
+#[derive(Debug)]
+pub struct WalWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+    bytes_written: u64,
+}
+
+impl WalWriter {
+    /// Creates (or truncates) the WAL at `path`.
+    pub fn create(path: &Path) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "creating WAL", e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+            bytes_written: 0,
+        })
+    }
+
+    /// Opens the WAL at `path` for further appends after `committed`
+    /// bytes of valid records (anything beyond is a torn tail from a
+    /// crash and is truncated away first).
+    pub fn resume(path: &Path, committed: u64) -> Result<Self, StoreError> {
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| StoreError::io(path, "reopening WAL", e))?;
+        file.set_len(committed)
+            .map_err(|e| StoreError::io(path, "truncating torn WAL tail", e))?;
+        use std::io::Seek;
+        let mut file = file;
+        file.seek(std::io::SeekFrom::End(0))
+            .map_err(|e| StoreError::io(path, "seeking to WAL end", e))?;
+        Ok(Self {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+            bytes_written: committed,
+        })
+    }
+
+    /// Appends one operation. Returns the record's encoded size in
+    /// bytes. The bytes are buffered; call [`WalWriter::sync`] to make
+    /// them durable.
+    pub fn append(&mut self, op: &WalOp) -> Result<u64, StoreError> {
+        let payload = encode_payload(op);
+        let mut record = Vec::with_capacity(8 + payload.len());
+        record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        record.extend_from_slice(&crc32(&payload).to_le_bytes());
+        record.extend_from_slice(&payload);
+        self.file
+            .write_all(&record)
+            .map_err(|e| StoreError::io(&self.path, "appending WAL record", e))?;
+        self.bytes_written += record.len() as u64;
+        Ok(record.len() as u64)
+    }
+
+    /// Flushes buffered records and fsyncs the file: everything appended
+    /// so far survives a crash after this returns.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file
+            .flush()
+            .map_err(|e| StoreError::io(&self.path, "flushing WAL buffer", e))?;
+        self.file
+            .get_ref()
+            .sync_data()
+            .map_err(|e| StoreError::io(&self.path, "fsyncing WAL", e))?;
+        Ok(())
+    }
+
+    /// Total bytes of records written to this WAL.
+    #[must_use]
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+}
+
+fn encode_payload(op: &WalOp) -> Vec<u8> {
+    match op {
+        WalOp::Put { key, value } => {
+            let mut p = Vec::with_capacity(5 + key.len() + value.len());
+            p.push(OP_PUT);
+            p.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            p.extend_from_slice(key);
+            p.extend_from_slice(value);
+            p
+        }
+        WalOp::Delete { key } => {
+            let mut p = Vec::with_capacity(5 + key.len());
+            p.push(OP_DELETE);
+            p.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            p.extend_from_slice(key);
+            p
+        }
+    }
+}
+
+fn decode_payload(path: &Path, offset: u64, payload: &[u8]) -> Result<WalOp, StoreError> {
+    let corrupt = |detail: String| StoreError::Corrupt {
+        path: path.to_path_buf(),
+        offset,
+        detail,
+    };
+    if payload.len() < 5 {
+        return Err(corrupt(format!(
+            "payload of {} bytes is too short for an op header",
+            payload.len()
+        )));
+    }
+    let op = payload[0];
+    let key_len = u32::from_le_bytes(payload[1..5].try_into().unwrap()) as usize;
+    let rest = &payload[5..];
+    if key_len > rest.len() {
+        return Err(corrupt(format!(
+            "key length {key_len} exceeds remaining payload of {} bytes",
+            rest.len()
+        )));
+    }
+    let (key, value) = rest.split_at(key_len);
+    match op {
+        OP_PUT => Ok(WalOp::Put {
+            key: key.to_vec(),
+            value: value.to_vec(),
+        }),
+        OP_DELETE if value.is_empty() => Ok(WalOp::Delete { key: key.to_vec() }),
+        OP_DELETE => Err(corrupt(format!(
+            "delete record carries {} value bytes",
+            value.len()
+        ))),
+        other => Err(corrupt(format!("unknown op byte 0x{other:02x}"))),
+    }
+}
+
+/// What a replay recovered.
+#[derive(Debug)]
+pub struct Replay {
+    /// The committed operations, in append order.
+    pub ops: Vec<WalOp>,
+    /// Bytes of valid records; anything past this offset was a torn
+    /// tail from an interrupted append.
+    pub committed_bytes: u64,
+    /// Bytes discarded as torn tail (0 for a cleanly-closed WAL).
+    pub torn_bytes: u64,
+}
+
+/// Replays the WAL at `path`.
+///
+/// Returns the committed prefix, tolerating a torn tail. Mid-log
+/// damage — a record that fails its checksum while valid bytes follow
+/// it — is a hard [`StoreError::Corrupt`].
+pub fn replay(path: &Path) -> Result<Replay, StoreError> {
+    let mut raw = Vec::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_end(&mut raw))
+        .map_err(|e| StoreError::io(path, "reading WAL for replay", e))?;
+
+    let mut ops = Vec::new();
+    let mut pos: usize = 0;
+    loop {
+        let remaining = raw.len() - pos;
+        if remaining == 0 {
+            return Ok(Replay {
+                ops,
+                committed_bytes: pos as u64,
+                torn_bytes: 0,
+            });
+        }
+        if remaining < 8 {
+            // Not even a header fits: torn mid-header.
+            return Ok(Replay {
+                ops,
+                committed_bytes: pos as u64,
+                torn_bytes: remaining as u64,
+            });
+        }
+        let len = u32::from_le_bytes(raw[pos..pos + 4].try_into().unwrap()) as usize;
+        let stored_crc = u32::from_le_bytes(raw[pos + 4..pos + 8].try_into().unwrap());
+        if remaining - 8 < len {
+            // The record claims more bytes than the file holds: the
+            // append (or the length field itself) was torn.
+            return Ok(Replay {
+                ops,
+                committed_bytes: pos as u64,
+                torn_bytes: remaining as u64,
+            });
+        }
+        let payload = &raw[pos + 8..pos + 8 + len];
+        let record_end = pos + 8 + len;
+        if crc32(payload) != stored_crc {
+            if record_end == raw.len() {
+                // Checksum failure on the very last record: a torn
+                // write of that record. Drop it, keep the prefix.
+                return Ok(Replay {
+                    ops,
+                    committed_bytes: pos as u64,
+                    torn_bytes: remaining as u64,
+                });
+            }
+            // Valid bytes follow a failing record: committed data was
+            // damaged at rest. Refuse rather than drop silently.
+            return Err(StoreError::Corrupt {
+                path: path.to_path_buf(),
+                offset: pos as u64,
+                detail: format!(
+                    "record checksum mismatch (stored 0x{stored_crc:08x}, computed \
+                     0x{:08x}) with {} committed bytes after it",
+                    crc32(payload),
+                    raw.len() - record_end
+                ),
+            });
+        }
+        ops.push(decode_payload(path, pos as u64, payload)?);
+        pos = record_end;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("minaret-wal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_ops() -> Vec<WalOp> {
+        vec![
+            WalOp::Put {
+                key: b"alpha".to_vec(),
+                value: b"1".to_vec(),
+            },
+            WalOp::Put {
+                key: b"beta".to_vec(),
+                value: vec![0u8; 300],
+            },
+            WalOp::Delete {
+                key: b"alpha".to_vec(),
+            },
+        ]
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE test vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn append_then_replay_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let replay = replay(&path).unwrap();
+        assert_eq!(replay.ops, sample_ops());
+        assert_eq!(replay.torn_bytes, 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_recovers_prefix() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        w.sync().unwrap();
+        let full = std::fs::read(&path).unwrap();
+        drop(w);
+        // Chop the file at every offset: replay must return exactly the
+        // records fully contained in the prefix.
+        let mut boundaries = vec![0usize];
+        {
+            let mut pos = 0;
+            for op in &sample_ops() {
+                pos += 8 + encode_payload(op).len();
+                boundaries.push(pos);
+            }
+        }
+        for cut in 0..=full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let r = replay(&path).unwrap();
+            let expect = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+            assert_eq!(r.ops.len(), expect, "cut at {cut}");
+            assert_eq!(r.ops, sample_ops()[..expect].to_vec(), "cut at {cut}");
+            assert_eq!(r.committed_bytes, boundaries[expect] as u64);
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn midlog_bitflip_is_a_hard_error() {
+        let dir = tmp_dir("midlog");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let mut raw = std::fs::read(&path).unwrap();
+        // Flip a payload byte inside the *first* record.
+        raw[10] ^= 0x40;
+        std::fs::write(&path, &raw).unwrap();
+        let err = replay(&path).unwrap_err();
+        assert!(err.is_corruption(), "{err}");
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn tail_bitflip_recovers_committed_prefix() {
+        let dir = tmp_dir("tailflip");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01; // damage the last record's payload
+        std::fs::write(&path, &raw).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.ops, sample_ops()[..2].to_vec());
+        assert!(r.torn_bytes > 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_and_appends() {
+        let dir = tmp_dir("resume");
+        let path = dir.join("wal-0.log");
+        let mut w = WalWriter::create(&path).unwrap();
+        for op in &sample_ops() {
+            w.append(op).unwrap();
+        }
+        w.sync().unwrap();
+        drop(w);
+        // Simulate a torn append.
+        let mut raw = std::fs::read(&path).unwrap();
+        raw.extend_from_slice(&[9, 9, 9]);
+        std::fs::write(&path, &raw).unwrap();
+        let r = replay(&path).unwrap();
+        assert_eq!(r.torn_bytes, 3);
+        let mut w = WalWriter::resume(&path, r.committed_bytes).unwrap();
+        w.append(&WalOp::Put {
+            key: b"gamma".to_vec(),
+            value: b"3".to_vec(),
+        })
+        .unwrap();
+        w.sync().unwrap();
+        drop(w);
+        let r2 = replay(&path).unwrap();
+        assert_eq!(r2.ops.len(), 4);
+        assert_eq!(r2.torn_bytes, 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

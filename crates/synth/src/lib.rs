@@ -30,6 +30,7 @@ pub mod growth;
 mod ids;
 mod model;
 mod names;
+pub mod persist;
 mod submissions;
 mod world;
 
@@ -37,5 +38,6 @@ pub use config::WorldConfig;
 pub use generator::WorldGenerator;
 pub use ids::{InstitutionId, PaperId, ScholarId, VenueId};
 pub use model::{AffiliationSpan, Institution, Paper, ReviewRecord, Scholar, Venue, VenueKind};
+pub use persist::{load_world, snapshot_world, SnapshotMeta};
 pub use submissions::{ground_truth_relevance, SubmissionGenerator, SubmissionSpec};
 pub use world::{World, WorldStats};

@@ -82,6 +82,20 @@ const SERVED_REGRESSION_HEADROOM: f64 = 2.0;
 /// Cached requests in the throughput run.
 const THROUGHPUT_REQUESTS: usize = 100;
 
+/// World size for the embedded-store smoke (the e7 scalability point:
+/// snapshot, recover, and serve a 10k-scholar world).
+const STORE_SCHOLARS: usize = 10_000;
+
+/// Keys in the store put/get microbenchmark.
+const STORE_OPS: usize = 2_000;
+
+/// Allowed growth of the store metrics (`store_put_micros`,
+/// `store_get_micros`, `store_recovery_millis`) over the committed
+/// baseline. Wider than the extraction headroom because single-digit
+/// microsecond ops carry proportionally more scheduler and filesystem
+/// noise; a small additive slack absorbs tiny-baseline rounding.
+const STORE_REGRESSION_HEADROOM: f64 = 2.0;
+
 struct Measured {
     per_label: Duration,
     batched: Duration,
@@ -318,6 +332,100 @@ fn measure_serving() -> ServedMeasured {
     }
 }
 
+struct StoreMeasured {
+    put_micros: u64,
+    get_micros: u64,
+    recovery_millis: u64,
+    regen: Duration,
+    cold_start: Duration,
+}
+
+/// Embedded-store measurement over a 10k-scholar world: per-op put and
+/// get latency, recovery time on reopen (WAL replay + table
+/// validation), and the snapshot-served cold start — which must beat
+/// regenerating the same world from scratch, the whole point of
+/// `--data-dir`.
+fn measure_store() -> StoreMeasured {
+    use minaret::store::{Store, StoreConfig};
+    use minaret::synth::{load_world, snapshot_world, SnapshotMeta};
+
+    let dir = std::env::temp_dir().join(format!("minaret-perf-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Full regeneration cost: the bar a snapshot-served cold start must
+    // clear.
+    let t = Instant::now();
+    let world = WorldGenerator::new(WorldConfig {
+        seed: 0xE7,
+        ..WorldConfig::sized(STORE_SCHOLARS)
+    })
+    .generate();
+    let regen = t.elapsed();
+
+    let store = Store::open(&dir, StoreConfig::default()).expect("store opens");
+    snapshot_world(
+        &store,
+        &world,
+        SnapshotMeta {
+            scholars: STORE_SCHOLARS as u32,
+            seed: 0xE7,
+            current_year: world.current_year,
+        },
+    )
+    .expect("snapshot written");
+
+    // Per-op put latency over profile-sized values (buffered WAL path).
+    let value = vec![0xABu8; 512];
+    let key = |prefix: &str, i: usize| format!("{prefix}/{i:06}").into_bytes();
+    let t = Instant::now();
+    for i in 0..STORE_OPS {
+        store.put(&key("bench", i), &value).expect("put");
+    }
+    let put_micros = (t.elapsed().as_micros() as u64 / STORE_OPS as u64).max(1);
+
+    // Per-op get latency from a flushed sorted table (sparse-index
+    // binary search + file reads), not the memtable fast path.
+    store.flush().expect("flush");
+    let t = Instant::now();
+    for i in 0..STORE_OPS {
+        assert!(
+            store.get(&key("bench", i)).expect("get").is_some(),
+            "bench key must be present"
+        );
+    }
+    let get_micros = (t.elapsed().as_micros() as u64 / STORE_OPS as u64).max(1);
+
+    // Leave unflushed records behind so recovery replays a real WAL.
+    for i in 0..STORE_OPS / 4 {
+        store.put(&key("tail", i), &value).expect("put");
+    }
+    store.sync().expect("sync");
+    drop(store);
+
+    let store = Store::open(&dir, StoreConfig::default()).expect("store reopens");
+    let recovery_millis = store.stats().recovery_millis;
+    let t = Instant::now();
+    let (loaded, _) = load_world(&store)
+        .expect("snapshot loads")
+        .expect("snapshot present");
+    let cold_start = t.elapsed();
+    assert_eq!(
+        loaded.scholars().len(),
+        world.scholars().len(),
+        "cold start must serve the snapshotted world"
+    );
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    StoreMeasured {
+        put_micros,
+        get_micros,
+        recovery_millis,
+        regen,
+        cold_start,
+    }
+}
+
 /// Warm-path allocation counts per recommendation: `(allocs, bytes)`
 /// for a cached registry and for the uncached pipeline default.
 #[cfg(feature = "count-allocs")]
@@ -401,6 +509,24 @@ fn main() {
         std::process::exit(1);
     }
 
+    let store = measure_store();
+    println!(
+        "store smoke: put={} us/op  get={} us/op  recovery={} ms  cold_start={:.0} ms  regen={:.0} ms",
+        store.put_micros,
+        store.get_micros,
+        store.recovery_millis,
+        store.cold_start.as_secs_f64() * 1e3,
+        store.regen.as_secs_f64() * 1e3,
+    );
+    if store.cold_start >= store.regen {
+        eprintln!(
+            "FAIL: snapshot-served cold start ({:?}) is not faster than regenerating the \
+             {STORE_SCHOLARS}-scholar world ({:?})",
+            store.cold_start, store.regen
+        );
+        std::process::exit(1);
+    }
+
     if record {
         #[allow(unused_mut)]
         let mut json = Value::object()
@@ -416,7 +542,16 @@ fn main() {
             .set("served_cached_micros", micros(served.cached))
             .set("served_cache_speedup", cache_speedup)
             .set("served_rps", served.rps)
-            .set("served_cache_hit_rate", served.hit_rate);
+            .set("served_cache_hit_rate", served.hit_rate)
+            .set("store_scholars", STORE_SCHOLARS)
+            .set("store_put_micros", store.put_micros)
+            .set("store_get_micros", store.get_micros)
+            .set("store_recovery_millis", store.recovery_millis)
+            .set(
+                "store_cold_start_millis",
+                store.cold_start.as_millis() as u64,
+            )
+            .set("store_regen_millis", store.regen.as_millis() as u64);
         #[cfg(feature = "count-allocs")]
         {
             json = json
@@ -478,6 +613,29 @@ fn main() {
         "OK: served cache hit {served_measured:.0} us within {:.0}% of baseline {base_cached} us",
         (SERVED_REGRESSION_HEADROOM - 1.0) * 100.0
     );
+
+    // Store regression gates: each metric may grow at most
+    // STORE_REGRESSION_HEADROOM× over the committed baseline, plus a
+    // small additive slack so a 1-unit baseline doesn't gate on noise.
+    for (field, measured, slack) in [
+        ("store_put_micros", store.put_micros, 25),
+        ("store_get_micros", store.get_micros, 25),
+        ("store_recovery_millis", store.recovery_millis, 50),
+    ] {
+        let Some(base) = baseline.get(field).and_then(|v| v.as_u64()) else {
+            eprintln!("FAIL: baseline {BASELINE_PATH} lacks {field}; re-record");
+            std::process::exit(1);
+        };
+        let budget = base as f64 * STORE_REGRESSION_HEADROOM + slack as f64;
+        if measured as f64 > budget {
+            eprintln!(
+                "FAIL: {field} {measured} exceeds baseline {base} by more than {:.0}% (budget {budget:.0})",
+                (STORE_REGRESSION_HEADROOM - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("OK: {field} {measured} within budget {budget:.0} (baseline {base})");
+    }
 
     #[cfg(feature = "count-allocs")]
     for (field, measured) in [

@@ -53,7 +53,7 @@
 //!
 //! The individual subsystems are re-exported as modules: [`ontology`],
 //! [`synth`], [`scholarly`], [`disambig`], [`index`], [`core`],
-//! [`baselines`], [`eval`], [`json`], [`http`].
+//! [`baselines`], [`eval`], [`json`], [`http`], [`store`].
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -67,6 +67,7 @@ pub use minaret_index as index;
 pub use minaret_json as json;
 pub use minaret_ontology as ontology;
 pub use minaret_scholarly as scholarly;
+pub use minaret_store as store;
 pub use minaret_synth as synth;
 
 /// The most common imports in one place.
