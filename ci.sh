@@ -25,8 +25,14 @@ cargo test -q --test batched_equivalence
 echo "==> telemetry surface (incl. coalescing counter): cargo test --test metrics_endpoint"
 cargo test -q --test metrics_endpoint
 
-echo "==> single-flight coalescing: cargo test -p minaret-scholarly coalesc"
+echo "==> single-flight coalescing (incl. shard race + leader panic): cargo test -p minaret-scholarly coalesc"
 cargo test -q -p minaret-scholarly coalesc
+
+echo "==> sharded map primitives: cargo test -p minaret-concurrent"
+cargo test -q -p minaret-concurrent
+
+echo "==> sharded vs single-lock equivalence + linearizability smoke: cargo test --test shard_equivalence"
+cargo test -q --test shard_equivalence
 
 echo "==> load shedding: cargo test --test load_shedding"
 cargo test -q --test load_shedding
@@ -49,7 +55,7 @@ cargo test -q --test http_parser_proptest
 echo "==> shutdown/drain soak: cargo test --test shutdown_drain"
 cargo test -q --test shutdown_drain
 
-echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery vs BENCH_e7_scalability.json"
+echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery + lock contention vs BENCH_e7_scalability.json"
 cargo run -q --release --example perf_smoke
 
 echo "==> alloc smoke: warm-path allocations vs BENCH_e7_scalability.json (count-allocs)"

@@ -1,0 +1,209 @@
+//! The N-way sharded map: per-shard `RwLock`s, no whole-map lock.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use parking_lot::RwLock;
+
+use crate::hash::{stable_hash, FnvBuildHasher};
+use crate::ConcurrentMap;
+
+/// Default shard count. Power of two; generous relative to any worker
+/// count this system runs so that distinct hot keys collide on a shard
+/// rarely (the birthday bound at 8 workers over 64 shards is ~39% for
+/// *any* collision, but per-operation collision probability — what
+/// throughput sees — is ~11%).
+const DEFAULT_SHARDS: usize = 64;
+
+type Shard<K, V> = RwLock<HashMap<K, V, FnvBuildHasher>>;
+
+/// A concurrent map split into independent `RwLock<HashMap>` shards.
+///
+/// The shard for a key is the **high bits** of [`stable_hash`], a pure
+/// function of the key: deterministic across runs (tests can place two
+/// keys on one shard on purpose) and uncorrelated with the low bits
+/// the in-shard `HashMap` buckets by. Reads take one shard's read
+/// lock; writes take one shard's write lock; nothing ever locks the
+/// map as a whole — aggregate operations ([`len`], [`clear`],
+/// [`for_each`], [`retain`]) visit shards one at a time.
+///
+/// [`len`]: ConcurrentMap::len
+/// [`clear`]: ConcurrentMap::clear
+/// [`for_each`]: ConcurrentMap::for_each
+/// [`retain`]: ConcurrentMap::retain
+pub struct ShardedMap<K, V> {
+    shards: Box<[Shard<K, V>]>,
+    /// `64 - log2(shards.len())`: how far right to shift a hash so the
+    /// top bits index a shard.
+    shift: u32,
+}
+
+impl<K, V> Default for ShardedMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> ShardedMap<K, V> {
+    /// An empty map with the default shard count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty map with `shards` shards, rounded up to a power of two
+    /// and clamped to `1..=65536`. One shard degrades gracefully to the
+    /// single-lock design.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.clamp(1, 65_536).next_power_of_two();
+        Self {
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            shift: 64 - shards.trailing_zeros(),
+        }
+    }
+
+    /// Number of shards (a power of two).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` lives on — a pure function of the key, stable
+    /// for the process lifetime. Exposed so concurrency tests can
+    /// construct same-shard and different-shard key pairs.
+    pub fn shard_index<Q>(&self, key: &Q) -> usize
+    where
+        Q: ?Sized + Hash,
+    {
+        if self.shift == 64 {
+            0
+        } else {
+            (stable_hash(key) >> self.shift) as usize
+        }
+    }
+
+    fn shard<Q>(&self, key: &Q) -> &Shard<K, V>
+    where
+        Q: ?Sized + Hash,
+    {
+        &self.shards[self.shard_index(key)]
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for ShardedMap<K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Hash + Eq,
+    {
+        self.shard(key).read().get(key).cloned()
+    }
+
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Hash + Eq,
+    {
+        self.shard(key).write().remove(key)
+    }
+
+    fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> (V, bool) {
+        let shard = self.shard(&key);
+        if let Some(v) = shard.read().get(&key) {
+            return (v.clone(), false);
+        }
+        // Re-check under the write lock: the loser of a same-key race
+        // finds the winner's value here. `make` runs with only this
+        // shard locked, so a blocking build stalls 1/N of the keyspace
+        // instead of every caller.
+        let mut guard = shard.write();
+        match guard.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let v = make();
+                e.insert(v.clone());
+                (v, true)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    fn clear(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut guard = s.write();
+                let n = guard.len();
+                guard.clear();
+                n
+            })
+            .sum()
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in self.shards.iter() {
+            for (k, v) in s.read().iter() {
+                f(k, v);
+            }
+        }
+    }
+
+    fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut guard = s.write();
+                let before = guard.len();
+                guard.retain(|k, v| f(k, v));
+                before - guard.len()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_count_rounds_up_and_clamps() {
+        assert_eq!(ShardedMap::<u64, u64>::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedMap::<u64, u64>::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardedMap::<u64, u64>::with_shards(5).shard_count(), 8);
+        assert_eq!(ShardedMap::<u64, u64>::with_shards(64).shard_count(), 64);
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_shard_zero() {
+        let map: ShardedMap<u64, u64> = ShardedMap::with_shards(1);
+        for k in 0..256 {
+            assert_eq!(map.shard_index(&k), 0);
+        }
+    }
+
+    #[test]
+    fn borrowed_lookup_reaches_the_same_shard_as_the_owned_key() {
+        use std::sync::Arc;
+        let map: ShardedMap<Arc<str>, u64> = ShardedMap::new();
+        for i in 0..64 {
+            let label = format!("topic {i}");
+            let key: Arc<str> = Arc::from(label.as_str());
+            assert_eq!(map.shard_index(&key), map.shard_index(label.as_str()));
+            map.insert(key, i);
+            assert_eq!(map.get(label.as_str()), Some(i));
+        }
+    }
+}

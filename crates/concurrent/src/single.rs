@@ -1,0 +1,101 @@
+//! The single-lock baseline: one `RwLock` around one `HashMap`.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use parking_lot::RwLock;
+
+use crate::hash::FnvBuildHasher;
+use crate::ConcurrentMap;
+
+/// One `RwLock<HashMap>` — the design every hot structure used before
+/// sharding. Every write excludes every reader of every key; kept as
+/// the observable-behaviour baseline the sharded map is tested against
+/// and the contention benchmark measures.
+pub struct SingleLockMap<K, V> {
+    inner: RwLock<HashMap<K, V, FnvBuildHasher>>,
+}
+
+impl<K, V> Default for SingleLockMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K, V> SingleLockMap<K, V> {
+    /// An empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: RwLock::new(HashMap::default()),
+        }
+    }
+}
+
+impl<K, V> ConcurrentMap<K, V> for SingleLockMap<K, V>
+where
+    K: Hash + Eq + Send + Sync,
+    V: Clone + Send + Sync,
+{
+    fn get<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Hash + Eq,
+    {
+        self.inner.read().get(key).cloned()
+    }
+
+    fn insert(&self, key: K, value: V) -> Option<V> {
+        self.inner.write().insert(key, value)
+    }
+
+    fn remove<Q>(&self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: ?Sized + Hash + Eq,
+    {
+        self.inner.write().remove(key)
+    }
+
+    fn get_or_insert_with(&self, key: K, make: impl FnOnce() -> V) -> (V, bool) {
+        if let Some(v) = self.inner.read().get(&key) {
+            return (v.clone(), false);
+        }
+        // The whole-map write lock is held across `make` — the cost the
+        // sharded implementation confines to one shard.
+        let mut inner = self.inner.write();
+        match inner.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => (e.get().clone(), false),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let v = make();
+                e.insert(v.clone());
+                (v, true)
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    fn clear(&self) -> usize {
+        let mut inner = self.inner.write();
+        let n = inner.len();
+        inner.clear();
+        n
+    }
+
+    fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for (k, v) in self.inner.read().iter() {
+            f(k, v);
+        }
+    }
+
+    fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) -> usize {
+        let mut inner = self.inner.write();
+        let before = inner.len();
+        inner.retain(|k, v| f(k, v));
+        before - inner.len()
+    }
+}

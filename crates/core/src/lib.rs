@@ -26,6 +26,8 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use minaret_concurrent as concurrent;
+
 pub mod coi;
 mod config;
 mod error;

@@ -14,8 +14,8 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use minaret_concurrent::{ConcurrentMap, ShardedMap};
 use minaret_telemetry::Telemetry;
-use parking_lot::RwLock;
 
 use crate::error::SourceError;
 use crate::record::SourceProfile;
@@ -58,9 +58,9 @@ impl CacheStats {
 pub struct CachingSource {
     inner: Arc<dyn ScholarSource>,
     telemetry: Telemetry,
-    by_name: RwLock<HashMap<String, Vec<Arc<SourceProfile>>>>,
-    by_interest: RwLock<HashMap<Arc<str>, Vec<Arc<SourceProfile>>>>,
-    by_key: RwLock<HashMap<String, Arc<SourceProfile>>>,
+    by_name: ShardedMap<String, Vec<Arc<SourceProfile>>>,
+    by_interest: ShardedMap<Arc<str>, Vec<Arc<SourceProfile>>>,
+    by_key: ShardedMap<String, Arc<SourceProfile>>,
     hits: AtomicU64,
     misses: AtomicU64,
     errors: AtomicU64,
@@ -91,9 +91,9 @@ impl CachingSource {
         Self {
             inner,
             telemetry,
-            by_name: RwLock::new(HashMap::new()),
-            by_interest: RwLock::new(HashMap::new()),
-            by_key: RwLock::new(HashMap::new()),
+            by_name: ShardedMap::new(),
+            by_interest: ShardedMap::new(),
+            by_key: ShardedMap::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             errors: AtomicU64::new(0),
@@ -114,16 +114,8 @@ impl CachingSource {
     /// Drops all cached entries (a new recommendation run starting from
     /// scratch, per the paper's freshness requirement).
     pub fn clear(&self) {
-        let evicted = {
-            let mut by_name = self.by_name.write();
-            let mut by_interest = self.by_interest.write();
-            let mut by_key = self.by_key.write();
-            let n = by_name.len() + by_interest.len() + by_key.len();
-            by_name.clear();
-            by_interest.clear();
-            by_key.clear();
-            n as u64
-        };
+        let evicted =
+            (self.by_name.clear() + self.by_interest.clear() + self.by_key.clear()) as u64;
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
         self.cache_counter("evictions").inc_by(evicted);
     }
@@ -166,29 +158,26 @@ impl ScholarSource for CachingSource {
     }
 
     fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
-        if let Some(hit) = self.by_name.read().get(name) {
+        if let Some(hit) = self.by_name.get(name) {
             self.on_hit();
-            return Ok(hit.clone());
+            return Ok(hit);
         }
         let result = self.inner.search_by_name(name);
         self.on_fetch(&result);
         let result = result?;
-        self.by_name
-            .write()
-            .insert(name.to_string(), result.clone());
+        self.by_name.insert(name.to_string(), result.clone());
         Ok(result)
     }
 
     fn search_by_interest(&self, keyword: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
-        if let Some(hit) = self.by_interest.read().get(keyword) {
+        if let Some(hit) = self.by_interest.get(keyword) {
             self.on_hit();
-            return Ok(hit.clone());
+            return Ok(hit);
         }
         let result = self.inner.search_by_interest(keyword);
         self.on_fetch(&result);
         let result = result?;
         self.by_interest
-            .write()
             .insert(crate::intern::intern(keyword), result.clone());
         Ok(result)
     }
@@ -206,25 +195,21 @@ impl ScholarSource for CachingSource {
     ) -> Result<crate::sim::LabeledHits, SourceError> {
         let mut results: Vec<Option<Vec<Arc<SourceProfile>>>> = Vec::with_capacity(labels.len());
         let mut missing: Vec<Arc<str>> = Vec::new();
-        {
-            let cache = self.by_interest.read();
-            for label in labels {
-                match cache.get(label.as_ref()) {
-                    Some(hit) => {
-                        self.on_hit();
-                        results.push(Some(hit.clone()));
-                    }
-                    None => {
-                        missing.push(label.clone());
-                        results.push(None);
-                    }
+        for label in labels {
+            match self.by_interest.get(label.as_ref()) {
+                Some(hit) => {
+                    self.on_hit();
+                    results.push(Some(hit));
+                }
+                None => {
+                    missing.push(label.clone());
+                    results.push(None);
                 }
             }
         }
         if !missing.is_empty() {
             match self.inner.search_by_interests(&missing) {
                 Ok(fetched) => {
-                    let mut cache = self.by_interest.write();
                     let fetched_by_label: HashMap<Arc<str>, Vec<Arc<SourceProfile>>> =
                         fetched.into_iter().collect();
                     for (label, slot) in labels.iter().zip(results.iter_mut()) {
@@ -237,7 +222,7 @@ impl ScholarSource for CachingSource {
                                 .unwrap_or_default();
                             self.misses.fetch_add(1, Ordering::Relaxed);
                             self.cache_counter("misses").inc();
-                            cache.insert(label.clone(), hits.clone());
+                            self.by_interest.insert(label.clone(), hits.clone());
                             *slot = Some(hits);
                         }
                     }
@@ -257,14 +242,14 @@ impl ScholarSource for CachingSource {
     }
 
     fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
-        if let Some(hit) = self.by_key.read().get(key) {
+        if let Some(hit) = self.by_key.get(key) {
             self.on_hit();
-            return Ok(hit.clone());
+            return Ok(hit);
         }
         let result = self.inner.fetch_profile(key);
         self.on_fetch(&result);
         let result = result?;
-        self.by_key.write().insert(key.to_string(), result.clone());
+        self.by_key.insert(key.to_string(), result.clone());
         Ok(result)
     }
 }

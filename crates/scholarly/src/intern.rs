@@ -16,18 +16,21 @@
 //! which [`crate::merge`] relies on for its pointer-keyed merge-key
 //! memo.)
 
-use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, OnceLock};
 
+use minaret_concurrent::{ConcurrentMap, ShardedMap};
 use minaret_ontology::normalize_label;
-use parking_lot::RwLock;
 
 /// A content-addressed store of shared strings plus a memo table for
-/// normalized forms. Thread-safe; reads (warm hits) take a shared lock.
+/// normalized forms. Thread-safe; both tables are sharded
+/// ([`ShardedMap`]), so a first-sight insert locks one shard of the
+/// vocabulary instead of stalling every concurrent intern.
 pub struct Interner {
-    strings: RwLock<HashSet<Arc<str>>>,
+    /// Keyed by the interned `Arc<str>` itself; the value is a clone of
+    /// the same `Arc`, so every caller converges on one allocation.
+    strings: ShardedMap<Arc<str>, Arc<str>>,
     /// raw input -> interned `normalize_label(raw)`.
-    normalized: RwLock<HashMap<Arc<str>, Arc<str>>>,
+    normalized: ShardedMap<Arc<str>, Arc<str>>,
 }
 
 impl Default for Interner {
@@ -41,48 +44,46 @@ impl Interner {
     #[must_use]
     pub fn new() -> Self {
         Self {
-            strings: RwLock::new(HashSet::new()),
-            normalized: RwLock::new(HashMap::new()),
+            strings: ShardedMap::new(),
+            normalized: ShardedMap::new(),
         }
     }
 
-    /// The shared `Arc<str>` for `s`, allocating only on first sight.
+    /// The shared `Arc<str>` for `s`, allocating only on first sight
+    /// (the warm path probes with `&str`, no allocation).
     pub fn intern(&self, s: &str) -> Arc<str> {
-        if let Some(hit) = self.strings.read().get(s) {
-            return hit.clone();
-        }
-        let mut strings = self.strings.write();
-        if let Some(hit) = strings.get(s) {
-            return hit.clone();
+        if let Some(hit) = self.strings.get(s) {
+            return hit;
         }
         let arc: Arc<str> = Arc::from(s);
-        strings.insert(arc.clone());
-        arc
+        // Same-key racers converge on whichever Arc won the insert.
+        self.strings
+            .get_or_insert_with(arc.clone(), || arc.clone())
+            .0
     }
 
     /// The interned [`normalize_label`] of `s`, memoized per distinct
     /// raw input: warm calls are two hash lookups and zero allocations.
     pub fn normalized(&self, s: &str) -> Arc<str> {
-        if let Some(hit) = self.normalized.read().get(s) {
-            return hit.clone();
+        if let Some(hit) = self.normalized.get(s) {
+            return hit;
         }
+        // Intern both forms *before* touching the memo shard: the memo's
+        // `make` closure must not re-enter a map, and the normalized Arc
+        // it captures is already pinned.
         let norm = self.intern(&normalize_label(s));
         let raw = self.intern(s);
-        self.normalized
-            .write()
-            .entry(raw)
-            .or_insert_with(|| norm.clone());
-        norm
+        self.normalized.get_or_insert_with(raw, || norm.clone()).0
     }
 
     /// Number of distinct strings interned so far.
     pub fn len(&self) -> usize {
-        self.strings.read().len()
+        self.strings.len()
     }
 
     /// True when nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.strings.read().is_empty()
+        self.strings.is_empty()
     }
 }
 

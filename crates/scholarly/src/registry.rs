@@ -19,11 +19,15 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 
 use crossbeam::channel;
+use minaret_concurrent::{ConcurrentMap, ShardedMap};
 use minaret_telemetry::Telemetry;
-use parking_lot::RwLock;
+// parking_lot throughout (no std lock poisoning): a leader that panics
+// inside a source call must not wedge the coalescing map or its cells
+// for every later fan-out.
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::clock::{Clock, SystemClock};
 use crate::error::SourceError;
@@ -210,8 +214,12 @@ struct RegistryShared {
     /// Jobs enqueued on the pool but not yet started.
     queue_depth: AtomicU64,
     /// In-flight single-flight cells, keyed by (source, fan-out key).
-    /// Type-erased so one map serves any fan-out result type.
-    inflight: Mutex<HashMap<(SourceKind, u64), Arc<dyn Any + Send + Sync>>>,
+    /// Type-erased so one map serves any fan-out result type. Sharded:
+    /// leader election for one fan-out key never contends with
+    /// unrelated fan-outs — only same-shard keys share a lock, and the
+    /// per-entry leader/follower handoff lives in the cell's own
+    /// `Mutex`/`Condvar`, not the map's.
+    inflight: ShardedMap<(SourceKind, u64), Arc<dyn Any + Send + Sync>>,
     /// Fan-out slices answered by joining another caller's in-flight
     /// computation instead of issuing their own source call.
     coalesced: AtomicU64,
@@ -380,20 +388,16 @@ impl RegistryShared {
             done: Mutex<Option<(Result<T, SourceError>, u32)>>,
             cv: Condvar,
         }
-        let (cell, leader) = {
-            let mut map = self.inflight.lock().expect("inflight map poisoned");
-            match map.get(&key) {
-                Some(existing) => (existing.clone(), false),
-                None => {
-                    let cell: Arc<dyn Any + Send + Sync> = Arc::new(Cell::<T> {
-                        done: Mutex::new(None),
-                        cv: Condvar::new(),
-                    });
-                    map.insert(key, cell.clone());
-                    (cell, true)
-                }
-            }
-        };
+        // Leader election is the sharded map's exactly-one-winner
+        // `get_or_insert_with`: the inserting caller leads, everyone
+        // who found the cell follows. Keys on other shards elect their
+        // leaders concurrently.
+        let (cell, leader) = self.inflight.get_or_insert_with(key, || {
+            Arc::new(Cell::<T> {
+                done: Mutex::new(None),
+                cv: Condvar::new(),
+            })
+        });
         let cell = cell
             .downcast::<Cell<T>>()
             .expect("one result type per coalescing key");
@@ -403,12 +407,9 @@ impl RegistryShared {
                 Ok(r) => r,
                 Err(payload) => (Err(panic_to_error(key.0, payload)), 0),
             };
-            *cell.done.lock().expect("coalescing cell poisoned") = Some(result.clone());
+            *cell.done.lock() = Some(result.clone());
             cell.cv.notify_all();
-            self.inflight
-                .lock()
-                .expect("inflight map poisoned")
-                .remove(&key);
+            self.inflight.remove(&key);
             result
         } else {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
@@ -418,9 +419,9 @@ impl RegistryShared {
                     &[("source", source_label)],
                 )
                 .inc();
-            let mut done = cell.done.lock().expect("coalescing cell poisoned");
+            let mut done = cell.done.lock();
             while done.is_none() {
-                done = cell.cv.wait(done).expect("coalescing cell poisoned");
+                cell.cv.wait(&mut done);
             }
             done.as_ref().expect("filled before notify").clone()
         }
@@ -697,7 +698,7 @@ impl SourceRegistry {
                 short_circuited: AtomicU64::new(0),
                 queue_depth: AtomicU64::new(0),
                 pool: OnceLock::new(),
-                inflight: Mutex::new(HashMap::new()),
+                inflight: ShardedMap::new(),
                 coalesced: AtomicU64::new(0),
             }),
             request_deadline_micros: None,
@@ -1546,9 +1547,9 @@ mod tests {
     impl GatedSource {
         fn wait_for_release(&self) {
             let (flag, cv) = &*self.release;
-            let mut open = flag.lock().expect("gate poisoned");
+            let mut open = flag.lock();
             while !*open {
-                open = cv.wait(open).expect("gate poisoned");
+                cv.wait(&mut open);
             }
         }
     }
@@ -1584,7 +1585,7 @@ mod tests {
 
     fn open_gate(release: &Arc<(Mutex<bool>, Condvar)>) {
         let (flag, cv) = &**release;
-        *flag.lock().expect("gate poisoned") = true;
+        *flag.lock() = true;
         cv.notify_all();
     }
 
@@ -1759,5 +1760,254 @@ mod tests {
             "{text}"
         );
         assert_eq!(reg.coalesced_count(), 0);
+    }
+
+    /// A rendezvous barrier: every arriving call parks until `target`
+    /// calls have arrived, then all proceed. Proves N calls were
+    /// in-flight *simultaneously* — if anything serialized them, the
+    /// earlier arrival would hold its lock forever waiting for the later
+    /// one and the test would deadlock rather than flake.
+    struct ArrivalGate {
+        count: Mutex<usize>,
+        cv: Condvar,
+        target: usize,
+    }
+
+    impl ArrivalGate {
+        fn new(target: usize) -> Self {
+            Self {
+                count: Mutex::new(0),
+                cv: Condvar::new(),
+                target,
+            }
+        }
+
+        fn arrive_and_wait(&self) {
+            let mut n = self.count.lock();
+            *n += 1;
+            self.cv.notify_all();
+            while *n < self.target {
+                self.cv.wait(&mut n);
+            }
+        }
+    }
+
+    /// A source whose batched interest search rendezvouses on an
+    /// [`ArrivalGate`] before answering.
+    struct RendezvousSource {
+        inner: SimulatedSource,
+        gate: Arc<ArrivalGate>,
+        inner_calls: Arc<AtomicU64>,
+    }
+
+    impl ScholarSource for RendezvousSource {
+        fn kind(&self) -> SourceKind {
+            self.inner.kind()
+        }
+        fn supports_interest_search(&self) -> bool {
+            true
+        }
+        fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
+            self.inner.search_by_name(name)
+        }
+        fn search_by_interest(
+            &self,
+            keyword: &str,
+        ) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
+            self.inner.search_by_interest(keyword)
+        }
+        fn search_by_interests(
+            &self,
+            labels: &[Arc<str>],
+        ) -> Result<crate::sim::LabeledHits, SourceError> {
+            self.inner_calls.fetch_add(1, Ordering::Relaxed);
+            self.gate.arrive_and_wait();
+            self.inner.search_by_interests(labels)
+        }
+        fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
+            self.inner.fetch_profile(key)
+        }
+    }
+
+    /// Finds two single-label queries whose single-flight keys land on
+    /// shards related by `pick` (same shard / different shards) of the
+    /// registry's `inflight` map. Shard placement is a pure function of
+    /// the key, so the search is deterministic.
+    fn label_pair_by_shard(
+        reg: &SourceRegistry,
+        world: &World,
+        pick: impl Fn(usize, usize) -> bool,
+    ) -> (Vec<String>, Vec<String>) {
+        let labels: Vec<String> = world.ontology.topics().map(|t| t.label.clone()).collect();
+        let shard_of = |label: &String| {
+            let key = (
+                SourceKind::GoogleScholar,
+                batch_fanout_key(std::slice::from_ref(label)),
+            );
+            reg.shared.inflight.shard_index(&key)
+        };
+        for a in &labels {
+            for b in &labels {
+                if a != b && pick(shard_of(a), shard_of(b)) {
+                    return (vec![a.clone()], vec![b.clone()]);
+                }
+            }
+        }
+        panic!("no label pair satisfies the shard relation");
+    }
+
+    fn rendezvous_registry(
+        w: &Arc<World>,
+        gate: &Arc<ArrivalGate>,
+        inner_calls: &Arc<AtomicU64>,
+    ) -> Arc<SourceRegistry> {
+        let mut reg = SourceRegistry::new(RegistryConfig::default());
+        reg.register(Arc::new(RendezvousSource {
+            inner: SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), w.clone()),
+            gate: gate.clone(),
+            inner_calls: inner_calls.clone(),
+        }));
+        Arc::new(reg)
+    }
+
+    #[test]
+    fn fanouts_on_different_shards_run_concurrently() {
+        let w = world();
+        let gate = Arc::new(ArrivalGate::new(2));
+        let inner_calls = Arc::new(AtomicU64::new(0));
+        let reg = rendezvous_registry(&w, &gate, &inner_calls);
+        let (la, lb) = label_pair_by_shard(&reg, &w, |a, b| a != b);
+        let (ra, rb) = {
+            let (reg_a, reg_b) = (reg.clone(), reg.clone());
+            let ha = std::thread::spawn(move || reg_a.search_by_interests_report(&la));
+            let hb = std::thread::spawn(move || reg_b.search_by_interests_report(&lb));
+            (ha.join().unwrap(), hb.join().unwrap())
+        };
+        // Both leaders were inside the source at once (the rendezvous
+        // requires it); neither coalesced onto the other.
+        assert_eq!(inner_calls.load(Ordering::Relaxed), 2);
+        assert_eq!(reg.coalesced_count(), 0);
+        assert_eq!(ra.outcomes[0].status, SourceStatus::Ok);
+        assert_eq!(rb.outcomes[0].status, SourceStatus::Ok);
+    }
+
+    #[test]
+    fn same_shard_distinct_fanouts_run_concurrently_without_coalescing() {
+        // Two *different* questions that happen to share an inflight
+        // shard must each get their own leader — the shard lock guards
+        // leader election only, never the in-flight source call.
+        let w = world();
+        let gate = Arc::new(ArrivalGate::new(2));
+        let inner_calls = Arc::new(AtomicU64::new(0));
+        let reg = rendezvous_registry(&w, &gate, &inner_calls);
+        let (la, lb) = label_pair_by_shard(&reg, &w, |a, b| a == b);
+        let (ra, rb) = {
+            let (reg_a, reg_b) = (reg.clone(), reg.clone());
+            let ha = std::thread::spawn(move || reg_a.search_by_interests_report(&la));
+            let hb = std::thread::spawn(move || reg_b.search_by_interests_report(&lb));
+            (ha.join().unwrap(), hb.join().unwrap())
+        };
+        assert_eq!(inner_calls.load(Ordering::Relaxed), 2);
+        assert_eq!(reg.coalesced_count(), 0);
+        assert_eq!(ra.outcomes[0].status, SourceStatus::Ok);
+        assert_eq!(rb.outcomes[0].status, SourceStatus::Ok);
+        assert!(
+            reg.shared.inflight.is_empty(),
+            "cells removed after publish"
+        );
+    }
+
+    #[test]
+    fn a_panicking_leader_coalesces_to_errors_and_leaves_the_map_usable() {
+        // Regression for the poisoning hazard: the inflight map used to
+        // live behind a `std::sync::Mutex`, so a panic at the wrong
+        // moment could poison it and every later fan-out would die in
+        // `expect("inflight map poisoned")`. With parking_lot sharding,
+        // a leader that panics mid-call yields `Internal` errors for its
+        // followers and the *next* fan-out computes fresh.
+        struct PanicOnceSource {
+            release: Arc<(Mutex<bool>, Condvar)>,
+            calls: Arc<AtomicU64>,
+            inner: SimulatedSource,
+        }
+        impl ScholarSource for PanicOnceSource {
+            fn kind(&self) -> SourceKind {
+                self.inner.kind()
+            }
+            fn supports_interest_search(&self) -> bool {
+                true
+            }
+            fn search_by_name(&self, name: &str) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
+                self.inner.search_by_name(name)
+            }
+            fn search_by_interest(
+                &self,
+                keyword: &str,
+            ) -> Result<Vec<Arc<SourceProfile>>, SourceError> {
+                self.inner.search_by_interest(keyword)
+            }
+            fn search_by_interests(
+                &self,
+                labels: &[Arc<str>],
+            ) -> Result<crate::sim::LabeledHits, SourceError> {
+                if self.calls.fetch_add(1, Ordering::Relaxed) == 0 {
+                    let (flag, cv) = &*self.release;
+                    let mut open = flag.lock();
+                    while !*open {
+                        cv.wait(&mut open);
+                    }
+                    panic!("scripted leader panic");
+                }
+                self.inner.search_by_interests(labels)
+            }
+            fn fetch_profile(&self, key: &str) -> Result<Arc<SourceProfile>, SourceError> {
+                self.inner.fetch_profile(key)
+            }
+        }
+        let w = world();
+        let release = Arc::new((Mutex::new(false), Condvar::new()));
+        let calls = Arc::new(AtomicU64::new(0));
+        let mut reg = SourceRegistry::new(RegistryConfig {
+            max_retries: 0,
+            ..Default::default()
+        });
+        reg.register(Arc::new(PanicOnceSource {
+            release: release.clone(),
+            calls: calls.clone(),
+            inner: SimulatedSource::new(SourceSpec::for_kind(SourceKind::GoogleScholar), w.clone()),
+        }));
+        let reg = Arc::new(reg);
+        let labels = vec!["databases".to_string()];
+        const N: usize = 3;
+        let mut handles = Vec::new();
+        for _ in 0..N {
+            let reg = reg.clone();
+            let labels = labels.clone();
+            handles.push(std::thread::spawn(move || {
+                reg.search_by_interests_report(&labels)
+            }));
+        }
+        // Both followers are registered against the leader's cell before
+        // the leader is allowed to panic.
+        while reg.coalesced_count() < (N - 1) as u64 {
+            std::thread::yield_now();
+        }
+        open_gate(&release);
+        let reports: Vec<BatchFanOutReport> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &reports {
+            match &r.outcomes[0].status {
+                SourceStatus::Failed(SourceError::Internal { detail, .. }) => {
+                    assert!(detail.contains("scripted leader panic"), "{detail}");
+                }
+                other => panic!("expected contained panic, got {other:?}"),
+            }
+        }
+        // The cell was removed and the map is neither wedged nor
+        // poisoned: a fresh fan-out elects a new leader and succeeds.
+        assert!(reg.shared.inflight.is_empty());
+        let retry = reg.search_by_interests_report(&labels);
+        assert_eq!(retry.outcomes[0].status, SourceStatus::Ok);
+        assert_eq!(calls.load(Ordering::Relaxed), 2, "one panic + one retry");
     }
 }

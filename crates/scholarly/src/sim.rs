@@ -86,6 +86,10 @@ pub trait ScholarSource: Send + Sync {
 /// clone.
 pub struct ProfileStore {
     slots: Vec<OnceLock<Arc<SourceProfile>>>,
+    /// Growth path: profiles for [`ScholarId`]s beyond the fixed slot
+    /// range (a world that grew after the store was sized) land in a
+    /// sharded map instead of panicking on an out-of-range index.
+    overflow: minaret_concurrent::ShardedMap<usize, Arc<SourceProfile>>,
     /// When set, slot initialization consults the embedded store first
     /// (decode hit → no rebuild) and persists freshly built profiles.
     backing: Option<ProfileBacking>,
@@ -102,6 +106,7 @@ impl ProfileStore {
     pub fn with_capacity(scholars: usize) -> Self {
         Self {
             slots: (0..scholars).map(|_| OnceLock::new()).collect(),
+            overflow: minaret_concurrent::ShardedMap::new(),
             backing: None,
         }
     }
@@ -114,6 +119,7 @@ impl ProfileStore {
     pub fn with_store(scholars: usize, store: Arc<minaret_store::Store>, kind: SourceKind) -> Self {
         Self {
             slots: (0..scholars).map(|_| OnceLock::new()).collect(),
+            overflow: minaret_concurrent::ShardedMap::new(),
             backing: Some(ProfileBacking { store, kind }),
         }
     }
@@ -126,32 +132,48 @@ impl ProfileStore {
         id: ScholarId,
         build: impl FnOnce() -> SourceProfile,
     ) -> Arc<SourceProfile> {
-        self.slots[id.index()]
-            .get_or_init(|| {
-                if let Some(backing) = &self.backing {
-                    let key = crate::persist::profile_key(backing.kind, id);
-                    if let Ok(Some(bytes)) = backing.store.get(&key) {
-                        if let Ok(profile) = crate::persist::decode_profile(&bytes) {
-                            return Arc::new(profile);
-                        }
-                    }
-                    let profile = build();
-                    // Best-effort write-back: a full disk must not take
-                    // down the serving path — the profile is still
-                    // correct, just not persisted.
-                    let _ = backing
-                        .store
-                        .put(&key, &crate::persist::encode_profile(&profile));
+        match self.slots.get(id.index()) {
+            Some(slot) => slot.get_or_init(|| self.materialize(id, build)).clone(),
+            // Out-of-range ids take the sharded overflow path instead of
+            // panicking; same build-at-most-once guarantee, enforced by
+            // the shard lock rather than a `OnceLock`.
+            None => {
+                use minaret_concurrent::ConcurrentMap;
+                self.overflow
+                    .get_or_insert_with(id.index(), || self.materialize(id, build))
+                    .0
+            }
+        }
+    }
+
+    fn materialize(
+        &self,
+        id: ScholarId,
+        build: impl FnOnce() -> SourceProfile,
+    ) -> Arc<SourceProfile> {
+        if let Some(backing) = &self.backing {
+            let key = crate::persist::profile_key(backing.kind, id);
+            if let Ok(Some(bytes)) = backing.store.get(&key) {
+                if let Ok(profile) = crate::persist::decode_profile(&bytes) {
                     return Arc::new(profile);
                 }
-                Arc::new(build())
-            })
-            .clone()
+            }
+            let profile = build();
+            // Best-effort write-back: a full disk must not take down the
+            // serving path — the profile is still correct, just not
+            // persisted.
+            let _ = backing
+                .store
+                .put(&key, &crate::persist::encode_profile(&profile));
+            return Arc::new(profile);
+        }
+        Arc::new(build())
     }
 
     /// How many profiles have been materialized so far.
     pub fn built_count(&self) -> usize {
-        self.slots.iter().filter(|s| s.get().is_some()).count()
+        use minaret_concurrent::ConcurrentMap;
+        self.slots.iter().filter(|s| s.get().is_some()).count() + self.overflow.len()
     }
 
     /// True when a backing store is attached.
@@ -1044,5 +1066,35 @@ mod tests {
         );
         let again = s.fetch_profile(&s.key_for(id)).unwrap();
         assert!(Arc::ptr_eq(&fetched, &again));
+    }
+
+    #[test]
+    fn profile_store_grows_past_its_fixed_slots() {
+        // A store sized for 2 scholars asked about id 40: the overflow
+        // path must build (once) instead of panicking on the slot index.
+        let store = ProfileStore::with_capacity(2);
+        let make = |id: ScholarId| SourceProfile {
+            source: SourceKind::GoogleScholar,
+            key: format!("gs:{}", id.index()),
+            display_name: "Late Arrival".into(),
+            affiliation: None,
+            country: None,
+            affiliation_history: vec![],
+            interests: vec![],
+            publications: vec![],
+            metrics: Default::default(),
+            reviews: vec![],
+            truth: id,
+        };
+        let id = ScholarId(40);
+        let a = store.get_or_build(id, || make(id));
+        let b = store.get_or_build(id, || panic!("already built"));
+        assert!(Arc::ptr_eq(&a, &b), "overflow entries build once");
+        assert_eq!(store.built_count(), 1);
+        // In-range ids still use their fixed slot.
+        let low = ScholarId(1);
+        let c = store.get_or_build(low, || make(low));
+        assert_eq!(c.truth, low);
+        assert_eq!(store.built_count(), 2);
     }
 }

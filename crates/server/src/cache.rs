@@ -7,64 +7,95 @@
 //! fingerprint of (manuscript, editor config) and serves repeats
 //! without touching Phases 1–3. Storing the serialized bytes — not the
 //! report — is what makes the hit path byte-identical to the miss path.
+//!
+//! The cache is **sharded**: each shard is an independent
+//! `Mutex<map + FIFO order>`, selected by the high bits of the
+//! fingerprint's avalanche hash. Requests for different manuscripts
+//! almost never touch the same lock, and no operation other than the
+//! aggregate ones ([`ResultCache::len`], [`ResultCache::invalidate_all`])
+//! visits more than one shard. TTL expiry (evict-on-read) and FIFO
+//! capacity are enforced **per shard** — the configured capacity is
+//! split evenly across shards.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
+use minaret_concurrent::stable_hash;
 use minaret_core::{EditorConfig, ManuscriptDetails};
 use minaret_scholarly::{Clock, SystemClock};
 use minaret_telemetry::Telemetry;
+use parking_lot::Mutex;
+
+/// Default shard count: comfortably above the admission controller's
+/// worker count so concurrent distinct requests rarely collide.
+const DEFAULT_SHARDS: usize = 8;
 
 struct Entry {
     body: Arc<Vec<u8>>,
     expires_at_micros: u64,
 }
 
-struct CacheInner {
+#[derive(Default)]
+struct CacheShard {
     map: HashMap<u64, Entry>,
-    /// Insertion order for FIFO eviction at capacity.
+    /// Insertion order for FIFO eviction at per-shard capacity.
     order: VecDeque<u64>,
 }
 
-/// A TTL'd, capacity-bounded cache of serialized `/recommend` bodies.
+/// A TTL'd, capacity-bounded, sharded cache of serialized `/recommend`
+/// bodies.
 ///
 /// Reports hit/miss/eviction/invalidation counters and an entry gauge
 /// to telemetry. Time comes from an injectable [`Clock`], so expiry is
-/// testable with a simulated clock instead of wall-time sleeps.
+/// testable with a simulated clock instead of wall-time sleeps. Shard
+/// placement is a pure function of the key ([`ResultCache::shard_of`]),
+/// so eviction tests can target a chosen shard deterministically.
 pub struct ResultCache {
     ttl_micros: u64,
     capacity: usize,
+    shift: u32,
+    shards: Box<[Mutex<CacheShard>]>,
     clock: Arc<dyn Clock>,
     telemetry: Telemetry,
-    inner: Mutex<CacheInner>,
 }
 
 impl std::fmt::Debug for ResultCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "ResultCache(ttl {}us, cap {}, {} entries)",
+            "ResultCache(ttl {}us, cap {}, {} shards, {} entries)",
             self.ttl_micros,
             self.capacity,
+            self.shards.len(),
             self.len()
         )
     }
 }
 
 impl ResultCache {
-    /// A cache holding at most `capacity` responses, each valid for
-    /// `ttl_micros` after insertion.
+    /// A cache holding at most `capacity` responses (split evenly
+    /// across the default shard count), each valid for `ttl_micros`
+    /// after insertion.
     pub fn new(ttl_micros: u64, capacity: usize) -> Self {
         Self {
             ttl_micros,
             capacity: capacity.max(1),
+            shift: 0,
+            shards: Box::new([]),
             clock: Arc::new(SystemClock::new()),
             telemetry: Telemetry::disabled(),
-            inner: Mutex::new(CacheInner {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-            }),
         }
+        .with_shards(DEFAULT_SHARDS)
+    }
+
+    /// Rebuilds the (empty) cache with `shards` shards, rounded up to a
+    /// power of two and clamped to `1..=1024`. `with_shards(1)` gives
+    /// the old single-lock, global-FIFO behaviour.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let n = shards.clamp(1, 1024).next_power_of_two();
+        self.shards = (0..n).map(|_| Mutex::new(CacheShard::default())).collect();
+        self.shift = 64 - n.trailing_zeros();
+        self
     }
 
     /// Replaces the clock (share a `SimulatedClock` for deterministic
@@ -80,9 +111,30 @@ impl ResultCache {
         self
     }
 
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard `key` lives on — deterministic, so tests can
+    /// construct same-shard and different-shard fingerprints.
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shift == 64 {
+            0
+        } else {
+            (stable_hash(&key) >> self.shift) as usize
+        }
+    }
+
+    /// Responses each shard may hold before FIFO eviction.
+    fn shard_capacity(&self) -> usize {
+        (self.capacity / self.shards.len()).max(1)
+    }
+
     /// Entries currently stored (including any not yet expired-on-read).
+    /// Sums per-shard counts, one shard lock at a time.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock poisoned").map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// True when nothing is cached.
@@ -110,42 +162,41 @@ impl ResultCache {
     /// expired entry is evicted on read and counts as a miss.
     pub fn get(&self, key: u64) -> Option<Arc<Vec<u8>>> {
         let now = self.clock.now_micros();
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
-        match inner.map.get(&key) {
+        let mut shard = self.shards[self.shard_of(key)].lock();
+        match shard.map.get(&key) {
             Some(entry) if now < entry.expires_at_micros => {
                 let body = entry.body.clone();
-                drop(inner);
+                drop(shard);
                 self.telemetry
                     .counter("minaret_result_cache_hits_total", &[])
                     .inc();
                 Some(body)
             }
             Some(_) => {
-                inner.map.remove(&key);
-                inner.order.retain(|k| *k != key);
-                let entries = inner.map.len();
-                drop(inner);
+                shard.map.remove(&key);
+                shard.order.retain(|k| *k != key);
+                drop(shard);
                 self.telemetry
                     .counter("minaret_result_cache_evictions_total", &[("cause", "ttl")])
                     .inc();
-                self.note_miss(entries);
+                self.note_miss();
                 None
             }
             None => {
-                let entries = inner.map.len();
-                drop(inner);
-                self.note_miss(entries);
+                drop(shard);
+                self.note_miss();
                 None
             }
         }
     }
 
-    /// Stores a response under `key`, evicting the oldest entries past
-    /// capacity.
+    /// Stores a response under `key`, evicting that shard's oldest
+    /// entries past its share of the capacity.
     pub fn insert(&self, key: u64, body: Vec<u8>) {
         let expires_at_micros = self.clock.now_micros().saturating_add(self.ttl_micros);
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
-        if inner
+        let capacity = self.shard_capacity();
+        let mut shard = self.shards[self.shard_of(key)].lock();
+        if shard
             .map
             .insert(
                 key,
@@ -156,18 +207,17 @@ impl ResultCache {
             )
             .is_none()
         {
-            inner.order.push_back(key);
+            shard.order.push_back(key);
         }
         let mut evicted = 0u64;
-        while inner.map.len() > self.capacity {
-            let Some(oldest) = inner.order.pop_front() else {
+        while shard.map.len() > capacity {
+            let Some(oldest) = shard.order.pop_front() else {
                 break;
             };
-            inner.map.remove(&oldest);
+            shard.map.remove(&oldest);
             evicted += 1;
         }
-        let entries = inner.map.len();
-        drop(inner);
+        drop(shard);
         if evicted > 0 {
             self.telemetry
                 .counter(
@@ -176,9 +226,7 @@ impl ResultCache {
                 )
                 .inc_by(evicted);
         }
-        self.telemetry
-            .gauge("minaret_result_cache_entries", &[])
-            .set(entries as i64);
+        self.note_entries();
     }
 
     /// Drops the single entry under `key`, if present. Returns whether
@@ -187,13 +235,12 @@ impl ResultCache {
     /// editor invalidating a fingerprint that was never cached — or
     /// already expired — is visible in the metrics.
     pub fn invalidate(&self, key: u64) -> bool {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
-        let dropped = inner.map.remove(&key).is_some();
+        let mut shard = self.shards[self.shard_of(key)].lock();
+        let dropped = shard.map.remove(&key).is_some();
         if dropped {
-            inner.order.retain(|k| *k != key);
+            shard.order.retain(|k| *k != key);
         }
-        let entries = inner.map.len();
-        drop(inner);
+        drop(shard);
         self.telemetry
             .counter(
                 "minaret_result_cache_invalidations_total",
@@ -203,20 +250,25 @@ impl ResultCache {
                 ],
             )
             .inc();
-        self.telemetry
-            .gauge("minaret_result_cache_entries", &[])
-            .set(entries as i64);
+        self.note_entries();
         dropped
     }
 
-    /// Drops every entry (the invalidation hook for world changes).
-    /// Returns how many entries were dropped.
+    /// Drops every entry (the invalidation hook for world changes),
+    /// shard by shard — no whole-cache lock. Returns how many entries
+    /// were dropped.
     pub fn invalidate_all(&self) -> usize {
-        let mut inner = self.inner.lock().expect("cache lock poisoned");
-        let dropped = inner.map.len();
-        inner.map.clear();
-        inner.order.clear();
-        drop(inner);
+        let dropped = self
+            .shards
+            .iter()
+            .map(|s| {
+                let mut shard = s.lock();
+                let n = shard.map.len();
+                shard.map.clear();
+                shard.order.clear();
+                n
+            })
+            .sum();
         self.telemetry
             .counter("minaret_result_cache_invalidations_total", &[])
             .inc();
@@ -226,13 +278,17 @@ impl ResultCache {
         dropped
     }
 
-    fn note_miss(&self, entries: usize) {
+    fn note_entries(&self) {
+        self.telemetry
+            .gauge("minaret_result_cache_entries", &[])
+            .set(self.len() as i64);
+    }
+
+    fn note_miss(&self) {
         self.telemetry
             .counter("minaret_result_cache_misses_total", &[])
             .inc();
-        self.telemetry
-            .gauge("minaret_result_cache_entries", &[])
-            .set(entries as i64);
+        self.note_entries();
     }
 }
 
@@ -249,6 +305,16 @@ mod tests {
             authors: vec![AuthorInput::named("A. Author")],
             target_venue: "EDBT".into(),
         }
+    }
+
+    /// `n` keys all living on the same shard (the first shard the probe
+    /// sequence hits), for deterministic FIFO tests under sharding.
+    fn same_shard_keys(cache: &ResultCache, n: usize) -> Vec<u64> {
+        let target = cache.shard_of(0);
+        (0u64..)
+            .filter(|k| cache.shard_of(*k) == target)
+            .take(n)
+            .collect()
     }
 
     #[test]
@@ -310,7 +376,8 @@ mod tests {
 
     #[test]
     fn capacity_evicts_oldest_first() {
-        let cache = ResultCache::new(1_000_000, 2);
+        // One shard = the pre-sharding global-FIFO behaviour.
+        let cache = ResultCache::new(1_000_000, 2).with_shards(1);
         cache.insert(1, b"a".to_vec());
         cache.insert(2, b"b".to_vec());
         cache.insert(3, b"c".to_vec());
@@ -318,6 +385,30 @@ mod tests {
         assert!(cache.get(2).is_some());
         assert!(cache.get(3).is_some());
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_shard() {
+        // 4 shards × (capacity 8 / 4 = 2 per shard). Three same-shard
+        // keys overflow their shard — its oldest goes — while an entry
+        // on any other shard is untouched.
+        let cache = ResultCache::new(1_000_000, 8).with_shards(4);
+        assert_eq!(cache.shard_count(), 4);
+        let same = same_shard_keys(&cache, 3);
+        let other = (0u64..)
+            .find(|k| cache.shard_of(*k) != cache.shard_of(same[0]))
+            .unwrap();
+        cache.insert(other, b"elsewhere".to_vec());
+        for k in &same {
+            cache.insert(*k, b"x".to_vec());
+        }
+        assert!(cache.get(same[0]).is_none(), "shard-oldest evicted");
+        assert!(cache.get(same[1]).is_some());
+        assert!(cache.get(same[2]).is_some());
+        assert!(
+            cache.get(other).is_some(),
+            "eviction on one shard must not touch another"
+        );
     }
 
     #[test]
@@ -351,5 +442,17 @@ mod tests {
         assert_eq!(cache.invalidate_all(), 2);
         assert!(cache.is_empty());
         assert!(cache.get(1).is_none());
+    }
+
+    #[test]
+    fn shard_placement_is_stable_and_spread() {
+        let cache = ResultCache::new(1_000_000, 64);
+        let mut hit = vec![false; cache.shard_count()];
+        for k in 0..4096u64 {
+            let s = cache.shard_of(k);
+            assert_eq!(s, cache.shard_of(k));
+            hit[s] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "keys must reach every shard");
     }
 }

@@ -27,13 +27,15 @@
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
+use std::thread;
 use std::time::{Duration, Instant};
 
 #[cfg(feature = "count-allocs")]
 #[global_allocator]
 static ALLOC: minaret_bench::alloc::CountingAllocator = minaret_bench::alloc::CountingAllocator;
 
+use minaret::concurrent::{ConcurrentMap, ShardedMap, SingleLockMap};
 use minaret::eval::harness::{EvalContext, ScenarioConfig};
 use minaret::http::{KeepAliveConfig, Server, ServerConfig};
 use minaret::json::{parse, Value};
@@ -95,6 +97,28 @@ const STORE_OPS: usize = 2_000;
 /// microsecond ops carry proportionally more scheduler and filesystem
 /// noise; a small additive slack absorbs tiny-baseline rounding.
 const STORE_REGRESSION_HEADROOM: f64 = 2.0;
+
+/// Injected cost of a cache-miss build in the contention bench, in
+/// microseconds. Sized like a cheap I/O round trip so the measurement
+/// is dominated by time spent *holding a lock across a blocking build*
+/// — the workload shape sharding helps with — rather than raw CPU,
+/// which keeps the bench meaningful on single-core CI runners: the
+/// single-lock baseline serializes the sleeps, the sharded map
+/// overlaps them.
+const CONTENTION_BUILD_MICROS: u64 = 200;
+
+/// `get_or_insert_with` calls each bench thread performs (all distinct
+/// keys, so every call pays the build cost).
+const CONTENTION_OPS: usize = 64;
+
+/// Timed repetitions of each contention configuration; the minimum
+/// elapsed (maximum throughput) is kept.
+const CONTENTION_RUNS: usize = 3;
+
+/// Allowed single-thread throughput drop for the sharded map against
+/// the committed baseline — the "sharding must not tax the
+/// uncontended path" gate.
+const CONTENTION_REGRESSION_HEADROOM: f64 = 1.25;
 
 struct Measured {
     per_label: Duration,
@@ -426,6 +450,85 @@ fn measure_store() -> StoreMeasured {
     }
 }
 
+struct ContentionMeasured {
+    threads: Vec<usize>,
+    baseline_ops: Vec<f64>,
+    sharded_ops: Vec<f64>,
+}
+
+/// Thread counts for the contention sweep, overridable via the
+/// `MINARET_CONTENTION_THREADS` environment variable (comma-separated,
+/// e.g. `MINARET_CONTENTION_THREADS=1,4`).
+fn contention_thread_counts() -> Vec<usize> {
+    std::env::var("MINARET_CONTENTION_THREADS")
+        .ok()
+        .map(|raw| {
+            raw.split(',')
+                .filter_map(|part| part.trim().parse().ok())
+                .filter(|&n| (1..=64).contains(&n))
+                .collect::<Vec<usize>>()
+        })
+        .filter(|counts| !counts.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Throughput (ops/s) of `threads` workers performing distinct-key
+/// `get_or_insert_with` calls whose build blocks for
+/// [`CONTENTION_BUILD_MICROS`]. A fresh map per run keeps every call
+/// on the miss path.
+fn contention_ops_per_sec<M, F>(threads: usize, make_map: F) -> f64
+where
+    M: ConcurrentMap<u64, u64> + Send + Sync + 'static,
+    F: Fn() -> M,
+{
+    let best = min_of(CONTENTION_RUNS, || {
+        let map = Arc::new(make_map());
+        let start = Arc::new(Barrier::new(threads + 1));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let map = Arc::clone(&map);
+                let start = Arc::clone(&start);
+                thread::spawn(move || {
+                    start.wait();
+                    for i in 0..CONTENTION_OPS {
+                        let key = (t * CONTENTION_OPS + i) as u64;
+                        let _ = map.get_or_insert_with(key, || {
+                            thread::sleep(Duration::from_micros(CONTENTION_BUILD_MICROS));
+                            key
+                        });
+                    }
+                })
+            })
+            .collect();
+        start.wait();
+        let t0 = Instant::now();
+        for handle in handles {
+            handle.join().expect("bench worker completes");
+        }
+        t0.elapsed()
+    });
+    (threads * CONTENTION_OPS) as f64 / best.as_secs_f64().max(1e-9)
+}
+
+/// Lock-contention sweep: single-lock baseline vs the sharded map at
+/// each thread count, same workload.
+fn measure_contention() -> ContentionMeasured {
+    let threads = contention_thread_counts();
+    let baseline_ops: Vec<f64> = threads
+        .iter()
+        .map(|&t| contention_ops_per_sec(t, SingleLockMap::new))
+        .collect();
+    let sharded_ops: Vec<f64> = threads
+        .iter()
+        .map(|&t| contention_ops_per_sec(t, ShardedMap::new))
+        .collect();
+    ContentionMeasured {
+        threads,
+        baseline_ops,
+        sharded_ops,
+    }
+}
+
 /// Warm-path allocation counts per recommendation: `(allocs, bytes)`
 /// for a cached registry and for the uncached pipeline default.
 #[cfg(feature = "count-allocs")]
@@ -527,6 +630,29 @@ fn main() {
         std::process::exit(1);
     }
 
+    let contention = measure_contention();
+    for (i, &t) in contention.threads.iter().enumerate() {
+        println!(
+            "contention smoke: threads={t}  baseline={:.0} ops/s  sharded={:.0} ops/s  ratio={:.2}x",
+            contention.baseline_ops[i],
+            contention.sharded_ops[i],
+            contention.sharded_ops[i] / contention.baseline_ops[i].max(1e-9),
+        );
+    }
+    // Same-run separation gate: at 4 threads the sharded map must beat
+    // the single global lock outright. Both sides are measured in this
+    // process moments apart, so no cross-machine headroom is needed.
+    if let Some(i) = contention.threads.iter().position(|&t| t == 4) {
+        if contention.sharded_ops[i] <= contention.baseline_ops[i] {
+            eprintln!(
+                "FAIL: sharded map ({:.0} ops/s) did not beat the single-lock baseline \
+                 ({:.0} ops/s) at 4 threads",
+                contention.sharded_ops[i], contention.baseline_ops[i]
+            );
+            std::process::exit(1);
+        }
+    }
+
     if record {
         #[allow(unused_mut)]
         let mut json = Value::object()
@@ -551,7 +677,20 @@ fn main() {
                 "store_cold_start_millis",
                 store.cold_start.as_millis() as u64,
             )
-            .set("store_regen_millis", store.regen.as_millis() as u64);
+            .set("store_regen_millis", store.regen.as_millis() as u64)
+            .set("contention_build_micros", CONTENTION_BUILD_MICROS)
+            .set("contention_ops_per_thread", CONTENTION_OPS);
+        for (i, &t) in contention.threads.iter().enumerate() {
+            json = json
+                .set(
+                    &format!("contention_baseline_{t}t_ops"),
+                    contention.baseline_ops[i],
+                )
+                .set(
+                    &format!("contention_sharded_{t}t_ops"),
+                    contention.sharded_ops[i],
+                );
+        }
         #[cfg(feature = "count-allocs")]
         {
             json = json
@@ -635,6 +774,33 @@ fn main() {
             std::process::exit(1);
         }
         println!("OK: {field} {measured} within budget {budget:.0} (baseline {base})");
+    }
+
+    // Uncontended-path gate: single-thread sharded throughput must stay
+    // within CONTENTION_REGRESSION_HEADROOM of the committed baseline —
+    // sharding buys contended scaling, it must not tax the common case.
+    if let Some(i) = contention.threads.iter().position(|&t| t == 1) {
+        let Some(base) = baseline
+            .get("contention_sharded_1t_ops")
+            .and_then(|v| v.as_f64())
+        else {
+            eprintln!("FAIL: baseline {BASELINE_PATH} lacks contention_sharded_1t_ops; re-record");
+            std::process::exit(1);
+        };
+        let floor = base / CONTENTION_REGRESSION_HEADROOM;
+        let measured = contention.sharded_ops[i];
+        if measured < floor {
+            eprintln!(
+                "FAIL: single-thread sharded throughput {measured:.0} ops/s fell more than \
+                 {:.0}% below baseline {base:.0} ops/s (floor {floor:.0})",
+                (CONTENTION_REGRESSION_HEADROOM - 1.0) * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "OK: single-thread sharded throughput {measured:.0} ops/s within {:.0}% of baseline {base:.0}",
+            (CONTENTION_REGRESSION_HEADROOM - 1.0) * 100.0
+        );
     }
 
     #[cfg(feature = "count-allocs")]

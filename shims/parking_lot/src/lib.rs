@@ -2,19 +2,55 @@
 //! crate.
 //!
 //! The workspace builds without registry access, so this shim provides
-//! the `parking_lot` surface the code base uses — `Mutex` and `RwLock`
-//! whose `lock`/`read`/`write` return guards directly instead of
-//! `LockResult` — implemented over `std::sync`. Poisoning is absorbed
-//! (`parking_lot` has no poisoning): a panic while holding a lock does
-//! not wedge later acquisitions.
+//! the `parking_lot` surface the code base uses — `Mutex`, `RwLock`,
+//! and `Condvar` whose `lock`/`read`/`write` return guards directly
+//! instead of `LockResult` — implemented over `std::sync`. Poisoning is
+//! absorbed (`parking_lot` has no poisoning): a panic while holding a
+//! lock does not wedge later acquisitions, and a panic while a waiter
+//! is parked on a `Condvar` does not poison the wakeup path.
+//!
+//! Divergence from the real crate: `Condvar::notify_one`/`notify_all`
+//! return `()` rather than a notified count — `std::sync::Condvar`
+//! cannot report one, and no caller here consumes it.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::PoisonError;
 
 /// Guard for [`Mutex::lock`].
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
+///
+/// A wrapper (not an alias for `std::sync::MutexGuard`) so that
+/// [`Condvar::wait`] can take `&mut MutexGuard` like the real
+/// `parking_lot` API: the wait internally takes the std guard out,
+/// parks, and puts the re-acquired guard back.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Always `Some` outside of `Condvar::wait`'s take/park/put-back.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
 /// Guard for [`RwLock::read`].
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 /// Guard for [`RwLock::write`].
@@ -39,12 +75,57 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)),
+        }
     }
 
     /// Mutable access without locking (requires `&mut self`).
     pub fn get_mut(&mut self) -> &mut T {
         self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// A condition variable paired with [`Mutex`]; waits take the guard by
+/// `&mut` (the `parking_lot` calling convention) and never observe
+/// poisoning.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Self(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guarded mutex and parks until notified;
+    /// the mutex is re-acquired before returning. Spurious wakeups are
+    /// possible — callers loop on their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present outside wait");
+        guard.inner = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Parks until `condition` returns false (checked under the lock,
+    /// re-checked after every wakeup).
+    pub fn wait_while<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) {
+        while condition(&mut *guard) {
+            self.wait(guard);
+        }
+    }
+
+    /// Wakes one parked waiter, if any.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes every parked waiter.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -117,5 +198,65 @@ mod tests {
         .join();
         // parking_lot semantics: still lockable afterwards.
         assert_eq!(*m.lock(), 0);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_while_sees_predicate_flip() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut count = lock.lock();
+            cv.wait_while(&mut count, |c| *c < 3);
+            *count
+        });
+        let (lock, cv) = &*pair;
+        for _ in 0..3 {
+            *lock.lock() += 1;
+            cv.notify_all();
+        }
+        assert_eq!(waiter.join().unwrap(), 3);
+    }
+
+    #[test]
+    fn panicking_condvar_waiter_peer_does_not_wedge_wakeup() {
+        // A leader that panics after publishing must still have woken
+        // its waiters; the mutex absorbed the poison.
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            *lock.lock() = true;
+            cv.notify_all();
+            let _g = lock.lock();
+            panic!("leader dies holding the lock");
+        })
+        .join();
+        let (lock, cv) = &*pair;
+        let mut done = lock.lock();
+        while !*done {
+            cv.wait(&mut done);
+        }
+        assert!(*done);
     }
 }

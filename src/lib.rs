@@ -53,12 +53,14 @@
 //!
 //! The individual subsystems are re-exported as modules: [`ontology`],
 //! [`synth`], [`scholarly`], [`disambig`], [`index`], [`core`],
-//! [`baselines`], [`eval`], [`json`], [`http`], [`store`].
+//! [`baselines`], [`eval`], [`json`], [`http`], [`store`],
+//! [`concurrent`].
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub use minaret_baselines as baselines;
+pub use minaret_concurrent as concurrent;
 pub use minaret_core as core;
 pub use minaret_disambig as disambig;
 pub use minaret_eval as eval;

@@ -233,6 +233,103 @@ fn invalidation_hook_forces_recomputation() {
     );
 }
 
+/// `n` keys that all land on one shard of `cache`, plus one key that
+/// does not. Shard placement is a pure function of the key, so the
+/// probe is deterministic.
+fn shard_targeted_keys(cache: &ResultCache, n: usize) -> (Vec<u64>, u64) {
+    let target = cache.shard_of(0);
+    let same: Vec<u64> = (0u64..)
+        .filter(|k| cache.shard_of(*k) == target)
+        .take(n)
+        .collect();
+    let other = (0u64..)
+        .find(|k| cache.shard_of(*k) != target)
+        .expect("more than one shard");
+    (same, other)
+}
+
+#[test]
+fn ttl_expiry_is_per_entry_and_stays_on_its_shard() {
+    let clock = SimulatedClock::new();
+    let cache = ResultCache::new(1_000, 64)
+        .with_shards(4)
+        .with_clock(clock.clone());
+    let (same, other) = shard_targeted_keys(&cache, 2);
+    // Two entries on one shard inserted 600us apart, plus a late entry
+    // on another shard.
+    cache.insert(same[0], b"early".to_vec());
+    clock.advance(600);
+    cache.insert(same[1], b"late".to_vec());
+    cache.insert(other, b"elsewhere".to_vec());
+    // At t=1000 the early entry is expired; its shard-mate (inserted
+    // later) and the other shard's entry are still live.
+    clock.advance(400);
+    assert!(cache.get(same[0]).is_none(), "expired exactly at the TTL");
+    assert!(cache.get(same[1]).is_some(), "same shard, later insert");
+    assert!(cache.get(other).is_some(), "other shard untouched");
+    assert_eq!(cache.len(), 2, "expired entry evicted on read");
+}
+
+#[test]
+fn fifo_overflow_evicts_within_the_shard_not_across() {
+    // Capacity 8 over 4 shards = 2 per shard: the third same-shard
+    // insert evicts that shard's oldest while both other-shard entries
+    // and newer shard-mates survive.
+    let cache = ResultCache::new(1_000_000, 8).with_shards(4);
+    let (same, other) = shard_targeted_keys(&cache, 3);
+    cache.insert(other, b"elsewhere".to_vec());
+    for k in &same {
+        cache.insert(*k, b"x".to_vec());
+    }
+    assert!(cache.get(same[0]).is_none(), "shard-oldest evicted");
+    assert!(cache.get(same[1]).is_some());
+    assert!(cache.get(same[2]).is_some());
+    assert!(cache.get(other).is_some(), "other shard keeps its entry");
+}
+
+#[test]
+fn single_invalidation_retires_one_fingerprint_and_spares_the_rest() {
+    let h = harness(false);
+    let body_a = manuscript_body(&h.state, "Submission A");
+    let body_b = manuscript_body(&h.state, "Submission B");
+    assert_eq!(post(&h.router, "/recommend", &body_a).status, 200);
+    assert_eq!(post(&h.router, "/recommend", &body_b).status, 200);
+    assert_eq!(h.state.result_cache.as_ref().unwrap().len(), 2);
+    let calls_after_fill = h.calls.load(Ordering::SeqCst);
+
+    // Invalidate A by its manuscript body: scope=single, one entry out.
+    let resp = post(&h.router, "/cache/invalidate", &body_a);
+    assert_eq!(resp.status, 200);
+    let v = minaret::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(v.get("scope").and_then(Value::as_str), Some("single"));
+    assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
+    assert_eq!(h.state.result_cache.as_ref().unwrap().len(), 1);
+
+    // B is still served with zero fan-outs; A recomputes.
+    assert_eq!(post(&h.router, "/recommend", &body_b).status, 200);
+    assert_eq!(
+        h.calls.load(Ordering::SeqCst),
+        calls_after_fill,
+        "the surviving fingerprint still hits"
+    );
+    assert_eq!(post(&h.router, "/recommend", &body_a).status, 200);
+    assert!(
+        h.calls.load(Ordering::SeqCst) > calls_after_fill,
+        "the invalidated fingerprint recomputed"
+    );
+
+    // Re-invalidating A (just recomputed) hits; drop-everything then
+    // clears every shard.
+    let resp = post(&h.router, "/cache/invalidate", &body_a);
+    let v = minaret::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
+    let resp = post(&h.router, "/cache/invalidate", "");
+    let v = minaret::json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+    assert_eq!(v.get("scope").and_then(Value::as_str), Some("all"));
+    assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
+    assert!(h.state.result_cache.as_ref().unwrap().is_empty());
+}
+
 #[test]
 fn degraded_responses_are_never_cached() {
     let h = harness(true);

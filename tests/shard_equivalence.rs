@@ -1,0 +1,173 @@
+//! Equivalence and linearizability checks for the sharded concurrent
+//! map: under any single-threaded op sequence a [`ShardedMap`] must be
+//! observably identical to the [`SingleLockMap`] baseline, and under
+//! multi-threaded races it must still behave like *some* sequential
+//! interleaving (distinct-key inserts all land; same-key
+//! `get_or_insert_with` races elect exactly one winner).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+
+use minaret::concurrent::{ConcurrentMap, ShardedMap, SingleLockMap};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// Drain a map into a sorted snapshot so two maps with different
+/// internal layouts can be compared for observational equality.
+fn snapshot<M: ConcurrentMap<u64, u64>>(map: &M) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    map.for_each(|k, v| {
+        out.insert(*k, *v);
+    });
+    out
+}
+
+proptest! {
+    /// Any randomized op sequence — inserts, gets, removes, coalescing
+    /// inserts, contains, retains, clears — produces identical return
+    /// values, identical lengths after every step, and an identical
+    /// final key/value snapshot on both implementations, regardless of
+    /// the shard count.
+    #[test]
+    fn sharded_map_is_observably_equivalent_to_the_single_lock_baseline(
+        ops in collection::vec((0usize..7, 0u64..24, any::<u64>()), 1..120),
+        shards in 1usize..9,
+    ) {
+        let sharded: ShardedMap<u64, u64> = ShardedMap::with_shards(shards);
+        let baseline: SingleLockMap<u64, u64> = SingleLockMap::new();
+        for (op, key, value) in ops {
+            match op {
+                0 => prop_assert_eq!(sharded.insert(key, value), baseline.insert(key, value)),
+                1 => prop_assert_eq!(sharded.get(&key), baseline.get(&key)),
+                2 => prop_assert_eq!(sharded.remove(&key), baseline.remove(&key)),
+                3 => {
+                    let got_s = sharded.get_or_insert_with(key, || value);
+                    let got_b = baseline.get_or_insert_with(key, || value);
+                    prop_assert_eq!(got_s, got_b);
+                }
+                4 => prop_assert_eq!(sharded.contains(&key), baseline.contains(&key)),
+                5 => {
+                    // Keep only entries whose value shares parity with
+                    // the drawn value — an arbitrary but deterministic
+                    // predicate exercised identically on both maps.
+                    sharded.retain(|_, v| *v % 2 == value % 2);
+                    baseline.retain(|_, v| *v % 2 == value % 2);
+                }
+                _ => {
+                    // Rare full clear: the op range makes this 1-in-7,
+                    // frequent enough to exercise, rare enough that the
+                    // maps still accumulate interesting state.
+                    if key == 0 {
+                        prop_assert_eq!(sharded.clear(), baseline.clear());
+                    } else {
+                        prop_assert_eq!(sharded.is_empty(), baseline.is_empty());
+                    }
+                }
+            }
+            prop_assert_eq!(sharded.len(), baseline.len());
+        }
+        prop_assert_eq!(snapshot(&sharded), snapshot(&baseline));
+    }
+}
+
+/// Eight threads insert disjoint key ranges through one shared map;
+/// afterwards every key must be present with its own thread's value.
+/// A lost update (two shards clobbering, a torn len) would surface as
+/// a missing or wrong entry.
+#[test]
+fn concurrent_distinct_key_inserts_are_all_visible() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 64;
+    let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::with_shards(4));
+    let start = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                for i in 0..PER_THREAD {
+                    let key = t * PER_THREAD + i;
+                    assert_eq!(map.insert(key, t), None, "disjoint keys never collide");
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    assert_eq!(map.len(), THREADS * PER_THREAD as usize);
+    for t in 0..THREADS as u64 {
+        for i in 0..PER_THREAD {
+            assert_eq!(map.get(&(t * PER_THREAD + i)), Some(t));
+        }
+    }
+}
+
+/// Eight threads race `get_or_insert_with` on the same key: exactly one
+/// may win (`inserted == true`), the make closure runs exactly once,
+/// and every thread observes the winner's value.
+#[test]
+fn same_key_get_or_insert_race_elects_exactly_one_winner() {
+    const THREADS: usize = 8;
+    let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::new());
+    let start = Arc::new(Barrier::new(THREADS));
+    let builds = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let start = Arc::clone(&start);
+            let builds = Arc::clone(&builds);
+            thread::spawn(move || {
+                start.wait();
+                let (value, inserted) = map.get_or_insert_with(7, || {
+                    builds.fetch_add(1, Ordering::SeqCst);
+                    t
+                });
+                (value, inserted)
+            })
+        })
+        .collect();
+    let outcomes: Vec<(u64, bool)> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(builds.load(Ordering::SeqCst), 1, "make ran exactly once");
+    let winners: Vec<_> = outcomes.iter().filter(|(_, inserted)| *inserted).collect();
+    assert_eq!(winners.len(), 1, "exactly one thread inserted");
+    let winning_value = winners[0].0;
+    assert!(outcomes.iter().all(|(v, _)| *v == winning_value));
+    assert_eq!(map.get(&7), Some(winning_value));
+    assert_eq!(map.len(), 1);
+}
+
+/// Mixed concurrent inserts and removes over a small key space settle
+/// into a state where len() agrees with a full for_each walk — the
+/// per-shard counters never drift from the shard contents.
+#[test]
+fn len_never_drifts_from_contents_under_concurrent_churn() {
+    const THREADS: usize = 6;
+    let map: Arc<ShardedMap<u64, u64>> = Arc::new(ShardedMap::with_shards(8));
+    let start = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS as u64)
+        .map(|t| {
+            let map = Arc::clone(&map);
+            let start = Arc::clone(&start);
+            thread::spawn(move || {
+                start.wait();
+                for round in 0..200u64 {
+                    let key = (t * 31 + round * 17) % 16;
+                    if (t + round) % 3 == 0 {
+                        map.remove(&key);
+                    } else {
+                        map.insert(key, t);
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let walked = snapshot(map.as_ref()).len();
+    assert_eq!(map.len(), walked);
+}
