@@ -55,7 +55,23 @@ cargo test -q --test http_parser_proptest
 echo "==> shutdown/drain soak: cargo test --test shutdown_drain"
 cargo test -q --test shutdown_drain
 
-echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery + lock contention vs BENCH_e7_scalability.json"
+echo "==> chunked generation invariance (any chunk size == monolithic): cargo test --test chunk_invariance"
+cargo test -q -p minaret-synth --test chunk_invariance
+
+echo "==> lazy profile materialization equivalence: cargo test --test streaming_world"
+cargo test -q --test streaming_world
+
+echo "==> streaming smoke: minaret synth streams a 10^5-scholar snapshot"
+SYNTH_DIR="$(mktemp -d)"
+trap 'rm -rf "$SYNTH_DIR"' EXIT
+cargo run -q --release -p minaret-cli -- synth --scholars 100000 --seed 231 --data-dir "$SYNTH_DIR"
+rm -rf "$SYNTH_DIR"
+
+# The perf smoke also runs the E7 world-size sweep (10^3..10^5) with its
+# two same-run gates: uncached recommend p50 flat across world sizes,
+# and the lazy cold start beating regeneration at 10^5. Set
+# MINARET_WORLD_SWEEP=1 to extend the sweep to 10^6 scholars.
+echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery + lock contention + world-size sweep vs BENCH_e7_scalability.json"
 cargo run -q --release --example perf_smoke
 
 echo "==> alloc smoke: warm-path allocations vs BENCH_e7_scalability.json (count-allocs)"

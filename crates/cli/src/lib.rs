@@ -8,6 +8,7 @@
 //! minaret expand RDF [--min-score 0.6]
 //! minaret verify "Lei Zhou" [--affiliation "University of Tartu"]
 //! minaret recommend manuscript.json [--top 10] [--explain]
+//! minaret synth --scholars 100000 --data-dir world/  # stream-generate a snapshot
 //! minaret demo                      # end-to-end walkthrough
 //! minaret stats                     # demo run + telemetry table
 //! ```
@@ -73,6 +74,7 @@ USAGE:
   minaret expand <KEYWORD> [--min-score X]
   minaret verify <NAME> [--affiliation A] [--country C] [--keywords k1,k2]
   minaret recommend <manuscript.json> [--top N] [--explain]
+  minaret synth --data-dir P [--scholars N] [--seed N]
   minaret demo
   minaret stats
 
@@ -83,6 +85,11 @@ WORLD OPTIONS (all commands):
                   snapshotted there and later runs with the same
                   --scholars/--seed load the snapshot instead of
                   regenerating (default: in-RAM, nothing on disk)
+
+`synth` stream-generates the world straight into --data-dir, one
+community block at a time, without booting a server — peak memory is
+one chunk regardless of --scholars. A later `demo`/`stats`/server run
+over the same --data-dir/--scholars/--seed serves that snapshot.
 ";
 
 /// Runs the CLI with the given arguments (without the program name),
@@ -124,6 +131,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> CliResult {
         "expand" => cmd_expand(&rest, out),
         "verify" => cmd_verify(&rest, world, out),
         "recommend" => cmd_recommend(&rest, world, out),
+        "synth" => no_extra_args(&rest).and_then(|()| cmd_synth(world, out)),
         "demo" => no_extra_args(&rest).and_then(|()| cmd_demo(world, out)),
         "stats" => no_extra_args(&rest).and_then(|()| cmd_stats(world, out)),
         "help" | "--help" | "-h" => write(out, USAGE),
@@ -337,6 +345,67 @@ fn demo_manuscript(state: &AppState) -> Result<minaret_core::ManuscriptDetails, 
     })
 }
 
+fn cmd_synth(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
+    let dir = world
+        .data_dir
+        .as_deref()
+        .ok_or("synth needs --data-dir: it exists to write a world snapshot")?;
+    let store = minaret_store::Store::open(
+        std::path::Path::new(dir),
+        minaret_store::StoreConfig::default(),
+    )
+    .map_err(|e| format!("cannot open --data-dir: {e}"))?;
+    let config = minaret_synth::WorldConfig {
+        seed: world.seed,
+        ..minaret_synth::WorldConfig::sized(world.scholars)
+    };
+    let generator = minaret_synth::StreamingGenerator::new(config);
+    writeln!(
+        out,
+        "streaming {} scholars (seed {}) into {dir} ...",
+        world.scholars, world.seed
+    )
+    .map_err(|e| e.to_string())?;
+    let mut io_err = None;
+    let totals = minaret_synth::stream_snapshot_world(&store, &generator, |p| {
+        if let Err(e) = writeln!(
+            out,
+            "  chunk {:>4}/{}: {:>8} scholars done, {} papers, {} reviews, {} KiB",
+            p.chunk + 1,
+            p.chunks_total,
+            p.scholars_done,
+            p.papers,
+            p.reviews,
+            p.bytes / 1024
+        ) {
+            io_err.get_or_insert(e.to_string());
+        }
+    })
+    .map_err(|e| format!("streaming snapshot failed: {e}"))?;
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    let stats = totals.stats();
+    writeln!(
+        out,
+        "snapshot complete: {} scholars, {} papers, {} reviews, {} venues, \
+         {} institutions, {} colliding names, {:.2} mean papers/scholar \
+         ({} chunks, {} KiB total, peak chunk {} KiB)",
+        stats.scholars,
+        stats.papers,
+        stats.reviews,
+        stats.venues,
+        stats.institutions,
+        stats.colliding_scholars,
+        stats.mean_papers_per_scholar,
+        totals.chunks,
+        totals.bytes / 1024,
+        totals.peak_chunk_bytes / 1024
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
 fn cmd_demo(world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
     let state = build_state(&world)?;
     let manuscript = demo_manuscript(&state)?;
@@ -536,6 +605,50 @@ mod tests {
     #[test]
     fn data_dir_rejects_empty_path() {
         assert!(run_capture(&["demo", "--data-dir", ""]).0.is_err());
+    }
+
+    #[test]
+    fn synth_requires_a_data_dir() {
+        let (res, _) = run_capture(&["synth", "--scholars", "100"]);
+        assert!(res.unwrap_err().contains("--data-dir"));
+    }
+
+    #[test]
+    fn synth_streams_a_snapshot_that_later_runs_serve() {
+        let dir = std::env::temp_dir().join(format!("minaret-cli-synth-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_str = dir.to_str().unwrap().to_string();
+        let (res, output) = run_capture(&[
+            "synth",
+            "--scholars",
+            "150",
+            "--seed",
+            "3",
+            "--data-dir",
+            &dir_str,
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(output.contains("chunk    1/1"), "{output}");
+        assert!(
+            output.contains("snapshot complete: 150 scholars"),
+            "{output}"
+        );
+        // A demo over that data dir serves the streamed snapshot and is
+        // byte-identical to a pure-RAM run of the same world.
+        let (res, from_snapshot) = run_capture(&[
+            "demo",
+            "--scholars",
+            "150",
+            "--seed",
+            "3",
+            "--data-dir",
+            &dir_str,
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        let (res, in_ram) = run_capture(&["demo", "--scholars", "150", "--seed", "3"]);
+        assert!(res.is_ok(), "{res:?}");
+        assert_eq!(from_snapshot, in_ram);
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

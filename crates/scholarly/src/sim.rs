@@ -5,7 +5,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use minaret_ontology::normalize_label;
-use minaret_synth::{ScholarId, World};
+use minaret_synth::{LazyWorld, ScholarId, World, WorldHandle, WorldScope};
+use minaret_telemetry::Telemetry;
 
 use crate::intern;
 
@@ -176,6 +177,13 @@ impl ProfileStore {
         self.slots.iter().filter(|s| s.get().is_some()).count() + self.overflow.len()
     }
 
+    /// How many fixed (lock-free) slots the store was sized with. Ids
+    /// beyond this take the sharded overflow path, so sizing from the
+    /// actual world keeps the hot path `OnceLock`-only.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
     /// True when a backing store is attached.
     pub fn is_persistent(&self) -> bool {
         self.backing.is_some()
@@ -234,10 +242,12 @@ pub enum FaultSchedule {
     },
 }
 
-/// One simulated scholarly website over a shared [`World`].
+/// One simulated scholarly website over a shared world — eager
+/// ([`World`]) or lazy ([`LazyWorld`], profiles materialized from the
+/// embedded store on first touch).
 pub struct SimulatedSource {
     spec: SourceSpec,
-    world: Arc<World>,
+    world: WorldHandle,
     fault: FaultSchedule,
     clock: Arc<dyn Clock>,
     salt: u64,
@@ -249,6 +259,10 @@ pub struct SimulatedSource {
     profiles: ProfileStore,
     calls: AtomicU64,
     rate_window_used: AtomicU64,
+    /// Bumped each time a lazy world materializes a profile from the
+    /// store (`minaret_profile_lazy_builds_total`); a no-op handle
+    /// until [`Self::with_telemetry`].
+    lazy_builds: minaret_telemetry::Counter,
 }
 
 impl std::fmt::Debug for SimulatedSource {
@@ -261,39 +275,57 @@ impl std::fmt::Debug for SimulatedSource {
 }
 
 impl SimulatedSource {
-    /// Builds the simulated source, precomputing its coverage and search
-    /// indexes for the given world.
+    /// Builds the simulated source over a fully materialized world,
+    /// precomputing its coverage and search indexes.
     pub fn new(spec: SourceSpec, world: Arc<World>) -> Self {
+        Self::over(spec, WorldHandle::Eager(world))
+    }
+
+    /// Builds the simulated source over a lazy, store-backed world.
+    /// Index construction reads only the compact per-scholar summaries
+    /// (names and interest ids); full profiles are materialized from the
+    /// store one community block at a time, on first touch. Serving is
+    /// byte-identical to the eager path.
+    pub fn lazy(spec: SourceSpec, world: Arc<LazyWorld>) -> Self {
+        Self::over(spec, WorldHandle::Lazy(world))
+    }
+
+    /// Builds the simulated source over either world representation.
+    pub fn over(spec: SourceSpec, world: WorldHandle) -> Self {
         let salt = hash64(&[spec.kind as u64 + 1, 0x5eed]);
         let mut name_index: HashMap<String, Vec<ScholarId>> = HashMap::new();
         let mut interest_index: HashMap<String, Vec<ScholarId>> = HashMap::new();
-        for s in world.scholars() {
-            if !Self::covered_static(salt, spec.coverage, s.id) {
-                continue;
+        // Index construction touches only summary data (id, name parts,
+        // interest ids) — both world representations serve it without
+        // materializing a single profile, which is what keeps a
+        // 10^6-scholar cold start at index-build cost.
+        world.for_each_summary(|id, given, family, interests| {
+            if !Self::covered_static(salt, spec.coverage, id) {
+                return;
             }
-            let display = Self::display_name_static(salt, &spec, s.id, &world);
+            let display = Self::display_name_parts(salt, &spec, id, given, family);
             name_index
                 .entry(normalize_label(&display))
                 .or_default()
-                .push(s.id);
+                .push(id);
             // Also index under the unabbreviated name — sites match both.
-            let full = normalize_label(&s.full_name());
+            let full = normalize_label(&format!("{given} {family}"));
             let entry = name_index.entry(full).or_default();
-            if !entry.contains(&s.id) {
-                entry.push(s.id);
+            if !entry.contains(&id) {
+                entry.push(id);
             }
             if spec.has_interests {
-                for (i, &t) in s.interests.iter().enumerate() {
+                for (i, &t) in interests.iter().enumerate() {
                     // Each interest survives onto the profile with p=0.85.
-                    let keep = unit(hash64(&[salt, 0x1a7e, s.id.0 as u64, i as u64])) < 0.85;
+                    let keep = unit(hash64(&[salt, 0x1a7e, id.0 as u64, i as u64])) < 0.85;
                     if keep {
-                        let label = normalize_label(world.ontology.label(t));
-                        interest_index.entry(label).or_default().push(s.id);
+                        let label = normalize_label(world.ontology().label(t));
+                        interest_index.entry(label).or_default().push(id);
                     }
                 }
             }
-        }
-        let profiles = ProfileStore::with_capacity(world.scholars().len());
+        });
+        let profiles = ProfileStore::with_capacity(world.scholar_count());
         Self {
             spec,
             world,
@@ -305,6 +337,7 @@ impl SimulatedSource {
             profiles,
             calls: AtomicU64::new(0),
             rate_window_used: AtomicU64::new(0),
+            lazy_builds: Telemetry::disabled().counter("minaret_profile_lazy_builds_total", &[]),
         }
     }
 
@@ -328,8 +361,17 @@ impl SimulatedSource {
     /// byte-identical either way — profile construction is
     /// deterministic and the codec round-trips exactly.
     pub fn with_persistence(mut self, store: Arc<minaret_store::Store>) -> Self {
-        self.profiles =
-            ProfileStore::with_store(self.world.scholars().len(), store, self.spec.kind);
+        self.profiles = ProfileStore::with_store(self.world.scholar_count(), store, self.spec.kind);
+        self
+    }
+
+    /// Registers this source's metrics with `telemetry` — currently the
+    /// `minaret_profile_lazy_builds_total` counter, labelled by source.
+    pub fn with_telemetry(mut self, telemetry: &Telemetry) -> Self {
+        self.lazy_builds = telemetry.counter(
+            "minaret_profile_lazy_builds_total",
+            &[("source", self.spec.kind.prefix())],
+        );
         self
     }
 
@@ -345,10 +387,8 @@ impl SimulatedSource {
 
     /// Number of scholars this source covers.
     pub fn covered_count(&self) -> usize {
-        self.world
-            .scholars()
-            .iter()
-            .filter(|s| Self::covered_static(self.salt, self.spec.coverage, s.id))
+        (0..self.world.scholar_count())
+            .filter(|&i| Self::covered_static(self.salt, self.spec.coverage, ScholarId(i as u32)))
             .count()
     }
 
@@ -356,13 +396,18 @@ impl SimulatedSource {
         unit(hash64(&[salt, 0xc0ffee, id.0 as u64])) < coverage
     }
 
-    fn display_name_static(salt: u64, spec: &SourceSpec, id: ScholarId, world: &World) -> String {
-        let s = world.scholar(id);
+    fn display_name_parts(
+        salt: u64,
+        spec: &SourceSpec,
+        id: ScholarId,
+        given: &str,
+        family: &str,
+    ) -> String {
         if unit(hash64(&[salt, 0x4a3e, id.0 as u64])) < spec.name_noise {
-            let initial = s.given_name.chars().next().unwrap_or('?');
-            format!("{initial}. {}", s.family_name)
+            let initial = given.chars().next().unwrap_or('?');
+            format!("{initial}. {family}")
         } else {
-            s.full_name()
+            format!("{given} {family}")
         }
     }
 
@@ -378,7 +423,7 @@ impl SimulatedSource {
             .strip_prefix(':')?;
         let (hash_part, idx) = rest.split_once('-')?;
         let id = ScholarId(idx.parse().ok()?);
-        if id.index() >= self.world.scholars().len() {
+        if id.index() >= self.world.scholar_count() {
             return None;
         }
         let expect = hash64(&[self.salt, 0x6b, id.0 as u64]) & 0xffff_ffff;
@@ -444,18 +489,42 @@ impl SimulatedSource {
         Ok(())
     }
 
-    /// The shared profile for `id`: built once via [`Self::build_profile`]
-    /// on first request, an `Arc` clone ever after.
-    fn profile(&self, id: ScholarId) -> Arc<SourceProfile> {
-        self.profiles.get_or_build(id, || self.build_profile(id))
+    /// One result page over an index slice: profiles for at most
+    /// `max_hits` matches. Index entries are appended in scholar-id
+    /// order, so the page is the deterministic first-K — and its size
+    /// is what keeps search cost flat in the world size.
+    fn page(&self, ids: &[ScholarId]) -> Vec<Arc<SourceProfile>> {
+        let cap = match self.spec.max_hits {
+            0 => ids.len(),
+            cap => cap,
+        };
+        ids.iter().take(cap).map(|&id| self.profile(id)).collect()
     }
 
-    /// Builds the profile a page fetch would return for `id`.
-    fn build_profile(&self, id: ScholarId) -> SourceProfile {
-        let w = &self.world;
+    /// The shared profile for `id`: built once via [`Self::build_profile`]
+    /// on first request, an `Arc` clone ever after. Lazy worlds resolve
+    /// the build against `id`'s community block (one cached point read);
+    /// a store failure there is unrecoverable for a local embedded store
+    /// and panics rather than serving a wrong profile.
+    fn profile(&self, id: ScholarId) -> Arc<SourceProfile> {
+        self.profiles.get_or_build(id, || {
+            if self.world.is_lazy() {
+                self.lazy_builds.inc();
+            }
+            self.world
+                .try_scope(id, |scope| self.build_profile(scope, id))
+                .expect("embedded world store failed while materializing a profile")
+        })
+    }
+
+    /// Builds the profile a page fetch would return for `id`. The same
+    /// code serves both world representations through [`WorldScope`],
+    /// which is what makes lazy profiles byte-identical to eager ones.
+    fn build_profile(&self, w: &dyn WorldScope, id: ScholarId) -> SourceProfile {
         let s = w.scholar(id);
         let spec = &self.spec;
-        let display_name = Self::display_name_static(self.salt, spec, id, w);
+        let display_name =
+            Self::display_name_parts(self.salt, spec, id, &s.given_name, &s.family_name);
 
         let current_inst = w.institution(s.current_affiliation());
         let (affiliation, country) = (
@@ -484,18 +553,17 @@ impl SimulatedSource {
                 .iter()
                 .enumerate()
                 .filter(|(i, _)| unit(hash64(&[self.salt, 0x1a7e, id.0 as u64, *i as u64])) < 0.85)
-                .map(|(_, &t)| w.ontology.label(t).to_string())
+                .map(|(_, &t)| w.ontology().label(t).to_string())
                 .collect()
         } else {
             Vec::new()
         };
 
         let mut publications = Vec::new();
-        for &pid in w.papers_of(id) {
-            if unit(hash64(&[self.salt, 0x9a9e2, pid.0 as u64])) >= spec.publication_coverage {
+        for p in w.papers_of(id) {
+            if unit(hash64(&[self.salt, 0x9a9e2, p.id.0 as u64])) >= spec.publication_coverage {
                 continue;
             }
-            let p = w.paper(pid);
             publications.push(Arc::new(SourcePublication {
                 title: p.title.clone(),
                 year: p.year,
@@ -509,7 +577,7 @@ impl SimulatedSource {
                 keywords: p
                     .topics
                     .iter()
-                    .map(|&t| w.ontology.label(t).to_string())
+                    .map(|&t| w.ontology().label(t).to_string())
                     .collect(),
                 citations: if spec.has_metrics {
                     Some(p.citations)
@@ -542,6 +610,7 @@ impl SimulatedSource {
 
         let reviews = if spec.has_reviews {
             w.reviews_of(id)
+                .into_iter()
                 .map(|r| {
                     Arc::new(SourceReview {
                         venue_name: w.venue(r.venue).name.clone(),
@@ -584,9 +653,9 @@ impl ScholarSource for SimulatedSource {
         self.pay_call()?;
         let needle = intern::normalized(name);
         // Iterate the index slice in place — no per-lookup id-vector
-        // clone — and hand out memoized profiles.
+        // clone — and hand out memoized profiles, one page's worth.
         let hits = match self.name_index.get(needle.as_ref()) {
-            Some(ids) => ids.iter().map(|&id| self.profile(id)).collect(),
+            Some(ids) => self.page(ids),
             None => Vec::new(),
         };
         Ok(hits)
@@ -602,7 +671,7 @@ impl ScholarSource for SimulatedSource {
         self.pay_call()?;
         let needle = intern::normalized(keyword);
         let hits = match self.interest_index.get(needle.as_ref()) {
-            Some(ids) => ids.iter().map(|&id| self.profile(id)).collect(),
+            Some(ids) => self.page(ids),
             None => Vec::new(),
         };
         Ok(hits)
@@ -627,7 +696,7 @@ impl ScholarSource for SimulatedSource {
             .map(|label| {
                 let needle = intern::normalized(label);
                 let hits = match self.interest_index.get(needle.as_ref()) {
-                    Some(ids) => ids.iter().map(|&id| self.profile(id)).collect(),
+                    Some(ids) => self.page(ids),
                     None => Vec::new(),
                 };
                 (label.clone(), hits)
@@ -1096,5 +1165,136 @@ mod tests {
         let c = store.get_or_build(low, || make(low));
         assert_eq!(c.truth, low);
         assert_eq!(store.built_count(), 2);
+    }
+
+    #[test]
+    fn profile_store_is_sized_from_the_world() {
+        let w = world();
+        let s = SimulatedSource::new(SourceSpec::for_kind(SourceKind::Dblp), w.clone());
+        assert_eq!(s.profiles.slot_capacity(), w.scholars().len());
+        assert_eq!(ProfileStore::with_capacity(7).slot_capacity(), 7);
+    }
+
+    #[test]
+    fn search_results_are_capped_at_one_page() {
+        let mut spec = SourceSpec::for_kind(SourceKind::GoogleScholar);
+        spec.max_hits = 2;
+        let w = world();
+        let s = SimulatedSource::new(spec.clone(), w.clone());
+        // Pick an interest label registered by more than two scholars.
+        let (label, all_ids) = s
+            .interest_index
+            .iter()
+            .find(|(_, ids)| ids.len() > 2)
+            .map(|(l, ids)| (l.clone(), ids.clone()))
+            .expect("some interest is popular enough");
+        let page = s.search_by_interest(&label).unwrap();
+        assert_eq!(page.len(), 2, "page cap must truncate");
+        // Deterministic first-K in scholar-id order.
+        let got: Vec<ScholarId> = page.iter().map(|p| p.truth).collect();
+        assert_eq!(got, all_ids[..2].to_vec());
+        // An uncapped source returns every match.
+        spec.max_hits = 0;
+        let unbounded = SimulatedSource::new(spec, w);
+        assert_eq!(
+            unbounded.search_by_interest(&label).unwrap().len(),
+            all_ids.len()
+        );
+    }
+
+    fn lazy_source_pair(
+        kind: SourceKind,
+        tag: &str,
+    ) -> (
+        SimulatedSource,
+        SimulatedSource,
+        Arc<World>,
+        std::path::PathBuf,
+    ) {
+        use minaret_synth::{stream_snapshot_world, StreamingGenerator};
+        let dir =
+            std::env::temp_dir().join(format!("minaret-sim-lazy-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cfg = WorldConfig {
+            scholars: 200,
+            ..Default::default()
+        };
+        let w = Arc::new(WorldGenerator::new(cfg.clone()).generate());
+        let store = Arc::new(
+            minaret_store::Store::open(&dir, minaret_store::StoreConfig::default()).unwrap(),
+        );
+        stream_snapshot_world(&store, &StreamingGenerator::new(cfg), |_| {}).unwrap();
+        let lazy_world = minaret_synth::LazyWorld::open(store).unwrap().unwrap();
+        let eager = SimulatedSource::new(SourceSpec::for_kind(kind), w.clone());
+        let lazy = SimulatedSource::lazy(SourceSpec::for_kind(kind), lazy_world);
+        (eager, lazy, w, dir)
+    }
+
+    #[test]
+    fn lazy_source_serves_profiles_identical_to_eager() {
+        let (eager, lazy, w, dir) = lazy_source_pair(SourceKind::GoogleScholar, "profiles");
+        assert!(lazy.world.is_lazy());
+        assert_eq!(lazy.name_index, eager.name_index);
+        assert_eq!(lazy.interest_index, eager.interest_index);
+        assert_eq!(lazy.covered_count(), eager.covered_count());
+        for sc in w.scholars() {
+            let key = eager.key_for(sc.id);
+            assert_eq!(key, lazy.key_for(sc.id));
+            match (eager.fetch_profile(&key), lazy.fetch_profile(&key)) {
+                (Ok(a), Ok(b)) => assert_eq!(*a, *b, "profiles diverge for {key}"),
+                (Err(_), Err(_)) => {}
+                (a, b) => panic!("coverage diverges for {key}: {a:?} vs {b:?}"),
+            }
+        }
+        drop(lazy);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_source_search_matches_eager() {
+        let (eager, lazy, w, dir) = lazy_source_pair(SourceKind::Publons, "search");
+        let sc = &w.scholars()[0];
+        assert_eq!(
+            eager.search_by_name(&sc.full_name()).unwrap(),
+            lazy.search_by_name(&sc.full_name()).unwrap()
+        );
+        let label = w.ontology.label(sc.interests[0]);
+        assert_eq!(
+            eager.search_by_interest(label).unwrap(),
+            lazy.search_by_interest(label).unwrap()
+        );
+        drop(lazy);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn lazy_builds_counter_counts_materializations() {
+        let (_eager, lazy, w, dir) = lazy_source_pair(SourceKind::Dblp, "telemetry");
+        let telemetry = Telemetry::new();
+        let lazy = lazy.with_telemetry(&telemetry);
+        let mut fetched = 0;
+        for sc in w.scholars().iter().take(20) {
+            if lazy.fetch_profile(&lazy.key_for(sc.id)).is_ok() {
+                fetched += 1;
+            }
+            // A second fetch hits the memoized Arc — no new build.
+            let _ = lazy.fetch_profile(&lazy.key_for(sc.id));
+        }
+        assert!(fetched > 0);
+        let snapshot = telemetry.snapshot();
+        let series = snapshot
+            .iter()
+            .find(|m| m.name == "minaret_profile_lazy_builds_total")
+            .expect("lazy build counter registered");
+        assert!(
+            matches!(
+                series.value,
+                minaret_telemetry::SnapshotValue::Counter(n) if n == fetched
+            ),
+            "lazy builds counted {:?}, fetched {fetched}",
+            series.value
+        );
+        drop(lazy);
+        std::fs::remove_dir_all(dir).unwrap();
     }
 }

@@ -93,6 +93,14 @@ pub struct SourceSpec {
     /// Simulated per-call latency in microseconds (0 in unit tests;
     /// experiment E6 raises it to web-scraping scale).
     pub latency_micros: u64,
+    /// Result-page cap: at most this many hits come back from one name
+    /// or interest search, like the bounded first page a real site
+    /// serves. Hits are the first `max_hits` matches in scholar-id
+    /// order, so the truncation is deterministic — and it is what keeps
+    /// per-query work flat as the world grows (a popular keyword at
+    /// 10^6 scholars matches tens of thousands of profiles; no real
+    /// site returns them all). `0` disables the cap.
+    pub max_hits: usize,
 }
 
 impl SourceSpec {
@@ -111,6 +119,7 @@ impl SourceSpec {
             failure_rate: 0.0,
             rate_limit: 0,
             latency_micros: 0,
+            max_hits: 100,
         };
         match kind {
             SourceKind::GoogleScholar => Self {
@@ -188,6 +197,13 @@ mod tests {
         assert!(publons.has_reviews && publons.supports_interest_search);
         let orcid = SourceSpec::for_kind(SourceKind::Orcid);
         assert!(orcid.has_affiliation_history);
+        for spec in SourceSpec::all_defaults() {
+            assert!(
+                spec.max_hits > 0,
+                "{}: searches must page by default",
+                spec.kind
+            );
+        }
     }
 
     #[test]

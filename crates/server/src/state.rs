@@ -9,7 +9,10 @@ use minaret_scholarly::{
     RegistryConfig, ResilienceConfig, SimulatedSource, SourceRegistry, SourceSpec,
 };
 use minaret_store::{Store, StoreConfig, StoreError};
-use minaret_synth::{load_world, snapshot_world, SnapshotMeta, World, WorldConfig, WorldGenerator};
+use minaret_synth::{
+    load_world, persist::load_world_streamed, stream_snapshot_world, StreamingGenerator, World,
+    WorldConfig, WorldGenerator,
+};
 use minaret_telemetry::Telemetry;
 
 use crate::cache::ResultCache;
@@ -94,37 +97,37 @@ impl AppState {
             )?)),
             None => None,
         };
-        let generate = || {
-            WorldGenerator::new(WorldConfig {
-                seed,
-                ..WorldConfig::sized(scholars)
-            })
-            .generate()
+        let config = WorldConfig {
+            seed,
+            ..WorldConfig::sized(scholars)
         };
         let world = match &store {
-            Some(store) => match load_world(store)? {
+            Some(store) => match load_snapshot(store, scholars, seed)? {
                 // Serve the snapshot only when it matches what was
                 // asked for; a stale snapshot (different size or seed)
                 // is regenerated and overwritten.
-                Some((world, meta)) if meta.scholars as usize == scholars && meta.seed == seed => {
-                    Arc::new(world)
-                }
-                _ => {
-                    let world = generate();
-                    snapshot_world(
-                        store,
-                        &world,
-                        SnapshotMeta {
-                            scholars: scholars as u32,
-                            seed,
-                            current_year: world.current_year,
-                        },
-                    )?;
+                Some(world) => Arc::new(world),
+                None => {
+                    // Write-through streaming: chunks land in the store
+                    // as they are generated (peak memory one community
+                    // block + memtable), then the snapshot is loaded
+                    // back for the resident serving world.
+                    let chunk_writes = telemetry.counter("minaret_world_chunk_writes_total", &[]);
+                    let chunk_bytes = telemetry.counter("minaret_world_chunk_bytes_total", &[]);
+                    stream_snapshot_world(store, &StreamingGenerator::new(config), |p| {
+                        chunk_writes.inc();
+                        chunk_bytes.inc_by(p.bytes as u64);
+                    })?;
+                    let (world, _) = load_world_streamed(store)?
+                        .expect("a just-written streamed snapshot must load");
                     Arc::new(world)
                 }
             },
-            None => Arc::new(generate()),
+            None => Arc::new(WorldGenerator::new(config).generate()),
         };
+        telemetry
+            .gauge("minaret_world_scholars", &[])
+            .set(world.scholars().len() as i64);
         // Servers run with the production resilience preset: deadlines,
         // backoff, and breakers on, so a misbehaving source degrades
         // results instead of stalling requests.
@@ -201,6 +204,23 @@ impl AppState {
     }
 }
 
+/// A matching world snapshot from `store`, preferring the chunked (v2)
+/// format and falling back to a legacy monolithic (v1) one. A snapshot
+/// for a different `(scholars, seed)` is stale and reported as absent.
+fn load_snapshot(store: &Store, scholars: usize, seed: u64) -> Result<Option<World>, StoreError> {
+    if let Some((world, meta)) = load_world_streamed(store)? {
+        if meta.scholars as usize == scholars && meta.seed == seed {
+            return Ok(Some(world));
+        }
+    }
+    if let Some((world, meta)) = load_world(store)? {
+        if meta.scholars as usize == scholars && meta.seed == seed {
+            return Ok(Some(world));
+        }
+    }
+    Ok(None)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +262,44 @@ mod tests {
         assert_ne!(third.world.scholars(), scholars_first.as_slice());
         drop(second);
         drop(third);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn data_dir_boot_streams_a_chunked_snapshot_and_records_metrics() {
+        use minaret_telemetry::SnapshotValue;
+        let dir = std::env::temp_dir().join(format!("minaret-state-v2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let telemetry = Telemetry::new();
+        let state = AppState::demo_with_data_dir(90, 5, telemetry.clone(), 0, Some(&dir))
+            .expect("fresh data dir");
+        let snapshot = telemetry.snapshot();
+        let value = |name: &str| {
+            snapshot
+                .iter()
+                .find(|m| m.name == name)
+                .map(|m| m.value.clone())
+        };
+        assert!(
+            matches!(
+                value("minaret_world_scholars"),
+                Some(SnapshotValue::Gauge(90))
+            ),
+            "world gauge: {:?}",
+            value("minaret_world_scholars")
+        );
+        assert!(
+            matches!(value("minaret_world_chunk_writes_total"), Some(SnapshotValue::Counter(n)) if n >= 1)
+        );
+        assert!(
+            matches!(value("minaret_world_chunk_bytes_total"), Some(SnapshotValue::Counter(n)) if n > 0)
+        );
+        // The store now holds a chunked (v2) snapshot and no legacy one.
+        let store = state.store.clone().expect("data-dir state has a store");
+        assert!(load_world_streamed(&store).unwrap().is_some());
+        assert!(load_world(&store).unwrap().is_none());
+        drop(state);
+        drop(store);
         std::fs::remove_dir_all(dir).unwrap();
     }
 

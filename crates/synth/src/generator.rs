@@ -1,20 +1,19 @@
 //! The world generator.
 
-use std::collections::HashMap;
-
-use minaret_ontology::{Ontology, TopicId};
+use minaret_ontology::Ontology;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::config::WorldConfig;
-use crate::ids::{InstitutionId, PaperId, ScholarId, VenueId};
-use crate::model::{AffiliationSpan, Institution, Paper, ReviewRecord, Scholar, Venue, VenueKind};
-use crate::names::{institution_country, institution_name, NamePool};
+use crate::stream::StreamingGenerator;
 use crate::world::World;
 
 /// Generates a [`World`] from a [`WorldConfig`] and an [`Ontology`].
 ///
 /// The same `(config, ontology)` pair always yields the same world.
+/// This is the monolithic facade over [`StreamingGenerator`]: it drains
+/// the chunk stream and assembles the result, so its output is
+/// byte-identical to any chunked emission of the same config.
 #[derive(Debug, Clone)]
 pub struct WorldGenerator {
     config: WorldConfig,
@@ -28,295 +27,17 @@ impl WorldGenerator {
 
     /// Generates the world against the curated CS ontology.
     pub fn generate(&self) -> World {
-        self.generate_with(minaret_ontology::seed::curated_cs_ontology())
+        StreamingGenerator::new(self.config.clone()).generate_world()
     }
 
     /// Generates the world against a caller-provided ontology.
     pub fn generate_with(&self, ontology: Ontology) -> World {
-        let cfg = &self.config;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
-
-        let institutions: Vec<Institution> = (0..cfg.institutions.max(1))
-            .map(|i| Institution {
-                id: InstitutionId(i as u32),
-                name: institution_name(i),
-                country: institution_country(i),
-            })
-            .collect();
-
-        let topic_pool: Vec<TopicId> = ontology.topics().map(|t| t.id).collect();
-
-        let venues = self.gen_venues(&mut rng, &topic_pool);
-        let scholars = self.gen_scholars(&mut rng, &ontology, &topic_pool, institutions.len());
-
-        // topic -> scholars interested in it, for coauthor/venue matching.
-        let mut by_topic: HashMap<TopicId, Vec<ScholarId>> = HashMap::new();
-        for s in &scholars {
-            for &t in &s.interests {
-                by_topic.entry(t).or_default().push(s.id);
-            }
-        }
-        let mut venues_by_topic: HashMap<TopicId, Vec<VenueId>> = HashMap::new();
-        for v in &venues {
-            for &t in &v.topics {
-                venues_by_topic.entry(t).or_default().push(v.id);
-            }
-        }
-
-        let papers = self.gen_papers(&mut rng, &scholars, &venues, &by_topic, &venues_by_topic);
-        let reviews = self.gen_reviews(&mut rng, &scholars, &venues, &venues_by_topic);
-
-        World::assemble(
-            ontology,
-            cfg.end_year,
-            scholars,
-            papers,
-            venues,
-            institutions,
-            reviews,
-        )
-    }
-
-    fn gen_venues(&self, rng: &mut StdRng, topic_pool: &[TopicId]) -> Vec<Venue> {
-        let cfg = &self.config;
-        let mut venues = Vec::with_capacity(cfg.journals + cfg.conferences);
-        for i in 0..cfg.journals + cfg.conferences {
-            let kind = if i < cfg.journals {
-                VenueKind::Journal
-            } else {
-                VenueKind::Conference
-            };
-            let n_topics = rng.gen_range(2..=4).min(topic_pool.len());
-            let mut topics = Vec::with_capacity(n_topics);
-            while topics.len() < n_topics {
-                let t = topic_pool[rng.gen_range(0..topic_pool.len())];
-                if !topics.contains(&t) {
-                    topics.push(t);
-                }
-            }
-            let name = match kind {
-                VenueKind::Journal => format!("Journal of Synthetic Computing {}", i + 1),
-                VenueKind::Conference => {
-                    format!(
-                        "International Conference on Synthetic Systems {}",
-                        i + 1 - cfg.journals
-                    )
-                }
-            };
-            venues.push(Venue {
-                id: VenueId(i as u32),
-                name,
-                kind,
-                topics,
-            });
-        }
-        venues
-    }
-
-    fn gen_scholars(
-        &self,
-        rng: &mut StdRng,
-        ontology: &Ontology,
-        topic_pool: &[TopicId],
-        n_institutions: usize,
-    ) -> Vec<Scholar> {
-        let cfg = &self.config;
-        let mut pool = NamePool::new(cfg.name_collision_rate);
-        let mut scholars = Vec::with_capacity(cfg.scholars);
-        for i in 0..cfg.scholars {
-            let (given, family) = pool.draw(rng);
-            let active_since = rng.gen_range(cfg.start_year..=cfg.end_year.saturating_sub(1));
-            // Affiliation history: start somewhere, move with mobility_rate.
-            let mut affiliations = Vec::new();
-            let mut inst = rng.gen_range(0..n_institutions);
-            let mut from = active_since;
-            for year in active_since..=cfg.end_year {
-                if year > from && rng.gen::<f64>() < cfg.mobility_rate {
-                    affiliations.push(AffiliationSpan {
-                        institution: InstitutionId(inst as u32),
-                        from_year: from,
-                        to_year: year - 1,
-                    });
-                    let mut next = rng.gen_range(0..n_institutions);
-                    if n_institutions > 1 {
-                        while next == inst {
-                            next = rng.gen_range(0..n_institutions);
-                        }
-                    }
-                    inst = next;
-                    from = year;
-                }
-            }
-            affiliations.push(AffiliationSpan {
-                institution: InstitutionId(inst as u32),
-                from_year: from,
-                to_year: cfg.end_year,
-            });
-            // Interests: one "home" topic plus semantically nearby topics,
-            // so scholars are topically coherent like real researchers.
-            let home = topic_pool[rng.gen_range(0..topic_pool.len())];
-            let mut interests = vec![home];
-            let mut frontier: Vec<TopicId> = ontology
-                .related(home)
-                .iter()
-                .chain(ontology.parents(home))
-                .chain(ontology.children(home))
-                .copied()
-                .collect();
-            while interests.len() < cfg.interests_per_scholar.max(1) {
-                let t = if !frontier.is_empty() && rng.gen::<f64>() < 0.7 {
-                    frontier.swap_remove(rng.gen_range(0..frontier.len()))
-                } else {
-                    topic_pool[rng.gen_range(0..topic_pool.len())]
-                };
-                if !interests.contains(&t) {
-                    interests.push(t);
-                }
-                if frontier.is_empty() && interests.len() >= 2 && rng.gen::<f64>() < 0.1 {
-                    break;
-                }
-            }
-            scholars.push(Scholar {
-                id: ScholarId(i as u32),
-                given_name: given,
-                family_name: family,
-                affiliations,
-                interests,
-                active_since,
-            });
-        }
-        scholars
-    }
-
-    fn gen_papers(
-        &self,
-        rng: &mut StdRng,
-        scholars: &[Scholar],
-        venues: &[Venue],
-        by_topic: &HashMap<TopicId, Vec<ScholarId>>,
-        venues_by_topic: &HashMap<TopicId, Vec<VenueId>>,
-    ) -> Vec<Paper> {
-        let cfg = &self.config;
-        let mut papers = Vec::new();
-        // Preferential attachment over prior coauthors.
-        let mut prior_coauthors: Vec<Vec<ScholarId>> = vec![Vec::new(); scholars.len()];
-        for year in cfg.start_year..=cfg.end_year {
-            for s in scholars {
-                if year < s.active_since {
-                    continue;
-                }
-                for _ in 0..poisson(rng, cfg.papers_per_scholar_year) {
-                    let lead = s.id;
-                    // Paper topics: 1-3 of the lead's interests.
-                    let n_topics = rng.gen_range(1..=3.min(s.interests.len()));
-                    let mut topics = Vec::with_capacity(n_topics);
-                    while topics.len() < n_topics {
-                        let t = s.interests[rng.gen_range(0..s.interests.len())];
-                        if !topics.contains(&t) {
-                            topics.push(t);
-                        }
-                    }
-                    // Coauthors: prior collaborators first, then scholars
-                    // sharing the paper's topics.
-                    let n_co = poisson(rng, cfg.coauthors_per_paper).min(6);
-                    let mut authors = vec![lead];
-                    for _ in 0..n_co {
-                        let cand = if !prior_coauthors[lead.index()].is_empty()
-                            && rng.gen::<f64>() < 0.5
-                        {
-                            let pc = &prior_coauthors[lead.index()];
-                            Some(pc[rng.gen_range(0..pc.len())])
-                        } else {
-                            by_topic
-                                .get(&topics[rng.gen_range(0..topics.len())])
-                                .filter(|v| !v.is_empty())
-                                .map(|v| v[rng.gen_range(0..v.len())])
-                        };
-                        if let Some(c) = cand {
-                            if !authors.contains(&c) && scholars[c.index()].active_since <= year {
-                                authors.push(c);
-                            }
-                        }
-                    }
-                    for &a in &authors {
-                        for &b in &authors {
-                            if a != b && !prior_coauthors[a.index()].contains(&b) {
-                                prior_coauthors[a.index()].push(b);
-                            }
-                        }
-                    }
-                    // Venue: one that covers a paper topic when possible.
-                    let venue = topics
-                        .iter()
-                        .filter_map(|t| venues_by_topic.get(t))
-                        .flat_map(|v| v.iter())
-                        .next()
-                        .copied()
-                        .unwrap_or_else(|| VenueId(rng.gen_range(0..venues.len()) as u32));
-                    // Citations: heavy-tailed, growing with age.
-                    let age = (cfg.end_year - year) as f64;
-                    let burst = (-(rng.gen::<f64>().max(1e-12)).ln()).powf(2.0);
-                    let citations = (burst * (1.0 + age * 1.5)) as u32;
-                    let id = PaperId(papers.len() as u32);
-                    papers.push(Paper {
-                        id,
-                        title: format!("On synthetic result #{} ({year})", papers.len()),
-                        year,
-                        venue,
-                        authors,
-                        topics,
-                        citations,
-                    });
-                }
-            }
-        }
-        papers
-    }
-
-    fn gen_reviews(
-        &self,
-        rng: &mut StdRng,
-        scholars: &[Scholar],
-        venues: &[Venue],
-        venues_by_topic: &HashMap<TopicId, Vec<VenueId>>,
-    ) -> Vec<ReviewRecord> {
-        let cfg = &self.config;
-        let mut reviews = Vec::new();
-        for s in scholars {
-            if rng.gen::<f64>() >= cfg.reviewer_fraction {
-                continue;
-            }
-            for year in s.active_since..=cfg.end_year {
-                for _ in 0..poisson(rng, cfg.reviews_per_reviewer_year) {
-                    // Review for a venue in the scholar's area when possible.
-                    let venue = s
-                        .interests
-                        .iter()
-                        .filter_map(|t| venues_by_topic.get(t))
-                        .filter(|v| !v.is_empty())
-                        .map(|v| v[rng.gen_range(0..v.len())])
-                        .next()
-                        .unwrap_or_else(|| VenueId(rng.gen_range(0..venues.len()) as u32));
-                    let turnaround_days = 7 + (rng.gen::<f64>() * 60.0) as u32;
-                    // Quality is a per-scholar trait with per-review noise.
-                    let base = 2.0 + 3.0 * (s.id.0 as f64 * 0.618).fract();
-                    let quality = (base + rng.gen_range(-1.0..1.0)).round().clamp(1.0, 5.0) as u8;
-                    reviews.push(ReviewRecord {
-                        reviewer: s.id,
-                        venue,
-                        year,
-                        turnaround_days,
-                        quality,
-                    });
-                }
-            }
-        }
-        reviews
+        StreamingGenerator::with_ontology(self.config.clone(), ontology).generate_world()
     }
 }
 
 /// Knuth's Poisson sampler — fine for the small λ used here.
-fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
+pub(crate) fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
     if lambda <= 0.0 {
         return 0;
     }
@@ -338,6 +59,7 @@ fn poisson(rng: &mut StdRng, lambda: f64) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::SeedableRng;
 
     fn small_world() -> World {
         WorldGenerator::new(WorldConfig {

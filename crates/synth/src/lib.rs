@@ -28,16 +28,25 @@ mod config;
 mod generator;
 pub mod growth;
 mod ids;
+mod lazy;
 mod model;
 mod names;
 pub mod persist;
+mod stream;
 mod submissions;
+mod view;
 mod world;
 
 pub use config::WorldConfig;
 pub use generator::WorldGenerator;
 pub use ids::{InstitutionId, PaperId, ScholarId, VenueId};
+pub use lazy::{LazyWorld, WorldBlock};
 pub use model::{AffiliationSpan, Institution, Paper, ReviewRecord, Scholar, Venue, VenueKind};
-pub use persist::{load_world, snapshot_world, SnapshotMeta};
+pub use persist::{
+    load_world, snapshot_world, stream_snapshot_world, world_fingerprint, SnapshotMeta,
+    StreamProgress, StreamTotals,
+};
+pub use stream::{derive_seed, ChunkIter, StreamingGenerator, WorldChunk, COMMUNITY_BLOCK};
 pub use submissions::{ground_truth_relevance, SubmissionGenerator, SubmissionSpec};
+pub use view::{WorldHandle, WorldScope};
 pub use world::{World, WorldStats};

@@ -1,0 +1,623 @@
+//! Streaming, chunk-size-invariant world generation.
+//!
+//! The monolithic generator walked one RNG through every entity, so the
+//! whole world had to exist before any of it could be used. Here every
+//! entity is a *pure function* of `(config, ontology, index)`: each
+//! scholar, paper stream, and review stream draws from its own RNG whose
+//! seed is derived from the world seed, a stream tag, and the entity
+//! index ([`derive_seed`]). Chunk boundaries therefore cannot influence
+//! content — a world emitted in chunks of any size is byte-identical to
+//! the monolithic path, which the fingerprint tests pin.
+//!
+//! Cross-entity structure that the old generator expressed through
+//! shared mutable state is re-expressed locally:
+//!
+//! - **Names** collide via redirect chains: scholar `i` duplicates the
+//!   resolved name of a uniformly chosen earlier scholar `j < i` with
+//!   probability `name_collision_rate`. Resolution follows the chain
+//!   (`i → j → …`) of pure draws, so popular names accumulate weight
+//!   just like the old issued-name pool.
+//! - **Coauthorship** is community-local: scholars live in fixed blocks
+//!   of [`COMMUNITY_BLOCK`], and a paper's coauthors are drawn only from
+//!   the lead author's block (preferential attachment over the lead's
+//!   own prior coauthors, then topic matches inside the block). Blocks
+//!   are a property of the world, not of the chunking, and they are what
+//!   makes lazy per-block reads self-contained.
+//! - **Paper ids and titles** use a running counter that depends only on
+//!   scholar order; papers are emitted scholar-major (all of a scholar's
+//!   papers together, year ascending), so every scholar's papers are
+//!   contiguous in the global table.
+
+use std::collections::HashMap;
+
+use minaret_ontology::{Ontology, TopicId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::WorldConfig;
+use crate::generator::poisson;
+use crate::ids::{InstitutionId, PaperId, ScholarId, VenueId};
+use crate::model::{AffiliationSpan, Institution, Paper, ReviewRecord, Scholar, Venue, VenueKind};
+use crate::names::{base_pair, institution_country, institution_name, pair_strings};
+use crate::world::World;
+
+/// Scholars per community block — the coauthor-locality unit. A paper
+/// led by a scholar only ever draws coauthors from the lead's block, so
+/// any block can be generated (or decoded from a snapshot) on its own.
+/// This is a property of the generated world and is independent of the
+/// chunk size callers stream with.
+pub const COMMUNITY_BLOCK: usize = 1024;
+
+/// Per-entity RNG stream tags (mixed into [`derive_seed`]).
+mod tag {
+    pub const VENUES: u64 = 1;
+    pub const NAME: u64 = 2;
+    pub const CAREER: u64 = 3;
+    pub const INTERESTS: u64 = 4;
+    pub const PAPERS: u64 = 5;
+    pub const REVIEWS: u64 = 6;
+}
+
+/// Mixes `(seed, stream, index)` into an independent RNG seed with the
+/// splitmix64 finalizer. Every generated entity seeds its own `StdRng`
+/// from this, which is what makes generation order-free.
+pub fn derive_seed(seed: u64, stream: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One contiguous slice of a streamed world: `scholars[..]` are ids
+/// `start .. start + scholars.len()`, `papers` are every paper whose
+/// lead author is in the chunk (globally ordered, contiguous ids), and
+/// `reviews` are those scholars' review records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldChunk {
+    /// Chunk ordinal (0-based) in emission order.
+    pub index: usize,
+    /// Id of the first scholar in the chunk.
+    pub start: usize,
+    /// The chunk's scholars, in id order.
+    pub scholars: Vec<Scholar>,
+    /// Papers led by the chunk's scholars, in global id order.
+    pub papers: Vec<Paper>,
+    /// Review records of the chunk's scholars, reviewer-major.
+    pub reviews: Vec<ReviewRecord>,
+}
+
+/// Generates a world incrementally, in chunks of any size, with output
+/// byte-identical to [`crate::WorldGenerator::generate`].
+#[derive(Debug, Clone)]
+pub struct StreamingGenerator {
+    cfg: WorldConfig,
+    ontology: Ontology,
+    topic_pool: Vec<TopicId>,
+    institutions: Vec<Institution>,
+    venues: Vec<Venue>,
+    venues_by_topic: HashMap<TopicId, Vec<VenueId>>,
+}
+
+impl StreamingGenerator {
+    /// A generator over the curated CS ontology.
+    pub fn new(cfg: WorldConfig) -> Self {
+        Self::with_ontology(cfg, minaret_ontology::seed::curated_cs_ontology())
+    }
+
+    /// A generator over a caller-provided ontology. Venues and
+    /// institutions (small, world-global tables) are generated eagerly
+    /// here; scholars, papers, and reviews stream through
+    /// [`StreamingGenerator::chunks`].
+    pub fn with_ontology(cfg: WorldConfig, ontology: Ontology) -> Self {
+        let topic_pool: Vec<TopicId> = ontology.topics().map(|t| t.id).collect();
+        let institutions: Vec<Institution> = (0..cfg.institutions.max(1))
+            .map(|i| Institution {
+                id: InstitutionId(i as u32),
+                name: institution_name(i),
+                country: institution_country(i),
+            })
+            .collect();
+        let venues = gen_venues(&cfg, &topic_pool);
+        let mut venues_by_topic: HashMap<TopicId, Vec<VenueId>> = HashMap::new();
+        for v in &venues {
+            for &t in &v.topics {
+                venues_by_topic.entry(t).or_default().push(v.id);
+            }
+        }
+        Self {
+            cfg,
+            ontology,
+            topic_pool,
+            institutions,
+            venues,
+            venues_by_topic,
+        }
+    }
+
+    /// The generation config.
+    pub fn config(&self) -> &WorldConfig {
+        &self.cfg
+    }
+
+    /// The ontology the world is generated against.
+    pub fn ontology(&self) -> &Ontology {
+        &self.ontology
+    }
+
+    /// The world's venues (generated eagerly; shared by every chunk).
+    pub fn venues(&self) -> &[Venue] {
+        &self.venues
+    }
+
+    /// The world's institutions (generated eagerly).
+    pub fn institutions(&self) -> &[Institution] {
+        &self.institutions
+    }
+
+    /// Streams the world in chunks of `chunk_size` scholars. Peak memory
+    /// for the caller is one chunk plus one community block of context.
+    /// The concatenation of all chunks is byte-identical for every
+    /// `chunk_size`.
+    pub fn chunks(&self, chunk_size: usize) -> ChunkIter<'_> {
+        ChunkIter {
+            gen: self,
+            chunk_size: chunk_size.max(1),
+            next_scholar: 0,
+            next_paper: 0,
+            next_chunk: 0,
+            block: None,
+        }
+    }
+
+    /// Materializes the whole world at once (the monolithic path used by
+    /// [`crate::WorldGenerator`]); internally just drains the chunk
+    /// stream.
+    pub fn generate_world(self) -> World {
+        let mut scholars = Vec::with_capacity(self.cfg.scholars);
+        let mut papers = Vec::new();
+        let mut reviews = Vec::new();
+        for chunk in self.chunks(COMMUNITY_BLOCK) {
+            scholars.extend(chunk.scholars);
+            papers.extend(chunk.papers);
+            reviews.extend(chunk.reviews);
+        }
+        World::assemble(
+            self.ontology,
+            self.cfg.end_year,
+            scholars,
+            papers,
+            self.venues,
+            self.institutions,
+            reviews,
+        )
+    }
+
+    /// Resolves scholar `i`'s name through the collision redirect chain.
+    fn name_of(&self, i: usize) -> (String, String) {
+        let rate = self.cfg.name_collision_rate.clamp(0.0, 1.0);
+        let mut at = i;
+        loop {
+            let mut rng = StdRng::seed_from_u64(derive_seed(self.cfg.seed, tag::NAME, at as u64));
+            if at > 0 && rng.gen::<f64>() < rate {
+                // Duplicate an earlier scholar's (resolved) name. The
+                // redirect target strictly decreases, so chains always
+                // terminate at a base draw.
+                at = rng.gen_range(0..at);
+                continue;
+            }
+            return pair_strings(base_pair(&mut rng));
+        }
+    }
+
+    /// Generates scholar `i` — a pure function of `(config, ontology, i)`.
+    fn scholar_at(&self, i: usize) -> Scholar {
+        let cfg = &self.cfg;
+        let (given, family) = self.name_of(i);
+
+        // Career: start year and the mobility walk over institutions.
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, tag::CAREER, i as u64));
+        let n_institutions = self.institutions.len();
+        let active_since = rng.gen_range(cfg.start_year..=cfg.end_year.saturating_sub(1));
+        let mut affiliations = Vec::new();
+        let mut inst = rng.gen_range(0..n_institutions);
+        let mut from = active_since;
+        for year in active_since..=cfg.end_year {
+            if year > from && rng.gen::<f64>() < cfg.mobility_rate {
+                affiliations.push(AffiliationSpan {
+                    institution: InstitutionId(inst as u32),
+                    from_year: from,
+                    to_year: year - 1,
+                });
+                let mut next = rng.gen_range(0..n_institutions);
+                if n_institutions > 1 {
+                    while next == inst {
+                        next = rng.gen_range(0..n_institutions);
+                    }
+                }
+                inst = next;
+                from = year;
+            }
+        }
+        affiliations.push(AffiliationSpan {
+            institution: InstitutionId(inst as u32),
+            from_year: from,
+            to_year: cfg.end_year,
+        });
+
+        // Interests: one "home" topic plus semantically nearby topics,
+        // so scholars are topically coherent like real researchers.
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, tag::INTERESTS, i as u64));
+        let home = self.topic_pool[rng.gen_range(0..self.topic_pool.len())];
+        let mut interests = vec![home];
+        let mut frontier: Vec<TopicId> = self
+            .ontology
+            .related(home)
+            .iter()
+            .chain(self.ontology.parents(home))
+            .chain(self.ontology.children(home))
+            .copied()
+            .collect();
+        while interests.len() < cfg.interests_per_scholar.max(1) {
+            let t = if !frontier.is_empty() && rng.gen::<f64>() < 0.7 {
+                frontier.swap_remove(rng.gen_range(0..frontier.len()))
+            } else {
+                self.topic_pool[rng.gen_range(0..self.topic_pool.len())]
+            };
+            if !interests.contains(&t) {
+                interests.push(t);
+            }
+            if frontier.is_empty() && interests.len() >= 2 && rng.gen::<f64>() < 0.1 {
+                break;
+            }
+        }
+
+        Scholar {
+            id: ScholarId(i as u32),
+            given_name: given,
+            family_name: family,
+            affiliations,
+            interests,
+            active_since,
+        }
+    }
+
+    /// Generates the community block containing scholars
+    /// `[b * COMMUNITY_BLOCK, …)` plus its topic index.
+    fn block_at(&self, b: usize) -> BlockBuf {
+        let start = b * COMMUNITY_BLOCK;
+        let end = (start + COMMUNITY_BLOCK).min(self.cfg.scholars);
+        let scholars: Vec<Scholar> = (start..end).map(|i| self.scholar_at(i)).collect();
+        let mut by_topic: HashMap<TopicId, Vec<ScholarId>> = HashMap::new();
+        for s in &scholars {
+            for &t in &s.interests {
+                by_topic.entry(t).or_default().push(s.id);
+            }
+        }
+        BlockBuf {
+            index: b,
+            start,
+            scholars,
+            by_topic,
+        }
+    }
+
+    /// All papers led by `lead`, year ascending, with ids starting at
+    /// `first_paper`. Coauthors come from the lead's community block.
+    fn papers_for(&self, lead: &Scholar, block: &BlockBuf, first_paper: u32) -> Vec<Paper> {
+        let cfg = &self.cfg;
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, tag::PAPERS, lead.id.0 as u64));
+        let mut papers = Vec::new();
+        // Preferential attachment over the lead's own prior coauthors.
+        let mut prior: Vec<ScholarId> = Vec::new();
+        for year in lead.active_since..=cfg.end_year {
+            for _ in 0..poisson(&mut rng, cfg.papers_per_scholar_year) {
+                // Paper topics: 1-3 of the lead's interests.
+                let n_topics = rng.gen_range(1..=3.min(lead.interests.len()));
+                let mut topics = Vec::with_capacity(n_topics);
+                while topics.len() < n_topics {
+                    let t = lead.interests[rng.gen_range(0..lead.interests.len())];
+                    if !topics.contains(&t) {
+                        topics.push(t);
+                    }
+                }
+                let n_co = poisson(&mut rng, cfg.coauthors_per_paper).min(6);
+                let mut authors = vec![lead.id];
+                for _ in 0..n_co {
+                    let cand = if !prior.is_empty() && rng.gen::<f64>() < 0.5 {
+                        Some(prior[rng.gen_range(0..prior.len())])
+                    } else {
+                        block
+                            .by_topic
+                            .get(&topics[rng.gen_range(0..topics.len())])
+                            .filter(|v| !v.is_empty())
+                            .map(|v| v[rng.gen_range(0..v.len())])
+                    };
+                    if let Some(c) = cand {
+                        if !authors.contains(&c)
+                            && block.scholars[c.index() - block.start].active_since <= year
+                        {
+                            authors.push(c);
+                        }
+                    }
+                }
+                for &a in authors.iter().skip(1) {
+                    if !prior.contains(&a) {
+                        prior.push(a);
+                    }
+                }
+                // Venue: one that covers a paper topic when possible.
+                let venue = topics
+                    .iter()
+                    .filter_map(|t| self.venues_by_topic.get(t))
+                    .flat_map(|v| v.iter())
+                    .next()
+                    .copied()
+                    .unwrap_or_else(|| VenueId(rng.gen_range(0..self.venues.len()) as u32));
+                // Citations: heavy-tailed, growing with age.
+                let age = (cfg.end_year - year) as f64;
+                let burst = (-(rng.gen::<f64>().max(1e-12)).ln()).powf(2.0);
+                let citations = (burst * (1.0 + age * 1.5)) as u32;
+                let id = first_paper + papers.len() as u32;
+                papers.push(Paper {
+                    id: PaperId(id),
+                    title: format!("On synthetic result #{id} ({year})"),
+                    year,
+                    venue,
+                    authors,
+                    topics,
+                    citations,
+                });
+            }
+        }
+        papers
+    }
+
+    /// All review records of `reviewer`, year ascending.
+    fn reviews_for(&self, reviewer: &Scholar) -> Vec<ReviewRecord> {
+        let cfg = &self.cfg;
+        let mut rng =
+            StdRng::seed_from_u64(derive_seed(cfg.seed, tag::REVIEWS, reviewer.id.0 as u64));
+        if rng.gen::<f64>() >= cfg.reviewer_fraction {
+            return Vec::new();
+        }
+        let mut reviews = Vec::new();
+        for year in reviewer.active_since..=cfg.end_year {
+            for _ in 0..poisson(&mut rng, cfg.reviews_per_reviewer_year) {
+                // Review for a venue in the scholar's area when possible.
+                let venue = reviewer
+                    .interests
+                    .iter()
+                    .filter_map(|t| self.venues_by_topic.get(t))
+                    .filter(|v| !v.is_empty())
+                    .map(|v| v[rng.gen_range(0..v.len())])
+                    .next()
+                    .unwrap_or_else(|| VenueId(rng.gen_range(0..self.venues.len()) as u32));
+                let turnaround_days = 7 + (rng.gen::<f64>() * 60.0) as u32;
+                // Quality is a per-scholar trait with per-review noise.
+                let base = 2.0 + 3.0 * (reviewer.id.0 as f64 * 0.618).fract();
+                let quality = (base + rng.gen_range(-1.0..1.0)).round().clamp(1.0, 5.0) as u8;
+                reviews.push(ReviewRecord {
+                    reviewer: reviewer.id,
+                    venue,
+                    year,
+                    turnaround_days,
+                    quality,
+                });
+            }
+        }
+        reviews
+    }
+}
+
+/// One generated community block plus the topic index coauthor draws use.
+#[derive(Debug)]
+struct BlockBuf {
+    index: usize,
+    start: usize,
+    scholars: Vec<Scholar>,
+    by_topic: HashMap<TopicId, Vec<ScholarId>>,
+}
+
+/// Iterator over [`WorldChunk`]s; see [`StreamingGenerator::chunks`].
+#[derive(Debug)]
+pub struct ChunkIter<'a> {
+    gen: &'a StreamingGenerator,
+    chunk_size: usize,
+    next_scholar: usize,
+    next_paper: u32,
+    next_chunk: usize,
+    block: Option<BlockBuf>,
+}
+
+impl Iterator for ChunkIter<'_> {
+    type Item = WorldChunk;
+
+    fn next(&mut self) -> Option<WorldChunk> {
+        let n = self.gen.cfg.scholars;
+        if self.next_scholar >= n {
+            return None;
+        }
+        let start = self.next_scholar;
+        let end = (start + self.chunk_size).min(n);
+        let mut scholars = Vec::with_capacity(end - start);
+        let mut papers = Vec::new();
+        let mut reviews = Vec::new();
+        for i in start..end {
+            let b = i / COMMUNITY_BLOCK;
+            if self.block.as_ref().map(|blk| blk.index) != Some(b) {
+                self.block = Some(self.gen.block_at(b));
+            }
+            let block = self.block.as_ref().expect("block just ensured");
+            let s = &block.scholars[i - block.start];
+            let ps = self.gen.papers_for(s, block, self.next_paper);
+            self.next_paper += ps.len() as u32;
+            papers.extend(ps);
+            reviews.extend(self.gen.reviews_for(s));
+            scholars.push(s.clone());
+        }
+        self.next_scholar = end;
+        let index = self.next_chunk;
+        self.next_chunk += 1;
+        Some(WorldChunk {
+            index,
+            start,
+            scholars,
+            papers,
+            reviews,
+        })
+    }
+}
+
+fn gen_venues(cfg: &WorldConfig, topic_pool: &[TopicId]) -> Vec<Venue> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, tag::VENUES, 0));
+    let mut venues = Vec::with_capacity(cfg.journals + cfg.conferences);
+    for i in 0..cfg.journals + cfg.conferences {
+        let kind = if i < cfg.journals {
+            VenueKind::Journal
+        } else {
+            VenueKind::Conference
+        };
+        let n_topics = rng.gen_range(2..=4).min(topic_pool.len());
+        let mut topics = Vec::with_capacity(n_topics);
+        while topics.len() < n_topics {
+            let t = topic_pool[rng.gen_range(0..topic_pool.len())];
+            if !topics.contains(&t) {
+                topics.push(t);
+            }
+        }
+        let name = match kind {
+            VenueKind::Journal => format!("Journal of Synthetic Computing {}", i + 1),
+            VenueKind::Conference => {
+                format!(
+                    "International Conference on Synthetic Systems {}",
+                    i + 1 - cfg.journals
+                )
+            }
+        };
+        venues.push(Venue {
+            id: VenueId(i as u32),
+            name,
+            kind,
+            topics,
+        });
+    }
+    venues
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(scholars: usize) -> StreamingGenerator {
+        StreamingGenerator::new(WorldConfig {
+            scholars,
+            institutions: 10,
+            journals: 5,
+            conferences: 5,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn derive_seed_separates_streams_and_indexes() {
+        let a = derive_seed(7, tag::NAME, 0);
+        let b = derive_seed(7, tag::NAME, 1);
+        let c = derive_seed(7, tag::CAREER, 0);
+        let d = derive_seed(8, tag::NAME, 0);
+        assert!(a != b && a != c && a != d && b != c);
+        assert_eq!(a, derive_seed(7, tag::NAME, 0));
+    }
+
+    #[test]
+    fn chunks_concatenate_to_the_monolithic_world() {
+        for chunk_size in [1, 7, 50, 120, 1000] {
+            let g = gen(120);
+            let mut scholars = Vec::new();
+            let mut papers = Vec::new();
+            let mut reviews = Vec::new();
+            for c in g.chunks(chunk_size) {
+                assert_eq!(c.start, scholars.len());
+                scholars.extend(c.scholars);
+                papers.extend(c.papers);
+                reviews.extend(c.reviews);
+            }
+            let w = gen(120).generate_world();
+            assert_eq!(scholars, w.scholars(), "chunk_size {chunk_size}");
+            assert_eq!(papers, w.papers(), "chunk_size {chunk_size}");
+            assert_eq!(reviews, w.reviews(), "chunk_size {chunk_size}");
+        }
+    }
+
+    #[test]
+    fn paper_ids_are_contiguous_and_scholar_major() {
+        let g = gen(200);
+        let mut next = 0u32;
+        let mut last_lead = None;
+        for c in g.chunks(64) {
+            for p in &c.papers {
+                assert_eq!(p.id.0, next);
+                next += 1;
+                // Scholar-major: lead ids never decrease.
+                let lead = p.authors[0];
+                if let Some(prev) = last_lead {
+                    assert!(lead >= prev);
+                }
+                last_lead = Some(lead);
+            }
+        }
+    }
+
+    #[test]
+    fn coauthors_stay_in_the_leads_community_block() {
+        let g = StreamingGenerator::new(WorldConfig::sized(COMMUNITY_BLOCK + 200));
+        for c in g.chunks(500) {
+            for p in &c.papers {
+                let lead_block = p.authors[0].index() / COMMUNITY_BLOCK;
+                for a in &p.authors {
+                    assert_eq!(
+                        a.index() / COMMUNITY_BLOCK,
+                        lead_block,
+                        "coauthor crossed a community block"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_collision_rate_collapses_names_to_scholar_zero() {
+        let g = StreamingGenerator::new(WorldConfig {
+            scholars: 40,
+            name_collision_rate: 1.0,
+            ..Default::default()
+        });
+        let first = g.name_of(0);
+        for i in 1..40 {
+            assert_eq!(g.name_of(i), first);
+        }
+    }
+
+    #[test]
+    fn zero_collision_rate_keeps_names_mostly_unique() {
+        let g = StreamingGenerator::new(WorldConfig {
+            scholars: 200,
+            name_collision_rate: 0.0,
+            ..Default::default()
+        });
+        let names: std::collections::HashSet<_> = (0..200).map(|i| g.name_of(i)).collect();
+        assert!(names.len() > 100, "expected mostly unique names");
+    }
+
+    #[test]
+    fn chunk_iteration_is_restartable_and_deterministic() {
+        let g = gen(90);
+        let a: Vec<WorldChunk> = g.chunks(40).collect();
+        let b: Vec<WorldChunk> = g.chunks(40).collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a[2].scholars.len(), 10);
+    }
+}

@@ -17,6 +17,14 @@
 //! keeps the check stable across machines. Minimum-of-N timing discards
 //! scheduler noise.
 //!
+//! The world-size sweep (E7 proper) stream-generates worlds of 10^3,
+//! 10^4, and 10^5 scholars straight into an embedded store and gates
+//! two same-run claims: the lazy cold start must beat regenerating the
+//! largest world, and the uncached recommend p50 must stay flat (within
+//! [`SWEEP_FLATNESS_HEADROOM`]) from the smallest to the largest size.
+//! Set `MINARET_WORLD_SWEEP=1` to extend the sweep to 10^6 scholars
+//! (minutes of wall time; reported, not gated).
+//!
 //! Built with `--features count-allocs`, the smoke additionally counts
 //! **heap allocations per warm recommendation** through a counting
 //! global allocator and fails when they regress more than
@@ -40,6 +48,7 @@ use minaret::eval::harness::{EvalContext, ScenarioConfig};
 use minaret::http::{KeepAliveConfig, Server, ServerConfig};
 use minaret::json::{parse, Value};
 use minaret::prelude::*;
+use minaret::synth::LazyWorld;
 use minaret_server::{build_router, AppState, ResultCache};
 use minaret_telemetry::Telemetry;
 
@@ -97,6 +106,32 @@ const STORE_OPS: usize = 2_000;
 /// microsecond ops carry proportionally more scheduler and filesystem
 /// noise; a small additive slack absorbs tiny-baseline rounding.
 const STORE_REGRESSION_HEADROOM: f64 = 2.0;
+
+/// World sizes in the E7 scalability sweep (generation throughput, lazy
+/// cold start, uncached recommend latency). The `MINARET_WORLD_SWEEP`
+/// environment variable extends the sweep to [`SWEEP_FULL_SIZE`].
+const SWEEP_SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// The opt-in million-scholar sweep point (minutes of wall time, so it
+/// never runs by default).
+const SWEEP_FULL_SIZE: usize = 1_000_000;
+
+/// Distinct manuscripts behind the uncached recommend p50. Every title
+/// is unique, so no result cache could serve any of them.
+const SWEEP_MANUSCRIPTS: usize = 11;
+
+/// Page cap ([`SourceSpec::max_hits`]) used by the sweep sources: small
+/// enough that even the 10^3-scholar world saturates a page for common
+/// topics, so the latency comparison isolates world-size effects from
+/// result-count effects — the cap is exactly the mechanism that keeps
+/// per-request work independent of world size.
+const SWEEP_MAX_HITS: usize = 8;
+
+/// Flat-latency gate: the uncached recommend p50 at the largest default
+/// sweep size must stay within this factor of the p50 at the smallest.
+/// Both ends are measured moments apart in this process, so the budget
+/// only has to absorb scheduler noise, not cross-machine variance.
+const SWEEP_FLATNESS_HEADROOM: f64 = 1.5;
 
 /// Injected cost of a cache-miss build in the contention bench, in
 /// microseconds. Sized like a cheap I/O round trip so the measurement
@@ -450,6 +485,161 @@ fn measure_store() -> StoreMeasured {
     }
 }
 
+struct SweepPoint {
+    scholars: usize,
+    stream: Duration,
+    peak_chunk_bytes: usize,
+    cold_start: Duration,
+    regen: Duration,
+    p50: Duration,
+}
+
+/// Default sweep sizes, extended to [`SWEEP_FULL_SIZE`] when the
+/// `MINARET_WORLD_SWEEP` environment variable is set (non-empty, not
+/// `0`).
+fn sweep_sizes() -> Vec<usize> {
+    let mut sizes = SWEEP_SIZES.to_vec();
+    let opt_in = std::env::var("MINARET_WORLD_SWEEP")
+        .map(|v| !v.is_empty() && v != "0")
+        .unwrap_or(false);
+    if opt_in {
+        sizes.push(SWEEP_FULL_SIZE);
+    }
+    sizes
+}
+
+/// A manuscript whose lead author sits `i` strides into the world, with
+/// keywords drawn from that scholar's interests. Built entirely from
+/// resident summary data — no profile materialization.
+fn sweep_manuscript(lazy: &LazyWorld, i: usize) -> ManuscriptDetails {
+    let n = lazy.scholar_count();
+    let stride = (n / SWEEP_MANUSCRIPTS).max(1);
+    let mut idx = (i * stride) % n;
+    // Skip the rare interest-free scholar so validation always passes.
+    while lazy.summary(idx).2.is_empty() {
+        idx = (idx + 1) % n;
+    }
+    let (given, family, interests) = lazy.summary(idx);
+    let keywords = interests
+        .iter()
+        .take(3)
+        .map(|&t| lazy.ontology().label(t).to_string())
+        .collect();
+    ManuscriptDetails {
+        title: format!("world sweep manuscript {i}"),
+        keywords,
+        authors: vec![AuthorInput::named(format!("{given} {family}"))],
+        target_venue: lazy.venues()[0].name.clone(),
+    }
+}
+
+/// One point of the E7 world-size sweep: stream-generate a world of
+/// `scholars` straight into an embedded store (write-through chunks, so
+/// peak generator memory stays one community block regardless of world
+/// size), then measure the lazy cold start against full regeneration
+/// and the uncached recommend p50 over lazy sources carrying the same
+/// injected scraping latency as the retrieval smoke.
+fn measure_world_point(scholars: usize) -> SweepPoint {
+    use minaret::store::{Store, StoreConfig};
+    use minaret::synth::{stream_snapshot_world, StreamingGenerator};
+
+    let dir = std::env::temp_dir().join(format!(
+        "minaret-perf-sweep-{scholars}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = WorldConfig {
+        seed: 0xE7,
+        ..WorldConfig::sized(scholars)
+    };
+
+    // Streaming generation with write-through snapshotting.
+    let store = Store::open(&dir, StoreConfig::default()).expect("store opens");
+    let t = Instant::now();
+    let totals = stream_snapshot_world(&store, &StreamingGenerator::new(cfg.clone()), |_| {})
+        .expect("streamed snapshot");
+    let stream = t.elapsed();
+    drop(store);
+
+    // Lazy cold start: reopen the store, decode the resident summaries,
+    // and build all six source indexes — everything a server must do
+    // before its first request. No profile is materialized.
+    let t = Instant::now();
+    let store = Arc::new(Store::open(&dir, StoreConfig::default()).expect("store reopens"));
+    let lazy = LazyWorld::open(store)
+        .expect("lazy world opens")
+        .expect("streamed snapshot present");
+    let mut registry = SourceRegistry::new(RegistryConfig::default());
+    for mut spec in SourceSpec::all_defaults() {
+        spec.latency_micros = LATENCY_MICROS;
+        spec.max_hits = SWEEP_MAX_HITS;
+        registry.register(Arc::new(SimulatedSource::lazy(spec, lazy.clone())));
+    }
+    let registry = Arc::new(registry);
+    let cold_start = t.elapsed();
+
+    // The bar the lazy cold start must clear: regenerating the same
+    // world and building the same six sources eagerly.
+    let t = Instant::now();
+    let world = Arc::new(WorldGenerator::new(cfg).generate());
+    let mut eager = SourceRegistry::new(RegistryConfig::default());
+    for spec in SourceSpec::all_defaults() {
+        eager.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+    }
+    let regen = t.elapsed();
+    drop(eager);
+    drop(world);
+
+    // Uncached recommend p50: the full pipeline behind POST /recommend,
+    // measured in-process (HTTP framing is world-size-independent and
+    // gated separately by the serving smoke). Every title is distinct,
+    // so a result cache could never answer — each run pays author
+    // resolution, keyword expansion, interest fan-out, and per-profile
+    // source round trips. A first pass over the same manuscripts warms
+    // the internal profile caches, the steady state of a serving
+    // process (the serving smoke measures its uncached latency over a
+    // warm server the same way); the cold one-off cost of the first
+    // request is the cold_start metric's department, not p50's.
+    let ontology = Arc::new(minaret::ontology::seed::curated_cs_ontology());
+    let pipeline = Minaret::new(registry, ontology, EditorConfig::default());
+    for i in 0..SWEEP_MANUSCRIPTS {
+        let mut manuscript = sweep_manuscript(&lazy, i);
+        manuscript.title = format!("world sweep warmup {i}");
+        let _ = pipeline
+            .recommend(&manuscript)
+            .expect("sweep warmup recommendation succeeds");
+    }
+    // Per-manuscript minimum over two measured passes discards
+    // scheduler noise, the same policy as the retrieval smoke's
+    // minimum-of-N timing.
+    let mut samples: Vec<Duration> = (0..SWEEP_MANUSCRIPTS)
+        .map(|i| {
+            let manuscript = sweep_manuscript(&lazy, i);
+            min_of(2, || {
+                let t = Instant::now();
+                let _ = pipeline
+                    .recommend(&manuscript)
+                    .expect("sweep recommendation succeeds");
+                t.elapsed()
+            })
+        })
+        .collect();
+    samples.sort();
+    let p50 = samples[SWEEP_MANUSCRIPTS / 2];
+
+    drop(pipeline);
+    drop(lazy);
+    let _ = std::fs::remove_dir_all(&dir);
+    SweepPoint {
+        scholars,
+        stream,
+        peak_chunk_bytes: totals.peak_chunk_bytes,
+        cold_start,
+        regen,
+        p50,
+    }
+}
+
 struct ContentionMeasured {
     threads: Vec<usize>,
     baseline_ops: Vec<f64>,
@@ -630,6 +820,61 @@ fn main() {
         std::process::exit(1);
     }
 
+    let sweep: Vec<SweepPoint> = sweep_sizes().into_iter().map(measure_world_point).collect();
+    for p in &sweep {
+        println!(
+            "world sweep: n={}  stream={:.0} ms ({:.0} scholars/s)  peak_chunk={} KiB  \
+             cold_start={:.0} ms  regen={:.0} ms  recommend_p50={:.1} ms",
+            p.scholars,
+            p.stream.as_secs_f64() * 1e3,
+            p.scholars as f64 / p.stream.as_secs_f64().max(1e-9),
+            p.peak_chunk_bytes / 1024,
+            p.cold_start.as_secs_f64() * 1e3,
+            p.regen.as_secs_f64() * 1e3,
+            p.p50.as_secs_f64() * 1e3,
+        );
+    }
+    // Flat-latency gate: the page cap must keep the uncached recommend
+    // p50 from growing with world size.
+    let small = sweep.first().expect("sweep is non-empty");
+    let large = sweep
+        .iter()
+        .find(|p| p.scholars == *SWEEP_SIZES.last().expect("sweep sizes are non-empty"))
+        .expect("largest default sweep point measured");
+    let flatness = large.p50.as_secs_f64() / small.p50.as_secs_f64().max(1e-9);
+    if flatness > SWEEP_FLATNESS_HEADROOM {
+        eprintln!(
+            "FAIL: uncached recommend p50 at {} scholars ({:.1} ms) is {flatness:.2}x the p50 at \
+             {} scholars ({:.1} ms); budget {SWEEP_FLATNESS_HEADROOM}x",
+            large.scholars,
+            large.p50.as_secs_f64() * 1e3,
+            small.scholars,
+            small.p50.as_secs_f64() * 1e3,
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: uncached recommend p50 stays flat from {} to {} scholars ({flatness:.2}x <= \
+         {SWEEP_FLATNESS_HEADROOM}x)",
+        small.scholars, large.scholars
+    );
+    // Cold-start gate: serving a streamed snapshot lazily must beat
+    // regenerating the world at the largest default size.
+    if large.cold_start >= large.regen {
+        eprintln!(
+            "FAIL: lazy cold start at {} scholars ({:?}) is not faster than regenerating the \
+             world ({:?})",
+            large.scholars, large.cold_start, large.regen
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: lazy cold start beats regeneration at {} scholars ({:.0} ms < {:.0} ms)",
+        large.scholars,
+        large.cold_start.as_secs_f64() * 1e3,
+        large.regen.as_secs_f64() * 1e3,
+    );
+
     let contention = measure_contention();
     for (i, &t) in contention.threads.iter().enumerate() {
         println!(
@@ -690,6 +935,32 @@ fn main() {
                     &format!("contention_sharded_{t}t_ops"),
                     contention.sharded_ops[i],
                 );
+        }
+        json = json
+            .set("sweep_manuscripts", SWEEP_MANUSCRIPTS)
+            .set("sweep_max_hits", SWEEP_MAX_HITS)
+            .set("sweep_recommend_flatness", flatness);
+        for p in &sweep {
+            let n = p.scholars;
+            json = json
+                .set(
+                    &format!("world_{n}_stream_millis"),
+                    p.stream.as_millis() as u64,
+                )
+                .set(
+                    &format!("world_{n}_gen_rate"),
+                    n as f64 / p.stream.as_secs_f64().max(1e-9),
+                )
+                .set(&format!("world_{n}_peak_chunk_bytes"), p.peak_chunk_bytes)
+                .set(
+                    &format!("world_{n}_cold_start_millis"),
+                    p.cold_start.as_millis() as u64,
+                )
+                .set(
+                    &format!("world_{n}_regen_millis"),
+                    p.regen.as_millis() as u64,
+                )
+                .set(&format!("world_{n}_recommend_p50_micros"), micros(p.p50));
         }
         #[cfg(feature = "count-allocs")]
         {

@@ -263,7 +263,7 @@ fn parallel_report_is_byte_identical_under_scripted_faults() {
 }
 
 /// FNV-1a over fingerprint lines, folding a newline byte after each —
-/// the exact hash the pre-refactor goldens below were captured with.
+/// the exact hash the goldens below were captured with.
 fn fnv64(lines: &[String]) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for line in lines {
@@ -277,35 +277,51 @@ fn fnv64(lines: &[String]) -> u64 {
     h
 }
 
-/// Golden snapshots captured from the pre-zero-copy pipeline (String
-/// profiles, no interning, no Arc sharing), sequential registry with
-/// parallelism 1 over `world(300)`. The zero-copy refactor promises
-/// **byte-identical recommendations**; these hashes hold it to that.
+/// True when the goldens are being re-captured rather than checked.
+/// Run `MINARET_REBASELINE=1 cargo test --test batched_equivalence -- --nocapture golden`
+/// and paste the printed hashes over the constants below. Only do this
+/// for a *deliberate* behavior change (e.g. the world generator or the
+/// ranking pipeline changed on purpose) — never to paper over a diff
+/// you can't explain.
+fn rebaseline() -> bool {
+    std::env::var("MINARET_REBASELINE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Golden snapshots of the sequential parallelism-1 pipeline over
+/// `world(300)`, pinning recommendations **byte-identical across
+/// refactors** (zero-copy profiles, interning, lazy materialization —
+/// none may shift a score or a rank). Last re-captured when world
+/// generation moved to per-entity seed derivation (chunk-invariant
+/// streaming), which changed the content every seed produces.
 #[test]
 fn zero_copy_pipeline_matches_pre_refactor_golden_snapshots() {
     let world = world(300);
     let golden = [
-        (1u64, 0xe3d5a1bc368a4108u64),
-        (7, 0x220856e6d64b40f3),
-        (23, 0x150c9c0dd4eacd9d),
-        (42, 0xc46e6c0af08561ad),
+        (1u64, 0x5a38097eed2f051eu64),
+        (7, 0x3a16ec6e4cd44adf),
+        (23, 0x6b2669f56a4295b3),
+        (42, 0x3d6f173c6e097f4c),
     ];
     for (seed, want) in golden {
         let m = manuscript(&world, seed);
         let report = build(&world, false, 1, &[])
             .recommend(&m)
             .expect("sequential run succeeds");
+        let got = fnv64(&fingerprint(&report));
+        if rebaseline() {
+            eprintln!("golden seed {seed}: {got:#018x}");
+            continue;
+        }
         assert_eq!(
-            fnv64(&fingerprint(&report)),
-            want,
-            "seed {seed}: recommendations diverged from the pre-refactor golden snapshot"
+            got, want,
+            "seed {seed}: recommendations diverged from the golden snapshot"
         );
     }
 }
 
 /// Same golden-snapshot guarantee under scripted fault schedules: the
-/// degraded-mode output (outcomes, errors, surviving rankings) must also
-/// be byte-identical to the pre-refactor pipeline's.
+/// degraded-mode output (outcomes, errors, surviving rankings) is
+/// pinned byte-identical across refactors too.
 #[test]
 fn zero_copy_pipeline_matches_golden_snapshots_under_faults() {
     let world = world(300);
@@ -315,11 +331,11 @@ fn zero_copy_pipeline_matches_golden_snapshots_under_faults() {
                 SourceKind::GoogleScholar,
                 FaultSchedule::FailThenRecover { failures: 2 },
             )],
-            0x944f215c447b007b,
+            0x92bba5c6e7c17da1,
         ),
         (
             vec![(SourceKind::Publons, FaultSchedule::PermanentOutage)],
-            0x6b253fc5b268252b,
+            0x3aeb0c737d208620,
         ),
         (
             vec![
@@ -333,7 +349,7 @@ fn zero_copy_pipeline_matches_golden_snapshots_under_faults() {
                     FaultSchedule::FailThenRecover { failures: 2 },
                 ),
             ],
-            0x6b253fc5b268252b,
+            0x3aeb0c737d208620,
         ),
     ];
     for (i, (faults, want)) in scenarios.iter().enumerate() {
@@ -341,10 +357,14 @@ fn zero_copy_pipeline_matches_golden_snapshots_under_faults() {
         let report = build(&world, false, 1, faults)
             .recommend(&m)
             .expect("sequential run succeeds");
+        let got = fnv64(&fingerprint(&report));
+        if rebaseline() {
+            eprintln!("golden fault scenario {i}: {got:#018x}");
+            continue;
+        }
         assert_eq!(
-            fnv64(&fingerprint(&report)),
-            *want,
-            "fault scenario {i} diverged from the pre-refactor golden snapshot"
+            got, *want,
+            "fault scenario {i} diverged from the golden snapshot"
         );
     }
 }
