@@ -49,8 +49,11 @@ cargo test -q -p minaret-store
 echo "==> store persistence goldens (RAM vs --data-dir byte-identical): cargo test --test store_persistence"
 cargo test -q --test store_persistence
 
-echo "==> HTTP parser property tests: cargo test --test http_parser_proptest"
+echo "==> HTTP parser property tests (incl. incremental split-feed): cargo test --test http_parser_proptest"
 cargo test -q --test http_parser_proptest
+
+echo "==> reactor fault isolation (peer resets): cargo test --test reactor_resilience"
+cargo test -q --test reactor_resilience
 
 echo "==> shutdown/drain soak: cargo test --test shutdown_drain"
 cargo test -q --test shutdown_drain
@@ -71,7 +74,14 @@ rm -rf "$SYNTH_DIR"
 # two same-run gates: uncached recommend p50 flat across world sizes,
 # and the lazy cold start beating regeneration at 10^5. Set
 # MINARET_WORLD_SWEEP=1 to extend the sweep to 10^6 scholars.
-echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery + lock contention + world-size sweep vs BENCH_e7_scalability.json"
+# It also runs the connection-scaling sweep (100 and 1000 idle
+# keep-alive connections against the epoll reactor) with two same-run
+# gates: serving threads fixed at io_threads + workers (+1 slack)
+# regardless of connection count, and the uncached recommend p50 flat
+# (<= 1.5x the 100-connection point) as idle sockets pile up. Set
+# MINARET_CONN_SWEEP=1 to extend that sweep to 10k connections
+# (clamped to the fd budget).
+echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery + lock contention + world-size and conn-scaling sweeps vs BENCH_e7_scalability.json"
 cargo run -q --release --example perf_smoke
 
 echo "==> alloc smoke: warm-path allocations vs BENCH_e7_scalability.json (count-allocs)"

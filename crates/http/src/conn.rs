@@ -1,0 +1,129 @@
+//! Per-connection state for the reactor.
+//!
+//! Every socket the reactor owns is a [`Conn`] stepping through a small
+//! state machine:
+//!
+//! ```text
+//!          ┌───────────── keep-alive ─────────────┐
+//!          v                                      │
+//! accept → Idle → Reading → Dispatched → Writing ─┤
+//!          │        │            │                └→ close
+//!          │        └ 4xx/408 ───┴──→ Writing(Close)
+//!          └→ (shed 503/429) Writing(Linger) → Draining → close
+//! ```
+//!
+//! - **Idle**: waiting for the first byte of the next request, under the
+//!   keep-alive idle timer.
+//! - **Reading**: a partial request is buffered; the per-request budget
+//!   timer is armed and resumable parsing ([`RequestBuffer`]) picks up
+//!   wherever the last readable event left off.
+//! - **Dispatched**: exactly one request is with the worker pool; read
+//!   interest is dropped so pipelined bytes wait in the kernel buffer
+//!   instead of spinning the event loop.
+//! - **Writing**: flushing the serialized response; what happens on
+//!   completion is pre-decided by [`AfterWrite`].
+//! - **Draining**: lingering close for shed connections — the refusal
+//!   was written and the peer's unread bytes are discarded until EOF so
+//!   the close is a FIN, not an RST that could destroy the 503/429.
+//!
+//! The reactor itself drives the transitions; this module only holds
+//! the state so each piece stays independently readable.
+
+use std::net::{IpAddr, TcpStream};
+use std::time::Instant;
+
+use minaret_sys::Interest;
+
+use crate::request::RequestBuffer;
+
+/// What to do once the write buffer fully flushes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AfterWrite {
+    /// Reset for the next request on this connection.
+    KeepAlive,
+    /// Close immediately (response carried `Connection: close`).
+    Close,
+    /// Half-close and drain to EOF (shed responses on never-read input).
+    Linger,
+}
+
+/// Connection lifecycle states (see module docs for the diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConnState {
+    /// Between requests, idle timer armed.
+    Idle,
+    /// Partial request buffered, request timer armed.
+    Reading,
+    /// One request in the worker pool; awaiting its response.
+    Dispatched,
+    /// Flushing a response.
+    Writing(AfterWrite),
+    /// Read-and-discard until EOF (lingering close).
+    Draining,
+}
+
+/// One connection owned by a reactor.
+pub(crate) struct Conn {
+    /// The non-blocking socket.
+    pub stream: TcpStream,
+    /// Peer IP, for per-client burst accounting.
+    pub ip: Option<IpAddr>,
+    /// Whether this connection holds a per-IP burst slot to release.
+    pub counted_ip: bool,
+    /// Whether this connection was admitted (vs a shed refusal); only
+    /// admitted connections count in the open-connections gauge.
+    pub admitted: bool,
+    pub state: ConnState,
+    /// Resumable receive buffer.
+    pub inbuf: RequestBuffer,
+    /// Serialized response bytes being flushed.
+    pub outbuf: Vec<u8>,
+    /// Prefix of `outbuf` already written.
+    pub written: usize,
+    /// Requests served (dispatched) on this connection.
+    pub served: u64,
+    /// Latest armed timer generation; stale wheel entries are ignored.
+    pub timer_gen: u64,
+    /// Interest currently registered with epoll.
+    pub interest: Interest,
+    /// Absolute budget deadline of the in-flight request.
+    pub deadline: Option<Instant>,
+}
+
+impl Conn {
+    pub fn new(stream: TcpStream, ip: Option<IpAddr>, counted_ip: bool, admitted: bool) -> Conn {
+        Conn {
+            stream,
+            ip,
+            counted_ip,
+            admitted,
+            state: ConnState::Idle,
+            inbuf: RequestBuffer::new(),
+            outbuf: Vec::new(),
+            written: 0,
+            served: 0,
+            timer_gen: 0,
+            interest: Interest::READ,
+            deadline: None,
+        }
+    }
+
+    /// The epoll interest this connection's state wants. `Dispatched`
+    /// subscribes to nothing: there is nothing to write yet, and reading
+    /// ahead would just busy-loop on level-triggered pipelined bytes
+    /// (`EPOLLERR`/`EPOLLHUP` are always delivered regardless).
+    pub fn desired_interest(&self) -> Interest {
+        match self.state {
+            ConnState::Idle | ConnState::Reading | ConnState::Draining => Interest::READ,
+            ConnState::Dispatched => Interest::NONE,
+            ConnState::Writing(_) => Interest::WRITE,
+        }
+    }
+
+    /// Arms a new timer generation, invalidating all previously armed
+    /// timers for this connection.
+    pub fn next_timer_gen(&mut self) -> u64 {
+        self.timer_gen += 1;
+        self.timer_gen
+    }
+}

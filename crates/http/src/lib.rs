@@ -1,36 +1,49 @@
-//! An admission-controlled HTTP/1.1 server substrate, built on `std::net`.
+//! An admission-controlled HTTP/1.1 server substrate, built on `std::net`
+//! and a raw-epoll reactor (`minaret-sys`).
 //!
 //! The MINARET prototype ships a web application and RESTful APIs. This
 //! crate provides just enough HTTP for `minaret-server` to expose the
-//! same workflow under load: request parsing with size limits, a pattern
-//! router (`/authors/:id`), JSON helpers (via `minaret-json`), and a
-//! threaded accept loop with explicit overload policy —
+//! same workflow under load: request parsing with size limits (both a
+//! blocking reader and a resumable [`RequestBuffer`]), a pattern router
+//! (`/authors/:id`), JSON helpers (via `minaret-json`), and an
+//! **event-driven serving front end** with explicit overload policy —
 //!
-//! - a **bounded admission queue** ([`queue::BoundedQueue`]): when full,
-//!   connections are shed with `503` + `Retry-After` instead of queueing
-//!   unboundedly; per-client bursts can be capped with `429`;
+//! - a fixed thread count: `io_threads` epoll reactors multiplex every
+//!   socket and `workers` threads run handlers, so ten thousand idle
+//!   keep-alive connections cost table entries, not stacks;
+//! - a **bounded dispatch queue** ([`queue::BoundedQueue`]): when the
+//!   backlog is full, new connections are shed with `503` +
+//!   `Retry-After` instead of queueing unboundedly; per-client bursts
+//!   can be capped with `429`;
 //! - **HTTP/1.1 keep-alive** with max-requests and idle-timeout caps
-//!   ([`KeepAliveConfig`]);
-//! - **per-request deadlines**: socket read/write timeouts plus an
-//!   absolute [`Request::deadline`] handlers can pass down into
-//!   deadline-aware backends;
+//!   ([`KeepAliveConfig`]), including pipelined requests;
+//! - **per-request deadlines** enforced by a timer wheel (`408` on
+//!   stalled reads, teardown on stalled writes) plus an absolute
+//!   [`Request::deadline`] handlers can pass down into deadline-aware
+//!   backends;
 //! - **graceful drain** on [`Server::shutdown`]: stop accepting, serve
 //!   everything already admitted, join every thread;
-//! - queue depth / shed / time-in-queue metrics via `minaret-telemetry`.
+//! - queue depth / shed / open-connections / reactor metrics via
+//!   `minaret-telemetry`.
 //!
 //! Deliberately out of scope: TLS and chunked encoding — the API needs
 //! neither.
 
 #![deny(missing_docs)]
+// The only unsafe in the serving stack lives in `minaret-sys` (the
+// audited epoll FFI wrapper); this crate stays safe Rust.
 #![forbid(unsafe_code)]
 
+mod conn;
 pub mod queue;
+mod reactor;
 mod request;
 mod response;
 mod router;
 mod server;
+mod timer;
 
-pub use request::{percent_decode, HttpError, Method, Request};
+pub use request::{percent_decode, HttpError, Method, Request, RequestBuffer};
 pub use response::Response;
 pub use router::{Params, Router};
 pub use server::{KeepAliveConfig, Server, ServerConfig};

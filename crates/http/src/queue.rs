@@ -102,6 +102,26 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Enqueues without blocking and without the capacity check; only a
+    /// closed queue refuses. The reactor uses this for requests from
+    /// **already admitted** connections: admission control happens once,
+    /// at accept time (`len() >= capacity` sheds the connection), and an
+    /// admitted client must never have an in-flight request dropped just
+    /// because other connections got busy. Depth stays bounded by the
+    /// number of open connections, each of which carries at most one
+    /// in-flight request.
+    pub fn push_unbounded(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut inner = self.inner.lock().expect("queue lock poisoned");
+        if inner.closed {
+            return Err(PushError::Closed(item));
+        }
+        inner.items.push_back(item);
+        let depth = inner.items.len();
+        drop(inner);
+        self.not_empty.notify_one();
+        Ok(depth)
+    }
+
     /// Closes the queue: future pushes fail with [`PushError::Closed`],
     /// and every consumer wakes once the remaining items drain.
     pub fn close(&self) {
@@ -161,6 +181,20 @@ mod tests {
         let h = std::thread::spawn(move || q2.pop());
         q.close();
         assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn push_unbounded_ignores_capacity_but_not_close() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.try_push(1).unwrap(), 1);
+        assert!(matches!(q.try_push(2), Err(PushError::Full(2))));
+        assert_eq!(q.push_unbounded(2).unwrap(), 2);
+        assert_eq!(q.len(), 2);
+        q.close();
+        assert!(matches!(q.push_unbounded(3), Err(PushError::Closed(3))));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

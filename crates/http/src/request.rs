@@ -167,29 +167,7 @@ impl Request {
         if header_bytes > MAX_HEADER_BYTES {
             return Err(HttpError::TooLarge);
         }
-        let request_line = line.trim_end();
-        let mut parts = request_line.split(' ');
-        let method_str = parts
-            .next()
-            .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?;
-        let target = parts
-            .next()
-            .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
-        let version = parts
-            .next()
-            .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
-        if parts.next().is_some() {
-            return Err(HttpError::BadRequest(
-                "trailing data after HTTP version".into(),
-            ));
-        }
-        let minor_version = version
-            .strip_prefix("HTTP/1.")
-            .and_then(|m| m.parse::<u8>().ok())
-            .ok_or_else(|| HttpError::BadRequest(format!("unsupported version {version:?}")))?;
-        let method = Method::parse(method_str)
-            .ok_or_else(|| HttpError::UnsupportedMethod(method_str.to_string()))?;
-        let (path, query) = split_target(target)?;
+        let (method, path, query, minor_version) = parse_request_line(line.trim_end())?;
 
         let mut headers = Vec::new();
         loop {
@@ -206,27 +184,10 @@ impl Request {
             if trimmed.is_empty() {
                 break;
             }
-            let (name, value) = trimmed
-                .split_once(':')
-                .ok_or_else(|| HttpError::BadRequest(format!("malformed header {trimmed:?}")))?;
-            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+            headers.push(parse_header_line(trimmed)?);
         }
 
-        let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
-        let content_length = lengths
-            .next()
-            .map(|(_, v)| {
-                v.parse::<usize>()
-                    .map_err(|_| HttpError::BadRequest("invalid content-length".into()))
-            })
-            .transpose()?
-            .unwrap_or(0);
-        if lengths.next().is_some() {
-            return Err(HttpError::BadRequest("duplicate content-length".into()));
-        }
-        if content_length > MAX_BODY_BYTES {
-            return Err(HttpError::TooLarge);
-        }
+        let content_length = body_length(&headers)?;
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body).map_err(io_error)?;
         Ok(Some(Request {
@@ -239,6 +200,195 @@ impl Request {
             deadline: None,
         }))
     }
+
+    /// Incrementally parses one request from the front of `buf` without
+    /// consuming input. This is the reactor's resumable entry point:
+    ///
+    /// - `Ok(Some((request, consumed)))` — a complete request occupied
+    ///   `buf[..consumed]`; the caller drains those bytes and may call
+    ///   again on the remainder (pipelining).
+    /// - `Ok(None)` — `buf` holds a prefix of a request; call again once
+    ///   more bytes arrive. An empty buffer is simply `Ok(None)`; the
+    ///   caller decides what EOF means for a partial buffer.
+    /// - `Err(_)` — the prefix can never become a valid request (or
+    ///   exceeds the size limits); more input cannot fix it.
+    ///
+    /// Parse results are identical to [`Request::read_from_buffered`] on
+    /// the same bytes (property-tested in `tests/http_parser_proptest`).
+    pub fn parse(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> {
+        let mut pos = 0usize;
+        let mut header_bytes = 0usize;
+        let Some(request_line) = next_line(buf, &mut pos, &mut header_bytes)? else {
+            return Ok(None);
+        };
+        let (method, path, query, minor_version) = parse_request_line(request_line)?;
+
+        let mut headers = Vec::new();
+        loop {
+            let Some(line) = next_line(buf, &mut pos, &mut header_bytes)? else {
+                return Ok(None);
+            };
+            if line.is_empty() {
+                break;
+            }
+            headers.push(parse_header_line(line)?);
+        }
+
+        let content_length = body_length(&headers)?;
+        if buf.len() - pos < content_length {
+            return Ok(None);
+        }
+        let body = buf[pos..pos + content_length].to_vec();
+        Ok(Some((
+            Request {
+                method,
+                path,
+                query,
+                headers,
+                body,
+                minor_version,
+                deadline: None,
+            },
+            pos + content_length,
+        )))
+    }
+}
+
+/// Accumulates raw socket bytes and yields complete pipelined requests.
+///
+/// This is the receive half of the reactor's per-connection state
+/// machine: bytes go in whenever the socket is readable (in whatever
+/// fragments the peer and the kernel produce), and
+/// [`next_request`](RequestBuffer::next_request) pops one request at a
+/// time off the front, resuming cleanly across arbitrarily split input.
+#[derive(Debug, Default)]
+pub struct RequestBuffer {
+    buf: Vec<u8>,
+}
+
+impl RequestBuffer {
+    /// An empty buffer.
+    pub fn new() -> RequestBuffer {
+        RequestBuffer::default()
+    }
+
+    /// Appends bytes read from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no unconsumed bytes are buffered — at this point a peer
+    /// EOF is a clean end of connection rather than a truncated request.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Parses and consumes the next complete request, if one is fully
+    /// buffered. `Ok(None)` means "need more bytes"; errors are
+    /// permanent for the connection (see [`Request::parse`]).
+    pub fn next_request(&mut self) -> Result<Option<Request>, HttpError> {
+        match Request::parse(&self.buf)? {
+            Some((request, consumed)) => {
+                self.buf.drain(..consumed);
+                Ok(Some(request))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Pulls the next `\n`-terminated line out of `buf` starting at `pos`,
+/// mirroring `read_line` + `trim_end` semantics: the terminator may be
+/// bare `\n` or `\r\n`, trailing whitespace is trimmed, and the raw line
+/// length (terminator included) counts against [`MAX_HEADER_BYTES`].
+/// Returns `Ok(None)` when no complete line is buffered yet — unless the
+/// unterminated remainder already exceeds the header cap, which no
+/// future bytes can fix.
+fn next_line<'a>(
+    buf: &'a [u8],
+    pos: &mut usize,
+    header_bytes: &mut usize,
+) -> Result<Option<&'a str>, HttpError> {
+    let rest = &buf[*pos..];
+    let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+        if *header_bytes + rest.len() > MAX_HEADER_BYTES {
+            return Err(HttpError::TooLarge);
+        }
+        return Ok(None);
+    };
+    let line = &rest[..=nl];
+    let text = std::str::from_utf8(line)
+        .map_err(|_| HttpError::Io("stream did not contain valid UTF-8".into()))?;
+    *header_bytes += line.len();
+    if *header_bytes > MAX_HEADER_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    *pos += line.len();
+    Ok(Some(text.trim_end()))
+}
+
+/// Parsed request line: method, path, query pairs, HTTP minor version.
+type RequestLine = (Method, String, Vec<(String, String)>, u8);
+
+/// Parses `METHOD TARGET HTTP/1.x` (already line-trimmed).
+fn parse_request_line(request_line: &str) -> Result<RequestLine, HttpError> {
+    let mut parts = request_line.split(' ');
+    let method_str = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?;
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("missing HTTP version".into()))?;
+    if parts.next().is_some() {
+        return Err(HttpError::BadRequest(
+            "trailing data after HTTP version".into(),
+        ));
+    }
+    let minor_version = version
+        .strip_prefix("HTTP/1.")
+        .and_then(|m| m.parse::<u8>().ok())
+        .ok_or_else(|| HttpError::BadRequest(format!("unsupported version {version:?}")))?;
+    let method = Method::parse(method_str)
+        .ok_or_else(|| HttpError::UnsupportedMethod(method_str.to_string()))?;
+    let (path, query) = split_target(target)?;
+    Ok((method, path, query, minor_version))
+}
+
+/// Parses one `Name: value` header line (already line-trimmed).
+fn parse_header_line(trimmed: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = trimmed
+        .split_once(':')
+        .ok_or_else(|| HttpError::BadRequest(format!("malformed header {trimmed:?}")))?;
+    Ok((name.trim().to_ascii_lowercase(), value.trim().to_string()))
+}
+
+/// Resolves `Content-Length` from parsed headers: absent means 0,
+/// non-numeric or duplicate is a `400`, over the cap is a `413`.
+fn body_length(headers: &[(String, String)]) -> Result<usize, HttpError> {
+    let mut lengths = headers.iter().filter(|(k, _)| k == "content-length");
+    let content_length = lengths
+        .next()
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest("invalid content-length".into()))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if lengths.next().is_some() {
+        return Err(HttpError::BadRequest("duplicate content-length".into()));
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(HttpError::TooLarge);
+    }
+    Ok(content_length)
 }
 
 fn split_target(target: &str) -> Result<(String, Vec<(String, String)>), HttpError> {
@@ -422,5 +572,81 @@ mod tests {
     fn truncated_body_is_io_error() {
         let raw = b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort";
         assert!(matches!(parse(raw), Err(HttpError::Io(_))));
+    }
+
+    #[test]
+    fn incremental_parse_is_none_until_complete_then_matches_buffered() {
+        let raw = b"POST /b?k=v HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello";
+        for cut in 0..raw.len() {
+            assert!(
+                Request::parse(&raw[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes should be incomplete"
+            );
+        }
+        let (req, consumed) = Request::parse(raw).unwrap().unwrap();
+        assert_eq!(consumed, raw.len());
+        let whole = parse(raw).unwrap().unwrap();
+        assert_eq!(req.method, whole.method);
+        assert_eq!(req.path, whole.path);
+        assert_eq!(req.query, whole.query);
+        assert_eq!(req.headers, whole.headers);
+        assert_eq!(req.body, whole.body);
+        assert_eq!(req.minor_version, whole.minor_version);
+    }
+
+    #[test]
+    fn incremental_parse_reports_consumed_for_pipelined_requests() {
+        let first = b"GET /a HTTP/1.1\r\n\r\n";
+        let second = b"POST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+        let mut raw = first.to_vec();
+        raw.extend_from_slice(second);
+        let (r1, c1) = Request::parse(&raw).unwrap().unwrap();
+        assert_eq!(r1.path, "/a");
+        assert_eq!(c1, first.len());
+        let (r2, c2) = Request::parse(&raw[c1..]).unwrap().unwrap();
+        assert_eq!(r2.path, "/b");
+        assert_eq!(r2.body, b"hi");
+        assert_eq!(c1 + c2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_accepts_bare_lf_line_endings() {
+        let raw = b"GET /a HTTP/1.1\nHost: x\n\n";
+        let (req, consumed) = Request::parse(raw).unwrap().unwrap();
+        assert_eq!(req.path, "/a");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn incremental_parse_rejects_errors_without_more_input() {
+        assert!(matches!(
+            Request::parse(b"GET /x HTTP/1.1 extra\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            Request::parse(b"PATCH /x HTTP/1.1\r\n"),
+            Err(HttpError::UnsupportedMethod(_))
+        ));
+        assert!(matches!(
+            Request::parse(b"POST /x HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n"),
+            Err(HttpError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn incremental_parse_caps_unterminated_header_floods() {
+        // An attacker streaming an endless header line must be rejected
+        // once the buffered prefix can no longer fit the header cap.
+        let flood = vec![b'a'; MAX_HEADER_BYTES + 1];
+        assert!(matches!(Request::parse(&flood), Err(HttpError::TooLarge)));
+        // Just under the cap is still (indefinitely) incomplete.
+        assert!(Request::parse(&flood[..MAX_HEADER_BYTES])
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn incremental_parse_of_empty_buffer_is_incomplete() {
+        assert!(Request::parse(b"").unwrap().is_none());
     }
 }

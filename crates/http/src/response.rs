@@ -102,6 +102,13 @@ impl Response {
         self.serialize(true)
     }
 
+    /// Serializes the response head + body with an explicit connection
+    /// disposition. The reactor uses this to build its non-blocking
+    /// write buffer instead of writing to the socket directly.
+    pub fn to_bytes_with(&self, close: bool) -> Vec<u8> {
+        self.serialize(close)
+    }
+
     /// Writes the response to a stream; errors are swallowed (the client
     /// hung up — nothing useful to do).
     pub fn write_to(&self, stream: &mut TcpStream) {

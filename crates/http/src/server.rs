@@ -1,29 +1,36 @@
-//! The admission-controlled accept loop.
+//! The event-driven serving front end.
 //!
-//! One acceptor thread admits connections into a [`BoundedQueue`]; a
-//! fixed pool of worker threads serves them with HTTP/1.1 keep-alive.
-//! When the queue is full the acceptor **sheds**: the connection is
-//! answered `503` + `Retry-After` immediately instead of waiting, so
-//! overload degrades into fast, explicit refusals rather than unbounded
-//! latency. Per-client concurrent-connection bursts can additionally be
-//! capped with `429`. Shutdown is a graceful drain: stop accepting,
-//! serve (with `Connection: close`) everything already admitted, join
-//! every thread.
+//! A fixed set of reactor threads (see [`crate::reactor`]) multiplexes
+//! every connection over epoll: reactor 0 owns the listener and admits
+//! (or sheds) connections, handing them round-robin across reactors
+//! when `io_threads > 1`. Parsed requests flow through a
+//! [`BoundedQueue`] to a fixed pool of worker threads that run the
+//! router; responses flow back to the owning reactor over its mailbox.
+//! Total thread count is `io_threads + workers`, independent of how
+//! many connections are open — ten thousand idle keep-alive sockets
+//! cost table entries, not stacks.
+//!
+//! Overload policy is unchanged from the threaded design: when the
+//! dispatch backlog is at capacity the connection is answered `503` +
+//! `Retry-After` immediately instead of waiting, so overload degrades
+//! into fast, explicit refusals rather than unbounded latency.
+//! Per-client concurrent-connection bursts can additionally be capped
+//! with `429`. Shutdown is a graceful drain: stop accepting, serve
+//! (with `Connection: close`) everything already admitted, join every
+//! thread.
 
 use std::collections::HashMap;
-use std::io::BufRead;
-use std::io::BufReader;
-use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, SocketAddr, TcpListener};
+use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use minaret_telemetry::Telemetry;
 
-use crate::queue::{BoundedQueue, PushError};
-use crate::request::{HttpError, Request};
-use crate::response::Response;
+use crate::queue::BoundedQueue;
+use crate::reactor::{Job, Reactor, ReactorMsg, ReactorShared};
 use crate::router::Router;
 
 /// Keep-alive limits for a single connection.
@@ -49,14 +56,20 @@ impl Default for KeepAliveConfig {
 /// Serving-layer configuration for [`Server::bind_with`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads serving connections.
+    /// Worker threads running request handlers.
     pub workers: usize,
-    /// Admission-queue capacity; connections beyond it are shed with
-    /// `503` + `Retry-After`.
+    /// Reactor (event-loop) threads multiplexing sockets. Serving
+    /// threads total `io_threads + workers` regardless of how many
+    /// connections are open.
+    pub io_threads: usize,
+    /// Dispatch-backlog capacity; when this many requests are waiting
+    /// for a worker, new connections are shed with `503` +
+    /// `Retry-After`.
     pub queue_depth: usize,
-    /// Budget for reading, handling, and writing one request. Applied
-    /// as socket read/write timeouts and passed to handlers via
-    /// [`Request::deadline`]. `None` disables the budget.
+    /// Budget for reading, handling, and writing one request. Enforced
+    /// by the reactor's timer wheel and passed to handlers via
+    /// [`Request::deadline`](crate::Request::deadline). `None` disables
+    /// the budget.
     pub request_timeout: Option<Duration>,
     /// Keep-alive limits.
     pub keep_alive: KeepAliveConfig,
@@ -73,6 +86,7 @@ impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             workers: 8,
+            io_threads: 1,
             queue_depth: 128,
             request_timeout: Some(Duration::from_secs(10)),
             keep_alive: KeepAliveConfig::default(),
@@ -83,23 +97,18 @@ impl Default for ServerConfig {
     }
 }
 
-/// A connection admitted to the queue, stamped for time-in-queue.
-struct QueuedConn {
-    stream: TcpStream,
-    ip: Option<IpAddr>,
-    enqueued: Instant,
-}
-
 /// A running HTTP server.
 ///
-/// One acceptor thread feeds a bounded queue drained by a fixed pool of
-/// worker threads; overload is shed at admission, and shutdown drains
-/// the queue before joining every thread.
+/// Reactor threads own the sockets; worker threads own the handlers;
+/// a bounded queue in between is where overload is measured and shed.
+/// Shutdown drains every admitted connection before joining all
+/// threads.
 pub struct Server {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    queue: Arc<BoundedQueue<QueuedConn>>,
-    acceptor: Option<JoinHandle<()>>,
+    queue: Arc<BoundedQueue<Job>>,
+    shareds: Vec<Arc<ReactorShared>>,
+    reactors: Vec<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -136,82 +145,73 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let router = Arc::new(router);
         let config = Arc::new(config);
-        let queue: Arc<BoundedQueue<QueuedConn>> = Arc::new(BoundedQueue::new(config.queue_depth));
+        let queue: Arc<BoundedQueue<Job>> = Arc::new(BoundedQueue::new(config.queue_depth));
         let per_ip: Arc<Mutex<HashMap<IpAddr, usize>>> = Arc::new(Mutex::new(HashMap::new()));
+
+        // One mailbox + wake pipe per reactor, built up front so
+        // reactor 0 can hand accepted connections to its peers.
+        let io_threads = config.io_threads.max(1);
+        let mut shareds = Vec::with_capacity(io_threads);
+        let mut wake_rxs = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let (wake_tx, wake_rx) = UnixStream::pair()?;
+            wake_tx.set_nonblocking(true)?;
+            shareds.push(Arc::new(ReactorShared::new(wake_tx)));
+            wake_rxs.push(wake_rx);
+        }
+
+        // Build every reactor before spawning so setup errors (epoll,
+        // fd limits) surface to the caller instead of a dead thread.
+        let mut reactors = Vec::with_capacity(io_threads);
+        let mut listener = Some(listener);
+        for (i, wake_rx) in wake_rxs.into_iter().enumerate() {
+            let peers = if i == 0 { shareds.clone() } else { Vec::new() };
+            reactors.push(Reactor::new(
+                if i == 0 { listener.take() } else { None },
+                shareds[i].clone(),
+                wake_rx,
+                peers,
+                config.clone(),
+                queue.clone(),
+                per_ip.clone(),
+                stop.clone(),
+            )?);
+        }
+        let reactor_handles = reactors
+            .into_iter()
+            .map(|mut r| std::thread::spawn(move || r.run()))
+            .collect();
 
         let mut worker_handles = Vec::with_capacity(config.workers.max(1));
         for _ in 0..config.workers.max(1) {
             let queue = queue.clone();
             let router = router.clone();
             let config = config.clone();
-            let stop = stop.clone();
-            let per_ip = per_ip.clone();
             worker_handles.push(std::thread::spawn(move || {
-                while let Some(conn) = queue.pop() {
+                while let Some(job) = queue.pop() {
                     let t = &config.telemetry;
                     t.gauge("minaret_http_queue_depth", &[])
                         .set(queue.len() as i64);
                     t.histogram("minaret_http_time_in_queue_micros", &[])
-                        .observe_duration(conn.enqueued.elapsed());
-                    let ip = conn.ip;
-                    handle_connection(conn.stream, &router, &config, &stop);
-                    release_ip(&per_ip, ip);
+                        .observe_duration(job.enqueued.elapsed());
+                    let response = router.dispatch(&job.request);
+                    let reactor = job.reactor.clone();
+                    reactor.send(ReactorMsg::Complete {
+                        token: job.token,
+                        epoch: job.epoch,
+                        response,
+                        close: job.close,
+                    });
                 }
             }));
         }
-
-        let stop_flag = stop.clone();
-        let accept_queue = queue.clone();
-        let accept_config = config.clone();
-        let acceptor = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if stop_flag.load(Ordering::SeqCst) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                let ip = stream.peer_addr().ok().map(|a| a.ip());
-                if accept_config.per_client_burst > 0 {
-                    if let Some(ip) = ip {
-                        let mut map = per_ip.lock().expect("per-ip lock poisoned");
-                        let count = map.entry(ip).or_insert(0);
-                        if *count >= accept_config.per_client_burst {
-                            drop(map);
-                            shed(stream, 429, "client burst limit", &accept_config);
-                            continue;
-                        }
-                        *count += 1;
-                    }
-                }
-                let conn = QueuedConn {
-                    stream,
-                    ip,
-                    enqueued: Instant::now(),
-                };
-                match accept_queue.try_push(conn) {
-                    Ok(depth) => {
-                        accept_config
-                            .telemetry
-                            .gauge("minaret_http_queue_depth", &[])
-                            .set(depth as i64);
-                    }
-                    Err(PushError::Full(conn)) => {
-                        release_ip(&per_ip, conn.ip);
-                        shed(conn.stream, 503, "queue full", &accept_config);
-                    }
-                    Err(PushError::Closed(conn)) => {
-                        release_ip(&per_ip, conn.ip);
-                        shed(conn.stream, 503, "shutting down", &accept_config);
-                        break;
-                    }
-                }
-            }
-        });
 
         Ok(Server {
             addr: local,
             stop,
             queue,
-            acceptor: Some(acceptor),
+            shareds,
+            reactors: reactor_handles,
             workers: worker_handles,
         })
     }
@@ -221,25 +221,29 @@ impl Server {
         self.addr
     }
 
-    /// Connections currently admitted but not yet picked up by a worker.
+    /// Requests currently admitted but not yet picked up by a worker.
     /// Test harnesses use this to synchronize on queue state instead of
     /// sleeping.
     pub fn queue_depth(&self) -> usize {
         self.queue.len()
     }
 
-    /// Graceful drain: stop accepting, serve everything already queued
-    /// (forced `Connection: close`), and join all threads. Worker or
-    /// acceptor panics propagate to the caller.
+    /// Graceful drain: stop accepting, serve everything already
+    /// admitted (forced `Connection: close`), and join all threads.
+    /// Reactor or worker panics propagate to the caller.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the acceptor's blocking accept with a dummy connection.
-        let _ = TcpStream::connect(self.addr);
-        if let Some(a) = self.acceptor.take() {
-            a.join().expect("acceptor thread panicked");
+        // Kick every reactor out of `epoll_wait` so it observes the
+        // stop flag and starts draining. Workers stay alive until the
+        // reactors finish: in-flight requests must still complete.
+        for shared in &self.shareds {
+            shared.wake();
         }
-        // No more pushes are possible; close so workers exit once the
-        // already-admitted connections drain.
+        for r in self.reactors.drain(..) {
+            r.join().expect("reactor thread panicked");
+        }
+        // Every connection is finished; close the queue so workers see
+        // the end of work and exit.
         self.queue.close();
         for w in self.workers.drain(..) {
             w.join().expect("worker thread panicked");
@@ -247,126 +251,12 @@ impl Server {
     }
 }
 
-/// Refuses a connection at admission with `status` + `Retry-After`.
-///
-/// The write and the lingering close run on a detached thread (capped at
-/// ~1s by socket timeouts) so a dead or slow client never stalls the
-/// acceptor. The lingering close matters for correctness, not courtesy:
-/// the acceptor never read the client's request bytes, and closing a
-/// socket with unread data sends RST, which can destroy the refusal
-/// in flight before the client reads it. Draining to EOF first means
-/// the close is a FIN and the `503`/`429` reliably arrives.
-fn shed(stream: TcpStream, status: u16, why: &str, config: &ServerConfig) {
-    let reason = match status {
-        429 => "client_burst",
-        _ if why == "shutting down" => "shutdown",
-        _ => "queue_full",
-    };
-    config
-        .telemetry
-        .counter("minaret_http_shed_total", &[("reason", reason)])
-        .inc();
-    let response = Response::error(status, why)
-        .with_header("Retry-After", &config.retry_after_secs.to_string());
-    std::thread::spawn(move || {
-        let mut stream = stream;
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-        if !response.write_to_with(&mut stream, true) {
-            return;
-        }
-        let _ = stream.shutdown(std::net::Shutdown::Write);
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(1)));
-        let mut sink = [0u8; 4096];
-        loop {
-            match std::io::Read::read(&mut stream, &mut sink) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
-            }
-        }
-    });
-}
-
-fn release_ip(per_ip: &Mutex<HashMap<IpAddr, usize>>, ip: Option<IpAddr>) {
-    let Some(ip) = ip else { return };
-    let mut map = per_ip.lock().expect("per-ip lock poisoned");
-    if let Some(count) = map.get_mut(&ip) {
-        *count = count.saturating_sub(1);
-        if *count == 0 {
-            map.remove(&ip);
-        }
-    }
-}
-
-/// Serves one connection: a keep-alive loop of parse → dispatch → write,
-/// with an idle timeout between requests and a per-request deadline
-/// (socket timeouts + [`Request::deadline`]) within each.
-fn handle_connection(
-    mut stream: TcpStream,
-    router: &Router,
-    config: &ServerConfig,
-    stop: &AtomicBool,
-) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut served: u64 = 0;
-    loop {
-        // Idle phase: wait for the first byte of the next request (or
-        // already-buffered pipelined bytes) under the idle timeout.
-        if stream
-            .set_read_timeout(config.keep_alive.idle_timeout)
-            .is_err()
-        {
-            break;
-        }
-        match reader.fill_buf() {
-            Ok([]) => break, // clean EOF
-            Ok(_) => {}
-            Err(_) => break, // idle timeout or socket error: just close
-        }
-        // Request phase: the per-request budget covers parse, handle,
-        // and write.
-        let _ = stream.set_read_timeout(config.request_timeout);
-        let _ = stream.set_write_timeout(config.request_timeout);
-        let deadline = config.request_timeout.map(|t| Instant::now() + t);
-        let (response, mut close) = match Request::read_from_buffered(&mut reader) {
-            Ok(None) => break,
-            Ok(Some(mut request)) => {
-                request.deadline = deadline;
-                let close = request.wants_close();
-                (router.dispatch(&request), close)
-            }
-            Err(HttpError::Timeout) => (Response::error(408, "request timed out"), true),
-            Err(HttpError::TooLarge) => (Response::error(413, "request too large"), true),
-            Err(HttpError::UnsupportedMethod(m)) => (
-                Response::error(501, &format!("method {m} not implemented")),
-                true,
-            ),
-            Err(HttpError::BadRequest(m)) => (Response::error(400, &m), true),
-            Err(HttpError::Io(_)) => break, // client went away mid-request
-        };
-        served += 1;
-        if served >= config.keep_alive.max_requests as u64 || stop.load(Ordering::SeqCst) {
-            close = true;
-        }
-        let written = response.write_to_with(&mut stream, close);
-        if close || !written {
-            break;
-        }
-    }
-    if served > 0 {
-        config
-            .telemetry
-            .histogram("minaret_http_requests_per_connection", &[])
-            .observe(served);
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::response::Response;
     use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     fn test_router() -> Router {
         let mut r = Router::new();
@@ -497,6 +387,35 @@ mod tests {
     fn queue_depth_starts_empty() {
         let server = Server::bind("127.0.0.1:0", test_router(), 1).unwrap();
         assert_eq!(server.queue_depth(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn multiple_io_threads_serve_across_reactors() {
+        let server = Server::bind_with(
+            "127.0.0.1:0",
+            test_router(),
+            ServerConfig {
+                workers: 2,
+                io_threads: 3,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // More connections than reactors: round-robin must land some on
+        // every reactor, and all must serve correctly.
+        let handles: Vec<_> = (0..9)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    raw_request(addr, "GET /ping HTTP/1.1\r\nConnection: close\r\n\r\n")
+                })
+            })
+            .collect();
+        for h in handles {
+            let resp = h.join().unwrap();
+            assert!(resp.ends_with("pong"), "{resp}");
+        }
         server.shutdown();
     }
 }

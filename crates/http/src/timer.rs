@@ -1,0 +1,270 @@
+//! A hashed timer wheel for connection deadlines.
+//!
+//! The threaded server leaned on per-socket `set_read_timeout`; a
+//! reactor multiplexing thousands of sockets on one thread needs its
+//! own notion of time. This wheel holds every armed deadline (idle,
+//! per-request, write-stall, lingering-close) and answers two
+//! questions cheaply: *how long may `epoll_wait` sleep* and *which
+//! timers have fired*.
+//!
+//! Design points:
+//!
+//! - **Coarse slots, exact deadlines.** A deadline is hashed to the
+//!   slot of its rounded-up tick, but the exact `Instant` is kept, so
+//!   timers never fire early — at worst one granule late.
+//! - **Lazy cancellation.** Disarming is the caller's job: entries
+//!   carry caller-chosen identifiers (connection token / epoch /
+//!   generation) and stale entries are ignored when they pop out. This
+//!   keeps arming O(1) with no search-and-remove.
+//! - **Injectable time.** Every method takes `now` explicitly, so unit
+//!   tests drive the wheel with synthetic instants — no sleeping.
+//!
+//! Entries beyond the wheel horizon (`slots × granularity`) land in an
+//! overflow list that is folded back into the wheel as the cursor
+//! advances; with the default 1024 × 16 ms ≈ 16 s horizon, every stock
+//! timeout fits in the wheel proper.
+
+use std::time::{Duration, Instant};
+
+/// One scheduled deadline with its caller-chosen payload.
+#[derive(Debug, Clone, Copy)]
+struct Entry<T> {
+    deadline: Instant,
+    tick: u64,
+    item: T,
+}
+
+/// A single-threaded hashed timer wheel. `T` is the caller's timer
+/// identity (the reactor uses connection token + epoch + generation).
+#[derive(Debug)]
+pub(crate) struct TimerWheel<T> {
+    base: Instant,
+    granularity: Duration,
+    slots: Vec<Vec<Entry<T>>>,
+    overflow: Vec<Entry<T>>,
+    /// Next tick to process; every live slot entry has `tick >= cursor`.
+    cursor: u64,
+    len: usize,
+}
+
+impl<T: Copy> TimerWheel<T> {
+    /// A wheel of `slots` buckets of `granularity` each, starting at
+    /// `base`. Horizon = `slots × granularity`.
+    pub fn new(base: Instant, granularity: Duration, slots: usize) -> Self {
+        TimerWheel {
+            base,
+            granularity: granularity.max(Duration::from_millis(1)),
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Scheduled entries not yet fired (stale ones included).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Tick of `deadline`, rounded **up** so firing at the tick boundary
+    /// is never early.
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        let offset = deadline.saturating_duration_since(self.base).as_nanos();
+        let g = self.granularity.as_nanos();
+        offset.div_ceil(g) as u64
+    }
+
+    /// Arms a deadline. Past deadlines fire on the next `expire` call.
+    pub fn schedule(&mut self, deadline: Instant, item: T) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let entry = Entry {
+            deadline,
+            tick,
+            item,
+        };
+        if tick - self.cursor >= self.slots.len() as u64 {
+            self.overflow.push(entry);
+        } else {
+            let slot = (tick % self.slots.len() as u64) as usize;
+            self.slots[slot].push(entry);
+        }
+        self.len += 1;
+    }
+
+    /// Advances the wheel to `now`, appending every fired payload to
+    /// `out` (in no particular order).
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<T>) {
+        if self.len == 0 {
+            return;
+        }
+        let current = {
+            let offset = now.saturating_duration_since(self.base).as_nanos();
+            (offset / self.granularity.as_nanos()) as u64
+        };
+        let nslots = self.slots.len() as u64;
+        while self.cursor <= current {
+            let slot = (self.cursor % nslots) as usize;
+            // A slot is shared by ticks ≡ cursor (mod nslots); only fire
+            // entries whose exact deadline has passed, keep the rest.
+            let mut kept = Vec::new();
+            for entry in self.slots[slot].drain(..) {
+                if entry.tick <= self.cursor && entry.deadline <= now {
+                    out.push(entry.item);
+                    self.len -= 1;
+                } else {
+                    kept.push(entry);
+                }
+            }
+            self.slots[slot] = kept;
+            self.cursor += 1;
+            if self.cursor > current {
+                break;
+            }
+        }
+        self.cursor = self.cursor.max(current);
+        // Fold overflow entries that are now within the horizon (or
+        // already due) back into the wheel.
+        if !self.overflow.is_empty() {
+            let mut still_far = Vec::new();
+            for entry in std::mem::take(&mut self.overflow) {
+                if entry.deadline <= now {
+                    out.push(entry.item);
+                    self.len -= 1;
+                } else if entry.tick.saturating_sub(self.cursor) < nslots {
+                    let slot = (entry.tick.max(self.cursor) % nslots) as usize;
+                    self.slots[slot].push(entry);
+                } else {
+                    still_far.push(entry);
+                }
+            }
+            self.overflow = still_far;
+        }
+    }
+
+    /// When the next armed deadline could fire: the wheel boundary of
+    /// the first occupied slot (never later than any entry in it, so a
+    /// sleep until then can only be conservatively short).
+    pub fn next_deadline(&self, now: Instant) -> Option<Instant> {
+        if self.len == 0 {
+            return None;
+        }
+        let nslots = self.slots.len() as u64;
+        let mut earliest: Option<Instant> = None;
+        for distance in 0..nslots {
+            let tick = self.cursor + distance;
+            let slot = (tick % nslots) as usize;
+            if self.slots[slot].iter().any(|e| e.tick <= tick) {
+                earliest = Some(self.base + self.granularity * tick as u32);
+                break;
+            }
+        }
+        for entry in &self.overflow {
+            let d = entry.deadline;
+            if earliest.is_none_or(|e| d < e) {
+                earliest = Some(d);
+            }
+        }
+        earliest.map(|e| e.max(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Instant {
+        Instant::now()
+    }
+
+    #[test]
+    fn fires_at_or_after_deadline_never_before() {
+        let b = base();
+        let mut wheel = TimerWheel::new(b, Duration::from_millis(16), 64);
+        wheel.schedule(b + Duration::from_millis(100), 1u32);
+        let mut fired = Vec::new();
+        wheel.expire(b + Duration::from_millis(99), &mut fired);
+        assert!(fired.is_empty(), "fired {}ms early", 1);
+        wheel.expire(b + Duration::from_millis(150), &mut fired);
+        assert_eq!(fired, vec![1]);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn multiple_timers_fire_in_any_order_but_completely() {
+        let b = base();
+        let mut wheel = TimerWheel::new(b, Duration::from_millis(16), 64);
+        for i in 0..10u32 {
+            wheel.schedule(b + Duration::from_millis(10 * (i as u64 + 1)), i);
+        }
+        let mut fired = Vec::new();
+        wheel.expire(b + Duration::from_millis(55), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, vec![0, 1, 2, 3]); // deadlines 10..40 ≤ 55-granule
+        let mut rest = Vec::new();
+        wheel.expire(b + Duration::from_secs(1), &mut rest);
+        assert_eq!(rest.len(), 6);
+        assert_eq!(wheel.len(), 0);
+    }
+
+    #[test]
+    fn far_deadlines_take_the_overflow_path_and_still_fire() {
+        let b = base();
+        // Tiny wheel: 4 × 16ms horizon, 10s timer must overflow.
+        let mut wheel = TimerWheel::new(b, Duration::from_millis(16), 4);
+        wheel.schedule(b + Duration::from_secs(10), 42u32);
+        assert_eq!(wheel.len(), 1);
+        let mut fired = Vec::new();
+        wheel.expire(b + Duration::from_secs(5), &mut fired);
+        assert!(fired.is_empty());
+        wheel.expire(b + Duration::from_secs(10), &mut fired);
+        assert_eq!(fired, vec![42]);
+    }
+
+    #[test]
+    fn slot_collisions_do_not_fire_far_entries_early() {
+        let b = base();
+        let mut wheel = TimerWheel::new(b, Duration::from_millis(10), 4);
+        // Two entries 40ms (= nslots × granularity) apart share a slot.
+        wheel.schedule(b + Duration::from_millis(10), 1u32);
+        let mut fired = Vec::new();
+        wheel.expire(b + Duration::from_millis(5), &mut fired);
+        wheel.schedule(b + Duration::from_millis(50), 2u32);
+        wheel.expire(b + Duration::from_millis(12), &mut fired);
+        assert_eq!(fired, vec![1]);
+        wheel.expire(b + Duration::from_millis(49), &mut fired);
+        assert_eq!(fired, vec![1], "far entry fired early");
+        wheel.expire(b + Duration::from_millis(60), &mut fired);
+        assert_eq!(fired, vec![1, 2]);
+    }
+
+    #[test]
+    fn next_deadline_is_conservative_and_none_when_empty() {
+        let b = base();
+        let mut wheel = TimerWheel::new(b, Duration::from_millis(16), 64);
+        assert!(wheel.next_deadline(b).is_none());
+        let deadline = b + Duration::from_millis(200);
+        wheel.schedule(deadline, 9u32);
+        let next = wheel.next_deadline(b).unwrap();
+        // The hint is the rounded-up tick boundary: at most one granule
+        // past the exact deadline (the documented firing latency), never
+        // wildly early (which would spin the event loop).
+        assert!(
+            next <= deadline + Duration::from_millis(16),
+            "hint more than one granule late"
+        );
+        assert!(next >= b + Duration::from_millis(150), "hint far too early");
+    }
+
+    #[test]
+    fn past_deadlines_fire_immediately_on_next_expire() {
+        let b = base();
+        let mut wheel = TimerWheel::new(b, Duration::from_millis(16), 64);
+        let mut fired = Vec::new();
+        wheel.expire(b + Duration::from_secs(1), &mut fired);
+        // Scheduled in the past relative to the cursor.
+        wheel.schedule(b + Duration::from_millis(10), 5u32);
+        wheel.expire(b + Duration::from_secs(1), &mut fired);
+        assert_eq!(fired, vec![5]);
+    }
+}

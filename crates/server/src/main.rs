@@ -32,6 +32,9 @@ WORLD:
 
 SERVING LAYER:
     --workers <n>                 Worker threads, n >= 1      [default: 8]
+    --io-threads <n>              Event-loop (reactor) threads multiplexing
+                                  connections, 1 <= n <= 1024; total serving
+                                  threads = io-threads + workers [default: 1]
     --queue-depth <n>             Admission queue slots, n >= 1; connections
                                   beyond this are shed with 503 [default: 128]
     --request-timeout-ms <ms>     Per-request budget (read + handle + write);
@@ -52,6 +55,7 @@ struct Flags {
     scholars: usize,
     seed: u64,
     workers: usize,
+    io_threads: usize,
     queue_depth: usize,
     request_timeout_ms: u64,
     keepalive_max_requests: usize,
@@ -67,6 +71,7 @@ impl Default for Flags {
             scholars: 2000,
             seed: 42,
             workers: 8,
+            io_threads: 1,
             queue_depth: 128,
             request_timeout_ms: 10_000,
             keepalive_max_requests: 100,
@@ -105,6 +110,21 @@ fn parse_flags(mut args: impl Iterator<Item = String>) -> Result<Option<Flags>, 
                 flags.workers = num(&flag, &value)?;
                 if flags.workers == 0 {
                     return Err("--workers must be at least 1 (the server cannot serve requests with zero workers)".into());
+                }
+            }
+            "--io-threads" => {
+                flags.io_threads = num(&flag, &value)?;
+                if flags.io_threads == 0 {
+                    return Err(
+                        "--io-threads must be at least 1 (someone has to run the event loop)"
+                            .into(),
+                    );
+                }
+                if flags.io_threads > 1024 {
+                    return Err(format!(
+                        "--io-threads must be at most 1024, got {} (each reactor costs an epoll instance and a wake pipe; more event loops than that serves nothing)",
+                        flags.io_threads
+                    ));
                 }
             }
             "--queue-depth" => {
@@ -183,6 +203,7 @@ fn main() {
     let router = build_router(state);
     let config = ServerConfig {
         workers: flags.workers,
+        io_threads: flags.io_threads,
         queue_depth: flags.queue_depth,
         request_timeout: (flags.request_timeout_ms > 0)
             .then(|| Duration::from_millis(flags.request_timeout_ms)),
@@ -223,6 +244,7 @@ mod tests {
     fn defaults_parse() {
         let flags = parse(&[]).unwrap().unwrap();
         assert_eq!(flags.workers, 8);
+        assert_eq!(flags.io_threads, 1);
         assert_eq!(flags.queue_depth, 128);
         assert_eq!(flags.cache_ttl_ms, 30_000);
     }
@@ -244,6 +266,8 @@ mod tests {
             "7",
             "--workers",
             "3",
+            "--io-threads",
+            "2",
             "--queue-depth",
             "16",
             "--request-timeout-ms",
@@ -263,6 +287,7 @@ mod tests {
         assert_eq!(flags.scholars, 500);
         assert_eq!(flags.seed, 7);
         assert_eq!(flags.workers, 3);
+        assert_eq!(flags.io_threads, 2);
         assert_eq!(flags.queue_depth, 16);
         assert_eq!(flags.request_timeout_ms, 0);
         assert_eq!(flags.keepalive_max_requests, 1);
@@ -287,6 +312,15 @@ mod tests {
         assert!(parse(&["--queue-depth", "0"])
             .unwrap_err()
             .contains("--queue-depth"));
+        assert!(parse(&["--io-threads", "0"])
+            .unwrap_err()
+            .contains("--io-threads"));
+        assert!(parse(&["--io-threads", "4097"])
+            .unwrap_err()
+            .contains("at most 1024"));
+        assert!(parse(&["--io-threads", "-1"])
+            .unwrap_err()
+            .contains("non-negative integer"));
         assert!(parse(&["--keepalive-max-requests", "0"])
             .unwrap_err()
             .contains("--keepalive-max-requests"));

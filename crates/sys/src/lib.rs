@@ -1,0 +1,296 @@
+//! Thin, safe wrappers over the Linux syscalls the serving layer needs.
+//!
+//! The workspace policy is "no external dependencies" (see
+//! `shims/README.md`), so instead of pulling in `libc`/`mio` this crate
+//! declares the handful of `extern "C"` prototypes itself — libc is
+//! always linked by std — and keeps every `unsafe` block behind a safe
+//! API. Today that is epoll: `minaret-http`'s reactor registers
+//! non-blocking sockets here and parks in [`Epoll::wait`] until one is
+//! ready.
+//!
+//! Everything else in the workspace stays `#![forbid(unsafe_code)]`;
+//! this crate is the single audited exception.
+
+#![deny(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::os::raw::c_int;
+
+/// `EPOLL_CLOEXEC`: close the epoll fd on exec.
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+/// `epoll_ctl` opcodes.
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+/// Readiness bits (subset the reactor uses).
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+
+/// The kernel's `struct epoll_event`. On x86-64 the kernel ABI packs it
+/// (12 bytes); other architectures use natural alignment.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut RawEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+/// Which readiness classes a registration subscribes to.
+///
+/// Error and hang-up conditions (`EPOLLERR`/`EPOLLHUP`) are always
+/// reported by the kernel regardless of the requested interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// No readiness interest; only `EPOLLERR`/`EPOLLHUP` are delivered.
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            bits |= EPOLLIN;
+        }
+        if self.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness notification from [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The caller-chosen token the fd was registered with.
+    pub token: u64,
+    /// The fd is readable (or a peer close made reads return EOF).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// `EPOLLERR` or `EPOLLHUP`: the connection is in a terminal state.
+    pub error: bool,
+}
+
+/// A level-triggered epoll instance.
+///
+/// Registrations carry a caller-chosen `u64` token that comes back in
+/// each [`Event`]; the reactor uses it as a slot index into its
+/// connection table.
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl std::fmt::Debug for Epoll {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Epoll(fd {})", self.fd)
+    }
+}
+
+impl Epoll {
+    /// Creates a new epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 has no memory preconditions.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Epoll { fd })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<RawEvent>) -> io::Result<()> {
+        let mut event = event;
+        let ptr = event
+            .as_mut()
+            .map(|e| e as *mut RawEvent)
+            .unwrap_or(std::ptr::null_mut());
+        // SAFETY: `ptr` is either null (DEL) or points at a live,
+        // properly initialized RawEvent on this stack frame.
+        let rc = unsafe { epoll_ctl(self.fd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Registers `fd` with the given interest and token.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(RawEvent {
+                events: interest.bits(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Changes the interest (and token) of an already registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(RawEvent {
+                events: interest.bits(),
+                data: token,
+            }),
+        )
+    }
+
+    /// Removes `fd` from the interest set. Closing the fd does this
+    /// implicitly; explicit removal keeps bookkeeping honest.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    /// Blocks until at least one registered fd is ready or `timeout_ms`
+    /// elapses (`None` waits forever), appending readiness into `out`.
+    /// Returns the number of events delivered; an interrupted wait
+    /// (`EINTR`) reports zero events rather than an error.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: Option<i32>) -> io::Result<usize> {
+        let mut raw = [RawEvent { events: 0, data: 0 }; 256];
+        let timeout = timeout_ms.unwrap_or(-1).max(-1);
+        // SAFETY: `raw` is a live, writable buffer of 256 RawEvents and
+        // maxevents matches its length.
+        let n = unsafe { epoll_wait(self.fd, raw.as_mut_ptr(), raw.len() as c_int, timeout) };
+        if n < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for e in raw.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let bits = e.events;
+            let token = e.data;
+            out.push(Event {
+                token,
+                readable: bits & EPOLLIN != 0,
+                writable: bits & EPOLLOUT != 0,
+                error: bits & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(n as usize)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        // SAFETY: `self.fd` is a valid fd owned exclusively by this
+        // struct; double-close is impossible because Drop runs once.
+        unsafe {
+            close(self.fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn readable_after_peer_write() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+
+        a.write_all(b"x").unwrap();
+        events.clear();
+        assert_eq!(ep.wait(&mut events, Some(1000)).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        assert!(!events[0].error);
+    }
+
+    #[test]
+    fn writable_interest_fires_immediately_on_fresh_socket() {
+        let (_a, b) = UnixStream::pair().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, Some(1000)).unwrap(), 1);
+        assert!(events[0].writable);
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), 3, Interest::NONE).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        // No read interest: the pending byte does not wake us.
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+        ep.modify(b.as_raw_fd(), 3, Interest::READ).unwrap();
+        assert_eq!(ep.wait(&mut events, Some(1000)).unwrap(), 1);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn peer_close_reports_readable_and_level_triggered_persists() {
+        let (a, mut b) = UnixStream::pair().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        assert!(ep.wait(&mut events, Some(1000)).unwrap() >= 1);
+        // Level-triggered: the condition is still reported until consumed.
+        let mut again = Vec::new();
+        assert!(ep.wait(&mut again, Some(1000)).unwrap() >= 1);
+        let mut sink = [0u8; 8];
+        assert_eq!(b.read(&mut sink).unwrap(), 0); // EOF
+    }
+
+    #[test]
+    fn delete_stops_delivery() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let ep = Epoll::new().unwrap();
+        ep.add(b.as_raw_fd(), 4, Interest::READ).unwrap();
+        ep.delete(b.as_raw_fd()).unwrap();
+        a.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        assert_eq!(ep.wait(&mut events, Some(0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn add_on_bad_fd_is_an_error_not_a_panic() {
+        let ep = Epoll::new().unwrap();
+        assert!(ep.add(-1, 0, Interest::READ).is_err());
+    }
+}

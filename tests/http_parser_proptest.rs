@@ -5,7 +5,7 @@
 
 use std::io::{BufReader, Read};
 
-use minaret::http::{percent_decode, HttpError, Request};
+use minaret::http::{percent_decode, HttpError, Request, RequestBuffer};
 use proptest::collection;
 use proptest::prelude::*;
 
@@ -47,6 +47,31 @@ fn parse_chunked(payload: &[u8], sizes: Vec<usize>) -> Result<Option<Request>, H
     // A tiny BufReader capacity forces refills mid-token as well.
     let mut reader = BufReader::with_capacity(7, ChunkReader::new(payload.to_vec(), sizes));
     Request::read_from_buffered(&mut reader)
+}
+
+/// Feeds `payload` into a [`RequestBuffer`] split at the scripted
+/// `sizes` (cycled), collecting every request the incremental parser
+/// yields — the reactor's view of a socket delivering arbitrary chunks.
+/// Returns the parsed requests and the first permanent error, if any.
+fn parse_incremental(payload: &[u8], sizes: &[usize]) -> (Vec<Request>, Option<HttpError>) {
+    let mut buf = RequestBuffer::new();
+    let mut requests = Vec::new();
+    let mut pos = 0;
+    let mut turn = 0;
+    while pos < payload.len() {
+        let step = sizes[turn % sizes.len()].max(1).min(payload.len() - pos);
+        turn += 1;
+        buf.push(&payload[pos..pos + step]);
+        pos += step;
+        loop {
+            match buf.next_request() {
+                Ok(Some(req)) => requests.push(req),
+                Ok(None) => break,
+                Err(e) => return (requests, Some(e)),
+            }
+        }
+    }
+    (requests, None)
 }
 
 /// A syntactically valid request built from generated parts.
@@ -140,6 +165,101 @@ proptest! {
             Err(HttpError::BadRequest(_)) => {}
             other => prop_assert!(false, "non-numeric CL accepted: {:?}", other.is_ok()),
         }
+    }
+
+    /// The resumable parser driven byte-at-a-time agrees exactly with
+    /// the blocking whole-buffer parse: same request, same parts. This
+    /// is the equivalence the reactor depends on — a socket delivering
+    /// one byte per readiness event must not change any answer.
+    #[test]
+    fn byte_at_a_time_matches_whole_buffer(
+        path in "[a-z]{1,8}",
+        upper in any::<bool>(),
+        body in collection::vec(any::<u8>(), 0..128),
+    ) {
+        let payload = render_request(&path, upper, &body);
+        let whole = parse_chunked(&payload, vec![payload.len()])
+            .expect("well-formed request parses")
+            .expect("non-empty input");
+        let (reqs, err) = parse_incremental(&payload, &[1]);
+        prop_assert!(err.is_none(), "incremental error on valid input: {err:?}");
+        prop_assert_eq!(reqs.len(), 1);
+        prop_assert_eq!(&reqs[0].path, &whole.path);
+        prop_assert_eq!(&reqs[0].body, &whole.body);
+        prop_assert_eq!(reqs[0].minor_version, whole.minor_version);
+        prop_assert_eq!(
+            reqs[0].header("content-length").map(str::to_string),
+            whole.header("content-length").map(str::to_string)
+        );
+    }
+
+    /// Pipelined requests split at arbitrary boundaries — mid-header,
+    /// mid-body, across request boundaries — come out of the resumable
+    /// parser as the same sequence the blocking parser produces.
+    #[test]
+    fn random_splits_preserve_pipelined_sequences(
+        paths in collection::vec("[a-z]{1,6}", 1..4),
+        bodies in collection::vec(collection::vec(any::<u8>(), 0..48), 1..4),
+        sizes in collection::vec(1usize..13, 1..5),
+    ) {
+        let n = paths.len().min(bodies.len());
+        let mut payload = Vec::new();
+        for i in 0..n {
+            payload.extend_from_slice(&render_request(&paths[i], i % 2 == 0, &bodies[i]));
+        }
+        // Blocking reference: repeated whole-buffer parses.
+        let mut reader = BufReader::with_capacity(
+            7,
+            ChunkReader::new(payload.clone(), vec![payload.len()]),
+        );
+        let mut reference = Vec::new();
+        while let Some(req) = Request::read_from_buffered(&mut reader)
+            .expect("well-formed pipeline parses")
+        {
+            reference.push(req);
+        }
+        let (reqs, err) = parse_incremental(&payload, &sizes);
+        prop_assert!(err.is_none(), "incremental error on valid pipeline: {err:?}");
+        prop_assert_eq!(reqs.len(), reference.len());
+        for (got, want) in reqs.iter().zip(&reference) {
+            prop_assert_eq!(&got.path, &want.path);
+            prop_assert_eq!(&got.body, &want.body);
+        }
+    }
+
+    /// Malformed input is classified the same way no matter how it is
+    /// chunked into the resumable parser: same error variant as the
+    /// blocking parser, never a panic, never a bogus request first.
+    #[test]
+    fn error_classification_survives_splitting(
+        junk in "[a-z]{1,6}",
+        sizes in collection::vec(1usize..7, 1..4),
+    ) {
+        let bad_version = format!("GET /p BANANA/{junk}\r\n\r\n");
+        let (reqs, err) = parse_incremental(bad_version.as_bytes(), &sizes);
+        prop_assert!(reqs.is_empty());
+        prop_assert!(matches!(err, Some(HttpError::BadRequest(_))), "{err:?}");
+
+        let dup_cl = "POST /p HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\n";
+        let (reqs, err) = parse_incremental(dup_cl.as_bytes(), &sizes);
+        prop_assert!(reqs.is_empty());
+        prop_assert!(matches!(err, Some(HttpError::BadRequest(_))), "{err:?}");
+
+        let oversized = "POST /p HTTP/1.1\r\nContent-Length: 2097152\r\n\r\n";
+        let (reqs, err) = parse_incremental(oversized.as_bytes(), &sizes);
+        prop_assert!(reqs.is_empty());
+        prop_assert!(matches!(err, Some(HttpError::TooLarge)), "{err:?}");
+    }
+
+    /// Arbitrary bytes through the resumable parser: classified error or
+    /// requests, never a panic — and whatever prefix of requests parses
+    /// before an error matches the blocking parser's prefix.
+    #[test]
+    fn incremental_arbitrary_bytes_never_panic(
+        payload in collection::vec(any::<u8>(), 0..600),
+        sizes in collection::vec(1usize..9, 1..4),
+    ) {
+        let _ = parse_incremental(&payload, &sizes);
     }
 
     /// percent_decode handles any input without panicking, and decodes

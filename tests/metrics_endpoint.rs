@@ -174,6 +174,97 @@ fn traces_recent_shows_the_request_span_tree() {
     );
 }
 
+/// The serving-layer metrics only exist on a real socket server (the
+/// router-level tests above never open a connection): the reactor must
+/// export its open-connections gauge, wakeup counter, and event-loop
+/// dispatch-latency histogram, and the gauge must track connection
+/// lifetime exactly.
+#[test]
+fn reactor_metrics_appear_on_a_live_server() {
+    use minaret_http::{Server, ServerConfig};
+    use minaret_telemetry::Telemetry;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    let telemetry = Telemetry::new();
+    let mut router = Router::new();
+    let t = telemetry.clone();
+    router.get("/metrics", move |_, _| {
+        Response::text(200, t.encode_prometheus())
+    });
+    let server = Server::bind_with(
+        "127.0.0.1:0",
+        router,
+        ServerConfig {
+            workers: 1,
+            telemetry,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    // One keep-alive connection fetching /metrics repeatedly.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    let fetch = |conn: &mut TcpStream| -> String {
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        let mut resp = Vec::new();
+        // Read until the full declared body has arrived.
+        loop {
+            let text = String::from_utf8_lossy(&resp).to_string();
+            if let Some(header_end) = text.find("\r\n\r\n") {
+                let cl: usize = text
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Content-Length: "))
+                    .expect("Content-Length header")
+                    .trim()
+                    .parse()
+                    .unwrap();
+                if resp.len() >= header_end + 4 + cl {
+                    return text[header_end + 4..].to_string();
+                }
+            }
+            let n = conn.read(&mut buf).unwrap();
+            assert!(n > 0, "connection closed mid-response");
+            resp.extend_from_slice(&buf[..n]);
+        }
+    };
+
+    // The serving connection itself is the one open connection.
+    let body = fetch(&mut conn);
+    assert_parses_as_prometheus(&body);
+    assert!(body.contains("minaret_http_open_connections 1"), "{body}");
+    // The reactor woke at least once (it accepted us) and timed its
+    // event-loop iterations.
+    let wakeups: f64 = body
+        .lines()
+        .find_map(|l| l.strip_prefix("minaret_http_reactor_wakeups_total "))
+        .expect("wakeup counter exported")
+        .parse()
+        .unwrap();
+    assert!(wakeups >= 1.0, "{body}");
+    assert!(
+        body.contains("minaret_http_reactor_dispatch_micros_count"),
+        "{body}"
+    );
+
+    // A second connection raises the gauge to 2 (spin on the observable
+    // metric — acceptance is asynchronous), and closing it brings the
+    // gauge back down.
+    let extra = TcpStream::connect(addr).unwrap();
+    while !fetch(&mut conn).contains("minaret_http_open_connections 2") {
+        std::thread::yield_now();
+    }
+    drop(extra);
+    while !fetch(&mut conn).contains("minaret_http_open_connections 1") {
+        std::thread::yield_now();
+    }
+    drop(conn);
+    server.shutdown();
+}
+
 #[test]
 fn http_error_statuses_are_labeled_separately() {
     let (_, router) = server_after_one_recommend();
