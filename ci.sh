@@ -64,6 +64,15 @@ cargo test -q -p minaret-synth --test chunk_invariance
 echo "==> lazy profile materialization equivalence: cargo test --test streaming_world"
 cargo test -q --test streaming_world
 
+echo "==> batch-assignment solver unit tests: cargo test -p minaret-assign"
+cargo test -q -p minaret-assign
+
+echo "==> assignment invariants + goldens + one-fan-out pin: cargo test --test assign_properties"
+cargo test -q --test assign_properties
+
+echo "==> concurrent assign/recommend fan-out coalescing: cargo test --test assign_concurrency"
+cargo test -q --test assign_concurrency
+
 echo "==> streaming smoke: minaret synth streams a 10^5-scholar snapshot"
 SYNTH_DIR="$(mktemp -d)"
 trap 'rm -rf "$SYNTH_DIR"' EXIT
@@ -81,7 +90,10 @@ rm -rf "$SYNTH_DIR"
 # (<= 1.5x the 100-connection point) as idle sockets pile up. Set
 # MINARET_CONN_SWEEP=1 to extend that sweep to 10k connections
 # (clamped to the fd budget).
-echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery + lock contention + world-size and conn-scaling sweeps vs BENCH_e7_scalability.json"
+# The assign smoke solves a 50-manuscript batch over a 10^4-scholar
+# world and gates flow >= greedy (same-run) plus the batch latency
+# against the committed assign_batch50_millis baseline.
+echo "==> perf smoke: batched speedup + extraction + served cache hit + store put/get/recovery + lock contention + world-size/conn-scaling sweeps + batch assignment vs BENCH_e7_scalability.json"
 cargo run -q --release --example perf_smoke
 
 echo "==> alloc smoke: warm-path allocations vs BENCH_e7_scalability.json (count-allocs)"

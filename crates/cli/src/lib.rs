@@ -8,6 +8,8 @@
 //! minaret expand RDF [--min-score 0.6]
 //! minaret verify "Lei Zhou" [--affiliation "University of Tartu"]
 //! minaret recommend manuscript.json [--top 10] [--explain]
+//! minaret assign batch.json [--reviewers-per-paper 3] [--max-load 5]
+//! minaret assign --demo-batch 8    # assign a generated submission batch
 //! minaret synth --scholars 100000 --data-dir world/  # stream-generate a snapshot
 //! minaret demo                      # end-to-end walkthrough
 //! minaret stats                     # demo run + telemetry table
@@ -74,6 +76,8 @@ USAGE:
   minaret expand <KEYWORD> [--min-score X]
   minaret verify <NAME> [--affiliation A] [--country C] [--keywords k1,k2]
   minaret recommend <manuscript.json> [--top N] [--explain]
+  minaret assign <batch.json | --demo-batch N> [--reviewers-per-paper K]
+                 [--max-load L]
   minaret synth --data-dir P [--scholars N] [--seed N]
   minaret demo
   minaret stats
@@ -131,6 +135,7 @@ pub fn run(args: &[String], out: &mut dyn std::io::Write) -> CliResult {
         "expand" => cmd_expand(&rest, out),
         "verify" => cmd_verify(&rest, world, out),
         "recommend" => cmd_recommend(&rest, world, out),
+        "assign" => cmd_assign(&rest, world, out),
         "synth" => no_extra_args(&rest).and_then(|()| cmd_synth(world, out)),
         "demo" => no_extra_args(&rest).and_then(|()| cmd_demo(world, out)),
         "stats" => no_extra_args(&rest).and_then(|()| cmd_stats(world, out)),
@@ -298,6 +303,96 @@ fn cmd_recommend(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write
             writeln!(out, "{}", r.explain(&config.weights)).map_err(|e| e.to_string())?;
         }
     }
+    Ok(())
+}
+
+fn cmd_assign(args: &[String], world: WorldOpts, out: &mut dyn std::io::Write) -> CliResult {
+    let mut path = None;
+    let mut demo_batch: Option<usize> = None;
+    let mut reviewers_per_paper: Option<u64> = None;
+    let mut max_load: Option<u64> = None;
+    let mut it = args.iter().peekable();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--demo-batch" => {
+                demo_batch = Some(
+                    next_value(&mut it, "--demo-batch")?
+                        .parse()
+                        .map_err(|_| "--demo-batch must be an integer".to_string())?,
+                )
+            }
+            "--reviewers-per-paper" => {
+                reviewers_per_paper = Some(
+                    next_value(&mut it, "--reviewers-per-paper")?
+                        .parse()
+                        .map_err(|_| "--reviewers-per-paper must be an integer".to_string())?,
+                )
+            }
+            "--max-load" => {
+                max_load = Some(
+                    next_value(&mut it, "--max-load")?
+                        .parse()
+                        .map_err(|_| "--max-load must be an integer".to_string())?,
+                )
+            }
+            p if path.is_none() && demo_batch.is_none() => path = Some(p.to_string()),
+            extra => return Err(format!("unexpected argument {extra:?}")),
+        }
+    }
+    let state = build_state(&world)?;
+    let (manuscripts, mut spec, config) = if let Some(n) = demo_batch {
+        if n == 0 {
+            return Err("--demo-batch needs at least one submission".into());
+        }
+        // A seeded batch of synthetic submissions over the same world
+        // the sources serve — every paper has in-world reviewers.
+        let mut generator = minaret_synth::SubmissionGenerator::new(&state.world, world.seed);
+        let manuscripts: Vec<minaret_core::ManuscriptDetails> = generator
+            .generate_many(n)
+            .iter()
+            .map(|sub| minaret_assign::manuscript_from_submission(&state.world, sub))
+            .collect();
+        (
+            manuscripts,
+            minaret_assign::AssignmentSpec::new(3, 5),
+            state.minaret.config().clone(),
+        )
+    } else {
+        let path = path.ok_or("assign needs a batch JSON file or --demo-batch N")?;
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let body: Value = minaret_json::parse(&text).map_err(|e| e.to_string())?;
+        minaret_server::assign_request_from_json(&body, state.minaret.config())?
+    };
+    if let Some(k) = reviewers_per_paper {
+        spec.reviewers_per_paper = k as usize;
+    }
+    if let Some(l) = max_load {
+        spec.max_load = l as usize;
+    }
+    let assigner = minaret_assign::Assigner::new(minaret_core::Minaret::new(
+        state.registry.clone(),
+        state.ontology.clone(),
+        config,
+    ))
+    .with_telemetry(state.telemetry.clone());
+    let mut solved = assigner
+        .assign(&manuscripts, &spec)
+        .map_err(|e| e.to_string())?;
+    solved.quality.coverage_at_k =
+        minaret_assign::coverage_against_world(&state.world, &manuscripts, &solved);
+    writeln!(
+        out,
+        "assigning {} manuscripts: {} reviewers/paper, max load {} \
+         (pool {}, eligible pairs {})\n",
+        manuscripts.len(),
+        spec.reviewers_per_paper,
+        spec.max_load,
+        solved.pool_size,
+        solved.eligible_pairs
+    )
+    .map_err(|e| e.to_string())?;
+    write!(out, "{}", solved.render_table()).map_err(|e| e.to_string())?;
     Ok(())
 }
 
@@ -569,6 +664,106 @@ mod tests {
         );
         let rec_lines = output.lines().filter(|l| l.starts_with('#')).count();
         assert!(rec_lines >= 1);
+    }
+
+    #[test]
+    fn assign_demo_batch_end_to_end() {
+        let (res, output) = run_capture(&[
+            "assign",
+            "--demo-batch",
+            "3",
+            "--reviewers-per-paper",
+            "2",
+            "--max-load",
+            "4",
+            "--scholars",
+            "150",
+            "--seed",
+            "3",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(
+            output.contains("assigning 3 manuscripts: 2 reviewers/paper, max load 4"),
+            "{output}"
+        );
+        assert!(output.contains("mean relevance"), "{output}");
+        assert!(output.contains("coverage@k"), "{output}");
+    }
+
+    #[test]
+    fn assign_reads_batch_file() {
+        let state = AppState::demo(150, 3);
+        let papers: Vec<minaret_json::Value> = state
+            .world
+            .scholars()
+            .iter()
+            .filter(|s| !state.world.papers_of(s.id).is_empty())
+            .take(2)
+            .enumerate()
+            .map(|(i, lead)| {
+                let keywords: Vec<minaret_json::Value> = lead
+                    .interests
+                    .iter()
+                    .take(2)
+                    .map(|&t| minaret_json::Value::from(state.world.ontology.label(t)))
+                    .collect();
+                minaret_json::Value::object()
+                    .set("title", format!("Batch paper {i}").as_str())
+                    .set("keywords", keywords)
+                    .set(
+                        "authors",
+                        vec![minaret_json::Value::object().set("name", lead.full_name().as_str())],
+                    )
+                    .set("target_venue", state.world.venues()[0].name.as_str())
+            })
+            .collect();
+        let doc = minaret_json::Value::object()
+            .set("manuscripts", papers)
+            .set(
+                "spec",
+                minaret_json::Value::object()
+                    .set("reviewers_per_paper", 2u64)
+                    .set("max_load", 4u64),
+            );
+        let dir = std::env::temp_dir().join("minaret-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch.json");
+        std::fs::write(&path, doc.to_string()).unwrap();
+        let (res, output) = run_capture(&[
+            "assign",
+            path.to_str().unwrap(),
+            "--scholars",
+            "150",
+            "--seed",
+            "3",
+        ]);
+        assert!(res.is_ok(), "{res:?}");
+        assert!(output.contains("assigning 2 manuscripts"), "{output}");
+        assert!(output.contains("Batch paper 0"), "{output}");
+    }
+
+    #[test]
+    fn assign_rejects_bad_inputs() {
+        assert!(run_capture(&["assign"]).0.is_err());
+        assert!(run_capture(&["assign", "--demo-batch", "0"]).0.is_err());
+        assert!(run_capture(&["assign", "/nonexistent/batch.json"])
+            .0
+            .is_err());
+        // An unsatisfiable spec is an explicit infeasibility error.
+        let (res, _) = run_capture(&[
+            "assign",
+            "--demo-batch",
+            "3",
+            "--reviewers-per-paper",
+            "400",
+            "--max-load",
+            "1",
+            "--scholars",
+            "150",
+            "--seed",
+            "3",
+        ]);
+        assert!(res.unwrap_err().contains("infeasible"));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub use config::{
 pub use error::MinaretError;
 pub use manuscript::{AuthorInput, ManuscriptDetails};
 pub use pipeline::{
-    CandidateProfile, ExpansionSummary, Minaret, PhaseTimings, Recommendation, RecommendationReport,
+    BatchExtraction, CandidateProfile, ExpansionSummary, Minaret, PaperCandidate, PaperExtraction,
+    PhaseTimings, Recommendation, RecommendationReport,
 };
 pub use rank::{KeywordExpansionSet, ScoreBreakdown};

@@ -237,6 +237,53 @@ impl RecommendationReport {
     }
 }
 
+/// One manuscript's slice of a [`Minaret::extract_batch`] run: the
+/// phase-1 artifacts needed to filter and score that paper against the
+/// shared candidate pool.
+#[derive(Debug)]
+pub struct PaperExtraction {
+    /// COI records for the manuscript's authors (identity-verified).
+    pub author_records: Vec<AuthorRecord>,
+    /// The manuscript's expanded keyword sets (drive coverage scoring).
+    pub expansion_sets: Vec<KeywordExpansionSet>,
+    /// Keywords that resolved to no ontology topic (searched literally).
+    pub unknown_keywords: Vec<String>,
+    /// Pool candidates matched by at least one of this manuscript's
+    /// expanded labels, ascending by pool index.
+    pub matches: Vec<PaperCandidate>,
+}
+
+/// A shared-pool candidate's match against one manuscript of a batch.
+#[derive(Debug, Clone)]
+pub struct PaperCandidate {
+    /// Index into [`BatchExtraction::pool`].
+    pub pool_index: usize,
+    /// This manuscript's expanded labels the candidate matched, with
+    /// similarity scores (best score per label, best first).
+    pub matched_keywords: Vec<(String, f64)>,
+    /// The candidate's best matched-label score for this manuscript —
+    /// what the threshold filter reads.
+    pub keyword_score: f64,
+}
+
+/// The result of batched extraction over a whole submission batch: one
+/// merged candidate pool retrieved by a **single** interest fan-out
+/// over the union of every manuscript's expanded labels, plus
+/// per-manuscript match slices into that pool.
+#[derive(Debug)]
+pub struct BatchExtraction {
+    /// The shared candidate pool, merged and deterministically ordered.
+    pub pool: Vec<MergedCandidate>,
+    /// Per-manuscript slices, index-aligned with the input batch.
+    pub papers: Vec<PaperExtraction>,
+    /// Number of distinct normalized labels in the union fan-out.
+    pub union_labels: usize,
+    /// Aggregated per-source errors survived during the fan-out.
+    pub source_errors: Vec<String>,
+    /// Names of the sources missing from a degraded fan-out, sorted.
+    pub degraded_sources: Vec<String>,
+}
+
 fn truncate(s: &str, n: usize) -> String {
     if s.chars().count() <= n {
         s.to_string()
@@ -519,6 +566,207 @@ impl Minaret {
             .into_iter()
             .map(|s| s.expect("every slot filled by a worker"))
             .collect()
+    }
+
+    /// The worker-thread cap configured via
+    /// [`with_parallelism`](Self::with_parallelism) (`0` = all cores).
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// Runs phase 1 (identity verification, keyword expansion, candidate
+    /// retrieval) for a whole submission batch with **one** batched
+    /// interest fan-out over the union of every manuscript's expanded
+    /// labels — the entire batch costs roughly one policy-governed call
+    /// per interest-capable source. Returns the shared merged candidate
+    /// pool plus per-manuscript match slices into it; filtering and
+    /// scoring remain per-paper concerns for the caller (the batch
+    /// assignment solver scores each paper against its slice).
+    ///
+    /// Errors mirror [`recommend`](Self::recommend): an invalid
+    /// manuscript (or empty batch) fails fast, too few responding
+    /// sources is [`MinaretError::SourcesUnavailable`], and an empty
+    /// pool is [`MinaretError::NoCandidates`].
+    pub fn extract_batch(
+        &self,
+        manuscripts: &[ManuscriptDetails],
+    ) -> Result<BatchExtraction, MinaretError> {
+        if manuscripts.is_empty() {
+            return Err(MinaretError::InvalidManuscript(
+                "the submission batch is empty".into(),
+            ));
+        }
+        for m in manuscripts {
+            m.validate()?;
+        }
+
+        // Per-paper preparation: author verification + keyword expansion.
+        // Each paper keeps its own label → best-score map, because the
+        // same label can expand with different similarity from different
+        // typed keywords.
+        struct Prep {
+            author_records: Vec<AuthorRecord>,
+            expansion_sets: Vec<KeywordExpansionSet>,
+            unknown_keywords: Vec<String>,
+            labels: HashMap<String, f64>,
+        }
+        let mut preps: Vec<Prep> = Vec::with_capacity(manuscripts.len());
+        for m in manuscripts {
+            let verified = self.verify_authors(m);
+            let author_records: Vec<AuthorRecord> = m
+                .authors
+                .iter()
+                .zip(&verified)
+                .map(|(input, verified)| {
+                    AuthorRecord::from_parts(
+                        &input.name,
+                        input.affiliation.as_deref(),
+                        input.country.as_deref(),
+                        verified.chosen.as_ref().map(|c| &c.candidate),
+                    )
+                })
+                .collect();
+            let (expansion_sets, _summaries, unknown_keywords) = self.expand_keywords(&m.keywords);
+            let mut labels: HashMap<String, f64> = HashMap::new();
+            for set in &expansion_sets {
+                for (label, &score) in &set.scores {
+                    labels
+                        .entry(label.clone())
+                        .and_modify(|s| *s = s.max(score))
+                        .or_insert(score);
+                }
+            }
+            preps.push(Prep {
+                author_records,
+                expansion_sets,
+                unknown_keywords,
+                labels,
+            });
+        }
+
+        // The union label set, sorted for a deterministic single fan-out.
+        let union: std::collections::BTreeSet<&str> = preps
+            .iter()
+            .flat_map(|p| p.labels.keys().map(String::as_str))
+            .collect();
+        let sorted_labels: Vec<String> = union.into_iter().map(str::to_string).collect();
+
+        let mut source_errors = Vec::new();
+        let mut coverage = SourceCoverage::default();
+        // label → hits from the one fan-out; each paper re-reads only the
+        // labels it expanded.
+        let mut by_label: HashMap<String, Vec<Arc<minaret_scholarly::SourceProfile>>> =
+            HashMap::new();
+        if !sorted_labels.is_empty() {
+            let report = self.registry.search_by_interests_report(&sorted_labels);
+            for outcome in &report.outcomes {
+                match &outcome.status {
+                    SourceStatus::Ok => {
+                        coverage.responded.insert(outcome.source);
+                    }
+                    SourceStatus::Failed(e) => {
+                        coverage.degraded.insert(outcome.source);
+                        source_errors
+                            .push(format!("{e} ({} labels affected)", sorted_labels.len()));
+                    }
+                    SourceStatus::Skipped => {}
+                }
+            }
+            for (label, (_, hits)) in sorted_labels.iter().zip(report.by_label) {
+                by_label.insert(label.clone(), hits);
+            }
+        }
+        let degraded_sources: Vec<String> =
+            coverage.degraded.iter().map(|k| k.to_string()).collect();
+        if coverage.responded.len() < self.config.min_sources {
+            return Err(MinaretError::SourcesUnavailable {
+                responded: coverage.responded.len(),
+                required: self.config.min_sources,
+                degraded: degraded_sources,
+            });
+        }
+
+        // One global pool: every profile any label returned, deduped and
+        // merged exactly the way the single-manuscript path does it.
+        let mut profiles: Vec<Arc<minaret_scholarly::SourceProfile>> = Vec::new();
+        for label in &sorted_labels {
+            if let Some(hits) = by_label.get(label) {
+                profiles.extend(hits.iter().cloned());
+            }
+        }
+        profiles.sort_by(|a, b| (a.source, &a.key).cmp(&(b.source, &b.key)));
+        profiles.dedup_by(|a, b| a.source == b.source && a.key == b.key);
+        if profiles.is_empty() {
+            return Err(MinaretError::NoCandidates);
+        }
+        let pool = merge_profiles(profiles);
+        // Profile keys are globally unique, so each key lands in exactly
+        // one pool entry.
+        let mut key_to_pool: HashMap<&str, usize> = HashMap::new();
+        for (i, cand) in pool.iter().enumerate() {
+            for key in &cand.keys {
+                key_to_pool.insert(key.as_str(), i);
+            }
+        }
+
+        // Per-paper slices: walk the paper's own labels over the shared
+        // hits, scoring with the paper's own expansion scores.
+        let papers: Vec<PaperExtraction> = preps
+            .into_iter()
+            .map(|prep| {
+                let mut per_pool: HashMap<usize, HashMap<&str, f64>> = HashMap::new();
+                for (label, &score) in &prep.labels {
+                    let Some(hits) = by_label.get(label.as_str()) else {
+                        continue;
+                    };
+                    for p in hits {
+                        let idx = key_to_pool[p.key.as_str()];
+                        per_pool
+                            .entry(idx)
+                            .or_default()
+                            .entry(label.as_str())
+                            .and_modify(|s| *s = s.max(score))
+                            .or_insert(score);
+                    }
+                }
+                let mut matches: Vec<PaperCandidate> = per_pool
+                    .into_iter()
+                    .map(|(pool_index, label_scores)| {
+                        let mut matched_keywords: Vec<(String, f64)> = label_scores
+                            .into_iter()
+                            .map(|(l, s)| (l.to_string(), s))
+                            .collect();
+                        matched_keywords.sort_by(|a, b| {
+                            b.1.partial_cmp(&a.1)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                .then_with(|| a.0.cmp(&b.0))
+                        });
+                        let keyword_score =
+                            matched_keywords.first().map(|(_, s)| *s).unwrap_or(0.0);
+                        PaperCandidate {
+                            pool_index,
+                            matched_keywords,
+                            keyword_score,
+                        }
+                    })
+                    .collect();
+                matches.sort_by_key(|c| c.pool_index);
+                PaperExtraction {
+                    author_records: prep.author_records,
+                    expansion_sets: prep.expansion_sets,
+                    unknown_keywords: prep.unknown_keywords,
+                    matches,
+                }
+            })
+            .collect();
+
+        Ok(BatchExtraction {
+            pool,
+            papers,
+            union_labels: sorted_labels.len(),
+            source_errors,
+            degraded_sources,
+        })
     }
 
     /// Phase-1 step: verify each author's identity and pull their track

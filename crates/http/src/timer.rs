@@ -257,6 +257,129 @@ mod tests {
     }
 
     #[test]
+    fn boundary_deadlines_fire_at_the_tick_never_one_granule_early() {
+        // A deadline landing *exactly* on a tick boundary is the
+        // round-up edge case: `tick_of` must not round it into the
+        // previous granule. Table over (granularity, slots, boundary
+        // multiple) including the cursor==tick and wrap-around cases.
+        struct Case {
+            granularity_ms: u64,
+            slots: usize,
+            boundary_multiple: u64,
+        }
+        let cases = [
+            Case {
+                granularity_ms: 16,
+                slots: 64,
+                boundary_multiple: 1,
+            },
+            Case {
+                granularity_ms: 16,
+                slots: 64,
+                boundary_multiple: 5,
+            },
+            // Boundary beyond one full rotation: slot is shared with an
+            // earlier tick.
+            Case {
+                granularity_ms: 10,
+                slots: 4,
+                boundary_multiple: 9,
+            },
+            Case {
+                granularity_ms: 1,
+                slots: 2,
+                boundary_multiple: 3,
+            },
+        ];
+        for (i, c) in cases.iter().enumerate() {
+            let b = base();
+            let g = Duration::from_millis(c.granularity_ms);
+            let mut wheel = TimerWheel::new(b, g, c.slots);
+            let deadline = b + g * c.boundary_multiple as u32;
+            wheel.schedule(deadline, i as u32);
+            let mut fired = Vec::new();
+            wheel.expire(deadline - Duration::from_nanos(1), &mut fired);
+            assert!(
+                fired.is_empty(),
+                "case {i}: fired a nanosecond before the boundary"
+            );
+            wheel.expire(deadline, &mut fired);
+            assert_eq!(
+                fired,
+                vec![i as u32],
+                "case {i}: must fire exactly at the boundary tick"
+            );
+            assert_eq!(wheel.len(), 0, "case {i}");
+        }
+    }
+
+    #[test]
+    fn generation_reuse_after_slot_recycling_keeps_entries_distinct() {
+        // The reactor cancels lazily: a connection slot that is retired
+        // and recycled reuses its token with a bumped generation, and
+        // the stale wheel entry must still pop out (so `len` drains)
+        // carrying its *old* generation so the caller can ignore it —
+        // never the recycled identity.
+        let b = base();
+        let mut wheel = TimerWheel::new(b, Duration::from_millis(10), 8);
+        // (token, generation): token 7's first life, deadline 20ms.
+        wheel.schedule(b + Duration::from_millis(20), (7u32, 0u32));
+        // Connection closes at 15ms (lazy cancel — nothing removed),
+        // the slab slot is recycled, generation bumps, new deadline.
+        let mut fired = Vec::new();
+        wheel.expire(b + Duration::from_millis(15), &mut fired);
+        assert!(fired.is_empty());
+        wheel.schedule(b + Duration::from_millis(30), (7u32, 1u32));
+        assert_eq!(wheel.len(), 2, "stale entry still occupies the wheel");
+        // Both entries pop with their own generation intact.
+        wheel.expire(b + Duration::from_millis(40), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, vec![(7, 0), (7, 1)]);
+        assert_eq!(wheel.len(), 0, "stale entries drain, never leak");
+        // The recycled identity can keep rearming afterwards.
+        wheel.schedule(b + Duration::from_millis(50), (7u32, 1u32));
+        let mut again = Vec::new();
+        wheel.expire(b + Duration::from_millis(50), &mut again);
+        assert_eq!(again, vec![(7, 1)]);
+    }
+
+    #[test]
+    fn deadlines_beyond_the_full_horizon_fold_back_and_fire_on_time() {
+        // Default-geometry wheel: 1024 × 16 ms ≈ 16.4 s horizon. Table
+        // of deadlines past it — just past, several rotations past —
+        // all take the overflow path, never fire early at intermediate
+        // expirations, and fire exactly at their deadline.
+        let probes_ms: [u64; 3] = [5_000, 16_500, 30_000];
+        for &deadline_ms in &[17_000u64, 33_000, 100_000] {
+            let b = base();
+            let mut wheel = TimerWheel::new(b, Duration::from_millis(16), 1024);
+            let deadline = b + Duration::from_millis(deadline_ms);
+            wheel.schedule(deadline, deadline_ms);
+            let next = wheel.next_deadline(b).unwrap();
+            assert!(
+                next <= deadline,
+                "{deadline_ms}ms: overflow hint must not be late"
+            );
+            let mut fired = Vec::new();
+            for &probe in probes_ms.iter().filter(|&&p| p < deadline_ms) {
+                wheel.expire(b + Duration::from_millis(probe), &mut fired);
+                assert!(
+                    fired.is_empty(),
+                    "{deadline_ms}ms deadline fired early at {probe}ms"
+                );
+            }
+            wheel.expire(deadline - Duration::from_nanos(1), &mut fired);
+            assert!(fired.is_empty(), "{deadline_ms}ms: a nanosecond early");
+            // Fires at the rounded-up tick boundary — the documented
+            // "at worst one granule late" contract.
+            let boundary = b + Duration::from_millis(deadline_ms.div_ceil(16) * 16);
+            wheel.expire(boundary, &mut fired);
+            assert_eq!(fired, vec![deadline_ms], "{deadline_ms}ms: must fire");
+            assert_eq!(wheel.len(), 0);
+        }
+    }
+
+    #[test]
     fn past_deadlines_fire_immediately_on_next_expire() {
         let b = base();
         let mut wheel = TimerWheel::new(b, Duration::from_millis(16), 64);

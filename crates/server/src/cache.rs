@@ -190,12 +190,31 @@ impl ResultCache {
         }
     }
 
-    /// Stores a response under `key`, evicting that shard's oldest
-    /// entries past its share of the capacity.
+    /// Stores a response under `key`. Entries already past their TTL
+    /// are swept from the shard first — dead entries must never crowd
+    /// out a fresh insertion — then the shard's oldest live entries are
+    /// FIFO-evicted past its share of the capacity.
     pub fn insert(&self, key: u64, body: Vec<u8>) {
-        let expires_at_micros = self.clock.now_micros().saturating_add(self.ttl_micros);
+        let now = self.clock.now_micros();
+        let expires_at_micros = now.saturating_add(self.ttl_micros);
         let capacity = self.shard_capacity();
         let mut shard = self.shards[self.shard_of(key)].lock();
+        // Sweep expired entries at insert time. Without this, a shard
+        // full of TTL-dead entries (written, never re-read) still sits
+        // at capacity and sheds the *fresh* insertion's shardmates via
+        // FIFO instead of the corpses.
+        let mut expired = 0u64;
+        shard.map.retain(|_, entry| {
+            let live = now < entry.expires_at_micros;
+            if !live {
+                expired += 1;
+            }
+            live
+        });
+        if expired > 0 {
+            let CacheShard { map, order } = &mut *shard;
+            order.retain(|k| map.contains_key(k));
+        }
         if shard
             .map
             .insert(
@@ -218,6 +237,11 @@ impl ResultCache {
             evicted += 1;
         }
         drop(shard);
+        if expired > 0 {
+            self.telemetry
+                .counter("minaret_result_cache_evictions_total", &[("cause", "ttl")])
+                .inc_by(expired);
+        }
         if evicted > 0 {
             self.telemetry
                 .counter(
@@ -408,6 +432,43 @@ mod tests {
         assert!(
             cache.get(other).is_some(),
             "eviction on one shard must not touch another"
+        );
+    }
+
+    #[test]
+    fn insert_sweeps_expired_entries_before_capacity_eviction() {
+        // A shard at capacity with only TTL-dead entries must shed the
+        // corpses — not the fresh insertion's live shardmates.
+        let telemetry = Telemetry::new();
+        let clock = SimulatedClock::new();
+        let cache = ResultCache::new(1_000, 2)
+            .with_shards(1)
+            .with_clock(clock.clone())
+            .with_telemetry(telemetry.clone());
+        cache.insert(1, b"old-a".to_vec());
+        cache.insert(2, b"old-b".to_vec());
+        clock.advance(1_000); // both entries are now expired, unread
+        cache.insert(3, b"fresh-a".to_vec());
+        cache.insert(4, b"fresh-b".to_vec());
+        assert!(cache.get(3).is_some(), "fresh entry must survive");
+        assert!(cache.get(4).is_some(), "fresh entry must survive");
+        assert_eq!(cache.len(), 2, "expired entries were swept");
+        assert_eq!(
+            telemetry
+                .counter("minaret_result_cache_evictions_total", &[("cause", "ttl")])
+                .get(),
+            2,
+            "the sweep is counted as TTL evictions"
+        );
+        assert_eq!(
+            telemetry
+                .counter(
+                    "minaret_result_cache_evictions_total",
+                    &[("cause", "capacity")],
+                )
+                .get(),
+            0,
+            "no live entry was FIFO-evicted"
         );
     }
 

@@ -1,5 +1,6 @@
 //! JSON ↔ domain-type mapping.
 
+use minaret_assign::{AssignmentSpec, BatchAssignment};
 use minaret_core::{
     AffiliationMatchLevel, AuthorInput, EditorConfig, ManuscriptDetails, RecommendationReport,
 };
@@ -162,6 +163,120 @@ fn apply_config_overrides(cfg: &Value, config: &mut EditorConfig) -> Result<(), 
         config.pc_members = Some(members);
     }
     Ok(())
+}
+
+/// Parses the `/assign` request body: a manuscript batch, the
+/// assignment spec, and optional editor-configuration overrides shared
+/// by every paper.
+///
+/// Expected shape (spec and config optional):
+/// ```json
+/// {
+///   "manuscripts": [{"title": "...", "keywords": [...],
+///                     "authors": [...], "target_venue": "..."}, ...],
+///   "spec": {
+///     "reviewers_per_paper": 3,
+///     "max_load": 5,
+///     "coi": {"coauthorship": true,
+///              "affiliation_level": "university" | "country" | "off"}
+///   },
+///   "config": { ...same overrides as /recommend... }
+/// }
+/// ```
+pub fn assign_request_from_json(
+    body: &Value,
+    base: &EditorConfig,
+) -> Result<(Vec<ManuscriptDetails>, AssignmentSpec, EditorConfig), String> {
+    let mut config = base.clone();
+    if let Some(cfg) = body.get("config") {
+        apply_config_overrides(cfg, &mut config)?;
+    }
+    let manuscripts = body
+        .get("manuscripts")
+        .and_then(Value::as_array)
+        .ok_or("missing array field \"manuscripts\"")?
+        .iter()
+        .map(|item| manuscript_from_json(item, &config).map(|(m, _)| m))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut spec = AssignmentSpec::new(3, 5);
+    if let Some(s) = body.get("spec") {
+        if let Some(k) = s.get("reviewers_per_paper").and_then(Value::as_u64) {
+            spec.reviewers_per_paper = k as usize;
+        }
+        if let Some(l) = s.get("max_load").and_then(Value::as_u64) {
+            spec.max_load = l as usize;
+        }
+        if let Some(cap) = s.get("max_candidates_per_paper").and_then(Value::as_u64) {
+            spec.max_candidates_per_paper = cap as usize;
+        }
+        if let Some(coi) = s.get("coi") {
+            let mut policy = config.coi;
+            if let Some(c) = coi.get("coauthorship").and_then(Value::as_bool) {
+                policy.coauthorship = c;
+            }
+            if let Some(level) = coi.get("affiliation_level").and_then(Value::as_str) {
+                policy.affiliation_level = match level {
+                    "university" => AffiliationMatchLevel::University,
+                    "country" => AffiliationMatchLevel::Country,
+                    "off" => AffiliationMatchLevel::Off,
+                    other => return Err(format!("unknown coi affiliation_level {other:?}")),
+                };
+            }
+            spec = spec.with_coi(policy);
+        }
+    }
+    Ok((manuscripts, spec, config))
+}
+
+/// Serializes a solved batch assignment for the API.
+pub fn assignment_to_json(assignment: &BatchAssignment) -> Value {
+    let papers: Vec<Value> = assignment
+        .papers
+        .iter()
+        .map(|p| {
+            Value::object().set("title", p.title.as_str()).set(
+                "reviewers",
+                p.reviewers
+                    .iter()
+                    .map(|r| {
+                        Value::object()
+                            .set("name", r.name.as_str())
+                            .set("affiliation", r.affiliation.clone())
+                            .set("score", r.score)
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        })
+        .collect();
+    let loads: Vec<Value> = assignment
+        .loads
+        .iter()
+        .map(|l| {
+            Value::object()
+                .set("name", l.name.as_str())
+                .set("load", l.load)
+        })
+        .collect();
+    let mut quality = Value::object()
+        .set("mean_relevance", assignment.quality.mean_relevance)
+        .set("load_gini", assignment.quality.load_gini);
+    if let Some(cov) = assignment.quality.coverage_at_k {
+        quality = quality.set("coverage_at_k", cov);
+    }
+    Value::object()
+        .set("papers", papers)
+        .set("loads", loads)
+        .set("pool_size", assignment.pool_size)
+        .set("eligible_pairs", assignment.eligible_pairs)
+        .set("greedy_total", assignment.greedy_total)
+        .set("total_score", assignment.total_score)
+        .set(
+            "refinement_improvement",
+            assignment.refinement_improvement(),
+        )
+        .set("augmentations", assignment.augmentations)
+        .set("quality", quality)
 }
 
 /// Serializes a recommendation report for the API.

@@ -10,6 +10,7 @@
 //! | `/expand?keyword=K` | GET | semantic expansion of one keyword |
 //! | `/verify-authors` | POST | identity candidates per author (Fig 4) |
 //! | `/recommend` | POST | the full three-phase pipeline (Figs 3→5) |
+//! | `/assign` | POST | batch assignment: one extraction fan-out for a whole submission batch, greedy + min-cost-flow solve |
 //! | `/cache/invalidate` | POST | empty body: drop every cached `/recommend` result; manuscript body: drop just that fingerprint |
 //!
 //! The binary (`minaret-server`) generates a synthetic world, wires the
@@ -25,6 +26,8 @@ mod routes;
 mod state;
 
 pub use cache::ResultCache;
-pub use codec::{manuscript_from_json, report_to_json};
+pub use codec::{
+    assign_request_from_json, assignment_to_json, manuscript_from_json, report_to_json,
+};
 pub use routes::build_router;
 pub use state::AppState;

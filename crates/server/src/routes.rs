@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Instant;
 
+use minaret_assign::{coverage_against_world, AssignError, Assigner};
 use minaret_core::{Minaret, MinaretError};
 use minaret_disambig::{AuthorQuery, IdentityResolver};
 use minaret_http::{Params, Request, Response, Router};
@@ -12,7 +13,9 @@ use minaret_scholarly::SourceRegistry;
 use minaret_telemetry::Telemetry;
 
 use crate::cache::ResultCache;
-use crate::codec::{manuscript_from_json, report_to_json};
+use crate::codec::{
+    assign_request_from_json, assignment_to_json, manuscript_from_json, report_to_json,
+};
 use crate::state::AppState;
 
 /// The registry view for this request. When the admission layer stamped
@@ -268,6 +271,55 @@ pub fn build_router(state: Arc<AppState>) -> Router {
                 // Too few sources answered to trust a result: the
                 // service is temporarily degraded below the floor.
                 Err(e @ MinaretError::SourcesUnavailable { .. }) => {
+                    Response::error(503, &e.to_string())
+                }
+                Err(e) => Response::error(500, &e.to_string()),
+            }
+        }),
+    );
+
+    let s = state.clone();
+    let (tel, route) = t("/assign");
+    router.post(
+        route,
+        instrumented(tel, route, move |req, _| {
+            let body = match req.json_body() {
+                Ok(b) => b,
+                Err(e) => return Response::error(400, &e.to_string()),
+            };
+            let (manuscripts, spec, config) =
+                match assign_request_from_json(&body, s.minaret.config()) {
+                    Ok(x) => x,
+                    Err(e) => return Response::error(422, &e),
+                };
+            let registry = match scoped_registry(&s.registry, req) {
+                Ok(r) => r,
+                Err(resp) => return resp,
+            };
+            let assigner = Assigner::new(
+                Minaret::new(registry, s.ontology.clone(), config)
+                    .with_telemetry(s.telemetry.clone()),
+            )
+            .with_telemetry(s.telemetry.clone());
+            match assigner.assign(&manuscripts, &spec) {
+                Ok(mut solved) => {
+                    // Ground-truth coverage is a synthetic-world luxury;
+                    // the server always has the world on hand.
+                    solved.quality.coverage_at_k =
+                        coverage_against_world(&s.world, &manuscripts, &solved);
+                    Response::json(200, &assignment_to_json(&solved))
+                }
+                Err(AssignError::InvalidSpec(m)) => Response::error(422, &m),
+                Err(AssignError::Pipeline(MinaretError::InvalidManuscript(m))) => {
+                    Response::error(422, &m)
+                }
+                // A batch with no satisfying assignment is a conflict
+                // between the spec and the pool, not a server fault.
+                Err(e @ AssignError::Infeasible { .. }) => Response::error(409, &e.to_string()),
+                Err(AssignError::Pipeline(MinaretError::NoCandidates)) => {
+                    Response::error(409, "no candidate reviewers found for the batch")
+                }
+                Err(AssignError::Pipeline(e @ MinaretError::SourcesUnavailable { .. })) => {
                     Response::error(503, &e.to_string())
                 }
                 Err(e) => Response::error(500, &e.to_string()),
@@ -688,6 +740,123 @@ mod tests {
         assert_eq!(v.get("scope").and_then(Value::as_str), Some("all"));
         assert_eq!(v.get("invalidated").and_then(Value::as_u64), Some(1));
         assert!(state.result_cache.as_ref().unwrap().is_empty());
+    }
+
+    fn assign_body(state: &AppState, papers: usize, k: u64, max_load: u64) -> String {
+        let manuscripts: Vec<Value> = state
+            .world
+            .scholars()
+            .iter()
+            .filter(|s| !state.world.papers_of(s.id).is_empty())
+            .take(papers)
+            .map(|lead| {
+                let keywords: Vec<Value> = lead
+                    .interests
+                    .iter()
+                    .take(2)
+                    .map(|&t| Value::from(state.world.ontology.label(t)))
+                    .collect();
+                Value::object()
+                    .set("title", format!("Batch paper by {}", lead.full_name()))
+                    .set("keywords", keywords)
+                    .set(
+                        "authors",
+                        vec![Value::object().set("name", lead.full_name().as_str())],
+                    )
+                    .set("target_venue", state.world.venues()[0].name.as_str())
+            })
+            .collect();
+        Value::object()
+            .set("manuscripts", manuscripts)
+            .set(
+                "spec",
+                Value::object()
+                    .set("reviewers_per_paper", k)
+                    .set("max_load", max_load),
+            )
+            .to_string()
+    }
+
+    #[test]
+    fn assign_end_to_end() {
+        let (state, router) = router();
+        let body = assign_body(&state, 3, 2, 4);
+        let resp = router.dispatch(&request(Method::Post, "/assign", &[], &body));
+        assert_eq!(resp.status, 200, "{}", String::from_utf8_lossy(&resp.body));
+        let v = minaret_json::parse(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        let papers = v.get("papers").and_then(Value::as_array).unwrap();
+        assert_eq!(papers.len(), 3);
+        for p in papers {
+            let reviewers = p.get("reviewers").and_then(Value::as_array).unwrap();
+            assert_eq!(reviewers.len(), 2, "exactly k reviewers per paper");
+        }
+        let loads = v.get("loads").and_then(Value::as_array).unwrap();
+        assert!(!loads.is_empty());
+        for l in loads {
+            assert!(l.get("load").and_then(Value::as_u64).unwrap() <= 4);
+        }
+        let total = v.get("total_score").and_then(Value::as_f64).unwrap();
+        let greedy = v.get("greedy_total").and_then(Value::as_f64).unwrap();
+        assert!(
+            total >= greedy - 1e-9,
+            "flow below greedy: {total} < {greedy}"
+        );
+        let quality = v.get("quality").unwrap();
+        assert!(
+            quality
+                .get("mean_relevance")
+                .and_then(Value::as_f64)
+                .unwrap()
+                > 0.0
+        );
+        assert!(quality
+            .get("coverage_at_k")
+            .and_then(Value::as_f64)
+            .is_some());
+        assert_eq!(
+            state
+                .telemetry
+                .counter("minaret_assign_total", &[("result", "ok")])
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn assign_infeasible_spec_is_a_409() {
+        let (state, router) = router();
+        let body = assign_body(&state, 3, 400, 1);
+        let resp = router.dispatch(&request(Method::Post, "/assign", &[], &body));
+        assert_eq!(resp.status, 409, "{}", String::from_utf8_lossy(&resp.body));
+        assert!(String::from_utf8_lossy(&resp.body).contains("infeasible"));
+    }
+
+    #[test]
+    fn assign_rejects_bad_bodies() {
+        let (state, router) = router();
+        let resp = router.dispatch(&request(Method::Post, "/assign", &[], "{not json"));
+        assert_eq!(resp.status, 400);
+        let resp = router.dispatch(&request(Method::Post, "/assign", &[], r#"{"spec":{}}"#));
+        assert_eq!(resp.status, 422, "missing manuscripts array");
+        // A zero spec field is rejected before any fan-out.
+        let mut body = assign_body(&state, 1, 2, 3);
+        body = body.replace("\"reviewers_per_paper\":2", "\"reviewers_per_paper\":0");
+        let resp = router.dispatch(&request(Method::Post, "/assign", &[], &body));
+        assert_eq!(resp.status, 422, "{}", String::from_utf8_lossy(&resp.body));
+    }
+
+    #[test]
+    fn assign_respects_exhausted_deadlines() {
+        let (state, router) = router();
+        let body = assign_body(&state, 2, 2, 3);
+        let mut req = request(Method::Post, "/assign", &[], &body);
+        req.deadline = Some(Instant::now());
+        let resp = router.dispatch(&req);
+        assert_eq!(resp.status, 503, "{}", String::from_utf8_lossy(&resp.body));
+        assert!(resp
+            .headers
+            .iter()
+            .any(|(k, v)| k == "Retry-After" && v == "1"));
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub use persist::{
     StreamProgress, StreamTotals,
 };
 pub use stream::{derive_seed, ChunkIter, StreamingGenerator, WorldChunk, COMMUNITY_BLOCK};
-pub use submissions::{ground_truth_relevance, SubmissionGenerator, SubmissionSpec};
+pub use submissions::{
+    ground_truth_relevance, ground_truth_relevance_all, SubmissionGenerator, SubmissionSpec,
+};
 pub use view::{WorldHandle, WorldScope};
 pub use world::{World, WorldStats};

@@ -958,6 +958,59 @@ fn measure_contention() -> ContentionMeasured {
     }
 }
 
+/// Batch-assignment point (E7 assignment addendum): conference scale.
+const ASSIGN_SCHOLARS: usize = 10_000;
+/// Manuscripts in the measured `assign` batch.
+const ASSIGN_MANUSCRIPTS: usize = 50;
+/// Reviewers demanded per paper.
+const ASSIGN_K: usize = 3;
+/// Per-reviewer load ceiling.
+const ASSIGN_MAX_LOAD: usize = 8;
+/// Allowed batch-solve latency growth over the committed baseline.
+/// Wide, like the other wall-clock gates: seconds-scale solves on a
+/// shared CI box jitter more than microbenchmarks.
+const ASSIGN_REGRESSION_HEADROOM: f64 = 2.0;
+
+struct AssignMeasured {
+    elapsed: Duration,
+    solved: minaret::assign::BatchAssignment,
+}
+
+/// Solves the conference-scale batch once, cold: a 50-manuscript batch
+/// over a 10^4-scholar world through the full extract → score → greedy
+/// → flow pipeline, then grades it against the world's ground truth.
+/// One solve (not min-of-N) — at seconds scale a single run dominates
+/// scheduler noise, and re-solving would measure warmed interning.
+fn measure_assign() -> AssignMeasured {
+    use minaret::assign::{coverage_against_world, manuscript_from_submission, Assigner};
+
+    let world = Arc::new(WorldGenerator::new(WorldConfig::sized(ASSIGN_SCHOLARS)).generate());
+    let mut registry = SourceRegistry::new(RegistryConfig::default());
+    for spec in SourceSpec::all_defaults() {
+        registry.register(Arc::new(SimulatedSource::new(spec, world.clone())));
+    }
+    let ontology = Arc::new(minaret::ontology::seed::curated_cs_ontology());
+    let manuscripts: Vec<ManuscriptDetails> =
+        minaret::synth::SubmissionGenerator::new(&world, 4242)
+            .generate_many(ASSIGN_MANUSCRIPTS)
+            .iter()
+            .map(|sub| manuscript_from_submission(&world, sub))
+            .collect();
+    let assigner = Assigner::new(Minaret::new(
+        Arc::new(registry),
+        ontology,
+        EditorConfig::default(),
+    ));
+    let spec = AssignmentSpec::new(ASSIGN_K, ASSIGN_MAX_LOAD);
+    let start = Instant::now();
+    let mut solved = assigner
+        .assign(&manuscripts, &spec)
+        .expect("conference-scale batch is feasible");
+    let elapsed = start.elapsed();
+    solved.quality.coverage_at_k = coverage_against_world(&world, &manuscripts, &solved);
+    AssignMeasured { elapsed, solved }
+}
+
 /// Warm-path allocation counts per recommendation: `(allocs, bytes)`
 /// for a cached registry and for the uncached pipeline default.
 #[cfg(feature = "count-allocs")]
@@ -1185,6 +1238,29 @@ fn main() {
         }
     }
 
+    let assign = measure_assign();
+    let aq = &assign.solved.quality;
+    println!(
+        "assign smoke: batch of {ASSIGN_MANUSCRIPTS} over {ASSIGN_SCHOLARS} scholars = {:.0} ms  \
+         mean_relevance={:.4}  coverage={:.4}  load_gini={:.4}  flow={:.3} (greedy {:.3}, {} augmentations)",
+        assign.elapsed.as_secs_f64() * 1e3,
+        aq.mean_relevance,
+        aq.coverage_at_k.unwrap_or(0.0),
+        aq.load_gini,
+        assign.solved.total_score,
+        assign.solved.greedy_total,
+        assign.solved.augmentations,
+    );
+    // Same-run refinement gate: the flow solution may never total below
+    // the greedy seed it started from.
+    if assign.solved.total_score + 1e-9 < assign.solved.greedy_total {
+        eprintln!(
+            "FAIL: flow assignment total {:.6} fell below the greedy seed {:.6}",
+            assign.solved.total_score, assign.solved.greedy_total
+        );
+        std::process::exit(1);
+    }
+
     if record {
         #[allow(unused_mut)]
         let mut json = Value::object()
@@ -1232,7 +1308,20 @@ fn main() {
         json = json
             .set("sweep_manuscripts", SWEEP_MANUSCRIPTS)
             .set("sweep_max_hits", SWEEP_MAX_HITS)
-            .set("sweep_recommend_flatness", flatness);
+            .set("sweep_recommend_flatness", flatness)
+            .set("assign_scholars", ASSIGN_SCHOLARS)
+            .set("assign_manuscripts", ASSIGN_MANUSCRIPTS)
+            .set("assign_reviewers_per_paper", ASSIGN_K)
+            .set("assign_max_load", ASSIGN_MAX_LOAD)
+            .set("assign_batch50_millis", assign.elapsed.as_millis() as u64)
+            .set("assign_quality_mean_relevance", aq.mean_relevance)
+            .set("assign_quality_coverage", aq.coverage_at_k.unwrap_or(0.0))
+            .set("assign_quality_load_gini", aq.load_gini)
+            .set("assign_greedy_total", assign.solved.greedy_total)
+            .set("assign_flow_total", assign.solved.total_score)
+            .set("assign_flow_augmentations", assign.solved.augmentations)
+            .set("assign_pool_size", assign.solved.pool_size)
+            .set("assign_eligible_pairs", assign.solved.eligible_pairs);
         for p in &sweep {
             let n = p.scholars;
             json = json
@@ -1339,6 +1428,31 @@ fn main() {
         }
         println!("OK: {field} {measured} within budget {budget:.0} (baseline {base})");
     }
+
+    // Assignment-latency regression gate: the conference-scale batch
+    // solve may grow at most ASSIGN_REGRESSION_HEADROOM× over the
+    // committed baseline.
+    let Some(base_assign) = baseline
+        .get("assign_batch50_millis")
+        .and_then(|v| v.as_u64())
+    else {
+        eprintln!("FAIL: baseline {BASELINE_PATH} lacks assign_batch50_millis; re-record");
+        std::process::exit(1);
+    };
+    let assign_budget = base_assign as f64 * ASSIGN_REGRESSION_HEADROOM;
+    let assign_measured = assign.elapsed.as_millis() as f64;
+    if assign_measured > assign_budget {
+        eprintln!(
+            "FAIL: batch assign {assign_measured:.0} ms exceeds baseline {base_assign} ms by \
+             more than {:.0}% (budget {assign_budget:.0} ms)",
+            (ASSIGN_REGRESSION_HEADROOM - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: batch assign {assign_measured:.0} ms within {:.0}% of baseline {base_assign} ms",
+        (ASSIGN_REGRESSION_HEADROOM - 1.0) * 100.0
+    );
 
     // Uncontended-path gate: single-thread sharded throughput must stay
     // within CONTENTION_REGRESSION_HEADROOM of the committed baseline —

@@ -53,12 +53,13 @@
 //!
 //! The individual subsystems are re-exported as modules: [`ontology`],
 //! [`synth`], [`scholarly`], [`disambig`], [`index`], [`core`],
-//! [`baselines`], [`eval`], [`json`], [`http`], [`store`],
+//! [`assign`], [`baselines`], [`eval`], [`json`], [`http`], [`store`],
 //! [`concurrent`].
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub use minaret_assign as assign;
 pub use minaret_baselines as baselines;
 pub use minaret_concurrent as concurrent;
 pub use minaret_core as core;
@@ -74,6 +75,7 @@ pub use minaret_synth as synth;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use minaret_assign::{Assigner, AssignmentSpec, BatchAssignment};
     pub use minaret_core::{
         AffiliationMatchLevel, AuthorInput, CoiConfig, EditorConfig, ExpertiseConstraints,
         ImpactMetric, ManuscriptDetails, Minaret, RankingWeights, Recommendation,

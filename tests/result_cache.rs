@@ -288,6 +288,40 @@ fn fifo_overflow_evicts_within_the_shard_not_across() {
 }
 
 #[test]
+fn a_ttl_dead_shard_does_not_shed_fresh_insertions() {
+    // Regression: expired entries used to occupy FIFO capacity until
+    // someone happened to *read* them. A shard filled with TTL-dead
+    // entries (written once, never re-read) stayed "full", so a burst
+    // of fresh insertions FIFO-evicted its own newest members instead
+    // of the corpses. Inserts now sweep expired entries first.
+    let clock = SimulatedClock::new();
+    let cache = ResultCache::new(1_000, 8)
+        .with_shards(4) // 2 entries per shard
+        .with_clock(clock.clone());
+    let (same, other) = shard_targeted_keys(&cache, 4);
+    // Fill one shard to capacity.
+    cache.insert(same[0], b"dead-a".to_vec());
+    cache.insert(same[1], b"dead-b".to_vec());
+    // Both entries expire; nothing reads the shard in between.
+    clock.advance(1_000);
+    // Two fresh entries on the dead shard: both must fit — the sweep
+    // reclaims the expired slots, so neither fresh entry is evicted.
+    // A control entry lands on another shard.
+    cache.insert(same[2], b"fresh-a".to_vec());
+    cache.insert(same[3], b"fresh-b".to_vec());
+    cache.insert(other, b"elsewhere".to_vec());
+    assert!(
+        cache.get(same[2]).is_some(),
+        "fresh entry survives on a previously TTL-dead shard"
+    );
+    assert!(cache.get(same[3]).is_some(), "so does its shard-mate");
+    assert!(cache.get(same[0]).is_none(), "the corpses are gone");
+    assert!(cache.get(same[1]).is_none());
+    assert!(cache.get(other).is_some(), "other shards untouched");
+    assert_eq!(cache.len(), 3, "only the live entries remain anywhere");
+}
+
+#[test]
 fn single_invalidation_retires_one_fingerprint_and_spares_the_rest() {
     let h = harness(false);
     let body_a = manuscript_body(&h.state, "Submission A");
